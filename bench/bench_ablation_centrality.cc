@@ -1,0 +1,58 @@
+// Ablation (ours): does a smarter notion of centrality rescue the
+// centrality-based family?
+//
+// The paper's Section 5.2 shows degree-based selection is near-useless
+// because central nodes are already close to everything. We test the
+// obvious rebuttal — PageRank, and its growth variant — against the degree
+// family and one landmark-change policy on every dataset. Expected answer:
+// static centrality of any flavor stays near zero; growth variants help but
+// never approach the landmark-change signal, confirming the paper's
+// explanation rather than its specific choice of centrality.
+
+#include <cstdio>
+
+#include "common/bench_env.h"
+#include "core/selector_registry.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace convpairs;
+using namespace convpairs::bench;
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("Ablation: centrality notions vs change signals (m = 100)",
+              env);
+
+  const std::vector<std::string> policies = {
+      "Degree", "PageRank", "DegDiff", "PageRankDiff", "DegRel", "SumDiff"};
+  const int offset = 1;
+
+  std::vector<std::string> headers = {"policy"};
+  for (const std::string& name : DatasetNames()) headers.push_back(name);
+  TablePrinter table(headers);
+
+  std::vector<std::unique_ptr<BenchDataset>> datasets =
+      LoadPaperDatasets(env);
+  for (const std::string& policy : policies) {
+    auto selector = MakeSelector(policy).value();
+    table.StartRow();
+    table.AddCell(policy);
+    for (auto& bench_dataset : datasets) {
+      RunConfig config;
+      config.budget_m = 100;
+      config.num_landmarks = 10;
+      config.seed = env.seed + 1;
+      table.AddCell(FormatPercent(
+          bench_dataset->runner().RunSelector(*selector, offset, config)
+              .coverage));
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpectation: static centrality (Degree, PageRank) ~0 everywhere; "
+      "growth variants\nintermediate; the landmark-change policy dominates. "
+      "The paper's finding is about\nthe *kind* of signal (change vs state), "
+      "not the specific centrality.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Ablation (ours): can landmark distance ESTIMATES replace the exact
+// candidate rows of Algorithm 1's extraction phase?
+//
+// The budgeted pipeline spends 2 SSSPs per candidate to compute exact
+// delta rows. An alternative is to estimate every pair's delta from the
+// landmark matrices alone (zero extra SSSPs): delta_est(u,v) =
+// estimate_t1(u,v) - estimate_t2(u,v). This bench measures how much of the
+// true top-k set the estimate-only ranking recovers compared to the exact
+// extraction at equal landmark budget — quantifying why the paper's
+// formulation pays for exact rows (estimates blur ties and miss pairs whose
+// shortest paths avoid all landmarks).
+
+#include <cstdio>
+#include <set>
+
+#include "common/bench_env.h"
+#include "core/selector_registry.h"
+#include "landmark/distance_estimator.h"
+#include "landmark/landmark_selector.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace convpairs;
+using namespace convpairs::bench;
+
+namespace {
+
+// Estimate-only retrieval: rank all active pairs by estimated delta and
+// keep the top k. Quadratic in candidate pool size, so we restrict the pool
+// to nodes with a positive estimated change to any landmark.
+std::vector<ConvergingPair> EstimateOnlyTopK(const Graph& g1, const Graph& g2,
+                                             int num_landmarks, int k,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  LandmarkSelection selection =
+      SelectLandmarks(g1, LandmarkPolicy::kMaxMin,
+                      static_cast<uint32_t>(num_landmarks), rng,
+                      BenchEngine(), nullptr);
+  DistanceMatrix dl2 = DistanceMatrix::Build(g2, selection.landmarks,
+                                             BenchEngine(), nullptr);
+  auto est1 = LandmarkDistanceEstimator::FromMatrix(selection.g1_rows);
+  auto est2 = LandmarkDistanceEstimator::FromMatrix(std::move(dl2));
+
+  // Pool: nodes whose distance to some landmark changed.
+  std::vector<NodeId> pool;
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+    if (g1.degree(u) == 0) continue;
+    for (size_t i = 0; i < est1.num_landmarks(); ++i) {
+      Dist d1 = est1.matrix().at(i, u);
+      Dist d2 = est2.matrix().at(i, u);
+      if (IsReachable(d1) && IsReachable(d2) && d1 != d2) {
+        pool.push_back(u);
+        break;
+      }
+    }
+  }
+  // Cap the pool to keep the quadratic scan bounded.
+  if (pool.size() > 800) pool.resize(800);
+
+  std::vector<ConvergingPair> ranked;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      Dist e1 = est1.Estimate(pool[i], pool[j]);
+      Dist e2 = est2.Estimate(pool[i], pool[j]);
+      if (!IsReachable(e1) || !IsReachable(e2)) continue;
+      Dist delta = e1 - e2;
+      if (delta > 0) ranked.push_back({pool[i], pool[j], delta});
+    }
+  }
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + std::min<size_t>(ranked.size(),
+                                                      static_cast<size_t>(k)),
+                    ranked.end(),
+                    [](const ConvergingPair& a, const ConvergingPair& b) {
+                      if (a.delta != b.delta) return a.delta > b.delta;
+                      if (a.u != b.u) return a.u < b.u;
+                      return a.v < b.v;
+                    });
+  ranked.resize(std::min<size_t>(ranked.size(), static_cast<size_t>(k)));
+  return ranked;
+}
+
+}  // namespace
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("Ablation: estimate-only retrieval vs exact extraction", env);
+
+  const int offset = 1;
+  TablePrinter table({"dataset", "k", "exact MMSD cov %", "estimate-only",
+                      "recall of true pairs %"});
+  for (auto& bench_dataset : LoadPaperDatasets(env)) {
+    ExperimentRunner& runner = bench_dataset->runner();
+    int k = static_cast<int>(runner.KAt(offset));
+
+    RunConfig config;
+    config.budget_m = 100;
+    config.num_landmarks = 10;
+    config.seed = env.seed + 1;
+    auto exact = MakeSelector("MMSD").value();
+    double exact_cov = runner.RunSelector(*exact, offset, config).coverage;
+
+    auto estimated = EstimateOnlyTopK(bench_dataset->dataset().g1,
+                                      bench_dataset->dataset().g2, 10, k,
+                                      env.seed + 1);
+    std::set<uint64_t> truth;
+    for (const ConvergingPair& p : runner.PairGraphAt(offset).pairs()) {
+      truth.insert((static_cast<uint64_t>(p.u) << 32) | p.v);
+    }
+    uint64_t recalled = 0;
+    for (const ConvergingPair& p : estimated) {
+      NodeId u = std::min(p.u, p.v);
+      NodeId v = std::max(p.u, p.v);
+      if (truth.count((static_cast<uint64_t>(u) << 32) | v) > 0) ++recalled;
+    }
+    double recall = truth.empty() ? 1.0
+                                  : static_cast<double>(recalled) /
+                                        static_cast<double>(truth.size());
+    table.StartRow();
+    table.AddCell(bench_dataset->name());
+    table.AddCell(k);
+    table.AddCell(FormatPercent(exact_cov));
+    table.AddCell(std::to_string(estimated.size()) + " pairs ranked");
+    table.AddCell(FormatPercent(recall));
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpectation: estimate-only recall falls well short of exact "
+      "extraction at the\nsame landmark budget — the reason Algorithm 1 "
+      "spends its budget on exact rows.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Ablation (ours): incremental distance maintenance vs per-window
+// recomputation — the related-work trade-off the paper's budget model
+// sidesteps (paper §2: maintaining distances incrementally vs identifying
+// changed pairs directly).
+//
+// Setup: track l landmark rows across the last windows of the facebook
+// stream. Strategy A recomputes every row per window (2l SSSPs each);
+// strategy B patches the rows per inserted edge (IncrementalDistanceRows).
+// We report wall time and touched-node counts. Expected shape: incremental
+// wins when windows are small relative to the graph (few distances change
+// per event), but it must track EVERY source of interest continuously —
+// whereas the budgeted pipeline re-selects a fresh candidate set per
+// window, which is why the paper treats SSSP as the unit of cost instead.
+
+#include <cstdio>
+
+#include "common/bench_env.h"
+#include "landmark/landmark_selector.h"
+#include "sssp/bfs.h"
+#include "sssp/incremental.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace convpairs;
+using namespace convpairs::bench;
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("Ablation: incremental row maintenance vs recomputation", env);
+
+  auto dataset = MakeDataset("facebook", env.scale, env.seed).value();
+  const TemporalGraph& stream = dataset.temporal;
+  const int l = 10;
+
+  // Landmarks chosen on the 50% snapshot, then maintained to 100%.
+  Graph base = stream.SnapshotAtFraction(0.5);
+  Rng rng(env.seed + 21);
+  BfsEngine engine;
+  LandmarkSelection selection =
+      SelectLandmarks(base, LandmarkPolicy::kMaxMin, l, rng, engine, nullptr);
+
+  TablePrinter table({"strategy", "windows", "SSSP-equivalents", "time ms",
+                      "rows consistent"});
+
+  const std::vector<double> cuts = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+  // Strategy A: recompute all rows at each cut.
+  {
+    Timer timer;
+    int64_t ssp = 0;
+    bool consistent = true;
+    for (size_t c = 1; c < cuts.size(); ++c) {
+      Graph g = stream.SnapshotAtFraction(cuts[c]);
+      for (NodeId landmark : selection.landmarks) {
+        auto dist = BfsDistances(g, landmark);
+        ++ssp;
+        consistent = consistent && dist[landmark] == 0;
+      }
+    }
+    table.StartRow();
+    table.AddCell("recompute");
+    table.AddCell(static_cast<uint64_t>(cuts.size() - 1));
+    table.AddCell(ssp);
+    table.AddCell(timer.Millis(), 1);
+    table.AddCell(consistent ? "yes" : "NO");
+  }
+
+  // Strategy B: initialize once, patch per inserted edge. The evolving
+  // graph is rebuilt per window boundary (snapshot construction is shared
+  // by both strategies and excluded from the comparison where possible).
+  {
+    Timer timer;
+    IncrementalDistanceRows rows(base, selection.landmarks);
+    size_t touched = 0;
+    bool consistent = true;
+    for (size_t c = 1; c < cuts.size(); ++c) {
+      Graph g = stream.SnapshotAtFraction(cuts[c]);
+      for (const Edge& e :
+           stream.EdgesInFractionRange(cuts[c - 1], cuts[c])) {
+        // Patch against the window-final adjacency: correctness only needs
+        // the edge to be present, and insertions are order-independent for
+        // unit weights within a window.
+        if (!g.HasEdge(e.u, e.v)) continue;  // Deduplicated duplicate.
+        touched += rows.ApplyInsertion(g, e.u, e.v);
+      }
+      // Verify against fresh BFS at each window end.
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        consistent = consistent &&
+                     rows.row(r).distances() ==
+                         BfsDistances(g, rows.row(r).source());
+      }
+    }
+    double sssp_equivalents =
+        static_cast<double>(l) +  // Initialization.
+        static_cast<double>(touched) /
+            static_cast<double>(stream.num_nodes());  // Amortized patches.
+    table.StartRow();
+    table.AddCell("incremental");
+    table.AddCell(static_cast<uint64_t>(cuts.size() - 1));
+    table.AddCell(FormatDouble(sssp_equivalents, 1) + " (init " +
+                  std::to_string(l) + " + patches)");
+    table.AddCell(timer.Millis(), 1);
+    table.AddCell(consistent ? "yes" : "NO");
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nNote: the incremental timing above includes the per-window "
+      "verification BFS;\nthe SSSP-equivalents column is the honest cost "
+      "comparison. Incremental\nmaintenance amortizes well but only serves "
+      "FIXED sources; the budgeted pipeline\nre-chooses candidates per "
+      "window, which maintenance cannot do.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Ablations on the design choices DESIGN.md calls out:
+//  1. Landmark count l (the paper fixes l = 10 and reports that more
+//     landmarks "did not improve the performance" — we sweep l).
+//  2. Norm choice (L1 vs L-infinity) at fixed landmark policy.
+//  3. Seed sensitivity: random-landmark policies vs dispersion-based ones
+//     across independent seeds (dispersion should be far more stable).
+
+#include <cstdio>
+
+#include "common/bench_env.h"
+#include "core/selector_registry.h"
+#include "core/selectors/landmark_selectors.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace convpairs;
+using namespace convpairs::bench;
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("Ablations: landmark count, norm choice, seed stability", env);
+
+  auto dataset = MakeDataset("facebook", env.scale, env.seed).value();
+  BenchDataset bench_dataset(std::move(dataset), BenchEngine());
+  ExperimentRunner& runner = bench_dataset.runner();
+  const int offset = 2;
+  const int m = 100;
+
+  // 1. Landmark count sweep.
+  std::printf("\n(1) coverage vs landmark count l (m = %d)\n", m);
+  {
+    const std::vector<int> landmark_counts = {2, 5, 10, 20, 40};
+    std::vector<std::string> headers = {"policy"};
+    for (int l : landmark_counts) headers.push_back("l=" + std::to_string(l));
+    TablePrinter table(headers);
+    for (const char* policy : {"SumDiff", "MMSD", "MASD"}) {
+      auto selector = MakeSelector(policy).value();
+      table.StartRow();
+      table.AddCell(policy);
+      for (int l : landmark_counts) {
+        RunConfig config;
+        config.budget_m = m;
+        config.num_landmarks = l;
+        config.seed = env.seed + 3;
+        table.AddCell(FormatPercent(
+            runner.RunSelector(*selector, offset, config).coverage));
+      }
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf(
+        "Expectation: flat or slightly declining beyond l = 10 (extra "
+        "landmarks eat\ncandidate budget without adding signal) — the "
+        "paper's 'larger l did not improve'.\n");
+  }
+
+  // 2. Norm choice at fixed landmark policy.
+  std::printf("\n(2) L1 (SumDiff) vs L-infinity (MaxDiff) ranking (m = %d)\n",
+              m);
+  {
+    TablePrinter table({"landmark policy", "L1 coverage %", "Linf coverage %"});
+    const char* pairs[][3] = {{"random", "SumDiff", "MaxDiff"},
+                              {"maxmin", "MMSD", "MMMD"},
+                              {"maxavg", "MASD", "MAMD"}};
+    for (const auto& row : pairs) {
+      RunConfig config;
+      config.budget_m = m;
+      config.num_landmarks = 10;
+      config.seed = env.seed + 3;
+      auto l1 = MakeSelector(row[1]).value();
+      auto linf = MakeSelector(row[2]).value();
+      table.StartRow();
+      table.AddCell(row[0]);
+      table.AddCell(FormatPercent(
+          runner.RunSelector(*l1, offset, config).coverage));
+      table.AddCell(FormatPercent(
+          runner.RunSelector(*linf, offset, config).coverage));
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("Expectation: L1 >= Linf for every landmark policy.\n");
+  }
+
+  // 2b. Landmark scheme: where should the probes sit? Run on the harder
+  // dblp analog (facebook saturates at every scheme) with a small budget so
+  // scheme quality is the binding constraint.
+  std::printf(
+      "\n(2b) SumDiff ranking under different landmark schemes "
+      "(dblp, m = 30)\n");
+  {
+    auto dblp = MakeDataset("dblp", env.scale, env.seed).value();
+    BenchDataset dblp_bench(std::move(dblp), BenchEngine());
+    ExperimentRunner& dblp_runner = dblp_bench.runner();
+    TablePrinter table({"landmark scheme", "coverage %"});
+    struct SchemeRow {
+      const char* label;
+      LandmarkPolicy policy;
+    };
+    for (SchemeRow row : {SchemeRow{"random (paper)", LandmarkPolicy::kRandom},
+                          SchemeRow{"high-degree", LandmarkPolicy::kHighDegree},
+                          SchemeRow{"maxmin", LandmarkPolicy::kMaxMin},
+                          SchemeRow{"maxavg", LandmarkPolicy::kMaxAvg}}) {
+      LandmarkDiffSelector selector(/*use_l1_norm=*/true, row.policy);
+      RunConfig config;
+      config.budget_m = 30;
+      config.num_landmarks = 10;
+      config.seed = env.seed + 3;
+      table.StartRow();
+      table.AddCell(row.label);
+      table.AddCell(FormatPercent(
+          dblp_runner.RunSelector(selector, offset, config).coverage));
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf(
+        "Expectation: central (high-degree) landmarks blunt the change "
+        "signal — they are\nalready close to everything; dispersed or random "
+        "probes see larger drops.\n");
+  }
+
+  // 3. Seed stability.
+  std::printf("\n(3) coverage across 8 seeds (m = %d): mean [min, max]\n", m);
+  {
+    TablePrinter table({"policy", "mean %", "min %", "max %"});
+    for (const char* policy : {"SumDiff", "MMSD", "MASD", "Random"}) {
+      auto selector = MakeSelector(policy).value();
+      double sum = 0;
+      double lo = 1.0;
+      double hi = 0.0;
+      const int kSeeds = 8;
+      for (int s = 0; s < kSeeds; ++s) {
+        RunConfig config;
+        config.budget_m = m;
+        config.num_landmarks = 10;
+        config.seed = env.seed + 100 + static_cast<uint64_t>(s);
+        double coverage =
+            runner.RunSelector(*selector, offset, config).coverage;
+        sum += coverage;
+        lo = std::min(lo, coverage);
+        hi = std::max(hi, coverage);
+      }
+      table.StartRow();
+      table.AddCell(policy);
+      table.AddCell(FormatPercent(sum / kSeeds));
+      table.AddCell(FormatPercent(lo));
+      table.AddCell(FormatPercent(hi));
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf(
+        "Expectation: dispersion-seeded hybrids vary little across seeds; "
+        "random-landmark\nand Random policies swing the most.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation (ours): what was the paper's edge-betweenness concession worth?
+//
+// [14]'s IncBet ranks active nodes by edge-importance *estimates* from
+// sampled shortest-path trees; the paper granted it exact betweenness
+// ("giving an advantage to the Incidence algorithm"). We run IncBet with
+// exact Brandes values and with the sampled estimator at several sample
+// sizes, and report coverage at m = 100. Expected: the concession is
+// small — IncBet's weakness is its candidate pool (active nodes), not the
+// precision of the edge scores.
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/incidence.h"
+#include "centrality/sampled_betweenness.h"
+#include "common/bench_env.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace convpairs;
+using namespace convpairs::bench;
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("Ablation: IncBet with exact vs sampled edge betweenness", env);
+
+  const int offset = 1;
+  RunConfig config;
+  config.budget_m = 100;
+  config.num_landmarks = 10;
+  config.seed = env.seed + 1;
+
+  TablePrinter table({"dataset", "variant", "coverage %", "betweenness ms"});
+  for (auto& bench_dataset : LoadPaperDatasets(env)) {
+    ExperimentRunner& runner = bench_dataset->runner();
+    const Dataset& d = bench_dataset->dataset();
+
+    struct Variant {
+      std::string name;
+      std::shared_ptr<const EdgeBetweenness> bet1;
+      std::shared_ptr<const EdgeBetweenness> bet2;
+      double millis;
+    };
+    std::vector<Variant> variants;
+    {
+      Timer timer;
+      variants.push_back({"exact",
+                          std::make_shared<EdgeBetweenness>(
+                              EdgeBetweenness::Compute(d.g1)),
+                          std::make_shared<EdgeBetweenness>(
+                              EdgeBetweenness::Compute(d.g2)),
+                          timer.Millis()});
+    }
+    for (uint32_t samples : {16u, 64u, 256u}) {
+      Timer timer;
+      Rng rng(env.seed + samples);
+      variants.push_back(
+          {"sampled-" + std::to_string(samples),
+           std::make_shared<EdgeBetweenness>(
+               SampledEdgeBetweenness(d.g1, samples, rng)),
+           std::make_shared<EdgeBetweenness>(
+               SampledEdgeBetweenness(d.g2, samples, rng)),
+           timer.Millis()});
+    }
+
+    for (const Variant& variant : variants) {
+      IncBetSelector selector(variant.bet1, variant.bet2);
+      ExperimentResult result = runner.RunSelector(selector, offset, config);
+      table.StartRow();
+      table.AddCell(bench_dataset->name());
+      table.AddCell(variant.name);
+      table.AddCell(FormatPercent(result.coverage));
+      table.AddCell(variant.millis, 1);
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpectation: sampled scores reproduce exact IncBet coverage at a "
+      "fraction of the\ncost — the paper's exactness concession did not "
+      "change the comparison's outcome.\n");
+  return 0;
+}

@@ -1,0 +1,212 @@
+// google-benchmark micro-benchmarks for the substrates: SSSP throughput,
+// Brandes betweenness, greedy cover, landmark selection, generators and the
+// ground-truth engine. These establish the cost model behind the paper's
+// budget unit (one SSSP computation) on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include "centrality/brandes.h"
+#include "centrality/kcore.h"
+#include "centrality/pagerank.h"
+#include "core/ground_truth.h"
+#include "cover/greedy_cover.h"
+#include "graph/binary_io.h"
+#include "sssp/incremental.h"
+#include "gen/ba_generator.h"
+#include "gen/er_generator.h"
+#include "gen/friendship_generator.h"
+#include "landmark/landmark_selector.h"
+#include "sssp/bfs.h"
+#include "sssp/dijkstra.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+Graph MakeBaGraph(uint32_t num_nodes) {
+  Rng rng(7);
+  BaParams params;
+  params.num_nodes = num_nodes;
+  params.edges_per_node = 3;
+  params.uniform_mix = 0.2;
+  return GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+}
+
+void BM_BfsSssp(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  BfsRunner runner(g);
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(src));
+    src = (src + 17) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BfsSssp)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_DijkstraSssp(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  NodeId src = 0;
+  std::vector<Dist> dist;
+  for (auto _ : state) {
+    DijkstraDistances(g, src, &dist);
+    benchmark::DoNotOptimize(dist.data());
+    src = (src + 17) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_DijkstraSssp)->Arg(1000)->Arg(10000);
+
+void BM_GroundTruth(benchmark::State& state) {
+  Rng rng(9);
+  BaParams params;
+  params.num_nodes = static_cast<uint32_t>(state.range(0));
+  params.edges_per_node = 2;
+  params.uniform_mix = 0.3;
+  TemporalGraph tg = GenerateBarabasiAlbert(params, rng);
+  Graph g1 = tg.SnapshotAtFraction(0.8);
+  Graph g2 = tg.SnapshotAtFraction(1.0);
+  BfsEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeGroundTruth(g1, g2, engine, 2));
+  }
+}
+BENCHMARK(BM_GroundTruth)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_EdgeBetweenness(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdgeBetweenness::Compute(g));
+  }
+}
+BENCHMARK(BM_EdgeBetweenness)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyCover(benchmark::State& state) {
+  // Random pair graph with hub structure.
+  Rng rng(11);
+  std::vector<ConvergingPair> pairs;
+  std::set<uint64_t> seen;
+  const int num_pairs = static_cast<int>(state.range(0));
+  while (static_cast<int>(pairs.size()) < num_pairs) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(2000));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(200));  // Hubby side.
+    if (u == v) continue;
+    uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) |
+                   std::max(u, v);
+    if (!seen.insert(key).second) continue;
+    pairs.push_back({std::min(u, v), std::max(u, v), 2});
+  }
+  PairGraph pg(std::move(pairs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyVertexCover(pg));
+  }
+  state.SetItemsProcessed(state.iterations() * num_pairs);
+}
+BENCHMARK(BM_GreedyCover)->Arg(1000)->Arg(10000);
+
+void BM_DispersionSelection(benchmark::State& state) {
+  Graph g = MakeBaGraph(5000);
+  BfsEngine engine;
+  for (auto _ : state) {
+    Rng rng(13);
+    benchmark::DoNotOptimize(SelectLandmarks(
+        g, LandmarkPolicy::kMaxMin, static_cast<uint32_t>(state.range(0)),
+        rng, engine, nullptr));
+  }
+}
+BENCHMARK(BM_DispersionSelection)->Arg(10)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateBa(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(15);
+    BaParams params;
+    params.num_nodes = static_cast<uint32_t>(state.range(0));
+    params.edges_per_node = 2;
+    benchmark::DoNotOptimize(GenerateBarabasiAlbert(params, rng));
+  }
+}
+BENCHMARK(BM_GenerateBa)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateFriendship(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(16);
+    FriendshipParams params;
+    params.num_nodes = static_cast<uint32_t>(state.range(0));
+    params.num_edges = static_cast<uint64_t>(state.range(0)) * 7;
+    benchmark::DoNotOptimize(GenerateFriendship(params, rng));
+  }
+}
+BENCHMARK(BM_GenerateFriendship)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_PageRank(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PageRank(g));
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_CoreNumbers(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoreNumbers(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_CoreNumbers)->Arg(10000)->Arg(50000);
+
+void BM_IncrementalInsertion(benchmark::State& state) {
+  // Cost of patching one maintained row per (mostly redundant) insertion.
+  Graph g = MakeBaGraph(10000);
+  IncrementalBfsRow row(g, 0);
+  auto edges = g.ToEdgeList();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Edge& e = edges[i++ % edges.size()];
+    benchmark::DoNotOptimize(row.ApplyInsertion(g, e.u, e.v));
+  }
+}
+BENCHMARK(BM_IncrementalInsertion);
+
+void BM_BinarySerializeGraph(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeGraph(g));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(SerializeGraph(g).size()));
+}
+BENCHMARK(BM_BinarySerializeGraph)->Arg(10000);
+
+void BM_BinaryDeserializeGraph(benchmark::State& state) {
+  std::string bytes = SerializeGraph(MakeBaGraph(
+      static_cast<uint32_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeserializeGraph(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_BinaryDeserializeGraph)->Arg(10000);
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  Rng rng(17);
+  TemporalGraph tg = GenerateErdosRenyi(
+      {.num_nodes = static_cast<uint32_t>(state.range(0)),
+       .num_edges = static_cast<uint64_t>(state.range(0)) * 4},
+      rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg.SnapshotAtFraction(0.8));
+  }
+}
+BENCHMARK(BM_SnapshotBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace convpairs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Reproduces paper Table 1: SSSP-computation accounting per approach.
+//
+// Paper's analytic split (budget m, l landmarks):
+//   Degree-based      generation 0      extraction 2m        total 2m
+//   Dispersion-based  generation m      extraction m         total 2m
+//   Landmark-based    generation 2l     extraction 2(m-l)    total 2m
+//   Hybrid            generation 2l     extraction 2(m-l)    total 2m
+//   Classification    generation 3*2l   extraction 2(m-3l)   total 2m
+// This bench measures the split empirically with the instrumented
+// SsspBudget on a live dataset and prints measured-vs-analytic.
+
+#include <cstdio>
+
+#include "common/bench_env.h"
+#include "core/selector_registry.h"
+#include "core/selectors/classifier_selector.h"
+#include "core/top_k.h"
+#include "util/table.h"
+
+using namespace convpairs;
+using namespace convpairs::bench;
+
+namespace {
+
+struct PolicyRow {
+  std::string name;
+  int64_t generation;
+  int64_t extraction;
+  int64_t total;
+  size_t candidates;
+};
+
+PolicyRow MeasurePolicy(CandidateSelector& selector, const Graph& g1,
+                        const Graph& g2, int m, int l) {
+  SsspBudget budget(2 * m);
+  Rng rng(3);
+  SelectorContext context;
+  context.g1 = &g1;
+  context.g2 = &g2;
+  context.engine = &BenchEngine();
+  context.budget_m = m;
+  context.num_landmarks = l;
+  context.rng = &rng;
+  context.budget = &budget;
+  CandidateSet candidates = selector.SelectCandidates(context);
+  int64_t generation = budget.used();
+  TopKResult result =
+      ExtractTopKPairs(g1, g2, BenchEngine(), candidates, /*k=*/10, &budget);
+  return {selector.name(), generation, budget.used() - generation,
+          budget.used(), result.candidates.size()};
+}
+
+}  // namespace
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("Table 1: SSSP budget accounting", env);
+  const int m = 100;
+  const int l = 10;
+  std::printf("budget m = %d, landmarks l = %d\n\n", m, l);
+
+  // A mid-size dataset is enough; the accounting is scale-invariant.
+  Dataset dataset = MakeDataset("facebook", std::min(env.scale, 0.25),
+                                env.seed).value();
+
+  TablePrinter table({"policy", "generation", "extraction", "total",
+                      "analytic total", "candidates"});
+  auto add_row = [&](const PolicyRow& row) {
+    table.StartRow();
+    table.AddCell(row.name);
+    table.AddCell(row.generation);
+    table.AddCell(row.extraction);
+    table.AddCell(row.total);
+    table.AddCell(int64_t{2 * m});
+    table.AddCell(static_cast<uint64_t>(row.candidates));
+  };
+
+  for (const std::string& name : SingleFeatureSelectorNames()) {
+    auto selector = MakeSelector(name).value();
+    add_row(MeasurePolicy(*selector, dataset.g1, dataset.g2, m, l));
+  }
+
+  // Classifier: train on the early window, measure on the test window.
+  ClassifierTrainOptions train_options;
+  train_options.features.num_landmarks = l;
+  std::vector<TrainingPair> pairs = {{&dataset.train_g1, &dataset.train_g2}};
+  auto classifier =
+      ConvergenceClassifier::Train(pairs, BenchEngine(), train_options);
+  if (classifier.ok()) {
+    auto shared =
+        std::make_shared<const ConvergenceClassifier>(std::move(*classifier));
+    ClassifierSelector selector("L-Classifier", shared);
+    add_row(MeasurePolicy(selector, dataset.g1, dataset.g2, m, l));
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nEvery policy spends exactly 2m = %d SSSPs; generation column must "
+      "match\n0 / m / 2l=%d / 2l=%d / 6l=%d for degree / dispersion / "
+      "landmark+hybrid / classifier.\n",
+      2 * m, 2 * l, 2 * l, 6 * l);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Table 6: the unbudgeted Incidence algorithm of [14].
+//
+// The original Incidence runs SSSP from EVERY active node (endpoints of new
+// edges). Paper finding: coverage is near-complete, but the active set is a
+// large fraction of the graph — 11.66% of G_t1 for DBLP up to ~66% for
+// Facebook — versus the budgeted policies' <= ~2%. We report |A|, its
+// fraction of the graph, the SSSP cost, the achieved coverage, and the same
+// for Selective Expansion (with exact edge betweenness, bounded rounds).
+
+#include <cstdio>
+
+#include "baseline/incidence.h"
+#include "centrality/brandes.h"
+#include "common/bench_env.h"
+#include "cover/coverage.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace convpairs;
+using namespace convpairs::bench;
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnvironment();
+  PrintHeader("Table 6: unbudgeted Incidence baseline [14]", env);
+
+  const int kBudgetReference = 100;
+  TablePrinter table({"dataset", "|A|", "|A|/n %", "SSSPs", "coverage %",
+                      "SE |A|", "SE coverage %", "budget-m equiv"});
+  for (auto& bench_dataset : LoadPaperDatasets(env)) {
+    ExperimentRunner& runner = bench_dataset->runner();
+    const Dataset& d = bench_dataset->dataset();
+    const int offset = 1;
+    int k = static_cast<int>(runner.KAt(offset));
+
+    TopKResult incidence =
+        RunIncidenceUnbudgeted(d.g1, d.g2, BenchEngine(), k);
+    double coverage =
+        CoverageFraction(runner.PairGraphAt(offset), incidence.candidates);
+    double active_fraction = 100.0 *
+                             static_cast<double>(incidence.candidates.size()) /
+                             static_cast<double>(d.g1.num_active_nodes());
+
+    // Selective Expansion (small datasets only — the paper itself skipped
+    // it for efficiency; we bound it to 2 rounds).
+    std::string se_size = "-";
+    std::string se_cov = "-";
+    if (d.g1.num_active_nodes() <= 3000) {
+      EdgeBetweenness bet2 = EdgeBetweenness::Compute(d.g2);
+      SelectiveExpansionResult se = RunSelectiveExpansion(
+          d.g1, d.g2, BenchEngine(), bet2, k, 0.1, /*max_rounds=*/2);
+      se_size = std::to_string(se.final_active_size);
+      se_cov = FormatPercent(
+          CoverageFraction(runner.PairGraphAt(offset), se.top_k.candidates));
+    }
+
+    table.StartRow();
+    table.AddCell(bench_dataset->name());
+    table.AddCell(static_cast<uint64_t>(incidence.candidates.size()));
+    table.AddCell(FormatPercent(active_fraction / 100.0));
+    table.AddCell(incidence.sssp_used);
+    table.AddCell(FormatPercent(coverage));
+    table.AddCell(se_size);
+    table.AddCell(se_cov);
+    table.AddCell("m=" + std::to_string(kBudgetReference) + " (" +
+                  FormatPercent(static_cast<double>(kBudgetReference) /
+                                d.g1.num_active_nodes()) +
+                  "% of n)");
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check (paper): Incidence reaches near-complete coverage but "
+      "|A| is a large\nfraction of the graph (11%%-66%% on the paper's "
+      "data), orders of magnitude above\nthe m=100 budget the Table 5 "
+      "policies operate under.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+# Benchmark harness: one binary per paper table/figure plus ablations and
+# google-benchmark micro-benchmarks. Binaries land directly in
+# ${CMAKE_BINARY_DIR}/bench so `for b in build/bench/*; do $b; done` runs the
+# full evaluation.
+
+add_library(convpairs_bench_common STATIC bench/common/bench_env.cc)
+target_link_libraries(convpairs_bench_common PUBLIC convpairs)
+target_include_directories(convpairs_bench_common PUBLIC ${PROJECT_SOURCE_DIR}/bench)
+
+function(convpairs_add_bench target source)
+  add_executable(${target} ${source})
+  target_link_libraries(${target} PRIVATE convpairs_bench_common)
+  set_target_properties(${target} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+convpairs_add_bench(bench_table1_budget bench/bench_table1_budget.cc)
+convpairs_add_bench(bench_table2_datasets bench/bench_table2_datasets.cc)
+convpairs_add_bench(bench_table3_pairgraph bench/bench_table3_pairgraph.cc)
+convpairs_add_bench(bench_table5_coverage bench/bench_table5_coverage.cc)
+convpairs_add_bench(bench_table6_incidence bench/bench_table6_incidence.cc)
+convpairs_add_bench(bench_fig1_budget_sweep bench/bench_fig1_budget_sweep.cc)
+convpairs_add_bench(bench_fig2_candidate_quality bench/bench_fig2_candidate_quality.cc)
+convpairs_add_bench(bench_fig3_classifier bench/bench_fig3_classifier.cc)
+convpairs_add_bench(bench_headline_claim bench/bench_headline_claim.cc)
+convpairs_add_bench(bench_ablation_landmarks bench/bench_ablation_landmarks.cc)
+convpairs_add_bench(bench_ablation_centrality bench/bench_ablation_centrality.cc)
+convpairs_add_bench(bench_ablation_estimator bench/bench_ablation_estimator.cc)
+convpairs_add_bench(bench_ablation_models bench/bench_ablation_models.cc)
+convpairs_add_bench(bench_ablation_incremental bench/bench_ablation_incremental.cc)
+convpairs_add_bench(bench_ablation_sampled_bet bench/bench_ablation_sampled_bet.cc)
+convpairs_add_bench(bench_ext_diverging bench/bench_ext_diverging.cc)
+
+add_executable(bench_micro_perf bench/bench_micro_perf.cc)
+target_link_libraries(bench_micro_perf PRIVATE convpairs_bench_common benchmark::benchmark)
+set_target_properties(bench_micro_perf PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,56 @@
+#include "common/bench_env.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace convpairs::bench {
+
+BenchEnv BenchEnv::FromEnvironment() {
+  BenchEnv env;
+  if (const char* scale = std::getenv("CONVPAIRS_SCALE")) {
+    env.scale = std::atof(scale);
+    CONVPAIRS_CHECK_GT(env.scale, 0.0);
+  }
+  if (const char* seed = std::getenv("CONVPAIRS_SEED")) {
+    env.seed = static_cast<uint64_t>(std::atoll(seed));
+  }
+  return env;
+}
+
+BenchDataset::BenchDataset(Dataset dataset, const ShortestPathEngine& engine)
+    : dataset_(std::move(dataset)), engine_(&engine) {}
+
+ExperimentRunner& BenchDataset::runner() {
+  if (runner_ == nullptr) {
+    LOG_INFO << "computing ground truth for '" << dataset_.name << "' ("
+             << dataset_.g1.num_active_nodes() << " nodes)...";
+    runner_ = std::make_unique<ExperimentRunner>(dataset_.g1, dataset_.g2,
+                                                 *engine_, /*gt_depth=*/2);
+  }
+  return *runner_;
+}
+
+const ShortestPathEngine& BenchEngine() {
+  static const BfsEngine engine;
+  return engine;
+}
+
+std::vector<std::unique_ptr<BenchDataset>> LoadPaperDatasets(
+    const BenchEnv& env) {
+  std::vector<std::unique_ptr<BenchDataset>> datasets;
+  for (const std::string& name : DatasetNames()) {
+    datasets.push_back(std::make_unique<BenchDataset>(
+        MakeDataset(name, env.scale, env.seed).value(), BenchEngine()));
+  }
+  return datasets;
+}
+
+void PrintHeader(const std::string& bench_name, const BenchEnv& env) {
+  std::printf("==== %s (scale=%.2f seed=%llu) ====\n", bench_name.c_str(),
+              env.scale, static_cast<unsigned long long>(env.seed));
+}
+
+}  // namespace convpairs::bench

@@ -1,0 +1,61 @@
+// Shared environment for the benchmark harness.
+//
+// Every bench binary reads the same knobs from the environment so the whole
+// evaluation can be scaled up or down in one place:
+//   CONVPAIRS_SCALE  dataset size multiplier (default 1.0; DESIGN.md sizes)
+//   CONVPAIRS_SEED   generator seed          (default 0)
+// and prints results both as an aligned table (for the paper comparison)
+// and, where a figure is being reproduced, as CSV series ready to plot.
+
+#ifndef CONVPAIRS_BENCH_COMMON_BENCH_ENV_H_
+#define CONVPAIRS_BENCH_COMMON_BENCH_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "gen/datasets.h"
+#include "sssp/dijkstra.h"
+
+namespace convpairs::bench {
+
+/// Scale/seed knobs from the environment.
+struct BenchEnv {
+  double scale = 1.0;
+  uint64_t seed = 0;
+
+  static BenchEnv FromEnvironment();
+};
+
+/// One dataset plus its (lazily constructed) experiment runner.
+class BenchDataset {
+ public:
+  BenchDataset(Dataset dataset, const ShortestPathEngine& engine);
+
+  const std::string& name() const { return dataset_.name; }
+  const Dataset& dataset() const { return dataset_; }
+
+  /// Ground truth + pair graphs, computed on first use and cached.
+  ExperimentRunner& runner();
+
+ private:
+  Dataset dataset_;
+  const ShortestPathEngine* engine_;
+  std::unique_ptr<ExperimentRunner> runner_;
+};
+
+/// Loads the four paper datasets at the environment's scale/seed.
+/// The returned objects share the (static-storage) BFS engine.
+std::vector<std::unique_ptr<BenchDataset>> LoadPaperDatasets(
+    const BenchEnv& env);
+
+/// The shared hop-count engine used by all benches.
+const ShortestPathEngine& BenchEngine();
+
+/// Prints the standard bench header (binary name, scale, seed).
+void PrintHeader(const std::string& bench_name, const BenchEnv& env);
+
+}  // namespace convpairs::bench
+
+#endif  // CONVPAIRS_BENCH_COMMON_BENCH_ENV_H_

@@ -1,0 +1,90 @@
+// Candidate protein-protein interactions from converging pairs
+// (paper Section 1).
+//
+// In a protein interaction network, "for two given proteins, the knowledge
+// that they came closer together in the graph makes them candidates for an
+// upcoming interaction", and a protein converging toward many others hints
+// at shared community/function. Complex-discovery experiments arrive in
+// batches (each experiment reveals a small clique of co-complexed
+// proteins), which is exactly the affiliation workload. This example flags
+// (1) the top candidate interaction pairs and (2) proteins that converged
+// toward many partners at once.
+//
+// Run: ./build/examples/protein_interaction [scale]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/selector_registry.h"
+#include "core/top_k.h"
+#include "gen/affiliation_generator.h"
+#include "gen/datasets.h"
+#include "graph/graph_stats.h"
+#include "sssp/dijkstra.h"
+#include "util/rng.h"
+
+using namespace convpairs;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  // Each "experiment" reveals one complex: a clique of 3-6 proteins, with a
+  // steady rate of newly discovered proteins.
+  Rng rng(99);
+  AffiliationParams params;
+  params.num_events = static_cast<uint32_t>(1500 * scale);
+  params.min_team_size = 3;
+  params.max_team_size = 6;
+  params.new_member_prob = 0.4;
+  params.preferential_prob = 0.5;
+  TemporalGraph stream = GenerateAffiliation(params, rng);
+  Dataset dataset = MakeDatasetFromTemporal("ppi", std::move(stream));
+
+  GraphStats stats = ComputeGraphStats(dataset.g2, /*exact_diameter=*/false);
+  std::printf(
+      "Interaction network: %u proteins, %llu known interactions, %u "
+      "components\n",
+      stats.num_nodes, static_cast<unsigned long long>(stats.num_edges),
+      stats.num_components);
+
+  // Budgeted search for the candidate interactions.
+  BfsEngine engine;
+  auto selector = MakeSelector("MASD").value();
+  TopKOptions options;
+  options.k = 25;
+  options.budget_m = 60;
+  options.num_landmarks = 10;
+  options.seed = 5;
+  TopKResult result = FindTopKConvergingPairs(dataset.g1, dataset.g2, engine,
+                                              *selector, options);
+
+  std::printf("\nTop candidate interactions (largest distance collapse):\n");
+  int shown = 0;
+  for (const ConvergingPair& pair : result.pairs) {
+    if (shown++ >= 8) break;
+    std::printf("  proteins %5u and %5u: %d steps closer\n", pair.u, pair.v,
+                pair.delta);
+  }
+
+  // Proteins participating in many converging pairs: likely joining a
+  // functional module (community) rather than a single interaction.
+  std::map<NodeId, int> convergence_count;
+  for (const ConvergingPair& pair : result.pairs) {
+    ++convergence_count[pair.u];
+    ++convergence_count[pair.v];
+  }
+  std::printf("\nProteins converging toward multiple partners:\n");
+  shown = 0;
+  for (const auto& [protein, count] : convergence_count) {
+    if (count < 2) continue;
+    if (shown++ >= 6) break;
+    std::printf(
+        "  protein %5u converged in %d of the top pairs -> candidate module "
+        "member\n",
+        protein, count);
+  }
+  std::printf("\nTotal cost: %lld SSSP computations (budget 2m = %d)\n",
+              static_cast<long long>(result.sssp_used), 2 * options.budget_m);
+  return 0;
+}

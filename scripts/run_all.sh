@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build, run every test and every
+# benchmark, capturing the outputs the repo documents
+# (test_output.txt / bench_output.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

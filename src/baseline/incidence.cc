@@ -1,0 +1,143 @@
+#include "baseline/incidence.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "centrality/degree.h"
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+std::vector<NodeId> ActiveNodes(const Graph& g1, const Graph& g2) {
+  CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
+  std::vector<NodeId> active;
+  for (NodeId u = 0; u < g2.num_nodes(); ++u) {
+    if (g1.degree(u) == 0) continue;  // New in G_t2: no finite G_t1 distance.
+    if (g2.degree(u) == g1.degree(u)) continue;  // Degrees only grow.
+    active.push_back(u);
+  }
+  return active;
+}
+
+TopKResult RunIncidenceUnbudgeted(const Graph& g1, const Graph& g2,
+                                  const ShortestPathEngine& engine, int k) {
+  CandidateSet candidates;
+  candidates.nodes = ActiveNodes(g1, g2);
+  SsspBudget budget;  // Unlimited: this is the expensive baseline.
+  TopKResult result = ExtractTopKPairs(g1, g2, engine, candidates, k, &budget);
+  result.sssp_used = budget.used();
+  return result;
+}
+
+SelectiveExpansionResult RunSelectiveExpansion(
+    const Graph& g1, const Graph& g2, const ShortestPathEngine& engine,
+    const EdgeBetweenness& betweenness_g2, int k,
+    double important_edge_fraction, int max_rounds) {
+  CONVPAIRS_CHECK_GT(important_edge_fraction, 0.0);
+  // Importance threshold: the top fraction of G_t2 edge betweenness scores.
+  std::vector<double> all_scores;
+  all_scores.reserve(g2.num_edges());
+  for (const Edge& e : g2.ToEdgeList()) {
+    all_scores.push_back(betweenness_g2.Get(e.u, e.v));
+  }
+  double threshold = 0.0;
+  if (!all_scores.empty()) {
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(all_scores.size()) *
+                               important_edge_fraction));
+    std::nth_element(all_scores.begin(), all_scores.begin() + (keep - 1),
+                     all_scores.end(), std::greater<>());
+    threshold = all_scores[keep - 1];
+  }
+
+  std::unordered_set<NodeId> active_set;
+  for (NodeId u : ActiveNodes(g1, g2)) active_set.insert(u);
+
+  SelectiveExpansionResult result;
+  SsspBudget budget;
+  std::unordered_set<uint64_t> previous_pairs;
+  for (int round = 0; round < max_rounds; ++round) {
+    ++result.rounds;
+    CandidateSet candidates;
+    candidates.nodes.assign(active_set.begin(), active_set.end());
+    std::sort(candidates.nodes.begin(), candidates.nodes.end());
+    result.top_k = ExtractTopKPairs(g1, g2, engine, candidates, k, &budget);
+
+    std::unordered_set<uint64_t> current_pairs;
+    for (const ConvergingPair& p : result.top_k.pairs) {
+      current_pairs.insert(PairKey(p.u, p.v));
+    }
+    bool stable = current_pairs == previous_pairs;
+    previous_pairs = std::move(current_pairs);
+
+    // Expand: neighbors (in G_t2) of current candidates reached over
+    // important edges, if they exist in G_t1.
+    size_t before = active_set.size();
+    if (!stable) {
+      std::vector<NodeId> frontier(active_set.begin(), active_set.end());
+      for (NodeId u : frontier) {
+        for (NodeId v : g2.neighbors(u)) {
+          if (g1.degree(v) == 0) continue;
+          if (betweenness_g2.Get(u, v) >= threshold) active_set.insert(v);
+        }
+      }
+    }
+    if (stable || active_set.size() == before) break;
+  }
+  result.top_k.sssp_used = budget.used();
+  result.final_active_size = active_set.size();
+  return result;
+}
+
+CandidateSet IncDegSelector::SelectCandidates(SelectorContext& context) {
+  std::vector<NodeId> active = ActiveNodes(*context.g1, *context.g2);
+  std::vector<double> diff = DegreeDiffScores(*context.g1, *context.g2);
+  std::sort(active.begin(), active.end(), [&diff](NodeId a, NodeId b) {
+    if (diff[a] != diff[b]) return diff[a] > diff[b];
+    return a < b;
+  });
+  if (active.size() > static_cast<size_t>(context.budget_m)) {
+    active.resize(static_cast<size_t>(context.budget_m));
+  }
+  CandidateSet result;
+  result.nodes = std::move(active);
+  return result;
+}
+
+IncBetSelector::IncBetSelector(
+    std::shared_ptr<const EdgeBetweenness> betweenness_g1,
+    std::shared_ptr<const EdgeBetweenness> betweenness_g2)
+    : betweenness_g1_(std::move(betweenness_g1)),
+      betweenness_g2_(std::move(betweenness_g2)) {
+  CONVPAIRS_CHECK(betweenness_g1_ != nullptr);
+  CONVPAIRS_CHECK(betweenness_g2_ != nullptr);
+}
+
+CandidateSet IncBetSelector::SelectCandidates(SelectorContext& context) {
+  std::vector<NodeId> active = ActiveNodes(*context.g1, *context.g2);
+  std::vector<double> score(context.g1->num_nodes(), 0.0);
+  for (NodeId u : active) {
+    score[u] = betweenness_g2_->IncidentSum(*context.g2, u) -
+               betweenness_g1_->IncidentSum(*context.g1, u);
+  }
+  std::sort(active.begin(), active.end(), [&score](NodeId a, NodeId b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+  if (active.size() > static_cast<size_t>(context.budget_m)) {
+    active.resize(static_cast<size_t>(context.budget_m));
+  }
+  CandidateSet result;
+  result.nodes = std::move(active);
+  return result;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,131 @@
+#include "centrality/brandes.h"
+
+#include <mutex>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace convpairs {
+namespace {
+
+// One Brandes source sweep: BFS with path counting, then reverse-order
+// dependency accumulation. `edge_delta`, when non-null, receives per-edge
+// contributions; `node_delta`, when non-null, receives per-node ones.
+struct BrandesWorkspace {
+  std::vector<Dist> dist;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<NodeId> order;
+
+  void Run(const Graph& g, NodeId s,
+           std::unordered_map<uint64_t, double>* edge_delta,
+           std::vector<double>* node_delta) {
+    const NodeId n = g.num_nodes();
+    dist.assign(n, kInfDist);
+    sigma.assign(n, 0.0);
+    delta.assign(n, 0.0);
+    order.clear();
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    order.push_back(s);
+    for (size_t head = 0; head < order.size(); ++head) {
+      NodeId u = order[head];
+      Dist next = dist[u] + 1;
+      for (NodeId v : g.neighbors(u)) {
+        if (dist[v] == kInfDist) {
+          dist[v] = next;
+          order.push_back(v);
+        }
+        if (dist[v] == next) sigma[v] += sigma[u];
+      }
+    }
+    for (size_t i = order.size(); i-- > 0;) {
+      NodeId w = order[i];
+      for (NodeId v : g.neighbors(w)) {
+        if (dist[v] + 1 != dist[w]) continue;  // v is not a predecessor of w.
+        double contribution = sigma[v] / sigma[w] * (1.0 + delta[w]);
+        delta[v] += contribution;
+        if (edge_delta != nullptr) {
+          (*edge_delta)[EdgeBetweenness::EdgeKey(v, w)] += contribution;
+        }
+      }
+      if (node_delta != nullptr && w != s) (*node_delta)[w] += delta[w];
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> NodeBetweenness(const Graph& g, int num_threads) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> total(n, 0.0);
+  std::mutex merge_mutex;
+  ParallelForBlocks(
+      n,
+      [&](int /*thread_index*/, size_t begin, size_t end) {
+        BrandesWorkspace ws;
+        std::vector<double> local(n, 0.0);
+        for (size_t s = begin; s < end; ++s) {
+          ws.Run(g, static_cast<NodeId>(s), nullptr, &local);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (NodeId u = 0; u < n; ++u) total[u] += local[u];
+      },
+      num_threads);
+  // Each unordered pair contributes from both endpoints as sources.
+  for (double& score : total) score /= 2.0;
+  return total;
+}
+
+uint64_t EdgeBetweenness::EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+EdgeBetweenness EdgeBetweenness::FromScores(
+    std::unordered_map<uint64_t, double> map) {
+  EdgeBetweenness result;
+  result.scores_ = std::move(map);
+  return result;
+}
+
+void AccumulateEdgeDependencies(
+    const Graph& g, NodeId s,
+    std::unordered_map<uint64_t, double>* edge_delta) {
+  BrandesWorkspace ws;
+  ws.Run(g, s, edge_delta, nullptr);
+}
+
+EdgeBetweenness EdgeBetweenness::Compute(const Graph& g, int num_threads) {
+  EdgeBetweenness result;
+  std::mutex merge_mutex;
+  ParallelForBlocks(
+      g.num_nodes(),
+      [&](int /*thread_index*/, size_t begin, size_t end) {
+        BrandesWorkspace ws;
+        std::unordered_map<uint64_t, double> local;
+        local.reserve(g.num_edges());
+        for (size_t s = begin; s < end; ++s) {
+          ws.Run(g, static_cast<NodeId>(s), &local, nullptr);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (const auto& [key, value] : local) result.scores_[key] += value;
+      },
+      num_threads);
+  for (auto& [key, value] : result.scores_) value /= 2.0;
+  return result;
+}
+
+double EdgeBetweenness::Get(NodeId u, NodeId v) const {
+  auto it = scores_.find(EdgeKey(u, v));
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+double EdgeBetweenness::IncidentSum(const Graph& g, NodeId u) const {
+  double sum = 0.0;
+  for (NodeId v : g.neighbors(u)) sum += Get(u, v);
+  return sum;
+}
+
+}  // namespace convpairs

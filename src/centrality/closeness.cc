@@ -1,0 +1,28 @@
+#include "centrality/closeness.h"
+
+#include "sssp/bfs.h"
+#include "util/parallel.h"
+
+namespace convpairs {
+
+std::vector<double> HarmonicCloseness(const Graph& g, int num_threads) {
+  std::vector<double> closeness(g.num_nodes(), 0.0);
+  ParallelForBlocks(
+      g.num_nodes(),
+      [&](int /*thread_index*/, size_t begin, size_t end) {
+        BfsRunner bfs(g);
+        for (size_t u = begin; u < end; ++u) {
+          const std::vector<Dist>& dist = bfs.Run(static_cast<NodeId>(u));
+          double sum = 0.0;
+          for (NodeId v = 0; v < g.num_nodes(); ++v) {
+            if (v == u || !IsReachable(dist[v])) continue;
+            sum += 1.0 / static_cast<double>(dist[v]);
+          }
+          closeness[u] = sum;
+        }
+      },
+      num_threads);
+  return closeness;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,20 @@
+// Closeness centrality (harmonic variant) — used by the ablation benches to
+// contrast centrality notions and available as an extra classifier feature.
+
+#ifndef CONVPAIRS_CENTRALITY_CLOSENESS_H_
+#define CONVPAIRS_CENTRALITY_CLOSENESS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace convpairs {
+
+/// Harmonic closeness: C(u) = sum_{v != u, reachable} 1 / d(u, v).
+/// Well-defined on disconnected graphs (unreachable pairs contribute 0).
+/// O(n m); intended for evaluation-scale graphs, not the budgeted pipeline.
+std::vector<double> HarmonicCloseness(const Graph& g, int num_threads = 0);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CENTRALITY_CLOSENESS_H_

@@ -1,0 +1,51 @@
+#include "centrality/degree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+std::vector<double> DegreeScores(const Graph& g1) {
+  std::vector<double> scores(g1.num_nodes());
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) scores[u] = g1.degree(u);
+  return scores;
+}
+
+std::vector<double> DegreeDiffScores(const Graph& g1, const Graph& g2) {
+  CONVPAIRS_CHECK_LE(g1.num_nodes(), g2.num_nodes());
+  std::vector<double> scores(g2.num_nodes());
+  for (NodeId u = 0; u < g2.num_nodes(); ++u) {
+    double d1 = u < g1.num_nodes() ? g1.degree(u) : 0.0;
+    scores[u] = g2.degree(u) - d1;
+  }
+  return scores;
+}
+
+std::vector<double> DegreeRelScores(const Graph& g1, const Graph& g2) {
+  CONVPAIRS_CHECK_LE(g1.num_nodes(), g2.num_nodes());
+  std::vector<double> scores(g2.num_nodes());
+  for (NodeId u = 0; u < g2.num_nodes(); ++u) {
+    double d1 = u < g1.num_nodes() ? g1.degree(u) : 0.0;
+    double denom = d1 > 0 ? d1 : 1.0;
+    scores[u] = (g2.degree(u) - d1) / denom;
+  }
+  return scores;
+}
+
+std::vector<NodeId> TopKByScore(const std::vector<double>& scores,
+                                size_t count) {
+  count = std::min(count, scores.size());
+  std::vector<NodeId> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<NodeId>(i);
+  std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(count);
+  return order;
+}
+
+}  // namespace convpairs

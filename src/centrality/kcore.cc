@@ -1,0 +1,62 @@
+#include "centrality/kcore.h"
+
+#include <algorithm>
+
+namespace convpairs {
+
+std::vector<uint32_t> CoreNumbers(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    degree[u] = g.degree(u);
+    max_degree = std::max(max_degree, degree[u]);
+  }
+
+  // Bucket sort nodes by current degree (Matula-Beck / Batagelj-Zaversnik).
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (NodeId u = 0; u < n; ++u) ++bucket_start[degree[u] + 1];
+  for (uint32_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);        // Nodes sorted by degree.
+  std::vector<uint32_t> position(n);   // Node -> index in `order`.
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      position[u] = cursor[degree[u]];
+      order[position[u]] = u;
+      ++cursor[degree[u]];
+    }
+  }
+
+  std::vector<uint32_t> core(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    NodeId u = order[i];
+    core[u] = degree[u];
+    for (NodeId v : g.neighbors(u)) {
+      if (degree[v] <= degree[u]) continue;
+      // Move v one bucket down: swap it with the first node of its bucket.
+      uint32_t v_pos = position[v];
+      uint32_t bucket_first_pos = bucket_start[degree[v]];
+      NodeId bucket_first = order[bucket_first_pos];
+      if (v != bucket_first) {
+        std::swap(order[v_pos], order[bucket_first_pos]);
+        position[v] = bucket_first_pos;
+        position[bucket_first] = v_pos;
+      }
+      ++bucket_start[degree[v]];
+      --degree[v];
+    }
+  }
+  return core;
+}
+
+uint32_t Degeneracy(const Graph& g) {
+  uint32_t degeneracy = 0;
+  for (uint32_t core : CoreNumbers(g)) degeneracy = std::max(degeneracy, core);
+  return degeneracy;
+}
+
+}  // namespace convpairs

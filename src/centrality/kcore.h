@@ -1,0 +1,28 @@
+// k-core decomposition (Matula–Beck peeling, O(n + m)).
+//
+// The core number of a node — the largest k such that the node survives in
+// the k-core — is a robust "how embedded is this node" signal, cheaper than
+// betweenness and less hub-skewed than degree. Exposed as an optional
+// classifier feature and used by the centrality ablation (core-periphery
+// position correlates with convergence: peripheral, low-core nodes are the
+// ones with room to converge).
+
+#ifndef CONVPAIRS_CENTRALITY_KCORE_H_
+#define CONVPAIRS_CENTRALITY_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace convpairs {
+
+/// Core number per node (0 for isolated nodes).
+std::vector<uint32_t> CoreNumbers(const Graph& g);
+
+/// Largest k with a non-empty k-core (the graph's degeneracy).
+uint32_t Degeneracy(const Graph& g);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CENTRALITY_KCORE_H_

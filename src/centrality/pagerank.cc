@@ -1,0 +1,40 @@
+#include "centrality/pagerank.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+std::vector<double> PageRank(const Graph& g, const PageRankOptions& options) {
+  CONVPAIRS_CHECK_GT(options.damping, 0.0);
+  CONVPAIRS_CHECK_LT(options.damping, 1.0);
+  const NodeId n = g.num_nodes();
+  if (n == 0) return {};
+
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  const double teleport = (1.0 - options.damping) / n;
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    double dangling_mass = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (g.degree(u) == 0) dangling_mass += rank[u];
+    }
+    double base = teleport + options.damping * dangling_mass / n;
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId u = 0; u < n; ++u) {
+      uint32_t deg = g.degree(u);
+      if (deg == 0) continue;
+      double share = options.damping * rank[u] / deg;
+      for (NodeId v : g.neighbors(u)) next[v] += share;
+    }
+    double change = 0.0;
+    for (NodeId u = 0; u < n; ++u) change += std::abs(next[u] - rank[u]);
+    rank.swap(next);
+    if (change < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,32 @@
+// PageRank centrality (power iteration) — an additional centrality axis for
+// the selector ablations and classifier features. The paper's centrality
+// policies use degree only; PageRank lets the ablation bench test whether a
+// smarter notion of centrality rescues the centrality family (it does not:
+// central nodes are already close to everything, the same failure mode as
+// degree).
+
+#ifndef CONVPAIRS_CENTRALITY_PAGERANK_H_
+#define CONVPAIRS_CENTRALITY_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace convpairs {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 100;
+  /// Stop when the L1 change between iterations drops below this.
+  double tolerance = 1e-9;
+};
+
+/// PageRank scores (sum to 1 over all nodes). Isolated nodes receive the
+/// teleport mass only; dangling mass is redistributed uniformly. On an
+/// undirected graph this converges near the degree distribution but differs
+/// enough on hub-adjacent nodes to be a distinct feature.
+std::vector<double> PageRank(const Graph& g, const PageRankOptions& options = {});
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CENTRALITY_PAGERANK_H_

@@ -1,0 +1,30 @@
+#include "centrality/sampled_betweenness.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+EdgeBetweenness SampledEdgeBetweenness(const Graph& g, uint32_t num_samples,
+                                       Rng& rng) {
+  CONVPAIRS_CHECK_GT(num_samples, 0u);
+  const NodeId n = g.num_nodes();
+  num_samples = std::min<uint32_t>(num_samples, n);
+  std::vector<uint32_t> sources =
+      rng.SampleWithoutReplacement(n, num_samples);
+
+  std::unordered_map<uint64_t, double> scores;
+  scores.reserve(g.num_edges());
+  for (uint32_t source : sources) {
+    AccumulateEdgeDependencies(g, static_cast<NodeId>(source), &scores);
+  }
+  // Exact betweenness sums over ALL sources and halves (each unordered pair
+  // counted from both endpoints); rescale the sample accordingly.
+  double scale =
+      static_cast<double>(n) / (2.0 * static_cast<double>(num_samples));
+  for (auto& [key, value] : scores) value *= scale;
+  return EdgeBetweenness::FromScores(std::move(scores));
+}
+
+}  // namespace convpairs

@@ -1,0 +1,222 @@
+#include "core/diverging.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "landmark/landmark_features.h"
+#include "landmark/landmark_selector.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace convpairs {
+
+uint64_t DivergingGroundTruth::CountAtLeast(Dist delta) const {
+  uint64_t count = 0;
+  for (size_t d = static_cast<size_t>(std::max<Dist>(delta, 0));
+       d < histogram_.size(); ++d) {
+    count += histogram_[d];
+  }
+  return count;
+}
+
+std::vector<ConvergingPair> DivergingGroundTruth::PairsAtLeast(
+    Dist delta) const {
+  CONVPAIRS_CHECK_GE(delta, 1);
+  CONVPAIRS_CHECK_GE(delta, stored_min_delta_);
+  std::vector<ConvergingPair> out;
+  for (const ConvergingPair& p : top_pairs_) {
+    if (p.delta >= delta) out.push_back(p);
+  }
+  return out;
+}
+
+Dist DivergingGroundTruth::DeltaThreshold(int offset) const {
+  return std::max<Dist>(1, max_divergence_ - static_cast<Dist>(offset));
+}
+
+DivergingGroundTruth ComputeDivergingGroundTruth(
+    const Graph& g1, const Graph& g2, const ShortestPathEngine& engine,
+    int depth, int num_threads) {
+  CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
+  CONVPAIRS_CHECK_GE(depth, 0);
+  const NodeId n = g1.num_nodes();
+
+  DivergingGroundTruth gt;
+  std::mutex merge_mutex;
+
+  ParallelForBlocks(
+      n,
+      [&](int /*thread_index*/, size_t begin, size_t end) {
+        std::vector<Dist> d1;
+        std::vector<Dist> d2;
+        std::vector<uint64_t> local_hist;
+        uint64_t local_broken = 0;
+        uint64_t local_surviving = 0;
+        for (size_t src = begin; src < end; ++src) {
+          NodeId u = static_cast<NodeId>(src);
+          if (g1.degree(u) == 0) continue;
+          engine.Distances(g1, u, &d1, nullptr);
+          engine.Distances(g2, u, &d2, nullptr);
+          for (NodeId v = u + 1; v < n; ++v) {
+            if (!IsReachable(d1[v])) continue;
+            if (!IsReachable(d2[v])) {
+              ++local_broken;
+              continue;
+            }
+            ++local_surviving;
+            Dist divergence = std::max(0, d2[v] - d1[v]);
+            if (static_cast<size_t>(divergence) >= local_hist.size()) {
+              local_hist.resize(static_cast<size_t>(divergence) + 1, 0);
+            }
+            ++local_hist[static_cast<size_t>(divergence)];
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        if (local_hist.size() > gt.histogram_.size()) {
+          gt.histogram_.resize(local_hist.size(), 0);
+        }
+        for (size_t d = 0; d < local_hist.size(); ++d) {
+          gt.histogram_[d] += local_hist[d];
+        }
+        gt.broken_pairs_ += local_broken;
+        gt.surviving_pairs_ += local_surviving;
+      },
+      num_threads);
+
+  gt.max_divergence_ = 0;
+  for (size_t d = gt.histogram_.size(); d-- > 0;) {
+    if (gt.histogram_[d] > 0) {
+      gt.max_divergence_ = static_cast<Dist>(d);
+      break;
+    }
+  }
+  gt.stored_min_delta_ = std::max<Dist>(1, gt.max_divergence_ - depth);
+  if (gt.max_divergence_ == 0) return gt;
+
+  ParallelForBlocks(
+      n,
+      [&](int /*thread_index*/, size_t begin, size_t end) {
+        std::vector<Dist> d1;
+        std::vector<Dist> d2;
+        std::vector<ConvergingPair> local_pairs;
+        for (size_t src = begin; src < end; ++src) {
+          NodeId u = static_cast<NodeId>(src);
+          if (g1.degree(u) == 0) continue;
+          engine.Distances(g1, u, &d1, nullptr);
+          engine.Distances(g2, u, &d2, nullptr);
+          for (NodeId v = u + 1; v < n; ++v) {
+            if (!IsReachable(d1[v]) || !IsReachable(d2[v])) continue;
+            Dist divergence = d2[v] - d1[v];
+            if (divergence >= gt.stored_min_delta_) {
+              local_pairs.push_back({u, v, divergence});
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        gt.top_pairs_.insert(gt.top_pairs_.end(), local_pairs.begin(),
+                             local_pairs.end());
+      },
+      num_threads);
+
+  std::sort(gt.top_pairs_.begin(), gt.top_pairs_.end(),
+            [](const ConvergingPair& a, const ConvergingPair& b) {
+              if (a.delta != b.delta) return a.delta > b.delta;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  return gt;
+}
+
+TopKResult ExtractTopKDivergingPairs(const Graph& g1, const Graph& g2,
+                                     const ShortestPathEngine& engine,
+                                     const CandidateSet& candidate_set, int k,
+                                     SsspBudget* budget) {
+  CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
+  CONVPAIRS_CHECK_GE(k, 0);
+  const NodeId n = g1.num_nodes();
+
+  TopKResult result;
+  result.candidates = candidate_set.nodes;
+
+  std::vector<bool> is_candidate(n, false);
+  for (NodeId c : candidate_set.nodes) is_candidate[c] = true;
+
+  std::unordered_map<NodeId, size_t> reuse_g1;
+  for (size_t i = 0; i < candidate_set.g1_rows.sources().size(); ++i) {
+    reuse_g1.emplace(candidate_set.g1_rows.sources()[i], i);
+  }
+  std::unordered_map<NodeId, size_t> reuse_g2;
+  for (size_t i = 0; i < candidate_set.g2_rows.sources().size(); ++i) {
+    reuse_g2.emplace(candidate_set.g2_rows.sources()[i], i);
+  }
+
+  std::vector<ConvergingPair> found;
+  std::vector<Dist> d1_owned;
+  std::vector<Dist> d2_owned;
+  for (NodeId c : candidate_set.nodes) {
+    std::span<const Dist> d1;
+    if (auto it = reuse_g1.find(c); it != reuse_g1.end()) {
+      d1 = candidate_set.g1_rows.row(it->second);
+    } else {
+      engine.Distances(g1, c, &d1_owned, budget);
+      d1 = d1_owned;
+    }
+    std::span<const Dist> d2;
+    if (auto it = reuse_g2.find(c); it != reuse_g2.end()) {
+      d2 = candidate_set.g2_rows.row(it->second);
+    } else {
+      engine.Distances(g2, c, &d2_owned, budget);
+      d2 = d2_owned;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == c || !IsReachable(d1[v]) || !IsReachable(d2[v])) continue;
+      if (is_candidate[v] && v < c) continue;
+      Dist divergence = d2[v] - d1[v];
+      if (divergence <= 0) continue;
+      found.push_back({std::min(c, v), std::max(c, v), divergence});
+    }
+  }
+  size_t keep = std::min<size_t>(static_cast<size_t>(k), found.size());
+  std::partial_sort(found.begin(), found.begin() + keep, found.end(),
+                    [](const ConvergingPair& a, const ConvergingPair& b) {
+                      if (a.delta != b.delta) return a.delta > b.delta;
+                      if (a.u != b.u) return a.u < b.u;
+                      return a.v < b.v;
+                    });
+  found.resize(keep);
+  result.pairs = std::move(found);
+  if (budget != nullptr) result.sssp_used = budget->used();
+  return result;
+}
+
+CandidateSet DivergingLandmarkSelector::SelectCandidates(
+    SelectorContext& context) {
+  CandidateSet result;
+  int l = std::min(context.num_landmarks, context.budget_m);
+  int candidate_budget = context.budget_m - l;
+  if (l == 0 || candidate_budget <= 0) return result;
+
+  LandmarkSelection selection = SelectLandmarks(
+      *context.g1, LandmarkPolicy::kMaxMin, static_cast<uint32_t>(l),
+      *context.rng, *context.engine, context.budget);
+  if (selection.landmarks.empty()) return result;
+
+  DistanceMatrix dl2 = DistanceMatrix::Build(
+      *context.g2, selection.landmarks, *context.engine, context.budget);
+  LandmarkChangeNorms norms =
+      ComputeLandmarkIncreaseNorms(selection.g1_rows, dl2);
+
+  result.nodes = TopActiveByScore(*context.g1,
+                                  use_l1_ ? norms.l1 : norms.linf,
+                                  static_cast<size_t>(candidate_budget),
+                                  selection.landmarks);
+  for (NodeId landmark : selection.landmarks) {
+    result.nodes.push_back(landmark);
+  }
+  result.g1_rows = std::move(selection.g1_rows);
+  result.g2_rows = std::move(dl2);
+  return result;
+}
+
+}  // namespace convpairs

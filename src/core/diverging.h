@@ -1,0 +1,95 @@
+// Diverging pairs: the deletion-side mirror of the paper's problem
+// (DESIGN.md §6, the paper's future-work direction).
+//
+// Once edges can be deleted, distances can grow. For two snapshots G_t1,
+// G_t2 of a DynamicGraphStream, the top-k *diverging* pairs are the pairs
+// connected in BOTH snapshots whose distance increased the most
+// (DeltaDiv(u,v) = d_t2(u,v) - d_t1(u,v)); pairs connected in G_t1 but
+// disconnected in G_t2 are reported separately as *broken* pairs (their
+// divergence is infinite). The budget model, the pair-graph/cover
+// formulation, and the landmark machinery all carry over with the sign
+// flipped.
+
+#ifndef CONVPAIRS_CORE_DIVERGING_H_
+#define CONVPAIRS_CORE_DIVERGING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/selector.h"
+#include "core/top_k.h"
+#include "graph/graph.h"
+#include "sssp/dijkstra.h"
+
+namespace convpairs {
+
+/// Exact divergence distribution between two snapshots (quadratic; for
+/// evaluation only, like core/ground_truth.h).
+class DivergingGroundTruth {
+ public:
+  /// Largest finite distance increase.
+  Dist max_divergence() const { return max_divergence_; }
+
+  /// Pairs connected in G_t1 but not in G_t2 (infinite divergence).
+  uint64_t broken_pairs() const { return broken_pairs_; }
+
+  /// Pairs connected in both snapshots.
+  uint64_t surviving_pairs() const { return surviving_pairs_; }
+
+  /// Number of surviving pairs with divergence >= `delta`.
+  uint64_t CountAtLeast(Dist delta) const;
+
+  /// All surviving pairs with divergence >= `delta` (requires delta within
+  /// the stored depth and >= 1), sorted worst-diverged first.
+  std::vector<ConvergingPair> PairsAtLeast(Dist delta) const;
+
+  /// δ = max divergence - offset, floored at 1.
+  Dist DeltaThreshold(int offset) const;
+
+  Dist stored_min_delta() const { return stored_min_delta_; }
+
+ private:
+  friend DivergingGroundTruth ComputeDivergingGroundTruth(
+      const Graph&, const Graph&, const ShortestPathEngine&, int, int);
+
+  Dist max_divergence_ = 0;
+  Dist stored_min_delta_ = 0;
+  uint64_t broken_pairs_ = 0;
+  uint64_t surviving_pairs_ = 0;
+  std::vector<uint64_t> histogram_;
+  std::vector<ConvergingPair> top_pairs_;  // delta = divergence
+};
+
+/// Two-pass streamed computation, mirroring ComputeGroundTruth.
+DivergingGroundTruth ComputeDivergingGroundTruth(
+    const Graph& g1, const Graph& g2, const ShortestPathEngine& engine,
+    int depth = 2, int num_threads = 0);
+
+/// Budgeted extraction of the top-k diverging pairs covered by a candidate
+/// set: the sign-flipped ExtractTopKPairs (pairs must be connected in both
+/// snapshots; delta = d2 - d1 > 0).
+TopKResult ExtractTopKDivergingPairs(const Graph& g1, const Graph& g2,
+                                     const ShortestPathEngine& engine,
+                                     const CandidateSet& candidate_set, int k,
+                                     SsspBudget* budget);
+
+/// "DivSumDiff" / "DivMaxDiff": landmark-based diverging-candidate
+/// selection — rank nodes by the L1 / L-infinity norm of their landmark
+/// distance INCREASE vector. Landmark selection uses MaxMin dispersion in
+/// G_t1 (rows reused, same 2m budget split as the converging hybrids).
+class DivergingLandmarkSelector final : public CandidateSelector {
+ public:
+  explicit DivergingLandmarkSelector(bool use_l1_norm) : use_l1_(use_l1_norm) {}
+
+  std::string name() const override {
+    return use_l1_ ? "DivSumDiff" : "DivMaxDiff";
+  }
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+
+ private:
+  bool use_l1_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_DIVERGING_H_

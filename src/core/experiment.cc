@@ -1,0 +1,100 @@
+#include "core/experiment.h"
+
+#include <unordered_set>
+
+#include "cover/coverage.h"
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(const Graph& g1, const Graph& g2,
+                                   const ShortestPathEngine& engine,
+                                   int gt_depth)
+    : g1_(&g1),
+      g2_(&g2),
+      engine_(&engine),
+      gt_depth_(gt_depth),
+      ground_truth_(ComputeGroundTruth(g1, g2, engine, gt_depth)) {}
+
+Dist ExperimentRunner::ThresholdAt(int offset) const {
+  CONVPAIRS_CHECK_GE(offset, 0);
+  CONVPAIRS_CHECK_LE(offset, gt_depth_);
+  return ground_truth_.DeltaThreshold(offset);
+}
+
+uint64_t ExperimentRunner::KAt(int offset) const {
+  return ground_truth_.CountAtLeast(ThresholdAt(offset));
+}
+
+ExperimentRunner::ThresholdArtifacts& ExperimentRunner::ArtifactsAt(
+    int offset) {
+  auto [it, inserted] = artifacts_.try_emplace(offset);
+  if (inserted) {
+    it->second.pair_graph = std::make_unique<PairGraph>(
+        ground_truth_.PairsAtLeast(ThresholdAt(offset)));
+    it->second.cover =
+        std::make_unique<CoverResult>(GreedyVertexCover(*it->second.pair_graph));
+  }
+  return it->second;
+}
+
+const PairGraph& ExperimentRunner::PairGraphAt(int offset) {
+  return *ArtifactsAt(offset).pair_graph;
+}
+
+const CoverResult& ExperimentRunner::GreedyCoverAt(int offset) {
+  return *ArtifactsAt(offset).cover;
+}
+
+ExperimentResult ExperimentRunner::RunSelector(CandidateSelector& selector,
+                                               int offset,
+                                               const RunConfig& config) {
+  const PairGraph& pair_graph = PairGraphAt(offset);
+  const CoverResult& cover = GreedyCoverAt(offset);
+
+  TopKOptions options;
+  options.k = static_cast<int>(KAt(offset));
+  options.budget_m = config.budget_m;
+  options.num_landmarks = config.num_landmarks;
+  options.seed = config.seed;
+  TopKResult top_k =
+      FindTopKConvergingPairs(*g1_, *g2_, *engine_, selector, options);
+
+  ExperimentResult result;
+  result.selector_name = selector.name();
+  result.threshold = ThresholdAt(offset);
+  result.k = KAt(offset);
+  result.num_candidates = top_k.candidates.size();
+  result.sssp_used = top_k.sssp_used;
+  result.coverage = CoverageFraction(pair_graph, top_k.candidates);
+  result.endpoint_hit_rate = EndpointHitRate(pair_graph, top_k.candidates);
+  result.cover_hit_rate = SetHitRate(cover.nodes, top_k.candidates);
+
+  // End-to-end retrieval check: how many true pairs actually appear in the
+  // returned top-k list.
+  std::unordered_set<uint64_t> truth;
+  truth.reserve(pair_graph.num_pairs() * 2);
+  for (const ConvergingPair& p : pair_graph.pairs()) {
+    truth.insert(PairKey(p.u, p.v));
+  }
+  uint64_t retrieved = 0;
+  for (const ConvergingPair& p : top_k.pairs) {
+    if (truth.count(PairKey(p.u, p.v)) > 0) ++retrieved;
+  }
+  result.retrieved =
+      pair_graph.num_pairs() == 0
+          ? 1.0
+          : static_cast<double>(retrieved) /
+                static_cast<double>(pair_graph.num_pairs());
+  return result;
+}
+
+}  // namespace convpairs

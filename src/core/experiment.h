@@ -1,0 +1,96 @@
+// Experiment harness shared by the benchmark binaries and integration tests.
+//
+// Wraps one snapshot pair with its ground truth and, per threshold
+// δ = maxDelta - offset, the paper's evaluation artifacts: k (the number of
+// pairs at/above δ, so the top-k set is unique), the pair graph G^p_k, and
+// its greedy cover. RunSelector executes one budgeted policy and scores it
+// with the paper's coverage metric.
+
+#ifndef CONVPAIRS_CORE_EXPERIMENT_H_
+#define CONVPAIRS_CORE_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/ground_truth.h"
+#include "core/selector.h"
+#include "core/top_k.h"
+#include "cover/greedy_cover.h"
+#include "cover/pair_graph.h"
+
+namespace convpairs {
+
+/// Per-run configuration.
+struct RunConfig {
+  /// Per-snapshot SSSP budget m (paper default for tables: 100).
+  int budget_m = 100;
+  /// Landmarks l (paper: 10).
+  int num_landmarks = 10;
+  uint64_t seed = 0;
+};
+
+/// Scores of one policy at one threshold.
+struct ExperimentResult {
+  std::string selector_name;
+  Dist threshold = 0;        // δ
+  uint64_t k = 0;            // |true top-k set|
+  size_t num_candidates = 0;
+  int64_t sssp_used = 0;
+  /// Fraction of true pairs with an endpoint in M — the paper's coverage.
+  double coverage = 0.0;
+  /// Fraction of true pairs present in the returned top-k list. Equals
+  /// `coverage` by construction (every covered true pair outranks any
+  /// non-true filler); reported separately as an end-to-end check.
+  double retrieved = 0.0;
+  /// Fraction of candidates that are G^p_k endpoints (Figure 2a).
+  double endpoint_hit_rate = 0.0;
+  /// Fraction of candidates inside the greedy cover (Figure 2b).
+  double cover_hit_rate = 0.0;
+};
+
+/// Harness for one (G_t1, G_t2) pair.
+class ExperimentRunner {
+ public:
+  /// Computes the ground truth up front (`gt_depth` thresholds below max).
+  ExperimentRunner(const Graph& g1, const Graph& g2,
+                   const ShortestPathEngine& engine, int gt_depth = 2);
+
+  const Graph& g1() const { return *g1_; }
+  const Graph& g2() const { return *g2_; }
+  const GroundTruth& ground_truth() const { return ground_truth_; }
+
+  /// δ for threshold offset i (max Delta - i, floored at 1).
+  Dist ThresholdAt(int offset) const;
+
+  /// k = number of pairs with Delta >= δ.
+  uint64_t KAt(int offset) const;
+
+  /// G^p_k at the offset (cached).
+  const PairGraph& PairGraphAt(int offset);
+
+  /// Greedy vertex cover of G^p_k at the offset (cached).
+  const CoverResult& GreedyCoverAt(int offset);
+
+  /// Runs one policy and scores it against the offset's true pair set.
+  ExperimentResult RunSelector(CandidateSelector& selector, int offset,
+                               const RunConfig& config);
+
+ private:
+  struct ThresholdArtifacts {
+    std::unique_ptr<PairGraph> pair_graph;
+    std::unique_ptr<CoverResult> cover;
+  };
+  ThresholdArtifacts& ArtifactsAt(int offset);
+
+  const Graph* g1_;
+  const Graph* g2_;
+  const ShortestPathEngine* engine_;
+  int gt_depth_;
+  GroundTruth ground_truth_;
+  std::map<int, ThresholdArtifacts> artifacts_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_EXPERIMENT_H_

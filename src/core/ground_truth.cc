@@ -1,0 +1,132 @@
+#include "core/ground_truth.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace convpairs {
+
+uint64_t GroundTruth::CountExactly(Dist delta) const {
+  if (delta < 0 || static_cast<size_t>(delta) >= histogram_.size()) return 0;
+  return histogram_[static_cast<size_t>(delta)];
+}
+
+uint64_t GroundTruth::CountAtLeast(Dist delta) const {
+  uint64_t count = 0;
+  for (size_t d = static_cast<size_t>(std::max<Dist>(delta, 0));
+       d < histogram_.size(); ++d) {
+    count += histogram_[d];
+  }
+  return count;
+}
+
+std::vector<ConvergingPair> GroundTruth::PairsAtLeast(Dist delta) const {
+  CONVPAIRS_CHECK_GE(delta, 1);
+  CONVPAIRS_CHECK_GE(delta, stored_min_delta_);
+  std::vector<ConvergingPair> out;
+  for (const ConvergingPair& p : top_pairs_) {
+    if (p.delta >= delta) out.push_back(p);
+  }
+  return out;
+}
+
+Dist GroundTruth::DeltaThreshold(int offset) const {
+  return std::max<Dist>(1, max_delta_ - static_cast<Dist>(offset));
+}
+
+GroundTruth ComputeGroundTruth(const Graph& g1, const Graph& g2,
+                               const ShortestPathEngine& engine, int depth,
+                               int num_threads) {
+  CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
+  CONVPAIRS_CHECK_GE(depth, 0);
+  const NodeId n = g1.num_nodes();
+
+  GroundTruth gt;
+  std::mutex merge_mutex;
+
+  // Pass 1: histogram of Delta over connected-in-g1 pairs, g1 diameter.
+  ParallelForBlocks(
+      n,
+      [&](int /*thread_index*/, size_t begin, size_t end) {
+        std::vector<Dist> d1;
+        std::vector<Dist> d2;
+        std::vector<uint64_t> local_hist;
+        uint64_t local_connected = 0;
+        Dist local_diameter = 0;
+        for (size_t src = begin; src < end; ++src) {
+          NodeId u = static_cast<NodeId>(src);
+          if (g1.degree(u) == 0) continue;  // Isolated in g1: no finite d1.
+          engine.Distances(g1, u, &d1, nullptr);
+          engine.Distances(g2, u, &d2, nullptr);
+          for (NodeId v = u + 1; v < n; ++v) {
+            if (!IsReachable(d1[v])) continue;
+            local_diameter = std::max(local_diameter, d1[v]);
+            Dist delta = d1[v] - d2[v];
+            CONVPAIRS_CHECK_GE(delta, 0);  // Insertions cannot grow paths.
+            if (static_cast<size_t>(delta) >= local_hist.size()) {
+              local_hist.resize(static_cast<size_t>(delta) + 1, 0);
+            }
+            ++local_hist[static_cast<size_t>(delta)];
+            ++local_connected;
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        if (local_hist.size() > gt.histogram_.size()) {
+          gt.histogram_.resize(local_hist.size(), 0);
+        }
+        for (size_t d = 0; d < local_hist.size(); ++d) {
+          gt.histogram_[d] += local_hist[d];
+        }
+        gt.connected_pairs_ += local_connected;
+        gt.g1_diameter_ = std::max(gt.g1_diameter_, local_diameter);
+      },
+      num_threads);
+
+  gt.max_delta_ = 0;
+  for (size_t d = gt.histogram_.size(); d-- > 0;) {
+    if (gt.histogram_[d] > 0) {
+      gt.max_delta_ = static_cast<Dist>(d);
+      break;
+    }
+  }
+  gt.stored_min_delta_ = std::max<Dist>(1, gt.max_delta_ - depth);
+  if (gt.max_delta_ == 0) return gt;  // Nothing converged; no pairs stored.
+
+  // Pass 2: collect pairs at/above the threshold.
+  ParallelForBlocks(
+      n,
+      [&](int /*thread_index*/, size_t begin, size_t end) {
+        std::vector<Dist> d1;
+        std::vector<Dist> d2;
+        std::vector<ConvergingPair> local_pairs;
+        for (size_t src = begin; src < end; ++src) {
+          NodeId u = static_cast<NodeId>(src);
+          if (g1.degree(u) == 0) continue;
+          engine.Distances(g1, u, &d1, nullptr);
+          engine.Distances(g2, u, &d2, nullptr);
+          for (NodeId v = u + 1; v < n; ++v) {
+            if (!IsReachable(d1[v])) continue;
+            Dist delta = d1[v] - d2[v];
+            if (delta >= gt.stored_min_delta_) {
+              local_pairs.push_back({u, v, delta});
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        gt.top_pairs_.insert(gt.top_pairs_.end(), local_pairs.begin(),
+                             local_pairs.end());
+      },
+      num_threads);
+
+  std::sort(gt.top_pairs_.begin(), gt.top_pairs_.end(),
+            [](const ConvergingPair& a, const ConvergingPair& b) {
+              if (a.delta != b.delta) return a.delta > b.delta;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  return gt;
+}
+
+}  // namespace convpairs

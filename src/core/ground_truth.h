@@ -1,0 +1,78 @@
+// Exact ground truth for evaluation: the full distribution of distance
+// decreases Delta(u,v) between two snapshots, and the set of top pairs.
+//
+// The paper evaluates on graphs "of manageable size, for which it is
+// feasible to compute all-pairs shortest paths" (Section 5.1). This engine
+// runs two SSSPs per source (one per snapshot) and streams the pair deltas,
+// so it never materializes an n x n matrix. Two passes bound memory: pass 1
+// builds the Delta histogram (giving max Delta and the exact k for each
+// threshold δ = max Delta - i); pass 2 collects the actual pairs with
+// Delta >= the requested threshold.
+//
+// Never used inside the budgeted algorithms — it IS the quadratic baseline
+// they avoid.
+
+#ifndef CONVPAIRS_CORE_GROUND_TRUTH_H_
+#define CONVPAIRS_CORE_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/dijkstra.h"
+
+namespace convpairs {
+
+/// Full Delta distribution plus the stored top-pair set.
+class GroundTruth {
+ public:
+  /// Largest distance decrease over all pairs connected in g1.
+  Dist max_delta() const { return max_delta_; }
+
+  /// Largest finite distance in g1 (the diameter; Table 2).
+  Dist g1_diameter() const { return g1_diameter_; }
+
+  /// Number of pairs connected in g1.
+  uint64_t connected_pairs() const { return connected_pairs_; }
+
+  /// Number of connected pairs with Delta exactly `delta`.
+  uint64_t CountExactly(Dist delta) const;
+
+  /// Number of connected pairs with Delta >= `delta` — the paper's k for
+  /// threshold δ (so the top-k set is unique).
+  uint64_t CountAtLeast(Dist delta) const;
+
+  /// All pairs with Delta >= `delta`. Requires delta >= stored_min_delta()
+  /// (i.e. within the depth requested at computation time) and delta >= 1.
+  std::vector<ConvergingPair> PairsAtLeast(Dist delta) const;
+
+  /// Smallest threshold PairsAtLeast can serve.
+  Dist stored_min_delta() const { return stored_min_delta_; }
+
+  /// The paper's threshold convention: δ = max Delta - offset (floored at 1).
+  Dist DeltaThreshold(int offset) const;
+
+ private:
+  friend GroundTruth ComputeGroundTruth(const Graph&, const Graph&,
+                                        const ShortestPathEngine&, int, int);
+
+  Dist max_delta_ = 0;
+  Dist g1_diameter_ = 0;
+  Dist stored_min_delta_ = 0;
+  uint64_t connected_pairs_ = 0;
+  std::vector<uint64_t> histogram_;         // index = Delta value
+  std::vector<ConvergingPair> top_pairs_;   // Delta >= stored_min_delta_
+};
+
+/// Computes the ground truth between two snapshots with the same node-id
+/// space. `depth` controls how far below max Delta pairs are stored
+/// (the paper uses thresholds max Delta - {0,1,2}, i.e. depth 2).
+/// Requires distances not to increase between snapshots (edge insertions
+/// only); a violating pair aborts.
+GroundTruth ComputeGroundTruth(const Graph& g1, const Graph& g2,
+                               const ShortestPathEngine& engine,
+                               int depth = 2, int num_threads = 0);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_GROUND_TRUTH_H_

@@ -1,0 +1,86 @@
+#include "core/proximity_tracker.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+ProximityTracker::ProximityTracker(const Graph& g, std::vector<NodeId> watched)
+    : watched_(std::move(watched)), rows_(g, watched_) {
+  CONVPAIRS_CHECK(!watched_.empty());
+  initial_.resize(watched_.size() * watched_.size());
+  for (size_t i = 0; i < watched_.size(); ++i) {
+    for (size_t j = 0; j < watched_.size(); ++j) {
+      initial_[i * watched_.size() + j] =
+          rows_.row(i).distance_to(watched_[j]);
+    }
+  }
+}
+
+void ProximityTracker::ApplyInsertion(const Graph& g, NodeId a, NodeId b) {
+  rows_.ApplyInsertion(g, a, b);
+}
+
+Dist ProximityTracker::DistanceBetween(size_t i, size_t j) const {
+  CONVPAIRS_CHECK_LT(i, watched_.size());
+  CONVPAIRS_CHECK_LT(j, watched_.size());
+  return rows_.row(i).distance_to(watched_[j]);
+}
+
+std::vector<WatchedPair> ProximityTracker::AllPairs() const {
+  std::vector<WatchedPair> pairs;
+  pairs.reserve(watched_.size() * (watched_.size() - 1) / 2);
+  for (size_t i = 0; i < watched_.size(); ++i) {
+    for (size_t j = i + 1; j < watched_.size(); ++j) {
+      WatchedPair pair;
+      pair.u = watched_[i];
+      pair.v = watched_[j];
+      pair.distance = rows_.row(i).distance_to(watched_[j]);
+      pair.initial_distance = initial_[i * watched_.size() + j];
+      pairs.push_back(pair);
+    }
+  }
+  return pairs;
+}
+
+std::vector<WatchedPair> ProximityTracker::ClosestPairs(size_t k) const {
+  std::vector<WatchedPair> pairs = AllPairs();
+  pairs.erase(std::remove_if(pairs.begin(), pairs.end(),
+                             [](const WatchedPair& p) {
+                               return !IsReachable(p.distance);
+                             }),
+              pairs.end());
+  k = std::min(k, pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + k, pairs.end(),
+                    [](const WatchedPair& a, const WatchedPair& b) {
+                      if (a.distance != b.distance)
+                        return a.distance < b.distance;
+                      if (a.u != b.u) return a.u < b.u;
+                      return a.v < b.v;
+                    });
+  pairs.resize(k);
+  return pairs;
+}
+
+std::vector<WatchedPair> ProximityTracker::ConvergedPairs(
+    Dist min_delta) const {
+  std::vector<WatchedPair> pairs = AllPairs();
+  pairs.erase(std::remove_if(pairs.begin(), pairs.end(),
+                             [min_delta](const WatchedPair& p) {
+                               Dist delta = p.converged_by();
+                               return delta < min_delta;
+                             }),
+              pairs.end());
+  std::sort(pairs.begin(), pairs.end(),
+            [](const WatchedPair& a, const WatchedPair& b) {
+              Dist da = a.converged_by();
+              Dist db = b.converged_by();
+              if (da != db) return da > db;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  return pairs;
+}
+
+}  // namespace convpairs

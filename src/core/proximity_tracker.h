@@ -1,0 +1,70 @@
+// Top-k closest-pair maintenance over a watched node set
+// (the related-work [21] problem: "pre-computing and storing all pair
+// distances for a small number of nodes so as to incrementally update
+// distances and maintain the top-k most closely connected pairs").
+//
+// Watch a small set W of nodes (|W| SSSPs of preprocessing); as edges are
+// inserted, the tracker patches the rows incrementally (sssp/incremental.h)
+// and can always report (a) the k closest watched pairs and (b) the pairs
+// whose distance improved since the last call — the *converging watched
+// pairs*, linking this classic formulation back to the paper's problem.
+
+#ifndef CONVPAIRS_CORE_PROXIMITY_TRACKER_H_
+#define CONVPAIRS_CORE_PROXIMITY_TRACKER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/incremental.h"
+
+namespace convpairs {
+
+/// A watched pair with its current distance and its distance at watch time.
+struct WatchedPair {
+  NodeId u = 0;
+  NodeId v = 0;
+  Dist distance = kInfDist;
+  Dist initial_distance = kInfDist;
+
+  /// How much the pair converged since tracking began.
+  Dist converged_by() const {
+    if (!IsReachable(initial_distance)) {
+      return IsReachable(distance) ? kInfDist : 0;  // Became connected.
+    }
+    return initial_distance - distance;
+  }
+};
+
+/// Maintains all pairwise distances among watched nodes under insertions.
+class ProximityTracker {
+ public:
+  /// Starts tracking over the current graph (|watched| SSSPs).
+  ProximityTracker(const Graph& g, std::vector<NodeId> watched);
+
+  /// Applies one edge insertion; `g` must already contain {a, b}.
+  void ApplyInsertion(const Graph& g, NodeId a, NodeId b);
+
+  /// The k closest currently-connected watched pairs (ties by id).
+  std::vector<WatchedPair> ClosestPairs(size_t k) const;
+
+  /// Watched pairs that converged by at least `min_delta` since watch time,
+  /// sorted by decrease (kInfDist = became connected, sorts first).
+  std::vector<WatchedPair> ConvergedPairs(Dist min_delta = 1) const;
+
+  /// Current distance between two watched nodes (by their indices in the
+  /// watched list).
+  Dist DistanceBetween(size_t i, size_t j) const;
+
+  const std::vector<NodeId>& watched() const { return watched_; }
+
+ private:
+  std::vector<WatchedPair> AllPairs() const;
+
+  std::vector<NodeId> watched_;
+  IncrementalDistanceRows rows_;
+  std::vector<Dist> initial_;  // Row-major |W| x |W| initial distances.
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_PROXIMITY_TRACKER_H_

@@ -1,0 +1,34 @@
+#include "core/selector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+std::vector<NodeId> TopActiveByScore(const Graph& g1,
+                                     const std::vector<double>& scores,
+                                     size_t count,
+                                     const std::vector<NodeId>& exclude) {
+  std::unordered_set<NodeId> excluded(exclude.begin(), exclude.end());
+  std::vector<NodeId> eligible;
+  eligible.reserve(g1.num_nodes());
+  NodeId limit = static_cast<NodeId>(
+      std::min<size_t>(scores.size(), g1.num_nodes()));
+  for (NodeId u = 0; u < limit; ++u) {
+    if (g1.degree(u) == 0) continue;
+    if (excluded.count(u) > 0) continue;
+    eligible.push_back(u);
+  }
+  count = std::min(count, eligible.size());
+  std::partial_sort(eligible.begin(), eligible.begin() + count,
+                    eligible.end(), [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  eligible.resize(count);
+  return eligible;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,80 @@
+// Candidate-selection interface (paper Section 4.2).
+//
+// A CandidateSelector spends part of the SSSP budget to pick the set M of
+// candidate endpoints; the generic top-k algorithm (core/top_k.h) then
+// spends the rest computing M's distance rows in both snapshots. Selectors
+// may return G_t1 rows they already computed during selection (dispersion
+// policies), which the top-k phase adopts instead of recomputing — the
+// budget-reuse trick behind the paper's Table 1 accounting.
+
+#ifndef CONVPAIRS_CORE_SELECTOR_H_
+#define CONVPAIRS_CORE_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/budget.h"
+#include "sssp/dijkstra.h"
+#include "sssp/distance_matrix.h"
+#include "util/rng.h"
+
+namespace convpairs {
+
+/// Everything a selection policy may consult. The budget tracker is charged
+/// for every SSSP the policy runs; the policy must leave enough budget for
+/// the top-k phase (2 SSSPs per returned candidate).
+struct SelectorContext {
+  const Graph* g1 = nullptr;
+  const Graph* g2 = nullptr;
+  const ShortestPathEngine* engine = nullptr;
+  /// Per-snapshot SSSP budget m; the whole pipeline may spend 2m.
+  int budget_m = 100;
+  /// Landmark count l for landmark-based policies (paper fixes l = 10).
+  int num_landmarks = 10;
+  Rng* rng = nullptr;
+  SsspBudget* budget = nullptr;
+};
+
+/// Output of a selection policy.
+struct CandidateSet {
+  /// Candidate endpoints M. The budget must cover every candidate whose
+  /// rows are NOT already present below (2 fresh SSSPs per such candidate).
+  std::vector<NodeId> nodes;
+  /// G_t1 / G_t2 distance rows computed as a side effect of selection
+  /// (keyed by source inside the matrix). May contain rows for
+  /// non-candidates too; the top-k phase reuses whatever matches. This is
+  /// how landmark-based policies return the landmarks themselves as
+  /// zero-cost candidates: their rows in both snapshots were already paid
+  /// for during selection, and dispersed landmarks are disproportionately
+  /// likely to be converging-pair endpoints.
+  DistanceMatrix g1_rows;
+  DistanceMatrix g2_rows;
+};
+
+/// Strategy interface. Implementations are stateless across calls except
+/// for configuration (so one instance can be reused across budgets).
+class CandidateSelector {
+ public:
+  virtual ~CandidateSelector() = default;
+
+  /// Policy name as it appears in the paper's tables (e.g. "SumDiff").
+  virtual std::string name() const = 0;
+
+  /// Picks candidate endpoints within the context's budget.
+  virtual CandidateSet SelectCandidates(SelectorContext& context) = 0;
+};
+
+/// Ranks nodes by `scores` and returns the top `count` that are active
+/// (degree >= 1) in `g1` — inactive nodes cannot belong to a connected pair
+/// of G_t1, so spending budget on them is always wasted. Ties break toward
+/// lower ids. `exclude` entries are skipped.
+std::vector<NodeId> TopActiveByScore(const Graph& g1,
+                                     const std::vector<double>& scores,
+                                     size_t count,
+                                     const std::vector<NodeId>& exclude = {});
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_SELECTOR_H_

@@ -1,0 +1,74 @@
+#include "core/selector_registry.h"
+
+#include "core/selectors/centrality_selectors.h"
+#include "core/selectors/degree_selectors.h"
+#include "core/selectors/dispersion_selectors.h"
+#include "core/selectors/hybrid_selectors.h"
+#include "core/selectors/landmark_selectors.h"
+#include "core/selectors/random_selector.h"
+
+namespace convpairs {
+
+const std::vector<std::string>& SingleFeatureSelectorNames() {
+  static const std::vector<std::string> names = {
+      "Degree", "DegDiff", "DegRel", "MaxMin", "MaxAvg", "SumDiff",
+      "MaxDiff", "MMSD",   "MMMD",   "MASD",   "MAMD",   "Random"};
+  return names;
+}
+
+const std::vector<std::string>& ExtendedSelectorNames() {
+  static const std::vector<std::string> names = {"PageRank", "PageRankDiff"};
+  return names;
+}
+
+StatusOr<std::unique_ptr<CandidateSelector>> MakeSelector(
+    const std::string& name) {
+  std::unique_ptr<CandidateSelector> selector;
+  if (name == "Degree") {
+    selector = std::make_unique<DegreeSelector>();
+  } else if (name == "DegDiff") {
+    selector = std::make_unique<DegreeDiffSelector>();
+  } else if (name == "DegRel") {
+    selector = std::make_unique<DegreeRelSelector>();
+  } else if (name == "MaxMin") {
+    selector = std::make_unique<DispersionSelector>(LandmarkPolicy::kMaxMin);
+  } else if (name == "MaxAvg") {
+    selector = std::make_unique<DispersionSelector>(LandmarkPolicy::kMaxAvg);
+  } else if (name == "SumDiff") {
+    selector = std::make_unique<LandmarkDiffSelector>(/*use_l1_norm=*/true);
+  } else if (name == "MaxDiff") {
+    selector = std::make_unique<LandmarkDiffSelector>(/*use_l1_norm=*/false);
+  } else if (name == "MMSD") {
+    selector = std::make_unique<HybridSelector>(LandmarkPolicy::kMaxMin,
+                                                /*use_l1_norm=*/true);
+  } else if (name == "MMMD") {
+    selector = std::make_unique<HybridSelector>(LandmarkPolicy::kMaxMin,
+                                                /*use_l1_norm=*/false);
+  } else if (name == "MASD") {
+    selector = std::make_unique<HybridSelector>(LandmarkPolicy::kMaxAvg,
+                                                /*use_l1_norm=*/true);
+  } else if (name == "MAMD") {
+    selector = std::make_unique<HybridSelector>(LandmarkPolicy::kMaxAvg,
+                                                /*use_l1_norm=*/false);
+  } else if (name == "Random") {
+    selector = std::make_unique<RandomSelector>();
+  } else if (name == "PageRank") {
+    selector = std::make_unique<PageRankSelector>();
+  } else if (name == "PageRankDiff") {
+    selector = std::make_unique<PageRankDiffSelector>();
+  } else {
+    return Status::InvalidArgument("unknown selector: " + name);
+  }
+  return selector;
+}
+
+std::vector<std::unique_ptr<CandidateSelector>>
+MakeAllSingleFeatureSelectors() {
+  std::vector<std::unique_ptr<CandidateSelector>> selectors;
+  for (const std::string& name : SingleFeatureSelectorNames()) {
+    selectors.push_back(std::move(MakeSelector(name).value()));
+  }
+  return selectors;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,38 @@
+// Factory for the single-feature selection policies by their paper names.
+//
+// Classifier selectors need trained models and the Incidence baselines need
+// precomputed betweenness, so those are constructed explicitly (see
+// core/selectors/classifier_selector.h and baseline/incidence.h); everything
+// else is available here by name.
+
+#ifndef CONVPAIRS_CORE_SELECTOR_REGISTRY_H_
+#define CONVPAIRS_CORE_SELECTOR_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/selector.h"
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Paper Table 4 order: Degree, DegDiff, DegRel, MaxMin, MaxAvg, SumDiff,
+/// MaxDiff, MMSD, MMMD, MASD, MAMD (plus "Random", our sanity baseline).
+const std::vector<std::string>& SingleFeatureSelectorNames();
+
+/// Additional selectors beyond the paper's Table 4 (PageRank family etc.),
+/// used by the ablation benches. Also constructible through MakeSelector.
+const std::vector<std::string>& ExtendedSelectorNames();
+
+/// Instantiates a selector by (case-sensitive) name; InvalidArgument for
+/// unknown names.
+StatusOr<std::unique_ptr<CandidateSelector>> MakeSelector(
+    const std::string& name);
+
+/// Instantiates every selector in SingleFeatureSelectorNames() order.
+std::vector<std::unique_ptr<CandidateSelector>> MakeAllSingleFeatureSelectors();
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_SELECTOR_REGISTRY_H_

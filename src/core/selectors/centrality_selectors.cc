@@ -1,0 +1,29 @@
+#include "core/selectors/centrality_selectors.h"
+
+#include "centrality/pagerank.h"
+
+namespace convpairs {
+
+CandidateSet PageRankSelector::SelectCandidates(SelectorContext& context) {
+  CandidateSet result;
+  result.nodes =
+      TopActiveByScore(*context.g1, PageRank(*context.g1),
+                       static_cast<size_t>(context.budget_m));
+  return result;
+}
+
+CandidateSet PageRankDiffSelector::SelectCandidates(SelectorContext& context) {
+  std::vector<double> before = PageRank(*context.g1);
+  std::vector<double> after = PageRank(*context.g2);
+  std::vector<double> gain(context.g2->num_nodes(), 0.0);
+  for (NodeId u = 0; u < context.g2->num_nodes(); ++u) {
+    double b = u < before.size() ? before[u] : 0.0;
+    gain[u] = after[u] - b;
+  }
+  CandidateSet result;
+  result.nodes = TopActiveByScore(*context.g1, gain,
+                                  static_cast<size_t>(context.budget_m));
+  return result;
+}
+
+}  // namespace convpairs

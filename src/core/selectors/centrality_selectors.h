@@ -1,0 +1,38 @@
+// Extended centrality-based selectors beyond the paper's degree family:
+// PageRank and harmonic closeness (plus their growth variants). These exist
+// to answer the natural objection to Section 5.2's finding — "degree is
+// just a weak centrality; would a better one work?" — in the ablation
+// bench. The answer mirrors the paper: static centrality of any flavor is
+// anti-correlated with convergence (central nodes are already close to
+// everything); only the *change* signal carries information.
+//
+// Closeness-based selection is intentionally NOT budget-friendly (exact
+// closeness costs n SSSPs); it is provided for offline analysis and is
+// excluded from the budgeted registry. PageRank costs no SSSPs and slots
+// into the budget model like the degree family.
+
+#ifndef CONVPAIRS_CORE_SELECTORS_CENTRALITY_SELECTORS_H_
+#define CONVPAIRS_CORE_SELECTORS_CENTRALITY_SELECTORS_H_
+
+#include "core/selector.h"
+
+namespace convpairs {
+
+/// "PageRank": top-m nodes by PageRank score in G_t1. Generation is free of
+/// SSSP cost (power iteration over edges).
+class PageRankSelector final : public CandidateSelector {
+ public:
+  std::string name() const override { return "PageRank"; }
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+};
+
+/// "PageRankDiff": top-m nodes by PageRank gain between snapshots.
+class PageRankDiffSelector final : public CandidateSelector {
+ public:
+  std::string name() const override { return "PageRankDiff"; }
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_SELECTORS_CENTRALITY_SELECTORS_H_

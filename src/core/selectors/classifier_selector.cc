@@ -1,0 +1,333 @@
+#include "core/selectors/classifier_selector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "centrality/degree.h"
+#include "core/ground_truth.h"
+#include "cover/greedy_cover.h"
+#include "cover/pair_graph.h"
+#include "graph/graph_stats.h"
+#include "landmark/landmark_features.h"
+#include "landmark/landmark_selector.h"
+#include "ml/scaler.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace convpairs {
+namespace {
+
+constexpr size_t kNodeFeatures = 9;
+constexpr size_t kGraphFeatures = 4;
+
+// Min-max normalizes a feature column to [-1,1] using statistics from
+// active-in-g1 rows only (inactive placeholder rows would otherwise drag
+// the minimum to zero on every column).
+void NormalizeColumns(const Graph& g1, std::vector<double>* features,
+                      size_t num_features, size_t num_node_features) {
+  std::vector<double> active_rows;
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+    if (g1.degree(u) == 0) continue;
+    for (size_t j = 0; j < num_node_features; ++j) {
+      active_rows.push_back((*features)[u * num_features + j]);
+    }
+  }
+  if (active_rows.empty()) return;
+  MinMaxScaler scaler;
+  scaler.Fit(active_rows, num_node_features);
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+    double* row = features->data() + u * num_features;
+    for (size_t j = 0; j < num_node_features; ++j) {
+      double span = scaler.maxs()[j] - scaler.mins()[j];
+      row[j] = span > 0 ? 2.0 * (row[j] - scaler.mins()[j]) / span - 1.0 : 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+size_t NodeFeatureCount(const NodeFeatureOptions& options) {
+  return kNodeFeatures + (options.graph_features ? kGraphFeatures : 0);
+}
+
+std::vector<std::string> NodeFeatureNames(const NodeFeatureOptions& options) {
+  std::vector<std::string> names = {
+      "deg1",      "deg_diff",  "deg_rel",    "rand_l1",  "rand_linf",
+      "maxmin_l1", "maxmin_linf", "maxavg_l1", "maxavg_linf"};
+  if (options.graph_features) {
+    names.insert(names.end(),
+                 {"density_g1", "density_g2", "maxdeg_g1", "maxdeg_g2"});
+  }
+  return names;
+}
+
+std::vector<double> ExtractNodeFeatures(const Graph& g1, const Graph& g2,
+                                        const NodeFeatureOptions& options,
+                                        Rng& rng,
+                                        const ShortestPathEngine& engine,
+                                        SsspBudget* budget,
+                                        std::vector<NodeId>* landmarks_out,
+                                        LandmarkRowCache* rows_out) {
+  CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
+  const NodeId n = g1.num_nodes();
+  const size_t num_features = NodeFeatureCount(options);
+  std::vector<double> features(static_cast<size_t>(n) * num_features, 0.0);
+
+  std::vector<double> deg1 = DegreeScores(g1);
+  std::vector<double> deg_diff = DegreeDiffScores(g1, g2);
+  std::vector<double> deg_rel = DegreeRelScores(g1, g2);
+
+  // Three landmark schemes, each yielding (L1, Linf) norms. Budget per
+  // scheme: random pays l for DL1 + l for DL2; dispersion pays l during
+  // selection (rows reused as DL1) + l for DL2 — 2l either way, 6l total.
+  const LandmarkPolicy policies[] = {LandmarkPolicy::kRandom,
+                                     LandmarkPolicy::kMaxMin,
+                                     LandmarkPolicy::kMaxAvg};
+  std::unordered_set<NodeId> landmark_union;
+  std::vector<LandmarkChangeNorms> norms;
+  for (LandmarkPolicy policy : policies) {
+    LandmarkSelection selection = SelectLandmarks(
+        g1, policy, static_cast<uint32_t>(options.num_landmarks), rng, engine,
+        budget);
+    DistanceMatrix dl1 =
+        policy == LandmarkPolicy::kRandom
+            ? DistanceMatrix::Build(g1, selection.landmarks, engine, budget)
+            : std::move(selection.g1_rows);
+    DistanceMatrix dl2 =
+        DistanceMatrix::Build(g2, selection.landmarks, engine, budget);
+    norms.push_back(ComputeLandmarkChangeNorms(dl1, dl2));
+    landmark_union.insert(selection.landmarks.begin(),
+                          selection.landmarks.end());
+    if (rows_out != nullptr) {
+      for (size_t i = 0; i < dl1.sources().size(); ++i) {
+        rows_out->g1_rows.AdoptRow(dl1.sources()[i],
+                                   {dl1.row(i).begin(), dl1.row(i).end()});
+        rows_out->g2_rows.AdoptRow(dl2.sources()[i],
+                                   {dl2.row(i).begin(), dl2.row(i).end()});
+      }
+    }
+  }
+  if (landmarks_out != nullptr) {
+    landmarks_out->assign(landmark_union.begin(), landmark_union.end());
+    std::sort(landmarks_out->begin(), landmarks_out->end());
+  }
+
+  // Graph-level features use fixed, cross-dataset-comparable encodings
+  // (density is already in [0,1]; max degree is normalized by the active
+  // node count) so a global model can consume them without a pooled scaler.
+  double graph_feature_values[kGraphFeatures] = {0, 0, 0, 0};
+  if (options.graph_features) {
+    double n1 = std::max<double>(1.0, g1.num_active_nodes());
+    double n2 = std::max<double>(1.0, g2.num_active_nodes());
+    graph_feature_values[0] = 2.0 * GraphDensity(g1) - 1.0;
+    graph_feature_values[1] = 2.0 * GraphDensity(g2) - 1.0;
+    graph_feature_values[2] = 2.0 * (MaxDegree(g1) / n1) - 1.0;
+    graph_feature_values[3] = 2.0 * (MaxDegree(g2) / n2) - 1.0;
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    double* row = features.data() + static_cast<size_t>(u) * num_features;
+    row[0] = deg1[u];
+    row[1] = deg_diff[u];
+    row[2] = deg_rel[u];
+    for (size_t p = 0; p < norms.size(); ++p) {
+      row[3 + 2 * p] = norms[p].l1[u];
+      row[3 + 2 * p + 1] = norms[p].linf[u];
+    }
+    if (options.graph_features) {
+      for (size_t j = 0; j < kGraphFeatures; ++j) {
+        row[kNodeFeatures + j] = graph_feature_values[j];
+      }
+    }
+  }
+  NormalizeColumns(g1, &features, num_features, kNodeFeatures);
+  return features;
+}
+
+StatusOr<ConvergenceClassifier> ConvergenceClassifier::Train(
+    const std::vector<TrainingPair>& pairs, const ShortestPathEngine& engine,
+    const ClassifierTrainOptions& options) {
+  if (pairs.empty()) {
+    return Status::InvalidArgument("no training pairs");
+  }
+  if (options.gt_depth < options.delta_offset) {
+    return Status::InvalidArgument("gt_depth must cover delta_offset");
+  }
+  const size_t num_features = NodeFeatureCount(options.features);
+  Rng rng(options.seed);
+
+  // Per-dataset rows, assembled separately so datasets can be equalized.
+  struct DatasetRows {
+    std::vector<double> features;  // row-major
+    std::vector<int> labels;
+  };
+  std::vector<DatasetRows> per_dataset;
+
+  for (const TrainingPair& pair : pairs) {
+    CONVPAIRS_CHECK(pair.g1 != nullptr && pair.g2 != nullptr);
+    GroundTruth gt =
+        ComputeGroundTruth(*pair.g1, *pair.g2, engine, options.gt_depth);
+    if (gt.max_delta() < 1) {
+      LOG_WARNING << "training pair has no converging pairs; skipping";
+      continue;
+    }
+    Dist threshold = gt.DeltaThreshold(options.delta_offset);
+    PairGraph pair_graph(gt.PairsAtLeast(threshold));
+    CoverResult cover = GreedyVertexCover(pair_graph);
+    std::unordered_set<NodeId> positives(cover.nodes.begin(),
+                                         cover.nodes.end());
+
+    std::vector<double> features =
+        ExtractNodeFeatures(*pair.g1, *pair.g2, options.features, rng, engine,
+                            /*budget=*/nullptr, /*landmarks_out=*/nullptr);
+    DatasetRows rows;
+    for (NodeId u = 0; u < pair.g1->num_nodes(); ++u) {
+      if (pair.g1->degree(u) == 0) continue;
+      const double* row = features.data() + u * num_features;
+      rows.features.insert(rows.features.end(), row, row + num_features);
+      rows.labels.push_back(positives.count(u) > 0 ? 1 : 0);
+    }
+    per_dataset.push_back(std::move(rows));
+  }
+  if (per_dataset.empty()) {
+    return Status::FailedPrecondition(
+        "no training pair produced converging pairs");
+  }
+
+  // Equal proportions: subsample every dataset to the smallest row count.
+  size_t min_rows = SIZE_MAX;
+  for (const DatasetRows& rows : per_dataset) {
+    min_rows = std::min(min_rows, rows.labels.size());
+  }
+  std::vector<double> train_features;
+  std::vector<int> train_labels;
+  for (DatasetRows& rows : per_dataset) {
+    size_t take = options.equalize_datasets ? min_rows : rows.labels.size();
+    std::vector<uint32_t> picks = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(rows.labels.size()),
+        static_cast<uint32_t>(take));
+    // Keep every positive row: the cover is tiny, and losing positives to
+    // subsampling could leave a single-class dataset.
+    std::unordered_set<uint32_t> chosen(picks.begin(), picks.end());
+    for (uint32_t i = 0; i < rows.labels.size(); ++i) {
+      if (rows.labels[i] == 1) chosen.insert(i);
+    }
+    for (uint32_t i : chosen) {
+      const double* row = rows.features.data() + i * num_features;
+      train_features.insert(train_features.end(), row, row + num_features);
+      train_labels.push_back(rows.labels[i]);
+    }
+  }
+
+  ConvergenceClassifier classifier;
+  classifier.feature_options_ = options.features;
+  Status status = classifier.model_.Fit(train_features, num_features,
+                                        train_labels, options.lr);
+  if (!status.ok()) return status;
+  return classifier;
+}
+
+std::vector<double> ConvergenceClassifier::ScoreNodes(
+    const Graph& g1, const Graph& g2, Rng& rng,
+    const ShortestPathEngine& engine, SsspBudget* budget,
+    std::vector<NodeId>* landmarks_out, LandmarkRowCache* rows_out) const {
+  std::vector<double> features = ExtractNodeFeatures(
+      g1, g2, feature_options_, rng, engine, budget, landmarks_out, rows_out);
+  return model_.PredictProbabilities(features,
+                                     NodeFeatureCount(feature_options_));
+}
+
+std::string ConvergenceClassifier::Serialize() const {
+  std::string out = "convergence-classifier v1\n";
+  out += "landmarks " + std::to_string(feature_options_.num_landmarks) + "\n";
+  out += std::string("graph_features ") +
+         (feature_options_.graph_features ? "1" : "0") + "\n";
+  out += model_.Serialize();
+  return out;
+}
+
+StatusOr<ConvergenceClassifier> ConvergenceClassifier::Deserialize(
+    const std::string& text) {
+  auto lines = Split(text, '\n');
+  if (lines.size() < 4) return Status::InvalidArgument("truncated classifier");
+  if (Strip(lines[0]) != "convergence-classifier v1") {
+    return Status::InvalidArgument("bad classifier header");
+  }
+  auto landmarks = SplitWhitespace(lines[1]);
+  auto graph_features = SplitWhitespace(lines[2]);
+  if (landmarks.size() != 2 || landmarks[0] != "landmarks" ||
+      graph_features.size() != 2 || graph_features[0] != "graph_features") {
+    return Status::InvalidArgument("bad classifier options");
+  }
+  ConvergenceClassifier classifier;
+  classifier.feature_options_.num_landmarks =
+      std::atoi(std::string(landmarks[1]).c_str());
+  classifier.feature_options_.graph_features = graph_features[1] == "1";
+  if (classifier.feature_options_.num_landmarks <= 0) {
+    return Status::InvalidArgument("bad landmark count");
+  }
+  std::string model_text =
+      std::string(lines[3]) +
+      (lines.size() > 4 ? "\n" + std::string(lines[4]) : "");
+  auto model = LogisticRegression::Deserialize(model_text);
+  if (!model.ok()) return model.status();
+  if (model->weights().size() !=
+      NodeFeatureCount(classifier.feature_options_)) {
+    return Status::InvalidArgument("model/feature arity mismatch");
+  }
+  classifier.model_ = std::move(*model);
+  return classifier;
+}
+
+Status ConvergenceClassifier::SaveToFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << Serialize();
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<ConvergenceClassifier> ConvergenceClassifier::LoadFromFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::ostringstream oss;
+  oss << file.rdbuf();
+  return Deserialize(oss.str());
+}
+
+ClassifierSelector::ClassifierSelector(
+    std::string name, std::shared_ptr<const ConvergenceClassifier> classifier)
+    : name_(std::move(name)), classifier_(std::move(classifier)) {
+  CONVPAIRS_CHECK(classifier_ != nullptr);
+}
+
+CandidateSet ClassifierSelector::SelectCandidates(SelectorContext& context) {
+  CandidateSet result;
+  int setup_cost = 3 * classifier_->feature_options().num_landmarks;
+  int candidate_budget = context.budget_m - setup_cost;
+  if (candidate_budget <= 0) return result;  // Setup exceeds the budget.
+
+  std::vector<NodeId> landmarks;
+  LandmarkRowCache rows;
+  std::vector<double> probabilities = classifier_->ScoreNodes(
+      *context.g1, *context.g2, *context.rng, *context.engine,
+      context.budget, &landmarks, &rows);
+  // m - 3l fresh candidates, plus every landmark for free: their rows in
+  // both snapshots were computed during feature extraction.
+  result.nodes =
+      TopActiveByScore(*context.g1, probabilities,
+                       static_cast<size_t>(candidate_budget), landmarks);
+  for (NodeId landmark : landmarks) {
+    if (context.g1->degree(landmark) > 0) result.nodes.push_back(landmark);
+  }
+  result.g1_rows = std::move(rows.g1_rows);
+  result.g2_rows = std::move(rows.g2_rows);
+  return result;
+}
+
+}  // namespace convpairs

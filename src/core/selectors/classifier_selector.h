@@ -1,0 +1,143 @@
+// Classification-based candidate selection (paper Sections 4.2.5 and 5.3).
+//
+// Every single-feature policy is reinterpreted as a feature: degree in
+// G_t1, degree growth (absolute and relative), and the L1 / L-infinity
+// landmark-change norms under random, MaxMin and MaxAvg landmarks — nine
+// per-node features, min-max normalized into [-1,1] per graph pair. The
+// positive class is membership in the greedy vertex cover of G^p_k on
+// *training* snapshots (an earlier window of the same or other evolutions),
+// and a logistic regression ranks test nodes by P(node in cover).
+//
+// The local classifier (L-Classifier) trains on one dataset's early window;
+// the global classifier (G-Classifier) trains on every dataset in equal
+// proportions and appends graph-level features (density, max degree of both
+// snapshots) so one model transfers across graphs.
+//
+// Budget: feature extraction at test time costs 3·2l SSSPs (three landmark
+// schemes, two snapshots each), leaving m - 3l fresh candidates (Table 1);
+// the landmarks themselves join the candidate set for free (their rows are
+// already computed). Training happens offline on training snapshots and is
+// not charged.
+
+#ifndef CONVPAIRS_CORE_SELECTORS_CLASSIFIER_SELECTOR_H_
+#define CONVPAIRS_CORE_SELECTORS_CLASSIFIER_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/selector.h"
+#include "ml/logistic_regression.h"
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Feature-extraction configuration shared by training and inference.
+struct NodeFeatureOptions {
+  /// Landmarks per scheme (the paper's l = 10).
+  int num_landmarks = 10;
+  /// Append the graph-level features of the global classifier.
+  bool graph_features = false;
+};
+
+/// Number of feature columns under `options`.
+size_t NodeFeatureCount(const NodeFeatureOptions& options);
+
+/// Column names (for diagnostics and the ablation bench).
+std::vector<std::string> NodeFeatureNames(const NodeFeatureOptions& options);
+
+/// Landmark distance rows computed during feature extraction, exposed so a
+/// budgeted caller can reuse them (the landmarks become zero-cost
+/// candidates).
+struct LandmarkRowCache {
+  DistanceMatrix g1_rows;
+  DistanceMatrix g2_rows;
+};
+
+/// Extracts the row-major feature matrix (num_nodes x NodeFeatureCount),
+/// already min-max normalized into [-1,1] per column over active nodes.
+/// Charges 6l SSSPs to `budget`. `landmarks_out`, if non-null, receives the
+/// union of all landmark nodes used; `rows_out`, if non-null, receives
+/// their distance rows in both snapshots.
+std::vector<double> ExtractNodeFeatures(const Graph& g1, const Graph& g2,
+                                        const NodeFeatureOptions& options,
+                                        Rng& rng,
+                                        const ShortestPathEngine& engine,
+                                        SsspBudget* budget,
+                                        std::vector<NodeId>* landmarks_out,
+                                        LandmarkRowCache* rows_out = nullptr);
+
+/// One training graph pair (an earlier evolution window).
+struct TrainingPair {
+  const Graph* g1 = nullptr;
+  const Graph* g2 = nullptr;
+};
+
+/// Training configuration.
+struct ClassifierTrainOptions {
+  NodeFeatureOptions features;
+  /// Label threshold: positives are the greedy cover of G^p_k at
+  /// δ = maxDelta - delta_offset on the training pair.
+  int delta_offset = 1;
+  /// Stored-pair depth for the training ground truth (>= delta_offset).
+  int gt_depth = 2;
+  /// Subsample every dataset to the size of the smallest one ("equal
+  /// proportions", Section 5.3); only meaningful with multiple pairs.
+  bool equalize_datasets = true;
+  LogisticRegressionOptions lr;
+  uint64_t seed = 13;
+};
+
+/// A trained convergence classifier (the model plus its feature recipe).
+class ConvergenceClassifier {
+ public:
+  /// Trains on one pair (local classifier) or several (global classifier).
+  /// Fails if no training pair yields a non-trivial cover.
+  static StatusOr<ConvergenceClassifier> Train(
+      const std::vector<TrainingPair>& pairs, const ShortestPathEngine& engine,
+      const ClassifierTrainOptions& options);
+
+  /// P(node in cover) for every node of the test pair; charges 6l SSSPs.
+  std::vector<double> ScoreNodes(const Graph& g1, const Graph& g2, Rng& rng,
+                                 const ShortestPathEngine& engine,
+                                 SsspBudget* budget,
+                                 std::vector<NodeId>* landmarks_out,
+                                 LandmarkRowCache* rows_out = nullptr) const;
+
+  const LogisticRegression& model() const { return model_; }
+  const NodeFeatureOptions& feature_options() const {
+    return feature_options_;
+  }
+
+  /// Text serialization of the full classifier (feature recipe + weights),
+  /// so a model trained offline can be shipped and reloaded.
+  std::string Serialize() const;
+  static StatusOr<ConvergenceClassifier> Deserialize(const std::string& text);
+
+  /// File convenience wrappers around (De)Serialize.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<ConvergenceClassifier> LoadFromFile(const std::string& path);
+
+ private:
+  NodeFeatureOptions feature_options_;
+  LogisticRegression model_;
+};
+
+/// "L-Classifier" / "G-Classifier" selection policy wrapping a trained
+/// model.
+class ClassifierSelector final : public CandidateSelector {
+ public:
+  ClassifierSelector(std::string name,
+                     std::shared_ptr<const ConvergenceClassifier> classifier);
+
+  std::string name() const override { return name_; }
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+
+ private:
+  std::string name_;
+  std::shared_ptr<const ConvergenceClassifier> classifier_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_SELECTORS_CLASSIFIER_SELECTOR_H_

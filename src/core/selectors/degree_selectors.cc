@@ -1,0 +1,31 @@
+#include "core/selectors/degree_selectors.h"
+
+#include "centrality/degree.h"
+
+namespace convpairs {
+
+CandidateSet DegreeSelector::SelectCandidates(SelectorContext& context) {
+  CandidateSet result;
+  result.nodes =
+      TopActiveByScore(*context.g1, DegreeScores(*context.g1),
+                       static_cast<size_t>(context.budget_m));
+  return result;
+}
+
+CandidateSet DegreeDiffSelector::SelectCandidates(SelectorContext& context) {
+  CandidateSet result;
+  result.nodes =
+      TopActiveByScore(*context.g1, DegreeDiffScores(*context.g1, *context.g2),
+                       static_cast<size_t>(context.budget_m));
+  return result;
+}
+
+CandidateSet DegreeRelSelector::SelectCandidates(SelectorContext& context) {
+  CandidateSet result;
+  result.nodes =
+      TopActiveByScore(*context.g1, DegreeRelScores(*context.g1, *context.g2),
+                       static_cast<size_t>(context.budget_m));
+  return result;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,36 @@
+// Centrality-based candidate selection (paper Section 4.2.1): rank nodes by
+// degree in G_t1, absolute degree growth, or relative degree growth, and
+// keep the top m. Generation is free of SSSP cost, so all m budget units
+// per snapshot go to the extraction phase.
+
+#ifndef CONVPAIRS_CORE_SELECTORS_DEGREE_SELECTORS_H_
+#define CONVPAIRS_CORE_SELECTORS_DEGREE_SELECTORS_H_
+
+#include "core/selector.h"
+
+namespace convpairs {
+
+/// "Degree": largest deg_t1(u).
+class DegreeSelector final : public CandidateSelector {
+ public:
+  std::string name() const override { return "Degree"; }
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+};
+
+/// "DegDiff": largest deg_t2(u) - deg_t1(u).
+class DegreeDiffSelector final : public CandidateSelector {
+ public:
+  std::string name() const override { return "DegDiff"; }
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+};
+
+/// "DegRel": largest (deg_t2(u) - deg_t1(u)) / deg_t1(u).
+class DegreeRelSelector final : public CandidateSelector {
+ public:
+  std::string name() const override { return "DegRel"; }
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_SELECTORS_DEGREE_SELECTORS_H_

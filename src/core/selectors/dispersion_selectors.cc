@@ -1,0 +1,27 @@
+#include "core/selectors/dispersion_selectors.h"
+
+#include "util/check.h"
+
+namespace convpairs {
+
+DispersionSelector::DispersionSelector(LandmarkPolicy policy)
+    : policy_(policy) {
+  CONVPAIRS_CHECK(policy == LandmarkPolicy::kMaxMin ||
+                  policy == LandmarkPolicy::kMaxAvg);
+}
+
+std::string DispersionSelector::name() const {
+  return policy_ == LandmarkPolicy::kMaxMin ? "MaxMin" : "MaxAvg";
+}
+
+CandidateSet DispersionSelector::SelectCandidates(SelectorContext& context) {
+  LandmarkSelection selection = SelectLandmarks(
+      *context.g1, policy_, static_cast<uint32_t>(context.budget_m),
+      *context.rng, *context.engine, context.budget);
+  CandidateSet result;
+  result.nodes = std::move(selection.landmarks);
+  result.g1_rows = std::move(selection.g1_rows);
+  return result;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,33 @@
+// Dispersion-based candidate selection (paper Section 4.2.2): the
+// candidates are the m most dispersed nodes of G_t1 (greedy MaxAvg or
+// MaxMin). Selection costs m SSSPs in G_t1, but those rows are exactly the
+// D1 rows the extraction phase needs, so the total stays at 2m.
+//
+// Notably, these policies never look at G_t2: they are pure *predictors* of
+// convergence (paper Section 5.2's observation that dispersion could
+// forecast converging pairs before the second snapshot exists).
+
+#ifndef CONVPAIRS_CORE_SELECTORS_DISPERSION_SELECTORS_H_
+#define CONVPAIRS_CORE_SELECTORS_DISPERSION_SELECTORS_H_
+
+#include "core/selector.h"
+#include "landmark/landmark_selector.h"
+
+namespace convpairs {
+
+/// "MaxAvg" / "MaxMin" depending on the policy.
+class DispersionSelector final : public CandidateSelector {
+ public:
+  /// `policy` must be kMaxMin or kMaxAvg.
+  explicit DispersionSelector(LandmarkPolicy policy);
+
+  std::string name() const override;
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+
+ private:
+  LandmarkPolicy policy_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_SELECTORS_DISPERSION_SELECTORS_H_

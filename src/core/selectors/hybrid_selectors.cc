@@ -1,0 +1,55 @@
+#include "core/selectors/hybrid_selectors.h"
+
+#include <algorithm>
+
+#include "landmark/landmark_features.h"
+#include "util/check.h"
+
+namespace convpairs {
+
+HybridSelector::HybridSelector(LandmarkPolicy landmark_policy,
+                               bool use_l1_norm)
+    : landmark_policy_(landmark_policy), use_l1_(use_l1_norm) {
+  CONVPAIRS_CHECK(landmark_policy == LandmarkPolicy::kMaxMin ||
+                  landmark_policy == LandmarkPolicy::kMaxAvg);
+}
+
+std::string HybridSelector::name() const {
+  std::string prefix =
+      landmark_policy_ == LandmarkPolicy::kMaxMin ? "MM" : "MA";
+  return prefix + (use_l1_ ? "SD" : "MD");
+}
+
+CandidateSet HybridSelector::SelectCandidates(SelectorContext& context) {
+  CandidateSet result;
+  int l = std::min(context.num_landmarks, context.budget_m);
+  int candidate_budget = context.budget_m - l;
+  if (l == 0 || candidate_budget <= 0) return result;
+
+  // Dispersion selection: l SSSPs in G_t1 whose rows are DL1.
+  LandmarkSelection selection = SelectLandmarks(
+      *context.g1, landmark_policy_, static_cast<uint32_t>(l), *context.rng,
+      *context.engine, context.budget);
+  if (selection.landmarks.empty()) return result;
+
+  DistanceMatrix dl2 = DistanceMatrix::Build(
+      *context.g2, selection.landmarks, *context.engine, context.budget);
+  LandmarkChangeNorms norms =
+      ComputeLandmarkChangeNorms(selection.g1_rows, dl2);
+
+  // m - l fresh candidates plus the l landmarks for free (both rows of a
+  // landmark are already computed; dispersed landmarks are prime
+  // converging-pair endpoints).
+  result.nodes = TopActiveByScore(*context.g1,
+                                  use_l1_ ? norms.l1 : norms.linf,
+                                  static_cast<size_t>(candidate_budget),
+                                  selection.landmarks);
+  for (NodeId landmark : selection.landmarks) {
+    result.nodes.push_back(landmark);
+  }
+  result.g1_rows = std::move(selection.g1_rows);
+  result.g2_rows = std::move(dl2);
+  return result;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,32 @@
+// Hybrid candidate selection (paper Section 4.2.4): dispersion-selected
+// landmarks combined with landmark-change ranking. The dispersion greedy
+// pays l SSSPs in G_t1 whose rows double as DL1, so nothing is wasted on
+// random probes; the four combinations are
+//   MMSD = MaxMin landmarks + SumDiff,  MMMD = MaxMin + MaxDiff,
+//   MASD = MaxAvg landmarks + SumDiff,  MAMD = MaxAvg + MaxDiff.
+
+#ifndef CONVPAIRS_CORE_SELECTORS_HYBRID_SELECTORS_H_
+#define CONVPAIRS_CORE_SELECTORS_HYBRID_SELECTORS_H_
+
+#include "core/selector.h"
+#include "landmark/landmark_selector.h"
+
+namespace convpairs {
+
+/// One of MMSD / MMMD / MASD / MAMD.
+class HybridSelector final : public CandidateSelector {
+ public:
+  /// `landmark_policy` must be kMaxMin or kMaxAvg.
+  HybridSelector(LandmarkPolicy landmark_policy, bool use_l1_norm);
+
+  std::string name() const override;
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+
+ private:
+  LandmarkPolicy landmark_policy_;
+  bool use_l1_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_SELECTORS_HYBRID_SELECTORS_H_

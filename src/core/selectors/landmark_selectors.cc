@@ -1,0 +1,58 @@
+#include "core/selectors/landmark_selectors.h"
+
+#include <algorithm>
+
+#include "landmark/landmark_features.h"
+#include "landmark/landmark_selector.h"
+
+namespace convpairs {
+
+std::string LandmarkDiffSelector::name() const {
+  std::string base = use_l1_ ? "SumDiff" : "MaxDiff";
+  if (landmark_policy_ != LandmarkPolicy::kRandom) {
+    base += std::string("[") + LandmarkPolicyName(landmark_policy_) + "]";
+  }
+  return base;
+}
+
+CandidateSet LandmarkDiffSelector::SelectCandidates(SelectorContext& context) {
+  CandidateSet result;
+  // If the budget cannot even pay for the landmarks, the policy produces no
+  // candidates — the honest cost of its setup phase, visible in the
+  // low-budget region of Figure 1.
+  int l = std::min(context.num_landmarks, context.budget_m);
+  int candidate_budget = context.budget_m - l;
+  if (l == 0 || candidate_budget <= 0) return result;
+
+  LandmarkSelection selection =
+      SelectLandmarks(*context.g1, landmark_policy_, static_cast<uint32_t>(l),
+                      *context.rng, *context.engine, context.budget);
+  if (selection.landmarks.empty()) return result;
+
+  // Dispersion schemes already paid for their G_t1 rows during selection;
+  // SSSP-free schemes (random, highdeg) pay for DL1 here.
+  DistanceMatrix dl1 =
+      selection.g1_rows.sources().empty()
+          ? DistanceMatrix::Build(*context.g1, selection.landmarks,
+                                  *context.engine, context.budget)
+          : std::move(selection.g1_rows);
+  DistanceMatrix dl2 = DistanceMatrix::Build(
+      *context.g2, selection.landmarks, *context.engine, context.budget);
+  LandmarkChangeNorms norms = ComputeLandmarkChangeNorms(dl1, dl2);
+
+  // 2(m - l) budget buys m - l fresh candidates; the l landmarks join the
+  // candidate set for free since their rows in both snapshots are already
+  // paid for (and get reused by the extraction phase below).
+  result.nodes = TopActiveByScore(*context.g1,
+                                  use_l1_ ? norms.l1 : norms.linf,
+                                  static_cast<size_t>(candidate_budget),
+                                  selection.landmarks);
+  for (NodeId landmark : selection.landmarks) {
+    if (context.g1->degree(landmark) > 0) result.nodes.push_back(landmark);
+  }
+  result.g1_rows = std::move(dl1);
+  result.g2_rows = std::move(dl2);
+  return result;
+}
+
+}  // namespace convpairs

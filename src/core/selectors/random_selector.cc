@@ -1,0 +1,23 @@
+#include "core/selectors/random_selector.h"
+
+#include <algorithm>
+
+namespace convpairs {
+
+CandidateSet RandomSelector::SelectCandidates(SelectorContext& context) {
+  std::vector<NodeId> active;
+  active.reserve(context.g1->num_active_nodes());
+  for (NodeId u = 0; u < context.g1->num_nodes(); ++u) {
+    if (context.g1->degree(u) > 0) active.push_back(u);
+  }
+  uint32_t count = static_cast<uint32_t>(std::min<size_t>(
+      static_cast<size_t>(context.budget_m), active.size()));
+  std::vector<uint32_t> picks = context.rng->SampleWithoutReplacement(
+      static_cast<uint32_t>(active.size()), count);
+  CandidateSet result;
+  result.nodes.reserve(count);
+  for (uint32_t idx : picks) result.nodes.push_back(active[idx]);
+  return result;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,21 @@
+// Uniform-random candidate selection: the sanity baseline every informed
+// policy must beat. Not part of the paper's Table 4, but used by tests
+// (informed > random on structured workloads) and the ablation bench.
+
+#ifndef CONVPAIRS_CORE_SELECTORS_RANDOM_SELECTOR_H_
+#define CONVPAIRS_CORE_SELECTORS_RANDOM_SELECTOR_H_
+
+#include "core/selector.h"
+
+namespace convpairs {
+
+/// "Random": m uniform random active nodes of G_t1.
+class RandomSelector final : public CandidateSelector {
+ public:
+  std::string name() const override { return "Random"; }
+  CandidateSet SelectCandidates(SelectorContext& context) override;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_SELECTORS_RANDOM_SELECTOR_H_

@@ -1,0 +1,152 @@
+#include "core/stream_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/diverging.h"
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+SnapshotSource SnapshotSource::FromTemporal(const TemporalGraph* stream) {
+  CONVPAIRS_CHECK(stream != nullptr);
+  SnapshotSource source;
+  source.snapshot = [stream](double fraction) {
+    return stream->SnapshotAtFraction(fraction);
+  };
+  source.events_between = [stream](double from, double to) {
+    return stream->EdgesInFractionRange(from, to).size();
+  };
+  return source;
+}
+
+SnapshotSource SnapshotSource::FromDynamic(const DynamicGraphStream* stream) {
+  CONVPAIRS_CHECK(stream != nullptr);
+  SnapshotSource source;
+  source.snapshot = [stream](double fraction) {
+    return stream->SnapshotAtFraction(fraction);
+  };
+  source.events_between = [stream](double from, double to) {
+    size_t total = stream->num_events();
+    auto prefix = [total](double fraction) {
+      return static_cast<size_t>(
+          std::llround(fraction * static_cast<double>(total)));
+    };
+    return prefix(to) - prefix(from);
+  };
+  return source;
+}
+
+StreamMonitor::StreamMonitor(const TemporalGraph* stream,
+                             const ShortestPathEngine* engine,
+                             std::unique_ptr<CandidateSelector> selector,
+                             const StreamMonitorOptions& options)
+    : StreamMonitor(SnapshotSource::FromTemporal(stream), engine,
+                    std::move(selector), options) {}
+
+StreamMonitor::StreamMonitor(SnapshotSource source,
+                             const ShortestPathEngine* engine,
+                             std::unique_ptr<CandidateSelector> selector,
+                             const StreamMonitorOptions& options)
+    : source_(std::move(source)),
+      engine_(engine),
+      selector_(std::move(selector)),
+      options_(options) {
+  CONVPAIRS_CHECK(source_.snapshot != nullptr);
+  CONVPAIRS_CHECK(source_.events_between != nullptr);
+  CONVPAIRS_CHECK(engine_ != nullptr);
+  CONVPAIRS_CHECK(selector_ != nullptr);
+}
+
+WindowReport StreamMonitor::ProcessWindow(double from_fraction,
+                                          double to_fraction) {
+  CONVPAIRS_CHECK_LT(from_fraction, to_fraction);
+  WindowReport report;
+  report.from_fraction = from_fraction;
+  report.to_fraction = to_fraction;
+  report.new_events = source_.events_between(from_fraction, to_fraction);
+
+  Graph g1 = source_.snapshot(from_fraction);
+  Graph g2 = source_.snapshot(to_fraction);
+
+  TopKOptions options;
+  options.k = options_.k;
+  options.budget_m = options_.budget_m;
+  options.num_landmarks = options_.num_landmarks;
+  options.seed = options_.seed + window_counter_;
+  // Deletions can make converging deltas undefined under the insert-only
+  // extraction; it skips pairs whose distance grew, so a mixed stream is
+  // handled correctly by construction (d1 - d2 <= 0 pairs are dropped).
+  TopKResult result =
+      FindTopKConvergingPairs(g1, g2, *engine_, *selector_, options);
+  report.sssp_used = result.sssp_used;
+
+  uint64_t window_index = window_counter_++;
+  for (const ConvergingPair& pair : result.pairs) {
+    uint64_t key = PairKey(pair.u, pair.v);
+    if (options_.deduplicate_alerts && alerted_pairs_.count(key) > 0) {
+      ++report.suppressed;
+      continue;
+    }
+    alerted_pairs_.insert(key);
+    node_windows_[pair.u].insert(window_index);
+    node_windows_[pair.v].insert(window_index);
+    report.alerts.push_back(pair);
+  }
+
+  if (options_.diverging_selector != nullptr) {
+    SsspBudget diverging_budget(
+        static_cast<int64_t>(options_.budget_m) * 2);
+    Rng rng(options_.seed + window_index + 0x9E37ULL);
+    SelectorContext context;
+    context.g1 = &g1;
+    context.g2 = &g2;
+    context.engine = engine_;
+    context.budget_m = options_.budget_m;
+    context.num_landmarks = options_.num_landmarks;
+    context.rng = &rng;
+    context.budget = &diverging_budget;
+    CandidateSet candidates =
+        options_.diverging_selector->SelectCandidates(context);
+    TopKResult diverging = ExtractTopKDivergingPairs(
+        g1, g2, *engine_, candidates, options_.k, &diverging_budget);
+    report.diverging_alerts = std::move(diverging.pairs);
+    report.sssp_used += diverging_budget.used();
+  }
+  return report;
+}
+
+std::vector<WindowReport> StreamMonitor::Sweep(double start, double window) {
+  CONVPAIRS_CHECK_GT(window, 0.0);
+  std::vector<WindowReport> reports;
+  for (double from = start; from + window <= 1.0 + 1e-12; from += window) {
+    reports.push_back(ProcessWindow(from, std::min(1.0, from + window)));
+  }
+  return reports;
+}
+
+std::vector<std::pair<NodeId, int>> StreamMonitor::RepeatOffenders(
+    int min_windows) const {
+  std::vector<std::pair<NodeId, int>> offenders;
+  for (const auto& [node, windows] : node_windows_) {
+    if (static_cast<int>(windows.size()) >= min_windows) {
+      offenders.push_back({node, static_cast<int>(windows.size())});
+    }
+  }
+  std::sort(offenders.begin(), offenders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return offenders;
+}
+
+}  // namespace convpairs

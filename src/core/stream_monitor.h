@@ -1,0 +1,114 @@
+// Sliding-window convergence monitoring over an evolving graph stream
+// (DESIGN.md §6, multi-slice extension).
+//
+// The paper analyses one snapshot pair; production monitoring wants the
+// converging pairs of every consecutive window, with duplicate suppression
+// (a pair that converged in window t and is simply *still close* in window
+// t+1 must not re-alert) and attention to repeat offenders (a node that
+// converges toward new partners window after window — the paper's protein
+// "community joining" signal).
+
+#ifndef CONVPAIRS_CORE_STREAM_MONITOR_H_
+#define CONVPAIRS_CORE_STREAM_MONITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/selector.h"
+#include "core/top_k.h"
+#include "graph/dynamic_stream.h"
+#include "graph/temporal_graph.h"
+#include "sssp/dijkstra.h"
+
+namespace convpairs {
+
+/// Abstracts the evolving-graph source a monitor watches: given an edge
+/// fraction in [0,1], produce the snapshot, plus the number of events in a
+/// range. Adapters exist for TemporalGraph (insert-only) and
+/// DynamicGraphStream (inserts + deletes).
+struct SnapshotSource {
+  std::function<Graph(double fraction)> snapshot;
+  std::function<size_t(double from, double to)> events_between;
+
+  static SnapshotSource FromTemporal(const TemporalGraph* stream);
+  static SnapshotSource FromDynamic(const DynamicGraphStream* stream);
+};
+
+struct StreamMonitorOptions {
+  /// Pairs reported per window.
+  int k = 10;
+  /// SSSP budget per snapshot of each window.
+  int budget_m = 50;
+  int num_landmarks = 10;
+  uint64_t seed = 0;
+  /// Suppress pairs already alerted in a previous window.
+  bool deduplicate_alerts = true;
+  /// Also report diverging pairs per window (only meaningful on sources
+  /// with deletions; needs a diverging-capable selector, see
+  /// core/diverging.h — when unset only converging alerts are produced).
+  CandidateSelector* diverging_selector = nullptr;
+};
+
+/// One window's outcome.
+struct WindowReport {
+  double from_fraction = 0.0;
+  double to_fraction = 0.0;
+  /// Edge events inside the window.
+  size_t new_events = 0;
+  /// Fresh alerts (after dedup), best first.
+  std::vector<ConvergingPair> alerts;
+  /// Diverging alerts (delta = distance increase), when a diverging
+  /// selector is configured.
+  std::vector<ConvergingPair> diverging_alerts;
+  /// Pairs found but suppressed as duplicates.
+  size_t suppressed = 0;
+  int64_t sssp_used = 0;
+};
+
+/// Drives one selection policy across consecutive windows of a stream.
+class StreamMonitor {
+ public:
+  /// `stream` and `engine` must outlive the monitor.
+  StreamMonitor(const TemporalGraph* stream, const ShortestPathEngine* engine,
+                std::unique_ptr<CandidateSelector> selector,
+                const StreamMonitorOptions& options);
+
+  /// Deletion-capable source; converging alerts behave identically, and a
+  /// configured diverging selector adds drift alerts per window.
+  StreamMonitor(SnapshotSource source, const ShortestPathEngine* engine,
+                std::unique_ptr<CandidateSelector> selector,
+                const StreamMonitorOptions& options);
+
+  /// Processes the window (from_fraction, to_fraction]. Windows may overlap
+  /// or be processed out of order; dedup state is global.
+  WindowReport ProcessWindow(double from_fraction, double to_fraction);
+
+  /// Convenience: slides a window of width `window` from `start` to 1.0 in
+  /// steps of `window`, returning one report per step.
+  std::vector<WindowReport> Sweep(double start, double window);
+
+  /// Nodes ranked by how many distinct windows they appeared in an alert
+  /// (the "converging toward multiple partners over time" signal).
+  std::vector<std::pair<NodeId, int>> RepeatOffenders(int min_windows) const;
+
+  /// Total distinct pairs alerted so far.
+  size_t total_alerts() const { return alerted_pairs_.size(); }
+
+ private:
+  SnapshotSource source_;
+  const ShortestPathEngine* engine_;
+  std::unique_ptr<CandidateSelector> selector_;
+  StreamMonitorOptions options_;
+  uint64_t window_counter_ = 0;
+  std::set<uint64_t> alerted_pairs_;
+  // node -> set of window indices with an alert involving the node.
+  std::map<NodeId, std::set<uint64_t>> node_windows_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_STREAM_MONITOR_H_

@@ -1,0 +1,112 @@
+#include "core/top_k.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+// Deterministic total order on pairs: larger delta first, then lexicographic.
+bool BetterPair(const ConvergingPair& a, const ConvergingPair& b) {
+  if (a.delta != b.delta) return a.delta > b.delta;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+}  // namespace
+
+TopKResult ExtractTopKPairs(const Graph& g1, const Graph& g2,
+                            const ShortestPathEngine& engine,
+                            const CandidateSet& candidate_set, int k,
+                            SsspBudget* budget) {
+  CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
+  CONVPAIRS_CHECK_GE(k, 0);
+  const NodeId n = g1.num_nodes();
+
+  TopKResult result;
+  result.candidates = candidate_set.nodes;
+
+  // Membership bitmap for candidate-candidate dedup: a pair (c, v) with both
+  // endpoints candidates is emitted only by its smaller endpoint.
+  std::vector<bool> is_candidate(n, false);
+  for (NodeId c : candidate_set.nodes) {
+    CONVPAIRS_CHECK_LT(c, n);
+    is_candidate[c] = true;
+  }
+
+  // Rows already computed during selection (keyed by source node).
+  std::unordered_map<NodeId, size_t> reusable_g1_row;
+  for (size_t i = 0; i < candidate_set.g1_rows.sources().size(); ++i) {
+    reusable_g1_row.emplace(candidate_set.g1_rows.sources()[i], i);
+  }
+  std::unordered_map<NodeId, size_t> reusable_g2_row;
+  for (size_t i = 0; i < candidate_set.g2_rows.sources().size(); ++i) {
+    reusable_g2_row.emplace(candidate_set.g2_rows.sources()[i], i);
+  }
+
+  std::vector<ConvergingPair> found;
+  std::vector<Dist> d1_owned;
+  std::vector<Dist> d2_owned;
+  for (NodeId c : candidate_set.nodes) {
+    std::span<const Dist> d1;
+    auto it = reusable_g1_row.find(c);
+    if (it != reusable_g1_row.end()) {
+      d1 = candidate_set.g1_rows.row(it->second);
+    } else {
+      engine.Distances(g1, c, &d1_owned, budget);
+      d1 = d1_owned;
+    }
+    std::span<const Dist> d2;
+    auto it2 = reusable_g2_row.find(c);
+    if (it2 != reusable_g2_row.end()) {
+      d2 = candidate_set.g2_rows.row(it2->second);
+    } else {
+      engine.Distances(g2, c, &d2_owned, budget);
+      d2 = d2_owned;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == c || !IsReachable(d1[v])) continue;
+      if (is_candidate[v] && v < c) continue;  // Emitted by the other side.
+      Dist delta = d1[v] - d2[v];
+      if (delta <= 0) continue;
+      found.push_back({std::min(c, v), std::max(c, v), delta});
+    }
+  }
+
+  size_t keep = std::min<size_t>(static_cast<size_t>(k), found.size());
+  std::partial_sort(found.begin(), found.begin() + keep, found.end(),
+                    BetterPair);
+  found.resize(keep);
+  result.pairs = std::move(found);
+  if (budget != nullptr) result.sssp_used = budget->used();
+  return result;
+}
+
+TopKResult FindTopKConvergingPairs(const Graph& g1, const Graph& g2,
+                                   const ShortestPathEngine& engine,
+                                   CandidateSelector& selector,
+                                   const TopKOptions& options) {
+  CONVPAIRS_CHECK_GT(options.budget_m, 0);
+  SsspBudget budget(options.enforce_budget
+                        ? static_cast<int64_t>(options.budget_m) * 2
+                        : SsspBudget::kUnlimited);
+  Rng rng(options.seed);
+  SelectorContext context;
+  context.g1 = &g1;
+  context.g2 = &g2;
+  context.engine = &engine;
+  context.budget_m = options.budget_m;
+  context.num_landmarks = options.num_landmarks;
+  context.rng = &rng;
+  context.budget = &budget;
+
+  CandidateSet candidates = selector.SelectCandidates(context);
+  TopKResult result = ExtractTopKPairs(g1, g2, engine, candidates, options.k,
+                                       &budget);
+  result.sssp_used = budget.used();
+  return result;
+}
+
+}  // namespace convpairs

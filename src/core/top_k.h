@@ -1,0 +1,59 @@
+// The generic budgeted top-k algorithm (paper Algorithm 1).
+//
+// Given candidate endpoints M from any selection policy, computes the
+// distance rows D1 (in G_t1) and D2 (in G_t2) for every candidate, forms the
+// delta rows D1 - D2 over pairs connected in G_t1, and returns the k pairs
+// with the largest decrease among all pairs touching M. Total cost:
+// selection cost + 2|M| SSSPs = 2m, enforced through the SsspBudget.
+
+#ifndef CONVPAIRS_CORE_TOP_K_H_
+#define CONVPAIRS_CORE_TOP_K_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/selector.h"
+
+namespace convpairs {
+
+/// Result of one budgeted top-k run.
+struct TopKResult {
+  /// Best k pairs found, sorted by (delta desc, u asc, v asc).
+  std::vector<ConvergingPair> pairs;
+  /// The candidate set M the selector produced.
+  std::vector<NodeId> candidates;
+  /// Total SSSP computations spent (selection + extraction).
+  int64_t sssp_used = 0;
+};
+
+/// Tuning knobs for the top-k run.
+struct TopKOptions {
+  int k = 100;
+  /// Per-snapshot budget m: the run may spend at most 2m SSSPs in total.
+  int budget_m = 100;
+  /// Landmark count l passed to the selector.
+  int num_landmarks = 10;
+  uint64_t seed = 0;
+  /// When false, the budget only counts (selectors under test may
+  /// legitimately overshoot); when true, exceeding 2m aborts.
+  bool enforce_budget = true;
+};
+
+/// Runs selection + extraction end to end.
+TopKResult FindTopKConvergingPairs(const Graph& g1, const Graph& g2,
+                                   const ShortestPathEngine& engine,
+                                   CandidateSelector& selector,
+                                   const TopKOptions& options);
+
+/// Extraction phase only: computes the top-k pairs covered by `candidates`,
+/// reusing any G_t1 rows in `candidate_set.g1_rows`. Exposed separately so
+/// callers with externally chosen candidate sets (the Incidence baseline,
+/// the greedy-cover oracle) can share the implementation.
+TopKResult ExtractTopKPairs(const Graph& g1, const Graph& g2,
+                            const ShortestPathEngine& engine,
+                            const CandidateSet& candidate_set, int k,
+                            SsspBudget* budget);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_CORE_TOP_K_H_

@@ -1,0 +1,51 @@
+#include "cover/coverage.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace convpairs {
+
+uint64_t CoveredPairCount(const PairGraph& pair_graph,
+                          std::span<const NodeId> candidates) {
+  std::vector<bool> covered(pair_graph.num_pairs(), false);
+  uint64_t count = 0;
+  for (NodeId u : candidates) {
+    for (uint32_t pair_idx : pair_graph.IncidentPairs(u)) {
+      if (!covered[pair_idx]) {
+        covered[pair_idx] = true;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+double CoverageFraction(const PairGraph& pair_graph,
+                        std::span<const NodeId> candidates) {
+  if (pair_graph.num_pairs() == 0) return 1.0;
+  return static_cast<double>(CoveredPairCount(pair_graph, candidates)) /
+         static_cast<double>(pair_graph.num_pairs());
+}
+
+double EndpointHitRate(const PairGraph& pair_graph,
+                       std::span<const NodeId> candidates) {
+  if (candidates.empty()) return 0.0;
+  uint64_t hits = 0;
+  for (NodeId u : candidates) {
+    if (pair_graph.IsEndpoint(u)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(candidates.size());
+}
+
+double SetHitRate(std::span<const NodeId> reference,
+                  std::span<const NodeId> candidates) {
+  if (candidates.empty()) return 0.0;
+  std::unordered_set<NodeId> reference_set(reference.begin(), reference.end());
+  uint64_t hits = 0;
+  for (NodeId u : candidates) {
+    if (reference_set.count(u) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(candidates.size());
+}
+
+}  // namespace convpairs

@@ -1,0 +1,36 @@
+// Coverage metric (paper Section 5.1): the fraction of true top-k converging
+// pairs with at least one endpoint in a candidate set. This is the
+// performance measure of every experiment table and figure.
+
+#ifndef CONVPAIRS_COVER_COVERAGE_H_
+#define CONVPAIRS_COVER_COVERAGE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "cover/pair_graph.h"
+
+namespace convpairs {
+
+/// Number of pairs of `pair_graph` covered by `candidates`.
+uint64_t CoveredPairCount(const PairGraph& pair_graph,
+                          std::span<const NodeId> candidates);
+
+/// CoveredPairCount / num_pairs, in [0,1]. Returns 1.0 for an empty pair
+/// set (there is nothing to miss).
+double CoverageFraction(const PairGraph& pair_graph,
+                        std::span<const NodeId> candidates);
+
+/// Fraction of `candidates` that are endpoints of some pair
+/// (Figure 2(a)'s candidate-quality measure).
+double EndpointHitRate(const PairGraph& pair_graph,
+                       std::span<const NodeId> candidates);
+
+/// Fraction of `candidates` that belong to `reference` (Figure 2(b), with
+/// `reference` = the greedy cover).
+double SetHitRate(std::span<const NodeId> reference,
+                  std::span<const NodeId> candidates);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_COVER_COVERAGE_H_

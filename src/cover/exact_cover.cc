@@ -1,0 +1,72 @@
+#include "cover/exact_cover.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+// Branch and bound over the pair list. `chosen` is the current partial
+// cover; returns the best complete cover found within `budget` additional
+// picks, or nullopt.
+struct Searcher {
+  const PairGraph& pg;
+  std::vector<NodeId> chosen;
+  std::optional<std::vector<NodeId>> best;
+
+  bool Covered(const ConvergingPair& pair,
+               const std::vector<bool>& in_cover) const {
+    return in_cover[pair.u] || in_cover[pair.v];
+  }
+
+  void Search(std::vector<bool>& in_cover, size_t budget) {
+    if (best.has_value() && chosen.size() + 1 > best->size()) {
+      // Even one more pick cannot beat the incumbent... handled below via
+      // budget; the explicit check keeps the pruning tight.
+    }
+    // Find the first uncovered pair.
+    const ConvergingPair* uncovered = nullptr;
+    for (const ConvergingPair& pair : pg.pairs()) {
+      if (!Covered(pair, in_cover)) {
+        uncovered = &pair;
+        break;
+      }
+    }
+    if (uncovered == nullptr) {
+      if (!best.has_value() || chosen.size() < best->size()) {
+        best = chosen;
+        std::sort(best->begin(), best->end());
+      }
+      return;
+    }
+    if (budget == 0) return;  // Cannot cover the remaining edge.
+    if (best.has_value() && chosen.size() + 1 >= best->size()) return;
+
+    // Branch: every cover must contain u or v of the uncovered pair.
+    for (NodeId endpoint : {uncovered->u, uncovered->v}) {
+      chosen.push_back(endpoint);
+      in_cover[endpoint] = true;
+      Search(in_cover, budget - 1);
+      in_cover[endpoint] = false;
+      chosen.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> ExactMinimumVertexCover(
+    const PairGraph& pair_graph, size_t max_cover_size) {
+  if (pair_graph.num_pairs() == 0) return std::vector<NodeId>{};
+  NodeId max_node = 0;
+  for (const ConvergingPair& pair : pair_graph.pairs()) {
+    max_node = std::max(max_node, pair.v);
+  }
+  std::vector<bool> in_cover(max_node + 1, false);
+  Searcher searcher{pair_graph, {}, std::nullopt};
+  searcher.Search(in_cover, max_cover_size);
+  return searcher.best;
+}
+
+}  // namespace convpairs

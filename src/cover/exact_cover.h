@@ -1,0 +1,27 @@
+// Exact minimum vertex cover of small pair graphs (branch and bound).
+//
+// The greedy cover (cover/greedy_cover.h) carries a ln(k) approximation
+// guarantee; this solver audits its actual quality on the Table 3 pair
+// graphs whenever the instance is small enough. Standard VC branch and
+// bound: pick an uncovered edge, branch on covering it by either endpoint;
+// prune at the incumbent. Exponential in the cover size — callers bound it
+// with `max_cover_size`.
+
+#ifndef CONVPAIRS_COVER_EXACT_COVER_H_
+#define CONVPAIRS_COVER_EXACT_COVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "cover/pair_graph.h"
+
+namespace convpairs {
+
+/// Minimum vertex cover, or nullopt if every cover exceeds
+/// `max_cover_size` (the search budget). Deterministic.
+std::optional<std::vector<NodeId>> ExactMinimumVertexCover(
+    const PairGraph& pair_graph, size_t max_cover_size = 24);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_COVER_EXACT_COVER_H_

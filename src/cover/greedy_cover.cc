@@ -1,0 +1,84 @@
+#include "cover/greedy_cover.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+// Lazy-greedy max-coverage: scores only decrease as pairs get covered, so a
+// stale heap entry can be refreshed and reinserted instead of rescanning all
+// nodes each round (standard submodular lazy evaluation).
+CoverResult GreedyCoverImpl(const PairGraph& pg, size_t budget) {
+  struct Entry {
+    uint32_t gain;
+    NodeId node;
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return node > other.node;  // Prefer lower ids on ties.
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (NodeId u : pg.endpoints()) {
+    heap.push({static_cast<uint32_t>(pg.IncidentPairs(u).size()), u});
+  }
+  std::vector<bool> pair_covered(pg.num_pairs(), false);
+
+  auto current_gain = [&](NodeId u) {
+    uint32_t gain = 0;
+    for (uint32_t pair_idx : pg.IncidentPairs(u)) {
+      if (!pair_covered[pair_idx]) ++gain;
+    }
+    return gain;
+  };
+
+  CoverResult result;
+  while (result.covered_pairs < pg.num_pairs() && result.nodes.size() < budget &&
+         !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    uint32_t gain = current_gain(top.node);
+    if (gain == 0) continue;
+    if (gain < top.gain) {
+      heap.push({gain, top.node});  // Stale; refresh and retry.
+      continue;
+    }
+    result.nodes.push_back(top.node);
+    for (uint32_t pair_idx : pg.IncidentPairs(top.node)) {
+      if (!pair_covered[pair_idx]) {
+        pair_covered[pair_idx] = true;
+        ++result.covered_pairs;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CoverResult GreedyVertexCover(const PairGraph& pair_graph) {
+  CoverResult result =
+      GreedyCoverImpl(pair_graph, pair_graph.endpoints().size());
+  CONVPAIRS_CHECK_EQ(result.covered_pairs, pair_graph.num_pairs());
+  return result;
+}
+
+CoverResult GreedyMaxCoverage(const PairGraph& pair_graph, size_t budget) {
+  return GreedyCoverImpl(pair_graph, budget);
+}
+
+bool IsVertexCover(const PairGraph& pair_graph,
+                   const std::vector<NodeId>& nodes) {
+  std::vector<bool> covered(pair_graph.num_pairs(), false);
+  for (NodeId u : nodes) {
+    for (uint32_t pair_idx : pair_graph.IncidentPairs(u)) {
+      covered[pair_idx] = true;
+    }
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool c) { return c; });
+}
+
+}  // namespace convpairs

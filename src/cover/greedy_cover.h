@@ -1,0 +1,40 @@
+// Greedy vertex cover / max-coverage of the pair graph G^p_k.
+//
+// Minimum vertex cover and budgeted max-coverage are NP-hard even given
+// G^p_k; the paper uses the classic greedy algorithm (log-factor
+// approximation for cover, (1 - 1/e) for max-coverage) as the gold-standard
+// candidate set: the "maxcover" column of Table 3, the quality reference of
+// Figure 2(b), and the positive class of the classifiers.
+
+#ifndef CONVPAIRS_COVER_GREEDY_COVER_H_
+#define CONVPAIRS_COVER_GREEDY_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cover/pair_graph.h"
+
+namespace convpairs {
+
+/// Output of a greedy cover run.
+struct CoverResult {
+  /// Selected nodes, in greedy pick order.
+  std::vector<NodeId> nodes;
+  /// Number of pairs covered by `nodes`.
+  uint64_t covered_pairs = 0;
+};
+
+/// Greedy vertex cover: picks the node covering the most uncovered pairs
+/// until every pair is covered. Ties break toward the lower node id.
+CoverResult GreedyVertexCover(const PairGraph& pair_graph);
+
+/// Budgeted variant: stops after `budget` nodes (or full coverage).
+CoverResult GreedyMaxCoverage(const PairGraph& pair_graph, size_t budget);
+
+/// True if every pair has at least one endpoint in `nodes`.
+bool IsVertexCover(const PairGraph& pair_graph,
+                   const std::vector<NodeId>& nodes);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_COVER_GREEDY_COVER_H_

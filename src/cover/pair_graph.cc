@@ -1,0 +1,39 @@
+#include "cover/pair_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+PairGraph::PairGraph(std::vector<ConvergingPair> pairs)
+    : pairs_(std::move(pairs)) {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(pairs_.size() * 2);
+  for (ConvergingPair& p : pairs_) {
+    if (p.u > p.v) std::swap(p.u, p.v);
+    CONVPAIRS_CHECK_NE(p.u, p.v);
+    uint64_t key = (static_cast<uint64_t>(p.u) << 32) | p.v;
+    CONVPAIRS_CHECK(seen.insert(key).second);  // Top-k pairs form a set.
+  }
+  for (uint32_t i = 0; i < pairs_.size(); ++i) {
+    incidence_[pairs_[i].u].push_back(i);
+    incidence_[pairs_[i].v].push_back(i);
+  }
+  endpoints_.reserve(incidence_.size());
+  for (const auto& [node, incident] : incidence_) endpoints_.push_back(node);
+  std::sort(endpoints_.begin(), endpoints_.end());
+}
+
+std::span<const uint32_t> PairGraph::IncidentPairs(NodeId u) const {
+  auto it = incidence_.find(u);
+  if (it == incidence_.end()) return {};
+  return it->second;
+}
+
+bool PairGraph::IsEndpoint(NodeId u) const {
+  return incidence_.find(u) != incidence_.end();
+}
+
+}  // namespace convpairs

@@ -1,0 +1,51 @@
+// The pair graph G^p_k (paper Section 3).
+//
+// Given the set P of top-k converging pairs, G^p_k has an edge (u,v) for
+// every pair in P. A vertex cover of G^p_k is exactly a candidate set whose
+// SSSP rows recover all of P; the budgeted problem (Problem 2) is
+// max-coverage of its edges. This module stores P with per-node incidence
+// lists so cover and coverage queries are O(degree).
+
+#ifndef CONVPAIRS_COVER_PAIR_GRAPH_H_
+#define CONVPAIRS_COVER_PAIR_GRAPH_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace convpairs {
+
+/// Immutable edge set over the converging pairs, indexed by endpoint.
+class PairGraph {
+ public:
+  PairGraph() = default;
+
+  /// Builds from the top-k pair set. Pairs are normalized to u < v;
+  /// duplicates are rejected (the top-k set is a set).
+  explicit PairGraph(std::vector<ConvergingPair> pairs);
+
+  size_t num_pairs() const { return pairs_.size(); }
+  const std::vector<ConvergingPair>& pairs() const { return pairs_; }
+
+  /// Distinct endpoint nodes, sorted ascending ("endpoints" column of the
+  /// paper's Table 3).
+  const std::vector<NodeId>& endpoints() const { return endpoints_; }
+
+  /// Indices into pairs() of the pairs incident to `u` (empty if `u` is not
+  /// an endpoint).
+  std::span<const uint32_t> IncidentPairs(NodeId u) const;
+
+  /// True if `u` is an endpoint of at least one pair.
+  bool IsEndpoint(NodeId u) const;
+
+ private:
+  std::vector<ConvergingPair> pairs_;
+  std::vector<NodeId> endpoints_;
+  std::unordered_map<NodeId, std::vector<uint32_t>> incidence_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_COVER_PAIR_GRAPH_H_

@@ -1,0 +1,54 @@
+#include "gen/affiliation_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+TemporalGraph GenerateAffiliation(const AffiliationParams& params, Rng& rng) {
+  CONVPAIRS_CHECK_GE(params.min_team_size, 2u);
+  CONVPAIRS_CHECK_GE(params.max_team_size, params.min_team_size);
+  CONVPAIRS_CHECK_GT(params.num_events, 0u);
+
+  TemporalGraph g;
+  NodeId next_node = 0;
+  // Participation pool: one entry per (node, event) participation; uniform
+  // sampling from it is participation-proportional.
+  std::vector<NodeId> participation_pool;
+
+  std::vector<NodeId> team;
+  for (uint32_t event = 0; event < params.num_events; ++event) {
+    uint32_t team_size = static_cast<uint32_t>(rng.UniformRange(
+        params.min_team_size, params.max_team_size));
+    team.clear();
+    for (uint32_t slot = 0; slot < team_size; ++slot) {
+      NodeId member;
+      if (next_node == 0 || rng.Bernoulli(params.new_member_prob)) {
+        member = next_node++;
+      } else if (!participation_pool.empty() &&
+                 rng.Bernoulli(params.preferential_prob)) {
+        member =
+            participation_pool[rng.UniformInt(participation_pool.size())];
+      } else {
+        member = static_cast<NodeId>(rng.UniformInt(next_node));
+      }
+      // Avoid duplicate members within one team; fall back to a fresh node
+      // if we keep colliding (only matters for tiny node counts).
+      if (std::find(team.begin(), team.end(), member) != team.end()) {
+        member = next_node++;
+      }
+      team.push_back(member);
+    }
+    for (size_t i = 0; i < team.size(); ++i) {
+      for (size_t j = i + 1; j < team.size(); ++j) {
+        g.AddEdge(team[i], team[j], event);
+      }
+      participation_pool.push_back(team[i]);
+    }
+  }
+  return g;
+}
+
+}  // namespace convpairs

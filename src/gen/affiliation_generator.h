@@ -1,0 +1,38 @@
+// Affiliation (team/clique) evolving-graph generator.
+//
+// Collaboration networks — the paper's Actors (movie casts) and DBLP
+// (paper author lists) datasets — are projections of an affiliation
+// structure: each event (movie, paper) forms a clique among its team.
+// Dense casts with heavy member reuse reproduce the Actors regime (dense,
+// tiny diameter, converging paths collapsing to one or two hops); small
+// teams with a high new-member rate reproduce the DBLP regime (sparse,
+// large diameter, many disconnected components).
+
+#ifndef CONVPAIRS_GEN_AFFILIATION_GENERATOR_H_
+#define CONVPAIRS_GEN_AFFILIATION_GENERATOR_H_
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace convpairs {
+
+struct AffiliationParams {
+  /// Number of team events (movies / papers).
+  uint32_t num_events = 1000;
+  /// Team size is uniform in [min_team_size, max_team_size].
+  uint32_t min_team_size = 2;
+  uint32_t max_team_size = 4;
+  /// Probability a team slot is filled by a brand-new node.
+  double new_member_prob = 0.5;
+  /// For returning members: probability of participation-proportional
+  /// (rich-get-richer) selection instead of uniform over existing nodes.
+  double preferential_prob = 0.7;
+};
+
+/// Generates the clique-projection stream; all edges of one event share a
+/// timestamp (the event index).
+TemporalGraph GenerateAffiliation(const AffiliationParams& params, Rng& rng);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GEN_AFFILIATION_GENERATOR_H_

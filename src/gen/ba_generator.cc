@@ -1,0 +1,57 @@
+#include "gen/ba_generator.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+TemporalGraph GenerateBarabasiAlbert(const BaParams& params, Rng& rng) {
+  CONVPAIRS_CHECK_GE(params.seed_nodes, 2u);
+  CONVPAIRS_CHECK_GE(params.num_nodes, params.seed_nodes);
+  CONVPAIRS_CHECK_GE(params.edges_per_node, 1u);
+
+  TemporalGraph g;
+  uint32_t time = 0;
+  // Every half-edge endpoint goes into this pool; uniform sampling from it
+  // is degree-proportional (preferential) sampling.
+  std::vector<NodeId> endpoint_pool;
+
+  auto add_edge = [&](NodeId u, NodeId v) {
+    g.AddEdge(u, v, time++);
+    endpoint_pool.push_back(u);
+    endpoint_pool.push_back(v);
+  };
+  auto preferential = [&]() -> NodeId {
+    return endpoint_pool[rng.UniformInt(endpoint_pool.size())];
+  };
+
+  // Seed clique.
+  for (NodeId u = 0; u < params.seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < params.seed_nodes; ++v) add_edge(u, v);
+  }
+
+  for (NodeId u = params.seed_nodes; u < params.num_nodes; ++u) {
+    for (uint32_t e = 0; e < params.edges_per_node; ++e) {
+      NodeId target;
+      // Retry duplicate / self targets a few times, then accept (snapshot
+      // construction deduplicates; a rare duplicate only wastes one event).
+      int attempts = 0;
+      do {
+        target = rng.Bernoulli(params.uniform_mix)
+                     ? static_cast<NodeId>(rng.UniformInt(u))
+                     : preferential();
+      } while (target == u && ++attempts < 8);
+      if (target == u) target = static_cast<NodeId>(u == 0 ? 1 : u - 1);
+      add_edge(u, target);
+    }
+    if (rng.Bernoulli(params.densification_prob)) {
+      NodeId a = preferential();
+      NodeId b = static_cast<NodeId>(rng.UniformInt(u + 1));
+      if (a != b) add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+}  // namespace convpairs

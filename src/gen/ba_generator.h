@@ -1,0 +1,39 @@
+// Preferential-attachment (Barabási–Albert style) evolving-graph generator.
+//
+// Used for the "internet" analog: heavy-tailed degree distribution with a
+// hub core and a large periphery, the regime where the paper's AS-level
+// Internet-links dataset lives. A uniform-attachment mixture keeps some
+// attachment mass on peripheral nodes so that late edges occasionally
+// shortcut long peripheral paths — the source of large-Delta converging
+// pairs in such topologies.
+
+#ifndef CONVPAIRS_GEN_BA_GENERATOR_H_
+#define CONVPAIRS_GEN_BA_GENERATOR_H_
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace convpairs {
+
+struct BaParams {
+  /// Total nodes (including the seed clique).
+  uint32_t num_nodes = 1000;
+  /// Edges added per arriving node.
+  uint32_t edges_per_node = 2;
+  /// Size of the initial clique.
+  uint32_t seed_nodes = 4;
+  /// Probability an attachment target is drawn uniformly instead of
+  /// preferentially (0 = pure BA).
+  double uniform_mix = 0.0;
+  /// Extra edges between existing nodes appended after each arrival with
+  /// this probability (densification; one endpoint preferential, one
+  /// uniform).
+  double densification_prob = 0.0;
+};
+
+/// Generates a timestamped edge stream; time = insertion index.
+TemporalGraph GenerateBarabasiAlbert(const BaParams& params, Rng& rng);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GEN_BA_GENERATOR_H_

@@ -1,0 +1,31 @@
+#include "gen/er_generator.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+TemporalGraph GenerateErdosRenyi(const ErParams& params, Rng& rng) {
+  CONVPAIRS_CHECK_GE(params.num_nodes, 2u);
+  uint64_t n = params.num_nodes;
+  uint64_t max_edges = n * (n - 1) / 2;
+  CONVPAIRS_CHECK_LE(params.num_edges, max_edges);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(params.num_edges * 2);
+  TemporalGraph g;
+  uint32_t time = 0;
+  while (seen.size() < params.num_edges) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
+    g.AddEdge(u, v, time++);
+  }
+  return g;
+}
+
+}  // namespace convpairs

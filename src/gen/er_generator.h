@@ -1,0 +1,26 @@
+// Erdős–Rényi G(n, M) evolving-graph generator (random edge arrival order).
+//
+// Mainly a test/ablation substrate: no degree skew, no locality — the
+// structural null model against which the selection policies are compared.
+
+#ifndef CONVPAIRS_GEN_ER_GENERATOR_H_
+#define CONVPAIRS_GEN_ER_GENERATOR_H_
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace convpairs {
+
+struct ErParams {
+  uint32_t num_nodes = 1000;
+  /// Number of distinct edges to draw (without replacement).
+  uint64_t num_edges = 3000;
+};
+
+/// Generates distinct uniform random edges in a uniformly random arrival
+/// order; time = insertion index.
+TemporalGraph GenerateErdosRenyi(const ErParams& params, Rng& rng);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GEN_ER_GENERATOR_H_

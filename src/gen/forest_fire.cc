@@ -1,0 +1,57 @@
+#include "gen/forest_fire.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+TemporalGraph GenerateForestFire(const ForestFireParams& params, Rng& rng) {
+  CONVPAIRS_CHECK_GE(params.num_nodes, 2u);
+  CONVPAIRS_CHECK_GT(params.burn_probability, 0.0);
+  CONVPAIRS_CHECK_LT(params.burn_probability, 1.0);
+
+  TemporalGraph g;
+  uint32_t time = 0;
+  std::vector<std::vector<NodeId>> adjacency(params.num_nodes);
+
+  auto add_edge = [&](NodeId u, NodeId v) {
+    g.AddEdge(u, v, time++);
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  };
+
+  add_edge(0, 1);
+  for (NodeId v = 2; v < params.num_nodes; ++v) {
+    NodeId ambassador = static_cast<NodeId>(rng.UniformInt(v));
+    std::unordered_set<NodeId> burned = {v, ambassador};
+    std::vector<NodeId> frontier = {ambassador};
+    add_edge(v, ambassador);
+    uint32_t total_burned = 1;
+
+    while (!frontier.empty() &&
+           total_burned < params.max_burned_per_arrival) {
+      NodeId current = frontier.back();
+      frontier.pop_back();
+      // Geometric number of spreads: keep burning neighbors while a
+      // p-biased coin comes up heads.
+      std::vector<NodeId> candidates;
+      for (NodeId nbr : adjacency[current]) {
+        if (burned.count(nbr) == 0) candidates.push_back(nbr);
+      }
+      rng.Shuffle(candidates);
+      for (NodeId nbr : candidates) {
+        if (!rng.Bernoulli(params.burn_probability)) break;
+        if (total_burned >= params.max_burned_per_arrival) break;
+        burned.insert(nbr);
+        add_edge(v, nbr);
+        frontier.push_back(nbr);
+        ++total_burned;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace convpairs

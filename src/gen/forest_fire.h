@@ -1,0 +1,34 @@
+// Forest Fire evolving-graph generator (Leskovec et al.) — the graph-
+// generation-model line of work the paper cites for dynamic social network
+// analysis. Produces densifying graphs with shrinking effective diameter
+// and community structure; used as a fifth structural regime in the
+// property tests and generator ablations.
+//
+// Undirected simplification: an arriving node picks a random ambassador,
+// links to it, then recursively "burns" a geometrically distributed number
+// of the ambassador's neighbors, linking to every burned node.
+
+#ifndef CONVPAIRS_GEN_FOREST_FIRE_H_
+#define CONVPAIRS_GEN_FOREST_FIRE_H_
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace convpairs {
+
+struct ForestFireParams {
+  uint32_t num_nodes = 1000;
+  /// Forward burning probability p in (0,1): each burn step spreads to a
+  /// Geometric(1-p)-distributed number of unburned neighbors (mean
+  /// p/(1-p)). Higher p -> denser, more clustered graphs.
+  double burn_probability = 0.35;
+  /// Cap on nodes burned per arrival (guards the p -> 1 blowup).
+  uint32_t max_burned_per_arrival = 64;
+};
+
+/// Generates the stream; time = edge insertion index.
+TemporalGraph GenerateForestFire(const ForestFireParams& params, Rng& rng);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GEN_FOREST_FIRE_H_

@@ -1,0 +1,69 @@
+#include "gen/friendship_generator.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+TemporalGraph GenerateFriendship(const FriendshipParams& params, Rng& rng) {
+  CONVPAIRS_CHECK_GE(params.num_nodes, 2u);
+  CONVPAIRS_CHECK_GE(params.num_edges, params.num_nodes);
+
+  TemporalGraph g;
+  uint32_t time = 0;
+  std::vector<NodeId> endpoint_pool;              // degree-proportional pool
+  std::vector<std::vector<NodeId>> adjacency(params.num_nodes);
+
+  auto add_edge = [&](NodeId u, NodeId v) {
+    g.AddEdge(u, v, time++);
+    endpoint_pool.push_back(u);
+    endpoint_pool.push_back(v);
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  };
+  auto preferential = [&]() -> NodeId {
+    return endpoint_pool[rng.UniformInt(endpoint_pool.size())];
+  };
+
+  // Interleave node arrivals with closure/long-link edges so densification
+  // happens throughout the stream rather than all at the end.
+  uint64_t extra_edges = params.num_edges - (params.num_nodes - 1);
+  double extras_per_arrival =
+      static_cast<double>(extra_edges) / (params.num_nodes - 1);
+  double extras_owed = 0.0;
+
+  add_edge(0, 1);  // Bootstrap.
+  for (NodeId u = 2; u < params.num_nodes; ++u) {
+    add_edge(u, preferential());  // Arrival link.
+    extras_owed += extras_per_arrival;
+    while (extras_owed >= 1.0 && time < params.num_edges) {
+      extras_owed -= 1.0;
+      if (rng.Bernoulli(params.triadic_closure_prob)) {
+        // Triadic closure: pick a node with at least one 2-hop contact.
+        NodeId a = preferential();
+        const auto& a_nbrs = adjacency[a];
+        NodeId b = a_nbrs[rng.UniformInt(a_nbrs.size())];
+        const auto& b_nbrs = adjacency[b];
+        NodeId c = b_nbrs[rng.UniformInt(b_nbrs.size())];
+        if (c != a) add_edge(a, c);
+      } else {
+        NodeId a = preferential();
+        NodeId b = static_cast<NodeId>(rng.UniformInt(u + 1));
+        if (a != b) add_edge(a, b);
+      }
+    }
+  }
+  // Top up to the exact edge budget with closure edges.
+  while (time < params.num_edges) {
+    NodeId a = preferential();
+    const auto& a_nbrs = adjacency[a];
+    NodeId b = a_nbrs[rng.UniformInt(a_nbrs.size())];
+    const auto& b_nbrs = adjacency[b];
+    NodeId c = b_nbrs[rng.UniformInt(b_nbrs.size())];
+    if (c != a) add_edge(a, c);
+  }
+  return g;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,33 @@
+// Friendship-network evolving-graph generator (Facebook analog).
+//
+// Nodes arrive over time; each arrival links to an existing node, and the
+// stream is interleaved with triadic-closure edges (friend-of-friend, the
+// dominant edge-creation process in online social networks) and occasional
+// uniform long links. Sequential timestamps, one per edge, match the
+// paper's Facebook dataset where all 31,498 connections carry distinct
+// creation times.
+
+#ifndef CONVPAIRS_GEN_FRIENDSHIP_GENERATOR_H_
+#define CONVPAIRS_GEN_FRIENDSHIP_GENERATOR_H_
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace convpairs {
+
+struct FriendshipParams {
+  uint32_t num_nodes = 1000;
+  /// Total edges in the stream (>= num_nodes so the arrival links fit).
+  uint64_t num_edges = 7000;
+  /// Among non-arrival edges: probability of closing a triangle
+  /// (u, neighbor-of-neighbor); the complement picks one preferential and
+  /// one uniform endpoint (long link).
+  double triadic_closure_prob = 0.7;
+};
+
+/// Generates the sequential friendship stream; time = insertion index.
+TemporalGraph GenerateFriendship(const FriendshipParams& params, Rng& rng);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GEN_FRIENDSHIP_GENERATOR_H_

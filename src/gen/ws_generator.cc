@@ -1,0 +1,43 @@
+#include "gen/ws_generator.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+TemporalGraph GenerateWattsStrogatz(const WsParams& params, Rng& rng) {
+  CONVPAIRS_CHECK_GE(params.num_nodes, 4u);
+  CONVPAIRS_CHECK_EQ(params.k % 2, 0u);
+  CONVPAIRS_CHECK_GE(params.k, 2u);
+  CONVPAIRS_CHECK_LT(params.k, params.num_nodes);
+
+  const NodeId n = params.num_nodes;
+  std::vector<Edge> lattice;
+  std::vector<Edge> long_links;
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= params.k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (rng.Bernoulli(params.beta)) {
+        // Rewire: replace with a uniform random long link from u.
+        NodeId w;
+        do {
+          w = static_cast<NodeId>(rng.UniformInt(n));
+        } while (w == u);
+        long_links.push_back({u, w, 1.0f});
+      } else {
+        lattice.push_back({u, v, 1.0f});
+      }
+    }
+  }
+  rng.Shuffle(lattice);
+  rng.Shuffle(long_links);
+
+  TemporalGraph g;
+  uint32_t time = 0;
+  for (const Edge& e : lattice) g.AddEdge(e.u, e.v, time++);
+  for (const Edge& e : long_links) g.AddEdge(e.u, e.v, time++);
+  return g;
+}
+
+}  // namespace convpairs

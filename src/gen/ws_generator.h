@@ -1,0 +1,31 @@
+// Watts–Strogatz small-world evolving-graph generator.
+//
+// High-diameter ring lattice whose rewired long links arrive LATE in the
+// stream: an adversarially convergence-heavy workload (each late long link
+// collapses many long lattice distances at once), used by property tests and
+// ablations to stress large-Delta regimes.
+
+#ifndef CONVPAIRS_GEN_WS_GENERATOR_H_
+#define CONVPAIRS_GEN_WS_GENERATOR_H_
+
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace convpairs {
+
+struct WsParams {
+  uint32_t num_nodes = 1000;
+  /// Each node is connected to its k nearest ring neighbors (k even).
+  uint32_t k = 4;
+  /// Fraction of lattice edges replaced by uniform random long links.
+  double beta = 0.05;
+};
+
+/// Generates the lattice edges first (random order), then the rewired long
+/// links, so a fraction-based snapshot split puts long links in the "new
+/// edges" part.
+TemporalGraph GenerateWattsStrogatz(const WsParams& params, Rng& rng);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GEN_WS_GENERATOR_H_

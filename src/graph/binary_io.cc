@@ -1,0 +1,271 @@
+#include "graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace convpairs {
+namespace {
+
+constexpr uint32_t kVersion = 1;
+constexpr char kGraphMagic[4] = {'C', 'P', 'G', 'B'};
+constexpr char kTemporalMagic[4] = {'C', 'P', 'G', 'T'};
+
+// This format is explicitly little-endian; the readers/writers below use
+// byte-wise packing so the code is endianness-portable.
+void AppendU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void AppendF32(std::string* out, float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU32(out, bits);
+}
+
+// Bounds-checked reader cursor.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  Status Expect(const char* magic) {
+    if (bytes_.size() < pos_ + 4 ||
+        std::memcmp(bytes_.data() + pos_, magic, 4) != 0) {
+      return Status::InvalidArgument("bad magic");
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  StatusOr<uint32_t> ReadU32() {
+    if (bytes_.size() < pos_ + 4) {
+      return Status::InvalidArgument("truncated input");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  StatusOr<uint64_t> ReadU64() {
+    if (bytes_.size() < pos_ + 8) {
+      return Status::InvalidArgument("truncated input");
+    }
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  StatusOr<uint8_t> ReadU8() {
+    if (bytes_.size() < pos_ + 1) {
+      return Status::InvalidArgument("truncated input");
+    }
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+
+  /// Remaining payload bytes — used to validate declared element counts
+  /// BEFORE reserving memory for them (a corrupted count must not trigger
+  /// a huge allocation).
+  size_t Remaining() const { return bytes_.size() - pos_; }
+
+  StatusOr<float> ReadF32() {
+    auto bits = ReadU32();
+    if (!bits.ok()) return bits.status();
+    float value;
+    uint32_t raw = *bits;
+    std::memcpy(&value, &raw, sizeof(value));
+    return value;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::ostringstream oss;
+  oss << file.rdbuf();
+  return oss.str();
+}
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeGraph(const Graph& g) {
+  std::string out(kGraphMagic, 4);
+  AppendU32(&out, kVersion);
+  AppendU32(&out, g.num_nodes());
+  auto edges = g.ToEdgeList();
+  AppendU64(&out, edges.size());
+  out.push_back(g.is_weighted() ? 1 : 0);
+  for (const Edge& e : edges) {
+    AppendU32(&out, e.u);
+    AppendU32(&out, e.v);
+    if (g.is_weighted()) AppendF32(&out, e.weight);
+  }
+  return out;
+}
+
+StatusOr<Graph> DeserializeGraph(const std::string& bytes,
+                                 uint32_t max_nodes) {
+  Reader reader(bytes);
+  CONVPAIRS_RETURN_IF_ERROR(reader.Expect(kGraphMagic));
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return Status::InvalidArgument("unsupported version");
+  }
+  auto num_nodes = reader.ReadU32();
+  if (!num_nodes.ok()) return num_nodes.status();
+  if (*num_nodes > max_nodes) {
+    return Status::InvalidArgument("node count exceeds the allocation cap");
+  }
+  auto num_edges = reader.ReadU64();
+  if (!num_edges.ok()) return num_edges.status();
+  auto weighted = reader.ReadU8();
+  if (!weighted.ok()) return weighted.status();
+
+  // Validate the declared count against the actual payload before
+  // allocating: each edge occupies at least 8 bytes.
+  size_t bytes_per_edge = *weighted != 0 ? 12 : 8;
+  if (*num_edges > reader.Remaining() / bytes_per_edge) {
+    return Status::InvalidArgument("edge count exceeds payload");
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(*num_edges);
+  for (uint64_t i = 0; i < *num_edges; ++i) {
+    auto u = reader.ReadU32();
+    auto v = reader.ReadU32();
+    if (!u.ok() || !v.ok()) return Status::InvalidArgument("truncated edges");
+    float weight = 1.0f;
+    if (*weighted != 0) {
+      auto w = reader.ReadF32();
+      if (!w.ok()) return w.status();
+      weight = *w;
+    }
+    if (*u >= *num_nodes || *v >= *num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    edges.push_back({*u, *v, weight});
+  }
+  if (!reader.AtEnd()) return Status::InvalidArgument("trailing bytes");
+  return Graph::FromEdges(*num_nodes, edges);
+}
+
+std::string SerializeTemporalGraph(const TemporalGraph& g) {
+  std::string out(kTemporalMagic, 4);
+  AppendU32(&out, kVersion);
+  AppendU32(&out, g.num_nodes());
+  AppendU64(&out, g.num_events());
+  bool weighted = false;
+  for (const TimedEdge& e : g.events()) {
+    if (e.weight != 1.0f) {
+      weighted = true;
+      break;
+    }
+  }
+  out.push_back(weighted ? 1 : 0);
+  for (const TimedEdge& e : g.events()) {
+    AppendU32(&out, e.u);
+    AppendU32(&out, e.v);
+    AppendU32(&out, e.time);
+    if (weighted) AppendF32(&out, e.weight);
+  }
+  return out;
+}
+
+StatusOr<TemporalGraph> DeserializeTemporalGraph(const std::string& bytes) {
+  Reader reader(bytes);
+  CONVPAIRS_RETURN_IF_ERROR(reader.Expect(kTemporalMagic));
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return Status::InvalidArgument("unsupported version");
+  }
+  auto num_nodes = reader.ReadU32();
+  if (!num_nodes.ok()) return num_nodes.status();
+  auto num_events = reader.ReadU64();
+  if (!num_events.ok()) return num_events.status();
+  auto weighted = reader.ReadU8();
+  if (!weighted.ok()) return weighted.status();
+
+  size_t bytes_per_event = *weighted != 0 ? 16 : 12;
+  if (*num_events > reader.Remaining() / bytes_per_event) {
+    return Status::InvalidArgument("event count exceeds payload");
+  }
+
+  std::vector<TimedEdge> events;
+  events.reserve(*num_events);
+  for (uint64_t i = 0; i < *num_events; ++i) {
+    auto u = reader.ReadU32();
+    auto v = reader.ReadU32();
+    auto t = reader.ReadU32();
+    if (!u.ok() || !v.ok() || !t.ok()) {
+      return Status::InvalidArgument("truncated events");
+    }
+    float weight = 1.0f;
+    if (*weighted != 0) {
+      auto w = reader.ReadF32();
+      if (!w.ok()) return w.status();
+      weight = *w;
+    }
+    if (*u >= *num_nodes || *v >= *num_nodes) {
+      return Status::InvalidArgument("event endpoint out of range");
+    }
+    events.push_back({*u, *v, *t, weight});
+  }
+  if (!reader.AtEnd()) return Status::InvalidArgument("trailing bytes");
+  return TemporalGraph(std::move(events));
+}
+
+Status WriteGraphBinary(const Graph& g, const std::string& path) {
+  return WriteFileBytes(path, SerializeGraph(g));
+}
+
+StatusOr<Graph> ReadGraphBinary(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeGraph(*bytes);
+}
+
+Status WriteTemporalGraphBinary(const TemporalGraph& g,
+                                const std::string& path) {
+  return WriteFileBytes(path, SerializeTemporalGraph(g));
+}
+
+StatusOr<TemporalGraph> ReadTemporalGraphBinary(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeTemporalGraph(*bytes);
+}
+
+}  // namespace convpairs

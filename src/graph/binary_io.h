@@ -1,0 +1,51 @@
+// Compact binary serialization for snapshots and temporal streams.
+//
+// Text edge lists (graph/graph_io.h) are interchange-friendly but slow and
+// large for repeated experiment runs; this format is the cache the bench
+// harness and CLI can round-trip datasets through. Layout (little-endian):
+//
+//   snapshot:  "CPGB" u32 version | u32 num_nodes | u64 num_edges |
+//              u8 weighted | edges (u32 u, u32 v [, f32 w])*
+//   temporal:  "CPGT" u32 version | u32 num_nodes | u64 num_events |
+//              u8 weighted | events (u32 u, u32 v, u32 t [, f32 w])*
+//
+// Readers validate magic/version/bounds and fail with Status, never abort:
+// files are external input.
+
+#ifndef CONVPAIRS_GRAPH_BINARY_IO_H_
+#define CONVPAIRS_GRAPH_BINARY_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Serializes a snapshot to the binary format.
+std::string SerializeGraph(const Graph& g);
+
+/// Parses a binary snapshot; InvalidArgument on malformed input. The node
+/// count is capped (`max_nodes`, default 2^24) so a corrupted header cannot
+/// drive a multi-gigabyte CSR allocation — raise the cap explicitly for
+/// genuinely larger graphs.
+StatusOr<Graph> DeserializeGraph(const std::string& bytes,
+                                 uint32_t max_nodes = 1u << 24);
+
+/// Serializes a temporal stream.
+std::string SerializeTemporalGraph(const TemporalGraph& g);
+
+/// Parses a binary temporal stream.
+StatusOr<TemporalGraph> DeserializeTemporalGraph(const std::string& bytes);
+
+/// File wrappers.
+Status WriteGraphBinary(const Graph& g, const std::string& path);
+StatusOr<Graph> ReadGraphBinary(const std::string& path);
+Status WriteTemporalGraphBinary(const TemporalGraph& g,
+                                const std::string& path);
+StatusOr<TemporalGraph> ReadTemporalGraphBinary(const std::string& path);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_BINARY_IO_H_

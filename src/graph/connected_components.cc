@@ -1,0 +1,58 @@
+#include "graph/connected_components.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+uint32_t ConnectedComponents::GiantComponent() const {
+  CONVPAIRS_CHECK_GT(num_components, 0u);
+  return static_cast<uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+}
+
+uint64_t ConnectedComponents::DisconnectedPairCount(const Graph& g,
+                                                    bool active_only) const {
+  // Count active nodes per component, then use
+  //   disconnected = C(total,2) - sum_c C(size_c,2).
+  std::vector<uint64_t> active_size(num_components, 0);
+  uint64_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (active_only && g.degree(u) == 0) continue;
+    ++active_size[label[u]];
+    ++total;
+  }
+  uint64_t all_pairs = total * (total - 1) / 2;
+  uint64_t connected_pairs = 0;
+  for (uint64_t s : active_size) connected_pairs += s * (s - 1) / 2;
+  return all_pairs - connected_pairs;
+}
+
+ConnectedComponents ComputeConnectedComponents(const Graph& g) {
+  ConnectedComponents cc;
+  const NodeId n = g.num_nodes();
+  cc.label.assign(n, UINT32_MAX);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (cc.label[start] != UINT32_MAX) continue;
+    uint32_t comp = cc.num_components++;
+    cc.size.push_back(0);
+    cc.label[start] = comp;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      ++cc.size[comp];
+      for (NodeId v : g.neighbors(u)) {
+        if (cc.label[v] == UINT32_MAX) {
+          cc.label[v] = comp;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return cc;
+}
+
+}  // namespace convpairs

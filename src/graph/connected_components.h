@@ -1,0 +1,41 @@
+// Connected components of an undirected snapshot.
+//
+// The problem definition restricts converging pairs to nodes connected in
+// G_t1 (disconnected pairs have infinite distance); component labels let the
+// ground-truth engine and Table 2 statistics count disconnected pairs
+// without touching distances.
+
+#ifndef CONVPAIRS_GRAPH_CONNECTED_COMPONENTS_H_
+#define CONVPAIRS_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace convpairs {
+
+/// Component labeling of a graph. Labels are dense in [0, num_components).
+struct ConnectedComponents {
+  std::vector<uint32_t> label;        // per node
+  std::vector<uint32_t> size;         // per component
+  uint32_t num_components = 0;
+
+  /// True if `u` and `v` are in the same component.
+  bool Connected(NodeId u, NodeId v) const { return label[u] == label[v]; }
+
+  /// Index of the largest component.
+  uint32_t GiantComponent() const;
+
+  /// Number of unordered node pairs that are NOT connected, counting only
+  /// active (degree >= 1) nodes if `active_only`; isolated placeholder ids
+  /// from the shared snapshot id space are excluded in that mode.
+  uint64_t DisconnectedPairCount(const Graph& g, bool active_only = true) const;
+};
+
+/// Labels components with iterative BFS; O(n + m).
+ConnectedComponents ComputeConnectedComponents(const Graph& g);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_CONNECTED_COMPONENTS_H_

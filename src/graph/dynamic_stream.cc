@@ -1,0 +1,83 @@
+#include "graph/dynamic_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+DynamicGraphStream::DynamicGraphStream(const TemporalGraph& inserts) {
+  for (const TimedEdge& e : inserts.events()) {
+    AddEdge(e.u, e.v, e.time, e.weight);
+  }
+}
+
+void DynamicGraphStream::AddEdge(NodeId u, NodeId v, uint32_t time,
+                                 float weight) {
+  CONVPAIRS_CHECK_NE(u, v);
+  if (!events_.empty()) CONVPAIRS_CHECK_GE(time, events_.back().time);
+  events_.push_back({u, v, time, EdgeOp::kInsert, weight});
+  num_nodes_ = std::max(num_nodes_, std::max(u, v) + 1);
+  ++live_counts_[EdgeKey(u, v)];
+}
+
+void DynamicGraphStream::RemoveEdge(NodeId u, NodeId v, uint32_t time) {
+  CONVPAIRS_CHECK_NE(u, v);
+  if (!events_.empty()) CONVPAIRS_CHECK_GE(time, events_.back().time);
+  auto it = live_counts_.find(EdgeKey(u, v));
+  CONVPAIRS_CHECK(it != live_counts_.end() && it->second > 0);
+  --it->second;
+  events_.push_back({u, v, time, EdgeOp::kDelete, 1.0f});
+}
+
+Graph DynamicGraphStream::SnapshotOfPrefix(size_t event_count) const {
+  // Live multiplicity after the prefix; an edge is present while its
+  // insert count exceeds its delete count.
+  std::unordered_map<uint64_t, int> live;
+  std::unordered_map<uint64_t, float> weight;
+  live.reserve(event_count);
+  for (size_t i = 0; i < event_count; ++i) {
+    const EdgeEvent& e = events_[i];
+    uint64_t key = EdgeKey(e.u, e.v);
+    if (e.op == EdgeOp::kInsert) {
+      ++live[key];
+      weight[key] = e.weight;
+    } else {
+      auto it = live.find(key);
+      CONVPAIRS_CHECK(it != live.end() && it->second > 0);
+      --it->second;
+    }
+  }
+  std::vector<Edge> edges;
+  edges.reserve(live.size());
+  for (const auto& [key, count] : live) {
+    if (count <= 0) continue;
+    edges.push_back({static_cast<NodeId>(key >> 32),
+                     static_cast<NodeId>(key & 0xFFFFFFFFu), weight[key]});
+  }
+  return Graph::FromEdges(num_nodes_, edges);
+}
+
+Graph DynamicGraphStream::SnapshotAtTime(uint32_t time) const {
+  size_t count = 0;
+  while (count < events_.size() && events_[count].time <= time) ++count;
+  return SnapshotOfPrefix(count);
+}
+
+Graph DynamicGraphStream::SnapshotAtFraction(double fraction) const {
+  CONVPAIRS_CHECK_GE(fraction, 0.0);
+  CONVPAIRS_CHECK_LE(fraction, 1.0);
+  return SnapshotOfPrefix(static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(events_.size()))));
+}
+
+}  // namespace convpairs

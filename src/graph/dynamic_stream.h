@@ -1,0 +1,74 @@
+// Evolving graph with BOTH edge insertions and deletions.
+//
+// The paper restricts itself to insertions ("As is the most common case
+// with social networks, we consider only node and edge insertions"); this
+// module is the substrate for the diverging-pairs extension (DESIGN.md §6):
+// with deletions, shortest-path distances can grow, and the symmetric
+// question — which pairs drifted apart the most — becomes well-posed.
+
+#ifndef CONVPAIRS_GRAPH_DYNAMIC_STREAM_H_
+#define CONVPAIRS_GRAPH_DYNAMIC_STREAM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+#include "graph/types.h"
+
+namespace convpairs {
+
+enum class EdgeOp : uint8_t { kInsert, kDelete };
+
+/// One timestamped stream event.
+struct EdgeEvent {
+  NodeId u = 0;
+  NodeId v = 0;
+  uint32_t time = 0;
+  EdgeOp op = EdgeOp::kInsert;
+  float weight = 1.0f;
+
+  friend bool operator==(const EdgeEvent&, const EdgeEvent&) = default;
+};
+
+/// Time-ordered stream of edge insertions and deletions. Deleting an edge
+/// that is not live at that point of the stream is a stream-construction
+/// error and aborts (streams are produced by generators or validated I/O).
+class DynamicGraphStream {
+ public:
+  DynamicGraphStream() = default;
+
+  /// Imports an insert-only stream.
+  explicit DynamicGraphStream(const TemporalGraph& inserts);
+
+  /// Appends an insertion at a time >= the last event's time.
+  void AddEdge(NodeId u, NodeId v, uint32_t time, float weight = 1.0f);
+
+  /// Appends a deletion at a time >= the last event's time. The edge must
+  /// be live (inserted more times than deleted) at the end of the current
+  /// stream.
+  void RemoveEdge(NodeId u, NodeId v, uint32_t time);
+
+  size_t num_events() const { return events_.size(); }
+  NodeId num_nodes() const { return num_nodes_; }
+  const std::vector<EdgeEvent>& events() const { return events_; }
+
+  /// Graph of edges live after applying all events with time <= `time`.
+  Graph SnapshotAtTime(uint32_t time) const;
+
+  /// Graph after applying the first round(fraction * num_events) events.
+  Graph SnapshotAtFraction(double fraction) const;
+
+ private:
+  Graph SnapshotOfPrefix(size_t event_count) const;
+
+  std::vector<EdgeEvent> events_;
+  NodeId num_nodes_ = 0;
+  // Live multiplicity per edge key at the end of the stream, to validate
+  // deletions as they are appended.
+  std::unordered_map<uint64_t, int> live_counts_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_DYNAMIC_STREAM_H_

@@ -1,0 +1,78 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+Graph::Graph(NodeId num_nodes)
+    : num_nodes_(num_nodes), offsets_(num_nodes + 1, 0) {}
+
+Graph Graph::FromEdges(NodeId num_nodes, std::span<const Edge> edges) {
+  // Normalize to directed half-edges (both directions), dropping self-loops.
+  struct HalfEdge {
+    NodeId from;
+    NodeId to;
+    float weight;
+  };
+  std::vector<HalfEdge> half;
+  half.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    CONVPAIRS_CHECK_LT(e.u, num_nodes);
+    CONVPAIRS_CHECK_LT(e.v, num_nodes);
+    if (e.u == e.v) continue;
+    half.push_back({e.u, e.v, e.weight});
+    half.push_back({e.v, e.u, e.weight});
+  }
+  std::sort(half.begin(), half.end(), [](const HalfEdge& a, const HalfEdge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    return a.weight < b.weight;
+  });
+  // Dedup parallel edges, keeping the smallest weight (first after sort).
+  half.erase(std::unique(half.begin(), half.end(),
+                         [](const HalfEdge& a, const HalfEdge& b) {
+                           return a.from == b.from && a.to == b.to;
+                         }),
+             half.end());
+
+  Graph g(num_nodes);
+  g.adjacency_.resize(half.size());
+  g.weights_.resize(half.size());
+  for (const HalfEdge& he : half) g.offsets_[he.from + 1]++;
+  for (NodeId u = 0; u < num_nodes; ++u) g.offsets_[u + 1] += g.offsets_[u];
+  // Half-edges are sorted by `from`, so a simple sequential fill preserves
+  // sorted neighbor order.
+  size_t idx = 0;
+  for (const HalfEdge& he : half) {
+    g.adjacency_[idx] = he.to;
+    g.weights_[idx] = he.weight;
+    if (he.weight != 1.0f) g.is_weighted_ = true;
+    ++idx;
+  }
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (g.degree(u) > 0) ++g.num_active_nodes_;
+  }
+  return g;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::ToEdgeList() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    auto nbrs = neighbors(u);
+    auto wts = weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) out.push_back({u, nbrs[i], wts[i]});
+    }
+  }
+  return out;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,75 @@
+// Immutable undirected graph snapshot in CSR (compressed sparse row) form.
+//
+// Snapshots are built once from an edge list and then only read; CSR gives
+// cache-friendly sequential neighbor scans for the BFS-heavy workloads in
+// this library. Node ids are dense in [0, num_nodes); a snapshot of an
+// evolving graph keeps the full id space so distance arrays are comparable
+// across snapshots (nodes not yet present are simply isolated).
+
+#ifndef CONVPAIRS_GRAPH_GRAPH_H_
+#define CONVPAIRS_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace convpairs {
+
+/// Immutable undirected (optionally weighted) graph.
+class Graph {
+ public:
+  /// Empty graph with `num_nodes` isolated nodes.
+  explicit Graph(NodeId num_nodes = 0);
+
+  /// Builds a graph over ids [0, num_nodes) from an undirected edge list.
+  /// Self-loops are dropped; parallel edges are deduplicated (keeping the
+  /// smallest weight). Endpoints must be < num_nodes.
+  static Graph FromEdges(NodeId num_nodes, std::span<const Edge> edges);
+
+  /// Number of node ids (including isolated ones).
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of undirected edges after dedup.
+  size_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Neighbors of `u`, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u],
+            adjacency_.data() + offsets_[u + 1]};
+  }
+
+  /// Weights parallel to neighbors(u). Only meaningful when is_weighted().
+  std::span<const float> weights(NodeId u) const {
+    return {weights_.data() + offsets_[u], weights_.data() + offsets_[u + 1]};
+  }
+
+  /// Degree of `u`.
+  uint32_t degree(NodeId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// True if `u` and `v` are adjacent (binary search; O(log degree)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// True if any edge carries a weight different from 1.0.
+  bool is_weighted() const { return is_weighted_; }
+
+  /// Number of nodes with degree >= 1 (the "present" nodes of a snapshot).
+  NodeId num_active_nodes() const { return num_active_nodes_; }
+
+  /// Materializes the undirected edge list (u < v), sorted lexicographically.
+  std::vector<Edge> ToEdgeList() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  NodeId num_active_nodes_ = 0;
+  bool is_weighted_ = false;
+  std::vector<size_t> offsets_;     // num_nodes_ + 1 entries.
+  std::vector<NodeId> adjacency_;   // 2 * num_edges entries.
+  std::vector<float> weights_;      // parallel to adjacency_.
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_GRAPH_H_

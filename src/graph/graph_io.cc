@@ -1,0 +1,145 @@
+#include "graph/graph_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace convpairs {
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::ostringstream oss;
+  oss << file.rdbuf();
+  return oss.str();
+}
+
+Status ParseUint(std::string_view token, uint64_t* out) {
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument("bad integer token: " + std::string(token));
+  }
+  return Status::OK();
+}
+
+Status ParseFloat(std::string_view token, float* out) {
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument("bad float token: " + std::string(token));
+  }
+  return Status::OK();
+}
+
+// Parses lines of `min_fields`..`max_fields` integers/floats; invokes
+// `emit(fields)` per data line.
+template <typename Emit>
+Status ParseLines(const std::string& text, size_t min_fields,
+                  size_t max_fields, Emit emit) {
+  size_t line_no = 0;
+  for (std::string_view line : Split(text, '\n')) {
+    ++line_no;
+    line = Strip(line);
+    if (line.empty() || line.front() == '#' || line.front() == '%') continue;
+    auto fields = SplitWhitespace(line);
+    if (fields.size() < min_fields || fields.size() > max_fields) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected " +
+                                     std::to_string(min_fields) + ".." +
+                                     std::to_string(max_fields) + " fields");
+    }
+    CONVPAIRS_RETURN_IF_ERROR(emit(fields));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Graph> ParseEdgeList(const std::string& text) {
+  std::vector<Edge> edges;
+  NodeId num_nodes = 0;
+  Status status = ParseLines(
+      text, 2, 3, [&](const std::vector<std::string_view>& f) -> Status {
+        uint64_t u = 0;
+        uint64_t v = 0;
+        CONVPAIRS_RETURN_IF_ERROR(ParseUint(f[0], &u));
+        CONVPAIRS_RETURN_IF_ERROR(ParseUint(f[1], &v));
+        float w = 1.0f;
+        if (f.size() == 3) CONVPAIRS_RETURN_IF_ERROR(ParseFloat(f[2], &w));
+        if (u > UINT32_MAX - 1 || v > UINT32_MAX - 1) {
+          return Status::OutOfRange("node id too large");
+        }
+        edges.push_back(
+            {static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+        num_nodes = std::max(
+            num_nodes, static_cast<NodeId>(std::max(u, v) + 1));
+        return Status::OK();
+      });
+  if (!status.ok()) return status;
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+StatusOr<TemporalGraph> ParseTemporalEdgeList(const std::string& text) {
+  std::vector<TimedEdge> edges;
+  Status status = ParseLines(
+      text, 3, 4, [&](const std::vector<std::string_view>& f) -> Status {
+        uint64_t u = 0;
+        uint64_t v = 0;
+        uint64_t t = 0;
+        CONVPAIRS_RETURN_IF_ERROR(ParseUint(f[0], &u));
+        CONVPAIRS_RETURN_IF_ERROR(ParseUint(f[1], &v));
+        CONVPAIRS_RETURN_IF_ERROR(ParseUint(f[2], &t));
+        float w = 1.0f;
+        if (f.size() == 4) CONVPAIRS_RETURN_IF_ERROR(ParseFloat(f[3], &w));
+        if (u > UINT32_MAX - 1 || v > UINT32_MAX - 1 || t > UINT32_MAX) {
+          return Status::OutOfRange("id or time too large");
+        }
+        edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v),
+                         static_cast<uint32_t>(t), w});
+        return Status::OK();
+      });
+  if (!status.ok()) return status;
+  return TemporalGraph(std::move(edges));
+}
+
+StatusOr<Graph> ReadEdgeList(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseEdgeList(*text);
+}
+
+StatusOr<TemporalGraph> ReadTemporalEdgeList(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseTemporalEdgeList(*text);
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  for (const Edge& e : g.ToEdgeList()) {
+    file << e.u << ' ' << e.v;
+    if (g.is_weighted()) file << ' ' << e.weight;
+    file << '\n';
+  }
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status WriteTemporalEdgeList(const TemporalGraph& g, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  for (const TimedEdge& e : g.events()) {
+    file << e.u << ' ' << e.v << ' ' << e.time;
+    if (e.weight != 1.0f) file << ' ' << e.weight;
+    file << '\n';
+  }
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace convpairs

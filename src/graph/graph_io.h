@@ -1,0 +1,38 @@
+// Edge-list file I/O (SNAP-style whitespace-separated format).
+//
+// Static format:    "u v [weight]" per line, '#' comments ignored.
+// Temporal format:  "u v time [weight]" per line.
+
+#ifndef CONVPAIRS_GRAPH_GRAPH_IO_H_
+#define CONVPAIRS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Reads a static edge list. Node ids must be non-negative integers; the id
+/// space is [0, max_id + 1).
+StatusOr<Graph> ReadEdgeList(const std::string& path);
+
+/// Writes "u v" (or "u v weight" if weighted) per line.
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Reads a temporal edge list ("u v time [weight]").
+StatusOr<TemporalGraph> ReadTemporalEdgeList(const std::string& path);
+
+/// Writes "u v time [weight]" per line in stream order.
+Status WriteTemporalEdgeList(const TemporalGraph& g, const std::string& path);
+
+/// Parses a static edge list from a string (used by tests and readers).
+StatusOr<Graph> ParseEdgeList(const std::string& text);
+
+/// Parses a temporal edge list from a string.
+StatusOr<TemporalGraph> ParseTemporalEdgeList(const std::string& text);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,104 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/connected_components.h"
+#include "graph/types.h"
+#include "util/parallel.h"
+
+namespace convpairs {
+namespace {
+
+// Local BFS returning only the eccentricity of `src` (max finite distance).
+// graph_stats sits below the sssp library in the layering, so it carries its
+// own minimal traversal instead of depending upward.
+Dist Eccentricity(const Graph& g, NodeId src, std::vector<Dist>& dist,
+                  std::vector<NodeId>& queue) {
+  dist.assign(g.num_nodes(), kInfDist);
+  queue.clear();
+  dist[src] = 0;
+  queue.push_back(src);
+  Dist ecc = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    Dist du = dist[u];
+    ecc = std::max(ecc, du);
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kInfDist) {
+        dist[v] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return ecc;
+}
+
+}  // namespace
+
+double GraphDensity(const Graph& g) {
+  double n = static_cast<double>(g.num_active_nodes());
+  if (n < 2) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) / (n * (n - 1.0));
+}
+
+uint32_t MaxDegree(const Graph& g) {
+  uint32_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.degree(u));
+  }
+  return max_deg;
+}
+
+GraphStats ComputeGraphStats(const Graph& g, bool exact_diameter) {
+  GraphStats stats;
+  stats.num_nodes = g.num_active_nodes();
+  stats.num_edges = g.num_edges();
+  stats.max_degree = MaxDegree(g);
+  stats.avg_degree =
+      stats.num_nodes == 0
+          ? 0.0
+          : 2.0 * static_cast<double>(stats.num_edges) / stats.num_nodes;
+  stats.density = GraphDensity(g);
+
+  ConnectedComponents cc = ComputeConnectedComponents(g);
+  // Components of isolated placeholder ids are artifacts of the shared
+  // snapshot id space; count only components containing an active node.
+  std::vector<bool> component_active(cc.num_components, false);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) > 0) component_active[cc.label[u]] = true;
+  }
+  uint32_t giant = 0;
+  for (uint32_t c = 0; c < cc.num_components; ++c) {
+    if (!component_active[c]) continue;
+    ++stats.num_components;
+    giant = std::max(giant, cc.size[c]);
+  }
+  stats.giant_component_size = giant;
+
+  if (exact_diameter && stats.num_nodes > 0) {
+    uint32_t giant_label = cc.GiantComponent();
+    std::vector<NodeId> sources;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (cc.label[u] == giant_label && g.degree(u) > 0) sources.push_back(u);
+    }
+    std::vector<Dist> per_thread_max(
+        static_cast<size_t>(DefaultThreadCount()), 0);
+    ParallelForBlocks(
+        sources.size(),
+        [&](int thread_index, size_t begin, size_t end) {
+          std::vector<Dist> dist;
+          std::vector<NodeId> queue;
+          Dist local = 0;
+          for (size_t i = begin; i < end; ++i) {
+            local = std::max(local, Eccentricity(g, sources[i], dist, queue));
+          }
+          per_thread_max[static_cast<size_t>(thread_index)] = local;
+        });
+    stats.diameter =
+        *std::max_element(per_thread_max.begin(), per_thread_max.end());
+  }
+  return stats;
+}
+
+}  // namespace convpairs

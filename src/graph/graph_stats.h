@@ -1,0 +1,37 @@
+// Snapshot-level statistics: Table 2 of the paper plus the graph-level
+// features consumed by the global classifier (density, max degree).
+
+#ifndef CONVPAIRS_GRAPH_GRAPH_STATS_H_
+#define CONVPAIRS_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace convpairs {
+
+/// Aggregate structural statistics of one snapshot.
+struct GraphStats {
+  NodeId num_nodes = 0;          // active (degree >= 1) nodes
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  double density = 0.0;          // 2m / (n(n-1)) over active nodes
+  uint32_t num_components = 0;
+  uint32_t giant_component_size = 0;
+  Dist diameter = 0;             // exact, within the giant component
+};
+
+/// Computes all statistics. `exact_diameter` runs one BFS per giant-component
+/// node (O(n m)); disable for quick summaries, which reports diameter 0.
+GraphStats ComputeGraphStats(const Graph& g, bool exact_diameter = true);
+
+/// Density over active nodes only: 2m / (n_active (n_active - 1)).
+double GraphDensity(const Graph& g);
+
+/// Maximum degree.
+uint32_t MaxDegree(const Graph& g);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_GRAPH_STATS_H_

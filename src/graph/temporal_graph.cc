@@ -1,0 +1,71 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+TemporalGraph::TemporalGraph(std::vector<TimedEdge> edges)
+    : edges_(std::move(edges)) {
+  std::stable_sort(edges_.begin(), edges_.end(),
+                   [](const TimedEdge& a, const TimedEdge& b) {
+                     return a.time < b.time;
+                   });
+  for (const TimedEdge& e : edges_) {
+    num_nodes_ = std::max(num_nodes_, std::max(e.u, e.v) + 1);
+  }
+}
+
+void TemporalGraph::AddEdge(NodeId u, NodeId v, uint32_t time, float weight) {
+  if (!edges_.empty()) CONVPAIRS_CHECK_GE(time, edges_.back().time);
+  edges_.push_back({u, v, time, weight});
+  num_nodes_ = std::max(num_nodes_, std::max(u, v) + 1);
+}
+
+uint32_t TemporalGraph::max_time() const {
+  return edges_.empty() ? 0 : edges_.back().time;
+}
+
+Graph TemporalGraph::SnapshotAtTime(uint32_t time) const {
+  std::vector<Edge> snapshot;
+  snapshot.reserve(edges_.size());
+  for (const TimedEdge& e : edges_) {
+    if (e.time > time) break;
+    snapshot.push_back({e.u, e.v, e.weight});
+  }
+  return Graph::FromEdges(num_nodes_, snapshot);
+}
+
+size_t TemporalGraph::PrefixCount(double fraction) const {
+  CONVPAIRS_CHECK_GE(fraction, 0.0);
+  CONVPAIRS_CHECK_LE(fraction, 1.0);
+  return static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(edges_.size())));
+}
+
+Graph TemporalGraph::SnapshotAtFraction(double fraction) const {
+  size_t count = PrefixCount(fraction);
+  std::vector<Edge> snapshot;
+  snapshot.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    snapshot.push_back({edges_[i].u, edges_[i].v, edges_[i].weight});
+  }
+  return Graph::FromEdges(num_nodes_, snapshot);
+}
+
+std::vector<Edge> TemporalGraph::EdgesInFractionRange(
+    double from_fraction, double to_fraction) const {
+  size_t from = PrefixCount(from_fraction);
+  size_t to = PrefixCount(to_fraction);
+  CONVPAIRS_CHECK_LE(from, to);
+  std::vector<Edge> out;
+  out.reserve(to - from);
+  for (size_t i = from; i < to; ++i) {
+    out.push_back({edges_[i].u, edges_[i].v, edges_[i].weight});
+  }
+  return out;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,64 @@
+// Evolving graph as a time-ordered edge-insertion stream.
+//
+// The paper models a dynamic graph as a sequence of slices of node/edge
+// insertions; G_t is the aggregation of all slices up to t (Section 3).
+// TemporalGraph stores the stream and materializes CSR snapshots at a given
+// time or edge-fraction. All snapshots share the full node-id space so that
+// distance arrays from different snapshots are directly comparable.
+
+#ifndef CONVPAIRS_GRAPH_TEMPORAL_GRAPH_H_
+#define CONVPAIRS_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace convpairs {
+
+/// Time-ordered stream of undirected edge insertions.
+class TemporalGraph {
+ public:
+  TemporalGraph() = default;
+
+  /// Builds from a list of timed edges; the list is stably sorted by time.
+  explicit TemporalGraph(std::vector<TimedEdge> edges);
+
+  /// Appends an edge at a time >= the last appended time.
+  void AddEdge(NodeId u, NodeId v, uint32_t time, float weight = 1.0f);
+
+  /// Number of edge-insertion events (parallel insertions are kept here;
+  /// snapshots deduplicate).
+  size_t num_events() const { return edges_.size(); }
+
+  /// One past the largest node id seen (the shared id space of snapshots).
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Largest timestamp in the stream (0 if empty).
+  uint32_t max_time() const;
+
+  std::span<const TimedEdge> events() const { return edges_; }
+
+  /// Snapshot with all edges whose time <= `time`.
+  Graph SnapshotAtTime(uint32_t time) const;
+
+  /// Snapshot with the first round(fraction * num_events) events,
+  /// the paper's "first p percent of the edges" split. fraction in [0, 1].
+  Graph SnapshotAtFraction(double fraction) const;
+
+  /// Events in the half-open prefix range (used to derive the "new edges"
+  /// between two fraction snapshots).
+  std::vector<Edge> EdgesInFractionRange(double from_fraction,
+                                         double to_fraction) const;
+
+ private:
+  size_t PrefixCount(double fraction) const;
+
+  std::vector<TimedEdge> edges_;
+  NodeId num_nodes_ = 0;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_TEMPORAL_GRAPH_H_

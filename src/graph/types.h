@@ -1,0 +1,58 @@
+// Fundamental graph value types shared across the library.
+
+#ifndef CONVPAIRS_GRAPH_TYPES_H_
+#define CONVPAIRS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace convpairs {
+
+/// Dense node identifier in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Shortest-path distance. Unweighted distances are hop counts; weighted
+/// pipelines quantize weights to integers (see sssp/dijkstra.h).
+using Dist = int32_t;
+
+/// Sentinel for "unreachable". Chosen so that kInfDist - kInfDist and
+/// kInfDist + small deltas never overflow int32.
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max() / 4;
+
+/// Returns true if `d` denotes a reachable (finite) distance.
+inline constexpr bool IsReachable(Dist d) { return d < kInfDist; }
+
+/// An undirected edge with an optional weight (1.0 for unweighted graphs).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  float weight = 1.0f;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// An edge stamped with its insertion time. Time units are arbitrary but
+/// totally ordered; generators use the insertion index.
+struct TimedEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  uint32_t time = 0;
+  float weight = 1.0f;
+
+  friend bool operator==(const TimedEdge&, const TimedEdge&) = default;
+};
+
+/// A node pair (always stored with u < v) plus its distance decrease
+/// Delta(u,v) = d_t1(u,v) - d_t2(u,v).
+struct ConvergingPair {
+  NodeId u = 0;
+  NodeId v = 0;
+  Dist delta = 0;
+
+  friend bool operator==(const ConvergingPair&, const ConvergingPair&) =
+      default;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_TYPES_H_

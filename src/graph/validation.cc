@@ -1,0 +1,47 @@
+#include "graph/validation.h"
+
+#include <string>
+
+#include "graph/temporal_graph.h"
+
+namespace convpairs {
+
+Status ValidateSnapshotPair(const Graph& g1, const Graph& g2) {
+  if (g1.num_nodes() > g2.num_nodes()) {
+    return Status::InvalidArgument(
+        "G_t1 id space (" + std::to_string(g1.num_nodes()) +
+        ") exceeds G_t2's (" + std::to_string(g2.num_nodes()) + ")");
+  }
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+    for (NodeId v : g1.neighbors(u)) {
+      if (u > v) continue;  // Each undirected edge checked once.
+      if (!g2.HasEdge(u, v)) {
+        return Status::InvalidArgument(
+            "edge (" + std::to_string(u) + "," + std::to_string(v) +
+            ") of G_t1 is missing from G_t2 (deletions need the "
+            "DynamicGraphStream / diverging-pairs API)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateTemporalStream(const TemporalGraph& stream) {
+  uint32_t last_time = 0;
+  size_t index = 0;
+  for (const TimedEdge& e : stream.events()) {
+    if (e.u == e.v) {
+      return Status::InvalidArgument("self-loop at event " +
+                                     std::to_string(index));
+    }
+    if (e.time < last_time) {
+      return Status::InvalidArgument("timestamps regress at event " +
+                                     std::to_string(index));
+    }
+    last_time = e.time;
+    ++index;
+  }
+  return Status::OK();
+}
+
+}  // namespace convpairs

@@ -1,0 +1,30 @@
+// Validation of user-supplied snapshot pairs.
+//
+// The problem definition assumes G_t1 ⊆ G_t2 over a shared id space
+// (insertions only). The CLI and any embedding application should validate
+// external input before running the pipeline — violations would silently
+// break the Delta >= 0 invariant the engines CHECK on.
+
+#ifndef CONVPAIRS_GRAPH_VALIDATION_H_
+#define CONVPAIRS_GRAPH_VALIDATION_H_
+
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Verifies that `g1` and `g2` form a valid evolving-snapshot pair:
+/// same node-id space size is NOT required (g2 may have grown), but every
+/// edge of g1 must be present in g2 and g1's id space must not exceed
+/// g2's. Returns InvalidArgument naming the first offending edge.
+Status ValidateSnapshotPair(const Graph& g1, const Graph& g2);
+
+/// Verifies a temporal stream is sane: endpoints distinct, timestamps
+/// nondecreasing (construction enforces this; re-checked for streams parsed
+/// from external files).
+Status ValidateTemporalStream(const TemporalGraph& stream);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_VALIDATION_H_

@@ -1,0 +1,61 @@
+#include "landmark/distance_estimator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+LandmarkDistanceEstimator LandmarkDistanceEstimator::Build(
+    const Graph& g, std::span<const NodeId> landmarks,
+    const ShortestPathEngine& engine, SsspBudget* budget) {
+  LandmarkDistanceEstimator estimator;
+  estimator.matrix_ = DistanceMatrix::Build(g, landmarks, engine, budget);
+  return estimator;
+}
+
+LandmarkDistanceEstimator LandmarkDistanceEstimator::FromMatrix(
+    DistanceMatrix matrix) {
+  LandmarkDistanceEstimator estimator;
+  estimator.matrix_ = std::move(matrix);
+  return estimator;
+}
+
+Dist LandmarkDistanceEstimator::LowerBound(NodeId u, NodeId v) const {
+  CONVPAIRS_CHECK_GT(num_landmarks(), 0u);
+  if (u == v) return 0;
+  Dist best = 0;
+  for (size_t i = 0; i < num_landmarks(); ++i) {
+    Dist du = matrix_.at(i, u);
+    Dist dv = matrix_.at(i, v);
+    bool ru = IsReachable(du);
+    bool rv = IsReachable(dv);
+    if (ru != rv) return kInfDist;  // A landmark separates the components.
+    if (!ru) continue;
+    best = std::max(best, static_cast<Dist>(std::abs(du - dv)));
+  }
+  return best;
+}
+
+Dist LandmarkDistanceEstimator::UpperBound(NodeId u, NodeId v) const {
+  CONVPAIRS_CHECK_GT(num_landmarks(), 0u);
+  if (u == v) return 0;
+  Dist best = kInfDist;
+  for (size_t i = 0; i < num_landmarks(); ++i) {
+    Dist du = matrix_.at(i, u);
+    Dist dv = matrix_.at(i, v);
+    if (!IsReachable(du) || !IsReachable(dv)) continue;
+    best = std::min(best, static_cast<Dist>(du + dv));
+  }
+  return best;
+}
+
+Dist LandmarkDistanceEstimator::Estimate(NodeId u, NodeId v) const {
+  Dist lower = LowerBound(u, v);
+  Dist upper = UpperBound(u, v);
+  if (!IsReachable(lower) || !IsReachable(upper)) return kInfDist;
+  return static_cast<Dist>((static_cast<int64_t>(lower) + upper) / 2);
+}
+
+}  // namespace convpairs

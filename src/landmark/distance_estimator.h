@@ -1,0 +1,57 @@
+// Landmark-based point-to-point distance estimation.
+//
+// The classic landmark bounds the paper's related work builds on
+// (Potamias et al. style): with distances from l landmarks precomputed,
+//   lower(u,v) = max_i |d(u,w_i) - d(v,w_i)|   (triangle inequality)
+//   upper(u,v) = min_i  d(u,w_i) + d(v,w_i)
+// answer distance queries in O(l) after 2l SSSPs of preprocessing. The
+// ablation bench uses this to test whether *estimated* deltas could replace
+// exact candidate rows in the budgeted pipeline (they trade recall for
+// cost; see bench_ablation_estimator).
+
+#ifndef CONVPAIRS_LANDMARK_DISTANCE_ESTIMATOR_H_
+#define CONVPAIRS_LANDMARK_DISTANCE_ESTIMATOR_H_
+
+#include <vector>
+
+#include "sssp/distance_matrix.h"
+
+namespace convpairs {
+
+/// O(l)-per-query distance bounds from a landmark distance matrix.
+class LandmarkDistanceEstimator {
+ public:
+  LandmarkDistanceEstimator() = default;
+
+  /// Builds from `count` landmarks' SSSP rows (charges `budget` one SSSP
+  /// per landmark).
+  static LandmarkDistanceEstimator Build(const Graph& g,
+                                         std::span<const NodeId> landmarks,
+                                         const ShortestPathEngine& engine,
+                                         SsspBudget* budget);
+
+  /// Adopts an existing matrix (no budget charge).
+  static LandmarkDistanceEstimator FromMatrix(DistanceMatrix matrix);
+
+  /// Triangle-inequality lower bound; kInfDist if some landmark separates
+  /// u and v into different components (one side reachable, other not).
+  Dist LowerBound(NodeId u, NodeId v) const;
+
+  /// Upper bound via the best relay landmark; kInfDist if no landmark
+  /// reaches both.
+  Dist UpperBound(NodeId u, NodeId v) const;
+
+  /// Midpoint estimate clamped to the bounds; kInfDist when disconnected
+  /// as far as the landmarks can tell.
+  Dist Estimate(NodeId u, NodeId v) const;
+
+  size_t num_landmarks() const { return matrix_.sources().size(); }
+  const DistanceMatrix& matrix() const { return matrix_; }
+
+ private:
+  DistanceMatrix matrix_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_LANDMARK_DISTANCE_ESTIMATOR_H_

@@ -1,0 +1,56 @@
+#include "landmark/landmark_features.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+LandmarkChangeNorms ComputeLandmarkChangeNorms(const DistanceMatrix& dl1,
+                                               const DistanceMatrix& dl2) {
+  CONVPAIRS_CHECK_EQ(dl1.sources().size(), dl2.sources().size());
+  CONVPAIRS_CHECK_EQ(dl1.num_nodes(), dl2.num_nodes());
+  const NodeId n = dl1.num_nodes();
+
+  LandmarkChangeNorms norms;
+  norms.l1.assign(n, 0.0);
+  norms.linf.assign(n, 0.0);
+  for (size_t i = 0; i < dl1.sources().size(); ++i) {
+    CONVPAIRS_CHECK_EQ(dl1.sources()[i], dl2.sources()[i]);
+    auto row1 = dl1.row(i);
+    auto row2 = dl2.row(i);
+    for (NodeId u = 0; u < n; ++u) {
+      // Only pairs reachable in G_t1 can converge (see file comment).
+      if (!IsReachable(row1[u]) || !IsReachable(row2[u])) continue;
+      double change = std::max(0, row1[u] - row2[u]);
+      norms.l1[u] += change;
+      norms.linf[u] = std::max(norms.linf[u], change);
+    }
+  }
+  return norms;
+}
+
+LandmarkChangeNorms ComputeLandmarkIncreaseNorms(const DistanceMatrix& dl1,
+                                                 const DistanceMatrix& dl2) {
+  CONVPAIRS_CHECK_EQ(dl1.sources().size(), dl2.sources().size());
+  CONVPAIRS_CHECK_EQ(dl1.num_nodes(), dl2.num_nodes());
+  const NodeId n = dl1.num_nodes();
+
+  LandmarkChangeNorms norms;
+  norms.l1.assign(n, 0.0);
+  norms.linf.assign(n, 0.0);
+  for (size_t i = 0; i < dl1.sources().size(); ++i) {
+    CONVPAIRS_CHECK_EQ(dl1.sources()[i], dl2.sources()[i]);
+    auto row1 = dl1.row(i);
+    auto row2 = dl2.row(i);
+    for (NodeId u = 0; u < n; ++u) {
+      if (!IsReachable(row1[u]) || !IsReachable(row2[u])) continue;
+      double change = std::max(0, row2[u] - row1[u]);
+      norms.l1[u] += change;
+      norms.linf[u] = std::max(norms.linf[u], change);
+    }
+  }
+  return norms;
+}
+
+}  // namespace convpairs

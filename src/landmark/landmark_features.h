@@ -1,0 +1,50 @@
+// Per-node landmark distance-change vectors and their norms
+// (paper Section 4.2.3).
+//
+// For landmarks L = (w_1..w_l), each node u has the change vector
+// DeltaL(u)[i] = d_t1(u, w_i) - d_t2(u, w_i). SumDiff ranks nodes by the L1
+// norm of this vector; MaxDiff by the L-infinity norm.
+//
+// Reachability: a pair (u, w_i) that is unreachable in G_t1 contributes
+// ZERO change, even if it became reachable in G_t2. Converging pairs are by
+// definition connected in G_t1; a node that merely joined a landmark's
+// component cannot participate in any converging pair with that component,
+// and letting the (huge) infinity-to-finite drop into the norm floods the
+// ranking with such useless nodes on fragmented graphs (this is exactly
+// what tanks landmark policies on DBLP-like workloads otherwise).
+
+#ifndef CONVPAIRS_LANDMARK_LANDMARK_FEATURES_H_
+#define CONVPAIRS_LANDMARK_LANDMARK_FEATURES_H_
+
+#include <vector>
+
+#include "sssp/distance_matrix.h"
+
+namespace convpairs {
+
+/// L1 and L-infinity norms of every node's landmark change vector.
+struct LandmarkChangeNorms {
+  std::vector<double> l1;    // SumDiff score
+  std::vector<double> linf;  // MaxDiff score
+};
+
+/// Computes both norms from the landmark matrices in the two snapshots.
+/// `dl1` and `dl2` must hold the same sources in the same order and span the
+/// same node-id space. Pairs unreachable in G_t1 contribute zero (see file
+/// comment). Negative per-landmark changes cannot occur under edge
+/// insertions; they are clamped to zero defensively so a (future) deletion
+/// workload cannot produce negative norms.
+LandmarkChangeNorms ComputeLandmarkChangeNorms(const DistanceMatrix& dl1,
+                                               const DistanceMatrix& dl2);
+
+/// Mirror-image norms for the diverging-pairs extension: per-landmark
+/// change max(0, d_t2 - d_t1), i.e. how much a node drifted AWAY from each
+/// landmark (possible once edges can be deleted). Pairs must be reachable
+/// in BOTH snapshots to contribute — a disconnection is a broken pair, not
+/// a finite divergence.
+LandmarkChangeNorms ComputeLandmarkIncreaseNorms(const DistanceMatrix& dl1,
+                                                 const DistanceMatrix& dl2);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_LANDMARK_LANDMARK_FEATURES_H_

@@ -1,0 +1,136 @@
+#include "landmark/landmark_selector.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/connected_components.h"
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+std::vector<NodeId> ActiveNodes(const Graph& g) {
+  std::vector<NodeId> active;
+  active.reserve(g.num_active_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) > 0) active.push_back(u);
+  }
+  return active;
+}
+
+Dist Clamped(Dist d, Dist clamp) { return IsReachable(d) ? d : clamp; }
+
+}  // namespace
+
+const char* LandmarkPolicyName(LandmarkPolicy policy) {
+  switch (policy) {
+    case LandmarkPolicy::kRandom:
+      return "random";
+    case LandmarkPolicy::kMaxMin:
+      return "maxmin";
+    case LandmarkPolicy::kMaxAvg:
+      return "maxavg";
+    case LandmarkPolicy::kHighDegree:
+      return "highdeg";
+  }
+  return "?";
+}
+
+std::vector<NodeId> GreedyDispersion(
+    const Graph& g1, bool maximize_minimum, uint32_t count, NodeId first,
+    std::span<const NodeId> eligible,
+    const std::function<const std::vector<Dist>&(NodeId)>& distances_from,
+    Dist clamp) {
+  std::vector<NodeId> active(eligible.begin(), eligible.end());
+  count = std::min<uint32_t>(count, static_cast<uint32_t>(active.size()));
+  std::vector<NodeId> selected;
+  if (count == 0) return selected;
+
+  // agg[u]: min (MaxMin) or sum (MaxAvg) of clamped distances from u to the
+  // selected set. Maximizing the sum is equivalent to maximizing the
+  // average, so one aggregate serves both policies.
+  std::vector<int64_t> agg(
+      g1.num_nodes(),
+      maximize_minimum ? std::numeric_limits<int64_t>::max() : 0);
+  std::vector<bool> is_selected(g1.num_nodes(), false);
+
+  NodeId next = first;
+  for (uint32_t round = 0; round < count; ++round) {
+    selected.push_back(next);
+    is_selected[next] = true;
+    const std::vector<Dist>& dist = distances_from(next);
+    int64_t best_agg = -1;
+    NodeId best_node = next;
+    for (NodeId u : active) {
+      if (is_selected[u]) continue;
+      int64_t d = Clamped(dist[u], clamp);
+      if (maximize_minimum) {
+        agg[u] = std::min<int64_t>(agg[u], d);
+      } else {
+        agg[u] += d;
+      }
+      if (agg[u] > best_agg || (agg[u] == best_agg && u < best_node)) {
+        best_agg = agg[u];
+        best_node = u;
+      }
+    }
+    next = best_node;
+    if (best_agg < 0) break;  // No unselected active node left.
+  }
+  return selected;
+}
+
+LandmarkSelection SelectLandmarks(const Graph& g1, LandmarkPolicy policy,
+                                  uint32_t count, Rng& rng,
+                                  const ShortestPathEngine& engine,
+                                  SsspBudget* budget) {
+  LandmarkSelection selection;
+  std::vector<NodeId> active = ActiveNodes(g1);
+  if (active.empty() || count == 0) return selection;
+  count = std::min<uint32_t>(count, static_cast<uint32_t>(active.size()));
+
+  if (policy == LandmarkPolicy::kRandom) {
+    std::vector<uint32_t> picks = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(active.size()), count);
+    selection.landmarks.reserve(count);
+    for (uint32_t idx : picks) selection.landmarks.push_back(active[idx]);
+    return selection;
+  }
+  if (policy == LandmarkPolicy::kHighDegree) {
+    std::sort(active.begin(), active.end(), [&g1](NodeId a, NodeId b) {
+      if (g1.degree(a) != g1.degree(b)) return g1.degree(a) > g1.degree(b);
+      return a < b;
+    });
+    active.resize(count);
+    selection.landmarks = std::move(active);
+    return selection;
+  }
+
+  // Dispersion selection runs within the largest component (see header).
+  ConnectedComponents cc = ComputeConnectedComponents(g1);
+  uint32_t giant = cc.GiantComponent();
+  std::vector<NodeId> eligible;
+  eligible.reserve(cc.size[giant]);
+  for (NodeId u : active) {
+    if (cc.label[u] == giant) eligible.push_back(u);
+  }
+  CONVPAIRS_CHECK(!eligible.empty());
+  count = std::min<uint32_t>(count, static_cast<uint32_t>(eligible.size()));
+
+  NodeId first = eligible[rng.UniformInt(eligible.size())];
+  Dist clamp = static_cast<Dist>(g1.num_nodes());
+  std::vector<Dist> row;
+  selection.landmarks = GreedyDispersion(
+      g1, policy == LandmarkPolicy::kMaxMin, count, first, eligible,
+      [&](NodeId src) -> const std::vector<Dist>& {
+        engine.Distances(g1, src, &row, budget);
+        selection.g1_rows.AdoptRow(src, row);
+        return row;
+      },
+      clamp);
+  CONVPAIRS_CHECK_EQ(selection.landmarks.size(),
+                     selection.g1_rows.sources().size());
+  return selection;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,78 @@
+// Landmark selection: random sampling and the two greedy dispersion
+// policies (paper Sections 4.2.2-4.2.4).
+//
+// MaxAvg greedily maximizes the average distance to the already-selected
+// set (tends to pick peripheral nodes); MaxMin maximizes the minimum
+// distance (tends to pick nodes covering the graph's clusters). Dispersion
+// selection pays one SSSP per selected node in G_t1; those rows double as
+// the landmark distance matrix DL1, the reuse that keeps hybrids within the
+// 2m budget (Table 1).
+//
+// Disconnected graphs: dispersion selection operates WITHIN the largest
+// connected component. Treating unreachable distances as "maximally
+// dispersed" (the classic k-center reading) drains the entire landmark
+// budget one-per-fragment on fragmented graphs, yet converging pairs
+// require G_t1-connectivity, so the expected pair mass of a component
+// scales with its size squared — essentially all of it is in the giant
+// component. On connected graphs (the common case) this refinement is a
+// no-op. The raw whole-graph greedy remains available via GreedyDispersion
+// for callers that want the k-center semantics.
+
+#ifndef CONVPAIRS_LANDMARK_LANDMARK_SELECTOR_H_
+#define CONVPAIRS_LANDMARK_LANDMARK_SELECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/budget.h"
+#include "sssp/dijkstra.h"
+#include "sssp/distance_matrix.h"
+#include "util/rng.h"
+
+namespace convpairs {
+
+enum class LandmarkPolicy {
+  kRandom,
+  kMaxMin,
+  kMaxAvg,
+  /// Highest-degree nodes (the classic choice of the landmark distance-
+  /// estimation literature; SSSP-free selection like kRandom). Included for
+  /// the landmark-scheme ablation — central landmarks are close to
+  /// everything, which blunts the change signal.
+  kHighDegree,
+};
+
+/// Name for logs/tables ("random", "maxmin", "maxavg", "highdeg").
+const char* LandmarkPolicyName(LandmarkPolicy policy);
+
+/// Landmarks plus any G_t1 distance rows the selection already computed.
+struct LandmarkSelection {
+  std::vector<NodeId> landmarks;
+  /// For dispersion policies: one row per landmark in selection order
+  /// (budget already charged). Empty for kRandom.
+  DistanceMatrix g1_rows;
+};
+
+/// Selects `count` landmarks from the active nodes of `g1`.
+/// kRandom charges nothing; dispersion policies charge `count` SSSPs.
+/// `count` is clamped to the number of active nodes.
+LandmarkSelection SelectLandmarks(const Graph& g1, LandmarkPolicy policy,
+                                  uint32_t count, Rng& rng,
+                                  const ShortestPathEngine& engine,
+                                  SsspBudget* budget);
+
+/// Greedy dispersion over a distance accessor — shared by SelectLandmarks
+/// and by tests that verify the greedy choice against brute force.
+/// `eligible` is the candidate pool (SelectLandmarks passes the largest
+/// component; pass all active nodes for whole-graph k-center semantics).
+/// `clamp` replaces unreachable distances.
+std::vector<NodeId> GreedyDispersion(
+    const Graph& g1, bool maximize_minimum, uint32_t count, NodeId first,
+    std::span<const NodeId> eligible,
+    const std::function<const std::vector<Dist>&(NodeId)>& distances_from,
+    Dist clamp);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_LANDMARK_LANDMARK_SELECTOR_H_

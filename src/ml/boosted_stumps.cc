@@ -1,0 +1,180 @@
+#include "ml/boosted_stumps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/logistic_regression.h"  // Sigmoid.
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+// Finds the weighted-error-minimizing stump for one feature by scanning the
+// sorted value sequence once. `order` is the row permutation sorting the
+// feature; weights/targets are per row; targets are +-1.
+void BestStumpForFeature(const std::vector<double>& features,
+                         size_t num_features, size_t feature,
+                         const std::vector<size_t>& order,
+                         const std::vector<double>& weights,
+                         const std::vector<int>& targets, double total_weight,
+                         DecisionStump* best, double* best_error) {
+  // positive_below = weighted sum of +1 targets among rows with value <=
+  // current threshold. For a stump "predict +1 when value > threshold"
+  // (polarity +1), the weighted error is:
+  //   err(+1) = W+(below) + W-(above)
+  // and err(-1) = total - err(+1). Scan thresholds between distinct values.
+  double positive_below = 0.0;
+  double negative_below = 0.0;
+  double total_positive = 0.0;
+  for (size_t row = 0; row < targets.size(); ++row) {
+    if (targets[row] > 0) total_positive += weights[row];
+  }
+  double total_negative = total_weight - total_positive;
+
+  for (size_t i = 0; i < order.size(); ++i) {
+    size_t row = order[i];
+    double value = features[row * num_features + feature];
+    if (targets[row] > 0) {
+      positive_below += weights[row];
+    } else {
+      negative_below += weights[row];
+    }
+    // Threshold between this value and the next distinct one.
+    if (i + 1 < order.size()) {
+      double next = features[order[i + 1] * num_features + feature];
+      if (next == value) continue;
+      double threshold = 0.5 * (value + next);
+      double err_plus =
+          positive_below + (total_negative - negative_below);
+      double err_minus = total_weight - err_plus;
+      if (err_plus < *best_error) {
+        *best_error = err_plus;
+        *best = {feature, threshold, +1, 0.0};
+      }
+      if (err_minus < *best_error) {
+        *best_error = err_minus;
+        *best = {feature, threshold, -1, 0.0};
+      }
+    }
+  }
+}
+
+int StumpVote(const DecisionStump& stump, std::span<const double> x) {
+  double side = x[stump.feature] - stump.threshold;
+  int raw = side > 0 ? 1 : -1;
+  return stump.polarity > 0 ? raw : -raw;
+}
+
+}  // namespace
+
+Status BoostedStumps::Fit(const std::vector<double>& features,
+                          size_t num_features, const std::vector<int>& labels,
+                          const BoostedStumpsOptions& options) {
+  if (num_features == 0) {
+    return Status::InvalidArgument("num_features must be positive");
+  }
+  if (features.size() != labels.size() * num_features) {
+    return Status::InvalidArgument("features/labels shape mismatch");
+  }
+  size_t num_rows = labels.size();
+  size_t num_positive = 0;
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    num_positive += static_cast<size_t>(y);
+  }
+  if (num_positive == 0 || num_positive == num_rows) {
+    return Status::InvalidArgument("training data has a single class");
+  }
+
+  num_features_ = num_features;
+  stumps_.clear();
+
+  std::vector<int> targets(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    targets[row] = labels[row] == 1 ? 1 : -1;
+  }
+  double pos_weight = options.positive_class_weight;
+  if (pos_weight <= 0.0) {
+    pos_weight = static_cast<double>(num_rows - num_positive) /
+                 static_cast<double>(num_positive);
+  }
+  std::vector<double> weights(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    weights[row] = labels[row] == 1 ? pos_weight : 1.0;
+  }
+
+  // Per-feature sort orders, computed once.
+  std::vector<std::vector<size_t>> orders(num_features);
+  for (size_t f = 0; f < num_features; ++f) {
+    orders[f].resize(num_rows);
+    std::iota(orders[f].begin(), orders[f].end(), size_t{0});
+    std::sort(orders[f].begin(), orders[f].end(),
+              [&](size_t a, size_t b) {
+                return features[a * num_features + f] <
+                       features[b * num_features + f];
+              });
+  }
+
+  for (int round = 0; round < options.num_rounds; ++round) {
+    double total_weight =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    DecisionStump best;
+    double best_error = total_weight;  // Worse than any real stump.
+    for (size_t f = 0; f < num_features; ++f) {
+      BestStumpForFeature(features, num_features, f, orders[f], weights,
+                          targets, total_weight, &best, &best_error);
+    }
+    double error_rate = best_error / total_weight;
+    // Clamp away from 0/1 for numeric stability; stop when the best stump
+    // is no better than chance.
+    if (error_rate >= 0.5 - 1e-12) break;
+    error_rate = std::max(error_rate, 1e-12);
+    best.alpha = 0.5 * std::log((1.0 - error_rate) / error_rate);
+    stumps_.push_back(best);
+
+    // Reweight: misclassified rows up, correct rows down.
+    for (size_t row = 0; row < num_rows; ++row) {
+      std::span<const double> x(features.data() + row * num_features,
+                                num_features);
+      int vote = StumpVote(best, x);
+      weights[row] *= std::exp(-best.alpha * vote * targets[row]);
+    }
+    if (error_rate < 1e-9) break;  // Perfect stump; further rounds add noise.
+  }
+  if (stumps_.empty()) {
+    return Status::Internal("no stump beat chance; degenerate features");
+  }
+  return Status::OK();
+}
+
+double BoostedStumps::PredictScore(std::span<const double> x) const {
+  CONVPAIRS_CHECK(fitted());
+  CONVPAIRS_CHECK_EQ(x.size(), num_features_);
+  double score = 0.0;
+  for (const DecisionStump& stump : stumps_) {
+    score += stump.alpha * StumpVote(stump, x);
+  }
+  return score;
+}
+
+double BoostedStumps::PredictProbability(std::span<const double> x) const {
+  return Sigmoid(PredictScore(x));
+}
+
+std::vector<double> BoostedStumps::PredictProbabilities(
+    const std::vector<double>& features, size_t num_features) const {
+  CONVPAIRS_CHECK_EQ(num_features, num_features_);
+  CONVPAIRS_CHECK_EQ(features.size() % num_features, 0u);
+  size_t num_rows = features.size() / num_features;
+  std::vector<double> out(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    out[row] = PredictProbability(
+        {features.data() + row * num_features, num_features});
+  }
+  return out;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,71 @@
+// AdaBoost over decision stumps — an alternative ranking model for the
+// classifier-based selectors.
+//
+// The paper uses logistic regression (via LIBLINEAR) and never asks whether
+// a non-linear model would rank candidate endpoints better. This model lets
+// the ablation bench answer that: boosted stumps capture feature
+// interactions and thresholds that a linear model cannot, at the cost of
+// more hyperparameters. (Empirically the ranking quality is comparable —
+// the landmark-change features are already near-linearly separable — which
+// justifies the paper's simpler choice.)
+
+#ifndef CONVPAIRS_ML_BOOSTED_STUMPS_H_
+#define CONVPAIRS_ML_BOOSTED_STUMPS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace convpairs {
+
+struct BoostedStumpsOptions {
+  /// Boosting rounds (= number of stumps).
+  int num_rounds = 64;
+  /// Initial weight multiplier for positive examples; 0 = auto-balance.
+  double positive_class_weight = 0.0;
+};
+
+/// One weak learner: predicts +1 if polarity*(x[feature] - threshold) > 0.
+struct DecisionStump {
+  size_t feature = 0;
+  double threshold = 0.0;
+  int polarity = 1;  // +1 or -1
+  double alpha = 0.0;  // Vote weight.
+};
+
+/// AdaBoost ensemble of stumps for binary {0,1} labels.
+class BoostedStumps {
+ public:
+  BoostedStumps() = default;
+
+  /// Trains on row-major features (num_rows x num_features). Returns
+  /// InvalidArgument on shape mismatch or single-class labels.
+  Status Fit(const std::vector<double>& features, size_t num_features,
+             const std::vector<int>& labels,
+             const BoostedStumpsOptions& options = {});
+
+  /// Signed margin (sum of alpha-weighted votes); positive favors class 1.
+  double PredictScore(std::span<const double> x) const;
+
+  /// Sigmoid-squashed margin in (0,1); monotone in the margin, so it ranks
+  /// identically (not a calibrated probability).
+  double PredictProbability(std::span<const double> x) const;
+
+  /// Scores for every row of a row-major matrix.
+  std::vector<double> PredictProbabilities(const std::vector<double>& features,
+                                           size_t num_features) const;
+
+  bool fitted() const { return !stumps_.empty(); }
+  const std::vector<DecisionStump>& stumps() const { return stumps_; }
+  size_t num_features() const { return num_features_; }
+
+ private:
+  size_t num_features_ = 0;
+  std::vector<DecisionStump> stumps_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_ML_BOOSTED_STUMPS_H_

@@ -1,0 +1,151 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace convpairs {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+Status LogisticRegression::Fit(const std::vector<double>& features,
+                               size_t num_features,
+                               const std::vector<int>& labels,
+                               const LogisticRegressionOptions& options) {
+  if (num_features == 0) {
+    return Status::InvalidArgument("num_features must be positive");
+  }
+  if (features.size() != labels.size() * num_features) {
+    return Status::InvalidArgument("features/labels shape mismatch");
+  }
+  size_t num_rows = labels.size();
+  size_t num_positive = 0;
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    num_positive += static_cast<size_t>(y);
+  }
+  if (num_positive == 0 || num_positive == num_rows) {
+    return Status::InvalidArgument("training data has a single class");
+  }
+
+  double pos_weight = options.positive_class_weight;
+  if (pos_weight <= 0.0) {
+    pos_weight = static_cast<double>(num_rows - num_positive) /
+                 static_cast<double>(num_positive);
+  }
+
+  weights_.assign(num_features, 0.0);
+  bias_ = 0.0;
+  std::vector<double> gradient(num_features);
+  // Normalizer for the weighted loss so the learning rate is scale-free.
+  double total_weight = static_cast<double>(num_rows - num_positive) +
+                        pos_weight * static_cast<double>(num_positive);
+
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    double bias_gradient = 0.0;
+    for (size_t row = 0; row < num_rows; ++row) {
+      const double* x = features.data() + row * num_features;
+      double z = bias_;
+      for (size_t j = 0; j < num_features; ++j) z += weights_[j] * x[j];
+      double p = Sigmoid(z);
+      double weight = labels[row] == 1 ? pos_weight : 1.0;
+      double err = weight * (p - static_cast<double>(labels[row]));
+      for (size_t j = 0; j < num_features; ++j) gradient[j] += err * x[j];
+      bias_gradient += err;
+    }
+    double max_abs = std::abs(bias_gradient);
+    for (size_t j = 0; j < num_features; ++j) {
+      gradient[j] = gradient[j] / total_weight + options.l2 * weights_[j];
+      max_abs = std::max(max_abs, std::abs(gradient[j]));
+    }
+    bias_gradient /= total_weight;
+    for (size_t j = 0; j < num_features; ++j) {
+      weights_[j] -= options.learning_rate * gradient[j];
+    }
+    bias_ -= options.learning_rate * bias_gradient;
+    if (max_abs < options.tolerance) break;
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProbability(std::span<const double> x) const {
+  CONVPAIRS_CHECK(fitted());
+  CONVPAIRS_CHECK_EQ(x.size(), weights_.size());
+  double z = bias_;
+  for (size_t j = 0; j < weights_.size(); ++j) z += weights_[j] * x[j];
+  return Sigmoid(z);
+}
+
+std::vector<double> LogisticRegression::PredictProbabilities(
+    const std::vector<double>& features, size_t num_features) const {
+  CONVPAIRS_CHECK(fitted());
+  CONVPAIRS_CHECK_EQ(num_features, weights_.size());
+  CONVPAIRS_CHECK_EQ(features.size() % num_features, 0u);
+  size_t num_rows = features.size() / num_features;
+  std::vector<double> out(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    out[row] = PredictProbability(
+        {features.data() + row * num_features, num_features});
+  }
+  return out;
+}
+
+namespace {
+
+std::string HexDouble(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string LogisticRegression::Serialize() const {
+  CONVPAIRS_CHECK(fitted());
+  std::string out = "logreg " + std::to_string(weights_.size()) + "\n";
+  out += HexDouble(bias_);
+  for (double w : weights_) out += " " + HexDouble(w);
+  out += "\n";
+  return out;
+}
+
+StatusOr<LogisticRegression> LogisticRegression::Deserialize(
+    const std::string& text) {
+  auto lines = Split(text, '\n');
+  if (lines.size() < 2) return Status::InvalidArgument("truncated model");
+  auto header = SplitWhitespace(lines[0]);
+  if (header.size() != 2 || header[0] != "logreg") {
+    return Status::InvalidArgument("bad model header");
+  }
+  size_t num_features = std::strtoull(std::string(header[1]).c_str(),
+                                      nullptr, 10);
+  if (num_features == 0) return Status::InvalidArgument("zero features");
+  auto values = SplitWhitespace(lines[1]);
+  if (values.size() != num_features + 1) {
+    return Status::InvalidArgument("model weight count mismatch");
+  }
+  LogisticRegression model;
+  // strtod accepts the hex-float format produced by Serialize.
+  model.bias_ = std::strtod(std::string(values[0]).c_str(), nullptr);
+  model.weights_.reserve(num_features);
+  for (size_t i = 1; i < values.size(); ++i) {
+    model.weights_.push_back(
+        std::strtod(std::string(values[i]).c_str(), nullptr));
+  }
+  return model;
+}
+
+}  // namespace convpairs

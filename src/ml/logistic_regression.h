@@ -1,0 +1,71 @@
+// Binary logistic regression trained by full-batch gradient descent.
+//
+// Replaces the paper's LIBLINEAR dependency (Section 5.3). Only the output
+// probability matters downstream — the classifier-based selectors rank
+// nodes by P(node in greedy cover) and take the top ones — so a compact
+// from-scratch implementation with L2 regularization and class weighting
+// (the cover is a tiny positive class) is sufficient and keeps the build
+// dependency-free.
+
+#ifndef CONVPAIRS_ML_LOGISTIC_REGRESSION_H_
+#define CONVPAIRS_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace convpairs {
+
+struct LogisticRegressionOptions {
+  int max_epochs = 500;
+  double learning_rate = 0.5;
+  /// L2 penalty on weights (not on the bias).
+  double l2 = 1e-3;
+  /// Weight multiplier for positive examples; 0 = auto-balance to
+  /// num_negative / num_positive.
+  double positive_class_weight = 0.0;
+  /// Stop when the max absolute gradient falls below this.
+  double tolerance = 1e-6;
+};
+
+/// Trained binary classifier: P(y=1|x) = sigmoid(w.x + b).
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  /// Trains on row-major `features` (num_rows x num_features) with labels
+  /// in {0, 1}. Returns InvalidArgument on shape mismatch or single-class
+  /// labels.
+  Status Fit(const std::vector<double>& features, size_t num_features,
+             const std::vector<int>& labels,
+             const LogisticRegressionOptions& options = {});
+
+  /// P(y=1|x); requires a fitted model and x.size() == num_features.
+  double PredictProbability(std::span<const double> x) const;
+
+  /// Probabilities for every row of a row-major matrix.
+  std::vector<double> PredictProbabilities(const std::vector<double>& features,
+                                           size_t num_features) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  /// Text serialization ("logreg <num_features>\n<bias> <w_0> ... <w_n-1>"),
+  /// round-trip exact (hex float formatting).
+  std::string Serialize() const;
+  static StatusOr<LogisticRegression> Deserialize(const std::string& text);
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Numerically stable sigmoid.
+double Sigmoid(double z);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_ML_LOGISTIC_REGRESSION_H_

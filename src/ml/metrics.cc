@@ -1,0 +1,77 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+double Accuracy(const std::vector<double>& probabilities,
+                const std::vector<int>& labels, double threshold) {
+  CONVPAIRS_CHECK_EQ(probabilities.size(), labels.size());
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    int predicted = probabilities[i] >= threshold ? 1 : 0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double RocAuc(const std::vector<double>& probabilities,
+              const std::vector<int>& labels) {
+  CONVPAIRS_CHECK_EQ(probabilities.size(), labels.size());
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+  std::vector<size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return probabilities[a] < probabilities[b];
+  });
+  double positive_rank_sum = 0.0;
+  size_t num_positive = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() &&
+           probabilities[order[j]] == probabilities[order[i]]) {
+      ++j;
+    }
+    double midrank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based ranks.
+    for (size_t t = i; t < j; ++t) {
+      if (labels[order[t]] == 1) {
+        positive_rank_sum += midrank;
+        ++num_positive;
+      }
+    }
+    i = j;
+  }
+  size_t num_negative = labels.size() - num_positive;
+  if (num_positive == 0 || num_negative == 0) return 0.5;
+  double u = positive_rank_sum -
+             static_cast<double>(num_positive) *
+                 static_cast<double>(num_positive + 1) / 2.0;
+  return u / (static_cast<double>(num_positive) *
+              static_cast<double>(num_negative));
+}
+
+double PrecisionAtK(const std::vector<double>& probabilities,
+                    const std::vector<int>& labels, size_t k) {
+  CONVPAIRS_CHECK_EQ(probabilities.size(), labels.size());
+  k = std::min(k, labels.size());
+  if (k == 0) return 0.0;
+  std::vector<size_t> order(labels.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](size_t a, size_t b) {
+                      if (probabilities[a] != probabilities[b]) {
+                        return probabilities[a] > probabilities[b];
+                      }
+                      return a < b;
+                    });
+  size_t hits = 0;
+  for (size_t t = 0; t < k; ++t) hits += static_cast<size_t>(labels[order[t]]);
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace convpairs

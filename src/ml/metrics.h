@@ -1,0 +1,29 @@
+// Classifier evaluation metrics: used by tests and the classifier-ablation
+// bench to confirm the learned ranking is meaningful before it is spent on
+// the SSSP budget.
+
+#ifndef CONVPAIRS_ML_METRICS_H_
+#define CONVPAIRS_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace convpairs {
+
+/// Fraction of correct predictions at the given probability threshold.
+double Accuracy(const std::vector<double>& probabilities,
+                const std::vector<int>& labels, double threshold = 0.5);
+
+/// Area under the ROC curve (rank statistic; ties contribute 1/2).
+/// Returns 0.5 if either class is empty.
+double RocAuc(const std::vector<double>& probabilities,
+              const std::vector<int>& labels);
+
+/// Precision among the `k` highest-probability rows (the quantity that
+/// matters for the budgeted selectors, which keep the top-m nodes).
+double PrecisionAtK(const std::vector<double>& probabilities,
+                    const std::vector<int>& labels, size_t k);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_ML_METRICS_H_

@@ -1,0 +1,38 @@
+#include "ml/scaler.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+void MinMaxScaler::Fit(const std::vector<double>& data, size_t num_features) {
+  CONVPAIRS_CHECK_GT(num_features, 0u);
+  CONVPAIRS_CHECK_EQ(data.size() % num_features, 0u);
+  mins_.assign(num_features, std::numeric_limits<double>::infinity());
+  maxs_.assign(num_features, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < data.size(); ++i) {
+    size_t col = i % num_features;
+    mins_[col] = std::min(mins_[col], data[i]);
+    maxs_[col] = std::max(maxs_[col], data[i]);
+  }
+}
+
+void MinMaxScaler::Transform(std::vector<double>* data) const {
+  CONVPAIRS_CHECK_GT(num_features(), 0u);
+  CONVPAIRS_CHECK_EQ(data->size() % num_features(), 0u);
+  for (size_t i = 0; i < data->size(); ++i) {
+    size_t col = i % num_features();
+    double span = maxs_[col] - mins_[col];
+    (*data)[i] =
+        span > 0 ? 2.0 * ((*data)[i] - mins_[col]) / span - 1.0 : 0.0;
+  }
+}
+
+void MinMaxScaler::FitTransform(std::vector<double>* data,
+                                size_t num_features) {
+  Fit(*data, num_features);
+  Transform(data);
+}
+
+}  // namespace convpairs

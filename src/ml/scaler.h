@@ -1,0 +1,40 @@
+// Min-max feature scaling to [-1, 1] (paper Section 5.3: "All features are
+// normalized in the interval [-1,1]").
+
+#ifndef CONVPAIRS_ML_SCALER_H_
+#define CONVPAIRS_ML_SCALER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace convpairs {
+
+/// Per-feature affine map fitted on training data and applied to any data.
+/// Constant features map to 0.
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  /// Fits per-column min/max. `data` is row-major with `num_features`
+  /// columns; its size must be a multiple of num_features.
+  void Fit(const std::vector<double>& data, size_t num_features);
+
+  /// Maps each column into [-1, 1] in place (values outside the fitted
+  /// range extrapolate beyond [-1,1]; logistic regression tolerates that).
+  void Transform(std::vector<double>* data) const;
+
+  /// Fit + Transform.
+  void FitTransform(std::vector<double>* data, size_t num_features);
+
+  size_t num_features() const { return mins_.size(); }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_ML_SCALER_H_

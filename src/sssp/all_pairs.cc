@@ -1,0 +1,40 @@
+#include "sssp/all_pairs.h"
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace convpairs {
+
+void ForEachSourceDistances(
+    const Graph& g, const ShortestPathEngine& engine,
+    const std::function<void(NodeId src, const std::vector<Dist>& dist)>&
+        visit,
+    int num_threads) {
+  ParallelForBlocks(
+      g.num_nodes(),
+      [&](int /*thread_index*/, size_t begin, size_t end) {
+        std::vector<Dist> dist;
+        for (size_t src = begin; src < end; ++src) {
+          engine.Distances(g, static_cast<NodeId>(src), &dist,
+                           /*budget=*/nullptr);
+          visit(static_cast<NodeId>(src), dist);
+        }
+      },
+      num_threads);
+}
+
+std::vector<Dist> AllPairsMatrix(const Graph& g,
+                                 const ShortestPathEngine& engine,
+                                 size_t max_cells) {
+  size_t n = g.num_nodes();
+  CONVPAIRS_CHECK_LE(n * n, max_cells);
+  std::vector<Dist> matrix(n * n, kInfDist);
+  ForEachSourceDistances(g, engine,
+                         [&](NodeId src, const std::vector<Dist>& dist) {
+                           std::copy(dist.begin(), dist.end(),
+                                     matrix.begin() + src * n);
+                         });
+  return matrix;
+}
+
+}  // namespace convpairs

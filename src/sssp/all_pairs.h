@@ -1,0 +1,37 @@
+// All-pairs shortest-path drivers.
+//
+// Used for evaluation ground truth on "manageable size" graphs (paper
+// Section 5.1), never inside the budgeted algorithms themselves. The
+// streaming driver avoids materializing the n x n matrix; the dense variant
+// exists for tests and very small graphs.
+
+#ifndef CONVPAIRS_SSSP_ALL_PAIRS_H_
+#define CONVPAIRS_SSSP_ALL_PAIRS_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/dijkstra.h"
+
+namespace convpairs {
+
+/// Runs SSSP from every node of `g` and invokes
+/// `visit(src, distances)` once per source, in parallel over sources (the
+/// callback must be thread-safe). Distances span the full id space.
+void ForEachSourceDistances(
+    const Graph& g, const ShortestPathEngine& engine,
+    const std::function<void(NodeId src, const std::vector<Dist>& dist)>&
+        visit,
+    int num_threads = 0);
+
+/// Dense n x n matrix (row-major). Aborts if n * n would exceed `max_cells`
+/// (default 64M cells ~= 256 MB) — a guard against accidentally running the
+/// quadratic path on a large graph.
+std::vector<Dist> AllPairsMatrix(const Graph& g,
+                                 const ShortestPathEngine& engine,
+                                 size_t max_cells = size_t{64} << 20);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_SSSP_ALL_PAIRS_H_

@@ -1,0 +1,54 @@
+#include "sssp/bfs.h"
+
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+void BfsInto(const Graph& g, NodeId src, std::vector<Dist>& dist,
+             std::vector<NodeId>& queue) {
+  CONVPAIRS_CHECK_LT(src, g.num_nodes());
+  dist.assign(g.num_nodes(), kInfDist);
+  queue.clear();
+  dist[src] = 0;
+  queue.push_back(src);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
+    Dist next = dist[u] + 1;
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kInfDist) {
+        dist[v] = next;
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
+                  SsspBudget* budget) {
+  if (budget != nullptr) budget->Charge();
+  std::vector<NodeId> queue;
+  BfsInto(g, src, *out, queue);
+}
+
+std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
+                               SsspBudget* budget) {
+  std::vector<Dist> dist;
+  BfsDistances(g, src, &dist, budget);
+  return dist;
+}
+
+BfsRunner::BfsRunner(const Graph& g) : graph_(g) {
+  dist_.reserve(g.num_nodes());
+  queue_.reserve(g.num_nodes());
+}
+
+const std::vector<Dist>& BfsRunner::Run(NodeId src, SsspBudget* budget) {
+  if (budget != nullptr) budget->Charge();
+  BfsInto(graph_, src, dist_, queue_);
+  return dist_;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,43 @@
+// Unweighted single-source shortest paths (breadth-first search).
+
+#ifndef CONVPAIRS_SSSP_BFS_H_
+#define CONVPAIRS_SSSP_BFS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/budget.h"
+
+namespace convpairs {
+
+/// Fills `out[v]` with the hop distance from `src` (kInfDist if unreachable).
+/// Resizes `out` to g.num_nodes(). Charges one unit to `budget` if given.
+void BfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
+                  SsspBudget* budget = nullptr);
+
+/// Allocating convenience overload.
+std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
+                               SsspBudget* budget = nullptr);
+
+/// Reusable-workspace BFS for hot loops (all-pairs, Brandes, ground truth):
+/// keeps the queue and distance buffers alive across runs.
+class BfsRunner {
+ public:
+  explicit BfsRunner(const Graph& g);
+
+  /// Runs BFS from `src`; the returned span is valid until the next Run.
+  const std::vector<Dist>& Run(NodeId src, SsspBudget* budget = nullptr);
+
+  /// BFS queue in visit order from the last Run (useful for accumulation
+  /// passes that need nodes by nondecreasing distance).
+  const std::vector<NodeId>& visit_order() const { return queue_; }
+
+ private:
+  const Graph& graph_;
+  std::vector<Dist> dist_;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_SSSP_BFS_H_

@@ -1,0 +1,7 @@
+#include "sssp/budget.h"
+
+// SsspBudget is fully inline; this translation unit anchors the header in
+// the build so misuse surfaces as link-time structure, matching the
+// one-cc-per-module layout of the library.
+
+namespace convpairs {}  // namespace convpairs

@@ -1,0 +1,57 @@
+// SSSP computation budget tracking.
+//
+// The paper's central cost model treats one single-source shortest-path
+// computation as the unit of cost: with budget m, every candidate-selection
+// policy spends exactly 2m SSSP computations across the two snapshots
+// (Table 1). SsspBudget makes that accounting explicit and enforceable;
+// every BFS/Dijkstra run in the pipeline charges it, and tests assert the
+// paper's per-policy breakdown.
+
+#ifndef CONVPAIRS_SSSP_BUDGET_H_
+#define CONVPAIRS_SSSP_BUDGET_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+/// Counts SSSP computations, optionally enforcing a hard cap.
+class SsspBudget {
+ public:
+  static constexpr int64_t kUnlimited = -1;
+
+  /// `limit` < 0 means unlimited (count only).
+  explicit SsspBudget(int64_t limit = kUnlimited) : limit_(limit) {}
+
+  /// Records `count` SSSP computations. Aborts if the cap would be exceeded:
+  /// exceeding the budget is a logic error in a selection policy, not a
+  /// recoverable condition.
+  void Charge(int64_t count = 1) {
+    CONVPAIRS_CHECK_GE(count, 0);
+    used_ += count;
+    if (limit_ >= 0) CONVPAIRS_CHECK_LE(used_, limit_);
+  }
+
+  /// Total SSSP computations recorded so far.
+  int64_t used() const { return used_; }
+
+  /// The cap, or kUnlimited.
+  int64_t limit() const { return limit_; }
+
+  /// Remaining computations before the cap (INT64_MAX if unlimited).
+  int64_t remaining() const {
+    return limit_ < 0 ? INT64_MAX : limit_ - used_;
+  }
+
+  /// Resets the counter (the cap is kept).
+  void Reset() { used_ = 0; }
+
+ private:
+  int64_t limit_;
+  int64_t used_ = 0;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_SSSP_BUDGET_H_

@@ -1,0 +1,67 @@
+#include "sssp/dijkstra.h"
+
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "sssp/bfs.h"
+#include "util/check.h"
+
+namespace convpairs {
+namespace {
+
+Dist QuantizeWeight(float weight, double scale) {
+  double scaled = std::llround(static_cast<double>(weight) * scale);
+  if (scaled < 1.0) scaled = 1.0;
+  CONVPAIRS_CHECK_LT(scaled, static_cast<double>(kInfDist));
+  return static_cast<Dist>(scaled);
+}
+
+}  // namespace
+
+void DijkstraDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
+                       const DijkstraOptions& options, SsspBudget* budget) {
+  CONVPAIRS_CHECK_LT(src, g.num_nodes());
+  if (budget != nullptr) budget->Charge();
+  out->assign(g.num_nodes(), kInfDist);
+
+  using Entry = std::pair<Dist, NodeId>;  // (distance, node), min-heap
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  (*out)[src] = 0;
+  heap.push({0, src});
+  while (!heap.empty()) {
+    auto [du, u] = heap.top();
+    heap.pop();
+    if (du != (*out)[u]) continue;  // Stale entry.
+    auto nbrs = g.neighbors(u);
+    auto wts = g.weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      Dist cand = du + QuantizeWeight(wts[i], options.weight_scale);
+      if (cand < (*out)[nbrs[i]]) {
+        (*out)[nbrs[i]] = cand;
+        heap.push({cand, nbrs[i]});
+      }
+    }
+  }
+}
+
+std::vector<Dist> DijkstraDistances(const Graph& g, NodeId src,
+                                    const DijkstraOptions& options,
+                                    SsspBudget* budget) {
+  std::vector<Dist> dist;
+  DijkstraDistances(g, src, &dist, options, budget);
+  return dist;
+}
+
+void BfsEngine::Distances(const Graph& g, NodeId src, std::vector<Dist>* out,
+                          SsspBudget* budget) const {
+  BfsDistances(g, src, out, budget);
+}
+
+void DijkstraEngine::Distances(const Graph& g, NodeId src,
+                               std::vector<Dist>* out,
+                               SsspBudget* budget) const {
+  DijkstraDistances(g, src, out, options_, budget);
+}
+
+}  // namespace convpairs

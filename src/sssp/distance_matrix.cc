@@ -1,0 +1,33 @@
+#include "sssp/distance_matrix.h"
+
+#include "util/check.h"
+
+namespace convpairs {
+
+void DistanceMatrix::AddRowBySssp(const Graph& g, NodeId src,
+                                  const ShortestPathEngine& engine,
+                                  SsspBudget* budget) {
+  if (num_nodes_ == 0) num_nodes_ = g.num_nodes();
+  CONVPAIRS_CHECK_EQ(num_nodes_, g.num_nodes());
+  std::vector<Dist> row;
+  engine.Distances(g, src, &row, budget);
+  AdoptRow(src, std::move(row));
+}
+
+void DistanceMatrix::AdoptRow(NodeId src, std::vector<Dist> dist) {
+  if (num_nodes_ == 0) num_nodes_ = static_cast<NodeId>(dist.size());
+  CONVPAIRS_CHECK_EQ(static_cast<size_t>(num_nodes_), dist.size());
+  sources_.push_back(src);
+  data_.insert(data_.end(), dist.begin(), dist.end());
+}
+
+DistanceMatrix DistanceMatrix::Build(const Graph& g,
+                                     std::span<const NodeId> sources,
+                                     const ShortestPathEngine& engine,
+                                     SsspBudget* budget) {
+  DistanceMatrix m;
+  for (NodeId src : sources) m.AddRowBySssp(g, src, engine, budget);
+  return m;
+}
+
+}  // namespace convpairs

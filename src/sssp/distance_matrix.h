@@ -1,0 +1,61 @@
+// Row-major matrix of SSSP results for a set of source nodes.
+//
+// Used for the candidate rows D1/D2 of Algorithm 1 and the landmark
+// distance matrices DL1/DL2. Rows can be adopted from precomputed vectors so
+// a policy that already ran SSSP during candidate selection (dispersion,
+// hybrids) does not pay for it twice — the budget reuse the paper's Table 1
+// relies on.
+
+#ifndef CONVPAIRS_SSSP_DISTANCE_MATRIX_H_
+#define CONVPAIRS_SSSP_DISTANCE_MATRIX_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/budget.h"
+#include "sssp/dijkstra.h"
+
+namespace convpairs {
+
+/// Distances from `sources().size()` source nodes to every node.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+
+  /// Number of columns (node-id space).
+  NodeId num_nodes() const { return num_nodes_; }
+
+  const std::vector<NodeId>& sources() const { return sources_; }
+
+  /// Row for the i-th source.
+  std::span<const Dist> row(size_t i) const {
+    return {data_.data() + i * num_nodes_, num_nodes_};
+  }
+
+  /// Distance from the i-th source to `v`.
+  Dist at(size_t i, NodeId v) const { return data_[i * num_nodes_ + v]; }
+
+  /// Appends a freshly computed row (charges `budget`).
+  void AddRowBySssp(const Graph& g, NodeId src,
+                    const ShortestPathEngine& engine, SsspBudget* budget);
+
+  /// Adopts an already-computed row without charging the budget (the SSSP
+  /// was paid for elsewhere). `dist.size()` must equal the node count.
+  void AdoptRow(NodeId src, std::vector<Dist> dist);
+
+  /// Builds a matrix for `sources`, adopting rows present in `precomputed`
+  /// (parallel vectors source->row) and computing the rest.
+  static DistanceMatrix Build(const Graph& g, std::span<const NodeId> sources,
+                              const ShortestPathEngine& engine,
+                              SsspBudget* budget);
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<NodeId> sources_;
+  std::vector<Dist> data_;  // row-major, sources_.size() x num_nodes_
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_SSSP_DISTANCE_MATRIX_H_

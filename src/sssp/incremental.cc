@@ -1,0 +1,65 @@
+#include "sssp/incremental.h"
+
+#include <algorithm>
+
+#include "sssp/bfs.h"
+#include "util/check.h"
+
+namespace convpairs {
+
+IncrementalBfsRow::IncrementalBfsRow(const Graph& g, NodeId source)
+    : source_(source) {
+  BfsDistances(g, source, &dist_);
+}
+
+size_t IncrementalBfsRow::ApplyInsertion(const Graph& g, NodeId a, NodeId b) {
+  CONVPAIRS_CHECK_LT(a, g.num_nodes());
+  CONVPAIRS_CHECK_LT(b, g.num_nodes());
+  CONVPAIRS_CHECK(g.HasEdge(a, b));
+  if (dist_.size() < g.num_nodes()) {
+    dist_.resize(g.num_nodes(), kInfDist);  // Node space grew.
+  }
+
+  // Orient so `a` is the closer endpoint; the edge helps only if routing
+  // source -> a -> b shortens b's distance.
+  if (dist_[a] > dist_[b]) std::swap(a, b);
+  if (!IsReachable(dist_[a])) return 0;  // Both unreachable; nothing changes.
+  Dist candidate = dist_[a] + 1;
+  if (candidate >= dist_[b]) return 0;  // Redundant edge for this source.
+
+  // Truncated BFS: propagate the improvement from b outward; only nodes
+  // that actually improve are enqueued, so the cost is proportional to the
+  // affected region, not the graph.
+  size_t improved = 0;
+  queue_.clear();
+  dist_[b] = candidate;
+  queue_.push_back(b);
+  ++improved;
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    NodeId u = queue_[head];
+    Dist next = dist_[u] + 1;
+    for (NodeId v : g.neighbors(u)) {
+      if (next < dist_[v]) {
+        dist_[v] = next;
+        queue_.push_back(v);
+        ++improved;
+      }
+    }
+  }
+  return improved;
+}
+
+IncrementalDistanceRows::IncrementalDistanceRows(
+    const Graph& g, std::span<const NodeId> sources) {
+  rows_.reserve(sources.size());
+  for (NodeId source : sources) rows_.emplace_back(g, source);
+}
+
+size_t IncrementalDistanceRows::ApplyInsertion(const Graph& g, NodeId a,
+                                               NodeId b) {
+  size_t improved = 0;
+  for (IncrementalBfsRow& row : rows_) improved += row.ApplyInsertion(g, a, b);
+  return improved;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,66 @@
+// Incremental single-source distance maintenance under edge insertions.
+//
+// The related-work alternative the paper positions itself against
+// (paper §2: "incrementally maintaining shortest path distances in dynamic
+// graphs"): instead of re-running SSSP per snapshot, keep distance rows and
+// patch them as edges arrive. For unit weights an insertion {a,b} can only
+// DECREASE distances, and only for nodes whose new best route passes the
+// new edge — a truncated BFS from the improved endpoint
+// (Ramalingam–Reps-style for the unweighted case).
+//
+// Used by the streaming monitor ablation to quantify the trade-off the
+// paper's budget model makes: maintaining rows is cheap per event but must
+// be paid for EVERY tracked source, while the budgeted pipeline re-selects
+// a small candidate set per window.
+
+#ifndef CONVPAIRS_SSSP_INCREMENTAL_H_
+#define CONVPAIRS_SSSP_INCREMENTAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace convpairs {
+
+/// One maintained distance row. The caller owns the evolving adjacency: it
+/// must call ApplyInsertion BEFORE querying distances that depend on the
+/// new edge, passing the graph that already contains it.
+class IncrementalBfsRow {
+ public:
+  /// Initializes from a full BFS over `g` (one SSSP of cost).
+  IncrementalBfsRow(const Graph& g, NodeId source);
+
+  NodeId source() const { return source_; }
+  const std::vector<Dist>& distances() const { return dist_; }
+  Dist distance_to(NodeId v) const { return dist_[v]; }
+
+  /// Patches the row for the insertion {a, b}; `g` must already contain the
+  /// edge. Returns the number of nodes whose distance improved (0 when the
+  /// edge is redundant for this source — the common case, which costs O(1)).
+  size_t ApplyInsertion(const Graph& g, NodeId a, NodeId b);
+
+ private:
+  NodeId source_;
+  std::vector<Dist> dist_;
+  std::vector<NodeId> queue_;  // Reused workspace.
+};
+
+/// A set of maintained rows (e.g. landmark rows across stream windows).
+class IncrementalDistanceRows {
+ public:
+  /// Builds rows for `sources` over the current graph (|sources| SSSPs).
+  IncrementalDistanceRows(const Graph& g, std::span<const NodeId> sources);
+
+  /// Patches every row for one insertion; returns total improved entries.
+  size_t ApplyInsertion(const Graph& g, NodeId a, NodeId b);
+
+  size_t num_rows() const { return rows_.size(); }
+  const IncrementalBfsRow& row(size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<IncrementalBfsRow> rows_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_SSSP_INCREMENTAL_H_

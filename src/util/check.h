@@ -1,0 +1,40 @@
+// Invariant-checking macros.
+//
+// CHECK-style assertions abort the process on violation; they guard internal
+// invariants that indicate programmer error, not recoverable conditions.
+// Recoverable failures (I/O, malformed input) use util::Status instead.
+
+#ifndef CONVPAIRS_UTIL_CHECK_H_
+#define CONVPAIRS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace convpairs::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace convpairs::internal
+
+/// Aborts with a diagnostic if `expr` is false. Always evaluated, including
+/// in release builds: the algorithms here are cheap relative to graph scans,
+/// and silent invariant violations would corrupt experiment results.
+#define CONVPAIRS_CHECK(expr)                                        \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::convpairs::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                \
+  } while (0)
+
+#define CONVPAIRS_CHECK_EQ(a, b) CONVPAIRS_CHECK((a) == (b))
+#define CONVPAIRS_CHECK_NE(a, b) CONVPAIRS_CHECK((a) != (b))
+#define CONVPAIRS_CHECK_LT(a, b) CONVPAIRS_CHECK((a) < (b))
+#define CONVPAIRS_CHECK_LE(a, b) CONVPAIRS_CHECK((a) <= (b))
+#define CONVPAIRS_CHECK_GT(a, b) CONVPAIRS_CHECK((a) > (b))
+#define CONVPAIRS_CHECK_GE(a, b) CONVPAIRS_CHECK((a) >= (b))
+
+#endif  // CONVPAIRS_UTIL_CHECK_H_

@@ -1,0 +1,38 @@
+// CSV emission for experiment results, so paper figures can be re-plotted
+// from the benchmark output.
+
+#ifndef CONVPAIRS_UTIL_CSV_H_
+#define CONVPAIRS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes fields that
+/// contain separators or quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  /// Appends one row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Serializes to a CSV string (header first).
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_CSV_H_

@@ -1,0 +1,111 @@
+#include "util/flags.h"
+
+#include <charconv>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace convpairs {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::Define(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  CONVPAIRS_CHECK(flags_.find(name) == flags_.end());
+  flags_[name] = Flag{default_value, default_value, help, false};
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (size_t eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    if (!has_value) {
+      // "--flag value" form, unless the next token is another flag or the
+      // flag is boolean-style (defaults to true when bare).
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.set = true;
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::Lookup(const std::string& name) const {
+  auto it = flags_.find(name);
+  CONVPAIRS_CHECK(it != flags_.end());
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return Lookup(name).value;
+}
+
+StatusOr<int64_t> FlagParser::GetInt(const std::string& name) const {
+  const std::string& text = Lookup(name).value;
+  int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got: " + text);
+  }
+  return out;
+}
+
+StatusOr<double> FlagParser::GetDouble(const std::string& name) const {
+  const std::string& text = Lookup(name).value;
+  double out = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects a number, got: " + text);
+  }
+  return out;
+}
+
+StatusOr<bool> FlagParser::GetBool(const std::string& name) const {
+  const std::string& text = Lookup(name).value;
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  return Status::InvalidArgument("flag --" + name +
+                                 " expects a boolean, got: " + text);
+}
+
+bool FlagParser::IsSet(const std::string& name) const {
+  return Lookup(name).set;
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default: " +
+           (flag.default_value.empty() ? "\"\"" : flag.default_value) + ")\n";
+    out += "      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace convpairs

@@ -1,0 +1,65 @@
+// Minimal command-line flag parsing for the tools and benchmark drivers.
+//
+// Supports "--name=value", "--name value" and boolean "--name" forms, plus
+// positional arguments. No global registry: a FlagParser is built per main()
+// so tests can drive it directly.
+
+#ifndef CONVPAIRS_UTIL_FLAGS_H_
+#define CONVPAIRS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Declarative flag set with typed accessors and usage text.
+class FlagParser {
+ public:
+  /// `program_description` is printed by Usage().
+  explicit FlagParser(std::string program_description);
+
+  /// Declares a flag with a default value and help text. All flags are
+  /// string-typed internally; typed getters convert on access.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv. Unknown flags or malformed input produce an error;
+  /// non-flag arguments are collected as positional.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed access (aborts on undeclared names; returns InvalidArgument via
+  /// status for unparseable values).
+  const std::string& GetString(const std::string& name) const;
+  StatusOr<int64_t> GetInt(const std::string& name) const;
+  StatusOr<double> GetDouble(const std::string& name) const;
+  StatusOr<bool> GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True if the user explicitly provided the flag.
+  bool IsSet(const std::string& name) const;
+
+  /// Formats the usage/help text.
+  std::string Usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string value;
+    std::string help;
+    bool set = false;
+  };
+  const Flag& Lookup(const std::string& name) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_FLAGS_H_

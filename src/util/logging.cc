@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace convpairs {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* /*file*/, int /*line*/)
+    : level_(level) {}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_log_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace convpairs

@@ -1,0 +1,57 @@
+// Minimal leveled logging to stderr.
+//
+// Experiments and examples use this for progress reporting; library code logs
+// sparingly (warnings only). Output format: "[LEVEL] message".
+
+#ifndef CONVPAIRS_UTIL_LOGGING_H_
+#define CONVPAIRS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace convpairs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CONVPAIRS_LOG(level)                                          \
+  ::convpairs::internal::LogMessage(::convpairs::LogLevel::k##level, \
+                                    __FILE__, __LINE__)
+
+#define LOG_DEBUG CONVPAIRS_LOG(Debug)
+#define LOG_INFO CONVPAIRS_LOG(Info)
+#define LOG_WARNING CONVPAIRS_LOG(Warning)
+#define LOG_ERROR CONVPAIRS_LOG(Error)
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_LOGGING_H_

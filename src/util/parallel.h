@@ -1,0 +1,35 @@
+// Minimal data-parallel loop over an index range.
+//
+// Ground-truth all-pairs computation and Brandes betweenness are
+// embarrassingly parallel over sources; this helper uses std::thread with a
+// static block partition. On a single-core machine it degrades to a plain
+// loop with no thread overhead.
+
+#ifndef CONVPAIRS_UTIL_PARALLEL_H_
+#define CONVPAIRS_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace convpairs {
+
+/// Number of worker threads ParallelFor will use by default
+/// (hardware_concurrency, at least 1).
+int DefaultThreadCount();
+
+/// Invokes `body(thread_index, begin, end)` over a static partition of
+/// [0, count) across `num_threads` workers (0 = DefaultThreadCount()).
+/// Blocks until all workers finish. `body` must be safe to run concurrently
+/// for disjoint ranges.
+void ParallelForBlocks(
+    size_t count,
+    const std::function<void(int thread_index, size_t begin, size_t end)>& body,
+    int num_threads = 0);
+
+/// Convenience wrapper calling `body(i)` for each i in [0, count).
+void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                 int num_threads = 0);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_PARALLEL_H_

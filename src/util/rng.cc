@@ -1,0 +1,87 @@
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  CONVPAIRS_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  CONVPAIRS_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t population,
+                                                    uint32_t count) {
+  CONVPAIRS_CHECK_LE(count, population);
+  std::vector<uint32_t> pool(population);
+  for (uint32_t i = 0; i < population; ++i) pool[i] = i;
+  // Partial Fisher-Yates: the first `count` slots become the sample.
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t j =
+        i + static_cast<uint32_t>(UniformInt(population - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+}  // namespace convpairs

@@ -1,0 +1,116 @@
+// Lightweight Status / StatusOr error handling (no exceptions on hot paths),
+// in the style of Arrow / Abseil.
+
+#ifndef CONVPAIRS_UTIL_STATUS_H_
+#define CONVPAIRS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/check.h"
+
+namespace convpairs {
+
+/// Broad error categories; mirrors the subset of absl::StatusCode this
+/// library needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// StatusOr is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}              // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {       // NOLINT
+    CONVPAIRS_CHECK(!status_.ok());  // OK status must carry a value.
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CONVPAIRS_CHECK(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    CONVPAIRS_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CONVPAIRS_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define CONVPAIRS_RETURN_IF_ERROR(expr)        \
+  do {                                         \
+    ::convpairs::Status status_ = (expr);      \
+    if (!status_.ok()) return status_;         \
+  } while (0)
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_STATUS_H_

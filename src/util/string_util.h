@@ -1,0 +1,35 @@
+// Small string helpers shared by I/O and table formatting.
+
+#ifndef CONVPAIRS_UTIL_STRING_UTIL_H_
+#define CONVPAIRS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace convpairs {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+/// Splits `text` on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Strip(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats `value` with `decimals` digits after the point (e.g. "12.50").
+std::string FormatDouble(double value, int decimals);
+
+/// Formats a fraction in [0,1] as a percentage string, e.g. "93.7".
+std::string FormatPercent(double fraction, int decimals = 1);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace convpairs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CONVPAIRS_CHECK(!headers_.empty());
+}
+
+void TablePrinter::StartRow() { rows_.emplace_back(); }
+
+void TablePrinter::AddCell(std::string value) {
+  CONVPAIRS_CHECK(!rows_.empty());
+  CONVPAIRS_CHECK_LT(rows_.back().size(), headers_.size());
+  rows_.back().push_back(std::move(value));
+}
+
+void TablePrinter::AddCell(const char* value) { AddCell(std::string(value)); }
+void TablePrinter::AddCell(int64_t value) { AddCell(std::to_string(value)); }
+void TablePrinter::AddCell(uint64_t value) { AddCell(std::to_string(value)); }
+void TablePrinter::AddCell(int value) { AddCell(std::to_string(value)); }
+void TablePrinter::AddCell(unsigned value) { AddCell(std::to_string(value)); }
+void TablePrinter::AddCell(double value, int decimals) {
+  AddCell(FormatDouble(value, decimals));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CONVPAIRS_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << (c == 0 ? "| " : " | ");
+      out << cell;
+      out << std::string(widths[c] - cell.size(), ' ');
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace convpairs

@@ -1,0 +1,51 @@
+// ASCII table printer used by the benchmark harness to render the paper's
+// tables and figure series in a diff-friendly, aligned format.
+
+#ifndef CONVPAIRS_UTIL_TABLE_H_
+#define CONVPAIRS_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace convpairs {
+
+/// Column-aligned table with a header row. Cells are strings; numeric
+/// convenience overloads are provided on AddCell.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are appended with AddCell.
+  void StartRow();
+
+  void AddCell(std::string value);
+  void AddCell(const char* value);
+  void AddCell(int64_t value);
+  void AddCell(uint64_t value);
+  void AddCell(int value);
+  void AddCell(unsigned value);
+  /// Formats with `decimals` fractional digits.
+  void AddCell(double value, int decimals = 2);
+
+  /// Appends a full row at once.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Renders to a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_TABLE_H_

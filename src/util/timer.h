@@ -1,0 +1,33 @@
+// Wall-clock timing helper for experiment drivers.
+
+#ifndef CONVPAIRS_UTIL_TIMER_H_
+#define CONVPAIRS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace convpairs {
+
+/// Measures elapsed wall-clock time from construction (or the last Reset).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Reset.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_TIMER_H_

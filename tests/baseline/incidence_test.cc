@@ -1,0 +1,122 @@
+#include "baseline/incidence.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "cover/coverage.h"
+#include "gen/datasets.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(ActiveNodesTest, EndpointsOfNewEdgesOnly) {
+  auto scenario = testing::MakePathWithChord(10);
+  auto active = ActiveNodes(scenario.g1, scenario.g2);
+  // Only the chord {0,9} is new.
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0], 0u);
+  EXPECT_EQ(active[1], 9u);
+}
+
+TEST(ActiveNodesTest, BrandNewNodesExcluded) {
+  Graph g1 = Graph::FromEdges(4, std::vector<Edge>{{0, 1}});
+  Graph g2 =
+      Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {2, 3}, {1, 2}});
+  auto active = ActiveNodes(g1, g2);
+  // Nodes 2, 3 are new (degree 0 in g1) and excluded; 1 gained an edge.
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], 1u);
+}
+
+TEST(ActiveNodesTest, NoNewEdgesNoActives) {
+  Graph g = testing::CycleGraph(5);
+  EXPECT_TRUE(ActiveNodes(g, g).empty());
+}
+
+TEST(IncidenceUnbudgetedTest, FindsTopPairButPaysFullActiveSet) {
+  auto dataset = MakeDataset("facebook", 0.06, 31);
+  ASSERT_TRUE(dataset.ok());
+  BfsEngine engine;
+  ExperimentRunner runner(dataset->g1, dataset->g2, engine);
+  int k = static_cast<int>(runner.KAt(1));
+  TopKResult result =
+      RunIncidenceUnbudgeted(dataset->g1, dataset->g2, engine, k);
+  size_t active_count = ActiveNodes(dataset->g1, dataset->g2).size();
+  EXPECT_EQ(result.sssp_used, static_cast<int64_t>(2 * active_count));
+  // Converging pairs are produced by new edges, so the active set covers
+  // the overwhelming majority of them (Table 6's near-complete coverage).
+  double coverage =
+      CoverageFraction(runner.PairGraphAt(1), result.candidates);
+  EXPECT_GT(coverage, 0.9);
+}
+
+TEST(IncDegSelectorTest, RanksActiveNodesByDegreeGrowth) {
+  auto scenario = testing::MakePathWithChord(10);
+  BfsEngine engine;
+  Rng rng(1);
+  SsspBudget budget;
+  IncDegSelector selector;
+  EXPECT_EQ(selector.name(), "IncDeg");
+  SelectorContext context;
+  context.g1 = &scenario.g1;
+  context.g2 = &scenario.g2;
+  context.engine = &engine;
+  context.budget_m = 1;
+  context.rng = &rng;
+  context.budget = &budget;
+  CandidateSet set = selector.SelectCandidates(context);
+  ASSERT_EQ(set.nodes.size(), 1u);
+  EXPECT_EQ(set.nodes[0], 0u);  // Tie between 0 and 9 broken by id.
+}
+
+TEST(IncBetSelectorTest, PrefersNodesGainingCentralEdges) {
+  auto dataset = MakeDataset("facebook", 0.05, 32);
+  ASSERT_TRUE(dataset.ok());
+  auto bet1 = std::make_shared<EdgeBetweenness>(
+      EdgeBetweenness::Compute(dataset->g1));
+  auto bet2 = std::make_shared<EdgeBetweenness>(
+      EdgeBetweenness::Compute(dataset->g2));
+  IncBetSelector selector(bet1, bet2);
+  EXPECT_EQ(selector.name(), "IncBet");
+  BfsEngine engine;
+  Rng rng(2);
+  SsspBudget budget;
+  SelectorContext context;
+  context.g1 = &dataset->g1;
+  context.g2 = &dataset->g2;
+  context.engine = &engine;
+  context.budget_m = 10;
+  context.rng = &rng;
+  context.budget = &budget;
+  CandidateSet set = selector.SelectCandidates(context);
+  EXPECT_EQ(set.nodes.size(), 10u);
+  // All candidates are active nodes.
+  std::set<NodeId> active;
+  for (NodeId u : ActiveNodes(dataset->g1, dataset->g2)) active.insert(u);
+  for (NodeId u : set.nodes) EXPECT_TRUE(active.count(u) > 0);
+}
+
+TEST(SelectiveExpansionTest, ExpandsAndTerminates) {
+  auto dataset = MakeDataset("facebook", 0.04, 33);
+  ASSERT_TRUE(dataset.ok());
+  BfsEngine engine;
+  auto bet2 = EdgeBetweenness::Compute(dataset->g2);
+  ExperimentRunner runner(dataset->g1, dataset->g2, engine);
+  int k = static_cast<int>(runner.KAt(1));
+  SelectiveExpansionResult result = RunSelectiveExpansion(
+      dataset->g1, dataset->g2, engine, bet2, k, 0.2, /*max_rounds=*/3);
+  EXPECT_GE(result.rounds, 1);
+  EXPECT_LE(result.rounds, 3);
+  size_t initial = ActiveNodes(dataset->g1, dataset->g2).size();
+  EXPECT_GE(result.final_active_size, initial);
+  double coverage =
+      CoverageFraction(runner.PairGraphAt(1), result.top_k.candidates);
+  EXPECT_GT(coverage, 0.9);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,92 @@
+#include "centrality/brandes.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(NodeBetweennessTest, PathGraphInteriorNodes) {
+  // Path 0-1-2-3-4: node 2 lies on 0-3, 0-4, 1-3, 1-4 (4 pairs);
+  // node 1 lies on 0-2, 0-3, 0-4 (3 pairs).
+  Graph g = testing::PathGraph(5);
+  auto bc = NodeBetweenness(g);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 3.0);
+  EXPECT_DOUBLE_EQ(bc[2], 4.0);
+  EXPECT_DOUBLE_EQ(bc[3], 3.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+}
+
+TEST(NodeBetweennessTest, StarCenterCarriesAllPairs) {
+  // Star with 5 leaves: center on all C(5,2)=10 leaf pairs.
+  Graph g = testing::StarGraph(5);
+  auto bc = NodeBetweenness(g);
+  EXPECT_DOUBLE_EQ(bc[0], 10.0);
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) EXPECT_DOUBLE_EQ(bc[leaf], 0.0);
+}
+
+TEST(NodeBetweennessTest, CompleteGraphIsZero) {
+  Graph g = testing::CompleteGraph(5);
+  auto bc = NodeBetweenness(g);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_DOUBLE_EQ(bc[u], 0.0);
+}
+
+TEST(NodeBetweennessTest, SplitShortestPathsShareCredit) {
+  // Square 0-1-2-3-0: the pair (0,2) has two shortest paths (via 1 and 3),
+  // each carrying 1/2.
+  Graph g = testing::CycleGraph(4);
+  auto bc = NodeBetweenness(g);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_DOUBLE_EQ(bc[u], 0.5);
+}
+
+TEST(EdgeBetweennessTest, PathGraphEdges) {
+  // Path 0-1-2-3: edge (1,2) carries pairs {0,1}x{2,3} plus (1,2)... i.e.
+  // pairs crossing it: (0,2),(0,3),(1,2),(1,3) -> 4.
+  Graph g = testing::PathGraph(4);
+  auto eb = EdgeBetweenness::Compute(g);
+  EXPECT_DOUBLE_EQ(eb.Get(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(eb.Get(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(eb.Get(2, 3), 3.0);
+}
+
+TEST(EdgeBetweennessTest, AbsentEdgeIsZero) {
+  Graph g = testing::PathGraph(4);
+  auto eb = EdgeBetweenness::Compute(g);
+  EXPECT_DOUBLE_EQ(eb.Get(0, 3), 0.0);
+}
+
+TEST(EdgeBetweennessTest, KeyIsOrderInvariant) {
+  EXPECT_EQ(EdgeBetweenness::EdgeKey(3, 7), EdgeBetweenness::EdgeKey(7, 3));
+  EXPECT_NE(EdgeBetweenness::EdgeKey(3, 7), EdgeBetweenness::EdgeKey(3, 8));
+}
+
+TEST(EdgeBetweennessTest, IncidentSum) {
+  Graph g = testing::PathGraph(4);
+  auto eb = EdgeBetweenness::Compute(g);
+  EXPECT_DOUBLE_EQ(eb.IncidentSum(g, 1), 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(eb.IncidentSum(g, 0), 3.0);
+}
+
+TEST(EdgeBetweennessTest, TotalEqualsSumOfPairDistances) {
+  // Summing edge betweenness over all edges counts each pair once per edge
+  // of its shortest path, i.e. equals the sum of all pairwise distances.
+  Graph g = testing::PathGraph(5);
+  auto eb = EdgeBetweenness::Compute(g);
+  double total = 0;
+  for (const Edge& e : g.ToEdgeList()) total += eb.Get(e.u, e.v);
+  // Sum over pairs of |i-j| for 0<=i<j<5 = 20.
+  EXPECT_DOUBLE_EQ(total, 20.0);
+}
+
+TEST(EdgeBetweennessTest, DisconnectedComponentsIndependent) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  Graph g = Graph::FromEdges(5, edges);
+  auto eb = EdgeBetweenness::Compute(g);
+  EXPECT_DOUBLE_EQ(eb.Get(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(eb.Get(3, 4), 1.0);
+}
+
+}  // namespace
+}  // namespace convpairs

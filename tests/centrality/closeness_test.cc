@@ -1,0 +1,33 @@
+#include "centrality/closeness.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(HarmonicClosenessTest, StarCenterHighest) {
+  Graph g = testing::StarGraph(4);
+  auto closeness = HarmonicCloseness(g);
+  EXPECT_DOUBLE_EQ(closeness[0], 4.0);             // 4 leaves at distance 1.
+  EXPECT_DOUBLE_EQ(closeness[1], 1.0 + 3.0 / 2.0);  // Center + 3 leaves at 2.
+}
+
+TEST(HarmonicClosenessTest, PathEndpointsLowest) {
+  Graph g = testing::PathGraph(5);
+  auto closeness = HarmonicCloseness(g);
+  EXPECT_LT(closeness[0], closeness[2]);
+  EXPECT_DOUBLE_EQ(closeness[0], 1.0 + 0.5 + 1.0 / 3.0 + 0.25);
+}
+
+TEST(HarmonicClosenessTest, DisconnectedContributesZero) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(3, edges);
+  auto closeness = HarmonicCloseness(g);
+  EXPECT_DOUBLE_EQ(closeness[0], 1.0);
+  EXPECT_DOUBLE_EQ(closeness[2], 0.0);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,68 @@
+#include "centrality/degree.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(DegreeScoresTest, MatchesDegrees) {
+  Graph g = testing::StarGraph(4);
+  auto scores = DegreeScores(g);
+  EXPECT_DOUBLE_EQ(scores[0], 4.0);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+}
+
+TEST(DegreeDiffScoresTest, ComputesGrowth) {
+  Graph g1 = Graph::FromEdges(3, std::vector<Edge>{{0, 1}});
+  Graph g2 = Graph::FromEdges(3, std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}});
+  auto scores = DegreeDiffScores(g1, g2);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  EXPECT_DOUBLE_EQ(scores[1], 1.0);
+  EXPECT_DOUBLE_EQ(scores[2], 2.0);
+}
+
+TEST(DegreeDiffScoresTest, HandlesGrowingIdSpace) {
+  Graph g1 = Graph::FromEdges(2, std::vector<Edge>{{0, 1}});
+  Graph g2 = Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  auto scores = DegreeDiffScores(g1, g2);
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_DOUBLE_EQ(scores[3], 1.0);  // New node: growth from zero.
+}
+
+TEST(DegreeRelScoresTest, RelativeGrowth) {
+  Graph g1 =
+      Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  Graph g2 = Graph::FromEdges(
+      4, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  auto scores = DegreeRelScores(g1, g2);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);        // 3 -> 3
+  EXPECT_DOUBLE_EQ(scores[1], 0.5);        // 2 -> 3
+  EXPECT_DOUBLE_EQ(scores[3], 2.0);        // 1 -> 3
+}
+
+TEST(DegreeRelScoresTest, ZeroInitialDegreeUsesUnitDenominator) {
+  Graph g1 = Graph::FromEdges(3, std::vector<Edge>{{0, 1}});
+  Graph g2 = Graph::FromEdges(3, std::vector<Edge>{{0, 1}, {2, 0}, {2, 1}});
+  auto scores = DegreeRelScores(g1, g2);
+  EXPECT_DOUBLE_EQ(scores[2], 2.0);  // (2 - 0) / 1
+}
+
+TEST(TopKByScoreTest, OrdersDescendingWithIdTiebreak) {
+  std::vector<double> scores = {5.0, 1.0, 5.0, 3.0};
+  auto top = TopKByScore(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 0u);  // Tie with node 2 broken by lower id.
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_EQ(top[2], 3u);
+}
+
+TEST(TopKByScoreTest, CountClamped) {
+  std::vector<double> scores = {1.0, 2.0};
+  EXPECT_EQ(TopKByScore(scores, 10).size(), 2u);
+  EXPECT_TRUE(TopKByScore(scores, 0).empty());
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,87 @@
+#include "centrality/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/er_generator.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(CoreNumbersTest, PathIsOneCore) {
+  Graph g = testing::PathGraph(6);
+  auto core = CoreNumbers(g);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(core[u], 1u);
+  EXPECT_EQ(Degeneracy(g), 1u);
+}
+
+TEST(CoreNumbersTest, CycleIsTwoCore) {
+  Graph g = testing::CycleGraph(7);
+  auto core = CoreNumbers(g);
+  for (NodeId u = 0; u < 7; ++u) EXPECT_EQ(core[u], 2u);
+}
+
+TEST(CoreNumbersTest, CompleteGraphCore) {
+  Graph g = testing::CompleteGraph(5);
+  auto core = CoreNumbers(g);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(core[u], 4u);
+  EXPECT_EQ(Degeneracy(g), 4u);
+}
+
+TEST(CoreNumbersTest, StarLeavesAreOneCore) {
+  Graph g = testing::StarGraph(6);
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 1u);  // The hub peels with its leaves.
+  for (NodeId leaf = 1; leaf <= 6; ++leaf) EXPECT_EQ(core[leaf], 1u);
+}
+
+TEST(CoreNumbersTest, CliqueWithTailMixedCores) {
+  // K4 on {0..3} with a pendant path 3-4-5.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = u + 1; v < 4; ++v) edges.push_back({u, v});
+  edges.push_back({3, 4});
+  edges.push_back({4, 5});
+  Graph g = Graph::FromEdges(6, edges);
+  auto core = CoreNumbers(g);
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(core[u], 3u);
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[5], 1u);
+  EXPECT_EQ(Degeneracy(g), 3u);
+}
+
+TEST(CoreNumbersTest, IsolatedNodesAreZeroCore) {
+  Graph g = Graph::FromEdges(4, std::vector<Edge>{{0, 1}});
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(core[3], 0u);
+}
+
+// Property: the core numbers define valid cores — within the subgraph
+// induced by {u : core[u] >= k}, every node has at least k neighbors.
+class KCorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KCorePropertyTest, CoreInvariantHolds) {
+  Rng rng(GetParam());
+  Graph g = GenerateErdosRenyi({.num_nodes = 80, .num_edges = 240}, rng)
+                .SnapshotAtFraction(1.0);
+  auto core = CoreNumbers(g);
+  uint32_t degeneracy = Degeneracy(g);
+  for (uint32_t k = 1; k <= degeneracy; ++k) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (core[u] < k) continue;
+      uint32_t inside = 0;
+      for (NodeId v : g.neighbors(u)) {
+        if (core[v] >= k) ++inside;
+      }
+      EXPECT_GE(inside, k) << "node " << u << " in " << k << "-core";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCorePropertyTest,
+                         ::testing::Values(501, 502, 503, 504));
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,64 @@
+#include "centrality/pagerank.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(PageRankTest, SumsToOne) {
+  Graph g = testing::CycleGraph(10);
+  auto pr = PageRank(g);
+  double total = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetryOnRegularGraphs) {
+  Graph g = testing::CycleGraph(8);
+  auto pr = PageRank(g);
+  for (NodeId u = 1; u < 8; ++u) EXPECT_NEAR(pr[u], pr[0], 1e-12);
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  Graph g = testing::StarGraph(10);
+  auto pr = PageRank(g);
+  for (NodeId leaf = 1; leaf <= 10; ++leaf) EXPECT_GT(pr[0], pr[leaf]);
+  EXPECT_GT(pr[0], 0.4);
+}
+
+TEST(PageRankTest, IsolatedNodesGetTeleportOnly) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(3, edges);
+  auto pr = PageRank(g);
+  double total = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_LT(pr[2], pr[0]);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  Graph g(0);
+  EXPECT_TRUE(PageRank(g).empty());
+}
+
+TEST(PageRankTest, DampingChangesConcentration) {
+  Graph g = testing::StarGraph(10);
+  PageRankOptions strong;
+  strong.damping = 0.95;
+  PageRankOptions weak;
+  weak.damping = 0.5;
+  // Higher damping -> more mass follows links -> the hub concentrates more.
+  EXPECT_GT(PageRank(g, strong)[0], PageRank(g, weak)[0]);
+}
+
+TEST(PageRankDeathTest, InvalidDampingAborts) {
+  Graph g = testing::PathGraph(3);
+  PageRankOptions options;
+  options.damping = 1.0;
+  EXPECT_DEATH(PageRank(g, options), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

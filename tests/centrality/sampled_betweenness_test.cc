@@ -1,0 +1,78 @@
+#include "centrality/sampled_betweenness.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(SampledBetweennessTest, FullSampleMatchesExact) {
+  Graph g = testing::PathGraph(8);
+  Rng rng(1);
+  EdgeBetweenness exact = EdgeBetweenness::Compute(g);
+  EdgeBetweenness sampled =
+      SampledEdgeBetweenness(g, g.num_nodes(), rng);
+  for (const Edge& e : g.ToEdgeList()) {
+    EXPECT_NEAR(sampled.Get(e.u, e.v), exact.Get(e.u, e.v), 1e-9);
+  }
+}
+
+TEST(SampledBetweennessTest, EstimateIsInTheRightBallpark) {
+  Rng gen_rng(2);
+  BaParams params;
+  params.num_nodes = 300;
+  params.edges_per_node = 2;
+  Graph g = GenerateBarabasiAlbert(params, gen_rng).SnapshotAtFraction(1.0);
+  EdgeBetweenness exact = EdgeBetweenness::Compute(g);
+  Rng rng(3);
+  EdgeBetweenness sampled = SampledEdgeBetweenness(g, 100, rng);
+  // Aggregate relative error over the top edges should be moderate.
+  double exact_total = 0;
+  double sampled_total = 0;
+  for (const Edge& e : g.ToEdgeList()) {
+    exact_total += exact.Get(e.u, e.v);
+    sampled_total += sampled.Get(e.u, e.v);
+  }
+  EXPECT_NEAR(sampled_total / exact_total, 1.0, 0.2);
+}
+
+TEST(SampledBetweennessTest, RanksTheCriticalBridgeHighly) {
+  // Two cliques joined by one bridge: the bridge dominates betweenness and
+  // any reasonable sample must rank it first.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u)
+    for (NodeId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  for (NodeId u = 5; u < 10; ++u)
+    for (NodeId v = u + 1; v < 10; ++v) edges.push_back({u, v});
+  edges.push_back({4, 5});
+  Graph g = Graph::FromEdges(10, edges);
+  Rng rng(4);
+  EdgeBetweenness sampled = SampledEdgeBetweenness(g, 4, rng);
+  double bridge = sampled.Get(4, 5);
+  for (const Edge& e : g.ToEdgeList()) {
+    if (e.u == 4 && e.v == 5) continue;
+    EXPECT_GT(bridge, sampled.Get(e.u, e.v));
+  }
+}
+
+TEST(SampledBetweennessTest, SampleCountClamped) {
+  Graph g = testing::CycleGraph(6);
+  Rng rng(5);
+  // Oversampling clamps to n and reproduces exact values.
+  EdgeBetweenness sampled = SampledEdgeBetweenness(g, 100, rng);
+  EdgeBetweenness exact = EdgeBetweenness::Compute(g);
+  for (const Edge& e : g.ToEdgeList()) {
+    EXPECT_NEAR(sampled.Get(e.u, e.v), exact.Get(e.u, e.v), 1e-9);
+  }
+}
+
+TEST(SampledBetweennessDeathTest, ZeroSamplesAborts) {
+  Graph g = testing::PathGraph(4);
+  Rng rng(1);
+  EXPECT_DEATH(SampledEdgeBetweenness(g, 0, rng), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

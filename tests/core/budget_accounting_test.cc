@@ -1,0 +1,95 @@
+// Enforces the paper's Table 1: every selection policy spends exactly 2m
+// SSSP computations end to end, split between candidate generation and
+// top-k extraction as documented, and never exceeds the cap.
+
+#include <gtest/gtest.h>
+
+#include "core/selector_registry.h"
+#include "core/top_k.h"
+#include "gen/datasets.h"
+#include "sssp/bfs.h"
+
+namespace convpairs {
+namespace {
+
+struct AccountingCase {
+  const char* selector;
+  // Expected number of candidates with budget m and l landmarks: every
+  // family yields m — landmark-based families pay 2l setup for m - l fresh
+  // candidates but add the l landmarks back at zero cost (both rows are
+  // already computed).
+  int expected_candidates(int m, int /*l*/) const { return m; }
+  enum Family { kDegree, kDispersion, kLandmark, kHybrid, kRandom } family;
+};
+
+class BudgetAccountingTest : public ::testing::TestWithParam<AccountingCase> {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(MakeDataset("facebook", 0.06, 5).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* BudgetAccountingTest::dataset_ = nullptr;
+
+TEST_P(BudgetAccountingTest, SpendsExactlyTwoM) {
+  const AccountingCase& test_case = GetParam();
+  BfsEngine engine;
+  auto selector = MakeSelector(test_case.selector).value();
+  for (int m : {15, 30, 60}) {
+    TopKOptions options;
+    options.k = 10;
+    options.budget_m = m;
+    options.num_landmarks = 10;
+    options.seed = 7;
+    options.enforce_budget = true;  // Exceeding 2m would abort.
+    TopKResult result = FindTopKConvergingPairs(dataset_->g1, dataset_->g2,
+                                                engine, *selector, options);
+    EXPECT_EQ(result.sssp_used, 2 * m)
+        << test_case.selector << " m=" << m;
+    EXPECT_EQ(static_cast<int>(result.candidates.size()),
+              test_case.expected_candidates(m, options.num_landmarks))
+        << test_case.selector << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, BudgetAccountingTest,
+    ::testing::Values(
+        AccountingCase{"Degree", AccountingCase::kDegree},
+        AccountingCase{"DegDiff", AccountingCase::kDegree},
+        AccountingCase{"DegRel", AccountingCase::kDegree},
+        AccountingCase{"MaxMin", AccountingCase::kDispersion},
+        AccountingCase{"MaxAvg", AccountingCase::kDispersion},
+        AccountingCase{"SumDiff", AccountingCase::kLandmark},
+        AccountingCase{"MaxDiff", AccountingCase::kLandmark},
+        AccountingCase{"MMSD", AccountingCase::kHybrid},
+        AccountingCase{"MMMD", AccountingCase::kHybrid},
+        AccountingCase{"MASD", AccountingCase::kHybrid},
+        AccountingCase{"MAMD", AccountingCase::kHybrid},
+        AccountingCase{"Random", AccountingCase::kRandom}),
+    [](const ::testing::TestParamInfo<AccountingCase>& info) {
+      return info.param.selector;
+    });
+
+TEST(BudgetAccountingEdgeTest, LandmarkPolicyWithBudgetBelowSetupIsEmpty) {
+  auto dataset = MakeDataset("facebook", 0.05, 3);
+  ASSERT_TRUE(dataset.ok());
+  BfsEngine engine;
+  auto selector = MakeSelector("SumDiff").value();
+  TopKOptions options;
+  options.k = 5;
+  options.budget_m = 10;  // Equal to l: all budget eaten by setup.
+  options.num_landmarks = 10;
+  TopKResult result = FindTopKConvergingPairs(dataset->g1, dataset->g2,
+                                              engine, *selector, options);
+  EXPECT_TRUE(result.candidates.empty());
+  EXPECT_TRUE(result.pairs.empty());
+}
+
+}  // namespace
+}  // namespace convpairs

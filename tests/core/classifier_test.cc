@@ -1,0 +1,233 @@
+#include "core/selectors/classifier_selector.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "gen/datasets.h"
+#include "ml/metrics.h"
+#include "sssp/bfs.h"
+
+namespace convpairs {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(MakeDataset("facebook", 0.08, 11).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* ClassifierTest::dataset_ = nullptr;
+
+TEST_F(ClassifierTest, FeatureMatrixShapeAndRange) {
+  BfsEngine engine;
+  Rng rng(3);
+  NodeFeatureOptions options;
+  options.num_landmarks = 4;
+  SsspBudget budget(6 * options.num_landmarks);
+  std::vector<NodeId> landmarks;
+  auto features = ExtractNodeFeatures(dataset_->g1, dataset_->g2, options,
+                                      rng, engine, &budget, &landmarks);
+  EXPECT_EQ(budget.used(), 6 * options.num_landmarks);
+  EXPECT_EQ(features.size(),
+            static_cast<size_t>(dataset_->g1.num_nodes()) *
+                NodeFeatureCount(options));
+  EXPECT_FALSE(landmarks.empty());
+  // Active-node features are normalized into [-1, 1].
+  size_t f = NodeFeatureCount(options);
+  for (NodeId u = 0; u < dataset_->g1.num_nodes(); ++u) {
+    if (dataset_->g1.degree(u) == 0) continue;
+    for (size_t j = 0; j < f; ++j) {
+      EXPECT_GE(features[u * f + j], -1.0 - 1e-9);
+      EXPECT_LE(features[u * f + j], 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_F(ClassifierTest, FeatureNamesMatchCount) {
+  NodeFeatureOptions local;
+  EXPECT_EQ(NodeFeatureNames(local).size(), NodeFeatureCount(local));
+  EXPECT_EQ(NodeFeatureCount(local), 9u);
+  NodeFeatureOptions global;
+  global.graph_features = true;
+  EXPECT_EQ(NodeFeatureNames(global).size(), NodeFeatureCount(global));
+  EXPECT_EQ(NodeFeatureCount(global), 13u);
+}
+
+TEST_F(ClassifierTest, TrainsOnEarlyWindowAndRanksCoverNodesHighly) {
+  BfsEngine engine;
+  ClassifierTrainOptions options;
+  options.features.num_landmarks = 5;
+  std::vector<TrainingPair> pairs = {
+      {&dataset_->train_g1, &dataset_->train_g2}};
+  auto classifier = ConvergenceClassifier::Train(pairs, engine, options);
+  ASSERT_TRUE(classifier.ok());
+
+  // Score the *test* pair and check the ranking is informative: the greedy
+  // cover of the test pair graph should score far above average.
+  Rng rng(5);
+  std::vector<double> probabilities = classifier->ScoreNodes(
+      dataset_->g1, dataset_->g2, rng, engine, nullptr, nullptr);
+  ExperimentRunner runner(dataset_->g1, dataset_->g2, engine);
+  const CoverResult& cover = runner.GreedyCoverAt(1);
+  ASSERT_FALSE(cover.nodes.empty());
+  std::set<NodeId> cover_set(cover.nodes.begin(), cover.nodes.end());
+  std::vector<double> probs_active;
+  std::vector<int> labels_active;
+  for (NodeId u = 0; u < dataset_->g1.num_nodes(); ++u) {
+    if (dataset_->g1.degree(u) == 0) continue;
+    probs_active.push_back(probabilities[u]);
+    labels_active.push_back(cover_set.count(u) > 0 ? 1 : 0);
+  }
+  EXPECT_GT(RocAuc(probs_active, labels_active), 0.7);
+}
+
+TEST_F(ClassifierTest, GlobalClassifierTrainsAcrossDatasets) {
+  BfsEngine engine;
+  auto other = MakeDataset("internet", 0.03, 2);
+  ASSERT_TRUE(other.ok());
+  ClassifierTrainOptions options;
+  options.features.num_landmarks = 4;
+  options.features.graph_features = true;
+  std::vector<TrainingPair> pairs = {
+      {&dataset_->train_g1, &dataset_->train_g2},
+      {&other->train_g1, &other->train_g2}};
+  auto classifier = ConvergenceClassifier::Train(pairs, engine, options);
+  ASSERT_TRUE(classifier.ok());
+  EXPECT_TRUE(classifier->feature_options().graph_features);
+  EXPECT_EQ(classifier->model().weights().size(), 13u);
+}
+
+TEST_F(ClassifierTest, SelectorChargesSetupAndReturnsBudgetedCandidates) {
+  BfsEngine engine;
+  ClassifierTrainOptions options;
+  options.features.num_landmarks = 4;
+  std::vector<TrainingPair> pairs = {
+      {&dataset_->train_g1, &dataset_->train_g2}};
+  auto trained = ConvergenceClassifier::Train(pairs, engine, options);
+  ASSERT_TRUE(trained.ok());
+  auto shared =
+      std::make_shared<const ConvergenceClassifier>(std::move(*trained));
+  ClassifierSelector selector("L-Classifier", shared);
+  EXPECT_EQ(selector.name(), "L-Classifier");
+
+  const int m = 30;
+  const int setup = 3 * options.features.num_landmarks;  // 12.
+  SsspBudget budget(2 * m);
+  Rng rng(9);
+  SelectorContext context;
+  context.g1 = &dataset_->g1;
+  context.g2 = &dataset_->g2;
+  BfsEngine ctx_engine;
+  context.engine = &ctx_engine;
+  context.budget_m = m;
+  context.num_landmarks = options.features.num_landmarks;
+  context.rng = &rng;
+  context.budget = &budget;
+  CandidateSet set = selector.SelectCandidates(context);
+  EXPECT_EQ(budget.used(), 2 * setup);  // 6l feature extraction.
+  // m - 3l fresh candidates plus the landmark union (<= 3l, deduplicated)
+  // at zero cost; their rows ride along for reuse.
+  EXPECT_GE(set.nodes.size(), static_cast<size_t>(m - setup));
+  EXPECT_LE(set.nodes.size(), static_cast<size_t>(m));
+  EXPECT_EQ(set.g1_rows.sources().size(), static_cast<size_t>(setup));
+  EXPECT_EQ(set.g2_rows.sources().size(), static_cast<size_t>(setup));
+}
+
+TEST_F(ClassifierTest, SelectorWithTinyBudgetReturnsNothing) {
+  BfsEngine engine;
+  ClassifierTrainOptions options;
+  options.features.num_landmarks = 4;
+  std::vector<TrainingPair> pairs = {
+      {&dataset_->train_g1, &dataset_->train_g2}};
+  auto trained = ConvergenceClassifier::Train(pairs, engine, options);
+  ASSERT_TRUE(trained.ok());
+  auto shared =
+      std::make_shared<const ConvergenceClassifier>(std::move(*trained));
+  ClassifierSelector selector("L-Classifier", shared);
+  SsspBudget budget(24);
+  Rng rng(9);
+  SelectorContext context;
+  context.g1 = &dataset_->g1;
+  context.g2 = &dataset_->g2;
+  context.engine = &engine;
+  context.budget_m = 12;  // == 3l: setup consumes everything.
+  context.num_landmarks = 4;
+  context.rng = &rng;
+  context.budget = &budget;
+  CandidateSet set = selector.SelectCandidates(context);
+  EXPECT_TRUE(set.nodes.empty());
+  EXPECT_EQ(budget.used(), 0);  // Setup is skipped when it cannot pay off.
+}
+
+TEST_F(ClassifierTest, SerializationRoundTrip) {
+  BfsEngine engine;
+  ClassifierTrainOptions options;
+  options.features.num_landmarks = 4;
+  options.features.graph_features = true;
+  std::vector<TrainingPair> pairs = {
+      {&dataset_->train_g1, &dataset_->train_g2}};
+  auto trained = ConvergenceClassifier::Train(pairs, engine, options);
+  ASSERT_TRUE(trained.ok());
+
+  auto restored = ConvergenceClassifier::Deserialize(trained->Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->feature_options().num_landmarks, 4);
+  EXPECT_TRUE(restored->feature_options().graph_features);
+  EXPECT_EQ(restored->model().weights(), trained->model().weights());
+
+  // Scoring with the restored model is identical given the same rng.
+  Rng rng_a(3);
+  Rng rng_b(3);
+  auto probs_a = trained->ScoreNodes(dataset_->g1, dataset_->g2, rng_a,
+                                     engine, nullptr, nullptr);
+  auto probs_b = restored->ScoreNodes(dataset_->g1, dataset_->g2, rng_b,
+                                      engine, nullptr, nullptr);
+  EXPECT_EQ(probs_a, probs_b);
+
+  // File round trip.
+  std::string path = ::testing::TempDir() + "/convpairs_classifier.model";
+  ASSERT_TRUE(trained->SaveToFile(path).ok());
+  auto loaded = ConvergenceClassifier::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->model().bias(), trained->model().bias());
+  std::remove(path.c_str());
+}
+
+TEST(ClassifierSerializationTest, RejectsCorruptInput) {
+  EXPECT_FALSE(ConvergenceClassifier::Deserialize("").ok());
+  EXPECT_FALSE(
+      ConvergenceClassifier::Deserialize("wrong header\nlandmarks 4\n").ok());
+  // Arity mismatch: 9-feature model claiming graph features (13 expected).
+  std::string bad =
+      "convergence-classifier v1\nlandmarks 10\ngraph_features 1\n"
+      "logreg 9\n0 0 0 0 0 0 0 0 0 0\n";
+  EXPECT_FALSE(ConvergenceClassifier::Deserialize(bad).ok());
+}
+
+TEST(ClassifierTrainTest, RejectsEmptyInput) {
+  BfsEngine engine;
+  ClassifierTrainOptions options;
+  EXPECT_FALSE(ConvergenceClassifier::Train({}, engine, options).ok());
+}
+
+TEST(ClassifierTrainTest, RejectsInconsistentDepth) {
+  BfsEngine engine;
+  auto dataset = MakeDataset("facebook", 0.05, 1);
+  ASSERT_TRUE(dataset.ok());
+  ClassifierTrainOptions options;
+  options.delta_offset = 3;
+  options.gt_depth = 1;
+  std::vector<TrainingPair> pairs = {{&dataset->train_g1, &dataset->train_g2}};
+  EXPECT_FALSE(ConvergenceClassifier::Train(pairs, engine, options).ok());
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,139 @@
+#include "core/diverging.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dynamic_stream.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+// G1: cycle of n (everyone within n/2); G2: one edge deleted -> the cycle
+// becomes a path and antipodal pairs diverge sharply.
+struct BrokenCycle {
+  Graph g1;
+  Graph g2;
+};
+
+BrokenCycle MakeBrokenCycle(NodeId n) {
+  DynamicGraphStream stream;
+  for (NodeId u = 0; u < n; ++u) {
+    stream.AddEdge(u, static_cast<NodeId>((u + 1) % n), u);
+  }
+  stream.RemoveEdge(0, 1, n);
+  BrokenCycle out;
+  out.g1 = stream.SnapshotAtTime(n - 1);
+  out.g2 = stream.SnapshotAtTime(n);
+  return out;
+}
+
+TEST(DivergingGroundTruthTest, CycleMinusEdge) {
+  BrokenCycle scenario = MakeBrokenCycle(10);
+  BfsEngine engine;
+  DivergingGroundTruth gt =
+      ComputeDivergingGroundTruth(scenario.g1, scenario.g2, engine, 2);
+  // Pair (0,1): distance 1 -> 9 (around the path), divergence 8.
+  EXPECT_EQ(gt.max_divergence(), 8);
+  EXPECT_EQ(gt.broken_pairs(), 0u);  // Path still connects everyone.
+  EXPECT_EQ(gt.surviving_pairs(), 45u);
+  auto top = gt.PairsAtLeast(8);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].u, 0u);
+  EXPECT_EQ(top[0].v, 1u);
+}
+
+TEST(DivergingGroundTruthTest, BrokenPairsCounted) {
+  // Deleting a bridge splits the graph: pairs across the cut are broken.
+  DynamicGraphStream stream;
+  stream.AddEdge(0, 1, 1);
+  stream.AddEdge(1, 2, 2);
+  stream.AddEdge(2, 3, 3);
+  stream.RemoveEdge(1, 2, 4);
+  Graph g1 = stream.SnapshotAtTime(3);
+  Graph g2 = stream.SnapshotAtTime(4);
+  BfsEngine engine;
+  DivergingGroundTruth gt = ComputeDivergingGroundTruth(g1, g2, engine, 2);
+  EXPECT_EQ(gt.broken_pairs(), 4u);  // {0,1} x {2,3}.
+  EXPECT_EQ(gt.surviving_pairs(), 2u);
+  EXPECT_EQ(gt.max_divergence(), 0);  // Survivors kept their distances.
+}
+
+TEST(DivergingGroundTruthTest, InsertOnlyStreamsShowNoDivergence) {
+  auto scenario = testing::MakePathWithChord(10);
+  BfsEngine engine;
+  DivergingGroundTruth gt =
+      ComputeDivergingGroundTruth(scenario.g1, scenario.g2, engine, 2);
+  EXPECT_EQ(gt.max_divergence(), 0);
+  EXPECT_EQ(gt.broken_pairs(), 0u);
+  EXPECT_EQ(gt.CountAtLeast(1), 0u);
+}
+
+TEST(ExtractTopKDivergingPairsTest, FindsTheCutPair) {
+  BrokenCycle scenario = MakeBrokenCycle(12);
+  BfsEngine engine;
+  CandidateSet candidates;
+  candidates.nodes = {0};
+  SsspBudget budget;
+  TopKResult result = ExtractTopKDivergingPairs(
+      scenario.g1, scenario.g2, engine, candidates, 3, &budget);
+  ASSERT_GE(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].u, 0u);
+  EXPECT_EQ(result.pairs[0].v, 1u);
+  EXPECT_EQ(result.pairs[0].delta, 10);  // 1 -> 11 on the opened path.
+  EXPECT_EQ(budget.used(), 2);
+}
+
+TEST(ExtractTopKDivergingPairsTest, BrokenPairsNotReportedAsFinite) {
+  DynamicGraphStream stream;
+  stream.AddEdge(0, 1, 1);
+  stream.AddEdge(1, 2, 2);
+  stream.RemoveEdge(1, 2, 3);
+  Graph g1 = stream.SnapshotAtTime(2);
+  Graph g2 = stream.SnapshotAtTime(3);
+  BfsEngine engine;
+  CandidateSet candidates;
+  candidates.nodes = {0, 1, 2};
+  TopKResult result =
+      ExtractTopKDivergingPairs(g1, g2, engine, candidates, 10, nullptr);
+  EXPECT_TRUE(result.pairs.empty());  // (x,2) pairs broke; none diverged.
+}
+
+TEST(DivergingLandmarkSelectorTest, FindsDivergingRegion) {
+  BrokenCycle scenario = MakeBrokenCycle(30);
+  BfsEngine engine;
+  DivergingLandmarkSelector selector(/*use_l1_norm=*/true);
+  EXPECT_EQ(selector.name(), "DivSumDiff");
+  Rng rng(3);
+  SsspBudget budget(24);
+  SelectorContext context;
+  context.g1 = &scenario.g1;
+  context.g2 = &scenario.g2;
+  context.engine = &engine;
+  context.budget_m = 12;
+  context.num_landmarks = 4;
+  context.rng = &rng;
+  context.budget = &budget;
+  CandidateSet set = selector.SelectCandidates(context);
+  ASSERT_FALSE(set.nodes.empty());
+  // Extraction: the top diverging pair (0,1) must be covered by the set.
+  TopKResult result = ExtractTopKDivergingPairs(
+      scenario.g1, scenario.g2, engine, set, 1, &budget);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].delta, 28);
+  EXPECT_LE(budget.used(), 24);
+}
+
+TEST(DivergingGroundTruthTest, ThresholdConvention) {
+  BrokenCycle scenario = MakeBrokenCycle(14);
+  BfsEngine engine;
+  DivergingGroundTruth gt =
+      ComputeDivergingGroundTruth(scenario.g1, scenario.g2, engine, 2);
+  EXPECT_EQ(gt.DeltaThreshold(0), gt.max_divergence());
+  EXPECT_EQ(gt.DeltaThreshold(1000), 1);
+  EXPECT_EQ(gt.PairsAtLeast(gt.DeltaThreshold(1)).size(),
+            gt.CountAtLeast(gt.DeltaThreshold(1)));
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,71 @@
+// Edge-case coverage of the experiment harness.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/selector_registry.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(ExperimentEdgeTest, IdenticalSnapshotsYieldEmptyPairGraph) {
+  Graph g = testing::CycleGraph(10);
+  BfsEngine engine;
+  ExperimentRunner runner(g, g, engine);
+  EXPECT_EQ(runner.ground_truth().max_delta(), 0);
+  EXPECT_EQ(runner.KAt(0), 0u);
+  EXPECT_EQ(runner.PairGraphAt(0).num_pairs(), 0u);
+  EXPECT_TRUE(runner.GreedyCoverAt(0).nodes.empty());
+
+  // Running a policy on the degenerate instance is well-defined: coverage
+  // of the empty set is 1.0 by convention.
+  auto selector = MakeSelector("DegDiff").value();
+  RunConfig config;
+  config.budget_m = 4;
+  ExperimentResult result = runner.RunSelector(*selector, 0, config);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(result.retrieved, 1.0);
+  EXPECT_EQ(result.k, 0u);
+}
+
+TEST(ExperimentEdgeTest, BudgetLargerThanGraphIsClamped) {
+  auto scenario = testing::MakePathWithChord(8);
+  BfsEngine engine;
+  ExperimentRunner runner(scenario.g1, scenario.g2, engine);
+  auto selector = MakeSelector("DegDiff").value();
+  RunConfig config;
+  config.budget_m = 1000;  // Far more than 8 nodes.
+  ExperimentResult result = runner.RunSelector(*selector, 0, config);
+  EXPECT_LE(result.num_candidates, 8u);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);  // Everything affordable.
+}
+
+TEST(ExperimentEdgeDeathTest, OffsetBeyondDepthAborts) {
+  auto scenario = testing::MakePathWithChord(8);
+  BfsEngine engine;
+  ExperimentRunner runner(scenario.g1, scenario.g2, engine, /*gt_depth=*/1);
+  EXPECT_DEATH(runner.ThresholdAt(2), "CHECK failed");
+  EXPECT_DEATH(runner.ThresholdAt(-1), "CHECK failed");
+}
+
+TEST(ExperimentEdgeTest, ThresholdSaturationDeduplicates) {
+  // A graph whose max delta is 1: every offset maps to delta >= 1 and the
+  // cached artifacts must coincide.
+  Graph g1 =
+      Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  Graph g2 = Graph::FromEdges(
+      4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  BfsEngine engine;
+  ExperimentRunner runner(g1, g2, engine);
+  ASSERT_EQ(runner.ground_truth().max_delta(), 1);
+  EXPECT_EQ(runner.ThresholdAt(0), 1);
+  EXPECT_EQ(runner.ThresholdAt(2), 1);
+  EXPECT_EQ(runner.KAt(0), runner.KAt(2));
+  EXPECT_EQ(runner.PairGraphAt(0).num_pairs(),
+            runner.PairGraphAt(2).num_pairs());
+}
+
+}  // namespace
+}  // namespace convpairs

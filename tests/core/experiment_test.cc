@@ -1,0 +1,104 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/selector_registry.h"
+#include "gen/datasets.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(ExperimentRunnerTest, ThresholdsAndKMatchGroundTruth) {
+  auto scenario = testing::MakePathWithChord(14);
+  BfsEngine engine;
+  ExperimentRunner runner(scenario.g1, scenario.g2, engine);
+  EXPECT_EQ(runner.ThresholdAt(0), runner.ground_truth().max_delta());
+  EXPECT_EQ(runner.KAt(0),
+            runner.ground_truth().CountAtLeast(runner.ThresholdAt(0)));
+  EXPECT_EQ(runner.PairGraphAt(0).num_pairs(), runner.KAt(0));
+  EXPECT_GE(runner.KAt(2), runner.KAt(0));  // Lower threshold, more pairs.
+}
+
+TEST(ExperimentRunnerTest, GreedyCoverIsValidCover) {
+  auto scenario = testing::MakePathWithChord(14);
+  BfsEngine engine;
+  ExperimentRunner runner(scenario.g1, scenario.g2, engine);
+  for (int offset : {0, 1, 2}) {
+    const CoverResult& cover = runner.GreedyCoverAt(offset);
+    EXPECT_TRUE(IsVertexCover(runner.PairGraphAt(offset), cover.nodes));
+  }
+}
+
+TEST(ExperimentRunnerTest, OracleCandidateSetAchievesFullCoverage) {
+  // Feeding the greedy cover itself as candidates must retrieve everything:
+  // the linchpin property from the paper's Section 3.
+  class OracleSelector final : public CandidateSelector {
+   public:
+    explicit OracleSelector(std::vector<NodeId> nodes)
+        : nodes_(std::move(nodes)) {}
+    std::string name() const override { return "Oracle"; }
+    CandidateSet SelectCandidates(SelectorContext&) override {
+      CandidateSet set;
+      set.nodes = nodes_;
+      return set;
+    }
+    std::vector<NodeId> nodes_;
+  };
+
+  auto dataset = MakeDataset("facebook", 0.06, 21);
+  ASSERT_TRUE(dataset.ok());
+  BfsEngine engine;
+  ExperimentRunner runner(dataset->g1, dataset->g2, engine);
+  const CoverResult& cover = runner.GreedyCoverAt(1);
+  OracleSelector oracle(cover.nodes);
+  RunConfig config;
+  config.budget_m = static_cast<int>(cover.nodes.size());
+  ExperimentResult result = runner.RunSelector(oracle, 1, config);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(result.retrieved, 1.0);
+  EXPECT_DOUBLE_EQ(result.cover_hit_rate, 1.0);
+}
+
+TEST(ExperimentRunnerTest, RetrievedEqualsCoverage) {
+  // Every covered true pair outranks any filler, so the retrieval fraction
+  // equals the candidate coverage for every policy.
+  auto dataset = MakeDataset("facebook", 0.06, 22);
+  ASSERT_TRUE(dataset.ok());
+  BfsEngine engine;
+  ExperimentRunner runner(dataset->g1, dataset->g2, engine);
+  RunConfig config;
+  config.budget_m = 25;
+  config.num_landmarks = 5;
+  config.seed = 4;
+  for (const char* name : {"MMSD", "MaxAvg", "DegDiff", "Random"}) {
+    auto selector = MakeSelector(name).value();
+    ExperimentResult result = runner.RunSelector(*selector, 1, config);
+    EXPECT_DOUBLE_EQ(result.retrieved, result.coverage) << name;
+    EXPECT_EQ(result.sssp_used, 2 * config.budget_m) << name;
+  }
+}
+
+TEST(ExperimentRunnerTest, CoverageGrowsWithBudget) {
+  auto dataset = MakeDataset("facebook", 0.08, 23);
+  ASSERT_TRUE(dataset.ok());
+  BfsEngine engine;
+  ExperimentRunner runner(dataset->g1, dataset->g2, engine);
+  auto selector = MakeSelector("MMSD").value();
+  double previous = -1.0;
+  for (int m : {12, 25, 50, 100}) {
+    RunConfig config;
+    config.budget_m = m;
+    config.num_landmarks = 5;
+    config.seed = 7;
+    ExperimentResult result = runner.RunSelector(*selector, 1, config);
+    EXPECT_GE(result.coverage + 1e-9, previous)
+        << "coverage regressed at m=" << m;
+    previous = result.coverage;
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,136 @@
+#include "core/ground_truth.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "gen/er_generator.h"
+#include "graph/temporal_graph.h"
+#include "sssp/all_pairs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+// Brute-force oracle: full n x n delta histogram from dense matrices.
+std::map<Dist, uint64_t> BruteForceHistogram(const Graph& g1,
+                                             const Graph& g2) {
+  BfsEngine engine;
+  auto m1 = AllPairsMatrix(g1, engine);
+  auto m2 = AllPairsMatrix(g2, engine);
+  const NodeId n = g1.num_nodes();
+  std::map<Dist, uint64_t> hist;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (!IsReachable(m1[u * n + v])) continue;
+      ++hist[m1[u * n + v] - m2[u * n + v]];
+    }
+  }
+  return hist;
+}
+
+TEST(GroundTruthTest, PathWithChordMaxDelta) {
+  auto scenario = testing::MakePathWithChord(10);
+  BfsEngine engine;
+  GroundTruth gt = ComputeGroundTruth(scenario.g1, scenario.g2, engine);
+  // Pair (0,9): distance drops 9 -> 1.
+  EXPECT_EQ(gt.max_delta(), 8);
+  EXPECT_EQ(gt.g1_diameter(), 9);
+  EXPECT_EQ(gt.connected_pairs(), 45u);
+  EXPECT_EQ(gt.CountAtLeast(8), 1u);
+  auto top = gt.PairsAtLeast(8);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].u, 0u);
+  EXPECT_EQ(top[0].v, 9u);
+  EXPECT_EQ(top[0].delta, 8);
+}
+
+TEST(GroundTruthTest, IdenticalSnapshotsHaveZeroDelta) {
+  Graph g = testing::CycleGraph(8);
+  BfsEngine engine;
+  GroundTruth gt = ComputeGroundTruth(g, g, engine);
+  EXPECT_EQ(gt.max_delta(), 0);
+  EXPECT_EQ(gt.CountAtLeast(1), 0u);
+  EXPECT_EQ(gt.CountExactly(0), gt.connected_pairs());
+}
+
+TEST(GroundTruthTest, DisconnectedPairsExcluded) {
+  // G1: two components; G2 joins them. Newly connected pairs have no finite
+  // d1 and must not appear in the histogram.
+  Graph g1 = Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  Graph g2 =
+      Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {2, 3}, {1, 2}});
+  BfsEngine engine;
+  GroundTruth gt = ComputeGroundTruth(g1, g2, engine);
+  EXPECT_EQ(gt.connected_pairs(), 2u);  // (0,1) and (2,3).
+  EXPECT_EQ(gt.max_delta(), 0);         // Their distances did not change.
+}
+
+TEST(GroundTruthTest, ThresholdConvention) {
+  auto scenario = testing::MakePathWithChord(12);
+  BfsEngine engine;
+  GroundTruth gt = ComputeGroundTruth(scenario.g1, scenario.g2, engine);
+  EXPECT_EQ(gt.DeltaThreshold(0), gt.max_delta());
+  EXPECT_EQ(gt.DeltaThreshold(2), gt.max_delta() - 2);
+  // Floors at 1: a huge offset never asks for "delta >= 0" pairs.
+  EXPECT_EQ(gt.DeltaThreshold(1000), 1);
+}
+
+TEST(GroundTruthTest, StoredDepthControlsPairsServed) {
+  auto scenario = testing::MakePathWithChord(12);
+  BfsEngine engine;
+  GroundTruth gt =
+      ComputeGroundTruth(scenario.g1, scenario.g2, engine, /*depth=*/1);
+  EXPECT_EQ(gt.stored_min_delta(), gt.max_delta() - 1);
+  EXPECT_EQ(gt.PairsAtLeast(gt.max_delta() - 1).size(),
+            gt.CountAtLeast(gt.max_delta() - 1));
+}
+
+TEST(GroundTruthDeathTest, PairsBelowStoredDepthAbort) {
+  auto scenario = testing::MakePathWithChord(12);
+  BfsEngine engine;
+  GroundTruth gt =
+      ComputeGroundTruth(scenario.g1, scenario.g2, engine, /*depth=*/0);
+  EXPECT_DEATH(gt.PairsAtLeast(gt.max_delta() - 1), "CHECK failed");
+}
+
+// Differential sweep vs the brute-force oracle on random evolving graphs.
+class GroundTruthOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroundTruthOracleTest, HistogramAndPairsMatchBruteForce) {
+  Rng rng(GetParam());
+  TemporalGraph tg =
+      GenerateErdosRenyi({.num_nodes = 60, .num_edges = 110}, rng);
+  Graph g1 = tg.SnapshotAtFraction(0.7);
+  Graph g2 = tg.SnapshotAtFraction(1.0);
+  BfsEngine engine;
+  GroundTruth gt = ComputeGroundTruth(g1, g2, engine, /*depth=*/3);
+
+  auto oracle = BruteForceHistogram(g1, g2);
+  uint64_t oracle_connected = 0;
+  Dist oracle_max = 0;
+  for (const auto& [delta, count] : oracle) {
+    EXPECT_EQ(gt.CountExactly(delta), count) << "delta=" << delta;
+    oracle_connected += count;
+    if (count > 0) oracle_max = std::max(oracle_max, delta);
+  }
+  EXPECT_EQ(gt.connected_pairs(), oracle_connected);
+  EXPECT_EQ(gt.max_delta(), oracle_max);
+  if (gt.max_delta() >= 1) {
+    Dist threshold = gt.DeltaThreshold(1);
+    auto pairs = gt.PairsAtLeast(threshold);
+    EXPECT_EQ(pairs.size(), gt.CountAtLeast(threshold));
+    for (const auto& p : pairs) EXPECT_GE(p.delta, threshold);
+    // Pairs are sorted best-first.
+    for (size_t i = 1; i < pairs.size(); ++i) {
+      EXPECT_GE(pairs[i - 1].delta, pairs[i].delta);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroundTruthOracleTest,
+                         ::testing::Values(100, 200, 300, 400, 500, 600));
+
+}  // namespace
+}  // namespace convpairs

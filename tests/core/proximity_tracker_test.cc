@@ -1,0 +1,104 @@
+#include "core/proximity_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/er_generator.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(ProximityTrackerTest, InitialDistancesMatchBfs) {
+  Graph g = testing::PathGraph(10);
+  ProximityTracker tracker(g, {0, 5, 9});
+  EXPECT_EQ(tracker.DistanceBetween(0, 1), 5);
+  EXPECT_EQ(tracker.DistanceBetween(0, 2), 9);
+  EXPECT_EQ(tracker.DistanceBetween(1, 2), 4);
+}
+
+TEST(ProximityTrackerTest, ClosestPairsOrdering) {
+  Graph g = testing::PathGraph(10);
+  ProximityTracker tracker(g, {0, 5, 9});
+  auto closest = tracker.ClosestPairs(2);
+  ASSERT_EQ(closest.size(), 2u);
+  EXPECT_EQ(closest[0].u, 5u);
+  EXPECT_EQ(closest[0].v, 9u);
+  EXPECT_EQ(closest[0].distance, 4);
+  EXPECT_EQ(closest[1].distance, 5);
+}
+
+TEST(ProximityTrackerTest, InsertionUpdatesDistances) {
+  Graph before = testing::PathGraph(10);
+  ProximityTracker tracker(before, {0, 9});
+  auto edges = before.ToEdgeList();
+  edges.push_back({0, 9, 1.0f});
+  Graph after = Graph::FromEdges(10, edges);
+  tracker.ApplyInsertion(after, 0, 9);
+  EXPECT_EQ(tracker.DistanceBetween(0, 1), 1);
+  auto converged = tracker.ConvergedPairs(1);
+  ASSERT_EQ(converged.size(), 1u);
+  EXPECT_EQ(converged[0].converged_by(), 8);
+}
+
+TEST(ProximityTrackerTest, BecomingConnectedIsInfiniteConvergence) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}};
+  Graph before = Graph::FromEdges(4, edges);
+  ProximityTracker tracker(before, {0, 3});
+  EXPECT_TRUE(tracker.ClosestPairs(5).empty());  // Not connected.
+  edges.push_back({1, 2});
+  Graph after = Graph::FromEdges(4, edges);
+  tracker.ApplyInsertion(after, 1, 2);
+  auto closest = tracker.ClosestPairs(5);
+  ASSERT_EQ(closest.size(), 1u);
+  EXPECT_EQ(closest[0].distance, 3);
+  auto converged = tracker.ConvergedPairs(1);
+  ASSERT_EQ(converged.size(), 1u);
+  EXPECT_EQ(converged[0].converged_by(), kInfDist);
+}
+
+TEST(ProximityTrackerTest, NoFalseConvergence) {
+  Graph g = testing::CompleteGraph(6);
+  ProximityTracker tracker(g, {0, 1, 2});
+  EXPECT_TRUE(tracker.ConvergedPairs(1).empty());
+}
+
+// Differential sweep: replay a stream, compare tracked distances against
+// fresh BFS at every step.
+class ProximityTrackerPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProximityTrackerPropertyTest, AgreesWithBfsThroughoutStream) {
+  Rng rng(GetParam());
+  TemporalGraph stream =
+      GenerateErdosRenyi({.num_nodes = 50, .num_edges = 160}, rng);
+  size_t start = stream.num_events() / 2;
+  std::vector<Edge> current;
+  for (size_t i = 0; i < start; ++i) {
+    const TimedEdge& e = stream.events()[i];
+    current.push_back({e.u, e.v, e.weight});
+  }
+  Graph g = Graph::FromEdges(stream.num_nodes(), current);
+  std::vector<NodeId> watched = {1, 10, 20, 30, 49};
+  ProximityTracker tracker(g, watched);
+
+  for (size_t i = start; i < stream.num_events(); ++i) {
+    const TimedEdge& e = stream.events()[i];
+    current.push_back({e.u, e.v, e.weight});
+    g = Graph::FromEdges(stream.num_nodes(), current);
+    tracker.ApplyInsertion(g, e.u, e.v);
+  }
+  for (size_t i = 0; i < watched.size(); ++i) {
+    auto dist = BfsDistances(g, watched[i]);
+    for (size_t j = 0; j < watched.size(); ++j) {
+      EXPECT_EQ(tracker.DistanceBetween(i, j), dist[watched[j]]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProximityTrackerPropertyTest,
+                         ::testing::Values(301, 302, 303));
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,266 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/selector_registry.h"
+#include "core/selectors/centrality_selectors.h"
+#include "core/selectors/degree_selectors.h"
+#include "core/selectors/dispersion_selectors.h"
+#include "core/selectors/hybrid_selectors.h"
+#include "core/selectors/landmark_selectors.h"
+#include "core/selectors/random_selector.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+struct Harness {
+  Graph g1;
+  Graph g2;
+  BfsEngine engine;
+  Rng rng{17};
+  SsspBudget budget;
+
+  SelectorContext Context(int m, int l = 3) {
+    SelectorContext ctx;
+    ctx.g1 = &g1;
+    ctx.g2 = &g2;
+    ctx.engine = &engine;
+    ctx.budget_m = m;
+    ctx.num_landmarks = l;
+    ctx.rng = &rng;
+    ctx.budget = &budget;
+    return ctx;
+  }
+};
+
+Harness MakeChordHarness(NodeId n = 20) {
+  auto scenario = testing::MakePathWithChord(n);
+  Harness h;
+  h.g1 = scenario.g1;
+  h.g2 = scenario.g2;
+  return h;
+}
+
+TEST(SelectorRegistryTest, KnowsAllPaperNames) {
+  EXPECT_EQ(SingleFeatureSelectorNames().size(), 12u);
+  for (const std::string& name : SingleFeatureSelectorNames()) {
+    auto selector = MakeSelector(name);
+    ASSERT_TRUE(selector.ok()) << name;
+    EXPECT_EQ((*selector)->name(), name);
+  }
+  EXPECT_FALSE(MakeSelector("NoSuchPolicy").ok());
+  EXPECT_EQ(MakeAllSingleFeatureSelectors().size(), 12u);
+}
+
+TEST(DegreeSelectorTest, PicksHighestDegreeNodes) {
+  Harness h;
+  h.g1 = testing::StarGraph(10);
+  h.g2 = h.g1;
+  DegreeSelector selector;
+  auto ctx = h.Context(3);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  ASSERT_EQ(set.nodes.size(), 3u);
+  EXPECT_EQ(set.nodes[0], 0u);  // The hub.
+}
+
+TEST(DegreeDiffSelectorTest, PicksGrowingNodes) {
+  Harness h = MakeChordHarness(10);
+  DegreeDiffSelector selector;
+  auto ctx = h.Context(2);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  // Only nodes 0 and 9 gained an edge (the chord).
+  ASSERT_EQ(set.nodes.size(), 2u);
+  EXPECT_EQ(set.nodes[0], 0u);
+  EXPECT_EQ(set.nodes[1], 9u);
+}
+
+TEST(DegreeRelSelectorTest, RelativeGrowthPrefersLowDegreeGainers) {
+  // Node 0: degree 10 -> 11 (+10%); node 11: degree 1 -> 2 (+100%).
+  std::vector<Edge> base;
+  for (NodeId v = 1; v <= 10; ++v) base.push_back({0, v});
+  base.push_back({10, 11});
+  auto with = base;
+  with.push_back({0, 12});
+  with.push_back({11, 12});
+  Harness h;
+  h.g1 = Graph::FromEdges(13, base);
+  h.g2 = Graph::FromEdges(13, with);
+  DegreeRelSelector selector;
+  auto ctx = h.Context(1);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  ASSERT_EQ(set.nodes.size(), 1u);
+  EXPECT_EQ(set.nodes[0], 11u);
+}
+
+TEST(DispersionSelectorTest, ReturnsReusableRows) {
+  Harness h = MakeChordHarness(30);
+  DispersionSelector selector(LandmarkPolicy::kMaxAvg);
+  auto ctx = h.Context(5);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  EXPECT_EQ(set.nodes.size(), 5u);
+  EXPECT_EQ(set.g1_rows.sources().size(), 5u);
+  EXPECT_EQ(h.budget.used(), 5);  // Selection cost only; rows reusable.
+  EXPECT_EQ(set.g1_rows.sources(), set.nodes);
+}
+
+TEST(DispersionSelectorTest, MaxAvgOnPathPicksEndpointsEarly) {
+  Harness h = MakeChordHarness(40);
+  DispersionSelector selector(LandmarkPolicy::kMaxAvg);
+  auto ctx = h.Context(3);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  // The two path endpoints are the most dispersed nodes; both should be
+  // among the first three picks regardless of the random start.
+  std::set<NodeId> chosen(set.nodes.begin(), set.nodes.end());
+  EXPECT_TRUE(chosen.count(0) > 0);
+  EXPECT_TRUE(chosen.count(39) > 0);
+}
+
+TEST(LandmarkDiffSelectorTest, SumDiffFindsTheMovedNodes) {
+  Harness h = MakeChordHarness(20);
+  LandmarkDiffSelector selector(/*use_l1_norm=*/true);
+  auto ctx = h.Context(10, 4);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  // m - l = 6 fresh candidates plus the l = 4 landmarks for free.
+  ASSERT_EQ(set.nodes.size(), 10u);
+  // The chord endpoints moved the most relative to almost any landmark set;
+  // at least one of them must be selected.
+  std::set<NodeId> chosen(set.nodes.begin(), set.nodes.end());
+  EXPECT_TRUE(chosen.count(0) > 0 || chosen.count(19) > 0);
+}
+
+TEST(LandmarkDiffSelectorTest, SchemeSuffixInName) {
+  EXPECT_EQ(LandmarkDiffSelector(true).name(), "SumDiff");
+  EXPECT_EQ(LandmarkDiffSelector(false).name(), "MaxDiff");
+  EXPECT_EQ(LandmarkDiffSelector(true, LandmarkPolicy::kHighDegree).name(),
+            "SumDiff[highdeg]");
+}
+
+TEST(LandmarkDiffSelectorTest, HighDegreeSchemeStaysWithinBudget) {
+  Harness h = MakeChordHarness(24);
+  LandmarkDiffSelector selector(/*use_l1_norm=*/true,
+                                LandmarkPolicy::kHighDegree);
+  auto ctx = h.Context(10, 4);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  // Selection free; DL1 + DL2 cost 2l = 8; 6 fresh + 4 landmarks returned.
+  EXPECT_EQ(h.budget.used(), 8);
+  EXPECT_EQ(set.nodes.size(), 10u);
+}
+
+TEST(LandmarkDiffSelectorTest, DispersionSchemeDoesNotDoubleCharge) {
+  Harness h = MakeChordHarness(24);
+  LandmarkDiffSelector selector(/*use_l1_norm=*/true,
+                                LandmarkPolicy::kMaxMin);
+  auto ctx = h.Context(10, 4);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  // MaxMin selection charged l=4 in G1 (rows reused as DL1) + l in G2.
+  EXPECT_EQ(h.budget.used(), 8);
+  EXPECT_EQ(set.nodes.size(), 10u);
+}
+
+TEST(LandmarkDiffSelectorTest, InsufficientBudgetYieldsEmpty) {
+  Harness h = MakeChordHarness(20);
+  LandmarkDiffSelector selector(/*use_l1_norm=*/false);
+  auto ctx = h.Context(3, 5);  // m < l.
+  CandidateSet set = selector.SelectCandidates(ctx);
+  EXPECT_TRUE(set.nodes.empty());
+}
+
+TEST(HybridSelectorTest, NamesFollowPaperAbbreviations) {
+  EXPECT_EQ(HybridSelector(LandmarkPolicy::kMaxMin, true).name(), "MMSD");
+  EXPECT_EQ(HybridSelector(LandmarkPolicy::kMaxMin, false).name(), "MMMD");
+  EXPECT_EQ(HybridSelector(LandmarkPolicy::kMaxAvg, true).name(), "MASD");
+  EXPECT_EQ(HybridSelector(LandmarkPolicy::kMaxAvg, false).name(), "MAMD");
+}
+
+TEST(HybridSelectorTest, LandmarksJoinCandidatesWithReusableRows) {
+  Harness h = MakeChordHarness(30);
+  HybridSelector selector(LandmarkPolicy::kMaxMin, /*use_l1_norm=*/true);
+  auto ctx = h.Context(12, 4);
+  SsspBudget probe;  // Re-run selection to learn the landmarks chosen.
+  Rng probe_rng(17);
+  LandmarkSelection landmarks = SelectLandmarks(
+      h.g1, LandmarkPolicy::kMaxMin, 4, probe_rng, h.engine, &probe);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  // m - l = 8 fresh candidates plus the l = 4 landmarks, each exactly once,
+  // with both distance rows attached so extraction pays nothing for them.
+  ASSERT_EQ(set.nodes.size(), 12u);
+  for (NodeId landmark : landmarks.landmarks) {
+    EXPECT_EQ(std::count(set.nodes.begin(), set.nodes.end(), landmark), 1)
+        << "landmark " << landmark;
+  }
+  EXPECT_EQ(set.g1_rows.sources().size(), 4u);
+  EXPECT_EQ(set.g2_rows.sources().size(), 4u);
+  // Selection charged l (dispersion in G1) + l (DL2 in G2).
+  EXPECT_EQ(h.budget.used(), 8);
+}
+
+TEST(RandomSelectorTest, SamplesDistinctActiveNodes) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  Harness h;
+  h.g1 = Graph::FromEdges(50, edges);  // 45 isolated placeholder ids.
+  h.g2 = h.g1;
+  RandomSelector selector;
+  auto ctx = h.Context(4);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  ASSERT_EQ(set.nodes.size(), 4u);
+  std::set<NodeId> unique(set.nodes.begin(), set.nodes.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (NodeId u : set.nodes) EXPECT_LE(u, 4u);
+}
+
+TEST(PageRankSelectorTest, PicksTheHub) {
+  Harness h;
+  h.g1 = testing::StarGraph(12);
+  h.g2 = h.g1;
+  PageRankSelector selector;
+  EXPECT_EQ(selector.name(), "PageRank");
+  auto ctx = h.Context(1);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  ASSERT_EQ(set.nodes.size(), 1u);
+  EXPECT_EQ(set.nodes[0], 0u);
+  EXPECT_EQ(h.budget.used(), 0);  // PageRank costs no SSSPs.
+}
+
+TEST(PageRankDiffSelectorTest, PicksNodesGainingRank) {
+  // Node 5 gains two hub links: its PageRank grows the most.
+  std::vector<Edge> base;
+  for (NodeId v = 1; v <= 4; ++v) base.push_back({0, v});
+  base.push_back({5, 6});
+  auto with = base;
+  with.push_back({5, 0});
+  with.push_back({5, 1});
+  Harness h;
+  h.g1 = Graph::FromEdges(7, base);
+  h.g2 = Graph::FromEdges(7, with);
+  PageRankDiffSelector selector;
+  EXPECT_EQ(selector.name(), "PageRankDiff");
+  auto ctx = h.Context(1);
+  CandidateSet set = selector.SelectCandidates(ctx);
+  ASSERT_EQ(set.nodes.size(), 1u);
+  EXPECT_EQ(set.nodes[0], 5u);
+}
+
+TEST(SelectorRegistryTest, ExtendedNamesConstructible) {
+  for (const std::string& name : ExtendedSelectorNames()) {
+    auto selector = MakeSelector(name);
+    ASSERT_TRUE(selector.ok()) << name;
+    EXPECT_EQ((*selector)->name(), name);
+  }
+}
+
+TEST(TopActiveByScoreTest, SkipsInactiveAndExcluded) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  Graph g1 = Graph::FromEdges(5, edges);  // Nodes 3, 4 inactive.
+  std::vector<double> scores = {1.0, 5.0, 3.0, 99.0, 98.0};
+  auto top = TopActiveByScore(g1, scores, 2, /*exclude=*/{1});
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2u);  // 1 excluded, 3/4 inactive.
+  EXPECT_EQ(top[1], 0u);
+}
+
+}  // namespace
+}  // namespace convpairs

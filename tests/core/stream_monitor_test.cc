@@ -1,0 +1,171 @@
+#include "core/stream_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diverging.h"
+#include "core/selector_registry.h"
+#include "gen/friendship_generator.h"
+#include "graph/dynamic_stream.h"
+#include "sssp/bfs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TemporalGraph MakeStream() {
+  Rng rng(12);
+  FriendshipParams params;
+  params.num_nodes = 300;
+  params.num_edges = 1800;
+  params.triadic_closure_prob = 0.5;
+  return GenerateFriendship(params, rng);
+}
+
+StreamMonitor MakeMonitor(const TemporalGraph* stream,
+                          const ShortestPathEngine* engine,
+                          StreamMonitorOptions options = {}) {
+  return StreamMonitor(stream, engine, MakeSelector("MMSD").value(), options);
+}
+
+TEST(StreamMonitorTest, SweepCoversTheStream) {
+  TemporalGraph stream = MakeStream();
+  BfsEngine engine;
+  StreamMonitorOptions options;
+  options.k = 5;
+  options.budget_m = 20;
+  options.num_landmarks = 4;
+  StreamMonitor monitor = MakeMonitor(&stream, &engine, options);
+  auto reports = monitor.Sweep(0.5, 0.125);
+  ASSERT_EQ(reports.size(), 4u);
+  for (const WindowReport& report : reports) {
+    EXPECT_GT(report.new_events, 0u);
+    EXPECT_LE(report.alerts.size(), 5u);
+    EXPECT_EQ(report.sssp_used, 40);
+  }
+  EXPECT_DOUBLE_EQ(reports.back().to_fraction, 1.0);
+}
+
+TEST(StreamMonitorTest, DeduplicationSuppressesRepeats) {
+  TemporalGraph stream = MakeStream();
+  BfsEngine engine;
+  StreamMonitorOptions options;
+  options.k = 5;
+  options.budget_m = 20;
+  options.num_landmarks = 4;
+  options.seed = 9;
+  StreamMonitor monitor = MakeMonitor(&stream, &engine, options);
+  WindowReport first = monitor.ProcessWindow(0.6, 0.9);
+  ASSERT_FALSE(first.alerts.empty());
+  // Same window again: every pair was already alerted.
+  WindowReport repeat = monitor.ProcessWindow(0.6, 0.9);
+  EXPECT_TRUE(repeat.alerts.empty());
+  EXPECT_EQ(repeat.suppressed, first.alerts.size());
+}
+
+TEST(StreamMonitorTest, DeduplicationCanBeDisabled) {
+  TemporalGraph stream = MakeStream();
+  BfsEngine engine;
+  StreamMonitorOptions options;
+  options.k = 5;
+  options.budget_m = 20;
+  options.num_landmarks = 4;
+  options.deduplicate_alerts = false;
+  StreamMonitor monitor = MakeMonitor(&stream, &engine, options);
+  WindowReport first = monitor.ProcessWindow(0.6, 0.9);
+  WindowReport repeat = monitor.ProcessWindow(0.6, 0.9);
+  EXPECT_EQ(repeat.alerts.size(), first.alerts.size());
+  EXPECT_EQ(repeat.suppressed, 0u);
+}
+
+TEST(StreamMonitorTest, RepeatOffendersAreRankedByWindowCount) {
+  TemporalGraph stream = MakeStream();
+  BfsEngine engine;
+  StreamMonitorOptions options;
+  options.k = 8;
+  options.budget_m = 25;
+  options.num_landmarks = 5;
+  StreamMonitor monitor = MakeMonitor(&stream, &engine, options);
+  monitor.Sweep(0.5, 0.1);
+  auto everyone = monitor.RepeatOffenders(1);
+  EXPECT_FALSE(everyone.empty());
+  for (size_t i = 1; i < everyone.size(); ++i) {
+    EXPECT_GE(everyone[i - 1].second, everyone[i].second);
+  }
+  auto frequent = monitor.RepeatOffenders(2);
+  EXPECT_LE(frequent.size(), everyone.size());
+  for (const auto& [node, count] : frequent) EXPECT_GE(count, 2);
+}
+
+TEST(StreamMonitorTest, TotalAlertsAccumulate) {
+  TemporalGraph stream = MakeStream();
+  BfsEngine engine;
+  StreamMonitorOptions options;
+  options.k = 5;
+  options.budget_m = 20;
+  options.num_landmarks = 4;
+  StreamMonitor monitor = MakeMonitor(&stream, &engine, options);
+  size_t after_one = 0;
+  monitor.ProcessWindow(0.5, 0.7);
+  after_one = monitor.total_alerts();
+  monitor.ProcessWindow(0.7, 0.9);
+  EXPECT_GE(monitor.total_alerts(), after_one);
+}
+
+TEST(StreamMonitorTest, DynamicSourceWithDeletionsEmitsDivergingAlerts) {
+  // Ring grown first; a chord inserted mid-stream is deleted near the end:
+  // the late window shows diverging pairs and no false converging alerts.
+  DynamicGraphStream stream;
+  const NodeId n = 24;
+  uint32_t time = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    stream.AddEdge(u, static_cast<NodeId>((u + 1) % n), time++);
+  }
+  stream.AddEdge(0, 12, time++);
+  for (int filler = 0; filler < 8; ++filler) {
+    stream.AddEdge(static_cast<NodeId>(filler),
+                   static_cast<NodeId>(filler + 2), time++);
+  }
+  stream.RemoveEdge(0, 12, time++);
+
+  BfsEngine engine;
+  StreamMonitorOptions options;
+  options.k = 4;
+  options.budget_m = 12;
+  options.num_landmarks = 3;
+  DivergingLandmarkSelector diverging(/*use_l1_norm=*/true);
+  options.diverging_selector = &diverging;
+  StreamMonitor monitor(SnapshotSource::FromDynamic(&stream), &engine,
+                        MakeSelector("MMSD").value(), options);
+
+  // Window covering the deletion: divergence must surface.
+  WindowReport report = monitor.ProcessWindow(0.8, 1.0);
+  ASSERT_FALSE(report.diverging_alerts.empty());
+  EXPECT_GT(report.diverging_alerts[0].delta, 0);
+  // The chord endpoints drifted apart.
+  bool found_cut_pair = false;
+  for (const ConvergingPair& p : report.diverging_alerts) {
+    if ((p.u == 0 && p.v == 12)) found_cut_pair = true;
+  }
+  EXPECT_TRUE(found_cut_pair);
+}
+
+TEST(StreamMonitorTest, DynamicSourceEventCounts) {
+  DynamicGraphStream stream;
+  for (uint32_t i = 0; i < 10; ++i) {
+    stream.AddEdge(i, i + 1, i);
+  }
+  SnapshotSource source = SnapshotSource::FromDynamic(&stream);
+  EXPECT_EQ(source.events_between(0.0, 0.5), 5u);
+  EXPECT_EQ(source.events_between(0.5, 1.0), 5u);
+  EXPECT_EQ(source.snapshot(0.5).num_edges(), 5u);
+}
+
+TEST(StreamMonitorDeathTest, BadWindowAborts) {
+  TemporalGraph stream = MakeStream();
+  BfsEngine engine;
+  StreamMonitor monitor = MakeMonitor(&stream, &engine);
+  EXPECT_DEATH(monitor.ProcessWindow(0.8, 0.8), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

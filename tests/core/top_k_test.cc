@@ -1,0 +1,148 @@
+#include "core/top_k.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/selector_registry.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+// A selector that returns a fixed candidate set (for isolating the
+// extraction phase).
+class FixedSelector final : public CandidateSelector {
+ public:
+  explicit FixedSelector(std::vector<NodeId> nodes)
+      : nodes_(std::move(nodes)) {}
+  std::string name() const override { return "Fixed"; }
+  CandidateSet SelectCandidates(SelectorContext&) override {
+    CandidateSet set;
+    set.nodes = nodes_;
+    return set;
+  }
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+TEST(ExtractTopKPairsTest, FindsTheConvergingPairThroughOneEndpoint) {
+  auto scenario = testing::MakePathWithChord(10);
+  BfsEngine engine;
+  CandidateSet candidates;
+  candidates.nodes = {0};  // Endpoint of the (0,9) converging pair.
+  SsspBudget budget;
+  TopKResult result =
+      ExtractTopKPairs(scenario.g1, scenario.g2, engine, candidates, 1, &budget);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].u, 0u);
+  EXPECT_EQ(result.pairs[0].v, 9u);
+  EXPECT_EQ(result.pairs[0].delta, 8);
+  EXPECT_EQ(budget.used(), 2);  // One SSSP per snapshot for the candidate.
+}
+
+TEST(ExtractTopKPairsTest, PairsAreSortedAndDeduplicated) {
+  auto scenario = testing::MakePathWithChord(10);
+  BfsEngine engine;
+  CandidateSet candidates;
+  candidates.nodes = {0, 9, 1};  // (0,9) reachable from both endpoints.
+  TopKResult result = ExtractTopKPairs(scenario.g1, scenario.g2, engine,
+                                       candidates, 50, nullptr);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& p : result.pairs) {
+    EXPECT_LT(p.u, p.v);
+    EXPECT_TRUE(seen.insert({p.u, p.v}).second) << "duplicate pair";
+  }
+  for (size_t i = 1; i < result.pairs.size(); ++i) {
+    EXPECT_GE(result.pairs[i - 1].delta, result.pairs[i].delta);
+  }
+  EXPECT_EQ(result.pairs[0].delta, 8);
+}
+
+TEST(ExtractTopKPairsTest, ReusedRowsSkipBudget) {
+  auto scenario = testing::MakePathWithChord(8);
+  BfsEngine engine;
+  CandidateSet candidates;
+  candidates.nodes = {0};
+  candidates.g1_rows.AdoptRow(0, BfsDistances(scenario.g1, 0));
+  SsspBudget budget(1);  // Only the G2 row may be charged.
+  TopKResult result =
+      ExtractTopKPairs(scenario.g1, scenario.g2, engine, candidates, 5, &budget);
+  EXPECT_EQ(budget.used(), 1);
+  ASSERT_FALSE(result.pairs.empty());
+  EXPECT_EQ(result.pairs[0].delta, 6);
+}
+
+TEST(ExtractTopKPairsTest, KLimitsOutput) {
+  auto scenario = testing::MakePathWithChord(12);
+  BfsEngine engine;
+  CandidateSet candidates;
+  candidates.nodes = {0, 11};
+  TopKResult few = ExtractTopKPairs(scenario.g1, scenario.g2, engine,
+                                    candidates, 3, nullptr);
+  EXPECT_EQ(few.pairs.size(), 3u);
+  TopKResult none = ExtractTopKPairs(scenario.g1, scenario.g2, engine,
+                                     candidates, 0, nullptr);
+  EXPECT_TRUE(none.pairs.empty());
+}
+
+TEST(ExtractTopKPairsTest, ZeroDeltaPairsExcluded) {
+  Graph g = testing::CycleGraph(6);
+  BfsEngine engine;
+  CandidateSet candidates;
+  candidates.nodes = {0, 1, 2};
+  TopKResult result = ExtractTopKPairs(g, g, engine, candidates, 100, nullptr);
+  EXPECT_TRUE(result.pairs.empty());  // Nothing converged.
+}
+
+TEST(FindTopKConvergingPairsTest, EndToEndWithFixedSelector) {
+  auto scenario = testing::MakePathWithChord(10);
+  BfsEngine engine;
+  FixedSelector selector({0, 9});
+  TopKOptions options;
+  options.k = 2;
+  options.budget_m = 2;
+  TopKResult result = FindTopKConvergingPairs(scenario.g1, scenario.g2,
+                                              engine, selector, options);
+  EXPECT_EQ(result.sssp_used, 4);  // 2 candidates x 2 snapshots.
+  ASSERT_EQ(result.pairs.size(), 2u);
+  EXPECT_EQ(result.pairs[0].delta, 8);
+  EXPECT_EQ(result.candidates.size(), 2u);
+}
+
+TEST(FindTopKConvergingPairsTest, BudgetEnforcementAborts) {
+  auto scenario = testing::MakePathWithChord(10);
+  BfsEngine engine;
+  FixedSelector greedy_overshoot({0, 1, 2, 3, 4});  // 5 candidates.
+  TopKOptions options;
+  options.k = 1;
+  options.budget_m = 2;  // Only 4 SSSPs allowed; 5 candidates need 10.
+  EXPECT_DEATH(FindTopKConvergingPairs(scenario.g1, scenario.g2, engine,
+                                       greedy_overshoot, options),
+               "CHECK failed");
+}
+
+TEST(FindTopKConvergingPairsTest, DeterministicAcrossRuns) {
+  auto scenario = testing::MakePathWithChord(16);
+  BfsEngine engine;
+  auto selector = MakeSelector("MMSD").value();
+  TopKOptions options;
+  options.k = 5;
+  options.budget_m = 8;
+  options.num_landmarks = 3;
+  options.seed = 99;
+  TopKResult a = FindTopKConvergingPairs(scenario.g1, scenario.g2, engine,
+                                         *selector, options);
+  TopKResult b = FindTopKConvergingPairs(scenario.g1, scenario.g2, engine,
+                                         *selector, options);
+  EXPECT_EQ(a.candidates, b.candidates);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i], b.pairs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace convpairs

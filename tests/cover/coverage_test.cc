@@ -1,0 +1,49 @@
+#include "cover/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+PairGraph MakePairGraph() {
+  return PairGraph({{0, 1, 3}, {2, 3, 3}, {1, 4, 2}});
+}
+
+TEST(CoverageTest, CountsEachPairOnce) {
+  PairGraph pg = MakePairGraph();
+  std::vector<NodeId> candidates = {1};  // Covers (0,1) and (1,4).
+  EXPECT_EQ(CoveredPairCount(pg, candidates), 2u);
+}
+
+TEST(CoverageTest, BothEndpointsDoNotDoubleCount) {
+  PairGraph pg = MakePairGraph();
+  std::vector<NodeId> candidates = {0, 1};
+  EXPECT_EQ(CoveredPairCount(pg, candidates), 2u);
+}
+
+TEST(CoverageTest, FractionAndEdgeCases) {
+  PairGraph pg = MakePairGraph();
+  EXPECT_DOUBLE_EQ(CoverageFraction(pg, std::vector<NodeId>{1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(CoverageFraction(pg, std::vector<NodeId>{}), 0.0);
+  EXPECT_DOUBLE_EQ(CoverageFraction(pg, std::vector<NodeId>{0, 2, 4}), 1.0);
+  PairGraph empty;
+  EXPECT_DOUBLE_EQ(CoverageFraction(empty, std::vector<NodeId>{1}), 1.0);
+}
+
+TEST(EndpointHitRateTest, FractionOfUsefulCandidates) {
+  PairGraph pg = MakePairGraph();
+  std::vector<NodeId> candidates = {0, 7, 8, 1};  // 2 of 4 are endpoints.
+  EXPECT_DOUBLE_EQ(EndpointHitRate(pg, candidates), 0.5);
+  EXPECT_DOUBLE_EQ(EndpointHitRate(pg, std::vector<NodeId>{}), 0.0);
+}
+
+TEST(SetHitRateTest, IntersectionFraction) {
+  std::vector<NodeId> reference = {1, 2, 3};
+  std::vector<NodeId> candidates = {3, 4, 1, 9};
+  EXPECT_DOUBLE_EQ(SetHitRate(reference, candidates), 0.5);
+  EXPECT_DOUBLE_EQ(SetHitRate(reference, std::vector<NodeId>{}), 0.0);
+  EXPECT_DOUBLE_EQ(SetHitRate(std::vector<NodeId>{}, candidates), 0.0);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,94 @@
+#include "cover/exact_cover.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cover/greedy_cover.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(ExactCoverTest, EmptyPairGraph) {
+  PairGraph pg;
+  auto cover = ExactMinimumVertexCover(pg);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_TRUE(cover->empty());
+}
+
+TEST(ExactCoverTest, StarNeedsOneNode) {
+  PairGraph pg({{0, 1, 1}, {0, 2, 1}, {0, 3, 1}});
+  auto cover = ExactMinimumVertexCover(pg);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(*cover, std::vector<NodeId>{0});
+}
+
+TEST(ExactCoverTest, TriangleNeedsTwo) {
+  PairGraph pg({{0, 1, 1}, {1, 2, 1}, {0, 2, 1}});
+  auto cover = ExactMinimumVertexCover(pg);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->size(), 2u);
+  EXPECT_TRUE(IsVertexCover(pg, *cover));
+}
+
+TEST(ExactCoverTest, BeatsGreedyOnTheClassicCounterexample) {
+  // Hub with pendant paths: hub 0 - a_i, and each a_i - b_i (b_i pendant).
+  // Optimal = {a_1, a_2, a_3} (each a_i covers both its hub edge and its
+  // pendant edge). Max-degree greedy grabs the hub first (degree 3) and
+  // then still needs one node per pendant edge: 4 total.
+  std::vector<ConvergingPair> pairs;
+  const NodeId hub = 0;
+  for (NodeId i = 0; i < 3; ++i) {
+    NodeId a = 1 + 2 * i;
+    NodeId b = 2 + 2 * i;
+    pairs.push_back({hub, a, 1});
+    pairs.push_back({a, b, 1});
+  }
+  PairGraph pg(std::move(pairs));
+  CoverResult greedy = GreedyVertexCover(pg);
+  auto exact = ExactMinimumVertexCover(pg);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(IsVertexCover(pg, *exact));
+  EXPECT_EQ(greedy.nodes.size(), 4u);
+  EXPECT_EQ(exact->size(), 3u);
+  EXPECT_EQ(*exact, (std::vector<NodeId>{1, 3, 5}));
+}
+
+TEST(ExactCoverTest, BudgetExhaustionReturnsNullopt) {
+  // A perfect matching of 5 disjoint pairs needs 5 nodes; budget 3 fails.
+  PairGraph pg({{0, 1, 1}, {2, 3, 1}, {4, 5, 1}, {6, 7, 1}, {8, 9, 1}});
+  EXPECT_FALSE(ExactMinimumVertexCover(pg, 3).has_value());
+  auto cover = ExactMinimumVertexCover(pg, 5);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->size(), 5u);
+}
+
+// Property sweep: exact <= greedy, and exact is always a valid cover.
+class ExactCoverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactCoverPropertyTest, ExactNeverWorseThanGreedy) {
+  Rng rng(GetParam());
+  std::vector<ConvergingPair> pairs;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (int i = 0; i < 25; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(18));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(18));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    pairs.push_back({u, v, 1});
+  }
+  PairGraph pg(std::move(pairs));
+  CoverResult greedy = GreedyVertexCover(pg);
+  auto exact = ExactMinimumVertexCover(pg, greedy.nodes.size());
+  ASSERT_TRUE(exact.has_value());  // Greedy's size is always sufficient.
+  EXPECT_TRUE(IsVertexCover(pg, *exact));
+  EXPECT_LE(exact->size(), greedy.nodes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactCoverPropertyTest,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48));
+
+}  // namespace
+}  // namespace convpairs

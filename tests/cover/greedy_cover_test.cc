@@ -1,0 +1,106 @@
+#include "cover/greedy_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(GreedyVertexCoverTest, StarPairGraphNeedsOneNode) {
+  // All pairs share endpoint 0.
+  PairGraph pg({{0, 1, 1}, {0, 2, 1}, {0, 3, 1}});
+  CoverResult cover = GreedyVertexCover(pg);
+  ASSERT_EQ(cover.nodes.size(), 1u);
+  EXPECT_EQ(cover.nodes[0], 0u);
+  EXPECT_EQ(cover.covered_pairs, 3u);
+}
+
+TEST(GreedyVertexCoverTest, TrianglePairGraphNeedsTwo) {
+  PairGraph pg({{0, 1, 1}, {1, 2, 1}, {0, 2, 1}});
+  CoverResult cover = GreedyVertexCover(pg);
+  EXPECT_EQ(cover.nodes.size(), 2u);
+  EXPECT_TRUE(IsVertexCover(pg, cover.nodes));
+}
+
+TEST(GreedyVertexCoverTest, CoversEverything) {
+  PairGraph pg({{0, 1, 1}, {2, 3, 1}, {4, 5, 1}});
+  CoverResult cover = GreedyVertexCover(pg);
+  EXPECT_EQ(cover.nodes.size(), 3u);  // Disjoint pairs: one node each.
+  EXPECT_TRUE(IsVertexCover(pg, cover.nodes));
+}
+
+TEST(GreedyVertexCoverTest, EmptyPairGraph) {
+  PairGraph pg;
+  CoverResult cover = GreedyVertexCover(pg);
+  EXPECT_TRUE(cover.nodes.empty());
+  EXPECT_EQ(cover.covered_pairs, 0u);
+}
+
+TEST(GreedyMaxCoverageTest, BudgetLimitsSelection) {
+  PairGraph pg({{0, 1, 1}, {0, 2, 1}, {3, 4, 1}, {3, 5, 1}, {6, 7, 1}});
+  CoverResult cover = GreedyMaxCoverage(pg, 2);
+  EXPECT_EQ(cover.nodes.size(), 2u);
+  // Greedy picks the two degree-2 hubs (0 and 3), covering 4 of 5 pairs.
+  EXPECT_EQ(cover.covered_pairs, 4u);
+}
+
+TEST(GreedyMaxCoverageTest, StopsEarlyWhenFullyCovered) {
+  PairGraph pg({{0, 1, 1}, {0, 2, 1}});
+  CoverResult cover = GreedyMaxCoverage(pg, 10);
+  EXPECT_EQ(cover.nodes.size(), 1u);
+  EXPECT_EQ(cover.covered_pairs, 2u);
+}
+
+TEST(GreedyMaxCoverageTest, GreedyPrefersHighestGainFirst) {
+  // Node 9 touches 3 pairs; must be picked first.
+  PairGraph pg({{9, 1, 1}, {9, 2, 1}, {9, 3, 1}, {4, 5, 1}});
+  CoverResult cover = GreedyMaxCoverage(pg, 1);
+  ASSERT_EQ(cover.nodes.size(), 1u);
+  EXPECT_EQ(cover.nodes[0], 9u);
+  EXPECT_EQ(cover.covered_pairs, 3u);
+}
+
+TEST(IsVertexCoverTest, DetectsNonCover) {
+  PairGraph pg({{0, 1, 1}, {2, 3, 1}});
+  EXPECT_FALSE(IsVertexCover(pg, {0}));
+  EXPECT_TRUE(IsVertexCover(pg, {0, 2}));
+  EXPECT_TRUE(IsVertexCover(pg, {1, 3}));
+}
+
+// Property sweep: on random pair sets, greedy output is always a valid
+// cover and is never larger than the number of pairs.
+class GreedyCoverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyCoverPropertyTest, AlwaysProducesValidCover) {
+  Rng rng(GetParam());
+  std::vector<ConvergingPair> pairs;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (int i = 0; i < 60; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(40));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(40));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    pairs.push_back({u, v, static_cast<Dist>(1 + rng.UniformInt(5))});
+  }
+  PairGraph pg(std::move(pairs));
+  CoverResult cover = GreedyVertexCover(pg);
+  EXPECT_TRUE(IsVertexCover(pg, cover.nodes));
+  EXPECT_LE(cover.nodes.size(), pg.num_pairs());
+  EXPECT_EQ(cover.covered_pairs, pg.num_pairs());
+
+  // Monotonicity: max-coverage with a smaller budget never covers more.
+  uint64_t previous = 0;
+  for (size_t budget = 1; budget <= cover.nodes.size(); ++budget) {
+    CoverResult partial = GreedyMaxCoverage(pg, budget);
+    EXPECT_GE(partial.covered_pairs, previous);
+    previous = partial.covered_pairs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyCoverPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace convpairs

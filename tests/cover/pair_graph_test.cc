@@ -1,0 +1,54 @@
+#include "cover/pair_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(PairGraphTest, EmptyGraph) {
+  PairGraph pg;
+  EXPECT_EQ(pg.num_pairs(), 0u);
+  EXPECT_TRUE(pg.endpoints().empty());
+  EXPECT_TRUE(pg.IncidentPairs(3).empty());
+}
+
+TEST(PairGraphTest, EndpointsAreDistinctAndSorted) {
+  PairGraph pg({{5, 1, 3}, {1, 2, 3}, {9, 2, 2}});
+  ASSERT_EQ(pg.endpoints().size(), 4u);
+  EXPECT_EQ(pg.endpoints()[0], 1u);
+  EXPECT_EQ(pg.endpoints()[1], 2u);
+  EXPECT_EQ(pg.endpoints()[2], 5u);
+  EXPECT_EQ(pg.endpoints()[3], 9u);
+}
+
+TEST(PairGraphTest, NormalizesPairOrientation) {
+  PairGraph pg({{7, 2, 4}});
+  EXPECT_EQ(pg.pairs()[0].u, 2u);
+  EXPECT_EQ(pg.pairs()[0].v, 7u);
+}
+
+TEST(PairGraphTest, IncidenceListsAreComplete) {
+  PairGraph pg({{0, 1, 5}, {1, 2, 5}, {0, 2, 4}});
+  EXPECT_EQ(pg.IncidentPairs(0).size(), 2u);
+  EXPECT_EQ(pg.IncidentPairs(1).size(), 2u);
+  EXPECT_EQ(pg.IncidentPairs(2).size(), 2u);
+  EXPECT_TRUE(pg.IncidentPairs(3).empty());
+}
+
+TEST(PairGraphTest, IsEndpoint) {
+  PairGraph pg({{4, 8, 1}});
+  EXPECT_TRUE(pg.IsEndpoint(4));
+  EXPECT_TRUE(pg.IsEndpoint(8));
+  EXPECT_FALSE(pg.IsEndpoint(5));
+}
+
+TEST(PairGraphDeathTest, DuplicatePairAborts) {
+  EXPECT_DEATH(PairGraph({{0, 1, 3}, {1, 0, 2}}), "CHECK failed");
+}
+
+TEST(PairGraphDeathTest, SelfPairAborts) {
+  EXPECT_DEATH(PairGraph({{3, 3, 1}}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,91 @@
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace convpairs {
+namespace {
+
+TEST(DatasetsTest, NamesListTheFourAnalogs) {
+  const auto& names = DatasetNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "actors");
+  EXPECT_EQ(names[3], "dblp");
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  auto dataset = MakeDataset("imdb");
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_EQ(dataset.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetsTest, InvalidScaleRejected) {
+  EXPECT_FALSE(MakeDataset("actors", 0.0).ok());
+  EXPECT_FALSE(MakeDataset("actors", -1.0).ok());
+}
+
+TEST(DatasetsTest, SnapshotsNestCorrectly) {
+  auto dataset = MakeDataset("facebook", 0.1);
+  ASSERT_TRUE(dataset.ok());
+  // Edge counts follow the 40/60/80/100 protocol.
+  EXPECT_LT(dataset->train_g1.num_edges(), dataset->train_g2.num_edges());
+  EXPECT_LT(dataset->train_g2.num_edges(), dataset->g1.num_edges());
+  EXPECT_LT(dataset->g1.num_edges(), dataset->g2.num_edges());
+  // Later snapshots contain earlier ones.
+  for (const Edge& e : dataset->g1.ToEdgeList()) {
+    EXPECT_TRUE(dataset->g2.HasEdge(e.u, e.v));
+  }
+  // All snapshots share one id space.
+  EXPECT_EQ(dataset->g1.num_nodes(), dataset->g2.num_nodes());
+  EXPECT_EQ(dataset->train_g1.num_nodes(), dataset->g2.num_nodes());
+}
+
+TEST(DatasetsTest, SameSeedReproduces) {
+  auto a = MakeDataset("dblp", 0.05, 3);
+  auto b = MakeDataset("dblp", 0.05, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->temporal.num_events(), b->temporal.num_events());
+  EXPECT_EQ(a->g1.num_edges(), b->g1.num_edges());
+}
+
+TEST(DatasetsTest, DifferentSeedsDiffer) {
+  auto a = MakeDataset("internet", 0.05, 1);
+  auto b = MakeDataset("internet", 0.05, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference =
+      a->g1.num_edges() != b->g1.num_edges() ||
+      a->g1.ToEdgeList() != b->g1.ToEdgeList();
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DatasetsTest, StructuralRegimesMatchThePaper) {
+  // The analogs must reproduce the axes the selection policies are
+  // sensitive to (DESIGN.md §4): actors dense, dblp sparse and fragmented.
+  auto actors = MakeDataset("actors", 0.3);
+  auto dblp = MakeDataset("dblp", 0.3);
+  ASSERT_TRUE(actors.ok());
+  ASSERT_TRUE(dblp.ok());
+  GraphStats actors_stats =
+      ComputeGraphStats(actors->g2, /*exact_diameter=*/false);
+  GraphStats dblp_stats = ComputeGraphStats(dblp->g2, /*exact_diameter=*/false);
+  EXPECT_GT(actors_stats.avg_degree, 4 * dblp_stats.avg_degree);
+  EXPECT_GT(dblp_stats.num_components, 5u);
+  EXPECT_EQ(actors_stats.num_components, 1u);
+}
+
+TEST(DatasetsTest, MakeDatasetFromTemporalSplitsArbitraryStreams) {
+  TemporalGraph temporal;
+  for (uint32_t i = 0; i < 10; ++i) temporal.AddEdge(i, i + 1, i);
+  Dataset dataset = MakeDatasetFromTemporal("custom", std::move(temporal));
+  EXPECT_EQ(dataset.name, "custom");
+  EXPECT_EQ(dataset.g1.num_edges(), 8u);
+  EXPECT_EQ(dataset.g2.num_edges(), 10u);
+  EXPECT_EQ(dataset.train_g1.num_edges(), 4u);
+  EXPECT_EQ(dataset.train_g2.num_edges(), 6u);
+}
+
+}  // namespace
+}  // namespace convpairs

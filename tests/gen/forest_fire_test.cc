@@ -1,0 +1,81 @@
+#include "gen/forest_fire.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connected_components.h"
+#include "graph/graph_stats.h"
+
+namespace convpairs {
+namespace {
+
+TEST(ForestFireTest, ProducesConnectedGraph) {
+  Rng rng(1);
+  ForestFireParams params;
+  params.num_nodes = 400;
+  TemporalGraph g = GenerateForestFire(params, rng);
+  auto cc = ComputeConnectedComponents(g.SnapshotAtFraction(1.0));
+  EXPECT_EQ(cc.num_components, 1u);  // Every arrival links to an ambassador.
+}
+
+TEST(ForestFireTest, BurnProbabilityControlsDensity) {
+  ForestFireParams sparse;
+  sparse.num_nodes = 600;
+  sparse.burn_probability = 0.15;
+  ForestFireParams dense = sparse;
+  dense.burn_probability = 0.55;
+  Rng rng_a(2);
+  Rng rng_b(2);
+  Graph g_sparse = GenerateForestFire(sparse, rng_a).SnapshotAtFraction(1.0);
+  Graph g_dense = GenerateForestFire(dense, rng_b).SnapshotAtFraction(1.0);
+  EXPECT_GT(g_dense.num_edges(), g_sparse.num_edges() * 3 / 2);
+}
+
+TEST(ForestFireTest, BurnCapBoundsDegree) {
+  Rng rng(3);
+  ForestFireParams params;
+  params.num_nodes = 300;
+  params.burn_probability = 0.9;  // Would blow up without the cap.
+  params.max_burned_per_arrival = 8;
+  TemporalGraph stream = GenerateForestFire(params, rng);
+  // Each arrival adds at most 1 (ambassador) + cap edges.
+  EXPECT_LE(stream.num_events(),
+            static_cast<size_t>(params.num_nodes) * (1 + 8));
+}
+
+TEST(ForestFireTest, DeterministicGivenSeed) {
+  ForestFireParams params;
+  params.num_nodes = 150;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  TemporalGraph a = GenerateForestFire(params, rng_a);
+  TemporalGraph b = GenerateForestFire(params, rng_b);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (size_t i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]);
+  }
+}
+
+TEST(ForestFireTest, CommunityStructureViaClustering) {
+  // Forest fire burns neighborhoods, creating triangles; the resulting
+  // graph should have far more triangle-closing edges than a random graph
+  // of the same size. Proxy: average degree grows with burn probability
+  // while connectivity stays single-component.
+  Rng rng(5);
+  ForestFireParams params;
+  params.num_nodes = 500;
+  params.burn_probability = 0.4;
+  Graph g = GenerateForestFire(params, rng).SnapshotAtFraction(1.0);
+  GraphStats stats = ComputeGraphStats(g, /*exact_diameter=*/false);
+  EXPECT_GT(stats.avg_degree, 2.5);
+  EXPECT_EQ(stats.num_components, 1u);
+}
+
+TEST(ForestFireDeathTest, InvalidBurnProbabilityAborts) {
+  Rng rng(1);
+  ForestFireParams params;
+  params.burn_probability = 1.0;
+  EXPECT_DEATH(GenerateForestFire(params, rng), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

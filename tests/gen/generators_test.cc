@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "gen/affiliation_generator.h"
+#include "gen/ba_generator.h"
+#include "gen/er_generator.h"
+#include "gen/friendship_generator.h"
+#include "gen/ws_generator.h"
+#include "graph/connected_components.h"
+#include "graph/graph_stats.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(BaGeneratorTest, ProducesExpectedScale) {
+  Rng rng(1);
+  BaParams params;
+  params.num_nodes = 500;
+  params.edges_per_node = 2;
+  TemporalGraph g = GenerateBarabasiAlbert(params, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  Graph snapshot = g.SnapshotAtFraction(1.0);
+  // ~2 edges per arrival plus the seed clique, minus dedup losses.
+  EXPECT_GT(snapshot.num_edges(), 900u);
+  EXPECT_LT(snapshot.num_edges(), 1100u);
+}
+
+TEST(BaGeneratorTest, PureBaIsConnected) {
+  Rng rng(2);
+  BaParams params;
+  params.num_nodes = 300;
+  params.edges_per_node = 1;
+  TemporalGraph g = GenerateBarabasiAlbert(params, rng);
+  auto cc = ComputeConnectedComponents(g.SnapshotAtFraction(1.0));
+  EXPECT_EQ(cc.num_components, 1u);
+}
+
+TEST(BaGeneratorTest, HasDegreeSkew) {
+  Rng rng(3);
+  BaParams params;
+  params.num_nodes = 2000;
+  params.edges_per_node = 2;
+  Graph g = GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+  GraphStats stats = ComputeGraphStats(g, /*exact_diameter=*/false);
+  // Preferential attachment: the max degree is far above the average.
+  EXPECT_GT(stats.max_degree, 10 * stats.avg_degree);
+}
+
+TEST(BaGeneratorTest, DeterministicGivenSeed) {
+  BaParams params;
+  params.num_nodes = 100;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  TemporalGraph a = GenerateBarabasiAlbert(params, rng_a);
+  TemporalGraph b = GenerateBarabasiAlbert(params, rng_b);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (size_t i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]);
+  }
+}
+
+TEST(ErGeneratorTest, ExactEdgeCountAndNoDuplicates) {
+  Rng rng(4);
+  TemporalGraph g =
+      GenerateErdosRenyi({.num_nodes = 100, .num_edges = 300}, rng);
+  EXPECT_EQ(g.num_events(), 300u);
+  Graph snapshot = g.SnapshotAtFraction(1.0);
+  EXPECT_EQ(snapshot.num_edges(), 300u);  // Dedup removes nothing.
+}
+
+TEST(ErGeneratorTest, CanDrawCompleteGraph) {
+  Rng rng(5);
+  TemporalGraph g = GenerateErdosRenyi({.num_nodes = 10, .num_edges = 45}, rng);
+  Graph snapshot = g.SnapshotAtFraction(1.0);
+  EXPECT_EQ(snapshot.num_edges(), 45u);
+  for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(snapshot.degree(u), 9u);
+}
+
+TEST(WsGeneratorTest, LatticePlusLongLinks) {
+  Rng rng(6);
+  WsParams params;
+  params.num_nodes = 200;
+  params.k = 4;
+  params.beta = 0.1;
+  TemporalGraph g = GenerateWattsStrogatz(params, rng);
+  // k/2 edges per node drawn (rewired or not).
+  EXPECT_EQ(g.num_events(), 400u);
+  // The early snapshot is dominated by lattice edges -> large diameter;
+  // the rewired long links arrive late and shrink distances.
+  GraphStats early =
+      ComputeGraphStats(g.SnapshotAtFraction(0.8), /*exact_diameter=*/true);
+  GraphStats late =
+      ComputeGraphStats(g.SnapshotAtFraction(1.0), /*exact_diameter=*/true);
+  EXPECT_LT(late.diameter, early.diameter);
+}
+
+TEST(AffiliationGeneratorTest, TeamsFormCliques) {
+  Rng rng(7);
+  AffiliationParams params;
+  params.num_events = 1;
+  params.min_team_size = 4;
+  params.max_team_size = 4;
+  params.new_member_prob = 1.0;
+  Graph g = GenerateAffiliation(params, rng).SnapshotAtFraction(1.0);
+  EXPECT_EQ(g.num_edges(), 6u);  // C(4,2)
+  EXPECT_EQ(g.num_active_nodes(), 4u);
+}
+
+TEST(AffiliationGeneratorTest, SparseConfigHasManyComponents) {
+  Rng rng(8);
+  AffiliationParams params;
+  params.num_events = 500;
+  params.min_team_size = 2;
+  params.max_team_size = 3;
+  params.new_member_prob = 0.6;
+  Graph g = GenerateAffiliation(params, rng).SnapshotAtFraction(1.0);
+  auto cc = ComputeConnectedComponents(g);
+  EXPECT_GT(cc.num_components, 10u);
+}
+
+TEST(AffiliationGeneratorTest, DenseConfigIsDense) {
+  Rng rng(9);
+  AffiliationParams params;
+  params.num_events = 100;
+  params.min_team_size = 10;
+  params.max_team_size = 20;
+  params.new_member_prob = 0.3;
+  Graph g = GenerateAffiliation(params, rng).SnapshotAtFraction(1.0);
+  GraphStats stats = ComputeGraphStats(g, /*exact_diameter=*/false);
+  EXPECT_GT(stats.avg_degree, 15.0);
+}
+
+TEST(FriendshipGeneratorTest, SequentialTimestampsAndEdgeBudget) {
+  Rng rng(10);
+  FriendshipParams params;
+  params.num_nodes = 200;
+  params.num_edges = 1000;
+  TemporalGraph g = GenerateFriendship(params, rng);
+  EXPECT_EQ(g.num_events(), 1000u);
+  // Timestamps are 0..num_events-1 in order.
+  for (size_t i = 0; i < g.num_events(); ++i) {
+    EXPECT_EQ(g.events()[i].time, static_cast<uint32_t>(i));
+  }
+}
+
+TEST(FriendshipGeneratorTest, ArrivalLinksKeepGraphConnected) {
+  Rng rng(11);
+  FriendshipParams params;
+  params.num_nodes = 300;
+  params.num_edges = 900;
+  Graph g = GenerateFriendship(params, rng).SnapshotAtFraction(1.0);
+  auto cc = ComputeConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace convpairs

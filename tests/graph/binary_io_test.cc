@@ -1,0 +1,122 @@
+#include "graph/binary_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "gen/er_generator.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(BinaryIoTest, GraphRoundTrip) {
+  Graph g = testing::CycleGraph(9);
+  auto restored = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_nodes(), g.num_nodes());
+  EXPECT_EQ(restored->num_edges(), g.num_edges());
+  EXPECT_EQ(restored->ToEdgeList(), g.ToEdgeList());
+}
+
+TEST(BinaryIoTest, WeightedGraphRoundTrip) {
+  std::vector<Edge> edges = {{0, 1, 2.5f}, {1, 2, 0.75f}};
+  Graph g = Graph::FromEdges(3, edges);
+  auto restored = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->is_weighted());
+  EXPECT_FLOAT_EQ(restored->weights(0)[0], 2.5f);
+}
+
+TEST(BinaryIoTest, IsolatedNodesPreserved) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(50, edges);
+  auto restored = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_nodes(), 50u);
+  EXPECT_EQ(restored->num_active_nodes(), 2u);
+}
+
+TEST(BinaryIoTest, TemporalRoundTripPreservesOrderAndTimes) {
+  Rng rng(5);
+  TemporalGraph g =
+      GenerateErdosRenyi({.num_nodes = 40, .num_edges = 100}, rng);
+  auto restored = DeserializeTemporalGraph(SerializeTemporalGraph(g));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->num_events(), g.num_events());
+  for (size_t i = 0; i < g.num_events(); ++i) {
+    EXPECT_EQ(restored->events()[i], g.events()[i]);
+  }
+}
+
+TEST(BinaryIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DeserializeGraph("").ok());
+  EXPECT_FALSE(DeserializeGraph("XXXX").ok());
+  EXPECT_FALSE(DeserializeTemporalGraph(SerializeGraph(Graph(2))).ok());
+  // Truncation anywhere must fail, never crash.
+  std::string bytes = SerializeGraph(testing::PathGraph(6));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DeserializeGraph(bytes.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(BinaryIoTest, RejectsInflatedCountsWithoutAllocating) {
+  // Corrupt the edge-count field to a huge value: the reader must reject
+  // it from the payload size alone, not attempt the allocation (this was a
+  // real bug found by the fuzz sweep in tests/integration/robustness_test).
+  std::string bytes = SerializeGraph(testing::PathGraph(4));
+  // num_edges u64 lives at offset 12 (magic 4 + version 4 + nodes 4).
+  for (int i = 0; i < 8; ++i) bytes[12 + i] = static_cast<char>(0xFF);
+  auto result = DeserializeGraph(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("exceeds payload"),
+            std::string::npos);
+}
+
+TEST(BinaryIoTest, RejectsTrailingBytes) {
+  std::string bytes = SerializeGraph(testing::PathGraph(4));
+  bytes += "junk";
+  EXPECT_FALSE(DeserializeGraph(bytes).ok());
+}
+
+TEST(BinaryIoTest, RejectsOutOfRangeEndpoints) {
+  // Corrupt a valid payload: raise an endpoint beyond num_nodes.
+  Graph g = testing::PathGraph(3);
+  std::string bytes = SerializeGraph(g);
+  // Header: magic(4) + version(4) + nodes(4) + edges(8) + weighted(1) = 21;
+  // first edge's u at offset 21.
+  bytes[21] = static_cast<char>(0xFF);
+  EXPECT_FALSE(DeserializeGraph(bytes).ok());
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  Graph g = testing::StarGraph(5);
+  std::string path = ::testing::TempDir() + "/convpairs_binary_test.cpgb";
+  ASSERT_TRUE(WriteGraphBinary(g, path).ok());
+  auto restored = ReadGraphBinary(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_edges(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, TemporalFileRoundTrip) {
+  TemporalGraph g;
+  g.AddEdge(0, 1, 3, 0.5f);
+  g.AddEdge(1, 2, 7);
+  std::string path = ::testing::TempDir() + "/convpairs_binary_test.cpgt";
+  ASSERT_TRUE(WriteTemporalGraphBinary(g, path).ok());
+  auto restored = ReadTemporalGraphBinary(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_events(), 2u);
+  EXPECT_FLOAT_EQ(restored->events()[0].weight, 0.5f);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadGraphBinary("/nonexistent_xyz/g.cpgb").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,67 @@
+#include "graph/connected_components.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(ConnectedComponentsTest, SingleComponentPath) {
+  Graph g = testing::PathGraph(5);
+  auto cc = ComputeConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 1u);
+  EXPECT_TRUE(cc.Connected(0, 4));
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}};
+  Graph g = Graph::FromEdges(4, edges);
+  auto cc = ComputeConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 2u);
+  EXPECT_TRUE(cc.Connected(0, 1));
+  EXPECT_FALSE(cc.Connected(1, 2));
+}
+
+TEST(ConnectedComponentsTest, IsolatedNodesAreSingletons) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(4, edges);
+  auto cc = ComputeConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3u);  // {0,1}, {2}, {3}
+}
+
+TEST(ConnectedComponentsTest, GiantComponentIndex) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  Graph g = Graph::FromEdges(5, edges);
+  auto cc = ComputeConnectedComponents(g);
+  EXPECT_EQ(cc.size[cc.GiantComponent()], 3u);
+}
+
+TEST(ConnectedComponentsTest, DisconnectedPairCountActiveOnly) {
+  // Components of active nodes: {0,1,2} and {3,4}; node 5 isolated.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  Graph g = Graph::FromEdges(6, edges);
+  auto cc = ComputeConnectedComponents(g);
+  // Active pairs: C(5,2)=10; connected: C(3,2)+C(2,2)=3+1=4 -> 6 disconnected.
+  EXPECT_EQ(cc.DisconnectedPairCount(g, /*active_only=*/true), 6u);
+}
+
+TEST(ConnectedComponentsTest, DisconnectedPairCountIncludingIsolated) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(3, edges);
+  auto cc = ComputeConnectedComponents(g);
+  // All pairs: 3; connected: 1 -> 2 disconnected when isolated node counts.
+  EXPECT_EQ(cc.DisconnectedPairCount(g, /*active_only=*/false), 2u);
+  EXPECT_EQ(cc.DisconnectedPairCount(g, /*active_only=*/true), 0u);
+}
+
+TEST(ConnectedComponentsTest, SizesSumToNodeCount) {
+  Graph g = testing::CycleGraph(7);
+  auto cc = ComputeConnectedComponents(g);
+  uint32_t total = 0;
+  for (uint32_t s : cc.size) total += s;
+  EXPECT_EQ(total, 7u);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,89 @@
+#include "graph/dynamic_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(DynamicGraphStreamTest, InsertOnlyMatchesTemporalGraph) {
+  TemporalGraph temporal;
+  temporal.AddEdge(0, 1, 1);
+  temporal.AddEdge(1, 2, 2);
+  DynamicGraphStream stream(temporal);
+  EXPECT_EQ(stream.num_events(), 2u);
+  Graph g = stream.SnapshotAtTime(2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(DynamicGraphStreamTest, DeletionRemovesEdge) {
+  DynamicGraphStream stream;
+  stream.AddEdge(0, 1, 1);
+  stream.AddEdge(1, 2, 2);
+  stream.RemoveEdge(0, 1, 3);
+  Graph before = stream.SnapshotAtTime(2);
+  EXPECT_TRUE(before.HasEdge(0, 1));
+  Graph after = stream.SnapshotAtTime(3);
+  EXPECT_FALSE(after.HasEdge(0, 1));
+  EXPECT_TRUE(after.HasEdge(1, 2));
+}
+
+TEST(DynamicGraphStreamTest, ReinsertionAfterDeletion) {
+  DynamicGraphStream stream;
+  stream.AddEdge(0, 1, 1);
+  stream.RemoveEdge(0, 1, 2);
+  stream.AddEdge(0, 1, 3);
+  EXPECT_FALSE(stream.SnapshotAtTime(2).HasEdge(0, 1));
+  EXPECT_TRUE(stream.SnapshotAtTime(3).HasEdge(0, 1));
+}
+
+TEST(DynamicGraphStreamTest, OrientationIrrelevantForDeletion) {
+  DynamicGraphStream stream;
+  stream.AddEdge(3, 7, 1);
+  stream.RemoveEdge(7, 3, 2);  // Reversed orientation.
+  EXPECT_FALSE(stream.SnapshotAtTime(2).HasEdge(3, 7));
+}
+
+TEST(DynamicGraphStreamTest, SnapshotAtFractionCountsEvents) {
+  DynamicGraphStream stream;
+  stream.AddEdge(0, 1, 1);
+  stream.AddEdge(1, 2, 2);
+  stream.AddEdge(2, 3, 3);
+  stream.RemoveEdge(1, 2, 4);
+  // First half = two inserts.
+  EXPECT_EQ(stream.SnapshotAtFraction(0.5).num_edges(), 2u);
+  // Full stream: three inserts minus one delete.
+  EXPECT_EQ(stream.SnapshotAtFraction(1.0).num_edges(), 2u);
+  EXPECT_FALSE(stream.SnapshotAtFraction(1.0).HasEdge(1, 2));
+}
+
+TEST(DynamicGraphStreamTest, ParallelInsertNeedsTwoDeletes) {
+  DynamicGraphStream stream;
+  stream.AddEdge(0, 1, 1);
+  stream.AddEdge(0, 1, 2);  // Parallel insert.
+  stream.RemoveEdge(0, 1, 3);
+  EXPECT_TRUE(stream.SnapshotAtTime(3).HasEdge(0, 1));  // One copy lives.
+  stream.RemoveEdge(0, 1, 4);
+  EXPECT_FALSE(stream.SnapshotAtTime(4).HasEdge(0, 1));
+}
+
+TEST(DynamicGraphStreamDeathTest, DeletingAbsentEdgeAborts) {
+  DynamicGraphStream stream;
+  stream.AddEdge(0, 1, 1);
+  EXPECT_DEATH(stream.RemoveEdge(1, 2, 2), "CHECK failed");
+}
+
+TEST(DynamicGraphStreamDeathTest, DoubleDeleteAborts) {
+  DynamicGraphStream stream;
+  stream.AddEdge(0, 1, 1);
+  stream.RemoveEdge(0, 1, 2);
+  EXPECT_DEATH(stream.RemoveEdge(0, 1, 3), "CHECK failed");
+}
+
+TEST(DynamicGraphStreamDeathTest, SelfLoopAborts) {
+  DynamicGraphStream stream;
+  EXPECT_DEATH(stream.AddEdge(2, 2, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

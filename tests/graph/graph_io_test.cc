@@ -1,0 +1,81 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(GraphIoTest, ParsesPlainEdgeList) {
+  auto g = ParseEdgeList("0 1\n1 2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  auto g = ParseEdgeList("# comment\n\n% other comment\n0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphIoTest, ParsesWeights) {
+  auto g = ParseEdgeList("0 1 2.5\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->is_weighted());
+  EXPECT_FLOAT_EQ(g->weights(0)[0], 2.5f);
+}
+
+TEST(GraphIoTest, RejectsMalformedLine) {
+  EXPECT_FALSE(ParseEdgeList("0\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 x\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 1 2 3\n").ok());
+}
+
+TEST(GraphIoTest, ParsesTemporalEdgeList) {
+  auto g = ParseTemporalEdgeList("0 1 10\n1 2 20\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_events(), 2u);
+  EXPECT_EQ(g->events()[1].time, 20u);
+}
+
+TEST(GraphIoTest, TemporalWithWeight) {
+  auto g = ParseTemporalEdgeList("0 1 10 0.5\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_FLOAT_EQ(g->events()[0].weight, 0.5f);
+}
+
+TEST(GraphIoTest, RoundTripsStaticFile) {
+  auto g = ParseEdgeList("0 1\n0 2\n1 2\n");
+  ASSERT_TRUE(g.ok());
+  std::string path = ::testing::TempDir() + "/convpairs_io_test.txt";
+  ASSERT_TRUE(WriteEdgeList(*g, path).ok());
+  auto reread = ReadEdgeList(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->num_edges(), 3u);
+  EXPECT_TRUE(reread->HasEdge(1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripsTemporalFile) {
+  auto g = ParseTemporalEdgeList("0 1 1\n1 2 2\n2 3 3\n");
+  ASSERT_TRUE(g.ok());
+  std::string path = ::testing::TempDir() + "/convpairs_io_temporal.txt";
+  ASSERT_TRUE(WriteTemporalEdgeList(*g, path).ok());
+  auto reread = ReadTemporalEdgeList(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->num_events(), 3u);
+  EXPECT_EQ(reread->events()[2].time, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  auto g = ReadEdgeList("/nonexistent_path_xyz/graph.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace convpairs

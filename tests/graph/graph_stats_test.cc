@@ -1,0 +1,77 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(GraphStatsTest, PathGraphBasics) {
+  Graph g = testing::PathGraph(5);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_EQ(stats.diameter, 4);
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_EQ(stats.giant_component_size, 5u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 8.0 / 5.0);
+}
+
+TEST(GraphStatsTest, CompleteGraphDensityIsOne) {
+  Graph g = testing::CompleteGraph(6);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_DOUBLE_EQ(stats.density, 1.0);
+  EXPECT_EQ(stats.diameter, 1);
+}
+
+TEST(GraphStatsTest, CycleDiameter) {
+  GraphStats even = ComputeGraphStats(testing::CycleGraph(8));
+  EXPECT_EQ(even.diameter, 4);
+  GraphStats odd = ComputeGraphStats(testing::CycleGraph(9));
+  EXPECT_EQ(odd.diameter, 4);
+}
+
+TEST(GraphStatsTest, IsolatedPlaceholderNodesIgnored) {
+  // Snapshot id space of 100 but only a 3-node path present.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  Graph g = Graph::FromEdges(100, edges);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 3u);
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_EQ(stats.diameter, 2);
+}
+
+TEST(GraphStatsTest, DiameterOfGiantComponentOnly) {
+  // Giant: path of 4 (diameter 3); small: edge (diameter 1).
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {4, 5}};
+  Graph g = Graph::FromEdges(6, edges);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_components, 2u);
+  EXPECT_EQ(stats.diameter, 3);
+}
+
+TEST(GraphStatsTest, SkipDiameterWhenDisabled) {
+  Graph g = testing::PathGraph(10);
+  GraphStats stats = ComputeGraphStats(g, /*exact_diameter=*/false);
+  EXPECT_EQ(stats.diameter, 0);
+  EXPECT_EQ(stats.num_edges, 9u);
+}
+
+TEST(GraphStatsTest, DensityHelpers) {
+  Graph star = testing::StarGraph(4);  // 5 nodes, 4 edges.
+  EXPECT_DOUBLE_EQ(GraphDensity(star), 2.0 * 4 / (5 * 4));
+  EXPECT_EQ(MaxDegree(star), 4u);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  Graph g(3);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_EQ(stats.density, 0.0);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,109 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+using testing::CompleteGraph;
+using testing::PathGraph;
+using testing::StarGraph;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_active_nodes(), 0u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(GraphTest, FromEdgesBuildsSymmetricAdjacency) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  Graph g = Graph::FromEdges(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  std::vector<Edge> edges = {{2, 0}, {2, 3}, {2, 1}};
+  Graph g = Graph::FromEdges(4, edges);
+  auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  std::vector<Edge> edges = {{1, 1}, {0, 1}};
+  Graph g = Graph::FromEdges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphTest, ParallelEdgesDeduplicated) {
+  std::vector<Edge> edges = {{0, 1}, {1, 0}, {0, 1}};
+  Graph g = Graph::FromEdges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphTest, ParallelEdgeKeepsSmallestWeight) {
+  std::vector<Edge> edges = {{0, 1, 5.0f}, {0, 1, 2.0f}};
+  Graph g = Graph::FromEdges(2, edges);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(g.weights(0)[0], 2.0f);
+}
+
+TEST(GraphTest, ActiveNodeCountExcludesIsolated) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(10, edges);
+  EXPECT_EQ(g.num_active_nodes(), 2u);
+}
+
+TEST(GraphTest, WeightedFlag) {
+  EXPECT_FALSE(Graph::FromEdges(2, std::vector<Edge>{{0, 1, 1.0f}})
+                   .is_weighted());
+  EXPECT_TRUE(Graph::FromEdges(2, std::vector<Edge>{{0, 1, 2.5f}})
+                  .is_weighted());
+}
+
+TEST(GraphTest, DegreesOfCanonicalGraphs) {
+  Graph path = PathGraph(5);
+  EXPECT_EQ(path.degree(0), 1u);
+  EXPECT_EQ(path.degree(2), 2u);
+  Graph star = StarGraph(6);
+  EXPECT_EQ(star.degree(0), 6u);
+  EXPECT_EQ(star.degree(1), 1u);
+  Graph complete = CompleteGraph(5);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(complete.degree(u), 4u);
+  EXPECT_EQ(complete.num_edges(), 10u);
+}
+
+TEST(GraphTest, ToEdgeListRoundTrips) {
+  std::vector<Edge> edges = {{0, 3}, {1, 2}, {0, 1}};
+  Graph g = Graph::FromEdges(4, edges);
+  auto list = g.ToEdgeList();
+  ASSERT_EQ(list.size(), 3u);
+  // Canonical order: (0,1), (0,3), (1,2).
+  EXPECT_EQ(list[0].u, 0u);
+  EXPECT_EQ(list[0].v, 1u);
+  EXPECT_EQ(list[1].v, 3u);
+  EXPECT_EQ(list[2].u, 1u);
+  Graph rebuilt = Graph::FromEdges(4, list);
+  EXPECT_EQ(rebuilt.num_edges(), g.num_edges());
+}
+
+TEST(GraphDeathTest, OutOfRangeEndpointAborts) {
+  std::vector<Edge> edges = {{0, 7}};
+  EXPECT_DEATH(Graph::FromEdges(3, edges), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,85 @@
+#include "graph/temporal_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TemporalGraph MakeStream() {
+  TemporalGraph g;
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(2, 3, 2);
+  g.AddEdge(0, 3, 3);
+  return g;
+}
+
+TEST(TemporalGraphTest, TracksNodeSpaceAndEvents) {
+  TemporalGraph g = MakeStream();
+  EXPECT_EQ(g.num_events(), 4u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.max_time(), 3u);
+}
+
+TEST(TemporalGraphTest, SnapshotAtTimeFiltersByTimestamp) {
+  TemporalGraph g = MakeStream();
+  Graph g1 = g.SnapshotAtTime(1);
+  EXPECT_EQ(g1.num_edges(), 2u);
+  EXPECT_TRUE(g1.HasEdge(0, 1));
+  EXPECT_FALSE(g1.HasEdge(2, 3));
+  // Node-id space is shared across snapshots.
+  EXPECT_EQ(g1.num_nodes(), 4u);
+  EXPECT_EQ(g1.num_active_nodes(), 3u);
+}
+
+TEST(TemporalGraphTest, SnapshotAtFractionTakesPrefix) {
+  TemporalGraph g = MakeStream();
+  EXPECT_EQ(g.SnapshotAtFraction(0.0).num_edges(), 0u);
+  EXPECT_EQ(g.SnapshotAtFraction(0.5).num_edges(), 2u);
+  EXPECT_EQ(g.SnapshotAtFraction(1.0).num_edges(), 4u);
+}
+
+TEST(TemporalGraphTest, SnapshotsAreMonotone) {
+  TemporalGraph g = MakeStream();
+  Graph g1 = g.SnapshotAtFraction(0.5);
+  Graph g2 = g.SnapshotAtFraction(1.0);
+  for (const Edge& e : g1.ToEdgeList()) {
+    EXPECT_TRUE(g2.HasEdge(e.u, e.v));
+  }
+}
+
+TEST(TemporalGraphTest, EdgesInFractionRange) {
+  TemporalGraph g = MakeStream();
+  auto new_edges = g.EdgesInFractionRange(0.5, 1.0);
+  ASSERT_EQ(new_edges.size(), 2u);
+  EXPECT_EQ(new_edges[0].u, 2u);
+  EXPECT_EQ(new_edges[1].u, 0u);
+  EXPECT_EQ(new_edges[1].v, 3u);
+}
+
+TEST(TemporalGraphTest, ConstructorSortsByTime) {
+  std::vector<TimedEdge> edges = {{2, 3, 5, 1.0f}, {0, 1, 1, 1.0f},
+                                  {1, 2, 3, 1.0f}};
+  TemporalGraph g(std::move(edges));
+  EXPECT_EQ(g.events()[0].time, 1u);
+  EXPECT_EQ(g.events()[2].time, 5u);
+  EXPECT_EQ(g.SnapshotAtTime(3).num_edges(), 2u);
+}
+
+TEST(TemporalGraphTest, StableSortPreservesTiedOrder) {
+  std::vector<TimedEdge> edges = {{0, 1, 2, 1.0f}, {1, 2, 2, 1.0f},
+                                  {2, 3, 2, 1.0f}};
+  TemporalGraph g(std::move(edges));
+  EXPECT_EQ(g.events()[0].u, 0u);
+  EXPECT_EQ(g.events()[1].u, 1u);
+  EXPECT_EQ(g.events()[2].u, 2u);
+}
+
+TEST(TemporalGraphDeathTest, NonMonotoneAppendAborts) {
+  TemporalGraph g;
+  g.AddEdge(0, 1, 5);
+  EXPECT_DEATH(g.AddEdge(1, 2, 4), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

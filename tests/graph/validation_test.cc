@@ -1,0 +1,59 @@
+#include "graph/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/temporal_graph.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(ValidateSnapshotPairTest, AcceptsProperEvolution) {
+  auto scenario = testing::MakePathWithChord(8);
+  EXPECT_TRUE(ValidateSnapshotPair(scenario.g1, scenario.g2).ok());
+}
+
+TEST(ValidateSnapshotPairTest, AcceptsIdenticalSnapshots) {
+  Graph g = testing::CycleGraph(5);
+  EXPECT_TRUE(ValidateSnapshotPair(g, g).ok());
+}
+
+TEST(ValidateSnapshotPairTest, AcceptsGrownIdSpace) {
+  Graph g1 = Graph::FromEdges(3, std::vector<Edge>{{0, 1}});
+  Graph g2 = Graph::FromEdges(5, std::vector<Edge>{{0, 1}, {3, 4}});
+  EXPECT_TRUE(ValidateSnapshotPair(g1, g2).ok());
+}
+
+TEST(ValidateSnapshotPairTest, RejectsDeletedEdge) {
+  Graph g1 = Graph::FromEdges(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  Graph g2 = Graph::FromEdges(3, std::vector<Edge>{{0, 1}});
+  Status status = ValidateSnapshotPair(g1, g2);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("(1,2)"), std::string::npos);
+}
+
+TEST(ValidateSnapshotPairTest, RejectsShrunkIdSpace) {
+  Graph g1 = Graph::FromEdges(5, std::vector<Edge>{{0, 1}});
+  Graph g2 = Graph::FromEdges(3, std::vector<Edge>{{0, 1}});
+  EXPECT_FALSE(ValidateSnapshotPair(g1, g2).ok());
+}
+
+TEST(ValidateTemporalStreamTest, AcceptsWellFormedStream) {
+  TemporalGraph stream;
+  stream.AddEdge(0, 1, 1);
+  stream.AddEdge(1, 2, 1);
+  stream.AddEdge(2, 3, 5);
+  EXPECT_TRUE(ValidateTemporalStream(stream).ok());
+}
+
+TEST(ValidateTemporalStreamTest, RejectsSelfLoop) {
+  // Construct via the sorting constructor (AddEdge would be fine with it;
+  // parsed files are the threat model).
+  TemporalGraph stream(std::vector<TimedEdge>{{2, 2, 1, 1.0f}});
+  Status status = ValidateTemporalStream(stream);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("self-loop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace convpairs

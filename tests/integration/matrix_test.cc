@@ -1,0 +1,83 @@
+// Full policy x dataset matrix at reduced scale: every paper policy runs on
+// every dataset analog, stays within budget, and satisfies the structural
+// invariants (retrieved == coverage, candidates within bounds). This is the
+// cheap canary for cross-module regressions the focused tests might miss.
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/selector_registry.h"
+#include "gen/datasets.h"
+#include "sssp/bfs.h"
+
+namespace convpairs {
+namespace {
+
+struct MatrixCase {
+  const char* dataset;
+  const char* selector;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return std::string(info.param.dataset) + "_" + info.param.selector;
+}
+
+class PolicyDatasetMatrixTest : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  // One runner per dataset, shared across the suite instance.
+  static ExperimentRunner& RunnerFor(const std::string& name) {
+    static std::map<std::string, std::unique_ptr<Dataset>> datasets;
+    static std::map<std::string, std::unique_ptr<ExperimentRunner>> runners;
+    static BfsEngine engine;
+    auto it = runners.find(name);
+    if (it == runners.end()) {
+      datasets[name] =
+          std::make_unique<Dataset>(MakeDataset(name, 0.08, 404).value());
+      runners[name] = std::make_unique<ExperimentRunner>(
+          datasets[name]->g1, datasets[name]->g2, engine);
+      it = runners.find(name);
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(PolicyDatasetMatrixTest, RunsWithinBudgetAndInvariantsHold) {
+  const MatrixCase& test_case = GetParam();
+  ExperimentRunner& runner = RunnerFor(test_case.dataset);
+  auto selector = MakeSelector(test_case.selector).value();
+  RunConfig config;
+  config.budget_m = 30;
+  config.num_landmarks = 6;
+  config.seed = 17;
+  ExperimentResult result = runner.RunSelector(*selector, 1, config);
+  EXPECT_EQ(result.sssp_used, 2 * config.budget_m);
+  EXPECT_LE(result.num_candidates, static_cast<size_t>(config.budget_m));
+  EXPECT_GE(result.coverage, 0.0);
+  EXPECT_LE(result.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(result.retrieved, result.coverage);
+  EXPECT_GE(result.endpoint_hit_rate, 0.0);
+  EXPECT_LE(result.endpoint_hit_rate, 1.0);
+}
+
+std::vector<MatrixCase> AllCases() {
+  std::vector<MatrixCase> cases;
+  static const char* kDatasets[] = {"actors", "internet", "facebook", "dblp"};
+  for (const char* dataset : kDatasets) {
+    for (const std::string& selector : SingleFeatureSelectorNames()) {
+      cases.push_back({dataset, selector.c_str()});
+    }
+    for (const std::string& selector : ExtendedSelectorNames()) {
+      cases.push_back({dataset, selector.c_str()});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairsOfPolicyAndDataset, PolicyDatasetMatrixTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace convpairs

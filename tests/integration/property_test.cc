@@ -1,0 +1,154 @@
+// Cross-module property sweeps on randomized evolving graphs.
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "core/selector_registry.h"
+#include "core/top_k.h"
+#include "cover/coverage.h"
+#include "cover/greedy_cover.h"
+#include "cover/pair_graph.h"
+#include "gen/ba_generator.h"
+#include "gen/er_generator.h"
+#include "gen/forest_fire.h"
+#include "gen/ws_generator.h"
+#include "sssp/bfs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+struct WorkloadCase {
+  const char* name;
+  uint64_t seed;
+  // Builds (g1, g2) snapshots of a random evolving graph.
+  std::pair<Graph, Graph> (*build)(uint64_t seed);
+};
+
+std::pair<Graph, Graph> BuildEr(uint64_t seed) {
+  Rng rng(seed);
+  TemporalGraph tg =
+      GenerateErdosRenyi({.num_nodes = 120, .num_edges = 260}, rng);
+  return {tg.SnapshotAtFraction(0.8), tg.SnapshotAtFraction(1.0)};
+}
+
+std::pair<Graph, Graph> BuildBa(uint64_t seed) {
+  Rng rng(seed);
+  BaParams params;
+  params.num_nodes = 150;
+  params.edges_per_node = 2;
+  params.uniform_mix = 0.3;
+  TemporalGraph tg = GenerateBarabasiAlbert(params, rng);
+  return {tg.SnapshotAtFraction(0.8), tg.SnapshotAtFraction(1.0)};
+}
+
+std::pair<Graph, Graph> BuildWs(uint64_t seed) {
+  Rng rng(seed);
+  WsParams params;
+  params.num_nodes = 150;
+  params.k = 4;
+  params.beta = 0.08;
+  TemporalGraph tg = GenerateWattsStrogatz(params, rng);
+  return {tg.SnapshotAtFraction(0.85), tg.SnapshotAtFraction(1.0)};
+}
+
+std::pair<Graph, Graph> BuildForestFire(uint64_t seed) {
+  Rng rng(seed);
+  ForestFireParams params;
+  params.num_nodes = 150;
+  params.burn_probability = 0.35;
+  TemporalGraph tg = GenerateForestFire(params, rng);
+  return {tg.SnapshotAtFraction(0.8), tg.SnapshotAtFraction(1.0)};
+}
+
+class PipelinePropertyTest : public ::testing::TestWithParam<WorkloadCase> {};
+
+// Property: distance monotonicity under insertions — Delta >= 0 everywhere
+// (the ground-truth engine CHECKs this internally; completing without an
+// abort is the assertion), and every reported top pair's delta is
+// consistent with independently recomputed BFS distances.
+TEST_P(PipelinePropertyTest, GroundTruthDeltasAreConsistent) {
+  auto [g1, g2] = GetParam().build(GetParam().seed);
+  BfsEngine engine;
+  GroundTruth gt = ComputeGroundTruth(g1, g2, engine, 2);
+  if (gt.max_delta() < 1) GTEST_SKIP() << "no convergence in this draw";
+  for (const ConvergingPair& p : gt.PairsAtLeast(gt.DeltaThreshold(1))) {
+    auto d1 = BfsDistances(g1, p.u);
+    auto d2 = BfsDistances(g2, p.u);
+    EXPECT_EQ(p.delta, d1[p.v] - d2[p.v]);
+    EXPECT_GE(p.delta, 1);
+  }
+}
+
+// Property: for every policy, the top-k result contains exactly the true
+// pairs covered by its candidate set (no covered true pair is ever lost to
+// a filler).
+TEST_P(PipelinePropertyTest, CoveredTruePairsAreAlwaysRetrieved) {
+  auto [g1, g2] = GetParam().build(GetParam().seed);
+  BfsEngine engine;
+  GroundTruth gt = ComputeGroundTruth(g1, g2, engine, 2);
+  if (gt.max_delta() < 1) GTEST_SKIP() << "no convergence in this draw";
+  Dist threshold = gt.DeltaThreshold(1);
+  PairGraph pair_graph(gt.PairsAtLeast(threshold));
+  int k = static_cast<int>(pair_graph.num_pairs());
+
+  for (const char* name : {"MMSD", "MaxAvg", "SumDiff", "DegDiff"}) {
+    auto selector = MakeSelector(name).value();
+    TopKOptions options;
+    options.k = k;
+    options.budget_m = 25;
+    options.num_landmarks = 5;
+    options.seed = GetParam().seed;
+    TopKResult result =
+        FindTopKConvergingPairs(g1, g2, engine, *selector, options);
+    uint64_t covered = CoveredPairCount(pair_graph, result.candidates);
+    uint64_t retrieved = 0;
+    for (const ConvergingPair& p : result.pairs) {
+      if (p.delta >= threshold) ++retrieved;
+    }
+    EXPECT_EQ(retrieved, covered) << name;
+  }
+}
+
+// Property: the greedy cover of the pair graph, used as a candidate set of
+// the same size, retrieves 100% of the true pairs (Section 3's cover
+// argument), and no same-size candidate set can beat it by the greedy
+// guarantee's margin going the other way (we check only validity + 100%).
+TEST_P(PipelinePropertyTest, GreedyCoverIsAPerfectCandidateSet) {
+  auto [g1, g2] = GetParam().build(GetParam().seed);
+  BfsEngine engine;
+  GroundTruth gt = ComputeGroundTruth(g1, g2, engine, 2);
+  if (gt.max_delta() < 1) GTEST_SKIP() << "no convergence in this draw";
+  PairGraph pair_graph(gt.PairsAtLeast(gt.DeltaThreshold(1)));
+  CoverResult cover = GreedyVertexCover(pair_graph);
+  EXPECT_TRUE(IsVertexCover(pair_graph, cover.nodes));
+  EXPECT_DOUBLE_EQ(CoverageFraction(pair_graph, cover.nodes), 1.0);
+
+  CandidateSet candidates;
+  candidates.nodes = cover.nodes;
+  TopKResult result =
+      ExtractTopKPairs(g1, g2, engine, candidates,
+                       static_cast<int>(pair_graph.num_pairs()), nullptr);
+  uint64_t true_retrieved = 0;
+  for (const ConvergingPair& p : result.pairs) {
+    if (p.delta >= gt.DeltaThreshold(1)) ++true_retrieved;
+  }
+  EXPECT_EQ(true_retrieved, pair_graph.num_pairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PipelinePropertyTest,
+    ::testing::Values(WorkloadCase{"er_a", 1001, BuildEr},
+                      WorkloadCase{"er_b", 1002, BuildEr},
+                      WorkloadCase{"ba_a", 2001, BuildBa},
+                      WorkloadCase{"ba_b", 2002, BuildBa},
+                      WorkloadCase{"ws_a", 3001, BuildWs},
+                      WorkloadCase{"ws_b", 3002, BuildWs},
+                      WorkloadCase{"ff_a", 4003, BuildForestFire},
+                      WorkloadCase{"ff_b", 4007, BuildForestFire}),
+    [](const ::testing::TestParamInfo<WorkloadCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace convpairs

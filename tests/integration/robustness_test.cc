@@ -1,0 +1,100 @@
+// Robustness sweeps: external inputs (text edge lists, binary payloads,
+// serialized models) must fail with Status on ANY malformed input — never
+// crash, never abort. These are deterministic fuzz-ish tests: random byte
+// strings, random truncations, and random single-byte corruptions of valid
+// payloads.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/selectors/classifier_selector.h"
+#include "graph/binary_io.h"
+#include "graph/graph_io.h"
+#include "ml/logistic_regression.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t length) {
+  std::string bytes(length, '\0');
+  for (char& ch : bytes) {
+    ch = static_cast<char>(rng.UniformInt(256));
+  }
+  return bytes;
+}
+
+std::string RandomPrintable(Rng& rng, size_t length) {
+  std::string text(length, ' ');
+  const std::string alphabet = "0123456789 .-#\n\tabcxyz";
+  for (char& ch : text) {
+    ch = alphabet[rng.UniformInt(alphabet.size())];
+  }
+  return text;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, TextParsersNeverCrash) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string text = RandomPrintable(rng, rng.UniformInt(200));
+    // Must return (either ok for accidentally valid input, or an error) —
+    // the assertion is simply that we get here without a crash/abort.
+    auto graph = ParseEdgeList(text);
+    auto temporal = ParseTemporalEdgeList(text);
+    if (graph.ok()) {
+      EXPECT_GE(graph->num_nodes(), 0u);
+    }
+    if (temporal.ok()) {
+      EXPECT_GE(temporal->num_events(), 0u);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, BinaryReadersNeverCrash) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string bytes = RandomBytes(rng, rng.UniformInt(160));
+    auto graph = DeserializeGraph(bytes);
+    auto temporal = DeserializeTemporalGraph(bytes);
+    // Random bytes essentially never form a valid payload (magic check).
+    EXPECT_FALSE(graph.ok());
+    EXPECT_FALSE(temporal.ok());
+  }
+}
+
+TEST_P(ParserFuzzTest, CorruptedBinaryPayloadsFailCleanly) {
+  Rng rng(GetParam());
+  std::string valid = SerializeGraph(testing::CycleGraph(12));
+  for (int i = 0; i < 300; ++i) {
+    std::string corrupted = valid;
+    size_t pos = rng.UniformInt(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.UniformInt(256));
+    auto result = DeserializeGraph(corrupted);
+    if (result.ok()) {
+      // A lucky corruption (e.g. weight byte) may still parse; the graph
+      // must then be structurally sound.
+      EXPECT_LE(result->num_edges(), 200u);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, ModelDeserializersNeverCrash) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string text = RandomPrintable(rng, rng.UniformInt(120));
+    auto lr = LogisticRegression::Deserialize(text);
+    auto classifier = ConvergenceClassifier::Deserialize(text);
+    EXPECT_FALSE(classifier.ok());  // Header makes accidental validity nil.
+    (void)lr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(9001, 9002, 9003));
+
+}  // namespace
+}  // namespace convpairs

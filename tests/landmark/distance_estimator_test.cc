@@ -1,0 +1,102 @@
+#include "landmark/distance_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(LandmarkDistanceEstimatorTest, ExactWhenLandmarkOnPath) {
+  Graph g = testing::PathGraph(9);
+  BfsEngine engine;
+  std::vector<NodeId> landmarks = {4};  // Middle of the path.
+  auto estimator =
+      LandmarkDistanceEstimator::Build(g, landmarks, engine, nullptr);
+  // Landmark lies on the shortest path 0..8: upper bound is exact.
+  EXPECT_EQ(estimator.UpperBound(0, 8), 8);
+  EXPECT_EQ(estimator.LowerBound(0, 8), 0);  // |4-4| = 0: weak lower bound.
+  // Same-side pair: lower bound is exact.
+  EXPECT_EQ(estimator.LowerBound(0, 3), 3);
+}
+
+TEST(LandmarkDistanceEstimatorTest, SelfDistanceIsZero) {
+  Graph g = testing::CycleGraph(6);
+  BfsEngine engine;
+  std::vector<NodeId> landmarks = {0};
+  auto estimator =
+      LandmarkDistanceEstimator::Build(g, landmarks, engine, nullptr);
+  EXPECT_EQ(estimator.LowerBound(3, 3), 0);
+  EXPECT_EQ(estimator.UpperBound(3, 3), 0);
+  EXPECT_EQ(estimator.Estimate(3, 3), 0);
+}
+
+TEST(LandmarkDistanceEstimatorTest, DisconnectedDetection) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}};
+  Graph g = Graph::FromEdges(4, edges);
+  BfsEngine engine;
+  std::vector<NodeId> landmarks = {0};
+  auto estimator =
+      LandmarkDistanceEstimator::Build(g, landmarks, engine, nullptr);
+  EXPECT_FALSE(IsReachable(estimator.LowerBound(1, 2)));
+  EXPECT_FALSE(IsReachable(estimator.UpperBound(1, 2)));
+  EXPECT_FALSE(IsReachable(estimator.Estimate(1, 2)));
+}
+
+TEST(LandmarkDistanceEstimatorTest, ChargesBudget) {
+  Graph g = testing::CycleGraph(12);
+  BfsEngine engine;
+  SsspBudget budget(3);
+  std::vector<NodeId> landmarks = {0, 4, 8};
+  auto estimator =
+      LandmarkDistanceEstimator::Build(g, landmarks, engine, &budget);
+  EXPECT_EQ(budget.used(), 3);
+  EXPECT_EQ(estimator.num_landmarks(), 3u);
+}
+
+// Property sweep: bounds always bracket the true distance, and more
+// landmarks never loosen them.
+class EstimatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EstimatorPropertyTest, BoundsBracketTruth) {
+  Rng rng(GetParam());
+  BaParams params;
+  params.num_nodes = 120;
+  params.edges_per_node = 2;
+  params.uniform_mix = 0.3;
+  Graph g = GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+  BfsEngine engine;
+
+  std::vector<NodeId> few = {static_cast<NodeId>(rng.UniformInt(120)),
+                             static_cast<NodeId>(rng.UniformInt(120))};
+  std::vector<NodeId> many = few;
+  many.push_back(static_cast<NodeId>(rng.UniformInt(120)));
+  many.push_back(static_cast<NodeId>(rng.UniformInt(120)));
+  auto sparse = LandmarkDistanceEstimator::Build(g, few, engine, nullptr);
+  auto dense = LandmarkDistanceEstimator::Build(g, many, engine, nullptr);
+
+  for (NodeId u = 0; u < 120; u += 7) {
+    auto dist = BfsDistances(g, u);
+    for (NodeId v = 0; v < 120; v += 11) {
+      if (u == v || !IsReachable(dist[v])) continue;
+      EXPECT_LE(sparse.LowerBound(u, v), dist[v]);
+      EXPECT_GE(sparse.UpperBound(u, v), dist[v]);
+      // Monotone improvement with more landmarks.
+      EXPECT_GE(dense.LowerBound(u, v), sparse.LowerBound(u, v));
+      EXPECT_LE(dense.UpperBound(u, v), sparse.UpperBound(u, v));
+      // Estimate lies within the bounds.
+      Dist estimate = dense.Estimate(u, v);
+      EXPECT_GE(estimate, dense.LowerBound(u, v));
+      EXPECT_LE(estimate, dense.UpperBound(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorPropertyTest,
+                         ::testing::Values(71, 72, 73, 74));
+
+}  // namespace
+}  // namespace convpairs

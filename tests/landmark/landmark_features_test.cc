@@ -1,0 +1,86 @@
+#include "landmark/landmark_features.h"
+
+#include <gtest/gtest.h>
+
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+// G1: path 0..5. G2: adds chord {0,5}.
+struct Snapshots {
+  Graph g1;
+  Graph g2;
+};
+
+Snapshots MakeSnapshots() {
+  auto scenario = testing::MakePathWithChord(6);
+  return {scenario.g1, scenario.g2};
+}
+
+DistanceMatrix RowsFor(const Graph& g, const std::vector<NodeId>& sources) {
+  BfsEngine engine;
+  return DistanceMatrix::Build(g, sources, engine, nullptr);
+}
+
+TEST(LandmarkChangeNormsTest, SingleLandmarkNormsEqualChange) {
+  Snapshots s = MakeSnapshots();
+  std::vector<NodeId> landmarks = {0};
+  auto norms = ComputeLandmarkChangeNorms(RowsFor(s.g1, landmarks),
+                                          RowsFor(s.g2, landmarks));
+  // d1(0,5)=5, d2(0,5)=1 -> change 4 at node 5.
+  EXPECT_DOUBLE_EQ(norms.l1[5], 4.0);
+  EXPECT_DOUBLE_EQ(norms.linf[5], 4.0);
+  // d1(0,4)=4, d2(0,4)=min(4, 1+1)=2 -> change 2.
+  EXPECT_DOUBLE_EQ(norms.l1[4], 2.0);
+  // Node 1 did not move relative to landmark 0.
+  EXPECT_DOUBLE_EQ(norms.l1[1], 0.0);
+}
+
+TEST(LandmarkChangeNormsTest, L1IsSumLinfIsMax) {
+  Snapshots s = MakeSnapshots();
+  std::vector<NodeId> landmarks = {0, 1};
+  auto norms = ComputeLandmarkChangeNorms(RowsFor(s.g1, landmarks),
+                                          RowsFor(s.g2, landmarks));
+  // Node 5: change vs 0 is 4; change vs 1 is d1=4, d2=min(4, 1+1... path
+  // 1-0-5) = 2 -> 2. L1 = 6, Linf = 4.
+  EXPECT_DOUBLE_EQ(norms.l1[5], 6.0);
+  EXPECT_DOUBLE_EQ(norms.linf[5], 4.0);
+}
+
+TEST(LandmarkChangeNormsTest, BecomingConnectedContributesNothing) {
+  // G1: two components {0,1}, {2,3}; G2 joins them. Nodes 2 and 3 became
+  // reachable from landmark 0, but a pair disconnected in G1 can never be
+  // a converging pair, so the change must be ignored.
+  Graph g1 = Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  Graph g2 =
+      Graph::FromEdges(4, std::vector<Edge>{{0, 1}, {2, 3}, {1, 2}});
+  std::vector<NodeId> landmarks = {0};
+  auto norms = ComputeLandmarkChangeNorms(RowsFor(g1, landmarks),
+                                          RowsFor(g2, landmarks));
+  EXPECT_DOUBLE_EQ(norms.l1[2], 0.0);
+  EXPECT_DOUBLE_EQ(norms.l1[3], 0.0);
+  EXPECT_DOUBLE_EQ(norms.linf[2], 0.0);
+}
+
+TEST(LandmarkChangeNormsTest, NoChangeWhenSnapshotsEqual) {
+  Graph g = testing::CycleGraph(8);
+  std::vector<NodeId> landmarks = {0, 3, 5};
+  auto norms =
+      ComputeLandmarkChangeNorms(RowsFor(g, landmarks), RowsFor(g, landmarks));
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_DOUBLE_EQ(norms.l1[u], 0.0);
+    EXPECT_DOUBLE_EQ(norms.linf[u], 0.0);
+  }
+}
+
+TEST(LandmarkChangeNormsDeathTest, MismatchedSourcesAbort) {
+  Snapshots s = MakeSnapshots();
+  auto dl1 = RowsFor(s.g1, {0});
+  auto dl2 = RowsFor(s.g2, {1});
+  EXPECT_DEATH(ComputeLandmarkChangeNorms(dl1, dl2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,174 @@
+#include "landmark/landmark_selector.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(LandmarkPolicyNameTest, Names) {
+  EXPECT_STREQ(LandmarkPolicyName(LandmarkPolicy::kRandom), "random");
+  EXPECT_STREQ(LandmarkPolicyName(LandmarkPolicy::kMaxMin), "maxmin");
+  EXPECT_STREQ(LandmarkPolicyName(LandmarkPolicy::kMaxAvg), "maxavg");
+}
+
+TEST(RandomLandmarksTest, FreeOfSsspCost) {
+  Graph g = testing::PathGraph(20);
+  Rng rng(1);
+  BfsEngine engine;
+  SsspBudget budget(0);  // Any SSSP would abort.
+  LandmarkSelection selection =
+      SelectLandmarks(g, LandmarkPolicy::kRandom, 5, rng, engine, &budget);
+  EXPECT_EQ(selection.landmarks.size(), 5u);
+  EXPECT_EQ(budget.used(), 0);
+  EXPECT_EQ(selection.g1_rows.sources().size(), 0u);
+}
+
+TEST(RandomLandmarksTest, DistinctActiveNodes) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}};
+  Graph g = Graph::FromEdges(10, edges);  // Nodes 4..9 are isolated.
+  Rng rng(2);
+  BfsEngine engine;
+  LandmarkSelection selection =
+      SelectLandmarks(g, LandmarkPolicy::kRandom, 4, rng, engine, nullptr);
+  std::set<NodeId> unique(selection.landmarks.begin(),
+                          selection.landmarks.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (NodeId u : selection.landmarks) EXPECT_LE(u, 3u);
+}
+
+TEST(DispersionLandmarksTest, ChargesOneSsspPerLandmark) {
+  Graph g = testing::CycleGraph(30);
+  Rng rng(3);
+  BfsEngine engine;
+  SsspBudget budget(6);
+  LandmarkSelection selection =
+      SelectLandmarks(g, LandmarkPolicy::kMaxMin, 6, rng, engine, &budget);
+  EXPECT_EQ(selection.landmarks.size(), 6u);
+  EXPECT_EQ(budget.used(), 6);
+  EXPECT_EQ(selection.g1_rows.sources().size(), 6u);
+}
+
+TEST(DispersionLandmarksTest, RowsMatchBfs) {
+  Graph g = testing::CycleGraph(20);
+  Rng rng(4);
+  BfsEngine engine;
+  LandmarkSelection selection =
+      SelectLandmarks(g, LandmarkPolicy::kMaxAvg, 3, rng, engine, nullptr);
+  for (size_t i = 0; i < selection.landmarks.size(); ++i) {
+    EXPECT_EQ(selection.g1_rows.sources()[i], selection.landmarks[i]);
+    auto expected = BfsDistances(g, selection.landmarks[i]);
+    auto row = selection.g1_rows.row(i);
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expected.begin()));
+  }
+}
+
+TEST(MaxMinTest, SecondLandmarkOnPathIsOppositeEnd) {
+  // On a path, whatever the first landmark is, the second MaxMin landmark
+  // must be the farthest node from it (one of the two endpoints).
+  Graph g = testing::PathGraph(21);
+  Rng rng(5);
+  BfsEngine engine;
+  LandmarkSelection selection =
+      SelectLandmarks(g, LandmarkPolicy::kMaxMin, 2, rng, engine, nullptr);
+  ASSERT_EQ(selection.landmarks.size(), 2u);
+  NodeId first = selection.landmarks[0];
+  NodeId second = selection.landmarks[1];
+  auto dist = BfsDistances(g, first);
+  Dist max_dist = *std::max_element(dist.begin(), dist.end());
+  EXPECT_EQ(dist[second], max_dist);
+}
+
+TEST(MaxMinTest, DispersionStaysInLargestComponent) {
+  // Converging pairs need G_t1 connectivity, so dispersion landmarks are
+  // drawn from the giant component only: a path of 5 plus an edge fragment.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {5, 6}};
+  Graph g = Graph::FromEdges(7, edges);
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    Rng rng(seed);
+    BfsEngine engine;
+    LandmarkSelection selection =
+        SelectLandmarks(g, LandmarkPolicy::kMaxMin, 3, rng, engine, nullptr);
+    ASSERT_EQ(selection.landmarks.size(), 3u);
+    for (NodeId landmark : selection.landmarks) {
+      EXPECT_LE(landmark, 4u) << "landmark left the giant component";
+    }
+  }
+}
+
+TEST(GreedyDispersionTest, WholeGraphSemanticsCoverComponents) {
+  // The raw GreedyDispersion entry point keeps the classic k-center
+  // behaviour: with unreachable clamped high, the second pick jumps to the
+  // uncovered component.
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}, {4, 5}};
+  Graph g = Graph::FromEdges(6, edges);
+  BfsEngine engine;
+  std::vector<NodeId> eligible = {0, 1, 2, 3, 4, 5};
+  std::vector<Dist> row;
+  auto landmarks = GreedyDispersion(
+      g, /*maximize_minimum=*/true, 2, /*first=*/0, eligible,
+      [&](NodeId src) -> const std::vector<Dist>& {
+        BfsDistances(g, src, &row);
+        return row;
+      },
+      static_cast<Dist>(g.num_nodes()));
+  ASSERT_EQ(landmarks.size(), 2u);
+  EXPECT_EQ(landmarks[0], 0u);
+  EXPECT_GE(landmarks[1], 3u);  // Jumped to the other component.
+}
+
+TEST(MaxAvgTest, PrefersPeripheryOnStar) {
+  // On a star, leaves have higher average distance than the center; after
+  // a few picks the center should still not be selected.
+  Graph g = testing::StarGraph(12);
+  Rng rng(7);
+  BfsEngine engine;
+  LandmarkSelection selection =
+      SelectLandmarks(g, LandmarkPolicy::kMaxAvg, 5, rng, engine, nullptr);
+  int center_picks = 0;
+  for (size_t i = 1; i < selection.landmarks.size(); ++i) {
+    if (selection.landmarks[i] == 0) ++center_picks;
+  }
+  EXPECT_EQ(center_picks, 0);
+}
+
+TEST(HighDegreeLandmarksTest, PicksTopDegreeWithoutSssp) {
+  Graph g = testing::StarGraph(8);  // Hub 0 has degree 8.
+  Rng rng(4);
+  BfsEngine engine;
+  SsspBudget budget(0);  // Selection must be SSSP-free.
+  LandmarkSelection selection = SelectLandmarks(
+      g, LandmarkPolicy::kHighDegree, 3, rng, engine, &budget);
+  ASSERT_EQ(selection.landmarks.size(), 3u);
+  EXPECT_EQ(selection.landmarks[0], 0u);        // Hub first.
+  EXPECT_EQ(selection.landmarks[1], 1u);        // Degree-1 ties by id.
+  EXPECT_EQ(selection.landmarks[2], 2u);
+  EXPECT_EQ(budget.used(), 0);
+  EXPECT_EQ(selection.g1_rows.sources().size(), 0u);
+}
+
+TEST(SelectLandmarksTest, CountClampedToActiveNodes) {
+  Graph g = testing::PathGraph(4);
+  Rng rng(8);
+  BfsEngine engine;
+  LandmarkSelection selection =
+      SelectLandmarks(g, LandmarkPolicy::kMaxMin, 100, rng, engine, nullptr);
+  EXPECT_EQ(selection.landmarks.size(), 4u);
+}
+
+TEST(SelectLandmarksTest, EmptyGraphYieldsNothing) {
+  Graph g(5);
+  Rng rng(9);
+  BfsEngine engine;
+  LandmarkSelection selection =
+      SelectLandmarks(g, LandmarkPolicy::kMaxAvg, 3, rng, engine, nullptr);
+  EXPECT_TRUE(selection.landmarks.empty());
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,117 @@
+#include "ml/boosted_stumps.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(BoostedStumpsTest, LearnsThresholdRule) {
+  // y = 1 iff x > 0.3 — a single stump suffices.
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble();
+    features.push_back(x);
+    labels.push_back(x > 0.3 ? 1 : 0);
+  }
+  BoostedStumps model;
+  ASSERT_TRUE(model.Fit(features, 1, labels).ok());
+  EXPECT_GT(model.PredictProbability(std::vector<double>{0.9}), 0.5);
+  EXPECT_LT(model.PredictProbability(std::vector<double>{0.1}), 0.5);
+}
+
+TEST(BoostedStumpsTest, LearnsNonLinearBand) {
+  // Band: y = 1 iff 0.3 < x < 0.7. Not linearly separable in x, but an
+  // additive combination of two stumps (x > 0.3, x < 0.7) represents it —
+  // the kind of non-linearity boosting adds over logistic regression.
+  // (XOR, by contrast, is a product of stump votes and NOT representable
+  // by any weighted stump sum.)
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(2);
+  for (int i = 0; i < 600; ++i) {
+    double x = rng.UniformDouble();
+    features.push_back(x);
+    labels.push_back((x > 0.3 && x < 0.7) ? 1 : 0);
+  }
+  BoostedStumps model;
+  BoostedStumpsOptions options;
+  options.num_rounds = 200;
+  ASSERT_TRUE(model.Fit(features, 1, labels, options).ok());
+  auto probs = model.PredictProbabilities(features, 1);
+  EXPECT_GT(RocAuc(probs, labels), 0.95);
+  // A linear model cannot beat ~0.5 AUC on a symmetric band.
+  LogisticRegression linear;
+  ASSERT_TRUE(linear.Fit(features, 1, labels).ok());
+  EXPECT_LT(RocAuc(linear.PredictProbabilities(features, 1), labels), 0.7);
+}
+
+TEST(BoostedStumpsTest, RankingBeatsChanceOnNoisyData) {
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    double signal = rng.UniformDouble();
+    double noise = rng.UniformDouble();
+    features.insert(features.end(), {signal, noise});
+    labels.push_back(rng.UniformDouble() < signal ? 1 : 0);
+  }
+  BoostedStumps model;
+  ASSERT_TRUE(model.Fit(features, 2, labels).ok());
+  auto probs = model.PredictProbabilities(features, 2);
+  EXPECT_GT(RocAuc(probs, labels), 0.65);
+}
+
+TEST(BoostedStumpsTest, StopsEarlyOnPerfectStump) {
+  std::vector<double> features = {0.0, 0.1, 0.9, 1.0};
+  std::vector<int> labels = {0, 0, 1, 1};
+  BoostedStumps model;
+  BoostedStumpsOptions options;
+  options.num_rounds = 100;
+  ASSERT_TRUE(model.Fit(features, 1, labels, options).ok());
+  EXPECT_LT(model.stumps().size(), 5u);  // One perfect stump and done.
+  EXPECT_DOUBLE_EQ(
+      Accuracy(model.PredictProbabilities(features, 1), labels), 1.0);
+}
+
+TEST(BoostedStumpsTest, RejectsBadInput) {
+  BoostedStumps model;
+  EXPECT_FALSE(model.Fit({1.0, 2.0}, 1, {1, 1}).ok());   // Single class.
+  EXPECT_FALSE(model.Fit({1.0}, 1, {0, 1}).ok());        // Shape mismatch.
+  EXPECT_FALSE(model.Fit({1.0, 2.0}, 1, {0, 2}).ok());   // Bad label.
+  EXPECT_FALSE(model.Fit({}, 0, {}).ok());               // Zero features.
+}
+
+TEST(BoostedStumpsTest, UnfittedPredictAborts) {
+  BoostedStumps model;
+  EXPECT_FALSE(model.fitted());
+  EXPECT_DEATH(model.PredictScore(std::vector<double>{1.0}), "CHECK failed");
+}
+
+TEST(BoostedStumpsTest, ScoreAndProbabilityAgreeInRank) {
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.UniformDouble();
+    features.push_back(x);
+    labels.push_back(x > 0.5 ? 1 : 0);
+  }
+  BoostedStumps model;
+  ASSERT_TRUE(model.Fit(features, 1, labels).ok());
+  double score_low = model.PredictScore(std::vector<double>{0.2});
+  double score_high = model.PredictScore(std::vector<double>{0.8});
+  EXPECT_LT(score_low, score_high);
+  EXPECT_LT(model.PredictProbability(std::vector<double>{0.2}),
+            model.PredictProbability(std::vector<double>{0.8}));
+}
+
+}  // namespace
+}  // namespace convpairs

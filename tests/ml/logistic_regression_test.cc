@@ -1,0 +1,158 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-12);
+}
+
+TEST(SigmoidTest, ExtremeInputsAreStable) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Sigmoid(-1e308)));
+}
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  // y = 1 iff x > 0.
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble() * 2.0 - 1.0;
+    features.push_back(x);
+    labels.push_back(x > 0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(features, 1, labels).ok());
+  EXPECT_GT(model.PredictProbability(std::vector<double>{0.8}), 0.8);
+  EXPECT_LT(model.PredictProbability(std::vector<double>{-0.8}), 0.2);
+}
+
+TEST(LogisticRegressionTest, TwoFeaturePlane) {
+  // y = 1 iff x0 + x1 > 0; feature 2 is noise.
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.UniformDouble() * 2 - 1;
+    double b = rng.UniformDouble() * 2 - 1;
+    double noise = rng.UniformDouble() * 2 - 1;
+    features.insert(features.end(), {a, b, noise});
+    labels.push_back(a + b > 0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(features, 3, labels).ok());
+  // Informative weights dominate the noise weight.
+  EXPECT_GT(std::abs(model.weights()[0]), 2 * std::abs(model.weights()[2]));
+  EXPECT_GT(std::abs(model.weights()[1]), 2 * std::abs(model.weights()[2]));
+}
+
+TEST(LogisticRegressionTest, ClassWeightingShiftsMinorityRecall) {
+  // 95% negatives at x=-0.1, 5% positives at x=+0.9 with overlap.
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    bool positive = i % 20 == 0;
+    double x = (positive ? 0.6 : -0.2) + (rng.UniformDouble() - 0.5) * 0.6;
+    features.push_back(x);
+    labels.push_back(positive ? 1 : 0);
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(features, 1, labels).ok());  // Auto-balanced.
+  // With balancing, a clearly positive point must score above 0.5.
+  EXPECT_GT(model.PredictProbability(std::vector<double>{0.6}), 0.5);
+}
+
+TEST(LogisticRegressionTest, ProbabilityRankingIsMonotoneInScore) {
+  std::vector<double> features = {-1.0, -0.5, 0.0, 0.5, 1.0,
+                                  -0.9, -0.4, 0.1, 0.6, 0.9};
+  std::vector<int> labels = {0, 0, 0, 1, 1, 0, 0, 1, 1, 1};
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(features, 1, labels).ok());
+  auto probs = model.PredictProbabilities({-1.0, 0.0, 1.0}, 1);
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+}
+
+TEST(LogisticRegressionTest, RejectsSingleClass) {
+  std::vector<double> features = {1.0, 2.0};
+  std::vector<int> labels = {1, 1};
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(features, 1, labels).ok());
+}
+
+TEST(LogisticRegressionTest, RejectsShapeMismatch) {
+  std::vector<double> features = {1.0, 2.0, 3.0};
+  std::vector<int> labels = {0, 1};
+  LogisticRegression model;
+  EXPECT_EQ(model.Fit(features, 2, labels).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LogisticRegressionTest, RejectsBadLabels) {
+  std::vector<double> features = {1.0, 2.0};
+  std::vector<int> labels = {0, 2};
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(features, 1, labels).ok());
+}
+
+TEST(LogisticRegressionTest, UnfittedPredictAborts) {
+  LogisticRegression model;
+  EXPECT_FALSE(model.fitted());
+  EXPECT_DEATH(model.PredictProbability(std::vector<double>{1.0}),
+               "CHECK failed");
+}
+
+TEST(LogisticRegressionTest, SerializationRoundTripsExactly) {
+  std::vector<double> features = {-1.0, -0.5, 0.5, 1.0};
+  std::vector<int> labels = {0, 0, 1, 1};
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(features, 1, labels).ok());
+  auto restored = LogisticRegression::Deserialize(model.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->weights(), model.weights());
+  EXPECT_EQ(restored->bias(), model.bias());
+  EXPECT_EQ(restored->PredictProbability(std::vector<double>{0.3}),
+            model.PredictProbability(std::vector<double>{0.3}));
+}
+
+TEST(LogisticRegressionTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(LogisticRegression::Deserialize("").ok());
+  EXPECT_FALSE(LogisticRegression::Deserialize("notamodel 3\n1 2 3 4\n").ok());
+  EXPECT_FALSE(LogisticRegression::Deserialize("logreg 3\n1 2\n").ok());
+  EXPECT_FALSE(LogisticRegression::Deserialize("logreg 0\n\n").ok());
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeights) {
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.UniformDouble() * 2 - 1;
+    features.push_back(x);
+    labels.push_back(x > 0 ? 1 : 0);
+  }
+  LogisticRegressionOptions weak;
+  weak.l2 = 1e-6;
+  LogisticRegressionOptions strong;
+  strong.l2 = 1.0;
+  LogisticRegression weak_model;
+  LogisticRegression strong_model;
+  ASSERT_TRUE(weak_model.Fit(features, 1, labels, weak).ok());
+  ASSERT_TRUE(strong_model.Fit(features, 1, labels, strong).ok());
+  EXPECT_LT(std::abs(strong_model.weights()[0]),
+            std::abs(weak_model.weights()[0]));
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,70 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(AccuracyTest, PerfectAndWorst) {
+  std::vector<double> probs = {0.9, 0.1, 0.8, 0.2};
+  std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(probs, labels), 1.0);
+  std::vector<int> inverted = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(probs, inverted), 0.0);
+}
+
+TEST(AccuracyTest, ThresholdMatters) {
+  std::vector<double> probs = {0.4};
+  std::vector<int> labels = {1};
+  EXPECT_DOUBLE_EQ(Accuracy(probs, labels, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy(probs, labels, 0.3), 1.0);
+}
+
+TEST(RocAucTest, PerfectRankingIsOne) {
+  std::vector<double> probs = {0.1, 0.2, 0.8, 0.9};
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(probs, labels), 1.0);
+}
+
+TEST(RocAucTest, InvertedRankingIsZero) {
+  std::vector<double> probs = {0.9, 0.8, 0.2, 0.1};
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(probs, labels), 0.0);
+}
+
+TEST(RocAucTest, AllTiedIsHalf) {
+  std::vector<double> probs = {0.5, 0.5, 0.5, 0.5};
+  std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(probs, labels), 0.5);
+}
+
+TEST(RocAucTest, SingleClassIsHalf) {
+  std::vector<double> probs = {0.2, 0.7};
+  std::vector<int> labels = {1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(probs, labels), 0.5);
+}
+
+TEST(RocAucTest, PartialOverlap) {
+  // One inversion among 2x2 -> AUC = 3/4.
+  std::vector<double> probs = {0.6, 0.2, 0.5, 0.9};
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(probs, labels), 0.75);
+}
+
+TEST(PrecisionAtKTest, TopHeavyRanking) {
+  std::vector<double> probs = {0.9, 0.8, 0.7, 0.1};
+  std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(probs, labels, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(probs, labels, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(probs, labels, 3), 2.0 / 3.0);
+}
+
+TEST(PrecisionAtKTest, KClampedAndZero) {
+  std::vector<double> probs = {0.9};
+  std::vector<int> labels = {1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(probs, labels, 100), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(probs, labels, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,61 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(MinMaxScalerTest, MapsToMinusOneOne) {
+  std::vector<double> data = {0.0, 10.0, 5.0};  // One column.
+  MinMaxScaler scaler;
+  scaler.FitTransform(&data, 1);
+  EXPECT_DOUBLE_EQ(data[0], -1.0);
+  EXPECT_DOUBLE_EQ(data[1], 1.0);
+  EXPECT_DOUBLE_EQ(data[2], 0.0);
+}
+
+TEST(MinMaxScalerTest, PerColumnIndependence) {
+  // Two columns with very different ranges.
+  std::vector<double> data = {0.0, 100.0, 4.0, 200.0};  // rows: (0,100),(4,200)
+  MinMaxScaler scaler;
+  scaler.FitTransform(&data, 2);
+  EXPECT_DOUBLE_EQ(data[0], -1.0);
+  EXPECT_DOUBLE_EQ(data[1], -1.0);
+  EXPECT_DOUBLE_EQ(data[2], 1.0);
+  EXPECT_DOUBLE_EQ(data[3], 1.0);
+}
+
+TEST(MinMaxScalerTest, ConstantColumnMapsToZero) {
+  std::vector<double> data = {7.0, 7.0, 7.0};
+  MinMaxScaler scaler;
+  scaler.FitTransform(&data, 1);
+  for (double v : data) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MinMaxScalerTest, TransformUsesFittedRange) {
+  std::vector<double> train = {0.0, 10.0};
+  MinMaxScaler scaler;
+  scaler.Fit(train, 1);
+  std::vector<double> test = {5.0, 20.0};  // 20 extrapolates beyond 1.
+  scaler.Transform(&test);
+  EXPECT_DOUBLE_EQ(test[0], 0.0);
+  EXPECT_DOUBLE_EQ(test[1], 3.0);
+}
+
+TEST(MinMaxScalerTest, NegativeRanges) {
+  std::vector<double> data = {-4.0, -2.0, -3.0};
+  MinMaxScaler scaler;
+  scaler.FitTransform(&data, 1);
+  EXPECT_DOUBLE_EQ(data[0], -1.0);
+  EXPECT_DOUBLE_EQ(data[1], 1.0);
+  EXPECT_DOUBLE_EQ(data[2], 0.0);
+}
+
+TEST(MinMaxScalerDeathTest, ShapeMismatchAborts) {
+  std::vector<double> data = {1.0, 2.0, 3.0};
+  MinMaxScaler scaler;
+  EXPECT_DEATH(scaler.Fit(data, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,59 @@
+#include "sssp/all_pairs.h"
+
+#include <mutex>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(AllPairsTest, MatrixMatchesPerSourceBfs) {
+  Graph g = testing::CycleGraph(7);
+  BfsEngine engine;
+  auto matrix = AllPairsMatrix(g, engine);
+  for (NodeId u = 0; u < 7; ++u) {
+    auto dist = BfsDistances(g, u);
+    for (NodeId v = 0; v < 7; ++v) {
+      EXPECT_EQ(matrix[u * 7 + v], dist[v]);
+    }
+  }
+}
+
+TEST(AllPairsTest, MatrixIsSymmetric) {
+  Graph g = testing::PathGraph(6);
+  BfsEngine engine;
+  auto matrix = AllPairsMatrix(g, engine);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      EXPECT_EQ(matrix[u * 6 + v], matrix[v * 6 + u]);
+    }
+  }
+}
+
+TEST(AllPairsTest, ForEachSourceVisitsAllSourcesOnce) {
+  Graph g = testing::StarGraph(9);
+  BfsEngine engine;
+  std::mutex mutex;
+  std::set<NodeId> seen;
+  ForEachSourceDistances(g, engine,
+                         [&](NodeId src, const std::vector<Dist>& dist) {
+                           std::lock_guard<std::mutex> lock(mutex);
+                           EXPECT_TRUE(seen.insert(src).second);
+                           EXPECT_EQ(dist.size(), g.num_nodes());
+                           EXPECT_EQ(dist[src], 0);
+                         });
+  EXPECT_EQ(seen.size(), g.num_nodes());
+}
+
+TEST(AllPairsDeathTest, CellGuardAborts) {
+  Graph g = testing::PathGraph(100);
+  BfsEngine engine;
+  EXPECT_DEATH(AllPairsMatrix(g, engine, /*max_cells=*/100), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,107 @@
+#include "sssp/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/er_generator.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(BfsTest, PathGraphDistances) {
+  Graph g = testing::PathGraph(5);
+  auto dist = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], static_cast<Dist>(v));
+}
+
+TEST(BfsTest, CycleGraphDistances) {
+  Graph g = testing::CycleGraph(6);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[5], 1);
+}
+
+TEST(BfsTest, UnreachableNodesAreInf) {
+  std::vector<Edge> edges = {{0, 1}};
+  Graph g = Graph::FromEdges(4, edges);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_FALSE(IsReachable(dist[2]));
+  EXPECT_FALSE(IsReachable(dist[3]));
+}
+
+TEST(BfsTest, SourceDistanceIsZero) {
+  Graph g = testing::StarGraph(5);
+  auto dist = BfsDistances(g, 3);
+  EXPECT_EQ(dist[3], 0);
+  EXPECT_EQ(dist[0], 1);
+  EXPECT_EQ(dist[5], 2);
+}
+
+TEST(BfsTest, ChargesBudget) {
+  Graph g = testing::PathGraph(3);
+  SsspBudget budget(10);
+  BfsDistances(g, 0, &budget);
+  BfsDistances(g, 1, &budget);
+  EXPECT_EQ(budget.used(), 2);
+}
+
+TEST(BfsRunnerTest, MatchesFreeFunction) {
+  Rng rng(42);
+  TemporalGraph tg = GenerateErdosRenyi({.num_nodes = 60, .num_edges = 120}, rng);
+  Graph g = tg.SnapshotAtFraction(1.0);
+  BfsRunner runner(g);
+  for (NodeId src = 0; src < 10; ++src) {
+    EXPECT_EQ(runner.Run(src), BfsDistances(g, src)) << "src=" << src;
+  }
+}
+
+TEST(BfsRunnerTest, VisitOrderIsNondecreasingDistance) {
+  Rng rng(7);
+  TemporalGraph tg = GenerateErdosRenyi({.num_nodes = 50, .num_edges = 150}, rng);
+  Graph g = tg.SnapshotAtFraction(1.0);
+  BfsRunner runner(g);
+  const auto& dist = runner.Run(0);
+  const auto& order = runner.visit_order();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(dist[order[i - 1]], dist[order[i]]);
+  }
+}
+
+// Property sweep: BFS distances satisfy the per-edge Lipschitz condition
+// |d(u) - d(v)| <= 1 for every edge {u,v}, and d is 0 exactly at the source.
+class BfsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BfsPropertyTest, EdgeLipschitzAndSourceZero) {
+  Rng rng(GetParam());
+  TemporalGraph tg = GenerateErdosRenyi(
+      {.num_nodes = 80, .num_edges = 150}, rng);
+  Graph g = tg.SnapshotAtFraction(1.0);
+  NodeId src = static_cast<NodeId>(GetParam() % g.num_nodes());
+  auto dist = BfsDistances(g, src);
+  EXPECT_EQ(dist[src], 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u != src && IsReachable(dist[u])) {
+      EXPECT_GT(dist[u], 0);
+    }
+    for (NodeId v : g.neighbors(u)) {
+      if (IsReachable(dist[u])) {
+        ASSERT_TRUE(IsReachable(dist[v]));
+        EXPECT_LE(std::abs(dist[u] - dist[v]), 1);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(BfsDeathTest, OutOfRangeSourceAborts) {
+  Graph g = testing::PathGraph(3);
+  EXPECT_DEATH(BfsDistances(g, 99), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,51 @@
+#include "sssp/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(SsspBudgetTest, UnlimitedCountsOnly) {
+  SsspBudget budget;
+  EXPECT_EQ(budget.limit(), SsspBudget::kUnlimited);
+  budget.Charge(1000000);
+  EXPECT_EQ(budget.used(), 1000000);
+  EXPECT_EQ(budget.remaining(), INT64_MAX);
+}
+
+TEST(SsspBudgetTest, TracksUsageAgainstLimit) {
+  SsspBudget budget(10);
+  budget.Charge(3);
+  budget.Charge();
+  EXPECT_EQ(budget.used(), 4);
+  EXPECT_EQ(budget.remaining(), 6);
+}
+
+TEST(SsspBudgetTest, ExactlyAtLimitIsAllowed) {
+  SsspBudget budget(5);
+  budget.Charge(5);
+  EXPECT_EQ(budget.remaining(), 0);
+}
+
+TEST(SsspBudgetTest, ResetKeepsCap) {
+  SsspBudget budget(5);
+  budget.Charge(5);
+  budget.Reset();
+  EXPECT_EQ(budget.used(), 0);
+  budget.Charge(5);  // Fits again after reset.
+  EXPECT_EQ(budget.used(), 5);
+}
+
+TEST(SsspBudgetDeathTest, ExceedingCapAborts) {
+  SsspBudget budget(2);
+  budget.Charge(2);
+  EXPECT_DEATH(budget.Charge(), "CHECK failed");
+}
+
+TEST(SsspBudgetDeathTest, NegativeChargeAborts) {
+  SsspBudget budget;
+  EXPECT_DEATH(budget.Charge(-1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

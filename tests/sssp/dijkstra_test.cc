@@ -1,0 +1,90 @@
+#include "sssp/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/er_generator.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(DijkstraTest, UnweightedMatchesBfsOnPath) {
+  Graph g = testing::PathGraph(6);
+  EXPECT_EQ(DijkstraDistances(g, 0), BfsDistances(g, 0));
+}
+
+// Differential oracle: on any unit-weight graph, Dijkstra == BFS.
+class DijkstraVsBfsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraVsBfsTest, AgreesWithBfsOnUnitWeights) {
+  Rng rng(GetParam());
+  TemporalGraph tg = GenerateErdosRenyi(
+      {.num_nodes = 70, .num_edges = 160}, rng);
+  Graph g = tg.SnapshotAtFraction(1.0);
+  for (NodeId src = 0; src < g.num_nodes(); src += 7) {
+    EXPECT_EQ(DijkstraDistances(g, src), BfsDistances(g, src))
+        << "src=" << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraVsBfsTest,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+TEST(DijkstraTest, WeightedShortcutPreferred) {
+  // 0-1-2 with weights 1 each vs direct 0-2 with weight 5 (scale 1).
+  std::vector<Edge> edges = {{0, 1, 1.0f}, {1, 2, 1.0f}, {0, 2, 5.0f}};
+  Graph g = Graph::FromEdges(3, edges);
+  auto dist = DijkstraDistances(g, 0);
+  EXPECT_EQ(dist[2], 2);  // Through node 1, not the weight-5 edge.
+}
+
+TEST(DijkstraTest, WeightScaleQuantizes) {
+  std::vector<Edge> edges = {{0, 1, 0.25f}, {1, 2, 0.25f}};
+  Graph g = Graph::FromEdges(3, edges);
+  DijkstraOptions options;
+  options.weight_scale = 4.0;
+  auto dist = DijkstraDistances(g, 0, options);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+}
+
+TEST(DijkstraTest, ZeroWeightEdgesCostAtLeastOne) {
+  std::vector<Edge> edges = {{0, 1, 0.0f}};
+  Graph g = Graph::FromEdges(2, edges);
+  auto dist = DijkstraDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);  // Quantization floors at 1 to keep a metric.
+}
+
+TEST(DijkstraTest, UnreachableIsInf) {
+  std::vector<Edge> edges = {{0, 1, 1.0f}};
+  Graph g = Graph::FromEdges(3, edges);
+  auto dist = DijkstraDistances(g, 0);
+  EXPECT_FALSE(IsReachable(dist[2]));
+}
+
+TEST(DijkstraTest, ChargesBudget) {
+  Graph g = testing::PathGraph(4);
+  SsspBudget budget(5);
+  DijkstraDistances(g, 0, {}, &budget);
+  EXPECT_EQ(budget.used(), 1);
+}
+
+TEST(ShortestPathEngineTest, EnginesDispatchCorrectly) {
+  std::vector<Edge> edges = {{0, 1, 1.0f}, {1, 2, 1.0f}, {0, 2, 9.0f}};
+  Graph g = Graph::FromEdges(3, edges);
+  BfsEngine bfs;
+  DijkstraEngine dijkstra;
+  std::vector<Dist> bfs_dist;
+  std::vector<Dist> dijkstra_dist;
+  bfs.Distances(g, 0, &bfs_dist, nullptr);
+  dijkstra.Distances(g, 0, &dijkstra_dist, nullptr);
+  EXPECT_EQ(bfs_dist[2], 1);       // Hop count ignores weights.
+  EXPECT_EQ(dijkstra_dist[2], 2);  // Weighted route through node 1.
+  EXPECT_STREQ(bfs.name(), "bfs");
+  EXPECT_STREQ(dijkstra.name(), "dijkstra");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,50 @@
+#include "sssp/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+
+namespace convpairs {
+namespace {
+
+TEST(DistanceMatrixTest, BuildComputesRows) {
+  Graph g = testing::PathGraph(5);
+  BfsEngine engine;
+  SsspBudget budget(10);
+  std::vector<NodeId> sources = {0, 4};
+  DistanceMatrix m = DistanceMatrix::Build(g, sources, engine, &budget);
+  EXPECT_EQ(budget.used(), 2);
+  EXPECT_EQ(m.sources(), sources);
+  EXPECT_EQ(m.at(0, 4), 4);
+  EXPECT_EQ(m.at(1, 0), 4);
+  EXPECT_EQ(m.at(1, 4), 0);
+}
+
+TEST(DistanceMatrixTest, AdoptRowSkipsBudget) {
+  Graph g = testing::PathGraph(4);
+  SsspBudget budget(1);
+  DistanceMatrix m;
+  m.AdoptRow(2, BfsDistances(g, 2));  // Charged elsewhere; budget untouched.
+  EXPECT_EQ(budget.used(), 0);
+  EXPECT_EQ(m.sources().size(), 1u);
+  EXPECT_EQ(m.at(0, 0), 2);
+}
+
+TEST(DistanceMatrixTest, RowSpanMatchesAt) {
+  Graph g = testing::CycleGraph(6);
+  BfsEngine engine;
+  std::vector<NodeId> sources = {1};
+  DistanceMatrix m = DistanceMatrix::Build(g, sources, engine, nullptr);
+  auto row = m.row(0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(row[v], m.at(0, v));
+}
+
+TEST(DistanceMatrixDeathTest, MismatchedRowSizeAborts) {
+  DistanceMatrix m;
+  m.AdoptRow(0, std::vector<Dist>(5, 0));
+  EXPECT_DEATH(m.AdoptRow(1, std::vector<Dist>(6, 0)), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

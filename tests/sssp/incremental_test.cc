@@ -1,0 +1,122 @@
+#include "sssp/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/er_generator.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+TEST(IncrementalBfsRowTest, InitialRowMatchesBfs) {
+  Graph g = testing::PathGraph(8);
+  IncrementalBfsRow row(g, 0);
+  EXPECT_EQ(row.distances(), BfsDistances(g, 0));
+  EXPECT_EQ(row.source(), 0u);
+}
+
+TEST(IncrementalBfsRowTest, ShortcutPropagates) {
+  // Path 0..9; insert chord {0,9}: distances to the far end collapse.
+  Graph before = testing::PathGraph(10);
+  IncrementalBfsRow row(before, 0);
+  auto edges = before.ToEdgeList();
+  edges.push_back({0, 9, 1.0f});
+  Graph after = Graph::FromEdges(10, edges);
+  size_t improved = row.ApplyInsertion(after, 0, 9);
+  EXPECT_GT(improved, 0u);
+  EXPECT_EQ(row.distances(), BfsDistances(after, 0));
+  EXPECT_EQ(row.distance_to(9), 1);
+  EXPECT_EQ(row.distance_to(8), 2);
+}
+
+TEST(IncrementalBfsRowTest, RedundantEdgeIsFree) {
+  Graph before = testing::CompleteGraph(6);
+  IncrementalBfsRow row(before, 0);
+  // Re-adding an existing edge (already in the graph) changes nothing.
+  EXPECT_EQ(row.ApplyInsertion(before, 2, 3), 0u);
+  EXPECT_EQ(row.distances(), BfsDistances(before, 0));
+}
+
+TEST(IncrementalBfsRowTest, ConnectsNewComponent) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}};
+  Graph before = Graph::FromEdges(4, edges);
+  IncrementalBfsRow row(before, 0);
+  EXPECT_FALSE(IsReachable(row.distance_to(3)));
+  edges.push_back({1, 2});
+  Graph after = Graph::FromEdges(4, edges);
+  row.ApplyInsertion(after, 1, 2);
+  EXPECT_EQ(row.distances(), BfsDistances(after, 0));
+  EXPECT_EQ(row.distance_to(3), 3);
+}
+
+TEST(IncrementalBfsRowTest, EdgeBetweenTwoUnreachableNodesIsNoop) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}, {4, 5}};
+  Graph before = Graph::FromEdges(6, edges);
+  IncrementalBfsRow row(before, 0);
+  edges.push_back({3, 4});  // Joins two components, both away from source 0.
+  Graph after = Graph::FromEdges(6, edges);
+  EXPECT_EQ(row.ApplyInsertion(after, 3, 4), 0u);
+  EXPECT_EQ(row.distances(), BfsDistances(after, 0));
+}
+
+// Differential sweep: replay a random insertion stream and compare the
+// maintained row against recomputation after every event.
+class IncrementalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalPropertyTest, MatchesRecomputationOverFullStream) {
+  Rng rng(GetParam());
+  TemporalGraph stream =
+      GenerateErdosRenyi({.num_nodes = 70, .num_edges = 240}, rng);
+  const NodeId n = stream.num_nodes();
+
+  // Start from the first third of the stream.
+  size_t start = stream.num_events() / 3;
+  std::vector<Edge> current;
+  for (size_t i = 0; i < start; ++i) {
+    const TimedEdge& e = stream.events()[i];
+    current.push_back({e.u, e.v, e.weight});
+  }
+  Graph g = Graph::FromEdges(n, current);
+  std::vector<NodeId> sources = {0, static_cast<NodeId>(n / 2),
+                                 static_cast<NodeId>(n - 1)};
+  IncrementalDistanceRows rows(g, sources);
+
+  for (size_t i = start; i < stream.num_events(); ++i) {
+    const TimedEdge& e = stream.events()[i];
+    current.push_back({e.u, e.v, e.weight});
+    g = Graph::FromEdges(n, current);
+    rows.ApplyInsertion(g, e.u, e.v);
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      ASSERT_EQ(rows.row(r).distances(), BfsDistances(g, sources[r]))
+          << "event " << i << " source " << sources[r];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPropertyTest,
+                         ::testing::Values(201, 202, 203, 204, 205));
+
+TEST(IncrementalDistanceRowsTest, AggregatesImprovements) {
+  Graph before = testing::PathGraph(12);
+  std::vector<NodeId> sources = {0, 11};
+  IncrementalDistanceRows rows(before, sources);
+  auto edges = before.ToEdgeList();
+  edges.push_back({0, 11, 1.0f});
+  Graph after = Graph::FromEdges(12, edges);
+  size_t improved = rows.ApplyInsertion(after, 0, 11);
+  // Both rows improve (each endpoint reaches the other side faster).
+  EXPECT_GT(improved, 4u);
+  EXPECT_EQ(rows.row(0).distances(), BfsDistances(after, 0));
+  EXPECT_EQ(rows.row(1).distances(), BfsDistances(after, 11));
+}
+
+TEST(IncrementalBfsRowDeathTest, MissingEdgeAborts) {
+  Graph g = testing::PathGraph(4);
+  IncrementalBfsRow row(g, 0);
+  EXPECT_DEATH(row.ApplyInsertion(g, 0, 3), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

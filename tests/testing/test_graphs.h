@@ -1,0 +1,66 @@
+// Shared fixtures: small hand-checkable graphs and brute-force oracles.
+
+#ifndef CONVPAIRS_TESTS_TESTING_TEST_GRAPHS_H_
+#define CONVPAIRS_TESTS_TESTING_TEST_GRAPHS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/temporal_graph.h"
+
+namespace convpairs::testing {
+
+/// Path 0-1-2-...-(n-1).
+inline Graph PathGraph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1, 1.0f});
+  return Graph::FromEdges(n, edges);
+}
+
+/// Cycle over n nodes.
+inline Graph CycleGraph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u)
+    edges.push_back({u, static_cast<NodeId>((u + 1) % n), 1.0f});
+  return Graph::FromEdges(n, edges);
+}
+
+/// Complete graph K_n.
+inline Graph CompleteGraph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.push_back({u, v, 1.0f});
+  return Graph::FromEdges(n, edges);
+}
+
+/// Star with center 0 and `leaves` leaves.
+inline Graph StarGraph(NodeId leaves) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= leaves; ++v) edges.push_back({0, v, 1.0f});
+  return Graph::FromEdges(leaves + 1, edges);
+}
+
+/// The canonical converging-pair scenario used across the core tests:
+/// G_t1 is the path 0..n-1; G_t2 adds a chord {0, n-1}, so the endpoints of
+/// the path converge from distance n-1 to 1 (Delta = n-2) and many nearby
+/// pairs converge by smaller amounts.
+struct PathWithChord {
+  TemporalGraph temporal;
+  Graph g1;
+  Graph g2;
+};
+
+inline PathWithChord MakePathWithChord(NodeId n) {
+  TemporalGraph temporal;
+  for (NodeId u = 0; u + 1 < n; ++u) temporal.AddEdge(u, u + 1, u);
+  temporal.AddEdge(0, n - 1, n);
+  PathWithChord out;
+  out.g1 = temporal.SnapshotAtTime(n - 1);
+  out.g2 = temporal.SnapshotAtTime(n);
+  out.temporal = std::move(temporal);
+  return out;
+}
+
+}  // namespace convpairs::testing
+
+#endif  // CONVPAIRS_TESTS_TESTING_TEST_GRAPHS_H_

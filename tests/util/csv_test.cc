@@ -1,0 +1,53 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(CsvWriterTest, BasicRows) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"3", "4"});
+  EXPECT_EQ(csv.ToString(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"field"});
+  csv.AddRow({"has,comma"});
+  csv.AddRow({"has\"quote"});
+  csv.AddRow({"has\nnewline"});
+  EXPECT_EQ(csv.ToString(),
+            "field\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriterTest, ArityEnforced) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_DEATH(csv.AddRow({"1"}), "CHECK failed");
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  CsvWriter csv({"n"});
+  csv.AddRow({"42"});
+  std::string path = ::testing::TempDir() + "/convpairs_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::ifstream file(path);
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "n");
+  std::getline(file, line);
+  EXPECT_EQ(line, "42");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter csv({"n"});
+  Status s = csv.WriteToFile("/nonexistent_dir_xyz/file.csv");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace convpairs

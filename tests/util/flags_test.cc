@@ -1,0 +1,89 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("test tool");
+  parser.Define("name", "default", "a string flag");
+  parser.Define("count", "7", "an int flag");
+  parser.Define("rate", "0.5", "a double flag");
+  parser.Define("verbose", "false", "a bool flag");
+  return parser;
+}
+
+TEST(FlagParserTest, DefaultsApply) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(*parser.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(*parser.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(*parser.GetBool("verbose"));
+  EXPECT_FALSE(parser.IsSet("name"));
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--name=alice", "--count=42"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_EQ(parser.GetString("name"), "alice");
+  EXPECT_EQ(*parser.GetInt("count"), 42);
+  EXPECT_TRUE(parser.IsSet("name"));
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--rate", "0.25"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_DOUBLE_EQ(*parser.GetDouble("rate"), 0.25);
+}
+
+TEST(FlagParserTest, BareBooleanIsTrue) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--verbose"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_TRUE(*parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "input.txt", "--count=1", "more.txt"};
+  ASSERT_TRUE(parser.Parse(4, argv).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+  EXPECT_EQ(parser.positional()[1], "more.txt");
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--bogus=1"};
+  Status status = parser.Parse(2, argv);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, TypeErrorsSurfaceAsStatus) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--count=abc", "--verbose=maybe"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_FALSE(parser.GetInt("count").ok());
+  EXPECT_FALSE(parser.GetBool("verbose").ok());
+}
+
+TEST(FlagParserTest, UsageMentionsEveryFlag) {
+  FlagParser parser = MakeParser();
+  std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("a bool flag"), std::string::npos);
+}
+
+TEST(FlagParserDeathTest, UndeclaredAccessAborts) {
+  FlagParser parser = MakeParser();
+  EXPECT_DEATH(parser.GetString("nope"), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,67 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace convpairs {
+namespace {
+
+// Logging writes to stderr; these tests exercise level plumbing and the
+// stream interface rather than capturing output.
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamInterfaceAcceptsMixedTypes) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // Suppress actual emission.
+  LOG_INFO << "count=" << 42 << " ratio=" << 0.5 << " name=" << "x";
+  LOG_DEBUG << "suppressed";
+  SetLogLevel(original);
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  CONVPAIRS_CHECK(true);
+  CONVPAIRS_CHECK_EQ(2 + 2, 4);
+  CONVPAIRS_CHECK_NE(1, 2);
+  CONVPAIRS_CHECK_LT(1, 2);
+  CONVPAIRS_CHECK_LE(2, 2);
+  CONVPAIRS_CHECK_GT(3, 2);
+  CONVPAIRS_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailureNamesTheExpression) {
+  EXPECT_DEATH(CONVPAIRS_CHECK(1 == 2), "1 == 2");
+  EXPECT_DEATH(CONVPAIRS_CHECK_GT(1, 2), "CHECK failed");
+}
+
+TEST(CheckTest, ArgumentsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&calls]() { return ++calls; };
+  CONVPAIRS_CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  // Busy-wait a tiny amount; steady_clock is monotonic so Seconds() >= 0.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + static_cast<uint64_t>(i);
+  }
+  EXPECT_GE(timer.Seconds(), 0.0);
+  EXPECT_GE(timer.Millis(), timer.Seconds());  // ms >= s numerically.
+  double before = timer.Seconds();
+  timer.Reset();
+  EXPECT_LE(timer.Seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,64 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelFor(kCount, [&](size_t i) { visits[i]++; });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForBlocksTest, BlocksPartitionTheRange) {
+  constexpr size_t kCount = 1003;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelForBlocks(kCount, [&](int /*t*/, size_t begin, size_t end) {
+    EXPECT_LE(begin, end);
+    for (size_t i = begin; i < end; ++i) visits[i]++;
+  });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForBlocksTest, ExplicitThreadCountRespected) {
+  std::atomic<int> max_thread_index{-1};
+  ParallelForBlocks(
+      100,
+      [&](int t, size_t, size_t) {
+        int seen = max_thread_index.load();
+        while (t > seen && !max_thread_index.compare_exchange_weak(seen, t)) {
+        }
+      },
+      4);
+  EXPECT_LT(max_thread_index.load(), 4);
+}
+
+TEST(ParallelForTest, SumMatchesSequential) {
+  constexpr size_t kCount = 5000;
+  std::vector<int64_t> contribution(kCount, 0);
+  ParallelFor(kCount, [&](size_t i) {
+    contribution[i] = static_cast<int64_t>(i);
+  });
+  int64_t total =
+      std::accumulate(contribution.begin(), contribution.end(), int64_t{0});
+  EXPECT_EQ(total, static_cast<int64_t>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(DefaultThreadCountTest, AtLeastOne) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,129 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(21);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleFullPopulationIsPermutation) {
+  Rng rng(22);
+  auto sample = rng.SampleWithoutReplacement(50, 50);
+  std::sort(sample.begin(), sample.end());
+  for (uint32_t i = 0; i < 50; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(31);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  auto original = items;
+  rng.Shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng forked = a.Fork();
+  // The forked stream should not replicate the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() == forked.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngDeathTest, UniformIntZeroBoundAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,71 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(SplitTest, BasicSeparation) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  auto parts = SplitWhitespace("  1 \t 2   3  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[1], "2");
+  EXPECT_EQ(parts[2], "3");
+}
+
+TEST(SplitWhitespaceTest, EmptyAndBlank) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+}
+
+TEST(StripTest, TrimsBothEnds) {
+  EXPECT_EQ(Strip("  x y  "), "x y");
+  EXPECT_EQ(Strip("xy"), "xy");
+  EXPECT_EQ(Strip("   "), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(FormatDoubleTest, RespectsDecimals) {
+  EXPECT_EQ(FormatDouble(12.5, 2), "12.50");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(FormatDouble(-2.0, 0), "-2");
+}
+
+TEST(FormatPercentTest, ConvertsFraction) {
+  EXPECT_EQ(FormatPercent(0.937, 1), "93.7");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100");
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace convpairs {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.StartRow();
+  table.AddCell("a");
+  table.AddCell(int64_t{1});
+  table.StartRow();
+  table.AddCell("longer");
+  table.AddCell(12.345, 2);
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 12.35 |"), std::string::npos);
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AddRowRequiresFullArity) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+TEST(TablePrinterTest, NumericOverloads) {
+  TablePrinter table({"i", "u", "d"});
+  table.StartRow();
+  table.AddCell(-5);
+  table.AddCell(7u);
+  table.AddCell(0.5, 1);
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("-5"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("0.5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, TooManyCellsInRowAborts) {
+  TablePrinter table({"only"});
+  table.StartRow();
+  table.AddCell("x");
+  EXPECT_DEATH(table.AddCell("overflow"), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace convpairs
