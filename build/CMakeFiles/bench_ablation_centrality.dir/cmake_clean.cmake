@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_centrality.dir/bench/bench_ablation_centrality.cc.o"
+  "CMakeFiles/bench_ablation_centrality.dir/bench/bench_ablation_centrality.cc.o.d"
+  "bench/bench_ablation_centrality"
+  "bench/bench_ablation_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

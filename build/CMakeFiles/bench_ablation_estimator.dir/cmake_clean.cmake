@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_estimator.dir/bench/bench_ablation_estimator.cc.o"
+  "CMakeFiles/bench_ablation_estimator.dir/bench/bench_ablation_estimator.cc.o.d"
+  "bench/bench_ablation_estimator"
+  "bench/bench_ablation_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

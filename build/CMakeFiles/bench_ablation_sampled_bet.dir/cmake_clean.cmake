@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sampled_bet.dir/bench/bench_ablation_sampled_bet.cc.o"
+  "CMakeFiles/bench_ablation_sampled_bet.dir/bench/bench_ablation_sampled_bet.cc.o.d"
+  "bench/bench_ablation_sampled_bet"
+  "bench/bench_ablation_sampled_bet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sampled_bet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_diverging.dir/bench/bench_ext_diverging.cc.o"
+  "CMakeFiles/bench_ext_diverging.dir/bench/bench_ext_diverging.cc.o.d"
+  "bench/bench_ext_diverging"
+  "bench/bench_ext_diverging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_diverging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_budget_sweep.dir/bench/bench_fig1_budget_sweep.cc.o"
+  "CMakeFiles/bench_fig1_budget_sweep.dir/bench/bench_fig1_budget_sweep.cc.o.d"
+  "bench/bench_fig1_budget_sweep"
+  "bench/bench_fig1_budget_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

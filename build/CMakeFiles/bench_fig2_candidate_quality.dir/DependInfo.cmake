@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_candidate_quality.cc" "CMakeFiles/bench_fig2_candidate_quality.dir/bench/bench_fig2_candidate_quality.cc.o" "gcc" "CMakeFiles/bench_fig2_candidate_quality.dir/bench/bench_fig2_candidate_quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/convpairs_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_landmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

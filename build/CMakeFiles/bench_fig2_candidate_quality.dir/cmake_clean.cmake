@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_candidate_quality.dir/bench/bench_fig2_candidate_quality.cc.o"
+  "CMakeFiles/bench_fig2_candidate_quality.dir/bench/bench_fig2_candidate_quality.cc.o.d"
+  "bench/bench_fig2_candidate_quality"
+  "bench/bench_fig2_candidate_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_candidate_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

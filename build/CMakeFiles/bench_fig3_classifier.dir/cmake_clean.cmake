@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_classifier.dir/bench/bench_fig3_classifier.cc.o"
+  "CMakeFiles/bench_fig3_classifier.dir/bench/bench_fig3_classifier.cc.o.d"
+  "bench/bench_fig3_classifier"
+  "bench/bench_fig3_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

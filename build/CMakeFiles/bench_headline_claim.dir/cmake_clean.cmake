@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_claim.dir/bench/bench_headline_claim.cc.o"
+  "CMakeFiles/bench_headline_claim.dir/bench/bench_headline_claim.cc.o.d"
+  "bench/bench_headline_claim"
+  "bench/bench_headline_claim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_claim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_budget.dir/bench/bench_table1_budget.cc.o"
+  "CMakeFiles/bench_table1_budget.dir/bench/bench_table1_budget.cc.o.d"
+  "bench/bench_table1_budget"
+  "bench/bench_table1_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

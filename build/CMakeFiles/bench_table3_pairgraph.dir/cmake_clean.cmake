@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pairgraph.dir/bench/bench_table3_pairgraph.cc.o"
+  "CMakeFiles/bench_table3_pairgraph.dir/bench/bench_table3_pairgraph.cc.o.d"
+  "bench/bench_table3_pairgraph"
+  "bench/bench_table3_pairgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pairgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

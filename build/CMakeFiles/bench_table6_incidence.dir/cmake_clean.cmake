@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_incidence.dir/bench/bench_table6_incidence.cc.o"
+  "CMakeFiles/bench_table6_incidence.dir/bench/bench_table6_incidence.cc.o.d"
+  "bench/bench_table6_incidence"
+  "bench/bench_table6_incidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_incidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_bench_common.dir/bench/common/bench_env.cc.o"
+  "CMakeFiles/convpairs_bench_common.dir/bench/common/bench_env.cc.o.d"
+  "libconvpairs_bench_common.a"
+  "libconvpairs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

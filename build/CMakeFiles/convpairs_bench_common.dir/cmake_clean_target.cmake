@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconvpairs_bench_common.a"
+)

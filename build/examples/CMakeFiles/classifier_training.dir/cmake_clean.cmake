@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_training.dir/classifier_training.cpp.o"
+  "CMakeFiles/classifier_training.dir/classifier_training.cpp.o.d"
+  "classifier_training"
+  "classifier_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

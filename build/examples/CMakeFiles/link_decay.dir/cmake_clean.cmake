@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_decay.dir/link_decay.cpp.o"
+  "CMakeFiles/link_decay.dir/link_decay.cpp.o.d"
+  "link_decay"
+  "link_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

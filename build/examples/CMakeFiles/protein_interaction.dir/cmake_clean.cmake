@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_interaction.dir/protein_interaction.cpp.o"
+  "CMakeFiles/protein_interaction.dir/protein_interaction.cpp.o.d"
+  "protein_interaction"
+  "protein_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

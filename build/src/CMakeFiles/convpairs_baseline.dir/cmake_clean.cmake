@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_baseline.dir/baseline/incidence.cc.o"
+  "CMakeFiles/convpairs_baseline.dir/baseline/incidence.cc.o.d"
+  "libconvpairs_baseline.a"
+  "libconvpairs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

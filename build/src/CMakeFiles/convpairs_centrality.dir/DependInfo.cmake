@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/centrality/brandes.cc" "src/CMakeFiles/convpairs_centrality.dir/centrality/brandes.cc.o" "gcc" "src/CMakeFiles/convpairs_centrality.dir/centrality/brandes.cc.o.d"
+  "/root/repo/src/centrality/closeness.cc" "src/CMakeFiles/convpairs_centrality.dir/centrality/closeness.cc.o" "gcc" "src/CMakeFiles/convpairs_centrality.dir/centrality/closeness.cc.o.d"
+  "/root/repo/src/centrality/degree.cc" "src/CMakeFiles/convpairs_centrality.dir/centrality/degree.cc.o" "gcc" "src/CMakeFiles/convpairs_centrality.dir/centrality/degree.cc.o.d"
+  "/root/repo/src/centrality/kcore.cc" "src/CMakeFiles/convpairs_centrality.dir/centrality/kcore.cc.o" "gcc" "src/CMakeFiles/convpairs_centrality.dir/centrality/kcore.cc.o.d"
+  "/root/repo/src/centrality/pagerank.cc" "src/CMakeFiles/convpairs_centrality.dir/centrality/pagerank.cc.o" "gcc" "src/CMakeFiles/convpairs_centrality.dir/centrality/pagerank.cc.o.d"
+  "/root/repo/src/centrality/sampled_betweenness.cc" "src/CMakeFiles/convpairs_centrality.dir/centrality/sampled_betweenness.cc.o" "gcc" "src/CMakeFiles/convpairs_centrality.dir/centrality/sampled_betweenness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

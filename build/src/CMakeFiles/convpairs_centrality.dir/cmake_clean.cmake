@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_centrality.dir/centrality/brandes.cc.o"
+  "CMakeFiles/convpairs_centrality.dir/centrality/brandes.cc.o.d"
+  "CMakeFiles/convpairs_centrality.dir/centrality/closeness.cc.o"
+  "CMakeFiles/convpairs_centrality.dir/centrality/closeness.cc.o.d"
+  "CMakeFiles/convpairs_centrality.dir/centrality/degree.cc.o"
+  "CMakeFiles/convpairs_centrality.dir/centrality/degree.cc.o.d"
+  "CMakeFiles/convpairs_centrality.dir/centrality/kcore.cc.o"
+  "CMakeFiles/convpairs_centrality.dir/centrality/kcore.cc.o.d"
+  "CMakeFiles/convpairs_centrality.dir/centrality/pagerank.cc.o"
+  "CMakeFiles/convpairs_centrality.dir/centrality/pagerank.cc.o.d"
+  "CMakeFiles/convpairs_centrality.dir/centrality/sampled_betweenness.cc.o"
+  "CMakeFiles/convpairs_centrality.dir/centrality/sampled_betweenness.cc.o.d"
+  "libconvpairs_centrality.a"
+  "libconvpairs_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/diverging.cc" "src/CMakeFiles/convpairs_core.dir/core/diverging.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/diverging.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/convpairs_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/ground_truth.cc" "src/CMakeFiles/convpairs_core.dir/core/ground_truth.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/ground_truth.cc.o.d"
+  "/root/repo/src/core/proximity_tracker.cc" "src/CMakeFiles/convpairs_core.dir/core/proximity_tracker.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/proximity_tracker.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/CMakeFiles/convpairs_core.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selector.cc.o.d"
+  "/root/repo/src/core/selector_registry.cc" "src/CMakeFiles/convpairs_core.dir/core/selector_registry.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selector_registry.cc.o.d"
+  "/root/repo/src/core/selectors/centrality_selectors.cc" "src/CMakeFiles/convpairs_core.dir/core/selectors/centrality_selectors.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selectors/centrality_selectors.cc.o.d"
+  "/root/repo/src/core/selectors/classifier_selector.cc" "src/CMakeFiles/convpairs_core.dir/core/selectors/classifier_selector.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selectors/classifier_selector.cc.o.d"
+  "/root/repo/src/core/selectors/degree_selectors.cc" "src/CMakeFiles/convpairs_core.dir/core/selectors/degree_selectors.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selectors/degree_selectors.cc.o.d"
+  "/root/repo/src/core/selectors/dispersion_selectors.cc" "src/CMakeFiles/convpairs_core.dir/core/selectors/dispersion_selectors.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selectors/dispersion_selectors.cc.o.d"
+  "/root/repo/src/core/selectors/hybrid_selectors.cc" "src/CMakeFiles/convpairs_core.dir/core/selectors/hybrid_selectors.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selectors/hybrid_selectors.cc.o.d"
+  "/root/repo/src/core/selectors/landmark_selectors.cc" "src/CMakeFiles/convpairs_core.dir/core/selectors/landmark_selectors.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selectors/landmark_selectors.cc.o.d"
+  "/root/repo/src/core/selectors/random_selector.cc" "src/CMakeFiles/convpairs_core.dir/core/selectors/random_selector.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/selectors/random_selector.cc.o.d"
+  "/root/repo/src/core/stream_monitor.cc" "src/CMakeFiles/convpairs_core.dir/core/stream_monitor.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/stream_monitor.cc.o.d"
+  "/root/repo/src/core/top_k.cc" "src/CMakeFiles/convpairs_core.dir/core/top_k.cc.o" "gcc" "src/CMakeFiles/convpairs_core.dir/core/top_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_landmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_core.dir/core/diverging.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/diverging.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/experiment.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/ground_truth.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/ground_truth.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/proximity_tracker.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/proximity_tracker.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selector.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selector.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selector_registry.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selector_registry.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selectors/centrality_selectors.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selectors/centrality_selectors.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selectors/classifier_selector.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selectors/classifier_selector.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selectors/degree_selectors.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selectors/degree_selectors.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selectors/dispersion_selectors.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selectors/dispersion_selectors.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selectors/hybrid_selectors.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selectors/hybrid_selectors.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selectors/landmark_selectors.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selectors/landmark_selectors.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/selectors/random_selector.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/selectors/random_selector.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/stream_monitor.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/stream_monitor.cc.o.d"
+  "CMakeFiles/convpairs_core.dir/core/top_k.cc.o"
+  "CMakeFiles/convpairs_core.dir/core/top_k.cc.o.d"
+  "libconvpairs_core.a"
+  "libconvpairs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cover/coverage.cc" "src/CMakeFiles/convpairs_cover.dir/cover/coverage.cc.o" "gcc" "src/CMakeFiles/convpairs_cover.dir/cover/coverage.cc.o.d"
+  "/root/repo/src/cover/exact_cover.cc" "src/CMakeFiles/convpairs_cover.dir/cover/exact_cover.cc.o" "gcc" "src/CMakeFiles/convpairs_cover.dir/cover/exact_cover.cc.o.d"
+  "/root/repo/src/cover/greedy_cover.cc" "src/CMakeFiles/convpairs_cover.dir/cover/greedy_cover.cc.o" "gcc" "src/CMakeFiles/convpairs_cover.dir/cover/greedy_cover.cc.o.d"
+  "/root/repo/src/cover/pair_graph.cc" "src/CMakeFiles/convpairs_cover.dir/cover/pair_graph.cc.o" "gcc" "src/CMakeFiles/convpairs_cover.dir/cover/pair_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_cover.dir/cover/coverage.cc.o"
+  "CMakeFiles/convpairs_cover.dir/cover/coverage.cc.o.d"
+  "CMakeFiles/convpairs_cover.dir/cover/exact_cover.cc.o"
+  "CMakeFiles/convpairs_cover.dir/cover/exact_cover.cc.o.d"
+  "CMakeFiles/convpairs_cover.dir/cover/greedy_cover.cc.o"
+  "CMakeFiles/convpairs_cover.dir/cover/greedy_cover.cc.o.d"
+  "CMakeFiles/convpairs_cover.dir/cover/pair_graph.cc.o"
+  "CMakeFiles/convpairs_cover.dir/cover/pair_graph.cc.o.d"
+  "libconvpairs_cover.a"
+  "libconvpairs_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/affiliation_generator.cc" "src/CMakeFiles/convpairs_gen.dir/gen/affiliation_generator.cc.o" "gcc" "src/CMakeFiles/convpairs_gen.dir/gen/affiliation_generator.cc.o.d"
+  "/root/repo/src/gen/ba_generator.cc" "src/CMakeFiles/convpairs_gen.dir/gen/ba_generator.cc.o" "gcc" "src/CMakeFiles/convpairs_gen.dir/gen/ba_generator.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/convpairs_gen.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/convpairs_gen.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/er_generator.cc" "src/CMakeFiles/convpairs_gen.dir/gen/er_generator.cc.o" "gcc" "src/CMakeFiles/convpairs_gen.dir/gen/er_generator.cc.o.d"
+  "/root/repo/src/gen/forest_fire.cc" "src/CMakeFiles/convpairs_gen.dir/gen/forest_fire.cc.o" "gcc" "src/CMakeFiles/convpairs_gen.dir/gen/forest_fire.cc.o.d"
+  "/root/repo/src/gen/friendship_generator.cc" "src/CMakeFiles/convpairs_gen.dir/gen/friendship_generator.cc.o" "gcc" "src/CMakeFiles/convpairs_gen.dir/gen/friendship_generator.cc.o.d"
+  "/root/repo/src/gen/ws_generator.cc" "src/CMakeFiles/convpairs_gen.dir/gen/ws_generator.cc.o" "gcc" "src/CMakeFiles/convpairs_gen.dir/gen/ws_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

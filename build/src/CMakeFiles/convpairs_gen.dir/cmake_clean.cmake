@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_gen.dir/gen/affiliation_generator.cc.o"
+  "CMakeFiles/convpairs_gen.dir/gen/affiliation_generator.cc.o.d"
+  "CMakeFiles/convpairs_gen.dir/gen/ba_generator.cc.o"
+  "CMakeFiles/convpairs_gen.dir/gen/ba_generator.cc.o.d"
+  "CMakeFiles/convpairs_gen.dir/gen/datasets.cc.o"
+  "CMakeFiles/convpairs_gen.dir/gen/datasets.cc.o.d"
+  "CMakeFiles/convpairs_gen.dir/gen/er_generator.cc.o"
+  "CMakeFiles/convpairs_gen.dir/gen/er_generator.cc.o.d"
+  "CMakeFiles/convpairs_gen.dir/gen/forest_fire.cc.o"
+  "CMakeFiles/convpairs_gen.dir/gen/forest_fire.cc.o.d"
+  "CMakeFiles/convpairs_gen.dir/gen/friendship_generator.cc.o"
+  "CMakeFiles/convpairs_gen.dir/gen/friendship_generator.cc.o.d"
+  "CMakeFiles/convpairs_gen.dir/gen/ws_generator.cc.o"
+  "CMakeFiles/convpairs_gen.dir/gen/ws_generator.cc.o.d"
+  "libconvpairs_gen.a"
+  "libconvpairs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

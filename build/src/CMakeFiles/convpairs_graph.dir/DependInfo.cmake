@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/binary_io.cc" "src/CMakeFiles/convpairs_graph.dir/graph/binary_io.cc.o" "gcc" "src/CMakeFiles/convpairs_graph.dir/graph/binary_io.cc.o.d"
+  "/root/repo/src/graph/connected_components.cc" "src/CMakeFiles/convpairs_graph.dir/graph/connected_components.cc.o" "gcc" "src/CMakeFiles/convpairs_graph.dir/graph/connected_components.cc.o.d"
+  "/root/repo/src/graph/dynamic_stream.cc" "src/CMakeFiles/convpairs_graph.dir/graph/dynamic_stream.cc.o" "gcc" "src/CMakeFiles/convpairs_graph.dir/graph/dynamic_stream.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/convpairs_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/convpairs_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/convpairs_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/convpairs_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/convpairs_graph.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/convpairs_graph.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/temporal_graph.cc" "src/CMakeFiles/convpairs_graph.dir/graph/temporal_graph.cc.o" "gcc" "src/CMakeFiles/convpairs_graph.dir/graph/temporal_graph.cc.o.d"
+  "/root/repo/src/graph/validation.cc" "src/CMakeFiles/convpairs_graph.dir/graph/validation.cc.o" "gcc" "src/CMakeFiles/convpairs_graph.dir/graph/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

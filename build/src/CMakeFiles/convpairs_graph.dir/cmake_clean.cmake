@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_graph.dir/graph/binary_io.cc.o"
+  "CMakeFiles/convpairs_graph.dir/graph/binary_io.cc.o.d"
+  "CMakeFiles/convpairs_graph.dir/graph/connected_components.cc.o"
+  "CMakeFiles/convpairs_graph.dir/graph/connected_components.cc.o.d"
+  "CMakeFiles/convpairs_graph.dir/graph/dynamic_stream.cc.o"
+  "CMakeFiles/convpairs_graph.dir/graph/dynamic_stream.cc.o.d"
+  "CMakeFiles/convpairs_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/convpairs_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/convpairs_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/convpairs_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/convpairs_graph.dir/graph/graph_stats.cc.o"
+  "CMakeFiles/convpairs_graph.dir/graph/graph_stats.cc.o.d"
+  "CMakeFiles/convpairs_graph.dir/graph/temporal_graph.cc.o"
+  "CMakeFiles/convpairs_graph.dir/graph/temporal_graph.cc.o.d"
+  "CMakeFiles/convpairs_graph.dir/graph/validation.cc.o"
+  "CMakeFiles/convpairs_graph.dir/graph/validation.cc.o.d"
+  "libconvpairs_graph.a"
+  "libconvpairs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

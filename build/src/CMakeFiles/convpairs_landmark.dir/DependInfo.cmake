@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/landmark/distance_estimator.cc" "src/CMakeFiles/convpairs_landmark.dir/landmark/distance_estimator.cc.o" "gcc" "src/CMakeFiles/convpairs_landmark.dir/landmark/distance_estimator.cc.o.d"
+  "/root/repo/src/landmark/landmark_features.cc" "src/CMakeFiles/convpairs_landmark.dir/landmark/landmark_features.cc.o" "gcc" "src/CMakeFiles/convpairs_landmark.dir/landmark/landmark_features.cc.o.d"
+  "/root/repo/src/landmark/landmark_selector.cc" "src/CMakeFiles/convpairs_landmark.dir/landmark/landmark_selector.cc.o" "gcc" "src/CMakeFiles/convpairs_landmark.dir/landmark/landmark_selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_landmark.dir/landmark/distance_estimator.cc.o"
+  "CMakeFiles/convpairs_landmark.dir/landmark/distance_estimator.cc.o.d"
+  "CMakeFiles/convpairs_landmark.dir/landmark/landmark_features.cc.o"
+  "CMakeFiles/convpairs_landmark.dir/landmark/landmark_features.cc.o.d"
+  "CMakeFiles/convpairs_landmark.dir/landmark/landmark_selector.cc.o"
+  "CMakeFiles/convpairs_landmark.dir/landmark/landmark_selector.cc.o.d"
+  "libconvpairs_landmark.a"
+  "libconvpairs_landmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_landmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for convpairs_landmark.
+# This may be replaced when dependencies are built.

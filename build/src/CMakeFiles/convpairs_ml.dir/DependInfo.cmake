@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/boosted_stumps.cc" "src/CMakeFiles/convpairs_ml.dir/ml/boosted_stumps.cc.o" "gcc" "src/CMakeFiles/convpairs_ml.dir/ml/boosted_stumps.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/convpairs_ml.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/convpairs_ml.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/convpairs_ml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/convpairs_ml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/CMakeFiles/convpairs_ml.dir/ml/scaler.cc.o" "gcc" "src/CMakeFiles/convpairs_ml.dir/ml/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_ml.dir/ml/boosted_stumps.cc.o"
+  "CMakeFiles/convpairs_ml.dir/ml/boosted_stumps.cc.o.d"
+  "CMakeFiles/convpairs_ml.dir/ml/logistic_regression.cc.o"
+  "CMakeFiles/convpairs_ml.dir/ml/logistic_regression.cc.o.d"
+  "CMakeFiles/convpairs_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/convpairs_ml.dir/ml/metrics.cc.o.d"
+  "CMakeFiles/convpairs_ml.dir/ml/scaler.cc.o"
+  "CMakeFiles/convpairs_ml.dir/ml/scaler.cc.o.d"
+  "libconvpairs_ml.a"
+  "libconvpairs_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

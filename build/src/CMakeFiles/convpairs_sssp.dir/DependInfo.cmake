@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sssp/all_pairs.cc" "src/CMakeFiles/convpairs_sssp.dir/sssp/all_pairs.cc.o" "gcc" "src/CMakeFiles/convpairs_sssp.dir/sssp/all_pairs.cc.o.d"
+  "/root/repo/src/sssp/bfs.cc" "src/CMakeFiles/convpairs_sssp.dir/sssp/bfs.cc.o" "gcc" "src/CMakeFiles/convpairs_sssp.dir/sssp/bfs.cc.o.d"
+  "/root/repo/src/sssp/budget.cc" "src/CMakeFiles/convpairs_sssp.dir/sssp/budget.cc.o" "gcc" "src/CMakeFiles/convpairs_sssp.dir/sssp/budget.cc.o.d"
+  "/root/repo/src/sssp/dijkstra.cc" "src/CMakeFiles/convpairs_sssp.dir/sssp/dijkstra.cc.o" "gcc" "src/CMakeFiles/convpairs_sssp.dir/sssp/dijkstra.cc.o.d"
+  "/root/repo/src/sssp/distance_matrix.cc" "src/CMakeFiles/convpairs_sssp.dir/sssp/distance_matrix.cc.o" "gcc" "src/CMakeFiles/convpairs_sssp.dir/sssp/distance_matrix.cc.o.d"
+  "/root/repo/src/sssp/incremental.cc" "src/CMakeFiles/convpairs_sssp.dir/sssp/incremental.cc.o" "gcc" "src/CMakeFiles/convpairs_sssp.dir/sssp/incremental.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_sssp.dir/sssp/all_pairs.cc.o"
+  "CMakeFiles/convpairs_sssp.dir/sssp/all_pairs.cc.o.d"
+  "CMakeFiles/convpairs_sssp.dir/sssp/bfs.cc.o"
+  "CMakeFiles/convpairs_sssp.dir/sssp/bfs.cc.o.d"
+  "CMakeFiles/convpairs_sssp.dir/sssp/budget.cc.o"
+  "CMakeFiles/convpairs_sssp.dir/sssp/budget.cc.o.d"
+  "CMakeFiles/convpairs_sssp.dir/sssp/dijkstra.cc.o"
+  "CMakeFiles/convpairs_sssp.dir/sssp/dijkstra.cc.o.d"
+  "CMakeFiles/convpairs_sssp.dir/sssp/distance_matrix.cc.o"
+  "CMakeFiles/convpairs_sssp.dir/sssp/distance_matrix.cc.o.d"
+  "CMakeFiles/convpairs_sssp.dir/sssp/incremental.cc.o"
+  "CMakeFiles/convpairs_sssp.dir/sssp/incremental.cc.o.d"
+  "libconvpairs_sssp.a"
+  "libconvpairs_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

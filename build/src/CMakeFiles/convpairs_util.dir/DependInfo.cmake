@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/convpairs_util.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/convpairs_util.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/convpairs_util.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/convpairs_util.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/convpairs_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/convpairs_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/CMakeFiles/convpairs_util.dir/util/parallel.cc.o" "gcc" "src/CMakeFiles/convpairs_util.dir/util/parallel.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/convpairs_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/convpairs_util.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/convpairs_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/convpairs_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/convpairs_util.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/convpairs_util.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/convpairs_util.dir/util/table.cc.o" "gcc" "src/CMakeFiles/convpairs_util.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

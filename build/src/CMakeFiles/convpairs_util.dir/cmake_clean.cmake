@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_util.dir/util/csv.cc.o"
+  "CMakeFiles/convpairs_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/convpairs_util.dir/util/flags.cc.o"
+  "CMakeFiles/convpairs_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/convpairs_util.dir/util/logging.cc.o"
+  "CMakeFiles/convpairs_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/convpairs_util.dir/util/parallel.cc.o"
+  "CMakeFiles/convpairs_util.dir/util/parallel.cc.o.d"
+  "CMakeFiles/convpairs_util.dir/util/rng.cc.o"
+  "CMakeFiles/convpairs_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/convpairs_util.dir/util/status.cc.o"
+  "CMakeFiles/convpairs_util.dir/util/status.cc.o.d"
+  "CMakeFiles/convpairs_util.dir/util/string_util.cc.o"
+  "CMakeFiles/convpairs_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/convpairs_util.dir/util/table.cc.o"
+  "CMakeFiles/convpairs_util.dir/util/table.cc.o.d"
+  "libconvpairs_util.a"
+  "libconvpairs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

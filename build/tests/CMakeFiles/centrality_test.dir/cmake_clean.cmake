@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centrality_test.dir/centrality/brandes_test.cc.o"
+  "CMakeFiles/centrality_test.dir/centrality/brandes_test.cc.o.d"
+  "CMakeFiles/centrality_test.dir/centrality/closeness_test.cc.o"
+  "CMakeFiles/centrality_test.dir/centrality/closeness_test.cc.o.d"
+  "CMakeFiles/centrality_test.dir/centrality/degree_test.cc.o"
+  "CMakeFiles/centrality_test.dir/centrality/degree_test.cc.o.d"
+  "CMakeFiles/centrality_test.dir/centrality/kcore_test.cc.o"
+  "CMakeFiles/centrality_test.dir/centrality/kcore_test.cc.o.d"
+  "CMakeFiles/centrality_test.dir/centrality/pagerank_test.cc.o"
+  "CMakeFiles/centrality_test.dir/centrality/pagerank_test.cc.o.d"
+  "CMakeFiles/centrality_test.dir/centrality/sampled_betweenness_test.cc.o"
+  "CMakeFiles/centrality_test.dir/centrality/sampled_betweenness_test.cc.o.d"
+  "centrality_test"
+  "centrality_test.pdb"
+  "centrality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centrality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/budget_accounting_test.cc" "tests/CMakeFiles/core_test.dir/core/budget_accounting_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/budget_accounting_test.cc.o.d"
+  "/root/repo/tests/core/classifier_test.cc" "tests/CMakeFiles/core_test.dir/core/classifier_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/classifier_test.cc.o.d"
+  "/root/repo/tests/core/diverging_test.cc" "tests/CMakeFiles/core_test.dir/core/diverging_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/diverging_test.cc.o.d"
+  "/root/repo/tests/core/experiment_edge_test.cc" "tests/CMakeFiles/core_test.dir/core/experiment_edge_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/experiment_edge_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/core_test.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/core/ground_truth_test.cc" "tests/CMakeFiles/core_test.dir/core/ground_truth_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ground_truth_test.cc.o.d"
+  "/root/repo/tests/core/proximity_tracker_test.cc" "tests/CMakeFiles/core_test.dir/core/proximity_tracker_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/proximity_tracker_test.cc.o.d"
+  "/root/repo/tests/core/selectors_test.cc" "tests/CMakeFiles/core_test.dir/core/selectors_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/selectors_test.cc.o.d"
+  "/root/repo/tests/core/stream_monitor_test.cc" "tests/CMakeFiles/core_test.dir/core/stream_monitor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stream_monitor_test.cc.o.d"
+  "/root/repo/tests/core/top_k_test.cc" "tests/CMakeFiles/core_test.dir/core/top_k_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/top_k_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_landmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

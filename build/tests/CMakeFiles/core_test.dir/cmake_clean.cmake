@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/budget_accounting_test.cc.o"
+  "CMakeFiles/core_test.dir/core/budget_accounting_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/classifier_test.cc.o"
+  "CMakeFiles/core_test.dir/core/classifier_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/diverging_test.cc.o"
+  "CMakeFiles/core_test.dir/core/diverging_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/experiment_edge_test.cc.o"
+  "CMakeFiles/core_test.dir/core/experiment_edge_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/experiment_test.cc.o"
+  "CMakeFiles/core_test.dir/core/experiment_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/ground_truth_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ground_truth_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/proximity_tracker_test.cc.o"
+  "CMakeFiles/core_test.dir/core/proximity_tracker_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/selectors_test.cc.o"
+  "CMakeFiles/core_test.dir/core/selectors_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/stream_monitor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/stream_monitor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/top_k_test.cc.o"
+  "CMakeFiles/core_test.dir/core/top_k_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cover_test.dir/cover/coverage_test.cc.o"
+  "CMakeFiles/cover_test.dir/cover/coverage_test.cc.o.d"
+  "CMakeFiles/cover_test.dir/cover/exact_cover_test.cc.o"
+  "CMakeFiles/cover_test.dir/cover/exact_cover_test.cc.o.d"
+  "CMakeFiles/cover_test.dir/cover/greedy_cover_test.cc.o"
+  "CMakeFiles/cover_test.dir/cover/greedy_cover_test.cc.o.d"
+  "CMakeFiles/cover_test.dir/cover/pair_graph_test.cc.o"
+  "CMakeFiles/cover_test.dir/cover/pair_graph_test.cc.o.d"
+  "cover_test"
+  "cover_test.pdb"
+  "cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/binary_io_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/binary_io_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/connected_components_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/connected_components_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/dynamic_stream_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/dynamic_stream_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/graph_io_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/graph_io_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/graph_stats_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/graph_stats_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/temporal_graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/temporal_graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/validation_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/validation_test.cc.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

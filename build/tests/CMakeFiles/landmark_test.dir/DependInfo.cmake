@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/landmark/distance_estimator_test.cc" "tests/CMakeFiles/landmark_test.dir/landmark/distance_estimator_test.cc.o" "gcc" "tests/CMakeFiles/landmark_test.dir/landmark/distance_estimator_test.cc.o.d"
+  "/root/repo/tests/landmark/landmark_features_test.cc" "tests/CMakeFiles/landmark_test.dir/landmark/landmark_features_test.cc.o" "gcc" "tests/CMakeFiles/landmark_test.dir/landmark/landmark_features_test.cc.o.d"
+  "/root/repo/tests/landmark/landmark_selector_test.cc" "tests/CMakeFiles/landmark_test.dir/landmark/landmark_selector_test.cc.o" "gcc" "tests/CMakeFiles/landmark_test.dir/landmark/landmark_selector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_landmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/boosted_stumps_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/boosted_stumps_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/logistic_regression_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/logistic_regression_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/scaler_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/scaler_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

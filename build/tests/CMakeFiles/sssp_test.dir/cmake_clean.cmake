@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_test.dir/sssp/all_pairs_test.cc.o"
+  "CMakeFiles/sssp_test.dir/sssp/all_pairs_test.cc.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/bfs_test.cc.o"
+  "CMakeFiles/sssp_test.dir/sssp/bfs_test.cc.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/budget_test.cc.o"
+  "CMakeFiles/sssp_test.dir/sssp/budget_test.cc.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/dijkstra_test.cc.o"
+  "CMakeFiles/sssp_test.dir/sssp/dijkstra_test.cc.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/distance_matrix_test.cc.o"
+  "CMakeFiles/sssp_test.dir/sssp/distance_matrix_test.cc.o.d"
+  "CMakeFiles/sssp_test.dir/sssp/incremental_test.cc.o"
+  "CMakeFiles/sssp_test.dir/sssp/incremental_test.cc.o.d"
+  "sssp_test"
+  "sssp_test.pdb"
+  "sssp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/csv_test.cc" "tests/CMakeFiles/util_test.dir/util/csv_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/csv_test.cc.o.d"
+  "/root/repo/tests/util/flags_test.cc" "tests/CMakeFiles/util_test.dir/util/flags_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/flags_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/util_test.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/parallel_test.cc" "tests/CMakeFiles/util_test.dir/util/parallel_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/parallel_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/util_test.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/convpairs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_landmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/convpairs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

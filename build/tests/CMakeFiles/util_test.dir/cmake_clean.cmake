@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/csv_test.cc.o"
+  "CMakeFiles/util_test.dir/util/csv_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/flags_test.cc.o"
+  "CMakeFiles/util_test.dir/util/flags_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/logging_test.cc.o"
+  "CMakeFiles/util_test.dir/util/logging_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/parallel_test.cc.o"
+  "CMakeFiles/util_test.dir/util/parallel_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/rng_test.cc.o"
+  "CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/string_util_test.cc.o"
+  "CMakeFiles/util_test.dir/util/string_util_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util/table_test.cc.o"
+  "CMakeFiles/util_test.dir/util/table_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/sssp_test[1]_include.cmake")
+include("/root/repo/build/tests/centrality_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/cover_test[1]_include.cmake")
+include("/root/repo/build/tests/landmark_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

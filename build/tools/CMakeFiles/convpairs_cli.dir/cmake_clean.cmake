@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convpairs_cli.dir/convpairs_cli.cc.o"
+  "CMakeFiles/convpairs_cli.dir/convpairs_cli.cc.o.d"
+  "convpairs_cli"
+  "convpairs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convpairs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
