@@ -54,5 +54,6 @@ int main() {
       "growth variants\nintermediate; the landmark-change policy dominates. "
       "The paper's finding is about\nthe *kind* of signal (change vs state), "
       "not the specific centrality.\n");
+  FinishAndExport("ablation_centrality");
   return 0;
 }

@@ -128,5 +128,6 @@ int main() {
       "\nExpectation: estimate-only recall falls well short of exact "
       "extraction at the\nsame landmark budget — the reason Algorithm 1 "
       "spends its budget on exact rows.\n");
+  FinishAndExport("ablation_estimator");
   return 0;
 }

@@ -110,5 +110,6 @@ int main() {
       "comparison. Incremental\nmaintenance amortizes well but only serves "
       "FIXED sources; the budgeted pipeline\nre-chooses candidates per "
       "window, which maintenance cannot do.\n");
+  FinishAndExport("ablation_incremental");
   return 0;
 }

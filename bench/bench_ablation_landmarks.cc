@@ -147,5 +147,6 @@ int main() {
         "Expectation: dispersion-seeded hybrids vary little across seeds; "
         "random-landmark\nand Random policies swing the most.\n");
   }
+  FinishAndExport("ablation_landmarks");
   return 0;
 }

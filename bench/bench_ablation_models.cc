@@ -105,5 +105,6 @@ int main() {
       "\nExpectation: comparable AUC between the models — the landmark-"
       "change features\nare close to linearly separable, so the paper's "
       "simpler logistic regression\nsuffices.\n");
+  FinishAndExport("ablation_models");
   return 0;
 }

@@ -79,5 +79,6 @@ int main() {
       "\nExpectation: sampled scores reproduce exact IncBet coverage at a "
       "fraction of the\ncost — the paper's exactness concession did not "
       "change the comparison's outcome.\n");
+  FinishAndExport("ablation_sampled_bet");
   return 0;
 }

@@ -114,5 +114,6 @@ int main() {
       "\nExpectation: the landmark increase-norm policy localizes the decayed "
       "links and\nrecovers most diverging pairs; random candidates recover "
       "almost none.\n");
+  FinishAndExport("ext_diverging");
   return 0;
 }

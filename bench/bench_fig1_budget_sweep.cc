@@ -67,5 +67,6 @@ int main() {
       "Shape check (paper): SumDiff-family curves rise fastest; hybrids "
       "dominate plain\nlandmark policies at small m; 90%%+ coverage well "
       "before the largest budgets.\n");
+  FinishAndExport("fig1_budget_sweep");
   return 0;
 }

@@ -74,5 +74,6 @@ int main() {
       "Shape check (paper): SumDiff-based policies have the largest "
       "intersection with\nthe greedy cover; high-coverage policies intersect "
       "both sets heavily.\n");
+  FinishAndExport("fig2_candidate_quality");
   return 0;
 }

@@ -131,5 +131,6 @@ int main() {
       "setup SSSPs but\ncatch up with the best per-dataset policy; "
       "G-Classifier lags only on actors.\n",
       6 * kLandmarks);
+  FinishAndExport("fig3_classifier");
   return 0;
 }

@@ -67,5 +67,6 @@ int main() {
       "at ~1-5%% of the nodes\n(the paper's real datasets are 2-5x larger "
       "than these analogs, which shifts\nthe percentage axis but not the "
       "shape).\n");
+  FinishAndExport("headline_claim");
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/bench_env.h"
 #include "centrality/brandes.h"
 #include "centrality/kcore.h"
 #include "centrality/pagerank.h"
@@ -110,11 +111,14 @@ BENCHMARK(BM_GreedyCover)->Arg(1000)->Arg(10000);
 void BM_DispersionSelection(benchmark::State& state) {
   Graph g = MakeBaGraph(5000);
   BfsEngine engine;
+  // Charged (unlimited) budget so the telemetry export records real
+  // sssp.budget.* values from the micro suite.
+  SsspBudget budget;
   for (auto _ : state) {
     Rng rng(13);
     benchmark::DoNotOptimize(SelectLandmarks(
         g, LandmarkPolicy::kMaxMin, static_cast<uint32_t>(state.range(0)),
-        rng, engine, nullptr));
+        rng, engine, &budget));
   }
 }
 BENCHMARK(BM_DispersionSelection)->Arg(10)->Arg(50)
@@ -209,4 +213,18 @@ BENCHMARK(BM_SnapshotBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace convpairs
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run ends with a telemetry export: the
+// instrumented kernels (BFS/Dijkstra counts, greedy-cover rounds, spans)
+// accumulate into the global registry while google-benchmark drives them,
+// and FinishAndExport writes BENCH_micro_perf.json (or the
+// CONVPAIRS_METRICS_OUT override) alongside the console report.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  convpairs::bench::PrintHeader("micro_perf",
+                                convpairs::bench::BenchEnv::FromEnvironment());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  convpairs::bench::FinishAndExport("micro_perf");
+  return 0;
+}

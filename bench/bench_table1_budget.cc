@@ -99,5 +99,6 @@ int main() {
       "match\n0 / m / 2l=%d / 2l=%d / 6l=%d for degree / dispersion / "
       "landmark+hybrid / classifier.\n",
       2 * m, 2 * l, 2 * l, 6 * l);
+  FinishAndExport("table1_budget");
   return 0;
 }

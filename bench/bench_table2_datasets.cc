@@ -52,5 +52,6 @@ int main() {
       "\nExpected regimes (paper): actors dense/small-diameter; internet "
       "large and skewed;\nfacebook mid-size; dblp sparse with many "
       "disconnected pairs.\n");
+  FinishAndExport("table2_datasets");
   return 0;
 }

@@ -59,5 +59,6 @@ int main() {
       "\nShape check (paper): k grows sharply as delta decreases; the greedy "
       "cover is a\nsmall fraction of both the pair count and the endpoint "
       "count.\n");
+  FinishAndExport("table3_pairgraph");
   return 0;
 }

@@ -79,5 +79,6 @@ int main() {
       "\nShape check (paper): Degree worst; MaxAvg > MaxMin; SumDiff > "
       "MaxDiff;\nSumDiff-based hybrids (MMSD/MASD) lead; DegRel competitive "
       "only on actors.\n");
+  FinishAndExport("table5_coverage");
   return 0;
 }

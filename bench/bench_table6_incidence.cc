@@ -72,5 +72,6 @@ int main() {
       "|A| is a large\nfraction of the graph (11%%-66%% on the paper's "
       "data), orders of magnitude above\nthe m=100 budget the Table 5 "
       "policies operate under.\n");
+  FinishAndExport("table6_incidence");
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -51,6 +52,31 @@ std::vector<std::unique_ptr<BenchDataset>> LoadPaperDatasets(
 void PrintHeader(const std::string& bench_name, const BenchEnv& env) {
   std::printf("==== %s (scale=%.2f seed=%llu) ====\n", bench_name.c_str(),
               env.scale, static_cast<unsigned long long>(env.seed));
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.SetMetadata("bench", bench_name);
+  char scale_buf[32];
+  std::snprintf(scale_buf, sizeof(scale_buf), "%.4f", env.scale);
+  registry.SetMetadata("scale", scale_buf);
+  registry.SetMetadata("seed", std::to_string(env.seed));
+}
+
+void FinishAndExport(const std::string& bench_name) {
+  // Touch the core budget instruments so every report carries them even
+  // when a bench never charged a budget (they export as 0).
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("sssp.budget.charged_total");
+  registry.GetGauge("sssp.budget.used");
+  registry.GetGauge("sssp.budget.limit");
+
+  const std::string path =
+      obs::MetricsOutPath("BENCH_" + bench_name + ".json");
+  if (path.empty()) return;  // CONVPAIRS_METRICS_OUT="" disables export.
+  Status status = obs::ExportMetrics(path, bench_name);
+  if (!status.ok()) {
+    LOG_ERROR << "metrics export failed: " << status.ToString();
+    return;
+  }
+  std::printf("telemetry: wrote %s\n", path.c_str());
 }
 
 }  // namespace convpairs::bench

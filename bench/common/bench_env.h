@@ -53,8 +53,16 @@ std::vector<std::unique_ptr<BenchDataset>> LoadPaperDatasets(
 /// The shared hop-count engine used by all benches.
 const ShortestPathEngine& BenchEngine();
 
-/// Prints the standard bench header (binary name, scale, seed).
+/// Prints the standard bench header (binary name, scale, seed) and records
+/// the same fields as telemetry metadata for the final export.
 void PrintHeader(const std::string& bench_name, const BenchEnv& env);
+
+/// Exports the accumulated telemetry (metrics registry + trace buffer) as
+/// machine-readable JSON at the end of a bench run. The destination is
+/// CONVPAIRS_METRICS_OUT when set (an empty value disables export, a
+/// *.csv path switches format), else BENCH_<bench_name>.json in the
+/// working directory. Every bench main calls this once before returning.
+void FinishAndExport(const std::string& bench_name);
 
 }  // namespace convpairs::bench
 

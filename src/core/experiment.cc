@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "cover/coverage.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace convpairs {
@@ -11,6 +13,13 @@ namespace {
 uint64_t PairKey(NodeId u, NodeId v) {
   if (u > v) std::swap(u, v);
   return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+GroundTruth ComputeGroundTruthSpanned(const Graph& g1, const Graph& g2,
+                                      const ShortestPathEngine& engine,
+                                      int gt_depth) {
+  obs::ScopedSpan span("experiment.ground_truth");
+  return ComputeGroundTruth(g1, g2, engine, gt_depth);
 }
 
 }  // namespace
@@ -22,7 +31,7 @@ ExperimentRunner::ExperimentRunner(const Graph& g1, const Graph& g2,
       g2_(&g2),
       engine_(&engine),
       gt_depth_(gt_depth),
-      ground_truth_(ComputeGroundTruth(g1, g2, engine, gt_depth)) {}
+      ground_truth_(ComputeGroundTruthSpanned(g1, g2, engine, gt_depth)) {}
 
 Dist ExperimentRunner::ThresholdAt(int offset) const {
   CONVPAIRS_CHECK_GE(offset, 0);
@@ -38,6 +47,7 @@ ExperimentRunner::ThresholdArtifacts& ExperimentRunner::ArtifactsAt(
     int offset) {
   auto [it, inserted] = artifacts_.try_emplace(offset);
   if (inserted) {
+    obs::ScopedSpan span("experiment.threshold_artifacts");
     it->second.pair_graph = std::make_unique<PairGraph>(
         ground_truth_.PairsAtLeast(ThresholdAt(offset)));
     it->second.cover =
@@ -57,6 +67,10 @@ const CoverResult& ExperimentRunner::GreedyCoverAt(int offset) {
 ExperimentResult ExperimentRunner::RunSelector(CandidateSelector& selector,
                                                int offset,
                                                const RunConfig& config) {
+  obs::ScopedSpan span("experiment.run_selector");
+  obs::MetricsRegistry::Global()
+      .GetCounter("experiment.selector_runs")
+      .Increment();
   const PairGraph& pair_graph = PairGraphAt(offset);
   const CoverResult& cover = GreedyCoverAt(offset);
 

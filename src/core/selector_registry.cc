@@ -6,8 +6,33 @@
 #include "core/selectors/hybrid_selectors.h"
 #include "core/selectors/landmark_selectors.h"
 #include "core/selectors/random_selector.h"
+#include "obs/trace.h"
 
 namespace convpairs {
+namespace {
+
+// Registry-made policies are wrapped so every SelectCandidates call shows
+// up as a "selector.<Name>" span in the trace, giving per-policy phase
+// timings in the exported telemetry without touching the policies
+// themselves.
+class TracedSelector : public CandidateSelector {
+ public:
+  explicit TracedSelector(std::unique_ptr<CandidateSelector> inner)
+      : inner_(std::move(inner)), span_name_("selector." + inner_->name()) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  CandidateSet SelectCandidates(SelectorContext& context) override {
+    obs::ScopedSpan span(span_name_);
+    return inner_->SelectCandidates(context);
+  }
+
+ private:
+  std::unique_ptr<CandidateSelector> inner_;
+  std::string span_name_;
+};
+
+}  // namespace
 
 const std::vector<std::string>& SingleFeatureSelectorNames() {
   static const std::vector<std::string> names = {
@@ -59,6 +84,7 @@ StatusOr<std::unique_ptr<CandidateSelector>> MakeSelector(
   } else {
     return Status::InvalidArgument("unknown selector: " + name);
   }
+  selector = std::make_unique<TracedSelector>(std::move(selector));
   return selector;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace convpairs {
@@ -21,6 +22,7 @@ TopKResult ExtractTopKPairs(const Graph& g1, const Graph& g2,
                             const ShortestPathEngine& engine,
                             const CandidateSet& candidate_set, int k,
                             SsspBudget* budget) {
+  obs::ScopedSpan span("topk.extract_pairs");
   CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
   CONVPAIRS_CHECK_GE(k, 0);
   const NodeId n = g1.num_nodes();
@@ -88,6 +90,7 @@ TopKResult FindTopKConvergingPairs(const Graph& g1, const Graph& g2,
                                    const ShortestPathEngine& engine,
                                    CandidateSelector& selector,
                                    const TopKOptions& options) {
+  obs::ScopedSpan span("topk.find");
   CONVPAIRS_CHECK_GT(options.budget_m, 0);
   SsspBudget budget(options.enforce_budget
                         ? static_cast<int64_t>(options.budget_m) * 2

@@ -3,15 +3,40 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace convpairs {
 namespace {
 
+// Rounds = nodes selected; gain evaluations = lazy-heap score refreshes.
+// The ratio of the two is the lazy-evaluation win, worth tracking as the
+// pair graphs grow.
+struct CoverInstruments {
+  obs::Counter& runs;
+  obs::Counter& rounds_total;
+  obs::Counter& gain_evals_total;
+  obs::Histogram& rounds_per_run;
+
+  static const CoverInstruments& Get() {
+    static const CoverInstruments instruments = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return CoverInstruments{
+          registry.GetCounter("cover.greedy.runs"),
+          registry.GetCounter("cover.greedy.rounds_total"),
+          registry.GetCounter("cover.greedy.gain_evals_total"),
+          registry.GetHistogram("cover.greedy.rounds")};
+    }();
+    return instruments;
+  }
+};
+
 // Lazy-greedy max-coverage: scores only decrease as pairs get covered, so a
 // stale heap entry can be refreshed and reinserted instead of rescanning all
 // nodes each round (standard submodular lazy evaluation).
 CoverResult GreedyCoverImpl(const PairGraph& pg, size_t budget) {
+  obs::ScopedSpan span("cover.greedy");
   struct Entry {
     uint32_t gain;
     NodeId node;
@@ -26,7 +51,9 @@ CoverResult GreedyCoverImpl(const PairGraph& pg, size_t budget) {
   }
   std::vector<bool> pair_covered(pg.num_pairs(), false);
 
+  uint64_t gain_evals = 0;
   auto current_gain = [&](NodeId u) {
+    ++gain_evals;
     uint32_t gain = 0;
     for (uint32_t pair_idx : pg.IncidentPairs(u)) {
       if (!pair_covered[pair_idx]) ++gain;
@@ -53,6 +80,11 @@ CoverResult GreedyCoverImpl(const PairGraph& pg, size_t budget) {
       }
     }
   }
+  const CoverInstruments& instruments = CoverInstruments::Get();
+  instruments.runs.Increment();
+  instruments.rounds_total.Add(static_cast<int64_t>(result.nodes.size()));
+  instruments.gain_evals_total.Add(static_cast<int64_t>(gain_evals));
+  instruments.rounds_per_run.Observe(static_cast<double>(result.nodes.size()));
   return result;
 }
 

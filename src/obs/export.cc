@@ -1,0 +1,195 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace convpairs::obs {
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+JsonValue BuildInfo() {
+  JsonValue build = JsonValue::Object();
+#if defined(__VERSION__)
+  build.Set("compiler", std::string("gcc/clang ") + __VERSION__);
+#else
+  build.Set("compiler", "unknown");
+#endif
+#if defined(NDEBUG)
+  build.Set("assertions", false);
+#else
+  build.Set("assertions", true);
+#endif
+  build.Set("pointer_bits", static_cast<int64_t>(sizeof(void*) * 8));
+  return build;
+}
+
+JsonValue HistogramToJson(const HistogramSample& sample) {
+  JsonValue hist = JsonValue::Object();
+  hist.Set("count", static_cast<int64_t>(sample.count));
+  hist.Set("sum", sample.sum);
+  hist.Set("min", sample.min);
+  hist.Set("max", sample.max);
+  hist.Set("mean", sample.count == 0
+                       ? 0.0
+                       : sample.sum / static_cast<double>(sample.count));
+  JsonValue buckets = JsonValue::Array();
+  for (size_t i = 0; i < sample.buckets.size(); ++i) {
+    JsonValue bucket = JsonValue::Object();
+    if (i < sample.bounds.size()) {
+      bucket.Set("le", sample.bounds[i]);
+    } else {
+      bucket.Set("le", "inf");
+    }
+    bucket.Set("count", static_cast<int64_t>(sample.buckets[i]));
+    buckets.Append(std::move(bucket));
+  }
+  hist.Set("buckets", std::move(buckets));
+  return hist;
+}
+
+double MillisFromNanos(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+Status WriteStringToFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics output file: " + path);
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::IoError("short write to metrics output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+JsonValue JsonExporter::BuildReport(const std::string& run_name,
+                                    const MetricsSnapshot& metrics,
+                                    const TraceSnapshot& trace) {
+  JsonValue report = JsonValue::Object();
+  report.Set("run", run_name);
+  report.Set("schema_version", kSchemaVersion);
+  report.Set("build", BuildInfo());
+
+  JsonValue metadata = JsonValue::Object();
+  for (const auto& [key, value] : metrics.metadata) {
+    metadata.Set(key, value);
+  }
+  report.Set("metadata", std::move(metadata));
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : metrics.counters) {
+    counters.Set(name, value);
+  }
+  report.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : metrics.gauges) {
+    gauges.Set(name, value);
+  }
+  report.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::Object();
+  for (const HistogramSample& sample : metrics.histograms) {
+    histograms.Set(sample.name, HistogramToJson(sample));
+  }
+  report.Set("histograms", std::move(histograms));
+
+  JsonValue span_stats = JsonValue::Object();
+  for (const SpanStats& stats : trace.stats) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", static_cast<int64_t>(stats.count));
+    entry.Set("total_ms", MillisFromNanos(stats.total_ns));
+    entry.Set("min_ms", MillisFromNanos(stats.min_ns));
+    entry.Set("max_ms", MillisFromNanos(stats.max_ns));
+    span_stats.Set(stats.name, std::move(entry));
+  }
+  report.Set("span_stats", std::move(span_stats));
+
+  JsonValue spans = JsonValue::Array();
+  for (const SpanRecord& record : trace.spans) {
+    JsonValue span = JsonValue::Object();
+    span.Set("name", record.name);
+    span.Set("start_ms", MillisFromNanos(record.start_ns));
+    span.Set("dur_ms", MillisFromNanos(record.duration_ns));
+    span.Set("depth", record.depth);
+    span.Set("thread", record.thread_id);
+    spans.Append(std::move(span));
+  }
+  report.Set("spans", std::move(spans));
+  report.Set("spans_dropped", static_cast<int64_t>(trace.dropped));
+  return report;
+}
+
+Status JsonExporter::WriteFile(const std::string& path,
+                               const std::string& run_name) {
+  JsonValue report =
+      BuildReport(run_name, MetricsRegistry::Global().Snapshot(),
+                  TraceBuffer::Global().Snapshot());
+  return WriteStringToFile(path, report.Serialize());
+}
+
+std::string CsvExporter::BuildCsv(const std::string& run_name,
+                                  const MetricsSnapshot& metrics,
+                                  const TraceSnapshot& trace) {
+  std::string out = "run,kind,name,field,value\n";
+  auto row = [&](const std::string& kind, const std::string& name,
+                 const std::string& field, const std::string& value) {
+    out += run_name + "," + kind + "," + name + "," + field + "," + value +
+           "\n";
+  };
+  for (const auto& [key, value] : metrics.metadata) {
+    row("metadata", key, "value", value);
+  }
+  for (const auto& [name, value] : metrics.counters) {
+    row("counter", name, "value", std::to_string(value));
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    row("gauge", name, "value", std::to_string(value));
+  }
+  for (const HistogramSample& sample : metrics.histograms) {
+    row("histogram", sample.name, "count", std::to_string(sample.count));
+    row("histogram", sample.name, "sum", std::to_string(sample.sum));
+    row("histogram", sample.name, "min", std::to_string(sample.min));
+    row("histogram", sample.name, "max", std::to_string(sample.max));
+  }
+  for (const SpanStats& stats : trace.stats) {
+    row("span", stats.name, "count", std::to_string(stats.count));
+    row("span", stats.name, "total_ms",
+        std::to_string(MillisFromNanos(stats.total_ns)));
+  }
+  return out;
+}
+
+Status CsvExporter::WriteFile(const std::string& path,
+                              const std::string& run_name) {
+  std::string body =
+      BuildCsv(run_name, MetricsRegistry::Global().Snapshot(),
+               TraceBuffer::Global().Snapshot());
+  return WriteStringToFile(path, body);
+}
+
+Status ExportMetrics(const std::string& path, const std::string& run_name) {
+  if (path.empty()) return Status::OK();
+  if (path.ends_with(".csv")) {
+    return CsvExporter::WriteFile(path, run_name);
+  }
+  return JsonExporter::WriteFile(path, run_name);
+}
+
+std::string MetricsOutPath(const std::string& default_path) {
+  if (const char* env = std::getenv(kMetricsOutEnvVar)) {
+    return env;  // May be "", meaning export is disabled.
+  }
+  return default_path;
+}
+
+bool ExportMetricsFromEnv(const std::string& run_name) {
+  std::string path = MetricsOutPath("");
+  if (path.empty()) return false;
+  return ExportMetrics(path, run_name).ok();
+}
+
+}  // namespace convpairs::obs

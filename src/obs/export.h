@@ -1,0 +1,64 @@
+// Telemetry export: registry + trace snapshot -> JSON / CSV file.
+//
+// The JSON document is the repo's machine-readable benchmark record (the
+// `BENCH_<name>.json` schema documented in README.md): run name, build and
+// run metadata, every counter/gauge, histogram buckets with percentile
+// summaries, per-phase span aggregates and the raw (bounded) span list.
+// CSV export flattens the same snapshot into `kind,name,field,value` rows
+// for quick joins against the paper tables.
+//
+// The output path is chosen by CONVPAIRS_METRICS_OUT; benches fall back to
+// BENCH_<name>.json when it is unset, and an empty value disables export.
+
+#ifndef CONVPAIRS_OBS_EXPORT_H_
+#define CONVPAIRS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace convpairs::obs {
+
+/// Environment variable naming the export destination.
+inline constexpr const char* kMetricsOutEnvVar = "CONVPAIRS_METRICS_OUT";
+
+class JsonExporter {
+ public:
+  /// Assembles the full telemetry document from explicit snapshots.
+  static JsonValue BuildReport(const std::string& run_name,
+                               const MetricsSnapshot& metrics,
+                               const TraceSnapshot& trace);
+
+  /// Snapshots the global registry/trace buffer and writes `path`.
+  static Status WriteFile(const std::string& path,
+                          const std::string& run_name);
+};
+
+class CsvExporter {
+ public:
+  static std::string BuildCsv(const std::string& run_name,
+                              const MetricsSnapshot& metrics,
+                              const TraceSnapshot& trace);
+
+  static Status WriteFile(const std::string& path,
+                          const std::string& run_name);
+};
+
+/// Writes the global telemetry to `path` (CSV when the path ends in ".csv",
+/// JSON otherwise). An empty path is a silent no-op success.
+Status ExportMetrics(const std::string& path, const std::string& run_name);
+
+/// Resolves the export path: CONVPAIRS_METRICS_OUT when set (empty value
+/// means "disabled" and yields ""), else `default_path`.
+std::string MetricsOutPath(const std::string& default_path);
+
+/// Exports to CONVPAIRS_METRICS_OUT if it is set and non-empty. Returns
+/// true when a file was written.
+bool ExportMetricsFromEnv(const std::string& run_name);
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_EXPORT_H_

@@ -1,0 +1,350 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace convpairs::obs {
+namespace {
+
+constexpr int kMaxParseDepth = 64;
+
+void AppendIndent(std::string& out, int indent) {
+  out.append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+// Serializes a finite double: integers without a fraction, everything else
+// with enough digits to round-trip.
+void AppendNumber(std::string& out, double v) {
+  CONVPAIRS_CHECK(std::isfinite(v));
+  char buf[32];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Run() {
+    StatusOr<JsonValue> value = ParseValue(0);
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxParseDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') return ParseString();
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      StatusOr<JsonValue> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      StatusOr<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      object.Set(key->GetString(), std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      StatusOr<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      array.Append(std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<JsonValue> ParseString() {
+    if (!Consume('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return JsonValue(std::move(out));
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          // Basic-plane UTF-8 encoding; surrogate pairs are out of scope
+          // for telemetry strings.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '-' || c == '+') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("malformed number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::GetBool() const {
+  CONVPAIRS_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double JsonValue::GetNumber() const {
+  CONVPAIRS_CHECK(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::GetString() const {
+  CONVPAIRS_CHECK(type_ == Type::kString);
+  return string_;
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  CONVPAIRS_CHECK(type_ == Type::kObject);
+  for (auto& [existing_key, existing_value] : members_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  CONVPAIRS_CHECK(type_ == Type::kArray);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [member_key, member_value] : members_) {
+    if (member_key == key) return &member_value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(size_t index) const {
+  CONVPAIRS_CHECK(type_ == Type::kArray);
+  CONVPAIRS_CHECK_LT(index, array_.size());
+  return array_[index];
+}
+
+size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(out, 0);
+  out += '\n';
+  return out;
+}
+
+void JsonValue::SerializeTo(std::string& out, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Type::kString:
+      out += JsonEscape(string_);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        array_[i].SerializeTo(out, indent + 1);
+        if (i + 1 < array_.size()) out += ',';
+        out += '\n';
+      }
+      AppendIndent(out, indent);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        out += JsonEscape(members_[i].first);
+        out += ": ";
+        members_[i].second.SerializeTo(out, indent + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      AppendIndent(out, indent);
+      out += '}';
+      return;
+    }
+  }
+}
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace convpairs::obs

@@ -1,0 +1,95 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// The telemetry exporter needs dependency-free JSON output, and its tests
+// need to parse that output back (round-trip check), so this module carries
+// both directions. It covers the JSON subset the exporter emits — objects,
+// arrays, strings, finite numbers, booleans, null — and is NOT a
+// general-purpose parser: numbers parse via strtod, \uXXXX escapes decode
+// basic-plane code points only, and input depth is bounded to keep the
+// recursive parser safe on hostile input.
+
+#ifndef CONVPAIRS_OBS_JSON_H_
+#define CONVPAIRS_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace convpairs::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}      // NOLINT
+  JsonValue(int64_t n)                                           // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(int n) : JsonValue(static_cast<int64_t>(n)) {}       // NOLINT
+  JsonValue(uint64_t n)                                          // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(std::string s)                                       // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(std::string_view s)                                  // NOLINT
+      : type_(Type::kString), string_(s) {}
+  JsonValue(const char* s) : JsonValue(std::string_view(s)) {}   // NOLINT
+
+  static JsonValue Object() { return JsonValue(Type::kObject); }
+  static JsonValue Array() { return JsonValue(Type::kArray); }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  bool GetBool() const;
+  double GetNumber() const;
+  const std::string& GetString() const;
+
+  /// Object member insertion (keeps insertion order); returns *this so
+  /// report-building code can chain.
+  JsonValue& Set(std::string key, JsonValue value);
+
+  /// Array element insertion.
+  JsonValue& Append(JsonValue value);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Array element access (checked).
+  const JsonValue& At(size_t index) const;
+
+  /// Array length / object member count.
+  size_t size() const;
+
+  /// Serializes with two-space indentation.
+  std::string Serialize() const;
+
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+ private:
+  explicit JsonValue(Type type) : type_(type) {}
+  void SerializeTo(std::string& out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes `s` as a JSON string literal including the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_JSON_H_

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace convpairs::obs {
+namespace {
+
+// Relaxed CAS-max/min for doubles; called once per Observe, not per element.
+void AtomicMin(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CONVPAIRS_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CONVPAIRS_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+void Histogram::Observe(double value) {
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  CONVPAIRS_CHECK_LE(i, bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double p) const {
+  CONVPAIRS_CHECK_GE(p, 0.0);
+  CONVPAIRS_CHECK_LE(p, 100.0);
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  // Rank of the requested percentile, 1-based, nearest-rank then
+  // interpolated within the owning bucket.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      double lo = i == 0 ? std::min(min_.load(std::memory_order_relaxed),
+                                    bounds_.front())
+                         : bounds_[i - 1];
+      double hi = i == bounds_.size()
+                      ? std::max(max_.load(std::memory_order_relaxed),
+                                 bounds_.back())
+                      : bounds_[i];
+      double fraction = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(in_bucket);
+      return lo + (hi - lo) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+HistogramSample Histogram::Sample(std::string name) const {
+  HistogramSample sample;
+  sample.name = std::move(name);
+  sample.bounds = bounds_;
+  sample.buckets.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    sample.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  sample.count = count();
+  sample.sum = sum();
+  sample.min = sample.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  sample.max = sample.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return sample;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  CONVPAIRS_CHECK_GT(start, 0.0);
+  CONVPAIRS_CHECK_GT(factor, 1.0);
+  CONVPAIRS_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  CONVPAIRS_CHECK_GT(width, 0.0);
+  CONVPAIRS_CHECK_GT(count, 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + width * i);
+  }
+  return bounds;
+}
+
+}  // namespace convpairs::obs

@@ -1,0 +1,109 @@
+// Metric instruments: Counter, Gauge, Histogram.
+//
+// The paper's argument is a cost/quality trade-off — SSSP computations spent
+// vs. top-k pairs covered — so the repo needs machine-readable cost counters,
+// not just wall-clock. These instruments are cheap enough to live on hot
+// paths: every mutation is a relaxed atomic operation (lock-free on int64/
+// double), safe under the util/parallel.h thread pools. Hot code caches a
+// reference once (registry lookup is mutex-guarded) and then pays one or two
+// atomic adds per *SSSP run*, never per edge.
+//
+// Convention follows Bergamini et al.'s top-k closeness evaluation: count
+// visited nodes / relaxed edges per search, and let seconds be derived.
+
+#ifndef CONVPAIRS_OBS_METRICS_H_
+#define CONVPAIRS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace convpairs::obs {
+
+/// Monotonically increasing event count (e.g. "sssp.bfs.runs").
+class Counter {
+ public:
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Zeroes the counter. The instrument stays registered, so references
+  /// cached by hot paths remain valid.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written point-in-time value (e.g. "sssp.budget.used").
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// One histogram's state at snapshot time.
+struct HistogramSample {
+  std::string name;
+  /// Upper bucket bounds, ascending; an implicit +inf bucket follows.
+  std::vector<double> bounds;
+  /// Per-bucket (non-cumulative) counts; size() == bounds.size() + 1.
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // Meaningful only when count > 0.
+  double max = 0.0;
+};
+
+/// Fixed-bucket histogram. Value v lands in the first bucket whose upper
+/// bound satisfies v <= bound (values above the last bound go to the
+/// overflow bucket). Observe() is a bucket binary search plus relaxed
+/// atomic increments — no allocation, no locks.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  uint64_t BucketCount(size_t i) const;
+
+  /// Estimated value at percentile `p` in [0, 100], by linear interpolation
+  /// inside the bucket holding the rank (the overflow bucket interpolates
+  /// toward the observed max). Returns 0 when empty.
+  double Percentile(double p) const;
+
+  HistogramSample Sample(std::string name) const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// `count` bounds: start, start*factor, start*factor^2, ... (start > 0,
+/// factor > 1). The default shape for per-search node/edge counts.
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+
+/// `count` bounds: start, start+width, start+2*width, ...
+std::vector<double> LinearBuckets(double start, double width, int count);
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_METRICS_H_

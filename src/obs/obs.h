@@ -1,0 +1,15 @@
+// Umbrella header for the observability subsystem: metric instruments,
+// the process-wide registry, the span tracer and the file exporters.
+// Instrumented modules normally include just registry.h / trace.h; this
+// header is for drivers (benches, CLI) that also export.
+
+#ifndef CONVPAIRS_OBS_OBS_H_
+#define CONVPAIRS_OBS_OBS_H_
+
+#include "obs/export.h"   // IWYU pragma: export
+#include "obs/json.h"     // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/registry.h" // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
+#endif  // CONVPAIRS_OBS_OBS_H_

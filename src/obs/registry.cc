@@ -1,0 +1,81 @@
+#include "obs/registry.h"
+
+namespace convpairs::obs {
+namespace {
+
+template <typename Map, typename Factory>
+auto& FindOrCreate(Map& map, std::string_view name, Factory make) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Never freed.
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(counters_, name,
+                      [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(histograms_, name, [&] {
+    return std::make_unique<Histogram>(
+        std::vector<double>(bounds.begin(), bounds.end()));
+  });
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  static const std::vector<double> kDefaultBounds =
+      ExponentialBuckets(1.0, 2.0, 24);
+  return GetHistogram(name, kDefaultBounds);
+}
+
+void MetricsRegistry::SetMetadata(std::string_view key,
+                                  std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metadata_.insert_or_assign(std::string(key), std::string(value));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back(histogram->Sample(name));
+  }
+  snapshot.metadata.assign(metadata_.begin(), metadata_.end());
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  metadata_.clear();
+}
+
+}  // namespace convpairs::obs

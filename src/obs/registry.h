@@ -1,0 +1,69 @@
+// Process-wide metrics registry.
+//
+// Instruments are created on first lookup and never deallocated, so hot
+// paths may cache the returned reference in a function-local static and
+// mutate it lock-free forever after — Reset() zeroes values but keeps every
+// instrument alive precisely so those cached references stay valid (tests
+// rely on this). Lookup itself takes a mutex; do it once, not per event.
+
+#ifndef CONVPAIRS_OBS_REGISTRY_H_
+#define CONVPAIRS_OBS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace convpairs::obs {
+
+/// Point-in-time copy of every registered instrument plus run metadata.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<std::pair<std::string, std::string>> metadata;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented module reports into.
+  static MetricsRegistry& Global();
+
+  /// Returns the named instrument, creating it on first use. A histogram's
+  /// bounds are fixed by the first caller; later callers get the existing
+  /// instrument regardless of the bounds they pass.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> bounds);
+  /// Default bounds: exponential 1, 2, 4, ..., 2^23 — sized for per-search
+  /// node/edge counts on multi-million-edge graphs.
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Free-form run metadata (dataset, scale, seed, ...) carried into every
+  /// export. Last write per key wins.
+  void SetMetadata(std::string_view key, std::string_view value);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all instruments and clears metadata. Instruments themselves
+  /// survive, keeping cached references valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> metadata_;
+};
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_REGISTRY_H_

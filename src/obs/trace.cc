@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace convpairs::obs {
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+thread_local int tls_depth = 0;
+
+}  // namespace
+
+uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+int TraceThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1);
+  return id;
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();  // Never freed.
+  return *buffer;
+}
+
+void TraceBuffer::Record(std::string_view name, uint64_t start_ns,
+                         uint64_t duration_ns, int depth, int thread_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(name);
+  if (it == stats_.end()) it = stats_.emplace(std::string(name), Aggregate{}).first;
+  Aggregate& agg = it->second;
+  agg.count += 1;
+  agg.total_ns += duration_ns;
+  if (duration_ns < agg.min_ns) agg.min_ns = duration_ns;
+  if (duration_ns > agg.max_ns) agg.max_ns = duration_ns;
+
+  if (spans_.size() >= kCapacity) {
+    dropped_ += 1;
+    return;
+  }
+  SpanRecord record;
+  record.name = std::string(name);
+  record.start_ns = start_ns;
+  record.duration_ns = duration_ns;
+  record.depth = depth;
+  record.thread_id = thread_id;
+  spans_.push_back(std::move(record));
+}
+
+TraceSnapshot TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSnapshot snapshot;
+  snapshot.spans = spans_;
+  snapshot.stats.reserve(stats_.size());
+  for (const auto& [name, agg] : stats_) {
+    SpanStats stats;
+    stats.name = name;
+    stats.count = agg.count;
+    stats.total_ns = agg.total_ns;
+    stats.min_ns = agg.count == 0 ? 0 : agg.min_ns;
+    stats.max_ns = agg.max_ns;
+    snapshot.stats.push_back(std::move(stats));
+  }
+  snapshot.dropped = dropped_;
+  return snapshot;
+}
+
+void TraceBuffer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  stats_.clear();
+  dropped_ = 0;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name)
+    : name_(name), start_ns_(TraceNowNanos()), depth_(tls_depth) {
+  ++tls_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  --tls_depth;
+  TraceBuffer::Global().Record(name_, start_ns_, TraceNowNanos() - start_ns_,
+                               depth_, TraceThreadId());
+}
+
+}  // namespace convpairs::obs

@@ -1,0 +1,103 @@
+// RAII span tracer with a bounded in-memory buffer.
+//
+// ScopedSpan marks a timed region ("experiment.ground_truth",
+// "selector.MMSD", ...). Completed spans land in the global TraceBuffer:
+// the first kCapacity raw spans are kept verbatim (later ones are counted
+// as dropped), while per-name aggregates (count / total / min / max) are
+// maintained for *every* span, so aggregate phase timings stay exact even
+// on runs with millions of spans. Spans are coarse (phases, policies, whole
+// searches at their cheapest) — never per-node or per-edge.
+//
+// Nesting is tracked per thread: a span records the depth at which it was
+// opened, so exports can reconstruct the call tree. Buffer pushes take a
+// mutex; that is fine at phase granularity.
+
+#ifndef CONVPAIRS_OBS_TRACE_H_
+#define CONVPAIRS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace convpairs::obs {
+
+/// One completed timed region.
+struct SpanRecord {
+  std::string name;
+  uint64_t start_ns = 0;     // Relative to the process trace epoch.
+  uint64_t duration_ns = 0;
+  int depth = 0;             // 0 = top-level on its thread.
+  int thread_id = 0;         // Small sequential id, not an OS tid.
+};
+
+/// Aggregate over every span with the same name (never dropped).
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+struct TraceSnapshot {
+  std::vector<SpanRecord> spans;   // At most kCapacity, in completion order.
+  std::vector<SpanStats> stats;    // Sorted by name.
+  uint64_t dropped = 0;            // Raw spans beyond capacity.
+};
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kCapacity = 4096;
+
+  static TraceBuffer& Global();
+
+  /// Records one completed span (called by ~ScopedSpan).
+  void Record(std::string_view name, uint64_t start_ns, uint64_t duration_ns,
+              int depth, int thread_id);
+
+  TraceSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  struct Aggregate {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t min_ns = UINT64_MAX;
+    uint64_t max_ns = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, Aggregate, std::less<>> stats_;
+  uint64_t dropped_ = 0;
+};
+
+/// Nanoseconds since the process trace epoch (steady clock; the epoch is
+/// fixed the first time any span or caller asks).
+uint64_t TraceNowNanos();
+
+/// Small sequential id for the calling thread, stable for its lifetime.
+int TraceThreadId();
+
+/// RAII timed region. Construction stamps the start; destruction records
+/// the span into TraceBuffer::Global().
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::string name_;
+  uint64_t start_ns_;
+  int depth_;
+};
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_TRACE_H_

@@ -1,9 +1,35 @@
 #include "sssp/bfs.h"
 
+#include "obs/registry.h"
 #include "util/check.h"
 
 namespace convpairs {
 namespace {
+
+// Per-run cost counters (Bergamini-style: nodes settled / edges relaxed per
+// source, not just seconds). References are resolved once; recording is a
+// handful of relaxed atomics per *BFS run*, nothing per edge — edge work is
+// tallied in a local and flushed at the end.
+struct BfsInstruments {
+  obs::Counter& runs;
+  obs::Counter& nodes_total;
+  obs::Counter& edges_total;
+  obs::Histogram& nodes_per_source;
+  obs::Histogram& edges_per_source;
+
+  static const BfsInstruments& Get() {
+    static const BfsInstruments instruments = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return BfsInstruments{
+          registry.GetCounter("sssp.bfs.runs"),
+          registry.GetCounter("sssp.bfs.nodes_settled_total"),
+          registry.GetCounter("sssp.bfs.edges_relaxed_total"),
+          registry.GetHistogram("sssp.bfs.nodes_settled"),
+          registry.GetHistogram("sssp.bfs.edges_relaxed")};
+    }();
+    return instruments;
+  }
+};
 
 void BfsInto(const Graph& g, NodeId src, std::vector<Dist>& dist,
              std::vector<NodeId>& queue) {
@@ -12,16 +38,25 @@ void BfsInto(const Graph& g, NodeId src, std::vector<Dist>& dist,
   queue.clear();
   dist[src] = 0;
   queue.push_back(src);
+  uint64_t edges_relaxed = 0;
   for (size_t head = 0; head < queue.size(); ++head) {
     NodeId u = queue[head];
     Dist next = dist[u] + 1;
-    for (NodeId v : g.neighbors(u)) {
+    auto nbrs = g.neighbors(u);
+    edges_relaxed += nbrs.size();
+    for (NodeId v : nbrs) {
       if (dist[v] == kInfDist) {
         dist[v] = next;
         queue.push_back(v);
       }
     }
   }
+  const BfsInstruments& instruments = BfsInstruments::Get();
+  instruments.runs.Increment();
+  instruments.nodes_total.Add(static_cast<int64_t>(queue.size()));
+  instruments.edges_total.Add(static_cast<int64_t>(edges_relaxed));
+  instruments.nodes_per_source.Observe(static_cast<double>(queue.size()));
+  instruments.edges_per_source.Observe(static_cast<double>(edges_relaxed));
 }
 
 }  // namespace

@@ -1,7 +1,34 @@
 #include "sssp/budget.h"
 
-// SsspBudget is fully inline; this translation unit anchors the header in
-// the build so misuse surfaces as link-time structure, matching the
-// one-cc-per-module layout of the library.
+#include <limits>
 
-namespace convpairs {}  // namespace convpairs
+#include "obs/registry.h"
+
+namespace convpairs {
+
+void SsspBudget::Charge(int64_t count) {
+  CONVPAIRS_CHECK_GE(count, 0);
+  // Validate everything before mutating: overflow first, then the cap, so a
+  // failed check cannot leave `used_` inconsistent.
+  CONVPAIRS_CHECK_LE(count, std::numeric_limits<int64_t>::max() - used_);
+  const int64_t next = used_ + count;
+  if (limit_ >= 0) CONVPAIRS_CHECK_LE(next, limit_);
+  used_ = next;
+
+  struct BudgetInstruments {
+    obs::Counter& charged_total;
+    obs::Gauge& used;
+    obs::Gauge& limit;
+  };
+  static const BudgetInstruments instruments = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return BudgetInstruments{registry.GetCounter("sssp.budget.charged_total"),
+                             registry.GetGauge("sssp.budget.used"),
+                             registry.GetGauge("sssp.budget.limit")};
+  }();
+  instruments.charged_total.Add(count);
+  instruments.used.Set(used_);
+  instruments.limit.Set(limit_);
+}
+
+}  // namespace convpairs

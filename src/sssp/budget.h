@@ -24,14 +24,14 @@ class SsspBudget {
   /// `limit` < 0 means unlimited (count only).
   explicit SsspBudget(int64_t limit = kUnlimited) : limit_(limit) {}
 
-  /// Records `count` SSSP computations. Aborts if the cap would be exceeded:
-  /// exceeding the budget is a logic error in a selection policy, not a
-  /// recoverable condition.
-  void Charge(int64_t count = 1) {
-    CONVPAIRS_CHECK_GE(count, 0);
-    used_ += count;
-    if (limit_ >= 0) CONVPAIRS_CHECK_LE(used_, limit_);
-  }
+  /// Records `count` SSSP computations. Aborts if the cap would be exceeded
+  /// or `used_ + count` would overflow int64: exceeding the budget is a
+  /// logic error in a selection policy, not a recoverable condition. All
+  /// checks run *before* `used_` mutates, so a failed Charge (in a test
+  /// death-check, say) leaves the budget consistent. Also publishes the
+  /// used/limit gauges to the metrics registry (defined in budget.cc to
+  /// keep obs out of this widely-included header).
+  void Charge(int64_t count = 1);
 
   /// Total SSSP computations recorded so far.
   int64_t used() const { return used_; }

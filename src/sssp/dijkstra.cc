@@ -4,11 +4,35 @@
 #include <queue>
 #include <utility>
 
+#include "obs/registry.h"
 #include "sssp/bfs.h"
 #include "util/check.h"
 
 namespace convpairs {
 namespace {
+
+// Per-run cost counters, mirroring the BFS instruments (see bfs.cc): edge
+// work is tallied locally and flushed once per source.
+struct DijkstraInstruments {
+  obs::Counter& runs;
+  obs::Counter& nodes_total;
+  obs::Counter& edges_total;
+  obs::Histogram& nodes_per_source;
+  obs::Histogram& edges_per_source;
+
+  static const DijkstraInstruments& Get() {
+    static const DijkstraInstruments instruments = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return DijkstraInstruments{
+          registry.GetCounter("sssp.dijkstra.runs"),
+          registry.GetCounter("sssp.dijkstra.nodes_settled_total"),
+          registry.GetCounter("sssp.dijkstra.edges_relaxed_total"),
+          registry.GetHistogram("sssp.dijkstra.nodes_settled"),
+          registry.GetHistogram("sssp.dijkstra.edges_relaxed")};
+    }();
+    return instruments;
+  }
+};
 
 Dist QuantizeWeight(float weight, double scale) {
   double scaled = std::llround(static_cast<double>(weight) * scale);
@@ -29,12 +53,16 @@ void DijkstraDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
   (*out)[src] = 0;
   heap.push({0, src});
+  uint64_t nodes_settled = 0;
+  uint64_t edges_relaxed = 0;
   while (!heap.empty()) {
     auto [du, u] = heap.top();
     heap.pop();
     if (du != (*out)[u]) continue;  // Stale entry.
+    ++nodes_settled;
     auto nbrs = g.neighbors(u);
     auto wts = g.weights(u);
+    edges_relaxed += nbrs.size();
     for (size_t i = 0; i < nbrs.size(); ++i) {
       Dist cand = du + QuantizeWeight(wts[i], options.weight_scale);
       if (cand < (*out)[nbrs[i]]) {
@@ -43,6 +71,12 @@ void DijkstraDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
       }
     }
   }
+  const DijkstraInstruments& instruments = DijkstraInstruments::Get();
+  instruments.runs.Increment();
+  instruments.nodes_total.Add(static_cast<int64_t>(nodes_settled));
+  instruments.edges_total.Add(static_cast<int64_t>(edges_relaxed));
+  instruments.nodes_per_source.Observe(static_cast<double>(nodes_settled));
+  instruments.edges_per_source.Observe(static_cast<double>(edges_relaxed));
 }
 
 std::vector<Dist> DijkstraDistances(const Graph& g, NodeId src,

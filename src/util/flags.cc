@@ -41,11 +41,18 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
     }
     if (!has_value) {
       // "--flag value" form, unless the next token is another flag or the
-      // flag is boolean-style (defaults to true when bare).
+      // flag is boolean-style (defaults to true when bare). Non-boolean
+      // flags must not silently absorb "true" as a value — a bare
+      // "--metrics-out" would otherwise write a file literally named
+      // "true".
       if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
         value = argv[++i];
-      } else {
+      } else if (it->second.default_value == "true" ||
+                 it->second.default_value == "false") {
         value = "true";
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " requires a value");
       }
     }
     it->second.value = value;

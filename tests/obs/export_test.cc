@@ -1,0 +1,185 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace convpairs::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(JsonTest, SerializeParseRoundTrip) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("string", "needs \"escaping\"\n\tand control \x01 bytes");
+  doc.Set("integer", int64_t{42});
+  doc.Set("fraction", 2.5);
+  doc.Set("negative", -17);
+  doc.Set("flag", true);
+  doc.Set("nothing", JsonValue());
+  JsonValue list = JsonValue::Array();
+  list.Append(1).Append(2).Append("three");
+  doc.Set("list", std::move(list));
+
+  auto parsed = JsonValue::Parse(doc.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("string")->GetString(),
+            "needs \"escaping\"\n\tand control \x01 bytes");
+  EXPECT_DOUBLE_EQ(parsed->Find("integer")->GetNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("fraction")->GetNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(parsed->Find("negative")->GetNumber(), -17.0);
+  EXPECT_TRUE(parsed->Find("flag")->GetBool());
+  EXPECT_EQ(parsed->Find("nothing")->type(), JsonValue::Type::kNull);
+  ASSERT_EQ(parsed->Find("list")->size(), 3u);
+  EXPECT_EQ(parsed->Find("list")->At(2).GetString(), "three");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": }").ok());
+  EXPECT_FALSE(JsonValue::Parse("12 34").ok());
+  EXPECT_FALSE(JsonValue::Parse("nope").ok());
+}
+
+TEST(JsonTest, ParseAcceptsWhitespaceAndNesting) {
+  auto parsed = JsonValue::Parse(R"(  { "a" : [ { "b" : 1e3 } ] }  )");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->Find("a")->At(0).Find("b")->GetNumber(), 1000.0);
+}
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    TraceBuffer::Global().Reset();
+  }
+};
+
+TEST_F(ExportTest, JsonFileRoundTripsRegistryState) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.export.counter").Add(123);
+  registry.GetGauge("test.export.gauge").Set(-5);
+  Histogram& histogram =
+      registry.GetHistogram("test.export.hist", std::vector<double>{1.0, 10.0});
+  histogram.Observe(0.5);
+  histogram.Observe(5.0);
+  histogram.Observe(50.0);
+  registry.SetMetadata("dataset", "facebook");
+  {
+    ScopedSpan span("test.export.phase");
+  }
+
+  const std::string path = TempPath("obs_export_test.json");
+  ASSERT_TRUE(JsonExporter::WriteFile(path, "unit_test").ok());
+
+  auto parsed = JsonValue::Parse(ReadFile(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("run")->GetString(), "unit_test");
+  EXPECT_GE(parsed->Find("schema_version")->GetNumber(), 1.0);
+  ASSERT_NE(parsed->Find("build"), nullptr);
+
+  const JsonValue* metadata = parsed->Find("metadata");
+  ASSERT_NE(metadata, nullptr);
+  EXPECT_EQ(metadata->Find("dataset")->GetString(), "facebook");
+
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("test.export.counter")->GetNumber(), 123.0);
+
+  const JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("test.export.gauge")->GetNumber(), -5.0);
+
+  const JsonValue* hist = parsed->Find("histograms")->Find("test.export.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->GetNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(hist->Find("min")->GetNumber(), 0.5);
+  EXPECT_DOUBLE_EQ(hist->Find("max")->GetNumber(), 50.0);
+  const JsonValue* buckets = hist->Find("buckets");
+  ASSERT_EQ(buckets->size(), 3u);  // le-1, le-10, overflow.
+  EXPECT_DOUBLE_EQ(buckets->At(0).Find("count")->GetNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets->At(1).Find("count")->GetNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets->At(2).Find("count")->GetNumber(), 1.0);
+  EXPECT_EQ(buckets->At(2).Find("le")->GetString(), "inf");
+
+  const JsonValue* span_stats =
+      parsed->Find("span_stats")->Find("test.export.phase");
+  ASSERT_NE(span_stats, nullptr);
+  EXPECT_DOUBLE_EQ(span_stats->Find("count")->GetNumber(), 1.0);
+
+  bool saw_span = false;
+  const JsonValue* spans = parsed->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  for (size_t i = 0; i < spans->size(); ++i) {
+    if (spans->At(i).Find("name")->GetString() == "test.export.phase") {
+      saw_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, CsvContainsEveryInstrumentKind) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.csv.counter").Add(9);
+  registry.GetGauge("test.csv.gauge").Set(4);
+  registry.GetHistogram("test.csv.hist").Observe(3.0);
+  registry.SetMetadata("scale", "1.0");
+  {
+    ScopedSpan span("test.csv.span");
+  }
+  const std::string path = TempPath("obs_export_test.csv");
+  ASSERT_TRUE(CsvExporter::WriteFile(path, "unit_test").ok());
+  std::string csv = ReadFile(path);
+  EXPECT_NE(csv.find("run,kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("unit_test,counter,test.csv.counter,value,9"),
+            std::string::npos);
+  EXPECT_NE(csv.find("unit_test,gauge,test.csv.gauge,value,4"),
+            std::string::npos);
+  EXPECT_NE(csv.find("unit_test,histogram,test.csv.hist,count,1"),
+            std::string::npos);
+  EXPECT_NE(csv.find("unit_test,span,test.csv.span,count,1"),
+            std::string::npos);
+  EXPECT_NE(csv.find("unit_test,metadata,scale,value,1.0"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, ExportMetricsDispatchesOnExtensionAndEmptyPathIsNoOp) {
+  EXPECT_TRUE(ExportMetrics("", "unit_test").ok());
+  const std::string json_path = TempPath("obs_dispatch.json");
+  const std::string csv_path = TempPath("obs_dispatch.csv");
+  ASSERT_TRUE(ExportMetrics(json_path, "unit_test").ok());
+  ASSERT_TRUE(ExportMetrics(csv_path, "unit_test").ok());
+  EXPECT_TRUE(JsonValue::Parse(ReadFile(json_path)).ok());
+  EXPECT_NE(ReadFile(csv_path).find("run,kind,name"), std::string::npos);
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST_F(ExportTest, WriteToUnopenablePathFails) {
+  EXPECT_FALSE(
+      JsonExporter::WriteFile("/nonexistent-dir/metrics.json", "unit_test")
+          .ok());
+}
+
+}  // namespace
+}  // namespace convpairs::obs

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/parallel.h"
+
+namespace convpairs::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFromParallelPool) {
+  Counter counter;
+  constexpr int kIterations = 20000;
+  ParallelFor(
+      kIterations, [&](size_t) { counter.Increment(); }, /*num_threads=*/4);
+  EXPECT_EQ(counter.value(), kIterations);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 4);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  // Value == bound lands in that bound's bucket; above the last bound is
+  // the overflow bucket.
+  histogram.Observe(0.5);  // bucket 0 (le 1)
+  histogram.Observe(1.0);  // bucket 0 (le 1, inclusive)
+  histogram.Observe(1.5);  // bucket 1 (le 2)
+  histogram.Observe(2.0);  // bucket 1
+  histogram.Observe(3.0);  // bucket 2 (le 4)
+  histogram.Observe(9.0);  // overflow
+  EXPECT_EQ(histogram.BucketCount(0), 2u);
+  EXPECT_EQ(histogram.BucketCount(1), 2u);
+  EXPECT_EQ(histogram.BucketCount(2), 1u);
+  EXPECT_EQ(histogram.BucketCount(3), 1u);
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 9.0);
+}
+
+TEST(HistogramTest, SampleCarriesMinMaxAndBuckets) {
+  Histogram histogram({10.0, 20.0});
+  histogram.Observe(5.0);
+  histogram.Observe(15.0);
+  histogram.Observe(25.0);
+  HistogramSample sample = histogram.Sample("h");
+  EXPECT_EQ(sample.name, "h");
+  EXPECT_EQ(sample.count, 3u);
+  EXPECT_DOUBLE_EQ(sample.min, 5.0);
+  EXPECT_DOUBLE_EQ(sample.max, 25.0);
+  ASSERT_EQ(sample.buckets.size(), 3u);
+  EXPECT_EQ(sample.buckets[0], 1u);
+  EXPECT_EQ(sample.buckets[1], 1u);
+  EXPECT_EQ(sample.buckets[2], 1u);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram histogram({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  histogram.Observe(5.0);
+  histogram.Observe(15.0);
+  histogram.Observe(25.0);
+  histogram.Observe(35.0);
+  // Rank 2 of 4 -> second bucket (10, 20]; it holds 1 observation, so the
+  // interpolated value is the bucket's upper bound.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 20.0);
+  // Rank 1 -> first bucket; lower edge is min(observed min, first bound).
+  EXPECT_DOUBLE_EQ(histogram.Percentile(25.0), 10.0);
+  // Rank 4 -> overflow bucket, interpolating toward the observed max.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100.0), 35.0);
+}
+
+TEST(HistogramTest, PercentileOrderingIsMonotone) {
+  Histogram histogram(ExponentialBuckets(1.0, 2.0, 12));
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Observe(static_cast<double>(i));
+  }
+  double p50 = histogram.Percentile(50.0);
+  double p90 = histogram.Percentile(90.0);
+  double p99 = histogram.Percentile(99.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // The true medians/quantiles lie within one power-of-two bucket.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_GE(p99, 512.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesFromParallelPool) {
+  Histogram histogram({100.0, 1000.0});
+  constexpr int kIterations = 10000;
+  ParallelFor(
+      kIterations,
+      [&](size_t i) { histogram.Observe(static_cast<double>(i % 2000)); },
+      /*num_threads=*/4);
+  EXPECT_EQ(histogram.count(), kIterations);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i <= 2; ++i) bucket_total += histogram.BucketCount(i);
+  EXPECT_EQ(bucket_total, kIterations);
+}
+
+TEST(BucketHelpersTest, ExponentialAndLinearShapes) {
+  std::vector<double> exponential = ExponentialBuckets(1.0, 2.0, 4);
+  EXPECT_EQ(exponential, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  std::vector<double> linear = LinearBuckets(0.0, 5.0, 3);
+  EXPECT_EQ(linear, (std::vector<double>{0.0, 5.0, 10.0}));
+}
+
+TEST(RegistryTest, SameNameSameInstrument) {
+  auto& registry = MetricsRegistry::Global();
+  Counter& a = registry.GetCounter("test.registry.same_name");
+  Counter& b = registry.GetCounter("test.registry.same_name");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.GetHistogram("test.registry.hist");
+  Histogram& h2 = registry.GetHistogram("test.registry.hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsInstruments) {
+  auto& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.registry.reset");
+  counter.Add(5);
+  registry.SetMetadata("test.key", "test.value");
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0);
+  // The same reference is still live and usable after Reset.
+  counter.Add(2);
+  EXPECT_EQ(registry.GetCounter("test.registry.reset").value(), 2);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  for (const auto& [key, value] : snapshot.metadata) {
+    EXPECT_NE(key, "test.key");
+  }
+}
+
+TEST(RegistryTest, SnapshotSeesConcurrentWriters) {
+  auto& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.registry.concurrent");
+  counter.Reset();
+  ParallelFor(
+      5000, [&](size_t) { counter.Increment(); }, /*num_threads=*/4);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "test.registry.concurrent") {
+      found = true;
+      EXPECT_EQ(value, 5000);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace convpairs::obs

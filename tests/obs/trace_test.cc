@@ -1,0 +1,108 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace convpairs::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TraceBuffer::Global().Reset(); }
+};
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndCompletionOrder) {
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan middle("middle");
+      ScopedSpan inner("inner");
+    }
+  }
+  TraceSnapshot snapshot = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 3u);
+  // Spans complete innermost-first.
+  EXPECT_EQ(snapshot.spans[0].name, "inner");
+  EXPECT_EQ(snapshot.spans[1].name, "middle");
+  EXPECT_EQ(snapshot.spans[2].name, "outer");
+  EXPECT_EQ(snapshot.spans[0].depth, 2);
+  EXPECT_EQ(snapshot.spans[1].depth, 1);
+  EXPECT_EQ(snapshot.spans[2].depth, 0);
+  // The outer span strictly contains the inner ones.
+  EXPECT_LE(snapshot.spans[2].start_ns, snapshot.spans[0].start_ns);
+  EXPECT_GE(snapshot.spans[2].duration_ns, snapshot.spans[0].duration_ns);
+}
+
+TEST_F(TraceTest, SiblingSpansShareDepth) {
+  {
+    ScopedSpan first("first");
+  }
+  {
+    ScopedSpan second("second");
+  }
+  TraceSnapshot snapshot = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 2u);
+  EXPECT_EQ(snapshot.spans[0].depth, 0);
+  EXPECT_EQ(snapshot.spans[1].depth, 0);
+  EXPECT_LE(snapshot.spans[0].start_ns, snapshot.spans[1].start_ns);
+}
+
+TEST_F(TraceTest, AggregatesCountEverySpanWithSameName) {
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("repeated");
+  }
+  TraceSnapshot snapshot = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(snapshot.stats.size(), 1u);
+  EXPECT_EQ(snapshot.stats[0].name, "repeated");
+  EXPECT_EQ(snapshot.stats[0].count, 5u);
+  EXPECT_GE(snapshot.stats[0].max_ns, snapshot.stats[0].min_ns);
+  EXPECT_GE(snapshot.stats[0].total_ns,
+            5 * snapshot.stats[0].min_ns);
+}
+
+TEST_F(TraceTest, BufferIsBoundedButAggregatesAreNot) {
+  for (size_t i = 0; i < TraceBuffer::kCapacity + 100; ++i) {
+    ScopedSpan span("flood");
+  }
+  TraceSnapshot snapshot = TraceBuffer::Global().Snapshot();
+  EXPECT_EQ(snapshot.spans.size(), TraceBuffer::kCapacity);
+  EXPECT_EQ(snapshot.dropped, 100u);
+  ASSERT_EQ(snapshot.stats.size(), 1u);
+  EXPECT_EQ(snapshot.stats[0].count, TraceBuffer::kCapacity + 100);
+}
+
+TEST_F(TraceTest, SpansFromOtherThreadsCarryDistinctThreadIds) {
+  int main_id = TraceThreadId();
+  {
+    ScopedSpan span("main_thread");
+  }
+  std::thread worker([] { ScopedSpan span("worker_thread"); });
+  worker.join();
+  TraceSnapshot snapshot = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 2u);
+  int worker_id = -1;
+  for (const SpanRecord& record : snapshot.spans) {
+    if (record.name == "worker_thread") worker_id = record.thread_id;
+    if (record.name == "main_thread") {
+      EXPECT_EQ(record.thread_id, main_id);
+    }
+    // A fresh thread starts at depth 0 regardless of the main thread.
+    EXPECT_EQ(record.depth, 0);
+  }
+  EXPECT_NE(worker_id, main_id);
+}
+
+TEST_F(TraceTest, ResetClearsSpansStatsAndDropCount) {
+  {
+    ScopedSpan span("ephemeral");
+  }
+  TraceBuffer::Global().Reset();
+  TraceSnapshot snapshot = TraceBuffer::Global().Snapshot();
+  EXPECT_TRUE(snapshot.spans.empty());
+  EXPECT_TRUE(snapshot.stats.empty());
+  EXPECT_EQ(snapshot.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace convpairs::obs

@@ -48,6 +48,14 @@ TEST(FlagParserTest, BareBooleanIsTrue) {
   EXPECT_TRUE(*parser.GetBool("verbose"));
 }
 
+TEST(FlagParserTest, BareNonBooleanFlagRejected) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--name"};
+  Status status = parser.Parse(2, argv);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("--name"), std::string::npos);
+}
+
 TEST(FlagParserTest, PositionalArguments) {
   FlagParser parser = MakeParser();
   const char* argv[] = {"tool", "input.txt", "--count=1", "more.txt"};

@@ -14,6 +14,9 @@
 //   --weighted         use the quantized-Dijkstra engine
 //   --exact            also compute the exact ground truth and report the
 //                      achieved coverage (quadratic; small graphs only)
+//   --metrics-out F    write run telemetry (SSSP cost counters, phase spans)
+//                      to F as JSON (or CSV if F ends in .csv); the
+//                      CONVPAIRS_METRICS_OUT env var is the fallback
 //
 // Examples:
 //   convpairs_cli --dataset facebook --scale 0.25 --selector MMSD --budget 100
@@ -28,6 +31,7 @@
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/validation.h"
+#include "obs/obs.h"
 #include "sssp/bfs.h"
 #include "sssp/dijkstra.h"
 #include "util/flags.h"
@@ -176,6 +180,29 @@ int Run(const FlagParser& flags) {
     std::printf("candidate coverage of the true top-k set: %.1f%%\n",
                 100.0 * coverage);
   }
+
+  // Telemetry: interactive runs get the same machine-readable record as the
+  // bench binaries. --metrics-out wins; CONVPAIRS_METRICS_OUT is the
+  // fallback; neither set means no file.
+  std::string metrics_path = flags.GetString("metrics-out");
+  if (metrics_path.empty()) metrics_path = obs::MetricsOutPath("");
+  if (!metrics_path.empty()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.SetMetadata("tool", "convpairs_cli");
+    registry.SetMetadata("source", source);
+    registry.SetMetadata("selector", (*selector)->name());
+    registry.SetMetadata("budget_m", std::to_string(options.budget_m));
+    registry.SetMetadata("k", std::to_string(options.k));
+    registry.SetMetadata("seed", std::to_string(options.seed));
+    registry.SetMetadata("weighted", *weighted ? "true" : "false");
+    Status exported = obs::ExportMetrics(metrics_path, "convpairs_cli");
+    if (!exported.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   exported.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry: wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -202,6 +229,9 @@ int main(int argc, char** argv) {
   flags.Define("weighted", "false", "use weighted (Dijkstra) distances");
   flags.Define("exact", "false",
                "also compute exact ground truth and report coverage");
+  flags.Define("metrics-out", "",
+               "write run telemetry (counters, histograms, spans) to this "
+               "JSON/CSV file; CONVPAIRS_METRICS_OUT is the env fallback");
   flags.Define("help", "false", "print usage");
 
   Status status = flags.Parse(argc, argv);
