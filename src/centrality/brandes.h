@@ -19,23 +19,25 @@ namespace convpairs {
 
 /// Node betweenness for every node (undirected convention: each unordered
 /// pair counted once).
-std::vector<double> NodeBetweenness(const Graph& g, int num_threads = 0);
+[[nodiscard]] std::vector<double> NodeBetweenness(const Graph& g,
+                                                  int num_threads = 0);
 
 /// Edge betweenness. Result maps the packed key EdgeKey(u,v) (u < v) to the
 /// edge's betweenness score.
 class EdgeBetweenness {
  public:
   /// Computes exact edge betweenness of `g`.
-  static EdgeBetweenness Compute(const Graph& g, int num_threads = 0);
+  [[nodiscard]] static EdgeBetweenness Compute(const Graph& g,
+                                               int num_threads = 0);
 
   /// Score of edge {u, v}; 0.0 if the edge is absent.
-  double Get(NodeId u, NodeId v) const;
+  [[nodiscard]] double Get(NodeId u, NodeId v) const;
 
   /// Sum of scores over all edges incident to `u` in `g`.
-  double IncidentSum(const Graph& g, NodeId u) const;
+  [[nodiscard]] double IncidentSum(const Graph& g, NodeId u) const;
 
   /// Packs an unordered pair into a 64-bit key.
-  static uint64_t EdgeKey(NodeId u, NodeId v);
+  [[nodiscard]] static uint64_t EdgeKey(NodeId u, NodeId v);
 
   /// Wraps an externally accumulated score map (used by the sampled
   /// estimator; keys must come from EdgeKey).

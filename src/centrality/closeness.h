@@ -13,7 +13,8 @@ namespace convpairs {
 /// Harmonic closeness: C(u) = sum_{v != u, reachable} 1 / d(u, v).
 /// Well-defined on disconnected graphs (unreachable pairs contribute 0).
 /// O(n m); intended for evaluation-scale graphs, not the budgeted pipeline.
-std::vector<double> HarmonicCloseness(const Graph& g, int num_threads = 0);
+[[nodiscard]] std::vector<double> HarmonicCloseness(const Graph& g,
+                                                    int num_threads = 0);
 
 }  // namespace convpairs
 

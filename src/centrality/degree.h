@@ -13,20 +13,22 @@
 namespace convpairs {
 
 /// deg_t1(u) for every node.
-std::vector<double> DegreeScores(const Graph& g1);
+[[nodiscard]] std::vector<double> DegreeScores(const Graph& g1);
 
 /// deg_t2(u) - deg_t1(u): absolute degree growth between snapshots.
-std::vector<double> DegreeDiffScores(const Graph& g1, const Graph& g2);
+[[nodiscard]] std::vector<double> DegreeDiffScores(const Graph& g1,
+                                                   const Graph& g2);
 
 /// (deg_t2(u) - deg_t1(u)) / deg_t1(u): relative degree growth. Nodes absent
 /// from G_t1 (degree 0) use a denominator of 1 so newly arrived nodes rank
 /// by their raw growth instead of dividing by zero.
-std::vector<double> DegreeRelScores(const Graph& g1, const Graph& g2);
+[[nodiscard]] std::vector<double> DegreeRelScores(const Graph& g1,
+                                                  const Graph& g2);
 
 /// Returns the indices of the `count` largest scores, ties broken by lower
 /// node id (deterministic). `count` is clamped to scores.size().
-std::vector<NodeId> TopKByScore(const std::vector<double>& scores,
-                                size_t count);
+[[nodiscard]] std::vector<NodeId> TopKByScore(const std::vector<double>& scores,
+                                              size_t count);
 
 }  // namespace convpairs
 

@@ -18,10 +18,10 @@
 namespace convpairs {
 
 /// Core number per node (0 for isolated nodes).
-std::vector<uint32_t> CoreNumbers(const Graph& g);
+[[nodiscard]] std::vector<uint32_t> CoreNumbers(const Graph& g);
 
 /// Largest k with a non-empty k-core (the graph's degeneracy).
-uint32_t Degeneracy(const Graph& g);
+[[nodiscard]] uint32_t Degeneracy(const Graph& g);
 
 }  // namespace convpairs
 

@@ -25,7 +25,8 @@ struct PageRankOptions {
 /// teleport mass only; dangling mass is redistributed uniformly. On an
 /// undirected graph this converges near the degree distribution but differs
 /// enough on hub-adjacent nodes to be a distinct feature.
-std::vector<double> PageRank(const Graph& g, const PageRankOptions& options = {});
+[[nodiscard]] std::vector<double> PageRank(const Graph& g,
+                                           const PageRankOptions& options = {});
 
 }  // namespace convpairs
 

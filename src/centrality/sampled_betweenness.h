@@ -19,8 +19,9 @@ namespace convpairs {
 /// Estimates edge betweenness from `num_samples` source sweeps
 /// (num_samples is clamped to the node count; equality reproduces the
 /// exact computation up to scaling round-off).
-EdgeBetweenness SampledEdgeBetweenness(const Graph& g, uint32_t num_samples,
-                                       Rng& rng);
+[[nodiscard]] EdgeBetweenness SampledEdgeBetweenness(const Graph& g,
+                                                     uint32_t num_samples,
+                                                     Rng& rng);
 
 }  // namespace convpairs
 

@@ -34,7 +34,7 @@ struct ConnectedComponents {
 };
 
 /// Labels components with iterative BFS; O(n + m).
-ConnectedComponents ComputeConnectedComponents(const Graph& g);
+[[nodiscard]] ConnectedComponents ComputeConnectedComponents(const Graph& g);
 
 }  // namespace convpairs
 

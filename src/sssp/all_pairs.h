@@ -28,9 +28,9 @@ void ForEachSourceDistances(
 /// Dense n x n matrix (row-major). Aborts if n * n would exceed `max_cells`
 /// (default 64M cells ~= 256 MB) — a guard against accidentally running the
 /// quadratic path on a large graph.
-std::vector<Dist> AllPairsMatrix(const Graph& g,
-                                 const ShortestPathEngine& engine,
-                                 size_t max_cells = size_t{64} << 20);
+[[nodiscard]] std::vector<Dist> AllPairsMatrix(
+    const Graph& g, const ShortestPathEngine& engine,
+    size_t max_cells = size_t{64} << 20);
 
 }  // namespace convpairs
 

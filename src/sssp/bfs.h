@@ -15,9 +15,10 @@ namespace convpairs {
 void BfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
                   SsspBudget* budget = nullptr);
 
-/// Allocating convenience overload.
-std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
-                               SsspBudget* budget = nullptr);
+/// Allocating convenience overload. [[nodiscard]]: the traversal is pure
+/// apart from budget charging, so a discarded result is always a bug.
+[[nodiscard]] std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
+                                             SsspBudget* budget = nullptr);
 
 /// Reusable-workspace BFS for hot loops (all-pairs, Brandes, ground truth):
 /// keeps the queue and distance buffers alive across runs.

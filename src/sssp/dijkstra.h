@@ -32,10 +32,11 @@ void DijkstraDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
                        const DijkstraOptions& options = {},
                        SsspBudget* budget = nullptr);
 
-/// Allocating convenience overload.
-std::vector<Dist> DijkstraDistances(const Graph& g, NodeId src,
-                                    const DijkstraOptions& options = {},
-                                    SsspBudget* budget = nullptr);
+/// Allocating convenience overload. [[nodiscard]]: pure apart from budget
+/// charging, so a discarded result is always a bug.
+[[nodiscard]] std::vector<Dist> DijkstraDistances(
+    const Graph& g, NodeId src, const DijkstraOptions& options = {},
+    SsspBudget* budget = nullptr);
 
 /// Uniform interface over BFS and Dijkstra so the converging-pairs pipeline
 /// runs unchanged on weighted graphs.

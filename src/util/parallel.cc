@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace convpairs {
 
 int DefaultThreadCount() {
@@ -16,7 +18,14 @@ void ParallelForBlocks(
     const std::function<void(int thread_index, size_t begin, size_t end)>& body,
     int num_threads) {
   if (count == 0) return;
-  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  if (num_threads < 0) {
+    LOG_WARNING << "ParallelForBlocks: invalid num_threads=" << num_threads
+                << "; clamping to DefaultThreadCount()="
+                << DefaultThreadCount();
+    num_threads = DefaultThreadCount();
+  } else if (num_threads == 0) {
+    num_threads = DefaultThreadCount();
+  }
   num_threads = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(num_threads), count));
   if (num_threads == 1) {

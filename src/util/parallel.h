@@ -18,15 +18,33 @@ namespace convpairs {
 int DefaultThreadCount();
 
 /// Invokes `body(thread_index, begin, end)` over a static partition of
-/// [0, count) across `num_threads` workers (0 = DefaultThreadCount()).
-/// Blocks until all workers finish. `body` must be safe to run concurrently
-/// for disjoint ranges.
+/// [0, count) across `num_threads` workers. `num_threads == 0` means
+/// DefaultThreadCount(); negative values are invalid and are clamped to the
+/// default with a logged warning (never undefined behavior). The effective
+/// worker count is additionally capped at `count`, and a single-worker run
+/// executes inline on the calling thread with no thread spawn.
+///
+/// Thread-safety contract:
+///  - `body` is invoked concurrently from multiple threads, at most once per
+///    worker, with pairwise-disjoint `[begin, end)` ranges that exactly tile
+///    [0, count). It must be safe to run concurrently for disjoint ranges:
+///    writes to shared state require synchronization (mutex or atomics);
+///    per-range writes to distinct elements of a shared container are safe.
+///  - `thread_index` is in [0, effective_threads) and may be used to index
+///    per-worker scratch buffers without locking.
+///  - The call blocks until every worker has finished (join barrier); the
+///    caller observes all of `body`'s writes afterwards
+///    (happens-before via std::thread::join).
+///  - Exceptions thrown by `body` terminate the process (std::thread).
+///  - Nested calls are permitted but each level spawns its own workers;
+///    avoid nesting on hot paths.
 void ParallelForBlocks(
     size_t count,
     const std::function<void(int thread_index, size_t begin, size_t end)>& body,
     int num_threads = 0);
 
 /// Convenience wrapper calling `body(i)` for each i in [0, count).
+/// Same threading and safety contract as ParallelForBlocks.
 void ParallelFor(size_t count, const std::function<void(size_t)>& body,
                  int num_threads = 0);
 

@@ -29,30 +29,33 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 /// Result of a fallible operation: either OK or a code plus message.
-class Status {
+/// Marked [[nodiscard]]: silently dropping a Status hides I/O and validation
+/// failures, so every call site must either propagate, handle, or explicitly
+/// acknowledge the error.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -71,7 +74,7 @@ class Status {
 /// Either a value of type T or an error Status. Dereferencing a non-OK
 /// StatusOr is a checked fatal error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}              // NOLINT
   StatusOr(Status status) : status_(std::move(status)) {       // NOLINT
@@ -104,11 +107,14 @@ class StatusOr {
   std::optional<T> value_;
 };
 
-/// Propagates a non-OK status to the caller.
-#define CONVPAIRS_RETURN_IF_ERROR(expr)        \
-  do {                                         \
-    ::convpairs::Status status_ = (expr);      \
-    if (!status_.ok()) return status_;         \
+/// Propagates a non-OK status to the caller. The local uses a reserved-style
+/// unique name rather than `status_` so the macro can never silently shadow
+/// (or capture) a member named with the ubiquitous `_`-suffix convention.
+#define CONVPAIRS_RETURN_IF_ERROR(expr)                          \
+  do {                                                           \
+    ::convpairs::Status convpairs_return_if_error_tmp = (expr);  \
+    if (!convpairs_return_if_error_tmp.ok())                     \
+      return convpairs_return_if_error_tmp;                      \
   } while (0)
 
 }  // namespace convpairs

@@ -43,8 +43,9 @@ TEST(BfsTest, SourceDistanceIsZero) {
 TEST(BfsTest, ChargesBudget) {
   Graph g = testing::PathGraph(3);
   SsspBudget budget(10);
-  BfsDistances(g, 0, &budget);
-  BfsDistances(g, 1, &budget);
+  std::vector<Dist> scratch;
+  BfsDistances(g, 0, &scratch, &budget);
+  BfsDistances(g, 1, &scratch, &budget);
   EXPECT_EQ(budget.used(), 2);
 }
 

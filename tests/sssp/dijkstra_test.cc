@@ -67,7 +67,8 @@ TEST(DijkstraTest, UnreachableIsInf) {
 TEST(DijkstraTest, ChargesBudget) {
   Graph g = testing::PathGraph(4);
   SsspBudget budget(5);
-  DijkstraDistances(g, 0, {}, &budget);
+  std::vector<Dist> scratch;
+  DijkstraDistances(g, 0, &scratch, {}, &budget);
   EXPECT_EQ(budget.used(), 1);
 }
 

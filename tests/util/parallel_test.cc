@@ -56,6 +56,14 @@ TEST(ParallelForTest, SumMatchesSequential) {
   EXPECT_EQ(total, static_cast<int64_t>(kCount) * (kCount - 1) / 2);
 }
 
+TEST(ParallelForTest, NegativeThreadCountClampedNotUB) {
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelFor(
+      kCount, [&](size_t i) { visits[i]++; }, /*num_threads=*/-7);
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
 TEST(DefaultThreadCountTest, AtLeastOne) {
   EXPECT_GE(DefaultThreadCount(), 1);
 }

@@ -1,0 +1,311 @@
+// convpairs_lint: dependency-free repo-invariant checker, registered as a
+// ctest test (see tools/CMakeLists.txt). Usage: convpairs_lint <repo_root>.
+//
+// Enforced invariants (each one has bitten a real graph/metrics codebase):
+//   1. src/util/status.h keeps `[[nodiscard]]` on Status and StatusOr so the
+//      compiler rejects silently discarded errors under -Werror.
+//   2. No std::cout / std::cerr / printf-to-stdout in src/ library code —
+//      diagnostics go through src/util/logging so experiments can filter by
+//      level and keep stdout clean for data. (util/logging and the fatal
+//      path in util/check.h are the only sanctioned sinks.)
+//   3. No rand() / srand() / std::random_device outside src/util/rng —
+//      every random draw must flow through the seeded xoshiro Rng or the
+//      paper tables stop being bit-for-bit reproducible.
+//   4. Include guards follow CONVPAIRS_<PATH>_H_ (path relative to src/,
+//      uppercased, separators mapped to '_').
+//   5. Every bench/*.cc calls FinishAndExport so each benchmark emits its
+//      BENCH_<name>.json telemetry (the obs contract from PR 1).
+//
+// The scanner strips string literals and comments line-by-line before
+// matching, so documentation may mention forbidden tokens freely.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  int line;  // 0 = whole-file finding
+  std::string message;
+};
+
+std::vector<Violation> g_violations;
+
+void Report(const fs::path& file, int line, std::string message) {
+  g_violations.push_back({file.string(), line, std::move(message)});
+}
+
+bool ReadLines(const fs::path& path, std::vector<std::string>* lines) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) lines->push_back(line);
+  return true;
+}
+
+// Removes the contents of string/char literals and comments from one line of
+// C++ so token matching cannot fire inside text. `in_block_comment` carries
+// /* ... */ state across lines.
+std::string StripLiteralsAndComments(const std::string& line,
+                                     bool* in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (*in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        *in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          ++i;  // Skip the escaped character.
+        } else if (line[i] == quote) {
+          out.push_back(quote);
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when `token` occurs in `code` as a standalone identifier (not a
+// substring of a longer identifier and not qualified beyond what the token
+// itself spells, so "rand" does not match "operand" or "Rng::rand_state").
+bool ContainsToken(const std::string& code, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    bool left_ok =
+        pos == 0 ||
+        (!IsIdentChar(code[pos - 1]) && code[pos - 1] != ':' &&
+         code[pos - 1] != '.' && code[pos - 1] != '>');
+    size_t end = pos + token.size();
+    bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+std::string ExpectedGuard(const fs::path& rel_to_src) {
+  std::string guard = "CONVPAIRS_";
+  for (char c : rel_to_src.generic_string()) {
+    if (c == '/' || c == '.') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+// --- Invariant 1: [[nodiscard]] stays on Status/StatusOr. --------------------
+
+void CheckStatusNodiscard(const fs::path& repo_root) {
+  const fs::path header = repo_root / "src" / "util" / "status.h";
+  std::vector<std::string> lines;
+  if (!ReadLines(header, &lines)) {
+    Report(header, 0, "missing: the Status/StatusOr header must exist");
+    return;
+  }
+  bool status_marked = false;
+  bool statusor_marked = false;
+  for (const std::string& line : lines) {
+    if (line.find("class [[nodiscard]] Status {") != std::string::npos) {
+      status_marked = true;
+    }
+    if (line.find("class [[nodiscard]] StatusOr {") != std::string::npos) {
+      statusor_marked = true;
+    }
+  }
+  if (!status_marked) {
+    Report(header, 0,
+           "Status must be declared `class [[nodiscard]] Status` so "
+           "discarded errors fail the -Werror build");
+  }
+  if (!statusor_marked) {
+    Report(header, 0,
+           "StatusOr must be declared `class [[nodiscard]] StatusOr` so "
+           "discarded results fail the -Werror build");
+  }
+}
+
+// --- Invariants 2-4: per-file scans over src/. -------------------------------
+
+bool IsLoggingSink(const fs::path& rel_to_src) {
+  const std::string p = rel_to_src.generic_string();
+  return p == "util/logging.h" || p == "util/logging.cc" ||
+         p == "util/check.h";
+}
+
+bool IsRngHome(const fs::path& rel_to_src) {
+  const std::string p = rel_to_src.generic_string();
+  return p == "util/rng.h" || p == "util/rng.cc";
+}
+
+void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
+  std::vector<std::string> lines;
+  if (!ReadLines(path, &lines)) {
+    Report(path, 0, "unreadable source file");
+    return;
+  }
+
+  const bool logging_ok = IsLoggingSink(rel_to_src);
+  const bool rng_ok = IsRngHome(rel_to_src);
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string code =
+        StripLiteralsAndComments(lines[i], &in_block_comment);
+    const int line_no = static_cast<int>(i) + 1;
+
+    if (!logging_ok) {
+      if (code.find("std::cout") != std::string::npos ||
+          code.find("std::cerr") != std::string::npos) {
+        Report(path, line_no,
+               "library code must log via util/logging, not iostream");
+      }
+      // printf/fprintf write to stdio directly; snprintf (buffer formatting)
+      // is fine. fputs/puts are the same sin under another name.
+      for (const char* fn : {"printf", "fprintf", "puts", "fputs"}) {
+        if (ContainsToken(code, fn)) {
+          Report(path, line_no,
+                 std::string("library code must log via util/logging, not ") +
+                     fn + "()");
+        }
+      }
+    }
+    if (!rng_ok) {
+      for (const char* fn : {"rand", "srand", "rand_r", "random_device"}) {
+        if (ContainsToken(code, fn)) {
+          Report(path, line_no,
+                 std::string("randomness must flow through util/rng (found ") +
+                     fn + ")");
+        }
+      }
+    }
+  }
+
+  // Include-guard naming for headers.
+  if (rel_to_src.extension() == ".h") {
+    const std::string expected = ExpectedGuard(rel_to_src);
+    bool found_ifndef = false;
+    bool found_define = false;
+    for (const std::string& line : lines) {
+      if (!found_ifndef && line.rfind("#ifndef ", 0) == 0) {
+        found_ifndef = true;
+        if (line.substr(8) != expected) {
+          Report(path, 0, "include guard must be " + expected +
+                              " (found: " + line.substr(8) + ")");
+        }
+        continue;
+      }
+      if (found_ifndef && line.rfind("#define ", 0) == 0) {
+        found_define = line.substr(8) == expected;
+        break;
+      }
+    }
+    if (!found_ifndef) {
+      Report(path, 0, "header missing include guard " + expected);
+    } else if (!found_define) {
+      Report(path, 0, "#define must immediately follow #ifndef " + expected);
+    }
+  }
+}
+
+// --- Invariant 5: every bench calls FinishAndExport. -------------------------
+
+void CheckBenchFile(const fs::path& path) {
+  std::vector<std::string> lines;
+  if (!ReadLines(path, &lines)) {
+    Report(path, 0, "unreadable bench file");
+    return;
+  }
+  for (const std::string& line : lines) {
+    if (line.find("FinishAndExport") != std::string::npos) return;
+  }
+  Report(path, 0,
+         "bench must call FinishAndExport so BENCH_<name>.json telemetry is "
+         "written (see bench/common/bench_env.h)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <repo_root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path repo_root = argv[1];
+  const fs::path src_root = repo_root / "src";
+  const fs::path bench_root = repo_root / "bench";
+  if (!fs::is_directory(src_root) || !fs::is_directory(bench_root)) {
+    std::fprintf(stderr, "convpairs_lint: %s is not the repo root\n",
+                 repo_root.string().c_str());
+    return 2;
+  }
+
+  CheckStatusNodiscard(repo_root);
+
+  int files_scanned = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    const std::string ext = path.extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    CheckSrcFile(path, fs::relative(path, src_root));
+    ++files_scanned;
+  }
+  // bench/*.cc only — bench/common/ holds the harness itself, which defines
+  // rather than calls FinishAndExport.
+  for (const auto& entry : fs::directory_iterator(bench_root)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".cc") continue;
+    CheckBenchFile(entry.path());
+    ++files_scanned;
+  }
+
+  if (g_violations.empty()) {
+    std::printf("convpairs_lint: OK (%d files scanned)\n", files_scanned);
+    return 0;
+  }
+  for (const Violation& v : g_violations) {
+    if (v.line > 0) {
+      std::fprintf(stderr, "%s:%d: %s\n", v.file.c_str(), v.line,
+                   v.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s: %s\n", v.file.c_str(), v.message.c_str());
+    }
+  }
+  std::fprintf(stderr, "convpairs_lint: %zu violation(s) in %d files\n",
+               g_violations.size(), files_scanned);
+  return 1;
+}
