@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "common/bench_env.h"
 #include "centrality/brandes.h"
 #include "centrality/kcore.h"
@@ -12,13 +14,16 @@
 #include "core/ground_truth.h"
 #include "cover/greedy_cover.h"
 #include "graph/binary_io.h"
+#include "sssp/all_pairs.h"
 #include "sssp/incremental.h"
 #include "gen/ba_generator.h"
 #include "gen/er_generator.h"
 #include "gen/friendship_generator.h"
 #include "landmark/landmark_selector.h"
 #include "sssp/bfs.h"
+#include "sssp/bfs_engine.h"
 #include "sssp/dijkstra.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace convpairs {
@@ -45,6 +50,83 @@ void BM_BfsSssp(benchmark::State& state) {
                           static_cast<int64_t>(g.num_edges()));
 }
 BENCHMARK(BM_BfsSssp)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// All-pairs BFS throughput: the dominant cost of ground truth, all-pairs
+// matrices and closeness. Items = edge relaxations (sources x edges), so the
+// rate is comparable across engine rewrites. The generic lambda keeps this
+// bench source-compatible across visit-callback signature changes.
+void BM_AllPairsBfs(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  BfsEngine engine;
+  for (auto _ : state) {
+    std::atomic<uint64_t> reached{0};
+    ForEachSourceDistances(g, engine, [&](NodeId src, const auto& dist) {
+      reached.fetch_add(static_cast<uint64_t>(dist[src] == 0),
+                        std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(reached.load());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_nodes()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_AllPairsBfs)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Direction-optimizing single-source BFS; contrast with BM_BfsSssp (the
+// classic top-down runner) at the same sizes to see the bottom-up win on
+// the dense mid-levels of BA graphs.
+void BM_DirectionOptBfs(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  DirOptBfsRunner runner(g);
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.Run(src));
+    src = (src + 17) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_DirectionOptBfs)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// One full 64-lane MS-BFS batch; items = lanes x edges, so the rate is
+// directly comparable with the per-source BFS benches above.
+void BM_MsBfsBatch(benchmark::State& state) {
+  Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));
+  MsBfsRunner runner(g);
+  std::vector<NodeId> sources;
+  for (uint32_t i = 0; i < kMsBfsBatchWidth; ++i) {
+    sources.push_back((i * 131) % g.num_nodes());
+  }
+  std::vector<Dist> rows(static_cast<size_t>(kMsBfsBatchWidth) *
+                         g.num_nodes());
+  for (auto _ : state) {
+    runner.Run(sources, rows);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kMsBfsBatchWidth) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_MsBfsBatch)->Arg(10000)->Arg(50000);
+
+// Pure scheduling overhead of the work-stealing pool: tiny per-item bodies
+// over a large range, so chunk handoff and wakeup dominate.
+void BM_PoolScheduling(benchmark::State& state) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> out(
+      static_cast<size_t>(MaxParallelWorkers(count)), 0);
+  for (auto _ : state) {
+    ParallelForBlocks(count, [&](int thread_index, size_t begin, size_t end) {
+      uint64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += i;
+      out[static_cast<size_t>(thread_index)] += local;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(count));
+}
+BENCHMARK(BM_PoolScheduling)->Arg(1 << 12)->Arg(1 << 18);
 
 void BM_DijkstraSssp(benchmark::State& state) {
   Graph g = MakeBaGraph(static_cast<uint32_t>(state.range(0)));

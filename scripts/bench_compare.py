@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    scripts/bench_compare.py CURRENT.json [--baseline bench/baselines/bench_micro_perf.json]
+                             [--threshold 0.15] [--no-fail] [--report out.md]
+
+Benchmarks are matched by name. For every benchmark present in both files
+the script reports the items_per_second ratio (falling back to inverse
+real_time when a benchmark reports no items counter) and flags regressions
+where the current run is more than --threshold (default 15%) slower than
+the baseline. Exit status is 1 when any regression is flagged, unless
+--no-fail is given (CI uses --no-fail on shared runners, where cross-machine
+noise would make a hard gate flaky, and surfaces the report as an artifact
+instead).
+
+Baselines are produced with:
+    bench_micro_perf --benchmark_format=json --benchmark_out=...json
+optionally wrapped with a top-level "note" key describing the machine.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: metric} where metric is items/sec (higher = better)."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if "items_per_second" in bench:
+            out[name] = ("items/s", float(bench["items_per_second"]))
+        elif float(bench.get("real_time", 0)) > 0:
+            # No items counter: use inverse wall time so higher is better.
+            out[name] = ("1/time", 1.0 / float(bench["real_time"]))
+    return out
+
+
+def fmt_rate(kind, value):
+    if kind == "items/s":
+        for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+            if value >= scale:
+                return f"{value / scale:.1f}{unit} items/s"
+        return f"{value:.1f} items/s"
+    return f"{value:.3g} 1/t"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="google-benchmark JSON of this run")
+    parser.add_argument(
+        "--baseline",
+        default="bench/baselines/bench_micro_perf.json",
+        help="committed baseline JSON (default: %(default)s)")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="flag slowdowns beyond this fraction (default: %(default)s)")
+    parser.add_argument(
+        "--no-fail", action="store_true",
+        help="always exit 0; report regressions without gating")
+    parser.add_argument(
+        "--report", help="also write the comparison as markdown to this file")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    rows = []
+    regressions = []
+    for name in sorted(baseline):
+        if name not in current:
+            rows.append((name, "missing in current run", None))
+            continue
+        kind_b, base = baseline[name]
+        kind_c, cur = current[name]
+        if kind_b != kind_c or base <= 0:
+            rows.append((name, "metric mismatch", None))
+            continue
+        ratio = cur / base
+        note = f"{fmt_rate(kind_b, base)} -> {fmt_rate(kind_c, cur)}"
+        rows.append((name, note, ratio))
+        if ratio < 1.0 - args.threshold:
+            regressions.append((name, ratio))
+    new_names = sorted(set(current) - set(baseline))
+
+    lines = []
+    lines.append(f"# Benchmark comparison vs {args.baseline}")
+    lines.append("")
+    lines.append("| benchmark | baseline -> current | ratio |")
+    lines.append("|---|---|---|")
+    for name, note, ratio in rows:
+        ratio_txt = f"{ratio:.2f}x" if ratio is not None else "-"
+        lines.append(f"| {name} | {note} | {ratio_txt} |")
+    for name in new_names:
+        kind, cur = current[name]
+        lines.append(f"| {name} | new: {fmt_rate(kind, cur)} | - |")
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"REGRESSIONS (> {args.threshold:.0%} slower than baseline):")
+        for name, ratio in regressions:
+            lines.append(f"  - {name}: {ratio:.2f}x of baseline")
+    else:
+        lines.append(f"No regressions beyond {args.threshold:.0%}.")
+
+    report = "\n".join(lines)
+    print(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report + "\n")
+
+    if regressions and not args.no_fail:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

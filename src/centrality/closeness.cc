@@ -1,25 +1,26 @@
 #include "centrality/closeness.h"
 
-#include "sssp/bfs.h"
-#include "util/parallel.h"
+#include <numeric>
+
+#include "sssp/bfs_engine.h"
 
 namespace convpairs {
 
 std::vector<double> HarmonicCloseness(const Graph& g, int num_threads) {
   std::vector<double> closeness(g.num_nodes(), 0.0);
-  ParallelForBlocks(
-      g.num_nodes(),
-      [&](int /*thread_index*/, size_t begin, size_t end) {
-        BfsRunner bfs(g);
-        for (size_t u = begin; u < end; ++u) {
-          const std::vector<Dist>& dist = bfs.Run(static_cast<NodeId>(u));
-          double sum = 0.0;
-          for (NodeId v = 0; v < g.num_nodes(); ++v) {
-            if (v == u || !IsReachable(dist[v])) continue;
-            sum += 1.0 / static_cast<double>(dist[v]);
-          }
-          closeness[u] = sum;
+  std::vector<NodeId> sources(g.num_nodes());
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  // Harmonic closeness is hop-count based, so every source rides the 64-way
+  // MS-BFS batches. Writes are disjoint per source: no synchronization.
+  MultiSourceDistances(
+      g, sources,
+      [&](NodeId u, std::span<const Dist> dist) {
+        double sum = 0.0;
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          if (v == u || !IsReachable(dist[v])) continue;
+          sum += 1.0 / static_cast<double>(dist[v]);
         }
+        closeness[u] = sum;
       },
       num_threads);
   return closeness;

@@ -1,12 +1,88 @@
 #include "core/ground_truth.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <mutex>
+#include <span>
 
+#include "sssp/bfs_engine.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
 namespace convpairs {
+namespace {
+
+// Drives both ground-truth passes: calls `visit(u, d1, d2)` for every node u
+// with nonzero degree in g1, in parallel over sources. Batchable engines run
+// the two snapshots through paired 64-way MS-BFS runners (one adjacency scan
+// per batch per graph); others fall back to per-source Distances. The spans
+// are worker scratch, valid only during the call.
+void ForEachSourcePairDistances(
+    const Graph& g1, const Graph& g2, const ShortestPathEngine& engine,
+    int num_threads,
+    const std::function<void(NodeId u, std::span<const Dist> d1,
+                             std::span<const Dist> d2)>& visit) {
+  const NodeId n = g1.num_nodes();
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < n; ++u) {
+    if (g1.degree(u) > 0) sources.push_back(u);
+  }
+  if (sources.empty()) return;
+
+  if (!engine.UnweightedBatchable()) {
+    ParallelForBlocks(
+        sources.size(),
+        [&](int /*thread_index*/, size_t begin, size_t end) {
+          std::vector<Dist> d1;
+          std::vector<Dist> d2;
+          for (size_t i = begin; i < end; ++i) {
+            engine.Distances(g1, sources[i], &d1, nullptr);
+            engine.Distances(g2, sources[i], &d2, nullptr);
+            visit(sources[i], d1, d2);
+          }
+        },
+        num_threads);
+    return;
+  }
+
+  const size_t num_batches =
+      (sources.size() + kMsBfsBatchWidth - 1) / kMsBfsBatchWidth;
+  struct Scratch {
+    std::unique_ptr<MsBfsRunner> runner1;
+    std::unique_ptr<MsBfsRunner> runner2;
+    std::vector<Dist> rows1;
+    std::vector<Dist> rows2;
+  };
+  std::vector<Scratch> scratch(
+      static_cast<size_t>(MaxParallelWorkers(num_batches, num_threads)));
+  ParallelForBlocks(
+      num_batches,
+      [&](int thread_index, size_t begin, size_t end) {
+        Scratch& s = scratch[static_cast<size_t>(thread_index)];
+        if (s.runner1 == nullptr) {
+          s.runner1 = std::make_unique<MsBfsRunner>(g1);
+          s.runner2 = std::make_unique<MsBfsRunner>(g2);
+        }
+        for (size_t b = begin; b < end; ++b) {
+          const size_t first = b * kMsBfsBatchWidth;
+          const size_t lanes =
+              std::min<size_t>(kMsBfsBatchWidth, sources.size() - first);
+          std::span<const NodeId> batch(sources.data() + first, lanes);
+          s.rows1.resize(lanes * n);
+          s.rows2.resize(lanes * n);
+          s.runner1->Run(batch, s.rows1);
+          s.runner2->Run(batch, s.rows2);
+          for (size_t i = 0; i < lanes; ++i) {
+            visit(batch[i], std::span<const Dist>(s.rows1.data() + i * n, n),
+                  std::span<const Dist>(s.rows2.data() + i * n, n));
+          }
+        }
+      },
+      num_threads);
+}
+
+}  // namespace
 
 uint64_t GroundTruth::CountExactly(Dist delta) const {
   if (delta < 0 || static_cast<size_t>(delta) >= histogram_.size()) return 0;
@@ -47,30 +123,23 @@ GroundTruth ComputeGroundTruth(const Graph& g1, const Graph& g2,
   std::mutex merge_mutex;
 
   // Pass 1: histogram of Delta over connected-in-g1 pairs, g1 diameter.
-  ParallelForBlocks(
-      n,
-      [&](int /*thread_index*/, size_t begin, size_t end) {
-        std::vector<Dist> d1;
-        std::vector<Dist> d2;
+  // (Sources isolated in g1 are skipped by the driver: no finite d1.)
+  ForEachSourcePairDistances(
+      g1, g2, engine, num_threads,
+      [&](NodeId u, std::span<const Dist> d1, std::span<const Dist> d2) {
         std::vector<uint64_t> local_hist;
         uint64_t local_connected = 0;
         Dist local_diameter = 0;
-        for (size_t src = begin; src < end; ++src) {
-          NodeId u = static_cast<NodeId>(src);
-          if (g1.degree(u) == 0) continue;  // Isolated in g1: no finite d1.
-          engine.Distances(g1, u, &d1, nullptr);
-          engine.Distances(g2, u, &d2, nullptr);
-          for (NodeId v = u + 1; v < n; ++v) {
-            if (!IsReachable(d1[v])) continue;
-            local_diameter = std::max(local_diameter, d1[v]);
-            Dist delta = d1[v] - d2[v];
-            CONVPAIRS_CHECK_GE(delta, 0);  // Insertions cannot grow paths.
-            if (static_cast<size_t>(delta) >= local_hist.size()) {
-              local_hist.resize(static_cast<size_t>(delta) + 1, 0);
-            }
-            ++local_hist[static_cast<size_t>(delta)];
-            ++local_connected;
+        for (NodeId v = u + 1; v < n; ++v) {
+          if (!IsReachable(d1[v])) continue;
+          local_diameter = std::max(local_diameter, d1[v]);
+          Dist delta = d1[v] - d2[v];
+          CONVPAIRS_CHECK_GE(delta, 0);  // Insertions cannot grow paths.
+          if (static_cast<size_t>(delta) >= local_hist.size()) {
+            local_hist.resize(static_cast<size_t>(delta) + 1, 0);
           }
+          ++local_hist[static_cast<size_t>(delta)];
+          ++local_connected;
         }
         std::lock_guard<std::mutex> lock(merge_mutex);
         if (local_hist.size() > gt.histogram_.size()) {
@@ -81,8 +150,7 @@ GroundTruth ComputeGroundTruth(const Graph& g1, const Graph& g2,
         }
         gt.connected_pairs_ += local_connected;
         gt.g1_diameter_ = std::max(gt.g1_diameter_, local_diameter);
-      },
-      num_threads);
+      });
 
   gt.max_delta_ = 0;
   for (size_t d = gt.histogram_.size(); d-- > 0;) {
@@ -95,30 +163,22 @@ GroundTruth ComputeGroundTruth(const Graph& g1, const Graph& g2,
   if (gt.max_delta_ == 0) return gt;  // Nothing converged; no pairs stored.
 
   // Pass 2: collect pairs at/above the threshold.
-  ParallelForBlocks(
-      n,
-      [&](int /*thread_index*/, size_t begin, size_t end) {
-        std::vector<Dist> d1;
-        std::vector<Dist> d2;
+  ForEachSourcePairDistances(
+      g1, g2, engine, num_threads,
+      [&](NodeId u, std::span<const Dist> d1, std::span<const Dist> d2) {
         std::vector<ConvergingPair> local_pairs;
-        for (size_t src = begin; src < end; ++src) {
-          NodeId u = static_cast<NodeId>(src);
-          if (g1.degree(u) == 0) continue;
-          engine.Distances(g1, u, &d1, nullptr);
-          engine.Distances(g2, u, &d2, nullptr);
-          for (NodeId v = u + 1; v < n; ++v) {
-            if (!IsReachable(d1[v])) continue;
-            Dist delta = d1[v] - d2[v];
-            if (delta >= gt.stored_min_delta_) {
-              local_pairs.push_back({u, v, delta});
-            }
+        for (NodeId v = u + 1; v < n; ++v) {
+          if (!IsReachable(d1[v])) continue;
+          Dist delta = d1[v] - d2[v];
+          if (delta >= gt.stored_min_delta_) {
+            local_pairs.push_back({u, v, delta});
           }
         }
+        if (local_pairs.empty()) return;
         std::lock_guard<std::mutex> lock(merge_mutex);
         gt.top_pairs_.insert(gt.top_pairs_.end(), local_pairs.begin(),
                              local_pairs.end());
-      },
-      num_threads);
+      });
 
   std::sort(gt.top_pairs_.begin(), gt.top_pairs_.end(),
             [](const ConvergingPair& a, const ConvergingPair& b) {

@@ -83,7 +83,7 @@ GraphStats ComputeGraphStats(const Graph& g, bool exact_diameter) {
       if (cc.label[u] == giant_label && g.degree(u) > 0) sources.push_back(u);
     }
     std::vector<Dist> per_thread_max(
-        static_cast<size_t>(DefaultThreadCount()), 0);
+        static_cast<size_t>(MaxParallelWorkers(sources.size())), 0);
     ParallelForBlocks(
         sources.size(),
         [&](int thread_index, size_t begin, size_t end) {
@@ -93,7 +93,9 @@ GraphStats ComputeGraphStats(const Graph& g, bool exact_diameter) {
           for (size_t i = begin; i < end; ++i) {
             local = std::max(local, Eccentricity(g, sources[i], dist, queue));
           }
-          per_thread_max[static_cast<size_t>(thread_index)] = local;
+          // Workers may run several chunks: accumulate, don't assign.
+          Dist& slot = per_thread_max[static_cast<size_t>(thread_index)];
+          slot = std::max(slot, local);
         });
     stats.diameter =
         *std::max_element(per_thread_max.begin(), per_thread_max.end());

@@ -1,5 +1,9 @@
 #include "sssp/all_pairs.h"
 
+#include <algorithm>
+#include <numeric>
+
+#include "sssp/bfs_engine.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -7,9 +11,14 @@ namespace convpairs {
 
 void ForEachSourceDistances(
     const Graph& g, const ShortestPathEngine& engine,
-    const std::function<void(NodeId src, const std::vector<Dist>& dist)>&
-        visit,
+    const std::function<void(NodeId src, std::span<const Dist> dist)>& visit,
     int num_threads) {
+  if (engine.UnweightedBatchable()) {
+    std::vector<NodeId> sources(g.num_nodes());
+    std::iota(sources.begin(), sources.end(), NodeId{0});
+    MultiSourceDistances(g, sources, visit, num_threads);
+    return;
+  }
   ParallelForBlocks(
       g.num_nodes(),
       [&](int /*thread_index*/, size_t begin, size_t end) {
@@ -30,7 +39,7 @@ std::vector<Dist> AllPairsMatrix(const Graph& g,
   CONVPAIRS_CHECK_LE(n * n, max_cells);
   std::vector<Dist> matrix(n * n, kInfDist);
   ForEachSourceDistances(g, engine,
-                         [&](NodeId src, const std::vector<Dist>& dist) {
+                         [&](NodeId src, std::span<const Dist> dist) {
                            std::copy(dist.begin(), dist.end(),
                                      matrix.begin() + src * n);
                          });

@@ -9,6 +9,7 @@
 #define CONVPAIRS_SSSP_ALL_PAIRS_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -16,13 +17,14 @@
 
 namespace convpairs {
 
-/// Runs SSSP from every node of `g` and invokes
-/// `visit(src, distances)` once per source, in parallel over sources (the
-/// callback must be thread-safe). Distances span the full id space.
+/// Runs SSSP from every node of `g` and invokes `visit(src, distances)` once
+/// per source, in parallel over sources (the callback must be thread-safe).
+/// Distances span the full id space but are scratch — valid only during the
+/// call. Engines with UnweightedBatchable() run on the 64-way multi-source
+/// BFS (sssp/bfs_engine.h); others fall back to per-source Distances.
 void ForEachSourceDistances(
     const Graph& g, const ShortestPathEngine& engine,
-    const std::function<void(NodeId src, const std::vector<Dist>& dist)>&
-        visit,
+    const std::function<void(NodeId src, std::span<const Dist> dist)>& visit,
     int num_threads = 0);
 
 /// Dense n x n matrix (row-major). Aborts if n * n would exceed `max_cells`

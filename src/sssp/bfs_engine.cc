@@ -1,0 +1,261 @@
+#include "sssp/bfs_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+
+#include "obs/registry.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace convpairs {
+namespace {
+
+struct EngineInstruments {
+  obs::Counter& diropt_runs;
+  obs::Counter& topdown_steps;
+  obs::Counter& bottomup_steps;
+  obs::Counter& msbfs_batches;
+  obs::Counter& msbfs_sources;
+  obs::Histogram& batch_occupancy;
+
+  static const EngineInstruments& Get() {
+    static const EngineInstruments instruments = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return EngineInstruments{
+          registry.GetCounter("sssp.bfs.diropt.runs"),
+          registry.GetCounter("sssp.bfs.diropt.topdown_steps"),
+          registry.GetCounter("sssp.bfs.diropt.bottomup_steps"),
+          registry.GetCounter("sssp.bfs.msbfs.batches"),
+          registry.GetCounter("sssp.bfs.msbfs.sources"),
+          registry.GetHistogram("sssp.bfs.msbfs.batch_occupancy",
+                                obs::LinearBuckets(8.0, 8.0, 8))};
+    }();
+    return instruments;
+  }
+};
+
+inline bool TestBit(const std::vector<uint64_t>& bits, NodeId u) {
+  return (bits[u >> 6] >> (u & 63)) & 1u;
+}
+
+inline void SetBit(std::vector<uint64_t>& bits, NodeId u) {
+  bits[u >> 6] |= uint64_t{1} << (u & 63);
+}
+
+}  // namespace
+
+DirOptBfsRunner::DirOptBfsRunner(const Graph& g, DirOptParams params)
+    : graph_(g), params_(params) {
+  dist_.reserve(g.num_nodes());
+  frontier_.reserve(g.num_nodes());
+  next_.reserve(g.num_nodes());
+}
+
+const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
+  if (budget != nullptr) budget->Charge();
+  const NodeId n = graph_.num_nodes();
+  CONVPAIRS_CHECK_LT(src, n);
+  const size_t words = (static_cast<size_t>(n) + 63) / 64;
+
+  dist_.assign(n, kInfDist);
+  dist_[src] = 0;
+  frontier_.clear();
+  frontier_.push_back(src);
+
+  // Directed-edge budget for the alpha heuristic; getting it slightly wrong
+  // only shifts the switch point, never the distances.
+  uint64_t edges_unexplored = 2 * static_cast<uint64_t>(graph_.num_edges());
+  uint64_t frontier_edges = graph_.degree(src);
+  size_t frontier_count = 1;
+  Mode mode = Mode::kTopDown;
+  Dist level = 0;
+  uint64_t topdown_steps = 0;
+  uint64_t bottomup_steps = 0;
+
+  while (frontier_count > 0) {
+    // Pick the cheaper sweep direction for this level.
+    if (mode == Mode::kTopDown) {
+      if (static_cast<double>(frontier_edges) * params_.alpha >
+          static_cast<double>(edges_unexplored)) {
+        frontier_bits_.assign(words, 0);
+        for (NodeId u : frontier_) SetBit(frontier_bits_, u);
+        mode = Mode::kBottomUp;
+      }
+    } else if (static_cast<double>(frontier_count) * params_.beta <
+               static_cast<double>(n)) {
+      frontier_.clear();
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t bits = frontier_bits_[w];
+        while (bits != 0) {
+          int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          frontier_.push_back(static_cast<NodeId>(w * 64 + b));
+        }
+      }
+      mode = Mode::kTopDown;
+    }
+
+    edges_unexplored -= std::min(edges_unexplored, frontier_edges);
+    ++level;
+    size_t next_count = 0;
+    uint64_t next_edges = 0;
+
+    if (mode == Mode::kTopDown) {
+      ++topdown_steps;
+      next_.clear();
+      for (NodeId u : frontier_) {
+        for (NodeId v : graph_.neighbors(u)) {
+          if (dist_[v] == kInfDist) {
+            dist_[v] = level;
+            next_.push_back(v);
+            next_edges += graph_.degree(v);
+          }
+        }
+      }
+      next_count = next_.size();
+      frontier_.swap(next_);
+    } else {
+      ++bottomup_steps;
+      next_bits_.assign(words, 0);
+      for (NodeId v = 0; v < n; ++v) {
+        if (dist_[v] != kInfDist) continue;
+        for (NodeId u : graph_.neighbors(v)) {
+          if (TestBit(frontier_bits_, u)) {
+            dist_[v] = level;
+            SetBit(next_bits_, v);
+            ++next_count;
+            next_edges += graph_.degree(v);
+            break;
+          }
+        }
+      }
+      frontier_bits_.swap(next_bits_);
+    }
+
+    frontier_count = next_count;
+    frontier_edges = next_edges;
+  }
+
+  const EngineInstruments& instruments = EngineInstruments::Get();
+  instruments.diropt_runs.Increment();
+  instruments.topdown_steps.Add(static_cast<int64_t>(topdown_steps));
+  instruments.bottomup_steps.Add(static_cast<int64_t>(bottomup_steps));
+  return dist_;
+}
+
+void DirOptBfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
+                        SsspBudget* budget, DirOptParams params) {
+  DirOptBfsRunner runner(g, params);
+  *out = runner.Run(src, budget);
+}
+
+MsBfsRunner::MsBfsRunner(const Graph& g) : graph_(g) {
+  seen_.reserve(g.num_nodes());
+  frontier_.reserve(g.num_nodes());
+  next_.reserve(g.num_nodes());
+}
+
+void MsBfsRunner::Run(std::span<const NodeId> sources,
+                      std::span<Dist> dist_rows) {
+  const NodeId n = graph_.num_nodes();
+  const size_t lanes = sources.size();
+  CONVPAIRS_CHECK_GE(lanes, 1u);
+  CONVPAIRS_CHECK_LE(lanes, static_cast<size_t>(kMsBfsBatchWidth));
+  CONVPAIRS_CHECK_EQ(dist_rows.size(), lanes * static_cast<size_t>(n));
+
+  std::fill(dist_rows.begin(), dist_rows.end(), kInfDist);
+  seen_.assign(n, 0);
+  frontier_.assign(n, 0);
+  next_.assign(n, 0);
+  cur_nodes_.clear();
+  next_nodes_.clear();
+
+  for (size_t i = 0; i < lanes; ++i) {
+    NodeId s = sources[i];
+    CONVPAIRS_CHECK_LT(s, n);
+    dist_rows[i * n + s] = 0;
+    if (frontier_[s] == 0) cur_nodes_.push_back(s);
+    uint64_t bit = uint64_t{1} << i;
+    seen_[s] |= bit;
+    frontier_[s] |= bit;
+  }
+
+  Dist level = 0;
+  while (!cur_nodes_.empty()) {
+    ++level;
+    next_nodes_.clear();
+    // One adjacency scan advances every lane whose frontier contains v.
+    for (NodeId v : cur_nodes_) {
+      const uint64_t fv = frontier_[v];
+      for (NodeId w : graph_.neighbors(v)) {
+        const uint64_t fresh = fv & ~seen_[w];
+        if (fresh != 0) {
+          if (next_[w] == 0) next_nodes_.push_back(w);
+          next_[w] |= fresh;
+          seen_[w] |= fresh;
+        }
+      }
+    }
+    // Retire the old frontier before installing the new one: a node can be
+    // in both lists when different lanes reach it on adjacent levels.
+    for (NodeId v : cur_nodes_) frontier_[v] = 0;
+    for (NodeId w : next_nodes_) {
+      uint64_t mask = next_[w];
+      frontier_[w] = mask;
+      next_[w] = 0;
+      while (mask != 0) {
+        int lane = std::countr_zero(mask);
+        mask &= mask - 1;
+        dist_rows[static_cast<size_t>(lane) * n + w] = level;
+      }
+    }
+    cur_nodes_.swap(next_nodes_);
+  }
+
+  const EngineInstruments& instruments = EngineInstruments::Get();
+  instruments.msbfs_batches.Increment();
+  instruments.msbfs_sources.Add(static_cast<int64_t>(lanes));
+  instruments.batch_occupancy.Observe(static_cast<double>(lanes));
+}
+
+void MultiSourceDistances(
+    const Graph& g, std::span<const NodeId> sources,
+    const std::function<void(NodeId src, std::span<const Dist> row)>& visit,
+    int num_threads) {
+  if (sources.empty()) return;
+  const size_t n = g.num_nodes();
+  const size_t num_batches =
+      (sources.size() + kMsBfsBatchWidth - 1) / kMsBfsBatchWidth;
+
+  // Per-worker scratch survives across the worker's chunks: the runner's
+  // mask arrays and the 64-row distance block are allocated once per worker,
+  // not once per batch.
+  struct Scratch {
+    std::unique_ptr<MsBfsRunner> runner;
+    std::vector<Dist> rows;
+  };
+  std::vector<Scratch> scratch(
+      static_cast<size_t>(MaxParallelWorkers(num_batches, num_threads)));
+
+  ParallelForBlocks(
+      num_batches,
+      [&](int thread_index, size_t begin, size_t end) {
+        Scratch& s = scratch[static_cast<size_t>(thread_index)];
+        if (s.runner == nullptr) s.runner = std::make_unique<MsBfsRunner>(g);
+        for (size_t b = begin; b < end; ++b) {
+          const size_t first = b * kMsBfsBatchWidth;
+          const size_t lanes =
+              std::min<size_t>(kMsBfsBatchWidth, sources.size() - first);
+          s.rows.resize(lanes * n);
+          s.runner->Run(sources.subspan(first, lanes), s.rows);
+          for (size_t i = 0; i < lanes; ++i) {
+            visit(sources[first + i],
+                  std::span<const Dist>(s.rows.data() + i * n, n));
+          }
+        }
+      },
+      num_threads);
+}
+
+}  // namespace convpairs

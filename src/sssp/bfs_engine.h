@@ -1,0 +1,118 @@
+// High-throughput BFS engine: direction-optimizing single-source BFS and
+// 64-way multi-source batched BFS (MS-BFS) over the CSR Graph.
+//
+// Every number this reproduction reports is dominated by repeated unweighted
+// SSSP — the paper's budget unit — so BFS-level algorithmic engineering pays
+// everywhere at once:
+//
+//  - DirOptBfsRunner implements Beamer-style direction optimization: the
+//    classic top-down frontier queue switches to a bottom-up bitmap sweep
+//    when the frontier's outgoing edges outnumber the unexplored edges /
+//    alpha (dense levels of low-diameter graphs), and back to top-down when
+//    the frontier shrinks below num_nodes / beta. Both sweeps produce the
+//    exact BFS level of every node, so distances are bit-for-bit identical
+//    to the serial oracle BfsDistances — the heuristics only move work.
+//
+//  - MsBfsRunner runs up to 64 sources in one traversal: each node carries a
+//    uint64_t seen/frontier mask (one bit per source), so a single adjacency
+//    scan advances all 64 searches at once (Then-et-al-style MS-BFS). For
+//    distance-only consumers — all-pairs sweeps, ground truth, closeness,
+//    landmark matrices — this shares every cache miss 64 ways.
+//
+//  - MultiSourceDistances drives MS-BFS batches across the work-stealing
+//    pool (util/parallel.h) with per-worker runner/row scratch reuse.
+//
+// Telemetry (src/obs): sssp.bfs.diropt.{runs,topdown_steps,bottomup_steps}
+// and sssp.bfs.msbfs.{batches,sources,batch_occupancy}.
+
+#ifndef CONVPAIRS_SSSP_BFS_ENGINE_H_
+#define CONVPAIRS_SSSP_BFS_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/budget.h"
+
+namespace convpairs {
+
+/// Lanes per MS-BFS batch: one bit of the per-node mask per source.
+inline constexpr uint32_t kMsBfsBatchWidth = 64;
+
+/// Tuning knobs for the direction-optimizing heuristic (Beamer's alpha/beta;
+/// the defaults follow the GAP benchmark suite). Exactness never depends on
+/// these — any values produce identical distances.
+struct DirOptParams {
+  /// Switch top-down -> bottom-up when
+  /// frontier_edges > unexplored_edges / alpha.
+  double alpha = 14.0;
+  /// Switch bottom-up -> top-down when frontier_nodes < num_nodes / beta.
+  double beta = 24.0;
+};
+
+/// Reusable-workspace direction-optimizing BFS. Keeps the queue, bitmap and
+/// distance buffers alive across runs, like BfsRunner.
+class DirOptBfsRunner {
+ public:
+  explicit DirOptBfsRunner(const Graph& g, DirOptParams params = {});
+
+  /// Runs BFS from `src`; the returned span is valid until the next Run.
+  /// Distances are identical to BfsDistances (kInfDist when unreachable).
+  const std::vector<Dist>& Run(NodeId src, SsspBudget* budget = nullptr);
+
+ private:
+  enum class Mode { kTopDown, kBottomUp };
+
+  const Graph& graph_;
+  DirOptParams params_;
+  std::vector<Dist> dist_;
+  std::vector<NodeId> frontier_;       // Current level (top-down form).
+  std::vector<NodeId> next_;           // Next level (top-down form).
+  std::vector<uint64_t> frontier_bits_;  // Current level (bottom-up form).
+  std::vector<uint64_t> next_bits_;
+};
+
+/// Fills `out` with direction-optimizing BFS distances from `src` (resized
+/// to g.num_nodes()). Charges one unit to `budget` if given. Prefer
+/// DirOptBfsRunner in loops — this allocates the workspace per call.
+void DirOptBfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
+                        SsspBudget* budget = nullptr,
+                        DirOptParams params = {});
+
+/// Reusable-workspace 64-way multi-source BFS.
+class MsBfsRunner {
+ public:
+  explicit MsBfsRunner(const Graph& g);
+
+  /// Runs one batched BFS from `sources` (1..64 entries; duplicates allowed)
+  /// and writes `dist_rows[i * g.num_nodes() + v]` = hop distance from
+  /// `sources[i]` to `v`, kInfDist when unreachable — bit-for-bit what
+  /// BfsDistances(g, sources[i]) produces. `dist_rows` must hold
+  /// `sources.size() * g.num_nodes()` entries.
+  void Run(std::span<const NodeId> sources, std::span<Dist> dist_rows);
+
+ private:
+  const Graph& graph_;
+  std::vector<uint64_t> seen_;       // Bit b set: source b reached the node.
+  std::vector<uint64_t> frontier_;   // Masks of the current level.
+  std::vector<uint64_t> next_;       // Masks of the next level.
+  std::vector<NodeId> cur_nodes_;    // Nodes with a nonzero frontier mask.
+  std::vector<NodeId> next_nodes_;
+};
+
+/// Runs BFS from every node in `sources` in kMsBfsBatchWidth-wide batches,
+/// scheduled across the work-stealing pool, and invokes
+/// `visit(src, row)` once per source with the full distance row. `visit`
+/// must be thread-safe; rows are scratch, valid only during the call.
+/// This is the fast path behind ForEachSourceDistances, ground truth,
+/// closeness and landmark matrix construction.
+void MultiSourceDistances(
+    const Graph& g, std::span<const NodeId> sources,
+    const std::function<void(NodeId src, std::span<const Dist> row)>& visit,
+    int num_threads = 0);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_SSSP_BFS_ENGINE_H_

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "obs/registry.h"
-#include "sssp/bfs.h"
+#include "sssp/bfs_engine.h"
 #include "util/check.h"
 
 namespace convpairs {
@@ -89,7 +89,7 @@ std::vector<Dist> DijkstraDistances(const Graph& g, NodeId src,
 
 void BfsEngine::Distances(const Graph& g, NodeId src, std::vector<Dist>* out,
                           SsspBudget* budget) const {
-  BfsDistances(g, src, out, budget);
+  DirOptBfsDistances(g, src, out, budget);
 }
 
 void DijkstraEngine::Distances(const Graph& g, NodeId src,

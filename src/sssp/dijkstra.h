@@ -48,15 +48,25 @@ class ShortestPathEngine {
   virtual void Distances(const Graph& g, NodeId src, std::vector<Dist>* out,
                          SsspBudget* budget) const = 0;
 
+  /// True when Distances computes plain hop counts, so bulk consumers
+  /// (all-pairs sweeps, ground truth, landmark matrices) may swap in the
+  /// 64-way multi-source BFS from sssp/bfs_engine.h. A batchable engine
+  /// guarantees the batched path yields bit-for-bit the same distances as
+  /// per-source Distances calls.
+  virtual bool UnweightedBatchable() const { return false; }
+
   /// Engine name for logs and experiment output.
   virtual const char* name() const = 0;
 };
 
-/// Hop-count engine (the paper's setting).
+/// Hop-count engine (the paper's setting). Single-source queries run the
+/// direction-optimizing BFS (sssp/bfs_engine.h); bulk consumers dispatch to
+/// batched MS-BFS via UnweightedBatchable().
 class BfsEngine final : public ShortestPathEngine {
  public:
   void Distances(const Graph& g, NodeId src, std::vector<Dist>* out,
                  SsspBudget* budget) const override;
+  bool UnweightedBatchable() const override { return true; }
   const char* name() const override { return "bfs"; }
 };
 

@@ -1,5 +1,8 @@
 #include "sssp/distance_matrix.h"
 
+#include <algorithm>
+
+#include "sssp/bfs_engine.h"
 #include "util/check.h"
 
 namespace convpairs {
@@ -26,6 +29,31 @@ DistanceMatrix DistanceMatrix::Build(const Graph& g,
                                      const ShortestPathEngine& engine,
                                      SsspBudget* budget) {
   DistanceMatrix m;
+  if (engine.UnweightedBatchable() && !sources.empty()) {
+    // Landmark matrices are built from up-to-hundreds of sources at once:
+    // run them through 64-wide MS-BFS batches. Each row still costs one
+    // budget unit — batching shares work, it does not discount the paper's
+    // cost model.
+    const size_t n = g.num_nodes();
+    MsBfsRunner runner(g);
+    std::vector<Dist> rows;
+    for (size_t first = 0; first < sources.size();
+         first += kMsBfsBatchWidth) {
+      const size_t lanes =
+          std::min<size_t>(kMsBfsBatchWidth, sources.size() - first);
+      if (budget != nullptr) {
+        for (size_t i = 0; i < lanes; ++i) budget->Charge();
+      }
+      rows.resize(lanes * n);
+      runner.Run(sources.subspan(first, lanes), rows);
+      for (size_t i = 0; i < lanes; ++i) {
+        m.AdoptRow(sources[first + i],
+                   std::vector<Dist>(rows.begin() + i * n,
+                                     rows.begin() + (i + 1) * n));
+      }
+    }
+    return m;
+  }
   for (NodeId src : sources) m.AddRowBySssp(g, src, engine, budget);
   return m;
 }

@@ -1,8 +1,6 @@
 #include "util/parallel.h"
 
-#include <algorithm>
 #include <thread>
-#include <vector>
 
 #include "util/logging.h"
 
@@ -13,46 +11,17 @@ int DefaultThreadCount() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void ParallelForBlocks(
-    size_t count,
-    const std::function<void(int thread_index, size_t begin, size_t end)>& body,
-    int num_threads) {
-  if (count == 0) return;
+namespace internal {
+
+int NormalizeThreadCount(int num_threads) {
   if (num_threads < 0) {
     LOG_WARNING << "ParallelForBlocks: invalid num_threads=" << num_threads
                 << "; clamping to DefaultThreadCount()="
                 << DefaultThreadCount();
-    num_threads = DefaultThreadCount();
-  } else if (num_threads == 0) {
-    num_threads = DefaultThreadCount();
+    return DefaultThreadCount();
   }
-  num_threads = static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(num_threads), count));
-  if (num_threads == 1) {
-    body(0, 0, count);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(num_threads));
-  size_t chunk = (count + static_cast<size_t>(num_threads) - 1) /
-                 static_cast<size_t>(num_threads);
-  for (int t = 0; t < num_threads; ++t) {
-    size_t begin = static_cast<size_t>(t) * chunk;
-    size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&body, t, begin, end] { body(t, begin, end); });
-  }
-  for (auto& worker : workers) worker.join();
+  return num_threads == 0 ? DefaultThreadCount() : num_threads;
 }
 
-void ParallelFor(size_t count, const std::function<void(size_t)>& body,
-                 int num_threads) {
-  ParallelForBlocks(
-      count,
-      [&body](int /*thread_index*/, size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) body(i);
-      },
-      num_threads);
-}
-
+}  // namespace internal
 }  // namespace convpairs

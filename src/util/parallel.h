@@ -1,15 +1,20 @@
-// Minimal data-parallel loop over an index range.
+// Data-parallel loops over an index range, executed on the persistent
+// work-stealing thread pool (util/thread_pool.h).
 //
-// Ground-truth all-pairs computation and Brandes betweenness are
-// embarrassingly parallel over sources; this helper uses std::thread with a
-// static block partition. On a single-core machine it degrades to a plain
-// loop with no thread overhead.
+// Ground-truth all-pairs computation, batched BFS and Brandes betweenness
+// are embarrassingly parallel over sources but heavily skewed per source
+// (isolated nodes are free, hubs are not); the pool's chunked dynamic
+// scheduling keeps every worker busy where the old static block partition
+// left whole blocks idle. On a single-core machine — or when the pool is
+// busy — a loop degrades to a plain inline loop with no thread overhead.
 
 #ifndef CONVPAIRS_UTIL_PARALLEL_H_
 #define CONVPAIRS_UTIL_PARALLEL_H_
 
 #include <cstddef>
-#include <functional>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace convpairs {
 
@@ -17,36 +22,61 @@ namespace convpairs {
 /// (hardware_concurrency, at least 1).
 int DefaultThreadCount();
 
-/// Invokes `body(thread_index, begin, end)` over a static partition of
-/// [0, count) across `num_threads` workers. `num_threads == 0` means
-/// DefaultThreadCount(); negative values are invalid and are clamped to the
-/// default with a logged warning (never undefined behavior). The effective
-/// worker count is additionally capped at `count`, and a single-worker run
-/// executes inline on the calling thread with no thread spawn.
+namespace internal {
+
+/// Shared num_threads normalization: 0 means DefaultThreadCount(); negative
+/// values are invalid and are clamped to the default with a logged warning
+/// (never undefined behavior).
+int NormalizeThreadCount(int num_threads);
+
+}  // namespace internal
+
+/// Upper bound on the `thread_index` values a ParallelForBlocks /
+/// ParallelFor call with these arguments may produce — size per-worker
+/// scratch arrays with this. Never exceeds NormalizeThreadCount(num_threads)
+/// or `count`.
+inline int MaxParallelWorkers(size_t count, int num_threads = 0) {
+  return ThreadPool::MaxSeats(count, num_threads);
+}
+
+/// Invokes `body(thread_index, begin, end)` over chunks of [0, count)
+/// scheduled dynamically across at most `num_threads` workers of the global
+/// pool (`num_threads == 0` means DefaultThreadCount(), negative clamps to
+/// the default with a warning). Templated on the callable: the body is
+/// passed by reference with no std::function boxing or allocation.
 ///
 /// Thread-safety contract:
-///  - `body` is invoked concurrently from multiple threads, at most once per
-///    worker, with pairwise-disjoint `[begin, end)` ranges that exactly tile
-///    [0, count). It must be safe to run concurrently for disjoint ranges:
-///    writes to shared state require synchronization (mutex or atomics);
-///    per-range writes to distinct elements of a shared container are safe.
-///  - `thread_index` is in [0, effective_threads) and may be used to index
-///    per-worker scratch buffers without locking.
-///  - The call blocks until every worker has finished (join barrier); the
-///    caller observes all of `body`'s writes afterwards
-///    (happens-before via std::thread::join).
-///  - Exceptions thrown by `body` terminate the process (std::thread).
-///  - Nested calls are permitted but each level spawns its own workers;
-///    avoid nesting on hot paths.
-void ParallelForBlocks(
-    size_t count,
-    const std::function<void(int thread_index, size_t begin, size_t end)>& body,
-    int num_threads = 0);
+///  - `body` is invoked concurrently from multiple threads with pairwise-
+///    disjoint `[begin, end)` ranges that exactly tile [0, count). Unlike
+///    the old static partition, a worker may receive *several* chunks, so
+///    `body` can run more than once per thread_index — never concurrently
+///    for the same thread_index, and per-invocation state must aggregate
+///    (e.g. `local = max(local, ...)` into per-worker slots, not `local =`).
+///  - `thread_index` is in [0, MaxParallelWorkers(count, num_threads)) and
+///    may be used to index per-worker scratch without locking.
+///  - Writes to shared state require synchronization (mutex or atomics);
+///    writes to distinct elements of a shared container are safe.
+///  - The call blocks until every chunk's invocation has returned; the
+///    caller observes all of `body`'s writes afterwards.
+///  - Exceptions thrown by `body` terminate the process.
+///  - Nested calls (and calls while another region runs) are safe: they
+///    execute inline and serially on the calling thread.
+template <typename Body>
+void ParallelForBlocks(size_t count, Body&& body, int num_threads = 0) {
+  ThreadPool::Global().ParallelRange(
+      count, internal::ParallelBodyRef(body), num_threads);
+}
 
 /// Convenience wrapper calling `body(i)` for each i in [0, count).
 /// Same threading and safety contract as ParallelForBlocks.
-void ParallelFor(size_t count, const std::function<void(size_t)>& body,
-                 int num_threads = 0);
+template <typename Body>
+void ParallelFor(size_t count, Body&& body, int num_threads = 0) {
+  auto blocks = [&body](int /*thread_index*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  };
+  ThreadPool::Global().ParallelRange(
+      count, internal::ParallelBodyRef(blocks), num_threads);
+}
 
 }  // namespace convpairs
 

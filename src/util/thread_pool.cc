@@ -1,0 +1,287 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "obs/registry.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace convpairs {
+namespace {
+
+// Chunks per participant: fine enough that a skewed chunk can be stolen
+// around, coarse enough that per-chunk overhead (one CAS + one indirect
+// call) stays invisible next to a BFS-sized body.
+constexpr uint32_t kChunksPerSeat = 8;
+
+// Hard cap on spawned workers. Callers asking for more get capped with a
+// warning; the old per-call std::thread code would happily oversubscribe.
+constexpr int kMaxPoolWorkers = 256;
+
+// True on threads owned by the pool: nested regions run inline.
+thread_local bool t_on_pool_worker = false;
+
+uint64_t PackRange(uint32_t lo, uint32_t hi) {
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+uint32_t RangeLo(uint64_t r) { return static_cast<uint32_t>(r >> 32); }
+uint32_t RangeHi(uint64_t r) { return static_cast<uint32_t>(r); }
+
+// Claims the front chunk of `range`. Returns false when empty.
+bool PopFront(std::atomic<uint64_t>& range, uint32_t* chunk) {
+  uint64_t cur = range.load(std::memory_order_acquire);
+  for (;;) {
+    uint32_t lo = RangeLo(cur);
+    uint32_t hi = RangeHi(cur);
+    if (lo >= hi) return false;
+    if (range.compare_exchange_weak(cur, PackRange(lo + 1, hi),
+                                    std::memory_order_acq_rel)) {
+      *chunk = lo;
+      return true;
+    }
+  }
+}
+
+// Steals the tail half (at least one chunk) of `range` into [*lo, *hi).
+bool StealTail(std::atomic<uint64_t>& range, uint32_t* lo, uint32_t* hi) {
+  uint64_t cur = range.load(std::memory_order_acquire);
+  for (;;) {
+    uint32_t cur_lo = RangeLo(cur);
+    uint32_t cur_hi = RangeHi(cur);
+    if (cur_lo >= cur_hi) return false;
+    uint32_t take = std::max<uint32_t>(1, (cur_hi - cur_lo) / 2);
+    uint32_t split = cur_hi - take;
+    if (range.compare_exchange_weak(cur, PackRange(cur_lo, split),
+                                    std::memory_order_acq_rel)) {
+      *lo = split;
+      *hi = cur_hi;
+      return true;
+    }
+  }
+}
+
+// Cached instrument references (registry lookup is mutex-guarded; resolve
+// once). Flushed per region / per seat, never per chunk.
+struct PoolInstruments {
+  obs::Counter& regions;
+  obs::Counter& inline_regions;
+  obs::Counter& chunks;
+  obs::Counter& steals;
+  obs::Gauge& workers;
+  obs::Histogram& chunks_per_region;
+  obs::Histogram& steal_size;
+
+  static const PoolInstruments& Get() {
+    static const PoolInstruments instruments = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return PoolInstruments{
+          registry.GetCounter("util.pool.regions"),
+          registry.GetCounter("util.pool.inline_regions"),
+          registry.GetCounter("util.pool.chunks"),
+          registry.GetCounter("util.pool.steals"),
+          registry.GetGauge("util.pool.workers"),
+          registry.GetHistogram("util.pool.chunks_per_region"),
+          registry.GetHistogram("util.pool.steal_size")};
+    }();
+    return instruments;
+  }
+};
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() = default;
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  return static_cast<int>(workers_.size());
+}
+
+int ThreadPool::MaxSeats(size_t count, int num_threads) {
+  int threads = internal::NormalizeThreadCount(num_threads);
+  threads = std::min(threads, kMaxPoolWorkers);
+  return static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), std::max<size_t>(count, 1)));
+}
+
+void ThreadPool::EnsureWorkers(int target) {
+  target = std::min(target, kMaxPoolWorkers - 1);
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  PoolInstruments::Get().workers.Set(static_cast<int64_t>(workers_.size()));
+}
+
+void ThreadPool::RunRegionInline(internal::ParallelBodyRef body, size_t count) {
+  PoolInstruments::Get().inline_regions.Increment();
+  body(0, 0, count);
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    Region* region = nullptr;
+    int seat = -1;
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      if (region_ != nullptr && region_->next_seat < region_->seats) {
+        region = region_;
+        seat = region->next_seat++;
+        ++region->active;
+      }
+    }
+    if (region == nullptr) continue;
+    WorkSeat(*region, seat);
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      if (--region->active == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+uint32_t ThreadPool::WorkSeat(Region& region, int seat) {
+  const PoolInstruments& instruments = PoolInstruments::Get();
+  uint32_t executed = 0;
+  uint64_t steals = 0;
+  auto run_chunk = [&](uint32_t chunk) {
+    size_t begin = static_cast<size_t>(chunk) * region.grain;
+    size_t end = std::min(region.count, begin + region.grain);
+    region.body(seat, begin, end);
+    ++executed;
+  };
+  for (;;) {
+    uint32_t chunk = 0;
+    if (PopFront(seats_[static_cast<size_t>(seat)].range, &chunk)) {
+      run_chunk(chunk);
+      continue;
+    }
+    // Own range empty: steal the tail half of the fullest other seat.
+    int victim = -1;
+    uint32_t victim_size = 0;
+    for (int s = 0; s < region.seats; ++s) {
+      if (s == seat) continue;
+      uint64_t r = seats_[static_cast<size_t>(s)].range.load(
+          std::memory_order_acquire);
+      uint32_t size = RangeHi(r) > RangeLo(r) ? RangeHi(r) - RangeLo(r) : 0;
+      if (size > victim_size) {
+        victim_size = size;
+        victim = s;
+      }
+    }
+    if (victim < 0) break;  // Every range drained; claimed chunks may still
+                            // be running on other seats.
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!StealTail(seats_[static_cast<size_t>(victim)].range, &lo, &hi)) {
+      continue;  // Lost the race; rescan.
+    }
+    ++steals;
+    instruments.steal_size.Observe(static_cast<double>(hi - lo));
+    // Run the first stolen chunk now; park the rest in our own (empty) seat
+    // so other thieves can re-balance them.
+    if (hi - lo > 1) {
+      seats_[static_cast<size_t>(seat)].range.store(
+          PackRange(lo + 1, hi), std::memory_order_release);
+    }
+    run_chunk(lo);
+  }
+  instruments.chunks.Add(static_cast<int64_t>(executed));
+  if (steals > 0) instruments.steals.Add(static_cast<int64_t>(steals));
+  return executed;
+}
+
+void ThreadPool::ParallelRange(size_t count, internal::ParallelBodyRef body,
+                               int num_threads) {
+  if (count == 0) return;
+  int threads = internal::NormalizeThreadCount(num_threads);
+  if (threads > kMaxPoolWorkers) {
+    LOG_WARNING << "ThreadPool: num_threads=" << threads << " capped at "
+                << kMaxPoolWorkers;
+    threads = kMaxPoolWorkers;
+  }
+  threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), count));
+  if (threads <= 1 || t_on_pool_worker) {
+    RunRegionInline(body, count);
+    return;
+  }
+  // Regions are serialized; a caller that would contend (including nested
+  // regions on the calling thread) runs inline instead of blocking, so the
+  // pool can never deadlock on itself.
+  std::unique_lock<std::mutex> region_lock(region_mu_, std::try_to_lock);
+  if (!region_lock.owns_lock()) {
+    RunRegionInline(body, count);
+    return;
+  }
+  EnsureWorkers(threads - 1);
+
+  size_t grain = std::max<size_t>(
+      1, count / (static_cast<size_t>(threads) * kChunksPerSeat));
+  uint32_t num_chunks = static_cast<uint32_t>((count + grain - 1) / grain);
+  int seats = std::min(threads, static_cast<int>(num_chunks));
+  if (seats <= 1) {
+    RunRegionInline(body, count);
+    return;
+  }
+  // Safe to resize between regions: seat ranges are only touched by seated
+  // participants, and seating requires an active region.
+  if (seats_.size() < static_cast<size_t>(seats)) {
+    seats_ = std::vector<Seat>(static_cast<size_t>(seats));
+  }
+  uint32_t per_seat = num_chunks / static_cast<uint32_t>(seats);
+  uint32_t extra = num_chunks % static_cast<uint32_t>(seats);
+  uint32_t next = 0;
+  for (int s = 0; s < seats; ++s) {
+    uint32_t take = per_seat + (static_cast<uint32_t>(s) < extra ? 1 : 0);
+    seats_[static_cast<size_t>(s)].range.store(PackRange(next, next + take),
+                                               std::memory_order_relaxed);
+    next += take;
+  }
+  CONVPAIRS_CHECK_EQ(next, num_chunks);
+
+  Region region{body, count, grain, num_chunks, seats};
+  region.active = 1;  // The caller, seat 0.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    region_ = &region;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+
+  WorkSeat(region, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    --region.active;
+    done_cv_.wait(lock, [&] { return region.active == 0; });
+    region_ = nullptr;
+  }
+  const PoolInstruments& instruments = PoolInstruments::Get();
+  instruments.regions.Increment();
+  instruments.chunks_per_region.Observe(static_cast<double>(num_chunks));
+}
+
+}  // namespace convpairs

@@ -1,0 +1,136 @@
+// Persistent work-stealing thread pool behind util/parallel.h.
+//
+// The previous ParallelForBlocks spawned std::threads per call and split the
+// range statically, which load-imbalances badly on skewed-degree graphs and
+// partially-isolated snapshots (a block of isolated sources finishes
+// instantly while another block carries all the BFS work). This pool spawns
+// workers once, hands out chunks dynamically, and lets idle participants
+// steal the tail half of a loaded participant's remaining range, so the
+// region ends when the slowest *chunk* finishes, not the slowest block.
+//
+// Scheduling model:
+//  - A parallel region over [0, count) is cut into chunks of
+//    ~count / (participants * kChunksPerWorker) items.
+//  - Each participant seat owns a contiguous range of chunk ids, packed into
+//    one atomic uint64 (lo << 32 | hi). Owners pop from the front with a
+//    CAS; thieves steal the tail half of the largest remaining range.
+//  - The calling thread always participates (seat 0), so a region completes
+//    even if every pool worker is busy or the process just forked — the pool
+//    never deadlocks on worker availability.
+//  - Nested regions (a body calling ParallelFor again) and regions issued
+//    while another region is running degrade to inline serial execution on
+//    the calling thread; they stay correct, just unparallel.
+//
+// Telemetry (src/obs): util.pool.regions / chunks / steals / inline_regions
+// counters, util.pool.workers gauge, util.pool.region_items histogram.
+
+#ifndef CONVPAIRS_UTIL_THREAD_POOL_H_
+#define CONVPAIRS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace convpairs {
+namespace internal {
+
+/// Non-owning type-erased reference to a `void(int, size_t, size_t)`
+/// callable. Unlike std::function this never allocates: parallel hot paths
+/// pay one indirect call per chunk and nothing per region.
+class ParallelBodyRef {
+ public:
+  template <typename F>
+  explicit ParallelBodyRef(F& f)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* obj, int worker, size_t begin, size_t end) {
+          (*static_cast<F*>(obj))(worker, begin, end);
+        }) {}
+
+  void operator()(int worker, size_t begin, size_t end) const {
+    invoke_(obj_, worker, begin, end);
+  }
+
+ private:
+  void* obj_;
+  void (*invoke_)(void*, int, size_t, size_t);
+};
+
+}  // namespace internal
+
+/// Spawn-once worker pool executing chunked parallel ranges. Use through
+/// ParallelForBlocks / ParallelFor (util/parallel.h); the class is public so
+/// tests can exercise scheduling directly.
+class ThreadPool {
+ public:
+  /// The process-wide pool every ParallelFor call runs on.
+  static ThreadPool& Global();
+
+  ThreadPool();
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs `body(seat, begin, end)` over dynamically scheduled chunks of
+  /// [0, count). `num_threads` follows the util/parallel.h contract (0 =
+  /// default, negative = clamped with a warning). Blocks until every chunk's
+  /// body invocation has returned; the caller observes all writes.
+  void ParallelRange(size_t count, internal::ParallelBodyRef body,
+                     int num_threads);
+
+  /// Upper bound (inclusive of the calling thread) on the seat indices a
+  /// ParallelRange(count, ., num_threads) call may use — size per-worker
+  /// scratch arrays with this. Matches the clamping in ParallelRange.
+  static int MaxSeats(size_t count, int num_threads);
+
+  /// Workers currently spawned (grows on demand, never shrinks).
+  int num_workers() const;
+
+ private:
+  struct alignas(64) Seat {
+    // Packed chunk-id range [lo, hi): lo in the high 32 bits, hi in the low
+    // 32 bits. Owners CAS the front; thieves CAS the tail.
+    std::atomic<uint64_t> range{0};
+  };
+
+  struct Region {
+    internal::ParallelBodyRef body;
+    size_t count = 0;
+    size_t grain = 1;
+    uint32_t num_chunks = 0;
+    int seats = 0;
+    // Guarded by wake_mu_: seat 0 is the caller's; `active` counts seated
+    // participants still inside WorkSeat (the caller included).
+    int next_seat = 1;
+    int active = 0;
+  };
+
+  void WorkerLoop();
+  void EnsureWorkers(int target);
+  /// Claims chunks (own range first, then steals) until none remain.
+  /// Returns the number of chunks this seat executed.
+  uint32_t WorkSeat(Region& region, int seat);
+  void RunRegionInline(internal::ParallelBodyRef body, size_t count);
+
+  mutable std::mutex grow_mu_;
+  std::vector<std::thread> workers_;
+
+  // Serializes regions; contended callers run inline instead of blocking.
+  std::mutex region_mu_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;        // Guarded by wake_mu_.
+  Region* region_ = nullptr;  // Guarded by wake_mu_; null when idle.
+  bool stop_ = false;         // Guarded by wake_mu_.
+
+  std::vector<Seat> seats_;  // Sized to the largest region seen.
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_THREAD_POOL_H_

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <set>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -112,7 +113,7 @@ TEST(ConcurrencyStressTest, ThreadedAllPairsMatchesSerialBfs) {
   std::vector<Dist> threaded(static_cast<size_t>(n) * n, kInfDist);
   ForEachSourceDistances(
       g, engine,
-      [&](NodeId src, const std::vector<Dist>& dist) {
+      [&](NodeId src, std::span<const Dist> dist) {
         // Disjoint row writes: safe without locks per the ParallelForBlocks
         // contract; TSan validates that claim.
         std::copy(dist.begin(), dist.end(),

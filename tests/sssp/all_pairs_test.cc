@@ -2,6 +2,7 @@
 
 #include <mutex>
 #include <set>
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -40,7 +41,7 @@ TEST(AllPairsTest, ForEachSourceVisitsAllSourcesOnce) {
   std::mutex mutex;
   std::set<NodeId> seen;
   ForEachSourceDistances(g, engine,
-                         [&](NodeId src, const std::vector<Dist>& dist) {
+                         [&](NodeId src, std::span<const Dist> dist) {
                            std::lock_guard<std::mutex> lock(mutex);
                            EXPECT_TRUE(seen.insert(src).second);
                            EXPECT_EQ(dist.size(), g.num_nodes());

@@ -1,0 +1,282 @@
+// Randomized property suite for the high-throughput BFS engine: the
+// direction-optimizing runner and the 64-way multi-source runner must be
+// bit-for-bit identical to the serial oracle BfsDistances on every generator
+// topology, including disconnected components and isolated nodes. Also
+// registered under the tsan-concurrency preset: the batched drivers run with
+// several forced workers, so TSan sweeps the pool scheduling too.
+
+#include "sssp/bfs_engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "gen/er_generator.h"
+#include "gen/forest_fire.h"
+#include "gen/ws_generator.h"
+#include "sssp/all_pairs.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+struct GeneratorCase {
+  const char* name;
+  Graph (*build)(uint64_t seed);
+};
+
+Graph BuildEr(uint64_t seed) {
+  Rng rng(seed);
+  // Sparse enough that some nodes stay isolated and several components form.
+  return GenerateErdosRenyi({.num_nodes = 180, .num_edges = 150}, rng)
+      .SnapshotAtFraction(1.0);
+}
+
+Graph BuildBa(uint64_t seed) {
+  Rng rng(seed);
+  BaParams params;
+  params.num_nodes = 200;
+  params.edges_per_node = 2;
+  params.uniform_mix = 0.25;
+  return GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+}
+
+Graph BuildWs(uint64_t seed) {
+  Rng rng(seed);
+  WsParams params;
+  params.num_nodes = 180;
+  params.k = 4;
+  params.beta = 0.08;
+  return GenerateWattsStrogatz(params, rng).SnapshotAtFraction(1.0);
+}
+
+Graph BuildForestFire(uint64_t seed) {
+  Rng rng(seed);
+  ForestFireParams params;
+  params.num_nodes = 180;
+  params.burn_probability = 0.35;
+  return GenerateForestFire(params, rng).SnapshotAtFraction(1.0);
+}
+
+Graph BuildPartialSnapshot(uint64_t seed) {
+  // An early snapshot of an evolving graph: many ids not yet arrived
+  // (isolated) plus genuinely fragmented components.
+  Rng rng(seed);
+  return GenerateErdosRenyi({.num_nodes = 150, .num_edges = 200}, rng)
+      .SnapshotAtFraction(0.3);
+}
+
+constexpr GeneratorCase kGenerators[] = {
+    {"er", BuildEr},
+    {"ba", BuildBa},
+    {"ws", BuildWs},
+    {"forest_fire", BuildForestFire},
+    {"partial_snapshot", BuildPartialSnapshot},
+};
+
+class BfsEngineGeneratorTest : public ::testing::TestWithParam<GeneratorCase> {
+};
+
+TEST_P(BfsEngineGeneratorTest, DirOptMatchesSerialBfsFromEverySource) {
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    Graph g = GetParam().build(seed);
+    DirOptBfsRunner diropt(g);
+    BfsRunner serial(g);
+    for (NodeId src = 0; src < g.num_nodes(); ++src) {
+      const std::vector<Dist>& got = diropt.Run(src);
+      const std::vector<Dist>& want = serial.Run(src);
+      ASSERT_EQ(got, want) << GetParam().name << " seed " << seed << " src "
+                           << src;
+    }
+  }
+}
+
+TEST_P(BfsEngineGeneratorTest, MsBfsMatchesSerialBfsOnFullBatches) {
+  Graph g = GetParam().build(/*seed=*/3);
+  const NodeId n = g.num_nodes();
+  // All sources, including isolated ones, in kMsBfsBatchWidth-wide batches
+  // plus one ragged tail batch.
+  std::vector<NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  MsBfsRunner runner(g);
+  BfsRunner serial(g);
+  std::vector<Dist> rows;
+  for (size_t first = 0; first < sources.size(); first += kMsBfsBatchWidth) {
+    const size_t lanes =
+        std::min<size_t>(kMsBfsBatchWidth, sources.size() - first);
+    rows.assign(lanes * n, 0);
+    runner.Run(std::span<const NodeId>(sources.data() + first, lanes), rows);
+    for (size_t i = 0; i < lanes; ++i) {
+      const std::vector<Dist>& want = serial.Run(sources[first + i]);
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(rows[i * n + v], want[v])
+            << GetParam().name << " src " << sources[first + i] << " v " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, BfsEngineGeneratorTest,
+                         ::testing::ValuesIn(kGenerators),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(DirOptBfsTest, ExtremeSwitchParametersNeverChangeDistances) {
+  // alpha/beta only steer which sweep runs; distances must be invariant
+  // even for degenerate settings (always bottom-up, never bottom-up,
+  // thrashing between modes every level).
+  Graph g = BuildWs(/*seed=*/11);
+  BfsRunner serial(g);
+  const DirOptParams kExtremes[] = {
+      {.alpha = 1e18, .beta = 1e-18},  // Immediately bottom-up, stays there.
+      {.alpha = 1e-18, .beta = 1e18},  // Pure top-down.
+      {.alpha = 1e18, .beta = 1e18},   // Flips direction every level.
+  };
+  for (const DirOptParams& params : kExtremes) {
+    DirOptBfsRunner diropt(g, params);
+    for (NodeId src = 0; src < g.num_nodes(); src += 7) {
+      ASSERT_EQ(diropt.Run(src), serial.Run(src))
+          << "alpha " << params.alpha << " beta " << params.beta << " src "
+          << src;
+    }
+  }
+}
+
+TEST(DirOptBfsTest, IsolatedSourceReachesOnlyItself) {
+  Graph g = testing::StarGraph(4);  // Ids 0..4; append an isolated id.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) edges.push_back({u, v, 1.0f});
+    }
+  }
+  Graph with_isolated = Graph::FromEdges(g.num_nodes() + 1, edges);
+  std::vector<Dist> dist;
+  DirOptBfsDistances(with_isolated, with_isolated.num_nodes() - 1, &dist);
+  for (NodeId v = 0; v + 1 < with_isolated.num_nodes(); ++v) {
+    EXPECT_EQ(dist[v], kInfDist);
+  }
+  EXPECT_EQ(dist[with_isolated.num_nodes() - 1], 0);
+}
+
+TEST(DirOptBfsTest, ChargesBudgetOncePerRun) {
+  Graph g = testing::CycleGraph(8);
+  SsspBudget budget(3);
+  std::vector<Dist> dist;
+  DirOptBfsDistances(g, 0, &dist, &budget);
+  DirOptBfsDistances(g, 1, &dist, &budget);
+  EXPECT_EQ(budget.used(), 2);
+}
+
+TEST(MsBfsTest, EveryBatchWidthMatchesSerial) {
+  Graph g = BuildBa(/*seed=*/5);
+  const NodeId n = g.num_nodes();
+  MsBfsRunner runner(g);
+  BfsRunner serial(g);
+  Rng rng(99);
+  std::vector<Dist> rows;
+  for (size_t lanes : {size_t{1}, size_t{2}, size_t{3}, size_t{31},
+                       size_t{63}, size_t{64}}) {
+    std::vector<NodeId> sources;
+    for (size_t i = 0; i < lanes; ++i) {
+      sources.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+    }
+    rows.assign(lanes * n, 0);
+    runner.Run(sources, rows);
+    for (size_t i = 0; i < lanes; ++i) {
+      const std::vector<Dist>& want = serial.Run(sources[i]);
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(rows[i * n + v], want[v])
+            << "lanes " << lanes << " lane " << i << " v " << v;
+      }
+    }
+  }
+}
+
+TEST(MsBfsTest, DuplicateSourcesProduceIdenticalRows) {
+  Graph g = testing::PathGraph(20);
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> sources = {5, 5, 5, 12};
+  std::vector<Dist> rows(sources.size() * n);
+  MsBfsRunner runner(g);
+  runner.Run(sources, rows);
+  BfsRunner serial(g);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const std::vector<Dist>& want = serial.Run(sources[i]);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(rows[i * n + v], want[v]) << "lane " << i << " v " << v;
+    }
+  }
+}
+
+TEST(MsBfsMultiSourceTest, RaggedSourceCountVisitsEachSourceOnce) {
+  // 130 sources = two full batches + a 2-lane tail.
+  Graph g = BuildEr(/*seed=*/17);
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < 130; ++u) sources.push_back(u % n);
+  BfsRunner serial(g);
+  std::mutex mutex;
+  std::multiset<NodeId> seen;
+  MultiSourceDistances(g, sources, [&](NodeId src,
+                                       std::span<const Dist> row) {
+    ASSERT_EQ(row.size(), n);
+    const std::vector<Dist>& want = serial.Run(src);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(row[v], want[v]) << "src " << src << " v " << v;
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(src);
+  });
+  EXPECT_EQ(seen.size(), sources.size());
+}
+
+TEST(MsBfsMultiSourceTest, ThreadedMatchesSerialOracle) {
+  Graph g = BuildForestFire(/*seed=*/23);
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  std::vector<Dist> matrix(static_cast<size_t>(n) * n, 0);
+  MultiSourceDistances(
+      g, sources,
+      [&](NodeId src, std::span<const Dist> row) {
+        // Disjoint row writes; TSan validates the pool's handoff.
+        std::copy(row.begin(), row.end(),
+                  matrix.begin() + static_cast<size_t>(src) * n);
+      },
+      /*num_threads=*/4);
+  BfsRunner serial(g);
+  for (NodeId src = 0; src < n; ++src) {
+    const std::vector<Dist>& want = serial.Run(src);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(matrix[static_cast<size_t>(src) * n + v], want[v])
+          << "src " << src << " v " << v;
+    }
+  }
+}
+
+TEST(BfsEngineSeamTest, BatchedAndFallbackEnginesAgreeOnUnitWeights) {
+  // BfsEngine reports UnweightedBatchable() and rides MS-BFS;
+  // DijkstraEngine takes the per-source fallback. With unit weights the
+  // two drivers must produce the same all-pairs matrix.
+  Graph g = BuildWs(/*seed=*/31);
+  BfsEngine bfs;
+  DijkstraEngine dijkstra;
+  ASSERT_TRUE(bfs.UnweightedBatchable());
+  ASSERT_FALSE(dijkstra.UnweightedBatchable());
+  auto batched = AllPairsMatrix(g, bfs, /*max_cells=*/size_t{1} << 26);
+  auto fallback = AllPairsMatrix(g, dijkstra, /*max_cells=*/size_t{1} << 26);
+  EXPECT_EQ(batched, fallback);
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -15,6 +15,10 @@
 //      uppercased, separators mapped to '_').
 //   5. Every bench/*.cc calls FinishAndExport so each benchmark emits its
 //      BENCH_<name>.json telemetry (the obs contract from PR 1).
+//   6. No raw std::thread construction outside src/util — parallel work
+//      must run on the persistent work-stealing pool (util/parallel.h /
+//      util/thread_pool.h) so nesting, shutdown and steal telemetry stay
+//      centralized and TSan covers one scheduler, not ad-hoc spawns.
 //
 // The scanner strips string literals and comments line-by-line before
 // matching, so documentation may mention forbidden tokens freely.
@@ -172,6 +176,13 @@ bool IsRngHome(const fs::path& rel_to_src) {
   return p == "util/rng.h" || p == "util/rng.cc";
 }
 
+// Threading is owned by src/util (the work-stealing pool behind
+// ParallelFor); everything else schedules through it so that nesting,
+// shutdown and steal telemetry stay centralized.
+bool IsThreadHome(const fs::path& rel_to_src) {
+  return rel_to_src.generic_string().rfind("util/", 0) == 0;
+}
+
 void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
   std::vector<std::string> lines;
   if (!ReadLines(path, &lines)) {
@@ -181,6 +192,7 @@ void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
 
   const bool logging_ok = IsLoggingSink(rel_to_src);
   const bool rng_ok = IsRngHome(rel_to_src);
+  const bool thread_ok = IsThreadHome(rel_to_src);
   bool in_block_comment = false;
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string code =
@@ -211,6 +223,11 @@ void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
                      fn + ")");
         }
       }
+    }
+    if (!thread_ok && code.find("std::thread") != std::string::npos) {
+      Report(path, line_no,
+             "spawn work via util/parallel.h (thread pool), not raw "
+             "std::thread");
     }
   }
 
