@@ -52,6 +52,11 @@ std::vector<std::unique_ptr<BenchDataset>> LoadPaperDatasets(
 void PrintHeader(const std::string& bench_name, const BenchEnv& env) {
   std::printf("==== %s (scale=%.2f seed=%llu) ====\n", bench_name.c_str(),
               env.scale, static_cast<unsigned long long>(env.seed));
+  // Flight recording must be armed before the instrumented work runs;
+  // CONVPAIRS_TRACE_OUT both enables it and names the export destination.
+  if (obs::InitFlightRecorderFromEnv()) {
+    std::printf("flight recorder: enabled (%s)\n", obs::kTraceOutEnvVar);
+  }
   auto& registry = obs::MetricsRegistry::Global();
   registry.SetMetadata("bench", bench_name);
   char scale_buf[32];
@@ -70,6 +75,28 @@ void FinishAndExport(const std::string& bench_name) {
 
   const std::string path =
       obs::MetricsOutPath("BENCH_" + bench_name + ".json");
+
+  // Chrome trace first: writing it syncs the obs.flight.* truncation
+  // counters into the registry, so the telemetry JSON below records whether
+  // any per-seat ring wrapped. The default trace name sits next to the
+  // telemetry JSON (<name>.json -> <name>.trace.json).
+  if (obs::FlightRecorder::enabled()) {
+    std::string default_trace = "BENCH_" + bench_name + ".trace.json";
+    if (path.ends_with(".json")) {
+      default_trace =
+          path.substr(0, path.size() - 5) + ".trace.json";
+    }
+    const std::string trace_path = obs::TraceOutPath(default_trace);
+    if (!trace_path.empty()) {
+      Status trace_status = obs::WriteChromeTrace(trace_path, bench_name);
+      if (!trace_status.ok()) {
+        LOG_ERROR << "trace export failed: " << trace_status.ToString();
+      } else {
+        std::printf("trace: wrote %s\n", trace_path.c_str());
+      }
+    }
+  }
+
   if (path.empty()) return;  // CONVPAIRS_METRICS_OUT="" disables export.
   Status status = obs::ExportMetrics(path, bench_name);
   if (!status.ok()) {

@@ -61,7 +61,11 @@ void PrintHeader(const std::string& bench_name, const BenchEnv& env);
 /// machine-readable JSON at the end of a bench run. The destination is
 /// CONVPAIRS_METRICS_OUT when set (an empty value disables export, a
 /// *.csv path switches format), else BENCH_<bench_name>.json in the
-/// working directory. Every bench main calls this once before returning.
+/// working directory. When flight recording is on (CONVPAIRS_TRACE_OUT —
+/// see PrintHeader) a Chrome trace-event JSON is written first, to the env
+/// path or <telemetry name>.trace.json, and the obs.flight.* truncation
+/// counters are synced so they appear in the telemetry JSON. Every bench
+/// main calls this once before returning.
 void FinishAndExport(const std::string& bench_name);
 
 }  // namespace convpairs::bench

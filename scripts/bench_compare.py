@@ -4,6 +4,10 @@
 Usage:
     scripts/bench_compare.py CURRENT.json [--baseline bench/baselines/bench_micro_perf.json]
                              [--threshold 0.15] [--no-fail] [--report out.md]
+    scripts/bench_compare.py --telemetry RUN.json \
+                             [--telemetry-baseline bench/baselines/cli_cost_model.json] \
+                             [--counter-prefixes sssp.budget.,sssp.bfs.] \
+                             [--counter-threshold 0.0]
 
 Benchmarks are matched by name. For every benchmark present in both files
 the script reports the items_per_second ratio (falling back to inverse
@@ -14,9 +18,21 @@ the baseline. Exit status is 1 when any regression is flagged, unless
 noise would make a hard gate flaky, and surfaces the report as an artifact
 instead).
 
+With --telemetry the script additionally (or instead: the positional
+google-benchmark argument is optional) diffs telemetry counters exported by
+the obs subsystem (CONVPAIRS_METRICS_OUT / --metrics-out JSON) against a
+committed counter baseline. Unlike wall-clock rates, cost-model counters
+such as sssp.budget.* and sssp.bfs.*.runs are deterministic for a fixed
+seed, so the default --counter-threshold is 0: any drift means the cost
+model changed and the run fails (subject to --no-fail). Counters are
+matched by --counter-prefixes; a counter missing from either side is also
+a failure, so silently-deleted instrumentation cannot pass the gate.
+
 Baselines are produced with:
     bench_micro_perf --benchmark_format=json --benchmark_out=...json
-optionally wrapped with a top-level "note" key describing the machine.
+optionally wrapped with a top-level "note" key describing the machine, and
+for the counter gate with a fixed-seed CLI run (see
+bench/baselines/cli_cost_model.json for the exact command).
 """
 
 import argparse
@@ -50,9 +66,66 @@ def fmt_rate(kind, value):
     return f"{value:.3g} 1/t"
 
 
+def load_counters(path, prefixes):
+    """Returns {name: value} for counters/gauges matching any prefix."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for section in ("counters", "gauges"):
+        for name, value in (doc.get(section) or {}).items():
+            if any(name.startswith(p) for p in prefixes):
+                out[name] = float(value)
+    return out
+
+
+def compare_telemetry(args, lines):
+    """Appends the counter-diff report to `lines`; returns drift entries."""
+    prefixes = [p for p in args.counter_prefixes.split(",") if p]
+    baseline = load_counters(args.telemetry_baseline, prefixes)
+    current = load_counters(args.telemetry, prefixes)
+
+    drifts = []
+    lines.append("")
+    lines.append(f"# Cost-model counters vs {args.telemetry_baseline}")
+    lines.append(f"(prefixes: {', '.join(prefixes)})")
+    lines.append("")
+    lines.append("| counter | baseline | current | drift |")
+    lines.append("|---|---|---|---|")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            lines.append(f"| {name} | {baseline[name]:g} | missing | - |")
+            drifts.append((name, "missing in current run"))
+            continue
+        if name not in baseline:
+            lines.append(f"| {name} | missing | {current[name]:g} | - |")
+            drifts.append((name, "missing in baseline"))
+            continue
+        base, cur = baseline[name], current[name]
+        drift = abs(cur - base) / max(abs(base), 1.0)
+        flag = drift > args.counter_threshold
+        lines.append(
+            f"| {name} | {base:g} | {cur:g} | "
+            f"{drift:.2%}{' !' if flag else ''} |")
+        if flag:
+            drifts.append((name, f"{base:g} -> {cur:g} ({drift:.2%})"))
+    lines.append("")
+    if drifts:
+        lines.append(
+            f"COUNTER DRIFT (> {args.counter_threshold:.0%} from baseline):")
+        for name, why in drifts:
+            lines.append(f"  - {name}: {why}")
+    else:
+        lines.append(
+            f"No counter drift beyond {args.counter_threshold:.0%}.")
+    return drifts
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="google-benchmark JSON of this run")
+    parser.add_argument(
+        "current", nargs="?",
+        help="google-benchmark JSON of this run (optional when only the "
+        "--telemetry counter gate is wanted)")
     parser.add_argument(
         "--baseline",
         default="bench/baselines/bench_micro_perf.json",
@@ -61,52 +134,75 @@ def main():
         "--threshold", type=float, default=0.15,
         help="flag slowdowns beyond this fraction (default: %(default)s)")
     parser.add_argument(
+        "--telemetry",
+        help="telemetry JSON (obs export) of this run; enables the "
+        "deterministic cost-model counter gate")
+    parser.add_argument(
+        "--telemetry-baseline",
+        default="bench/baselines/cli_cost_model.json",
+        help="committed telemetry counter baseline (default: %(default)s)")
+    parser.add_argument(
+        "--counter-prefixes", default="sssp.budget.,sssp.bfs.",
+        help="comma-separated counter name prefixes to gate on "
+        "(default: %(default)s)")
+    parser.add_argument(
+        "--counter-threshold", type=float, default=0.0,
+        help="allowed relative counter drift; 0 means exact match "
+        "(default: %(default)s)")
+    parser.add_argument(
         "--no-fail", action="store_true",
         help="always exit 0; report regressions without gating")
     parser.add_argument(
         "--report", help="also write the comparison as markdown to this file")
     args = parser.parse_args()
-
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
-
-    rows = []
-    regressions = []
-    for name in sorted(baseline):
-        if name not in current:
-            rows.append((name, "missing in current run", None))
-            continue
-        kind_b, base = baseline[name]
-        kind_c, cur = current[name]
-        if kind_b != kind_c or base <= 0:
-            rows.append((name, "metric mismatch", None))
-            continue
-        ratio = cur / base
-        note = f"{fmt_rate(kind_b, base)} -> {fmt_rate(kind_c, cur)}"
-        rows.append((name, note, ratio))
-        if ratio < 1.0 - args.threshold:
-            regressions.append((name, ratio))
-    new_names = sorted(set(current) - set(baseline))
+    if args.current is None and args.telemetry is None:
+        parser.error("need a google-benchmark JSON and/or --telemetry")
 
     lines = []
-    lines.append(f"# Benchmark comparison vs {args.baseline}")
-    lines.append("")
-    lines.append("| benchmark | baseline -> current | ratio |")
-    lines.append("|---|---|---|")
-    for name, note, ratio in rows:
-        ratio_txt = f"{ratio:.2f}x" if ratio is not None else "-"
-        lines.append(f"| {name} | {note} | {ratio_txt} |")
-    for name in new_names:
-        kind, cur = current[name]
-        lines.append(f"| {name} | new: {fmt_rate(kind, cur)} | - |")
-    lines.append("")
-    if regressions:
-        lines.append(
-            f"REGRESSIONS (> {args.threshold:.0%} slower than baseline):")
-        for name, ratio in regressions:
-            lines.append(f"  - {name}: {ratio:.2f}x of baseline")
-    else:
-        lines.append(f"No regressions beyond {args.threshold:.0%}.")
+    regressions = []
+    if args.current is not None:
+        baseline = load_benchmarks(args.baseline)
+        current = load_benchmarks(args.current)
+
+        rows = []
+        for name in sorted(baseline):
+            if name not in current:
+                rows.append((name, "missing in current run", None))
+                continue
+            kind_b, base = baseline[name]
+            kind_c, cur = current[name]
+            if kind_b != kind_c or base <= 0:
+                rows.append((name, "metric mismatch", None))
+                continue
+            ratio = cur / base
+            note = f"{fmt_rate(kind_b, base)} -> {fmt_rate(kind_c, cur)}"
+            rows.append((name, note, ratio))
+            if ratio < 1.0 - args.threshold:
+                regressions.append((name, ratio))
+        new_names = sorted(set(current) - set(baseline))
+
+        lines.append(f"# Benchmark comparison vs {args.baseline}")
+        lines.append("")
+        lines.append("| benchmark | baseline -> current | ratio |")
+        lines.append("|---|---|---|")
+        for name, note, ratio in rows:
+            ratio_txt = f"{ratio:.2f}x" if ratio is not None else "-"
+            lines.append(f"| {name} | {note} | {ratio_txt} |")
+        for name in new_names:
+            kind, cur = current[name]
+            lines.append(f"| {name} | new: {fmt_rate(kind, cur)} | - |")
+        lines.append("")
+        if regressions:
+            lines.append(
+                f"REGRESSIONS (> {args.threshold:.0%} slower than baseline):")
+            for name, ratio in regressions:
+                lines.append(f"  - {name}: {ratio:.2f}x of baseline")
+        else:
+            lines.append(f"No regressions beyond {args.threshold:.0%}.")
+
+    drifts = []
+    if args.telemetry is not None:
+        drifts = compare_telemetry(args, lines)
 
     report = "\n".join(lines)
     print(report)
@@ -114,7 +210,7 @@ def main():
         with open(args.report, "w") as f:
             f.write(report + "\n")
 
-    if regressions and not args.no_fail:
+    if (regressions or drifts) and not args.no_fail:
         return 1
     return 0
 

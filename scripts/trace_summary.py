@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Summarize a flight-recorder Chrome trace (see src/obs/trace_export.h).
+
+Usage:
+    scripts/trace_summary.py RUN.trace.json [RUN2.trace.json ...]
+
+For each trace the script reports, from the per-seat timeline events:
+  - per-seat worker utilization: % of the seat's active window (first to
+    last event on that seat) spent inside pool.chunk / pool.region_inline
+    bodies, with chunk counts and items;
+  - steal behaviour: attempts, successes, and latency percentiles, where
+    latency is the gap between a pool.steal_attempt instant and the next
+    pool.steal success on the same seat;
+  - per-phase idle time: for every top-level ScopedSpan phase (the
+    "phases" tracks), how much pool.idle time the seats accumulated while
+    that phase was running.
+
+Only the Python standard library is used so the script runs anywhere the
+repo builds. Event names mirror FlightEventKindName() in
+src/obs/flight_recorder.cc; keep the two in sync when adding kinds.
+"""
+
+import argparse
+import json
+import sys
+
+# Seat tracks use small tids; ScopedSpan phase tracks start here (mirrors
+# kPhaseTidBase in src/obs/trace_export.cc).
+PHASE_TID_BASE = 1000
+
+BUSY_EVENTS = ("pool.chunk", "pool.region_inline")
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an ascending list; 0.0 when empty."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.1f}us"
+
+
+def seat_events(doc):
+    """Returns {tid: [event, ...]} for seat tracks, ts-sorted."""
+    seats = {}
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") not in ("X", "i"):
+            continue
+        tid = event.get("tid", 0)
+        if tid >= PHASE_TID_BASE:
+            continue
+        seats.setdefault(tid, []).append(event)
+    for events in seats.values():
+        events.sort(key=lambda e: e.get("ts", 0.0))
+    return seats
+
+
+def seat_names(doc):
+    names = {}
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            tid = event.get("tid", 0)
+            if tid < PHASE_TID_BASE:
+                names[tid] = event.get("args", {}).get("name", f"tid {tid}")
+    return names
+
+
+def summarize_seats(seats, names, out):
+    out.append("per-seat utilization:")
+    out.append("  seat                       busy/window   util  "
+               "chunks   steals(att)")
+    for tid in sorted(seats):
+        events = seats[tid]
+        start = min(e["ts"] for e in events)
+        end = max(e["ts"] + e.get("dur", 0.0) for e in events)
+        window = max(end - start, 1e-9)
+        busy = sum(e.get("dur", 0.0) for e in events
+                   if e["name"] in BUSY_EVENTS)
+        chunks = sum(1 for e in events if e["name"] == "pool.chunk")
+        steals = sum(1 for e in events if e["name"] == "pool.steal")
+        attempts = sum(1 for e in events if e["name"] == "pool.steal_attempt")
+        label = names.get(tid, f"tid {tid}")
+        out.append(f"  {label:<26} {fmt_us(busy):>9}/{fmt_us(window):<9} "
+                   f"{100.0 * busy / window:5.1f}%  {chunks:6d}   "
+                   f"{steals}({attempts})")
+
+
+def summarize_steals(seats, out):
+    latencies = []
+    attempts = successes = 0
+    for events in seats.values():
+        pending = None
+        for event in events:
+            if event["name"] == "pool.steal_attempt":
+                attempts += 1
+                pending = event["ts"]
+            elif event["name"] == "pool.steal":
+                successes += 1
+                if pending is not None:
+                    latencies.append(event["ts"] - pending)
+                    pending = None
+    out.append(f"steals: {successes} successful of {attempts} attempts")
+    if latencies:
+        latencies.sort()
+        out.append("  attempt->success latency: "
+                   f"p50={fmt_us(percentile(latencies, 50))} "
+                   f"p90={fmt_us(percentile(latencies, 90))} "
+                   f"p99={fmt_us(percentile(latencies, 99))} "
+                   f"max={fmt_us(latencies[-1])}")
+
+
+def summarize_phase_idle(doc, seats, out):
+    phases = [e for e in doc.get("traceEvents", [])
+              if e.get("ph") == "X" and e.get("tid", 0) >= PHASE_TID_BASE
+              and e.get("args", {}).get("depth", 0) == 0]
+    idles = [e for events in seats.values() for e in events
+             if e["name"] == "pool.idle"]
+    if not phases or not idles:
+        return
+    out.append("per-phase idle time (pool.idle overlapping each phase):")
+    for phase in sorted(phases, key=lambda e: e["ts"]):
+        lo, hi = phase["ts"], phase["ts"] + phase.get("dur", 0.0)
+        overlap = sum(
+            max(0.0, min(hi, e["ts"] + e.get("dur", 0.0)) - max(lo, e["ts"]))
+            for e in idles)
+        out.append(f"  {phase['name']:<32} span={fmt_us(hi - lo):>9}  "
+                   f"idle={fmt_us(overlap)}")
+
+
+def summarize(path):
+    with open(path) as f:
+        doc = json.load(f)
+    seats = seat_events(doc)
+    out = [f"== {path} =="]
+    other = doc.get("otherData", {})
+    dropped = other.get("flight_dropped", 0)
+    if dropped:
+        out.append(f"WARNING: {dropped} events dropped "
+                   f"(per seat: {other.get('flight_dropped_per_seat', {})})")
+    if not seats:
+        out.append("no seat timeline events (was recording enabled?)")
+        return "\n".join(out)
+    summarize_seats(seats, seat_names(doc), out)
+    summarize_steals(seats, out)
+    summarize_phase_idle(doc, seats, out)
+    return "\n".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+",
+                        help="Chrome trace JSON files written by "
+                        "--trace-out / CONVPAIRS_TRACE_OUT")
+    args = parser.parse_args()
+    for path in args.traces:
+        print(summarize(path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

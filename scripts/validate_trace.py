@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON written by the flight-recorder exporter.
+
+Usage:
+    scripts/validate_trace.py RUN.trace.json [RUN2.trace.json ...]
+                              [--require-events]
+
+Checks the subset of the Trace Event Format that Perfetto and
+chrome://tracing require to load a file (the same invariants the
+TraceExportTest.*ChromeSchema gtest asserts, so a trace passing either
+check loads in both viewers):
+  - top level is an object with a traceEvents array (JSON object format);
+  - every event is an object with string `ph` and `name`, numeric
+    non-negative `ts`, integer `pid`/`tid`;
+  - `ph` is one of the phases the exporter emits (X, i, M);
+  - X (complete) events carry a numeric non-negative `dur`;
+  - i (instant) events carry scope `s` in {g, p, t};
+  - M (metadata) events are process_name / thread_name /
+    thread_sort_index with the matching args payload;
+  - `args`, when present, is an object.
+
+With --require-events the file must contain at least one non-metadata
+event — CI uses this so an accidentally-disarmed recorder fails loudly
+instead of uploading an empty-but-valid trace.
+
+Exit status: 0 when every file validates, 1 otherwise. Standard library
+only; runs on any Python 3.8+.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "i", "M"}
+ALLOWED_METADATA = {
+    "process_name": "name",
+    "thread_name": "name",
+    "thread_sort_index": "sort_index",
+}
+ALLOWED_INSTANT_SCOPES = {"g", "p", "t"}
+
+
+def check_event(event, index, errors):
+    def err(msg):
+        errors.append(f"traceEvents[{index}]: {msg}")
+
+    if not isinstance(event, dict):
+        err("event is not an object")
+        return
+    ph = event.get("ph")
+    if not isinstance(ph, str) or ph not in ALLOWED_PHASES:
+        err(f"bad ph {ph!r} (expected one of {sorted(ALLOWED_PHASES)})")
+        return
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        err(f"bad name {name!r}")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            err(f"bad {key} {value!r} (expected integer)")
+    args = event.get("args")
+    if args is not None and not isinstance(args, dict):
+        err(f"args is {type(args).__name__}, expected object")
+
+    if ph == "M":
+        if name not in ALLOWED_METADATA:
+            err(f"unknown metadata event {name!r}")
+        elif not isinstance(args, dict) or ALLOWED_METADATA[name] not in args:
+            err(f"metadata {name!r} missing args.{ALLOWED_METADATA[name]}")
+        return
+
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        err(f"bad ts {ts!r} (expected non-negative number)")
+    if ph == "X":
+        dur = event.get("dur")
+        if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                or dur < 0):
+            err(f"bad dur {dur!r} for complete event")
+    elif ph == "i":
+        scope = event.get("s")
+        if scope is not None and scope not in ALLOWED_INSTANT_SCOPES:
+            err(f"bad instant scope {scope!r}")
+
+
+def validate(path, require_events):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"cannot parse: {e}"]
+
+    if not isinstance(doc, dict):
+        return ["top level is not an object (JSON object format required)"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing/ill-typed traceEvents array"]
+    for index, event in enumerate(events):
+        check_event(event, index, errors)
+        if len(errors) >= 20:
+            errors.append("... further errors suppressed")
+            break
+    if require_events:
+        real = sum(1 for e in events
+                   if isinstance(e, dict) and e.get("ph") != "M")
+        if real == 0:
+            errors.append("no non-metadata events (--require-events)")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", help="trace JSON files")
+    parser.add_argument(
+        "--require-events", action="store_true",
+        help="fail if a file has no non-metadata events")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.traces:
+        errors = validate(path, args.require_events)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            with open(path) as f:
+                count = len(json.load(f)["traceEvents"])
+            print(f"{path}: ok ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,7 +50,9 @@ JsonValue HistogramToJson(const HistogramSample& sample) {
 
 double MillisFromNanos(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 
-Status WriteStringToFile(const std::string& path, const std::string& body) {
+}  // namespace
+
+Status WriteTextFile(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IoError("cannot open metrics output file: " + path);
@@ -63,7 +65,20 @@ Status WriteStringToFile(const std::string& path, const std::string& body) {
   return Status::OK();
 }
 
-}  // namespace
+std::string CsvEscape(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
 
 JsonValue JsonExporter::BuildReport(const std::string& run_name,
                                     const MetricsSnapshot& metrics,
@@ -128,7 +143,7 @@ Status JsonExporter::WriteFile(const std::string& path,
   JsonValue report =
       BuildReport(run_name, MetricsRegistry::Global().Snapshot(),
                   TraceBuffer::Global().Snapshot());
-  return WriteStringToFile(path, report.Serialize());
+  return WriteTextFile(path, report.Serialize());
 }
 
 std::string CsvExporter::BuildCsv(const std::string& run_name,
@@ -137,7 +152,8 @@ std::string CsvExporter::BuildCsv(const std::string& run_name,
   std::string out = "run,kind,name,field,value\n";
   auto row = [&](const std::string& kind, const std::string& name,
                  const std::string& field, const std::string& value) {
-    out += run_name + "," + kind + "," + name + "," + field + "," + value +
+    out += CsvEscape(run_name) + "," + CsvEscape(kind) + "," +
+           CsvEscape(name) + "," + CsvEscape(field) + "," + CsvEscape(value) +
            "\n";
   };
   for (const auto& [key, value] : metrics.metadata) {
@@ -168,7 +184,7 @@ Status CsvExporter::WriteFile(const std::string& path,
   std::string body =
       BuildCsv(run_name, MetricsRegistry::Global().Snapshot(),
                TraceBuffer::Global().Snapshot());
-  return WriteStringToFile(path, body);
+  return WriteTextFile(path, body);
 }
 
 Status ExportMetrics(const std::string& path, const std::string& run_name) {

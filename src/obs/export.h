@@ -59,6 +59,15 @@ std::string MetricsOutPath(const std::string& default_path);
 /// true when a file was written.
 bool ExportMetricsFromEnv(const std::string& run_name);
 
+/// Writes `body` to `path`, replacing any existing file. Shared by the
+/// telemetry and Chrome-trace exporters.
+Status WriteTextFile(const std::string& path, const std::string& body);
+
+/// RFC-4180 CSV field quoting: returns `field` unchanged unless it contains
+/// a comma, quote, or newline, in which case it is wrapped in double quotes
+/// with embedded quotes doubled.
+std::string CsvEscape(std::string_view field);
+
 }  // namespace convpairs::obs
 
 #endif  // CONVPAIRS_OBS_EXPORT_H_

@@ -1,0 +1,166 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace convpairs::obs {
+namespace {
+
+// Lane index for the calling thread: assigned on first use, -1 once the
+// recorder is out of lanes (events then count into overflow_dropped).
+// -2 marks "not yet assigned".
+thread_local int tls_lane = -2;
+
+constexpr uint64_t kKindMask = 0xff;
+
+uint64_t PackMeta(FlightEventKind kind, uint32_t arg0) {
+  return (static_cast<uint64_t>(arg0) << 32) |
+         static_cast<uint64_t>(kind);
+}
+
+}  // namespace
+
+std::atomic<bool> FlightRecorder::enabled_{false};
+
+std::string_view FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kPoolRegionBegin:
+      return "pool.region_begin";
+    case FlightEventKind::kPoolRegionEnd:
+      return "pool.region_end";
+    case FlightEventKind::kPoolRegionInline:
+      return "pool.region_inline";
+    case FlightEventKind::kPoolChunk:
+      return "pool.chunk";
+    case FlightEventKind::kPoolStealAttempt:
+      return "pool.steal_attempt";
+    case FlightEventKind::kPoolSteal:
+      return "pool.steal";
+    case FlightEventKind::kPoolIdle:
+      return "pool.idle";
+    case FlightEventKind::kBfsLevel:
+      return "bfs.level";
+    case FlightEventKind::kDirOptSwitch:
+      return "bfs.diropt.switch";
+    case FlightEventKind::kMsBfsLevel:
+      return "bfs.msbfs.level";
+    case FlightEventKind::kMsBfsBatch:
+      return "bfs.msbfs.batch";
+    case FlightEventKind::kNumKinds:
+      break;
+  }
+  return "invalid";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // Never freed.
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder() : lanes_(new Lane[kMaxLanes]) {}
+
+int FlightRecorder::LaneForThisThread() {
+  if (tls_lane != -2) return tls_lane;
+  int lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+  if (lane >= kMaxLanes) {
+    tls_lane = -1;
+    return -1;
+  }
+  lanes_[lane].thread_id.store(TraceThreadId(), std::memory_order_relaxed);
+  lanes_[lane].slots.store(new Slot[kLaneCapacity],  // Never freed.
+                           std::memory_order_release);
+  tls_lane = lane;
+  return lane;
+}
+
+void FlightRecorder::RecordImpl(FlightEventKind kind, uint64_t ts_ns,
+                                uint64_t dur_ns, uint32_t arg0,
+                                uint64_t arg1) {
+  int lane_index = LaneForThisThread();
+  if (lane_index < 0) {
+    overflow_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Lane& lane = lanes_[lane_index];
+  Slot* slots = lane.slots.load(std::memory_order_relaxed);
+  uint64_t count = lane.cursor.load(std::memory_order_relaxed);
+  Slot& slot = slots[count % kLaneCapacity];
+  slot.ts.store(ts_ns, std::memory_order_relaxed);
+  slot.dur.store(dur_ns, std::memory_order_relaxed);
+  slot.meta.store(PackMeta(kind, arg0), std::memory_order_relaxed);
+  slot.arg1.store(arg1, std::memory_order_relaxed);
+  // Release so a snapshot that observes the new cursor also observes the
+  // slot words (for the non-wrapped prefix; wrapped slots may tear and are
+  // filtered by the kind-range check on decode).
+  lane.cursor.store(count + 1, std::memory_order_release);
+}
+
+FlightSnapshot FlightRecorder::Snapshot() const {
+  FlightSnapshot snapshot;
+  snapshot.enabled = enabled();
+  snapshot.overflow_dropped =
+      overflow_dropped_.load(std::memory_order_relaxed);
+  snapshot.dropped_total = snapshot.overflow_dropped;
+
+  const int lanes_used =
+      std::min(next_lane_.load(std::memory_order_relaxed), kMaxLanes);
+  for (int i = 0; i < lanes_used; ++i) {
+    const Lane& lane = lanes_[i];
+    const uint64_t count = lane.cursor.load(std::memory_order_acquire);
+    const Slot* slots = lane.slots.load(std::memory_order_acquire);
+    if (count == 0 || slots == nullptr) continue;
+
+    FlightLaneSnapshot out;
+    out.lane = i;
+    out.thread_id = lane.thread_id.load(std::memory_order_relaxed);
+    out.recorded = count;
+    out.dropped = count > kLaneCapacity ? count - kLaneCapacity : 0;
+    snapshot.dropped_total += out.dropped;
+
+    const uint64_t kept = std::min<uint64_t>(count, kLaneCapacity);
+    const uint64_t first = count - kept;  // Oldest surviving event index.
+    out.events.reserve(kept);
+    for (uint64_t e = first; e < count; ++e) {
+      const Slot& slot = slots[e % kLaneCapacity];
+      FlightEvent event;
+      event.ts_ns = slot.ts.load(std::memory_order_relaxed);
+      event.dur_ns = slot.dur.load(std::memory_order_relaxed);
+      const uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      const uint64_t kind_raw = meta & kKindMask;
+      if (kind_raw >= static_cast<uint64_t>(FlightEventKind::kNumKinds)) {
+        continue;  // Torn slot from a racing wrap; discard.
+      }
+      event.kind = static_cast<FlightEventKind>(kind_raw);
+      event.arg0 = static_cast<uint32_t>(meta >> 32);
+      event.arg1 = slot.arg1.load(std::memory_order_relaxed);
+      out.events.push_back(event);
+    }
+    snapshot.lanes.push_back(std::move(out));
+  }
+  return snapshot;
+}
+
+void FlightRecorder::Reset() {
+  overflow_dropped_.store(0, std::memory_order_relaxed);
+  const int lanes_used =
+      std::min(next_lane_.load(std::memory_order_relaxed), kMaxLanes);
+  for (int i = 0; i < lanes_used; ++i) {
+    lanes_[i].cursor.store(0, std::memory_order_relaxed);
+  }
+}
+
+FlightScope::FlightScope(FlightEventKind kind, uint32_t arg0, uint64_t arg1)
+    : kind_(kind),
+      arg0_(arg0),
+      arg1_(arg1),
+      start_ns_(FlightRecorder::enabled() ? TraceNowNanos() : UINT64_MAX) {}
+
+FlightScope::~FlightScope() {
+  if (start_ns_ == UINT64_MAX) return;
+  if (!FlightRecorder::enabled()) return;  // Disabled mid-scope: drop.
+  FlightRecorder::Record(kind_, start_ns_, TraceNowNanos() - start_ns_,
+                         arg0_, arg1_);
+}
+
+}  // namespace convpairs::obs

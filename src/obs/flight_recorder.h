@@ -1,0 +1,188 @@
+// Flight recorder: lock-free per-thread timeline event rings.
+//
+// ScopedSpan (obs/trace.h) covers coarse phases — a mutex per push is fine
+// at that granularity — but the scheduling behaviour of the work-stealing
+// pool and the BFS engine (chunk execution, steals, idle waits, level
+// boundaries, direction switches, MS-BFS batch occupancy) happens thousands
+// of times per second and would melt a mutexed buffer. The flight recorder
+// gives every recording thread its own fixed-capacity ring: an append is a
+// relaxed-atomic slot write plus a relaxed cursor bump — no locks, no
+// allocation, no cross-thread cache traffic on the hot path. When a ring
+// wraps, the oldest events are overwritten and counted as dropped (surfaced
+// as the `obs.flight.dropped` counters at export time, see trace_export.h).
+//
+// Recording is OFF by default and the entire hot path hides behind
+// FlightRecorder::enabled() — a single relaxed bool load — so instrumented
+// code pays nothing (no clock reads, no stores) until a run opts in via
+// CONVPAIRS_TRACE_OUT / --trace-out (see trace_export.h) or SetEnabled().
+//
+// Event kinds are a closed enum (FlightEventKind): the exporter, the
+// summary script and the lint invariant all key off it, so new events are
+// added here, never as ad-hoc integers at the call site.
+//
+// Thread-safety: appends are wait-free and may run concurrently with
+// Snapshot() from any thread (slots are relaxed atomics; a reader that
+// races a wrapping writer may observe a torn slot, which decoding discards
+// via the kind-range check). Reset() requires recording threads to be
+// quiescent, like MetricsRegistry::Reset().
+
+#ifndef CONVPAIRS_OBS_FLIGHT_RECORDER_H_
+#define CONVPAIRS_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace convpairs::obs {
+
+/// Every event the flight recorder can carry. Call sites must name these
+/// constants directly (lint invariant 7 bans casting raw integers): the
+/// Chrome-trace exporter and scripts/trace_summary.py both dispatch on the
+/// kind, so an unknown value would silently vanish from the timeline.
+enum class FlightEventKind : uint8_t {
+  kPoolRegionBegin = 0,  // instant; arg0 = num_chunks, arg1 = items
+  kPoolRegionEnd,        // instant; arg0 = num_chunks, arg1 = items
+  kPoolRegionInline,     // dur: region degraded to inline; arg1 = items
+  kPoolChunk,            // dur: one chunk body; arg0 = chunk id, arg1 = items
+  kPoolStealAttempt,     // instant; arg0 = victim seat
+  kPoolSteal,            // instant; arg0 = victim seat, arg1 = chunks taken
+  kPoolIdle,             // dur: wait before seating / drain at region end
+  kBfsLevel,             // dur: one DirOpt level; arg0 = level,
+                         //      arg1 = frontier size entering the level
+  kDirOptSwitch,         // instant; arg0 = new mode (0 = top-down,
+                         //      1 = bottom-up), arg1 = frontier edges
+  kMsBfsLevel,           // dur: one MS-BFS level; arg0 = level,
+                         //      arg1 = active frontier nodes
+  kMsBfsBatch,           // dur: whole batch; arg0 = lane occupancy,
+                         //      arg1 = levels run
+  kNumKinds,             // sentinel, not a recordable kind
+};
+
+/// Stable lower-case dotted name ("pool.chunk", "bfs.level", ...) used as
+/// the Chrome trace event name. Returns "invalid" for out-of-range values.
+std::string_view FlightEventKindName(FlightEventKind kind);
+
+/// One decoded event (snapshot-side representation).
+struct FlightEvent {
+  uint64_t ts_ns = 0;   // Start, relative to the process trace epoch.
+  uint64_t dur_ns = 0;  // 0 for instant events.
+  FlightEventKind kind = FlightEventKind::kNumKinds;
+  uint32_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+/// One thread's ring at snapshot time, oldest event first.
+struct FlightLaneSnapshot {
+  int lane = 0;        // Recorder lane index (stable per thread).
+  int thread_id = 0;   // TraceThreadId() of the owning thread.
+  uint64_t recorded = 0;  // Lifetime events appended to this lane.
+  uint64_t dropped = 0;   // Events overwritten by ring wrap.
+  std::vector<FlightEvent> events;
+};
+
+struct FlightSnapshot {
+  bool enabled = false;
+  std::vector<FlightLaneSnapshot> lanes;  // Only lanes that recorded.
+  uint64_t dropped_total = 0;     // Wraps across lanes + overflow threads.
+  uint64_t overflow_dropped = 0;  // Events from threads beyond kMaxLanes.
+};
+
+class FlightRecorder {
+ public:
+  /// Events per lane ring. 8192 × 32 B = 256 KiB per recording thread,
+  /// allocated lazily on the thread's first event.
+  static constexpr size_t kLaneCapacity = 8192;
+  /// Distinct recording threads; later threads count into overflow_dropped.
+  static constexpr int kMaxLanes = 64;
+
+  static FlightRecorder& Global();
+
+  /// The zero-cost-when-disabled guard. Instrumented code must check this
+  /// before reading clocks or computing arguments.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Appends one event to the calling thread's lane. Wait-free; no-op when
+  /// recording is disabled. `ts_ns` is TraceNowNanos()-relative.
+  static void Record(FlightEventKind kind, uint64_t ts_ns, uint64_t dur_ns,
+                     uint32_t arg0 = 0, uint64_t arg1 = 0) {
+    if (!enabled()) return;
+    Global().RecordImpl(kind, ts_ns, dur_ns, arg0, arg1);
+  }
+
+  FlightSnapshot Snapshot() const;
+
+  /// Zeroes every lane's cursor and drop counts. Lane↔thread assignments
+  /// survive so recording threads keep their rings. Callers must ensure no
+  /// thread is appending concurrently.
+  void Reset();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  // A slot is four relaxed-atomic words: ts, dur, (arg0 << 32 | kind),
+  // arg1. Relaxed atomics compile to plain stores on every target we build
+  // for, while keeping concurrent Snapshot() reads defined behaviour.
+  struct Slot {
+    std::atomic<uint64_t> ts{0};
+    std::atomic<uint64_t> dur{0};
+    std::atomic<uint64_t> meta{0};
+    std::atomic<uint64_t> arg1{0};
+  };
+
+  struct alignas(64) Lane {
+    // Monotonic append count; slot index = count % kLaneCapacity, and
+    // dropped = max(0, count - kLaneCapacity). Single writer (the owning
+    // thread); Snapshot() reads with acquire.
+    std::atomic<uint64_t> cursor{0};
+    std::atomic<int> thread_id{-1};
+    std::atomic<Slot*> slots{nullptr};  // Lazily allocated ring.
+  };
+
+  FlightRecorder();
+  ~FlightRecorder() = default;
+
+  void RecordImpl(FlightEventKind kind, uint64_t ts_ns, uint64_t dur_ns,
+                  uint32_t arg0, uint64_t arg1);
+  int LaneForThisThread();
+
+  static std::atomic<bool> enabled_;
+
+  std::unique_ptr<Lane[]> lanes_;       // kMaxLanes entries.
+  std::atomic<int> next_lane_{0};
+  std::atomic<uint64_t> overflow_dropped_{0};
+};
+
+/// RAII duration event: stamps the start at construction and records
+/// `kind` with the elapsed time at destruction. All cost (both clock
+/// reads included) vanishes when recording is disabled at construction.
+class FlightScope {
+ public:
+  explicit FlightScope(FlightEventKind kind, uint32_t arg0 = 0,
+                       uint64_t arg1 = 0);
+  ~FlightScope();
+
+  /// Updates arg1 before the event is recorded (e.g. items actually done).
+  void set_arg1(uint64_t arg1) { arg1_ = arg1; }
+
+  FlightScope(const FlightScope&) = delete;
+  FlightScope& operator=(const FlightScope&) = delete;
+
+ private:
+  FlightEventKind kind_;
+  uint32_t arg0_;
+  uint64_t arg1_;
+  uint64_t start_ns_;  // UINT64_MAX when recording was off at construction.
+};
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_FLIGHT_RECORDER_H_

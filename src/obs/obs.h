@@ -6,10 +6,12 @@
 #ifndef CONVPAIRS_OBS_OBS_H_
 #define CONVPAIRS_OBS_OBS_H_
 
-#include "obs/export.h"   // IWYU pragma: export
-#include "obs/json.h"     // IWYU pragma: export
-#include "obs/metrics.h"  // IWYU pragma: export
-#include "obs/registry.h" // IWYU pragma: export
-#include "obs/trace.h"    // IWYU pragma: export
+#include "obs/export.h"          // IWYU pragma: export
+#include "obs/flight_recorder.h" // IWYU pragma: export
+#include "obs/json.h"            // IWYU pragma: export
+#include "obs/metrics.h"         // IWYU pragma: export
+#include "obs/registry.h"        // IWYU pragma: export
+#include "obs/trace.h"           // IWYU pragma: export
+#include "obs/trace_export.h"    // IWYU pragma: export
 
 #endif  // CONVPAIRS_OBS_OBS_H_

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/registry.h"
+
 namespace convpairs::obs {
 namespace {
 
@@ -46,6 +48,12 @@ void TraceBuffer::Record(std::string_view name, uint64_t start_ns,
 
   if (spans_.size() >= kCapacity) {
     dropped_ += 1;
+    // Surface truncation in every metrics export, not just TraceSnapshot:
+    // BENCH_*.json readers check obs.trace.dropped to learn the raw span
+    // list is incomplete (aggregates in `stats` stay exact regardless).
+    static Counter& dropped_counter =
+        MetricsRegistry::Global().GetCounter("obs.trace.dropped");
+    dropped_counter.Increment();
     return;
   }
   SpanRecord record;

@@ -1,0 +1,291 @@
+#include "obs/trace_export.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+
+namespace convpairs::obs {
+namespace {
+
+// All tracks share one process group; phase tracks sit on high tids so the
+// seat tracks keep small, human-readable ids.
+constexpr int kPid = 1;
+constexpr int kPhaseTidBase = 1000;
+
+double MicrosFromNanos(uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+JsonValue MetadataEvent(const char* name, int tid, JsonValue args) {
+  JsonValue event = JsonValue::Object();
+  event.Set("ph", "M");
+  event.Set("pid", kPid);
+  event.Set("tid", tid);
+  event.Set("name", name);
+  event.Set("args", std::move(args));
+  return event;
+}
+
+JsonValue ThreadName(int tid, const std::string& name) {
+  JsonValue args = JsonValue::Object();
+  args.Set("name", name);
+  return MetadataEvent("thread_name", tid, std::move(args));
+}
+
+JsonValue ThreadSortIndex(int tid, int sort_index) {
+  JsonValue args = JsonValue::Object();
+  args.Set("sort_index", static_cast<int64_t>(sort_index));
+  return MetadataEvent("thread_sort_index", tid, std::move(args));
+}
+
+JsonValue BaseEvent(std::string_view name, const char* category,
+                    const char* phase, int tid, double ts_us) {
+  JsonValue event = JsonValue::Object();
+  event.Set("name", std::string(name));
+  event.Set("cat", category);
+  event.Set("ph", phase);
+  event.Set("pid", kPid);
+  event.Set("tid", tid);
+  event.Set("ts", ts_us);
+  return event;
+}
+
+JsonValue DurationEvent(std::string_view name, const char* category, int tid,
+                        uint64_t start_ns, uint64_t dur_ns, JsonValue args) {
+  JsonValue event =
+      BaseEvent(name, category, "X", tid, MicrosFromNanos(start_ns));
+  event.Set("dur", MicrosFromNanos(dur_ns));
+  event.Set("args", std::move(args));
+  return event;
+}
+
+JsonValue InstantEvent(std::string_view name, const char* category, int tid,
+                       uint64_t ts_ns, JsonValue args) {
+  JsonValue event =
+      BaseEvent(name, category, "i", tid, MicrosFromNanos(ts_ns));
+  event.Set("s", "t");  // Thread-scoped instant.
+  event.Set("args", std::move(args));
+  return event;
+}
+
+JsonValue FlightArgs(const FlightEvent& event) {
+  JsonValue args = JsonValue::Object();
+  switch (event.kind) {
+    case FlightEventKind::kPoolRegionBegin:
+    case FlightEventKind::kPoolRegionEnd:
+      args.Set("chunks", static_cast<int64_t>(event.arg0));
+      args.Set("items", static_cast<int64_t>(event.arg1));
+      break;
+    case FlightEventKind::kPoolRegionInline:
+      args.Set("items", static_cast<int64_t>(event.arg1));
+      break;
+    case FlightEventKind::kPoolChunk:
+      args.Set("chunk", static_cast<int64_t>(event.arg0));
+      args.Set("items", static_cast<int64_t>(event.arg1));
+      break;
+    case FlightEventKind::kPoolStealAttempt:
+      args.Set("victim", static_cast<int64_t>(event.arg0));
+      break;
+    case FlightEventKind::kPoolSteal:
+      args.Set("victim", static_cast<int64_t>(event.arg0));
+      args.Set("chunks", static_cast<int64_t>(event.arg1));
+      break;
+    case FlightEventKind::kPoolIdle:
+      break;
+    case FlightEventKind::kBfsLevel:
+    case FlightEventKind::kMsBfsLevel:
+      args.Set("level", static_cast<int64_t>(event.arg0));
+      args.Set("frontier", static_cast<int64_t>(event.arg1));
+      break;
+    case FlightEventKind::kDirOptSwitch:
+      args.Set("to", event.arg0 == 1 ? "bottom_up" : "top_down");
+      args.Set("frontier_edges", static_cast<int64_t>(event.arg1));
+      break;
+    case FlightEventKind::kMsBfsBatch:
+      args.Set("lanes", static_cast<int64_t>(event.arg0));
+      args.Set("levels", static_cast<int64_t>(event.arg1));
+      break;
+    case FlightEventKind::kNumKinds:
+      break;
+  }
+  return args;
+}
+
+// Appends one lane's events: region begin/end instants are paired into
+// "pool.region" duration blocks (a stack, since inline regions may nest
+// inside a pooled one on the caller lane); everything else maps directly.
+void AppendLaneEvents(const FlightLaneSnapshot& lane, int tid,
+                      JsonValue* events) {
+  std::vector<FlightEvent> open_regions;
+  for (const FlightEvent& event : lane.events) {
+    const std::string_view name = FlightEventKindName(event.kind);
+    switch (event.kind) {
+      case FlightEventKind::kPoolRegionBegin:
+        open_regions.push_back(event);
+        break;
+      case FlightEventKind::kPoolRegionEnd:
+        if (!open_regions.empty()) {
+          const FlightEvent begin = open_regions.back();
+          open_regions.pop_back();
+          events->Append(DurationEvent("pool.region", "pool", tid,
+                                       begin.ts_ns,
+                                       event.ts_ns - begin.ts_ns,
+                                       FlightArgs(event)));
+        } else {
+          // The matching begin was overwritten by a ring wrap.
+          events->Append(
+              InstantEvent(name, "pool", tid, event.ts_ns, FlightArgs(event)));
+        }
+        break;
+      case FlightEventKind::kPoolRegionInline:
+      case FlightEventKind::kPoolChunk:
+      case FlightEventKind::kPoolIdle:
+        events->Append(DurationEvent(name, "pool", tid, event.ts_ns,
+                                     event.dur_ns, FlightArgs(event)));
+        break;
+      case FlightEventKind::kPoolStealAttempt:
+      case FlightEventKind::kPoolSteal:
+        events->Append(
+            InstantEvent(name, "pool", tid, event.ts_ns, FlightArgs(event)));
+        break;
+      case FlightEventKind::kBfsLevel:
+      case FlightEventKind::kMsBfsLevel:
+      case FlightEventKind::kMsBfsBatch:
+        events->Append(DurationEvent(name, "bfs", tid, event.ts_ns,
+                                     event.dur_ns, FlightArgs(event)));
+        break;
+      case FlightEventKind::kDirOptSwitch:
+        events->Append(
+            InstantEvent(name, "bfs", tid, event.ts_ns, FlightArgs(event)));
+        break;
+      case FlightEventKind::kNumKinds:
+        break;
+    }
+  }
+  // Regions whose end fell past the snapshot (or was dropped) degrade to
+  // begin instants so the evidence is not silently discarded.
+  for (const FlightEvent& begin : open_regions) {
+    events->Append(InstantEvent(FlightEventKindName(begin.kind), "pool", tid,
+                                begin.ts_ns, FlightArgs(begin)));
+  }
+}
+
+}  // namespace
+
+JsonValue BuildChromeTrace(const std::string& run_name,
+                           const TraceSnapshot& trace,
+                           const FlightSnapshot& flight) {
+  JsonValue events = JsonValue::Array();
+
+  JsonValue process_args = JsonValue::Object();
+  process_args.Set("name", "convpairs: " + run_name);
+  events.Append(MetadataEvent("process_name", 0, std::move(process_args)));
+
+  // Phase tracks: one per thread that recorded a ScopedSpan, pinned above
+  // the seat tracks via sort_index.
+  std::vector<int> phase_threads;
+  for (const SpanRecord& span : trace.spans) {
+    bool seen = false;
+    for (int id : phase_threads) seen = seen || id == span.thread_id;
+    if (!seen) phase_threads.push_back(span.thread_id);
+  }
+  for (int thread_id : phase_threads) {
+    const int tid = kPhaseTidBase + thread_id;
+    events.Append(ThreadName(
+        tid, "phases (thread " + std::to_string(thread_id) + ")"));
+    events.Append(ThreadSortIndex(tid, -100 + thread_id));
+  }
+  for (const SpanRecord& span : trace.spans) {
+    JsonValue args = JsonValue::Object();
+    args.Set("depth", static_cast<int64_t>(span.depth));
+    events.Append(DurationEvent(span.name, "phase",
+                                kPhaseTidBase + span.thread_id, span.start_ns,
+                                span.duration_ns, std::move(args)));
+  }
+
+  // One seat track per flight-recorder lane.
+  for (const FlightLaneSnapshot& lane : flight.lanes) {
+    const int tid = lane.lane;
+    events.Append(ThreadName(tid, "seat " + std::to_string(lane.lane) +
+                                      " (thread " +
+                                      std::to_string(lane.thread_id) + ")"));
+    events.Append(ThreadSortIndex(tid, lane.lane));
+    AppendLaneEvents(lane, tid, &events);
+  }
+
+  JsonValue other = JsonValue::Object();
+  other.Set("run", run_name);
+  other.Set("spans_dropped", static_cast<int64_t>(trace.dropped));
+  other.Set("flight_dropped", static_cast<int64_t>(flight.dropped_total));
+  other.Set("flight_overflow_dropped",
+            static_cast<int64_t>(flight.overflow_dropped));
+  JsonValue lanes_dropped = JsonValue::Object();
+  for (const FlightLaneSnapshot& lane : flight.lanes) {
+    if (lane.dropped > 0) {
+      lanes_dropped.Set("seat" + std::to_string(lane.lane),
+                        static_cast<int64_t>(lane.dropped));
+    }
+  }
+  other.Set("flight_dropped_per_seat", std::move(lanes_dropped));
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  doc.Set("otherData", std::move(other));
+  return doc;
+}
+
+void SyncFlightCountersToRegistry(const FlightSnapshot& flight) {
+  auto& registry = MetricsRegistry::Global();
+  uint64_t recorded_total = 0;
+  for (const FlightLaneSnapshot& lane : flight.lanes) {
+    recorded_total += lane.recorded;
+    if (lane.dropped > 0) {
+      Counter& per_seat = registry.GetCounter(
+          "obs.flight.dropped.seat" + std::to_string(lane.lane));
+      per_seat.Reset();
+      per_seat.Add(static_cast<int64_t>(lane.dropped));
+    }
+  }
+  // Set-to-snapshot semantics: the counters mirror the recorder's lifetime
+  // totals, so re-exporting never double-counts.
+  Counter& events = registry.GetCounter("obs.flight.events");
+  events.Reset();
+  events.Add(static_cast<int64_t>(recorded_total));
+  Counter& dropped = registry.GetCounter("obs.flight.dropped");
+  dropped.Reset();
+  dropped.Add(static_cast<int64_t>(flight.dropped_total));
+  // Touch the span-drop counter (incremented live by TraceBuffer) so every
+  // traced run's telemetry reports it, 0 included.
+  registry.GetCounter("obs.trace.dropped");
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::string& run_name) {
+  FlightSnapshot flight = FlightRecorder::Global().Snapshot();
+  SyncFlightCountersToRegistry(flight);
+  JsonValue doc = BuildChromeTrace(run_name, TraceBuffer::Global().Snapshot(),
+                                   flight);
+  return WriteTextFile(path, doc.Serialize());
+}
+
+std::string TraceOutPath(const std::string& default_path) {
+  const char* env = std::getenv(kTraceOutEnvVar);
+  if (env == nullptr) return default_path;
+  const std::string value = env;
+  if (value.empty()) return "";  // Explicitly disabled.
+  if (value == "1" || value == "auto") return default_path;
+  return value;
+}
+
+bool InitFlightRecorderFromEnv() {
+  const char* env = std::getenv(kTraceOutEnvVar);
+  if (env != nullptr && env[0] != '\0') {
+    FlightRecorder::Global().SetEnabled(true);
+  }
+  return FlightRecorder::enabled();
+}
+
+}  // namespace convpairs::obs

@@ -1,0 +1,71 @@
+// Chrome trace-event export: span tracer + flight recorder -> one timeline.
+//
+// Emits the JSON object form of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// which loads directly in Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Track layout inside one process group:
+//   - ScopedSpan phases land on high tids (one per span-recording thread,
+//     pinned above the seat tracks) so the coarse phase timeline frames the
+//     fine-grained events below it.
+//   - Each flight-recorder lane (thread-pool seat / caller thread) gets its
+//     own tid: pool chunks, steals, idle waits, BFS levels, direction
+//     switches and MS-BFS batches render per seat.
+// Duration events use ph "X"; point events use ph "i"; track naming and
+// ordering use "M" metadata records. Timestamps are microseconds from the
+// process trace epoch.
+//
+// Recording is enabled by the CONVPAIRS_TRACE_OUT environment variable (its
+// value is the output path) or programmatically via
+// FlightRecorder::SetEnabled(); benches and the CLI write the trace next to
+// their telemetry JSON (<name>.trace.json — see bench/common/bench_env.cc
+// and tools/convpairs_cli.cc). Writing a trace also syncs the truncation
+// counters (obs.flight.dropped[.seat<i>], obs.flight.events) into the
+// metrics registry so BENCH_*.json records whether any ring wrapped.
+
+#ifndef CONVPAIRS_OBS_TRACE_EXPORT_H_
+#define CONVPAIRS_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace convpairs::obs {
+
+/// Environment variable holding the Chrome-trace output path. Setting it
+/// (non-empty) also switches the flight recorder on at startup — see
+/// InitFlightRecorderFromEnv(). The special values "1" and "auto" mean
+/// "derive <run>.trace.json from the run name at export time".
+inline constexpr const char* kTraceOutEnvVar = "CONVPAIRS_TRACE_OUT";
+
+/// Assembles the Chrome trace-event document from explicit snapshots.
+JsonValue BuildChromeTrace(const std::string& run_name,
+                           const TraceSnapshot& trace,
+                           const FlightSnapshot& flight);
+
+/// Snapshots the global trace buffer + flight recorder, writes the Chrome
+/// trace JSON to `path`, and syncs the obs.flight.* truncation counters
+/// into the global metrics registry.
+Status WriteChromeTrace(const std::string& path, const std::string& run_name);
+
+/// Resolves the trace output path: CONVPAIRS_TRACE_OUT when set (empty
+/// disables and yields ""; "1"/"auto" yield `default_path`), else
+/// `default_path`.
+std::string TraceOutPath(const std::string& default_path);
+
+/// Enables flight recording when CONVPAIRS_TRACE_OUT is set non-empty.
+/// Returns true when recording is on afterwards. Drivers call this before
+/// the instrumented work starts (PrintHeader / CLI flag parsing).
+bool InitFlightRecorderFromEnv();
+
+/// Publishes the flight snapshot's truncation counts as registry counters:
+/// obs.flight.events, obs.flight.dropped, and obs.flight.dropped.seat<i>
+/// for every lane that wrapped. Idempotent per export (counters are set to
+/// the snapshot's totals, not accumulated).
+void SyncFlightCountersToRegistry(const FlightSnapshot& flight);
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_TRACE_EXPORT_H_

@@ -4,7 +4,9 @@
 #include <bit>
 #include <memory>
 
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -74,6 +76,9 @@ const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
   uint64_t bottomup_steps = 0;
 
   while (frontier_count > 0) {
+    const uint64_t level_start_ns =
+        obs::FlightRecorder::enabled() ? obs::TraceNowNanos() : 0;
+    const uint64_t level_frontier = frontier_count;
     // Pick the cheaper sweep direction for this level.
     if (mode == Mode::kTopDown) {
       if (static_cast<double>(frontier_edges) * params_.alpha >
@@ -81,6 +86,11 @@ const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
         frontier_bits_.assign(words, 0);
         for (NodeId u : frontier_) SetBit(frontier_bits_, u);
         mode = Mode::kBottomUp;
+        if (obs::FlightRecorder::enabled()) {
+          obs::FlightRecorder::Record(obs::FlightEventKind::kDirOptSwitch,
+                                      obs::TraceNowNanos(), 0, /*arg0=*/1,
+                                      frontier_edges);
+        }
       }
     } else if (static_cast<double>(frontier_count) * params_.beta <
                static_cast<double>(n)) {
@@ -94,6 +104,11 @@ const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
         }
       }
       mode = Mode::kTopDown;
+      if (obs::FlightRecorder::enabled()) {
+        obs::FlightRecorder::Record(obs::FlightEventKind::kDirOptSwitch,
+                                    obs::TraceNowNanos(), 0, /*arg0=*/0,
+                                    frontier_edges);
+      }
     }
 
     edges_unexplored -= std::min(edges_unexplored, frontier_edges);
@@ -135,6 +150,13 @@ const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
 
     frontier_count = next_count;
     frontier_edges = next_edges;
+    if (level_start_ns != 0 && obs::FlightRecorder::enabled()) {
+      const uint64_t now_ns = obs::TraceNowNanos();
+      obs::FlightRecorder::Record(obs::FlightEventKind::kBfsLevel,
+                                  level_start_ns, now_ns - level_start_ns,
+                                  static_cast<uint32_t>(level),
+                                  level_frontier);
+    }
   }
 
   const EngineInstruments& instruments = EngineInstruments::Get();
@@ -181,8 +203,14 @@ void MsBfsRunner::Run(std::span<const NodeId> sources,
     frontier_[s] |= bit;
   }
 
+  const uint64_t batch_start_ns =
+      obs::FlightRecorder::enabled() ? obs::TraceNowNanos() : 0;
+
   Dist level = 0;
   while (!cur_nodes_.empty()) {
+    const uint64_t level_start_ns =
+        obs::FlightRecorder::enabled() ? obs::TraceNowNanos() : 0;
+    const uint64_t level_frontier = cur_nodes_.size();
     ++level;
     next_nodes_.clear();
     // One adjacency scan advances every lane whose frontier contains v.
@@ -211,6 +239,21 @@ void MsBfsRunner::Run(std::span<const NodeId> sources,
       }
     }
     cur_nodes_.swap(next_nodes_);
+    if (level_start_ns != 0 && obs::FlightRecorder::enabled()) {
+      const uint64_t now_ns = obs::TraceNowNanos();
+      obs::FlightRecorder::Record(obs::FlightEventKind::kMsBfsLevel,
+                                  level_start_ns, now_ns - level_start_ns,
+                                  static_cast<uint32_t>(level),
+                                  level_frontier);
+    }
+  }
+
+  if (batch_start_ns != 0 && obs::FlightRecorder::enabled()) {
+    const uint64_t now_ns = obs::TraceNowNanos();
+    obs::FlightRecorder::Record(obs::FlightEventKind::kMsBfsBatch,
+                                batch_start_ns, now_ns - batch_start_ns,
+                                static_cast<uint32_t>(lanes),
+                                static_cast<uint64_t>(level));
   }
 
   const EngineInstruments& instruments = EngineInstruments::Get();

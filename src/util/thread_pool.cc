@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -132,6 +134,10 @@ void ThreadPool::EnsureWorkers(int target) {
 
 void ThreadPool::RunRegionInline(internal::ParallelBodyRef body, size_t count) {
   PoolInstruments::Get().inline_regions.Increment();
+  // Inline degradation still shows up on the caller's timeline track so a
+  // trace of a single-core (or contended) run is not silently empty.
+  obs::FlightScope flight(obs::FlightEventKind::kPoolRegionInline,
+                          /*arg0=*/0, /*arg1=*/count);
   body(0, 0, count);
 }
 
@@ -141,6 +147,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Region* region = nullptr;
     int seat = -1;
+    // Wake latency: time from starting to wait until actually seated in a
+    // region. Only recorded when the wait ends in work (shutdown waits and
+    // lost seat races are noise, not idle cost).
+    const uint64_t wait_start_ns =
+        obs::FlightRecorder::enabled() ? obs::TraceNowNanos() : 0;
     {
       std::unique_lock<std::mutex> lock(wake_mu_);
       wake_cv_.wait(lock,
@@ -154,6 +165,12 @@ void ThreadPool::WorkerLoop() {
       }
     }
     if (region == nullptr) continue;
+    if (obs::FlightRecorder::enabled() && wait_start_ns != 0) {
+      const uint64_t now_ns = obs::TraceNowNanos();
+      obs::FlightRecorder::Record(obs::FlightEventKind::kPoolIdle,
+                                  wait_start_ns, now_ns - wait_start_ns,
+                                  static_cast<uint32_t>(seat));
+    }
     WorkSeat(*region, seat);
     {
       std::lock_guard<std::mutex> lock(wake_mu_);
@@ -169,6 +186,8 @@ uint32_t ThreadPool::WorkSeat(Region& region, int seat) {
   auto run_chunk = [&](uint32_t chunk) {
     size_t begin = static_cast<size_t>(chunk) * region.grain;
     size_t end = std::min(region.count, begin + region.grain);
+    obs::FlightScope flight(obs::FlightEventKind::kPoolChunk, chunk,
+                            static_cast<uint64_t>(end - begin));
     region.body(seat, begin, end);
     ++executed;
   };
@@ -193,12 +212,23 @@ uint32_t ThreadPool::WorkSeat(Region& region, int seat) {
     }
     if (victim < 0) break;  // Every range drained; claimed chunks may still
                             // be running on other seats.
+    if (obs::FlightRecorder::enabled()) {
+      obs::FlightRecorder::Record(obs::FlightEventKind::kPoolStealAttempt,
+                                  obs::TraceNowNanos(), 0,
+                                  static_cast<uint32_t>(victim));
+    }
     uint32_t lo = 0;
     uint32_t hi = 0;
     if (!StealTail(seats_[static_cast<size_t>(victim)].range, &lo, &hi)) {
       continue;  // Lost the race; rescan.
     }
     ++steals;
+    if (obs::FlightRecorder::enabled()) {
+      obs::FlightRecorder::Record(obs::FlightEventKind::kPoolSteal,
+                                  obs::TraceNowNanos(), 0,
+                                  static_cast<uint32_t>(victim),
+                                  static_cast<uint64_t>(hi - lo));
+    }
     instruments.steal_size.Observe(static_cast<double>(hi - lo));
     // Run the first stolen chunk now; park the rest in our own (empty) seat
     // so other thieves can re-balance them.
@@ -264,6 +294,11 @@ void ThreadPool::ParallelRange(size_t count, internal::ParallelBodyRef body,
 
   Region region{body, count, grain, num_chunks, seats};
   region.active = 1;  // The caller, seat 0.
+  if (obs::FlightRecorder::enabled()) {
+    obs::FlightRecorder::Record(obs::FlightEventKind::kPoolRegionBegin,
+                                obs::TraceNowNanos(), 0, num_chunks,
+                                static_cast<uint64_t>(count));
+  }
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     region_ = &region;
@@ -274,10 +309,25 @@ void ThreadPool::ParallelRange(size_t count, internal::ParallelBodyRef body,
   WorkSeat(region, 0);
 
   {
+    // The caller drains its chunks first, then waits for the stragglers;
+    // that wait is the caller seat's idle tail on the timeline.
+    const uint64_t drain_start_ns =
+        obs::FlightRecorder::enabled() ? obs::TraceNowNanos() : 0;
     std::unique_lock<std::mutex> lock(wake_mu_);
     --region.active;
     done_cv_.wait(lock, [&] { return region.active == 0; });
     region_ = nullptr;
+    if (obs::FlightRecorder::enabled() && drain_start_ns != 0) {
+      const uint64_t now_ns = obs::TraceNowNanos();
+      obs::FlightRecorder::Record(obs::FlightEventKind::kPoolIdle,
+                                  drain_start_ns, now_ns - drain_start_ns,
+                                  /*arg0=*/0);
+    }
+  }
+  if (obs::FlightRecorder::enabled()) {
+    obs::FlightRecorder::Record(obs::FlightEventKind::kPoolRegionEnd,
+                                obs::TraceNowNanos(), 0, num_chunks,
+                                static_cast<uint64_t>(count));
   }
   const PoolInstruments& instruments = PoolInstruments::Get();
   instruments.regions.Increment();

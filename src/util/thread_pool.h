@@ -23,6 +23,11 @@
 //
 // Telemetry (src/obs): util.pool.regions / chunks / steals / inline_regions
 // counters, util.pool.workers gauge, util.pool.region_items histogram.
+// When flight recording is on (CONVPAIRS_TRACE_OUT / --trace-out) the pool
+// additionally emits per-seat timeline events — region begin/end, chunk
+// execution, steal attempts/successes, idle waits — into the lock-free
+// obs::FlightRecorder for Perfetto export; with recording off every event
+// site is a single relaxed bool load.
 
 #ifndef CONVPAIRS_UTIL_THREAD_POOL_H_
 #define CONVPAIRS_UTIL_THREAD_POOL_H_

@@ -163,6 +163,53 @@ TEST_F(ExportTest, CsvContainsEveryInstrumentKind) {
   std::remove(path.c_str());
 }
 
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain.name_0"), "plain.name_0");
+  EXPECT_EQ(CsvEscape(""), "");
+  EXPECT_EQ(CsvEscape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvEscape("has \"quote\""), "\"has \"\"quote\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape("cr\rreturn"), "\"cr\rreturn\"");
+}
+
+TEST_F(ExportTest, CsvEscapesHostileInstrumentNames) {
+  // The lint bans such names in src/, but exports must still be RFC-4180
+  // valid for whatever reaches the registry (tests, external callers).
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("bad,counter \"x\"").Add(7);
+  registry.SetMetadata("note", "scale=0.25, seed=\"0\"");
+  {
+    ScopedSpan span("span,with,commas");
+  }
+  const std::string path = TempPath("obs_export_escape_test.csv");
+  ASSERT_TRUE(CsvExporter::WriteFile(path, "unit,test").ok());
+  std::string csv = ReadFile(path);
+  EXPECT_NE(csv.find("\"unit,test\",counter,\"bad,counter \"\"x\"\"\",value,7"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"span,with,commas\""), std::string::npos);
+  EXPECT_NE(csv.find("\"scale=0.25, seed=\"\"0\"\"\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, JsonEscapesHostileInstrumentNames) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("bad\"counter\nname").Add(3);
+  {
+    ScopedSpan span("span \"quoted\"\tname");
+  }
+  const std::string path = TempPath("obs_export_escape_test.json");
+  ASSERT_TRUE(JsonExporter::WriteFile(path, "unit_test").ok());
+  auto parsed = JsonValue::Parse(ReadFile(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* counter =
+      parsed->Find("counters")->Find("bad\"counter\nname");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->GetNumber(), 3.0);
+  ASSERT_NE(parsed->Find("span_stats")->Find("span \"quoted\"\tname"),
+            nullptr);
+  std::remove(path.c_str());
+}
+
 TEST_F(ExportTest, ExportMetricsDispatchesOnExtensionAndEmptyPathIsNoOp) {
   EXPECT_TRUE(ExportMetrics("", "unit_test").ok());
   const std::string json_path = TempPath("obs_dispatch.json");

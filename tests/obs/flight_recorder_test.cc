@@ -1,0 +1,180 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace convpairs::obs {
+namespace {
+
+// Every test runs with the recorder freshly reset and leaves it disabled:
+// the enable flag and the lanes are process-global, and other suites in
+// this binary (export, trace) assume recording is off.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::SetEnabled(false);
+    FlightRecorder::Global().Reset();
+  }
+  void TearDown() override {
+    FlightRecorder::SetEnabled(false);
+    FlightRecorder::Global().Reset();
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledRecordIsDropped) {
+  ASSERT_FALSE(FlightRecorder::enabled());
+  FlightRecorder::Record(FlightEventKind::kPoolChunk, 100, 10, 1, 2);
+  FlightSnapshot snapshot = FlightRecorder::Global().Snapshot();
+  EXPECT_FALSE(snapshot.enabled);
+  for (const FlightLaneSnapshot& lane : snapshot.lanes) {
+    EXPECT_TRUE(lane.events.empty());
+  }
+  EXPECT_EQ(snapshot.dropped_total, 0u);
+}
+
+TEST_F(FlightRecorderTest, RecordsEventsInOrderWithArgs) {
+  FlightRecorder::SetEnabled(true);
+  FlightRecorder::Record(FlightEventKind::kPoolChunk, 100, 10, 7, 64);
+  FlightRecorder::Record(FlightEventKind::kBfsLevel, 200, 20, 3, 1234);
+  FlightRecorder::Record(FlightEventKind::kDirOptSwitch, 300, 0, 1, 99);
+
+  FlightSnapshot snapshot = FlightRecorder::Global().Snapshot();
+  EXPECT_TRUE(snapshot.enabled);
+  ASSERT_EQ(snapshot.lanes.size(), 1u);
+  const FlightLaneSnapshot& lane = snapshot.lanes[0];
+  EXPECT_EQ(lane.thread_id, TraceThreadId());
+  EXPECT_EQ(lane.recorded, 3u);
+  EXPECT_EQ(lane.dropped, 0u);
+  ASSERT_EQ(lane.events.size(), 3u);
+  EXPECT_EQ(lane.events[0].kind, FlightEventKind::kPoolChunk);
+  EXPECT_EQ(lane.events[0].ts_ns, 100u);
+  EXPECT_EQ(lane.events[0].dur_ns, 10u);
+  EXPECT_EQ(lane.events[0].arg0, 7u);
+  EXPECT_EQ(lane.events[0].arg1, 64u);
+  EXPECT_EQ(lane.events[1].kind, FlightEventKind::kBfsLevel);
+  EXPECT_EQ(lane.events[2].kind, FlightEventKind::kDirOptSwitch);
+  EXPECT_EQ(lane.events[2].dur_ns, 0u);
+}
+
+TEST_F(FlightRecorderTest, WrapOverwritesOldestAndCountsDropped) {
+  FlightRecorder::SetEnabled(true);
+  constexpr uint64_t kExtra = 37;
+  const uint64_t total = FlightRecorder::kLaneCapacity + kExtra;
+  for (uint64_t i = 0; i < total; ++i) {
+    FlightRecorder::Record(FlightEventKind::kPoolChunk, i, 1,
+                           static_cast<uint32_t>(i & 0xffffffff));
+  }
+  FlightSnapshot snapshot = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(snapshot.lanes.size(), 1u);
+  const FlightLaneSnapshot& lane = snapshot.lanes[0];
+  EXPECT_EQ(lane.recorded, total);
+  EXPECT_EQ(lane.dropped, kExtra);
+  EXPECT_EQ(snapshot.dropped_total, kExtra);
+  ASSERT_EQ(lane.events.size(), FlightRecorder::kLaneCapacity);
+  // The surviving window is the newest kLaneCapacity events, oldest first.
+  EXPECT_EQ(lane.events.front().ts_ns, kExtra);
+  EXPECT_EQ(lane.events.back().ts_ns, total - 1);
+}
+
+TEST_F(FlightRecorderTest, ResetClearsEventsButKeepsLaneAssignment) {
+  FlightRecorder::SetEnabled(true);
+  FlightRecorder::Record(FlightEventKind::kPoolIdle, 1, 1);
+  FlightRecorder::Global().Reset();
+  FlightRecorder::Record(FlightEventKind::kPoolSteal, 2, 0, 1, 3);
+  FlightSnapshot snapshot = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(snapshot.lanes.size(), 1u);
+  EXPECT_EQ(snapshot.lanes[0].recorded, 1u);
+  ASSERT_EQ(snapshot.lanes[0].events.size(), 1u);
+  EXPECT_EQ(snapshot.lanes[0].events[0].kind, FlightEventKind::kPoolSteal);
+}
+
+TEST_F(FlightRecorderTest, ScopeRecordsDurationOnlyWhenEnabled) {
+  {
+    FlightScope scope(FlightEventKind::kPoolRegionInline, 0, 5);
+  }
+  EXPECT_TRUE(FlightRecorder::Global().Snapshot().lanes.empty());
+
+  FlightRecorder::SetEnabled(true);
+  {
+    FlightScope scope(FlightEventKind::kPoolRegionInline, 0, 5);
+    scope.set_arg1(17);
+  }
+  FlightSnapshot snapshot = FlightRecorder::Global().Snapshot();
+  ASSERT_EQ(snapshot.lanes.size(), 1u);
+  ASSERT_EQ(snapshot.lanes[0].events.size(), 1u);
+  const FlightEvent& event = snapshot.lanes[0].events[0];
+  EXPECT_EQ(event.kind, FlightEventKind::kPoolRegionInline);
+  EXPECT_EQ(event.arg1, 17u);
+}
+
+TEST_F(FlightRecorderTest, KindNamesAreStableAndLowercase) {
+  for (int k = 0; k < static_cast<int>(FlightEventKind::kNumKinds); ++k) {
+    // The only sanctioned int->kind conversion lives in the recorder's own
+    // decode path; here we iterate the closed range to check every name.
+    const FlightEventKind kind{static_cast<uint8_t>(k)};
+    std::string_view name = FlightEventKindName(kind);
+    EXPECT_NE(name, "invalid") << "kind " << k;
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_' || c == '.';
+      EXPECT_TRUE(ok) << "kind " << k << " name " << name;
+    }
+  }
+  EXPECT_EQ(FlightEventKindName(FlightEventKind::kNumKinds), "invalid");
+}
+
+// Writers append while the main thread snapshots: TSan (the
+// tsan-concurrency preset runs everything matching Flight) proves the
+// relaxed-slot/release-cursor protocol has no data race, and the decoded
+// events must always be well-formed even mid-wrap.
+TEST_F(FlightRecorderTest, ConcurrentAppendAndSnapshot) {
+  FlightRecorder::SetEnabled(true);
+  constexpr int kWriters = 3;
+  constexpr uint64_t kEventsPerWriter = 30000;  // ~3.7 ring wraps each.
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w, &done] {
+      for (uint64_t i = 0; i < kEventsPerWriter; ++i) {
+        FlightRecorder::Record(FlightEventKind::kPoolChunk,
+                               /*ts_ns=*/i + 1, /*dur_ns=*/1,
+                               static_cast<uint32_t>(w), i);
+      }
+      done.fetch_add(1);
+    });
+  }
+
+  uint64_t snapshots_taken = 0;
+  while (done.load() < kWriters) {
+    FlightSnapshot snapshot = FlightRecorder::Global().Snapshot();
+    ++snapshots_taken;
+    for (const FlightLaneSnapshot& lane : snapshot.lanes) {
+      EXPECT_LE(lane.events.size(), FlightRecorder::kLaneCapacity);
+      for (const FlightEvent& event : lane.events) {
+        // Torn slots are discarded by the kind-range check; whatever
+        // survives must be one of the kinds actually recorded.
+        EXPECT_LT(static_cast<int>(event.kind),
+                  static_cast<int>(FlightEventKind::kNumKinds));
+      }
+    }
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_GE(snapshots_taken, 1u);
+
+  FlightSnapshot final_snapshot = FlightRecorder::Global().Snapshot();
+  uint64_t recorded = 0;
+  for (const FlightLaneSnapshot& lane : final_snapshot.lanes) {
+    recorded += lane.recorded;
+  }
+  // Writer lanes saw every append; the main-thread lane may hold others.
+  EXPECT_GE(recorded, uint64_t{kWriters} * kEventsPerWriter);
+}
+
+}  // namespace
+}  // namespace convpairs::obs

@@ -90,6 +90,34 @@ TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
   EXPECT_DOUBLE_EQ(histogram.Percentile(100.0), 35.0);
 }
 
+TEST(HistogramTest, PercentileOnSingleBucketHistogram) {
+  Histogram histogram(std::vector<double>{10.0});
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 0.0);  // Still empty.
+  histogram.Observe(4.0);
+  // One bucket, one observation: every percentile interpolates inside
+  // [min(observed, bound), bound] and must stay within it.
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    const double value = histogram.Percentile(p);
+    EXPECT_GE(value, 4.0) << "p=" << p;
+    EXPECT_LE(value, 10.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileWhenEverythingOverflows) {
+  Histogram histogram({1.0, 2.0});
+  // All mass above the last bound: ranks land in the overflow bucket, which
+  // interpolates toward the observed max instead of inventing +inf.
+  histogram.Observe(50.0);
+  histogram.Observe(100.0);
+  histogram.Observe(150.0);
+  const double p100 = histogram.Percentile(100.0);
+  EXPECT_DOUBLE_EQ(p100, 150.0);
+  const double p50 = histogram.Percentile(50.0);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p50, 150.0);
+  EXPECT_LE(histogram.Percentile(1.0), p50);
+}
+
 TEST(HistogramTest, PercentileOrderingIsMonotone) {
   Histogram histogram(ExponentialBuckets(1.0, 2.0, 12));
   for (int i = 1; i <= 1000; ++i) {

@@ -1,0 +1,246 @@
+// Chrome trace-event schema validation for the flight-recorder exporter.
+// These tests are the ctest-side twin of scripts/validate_trace.py: a trace
+// passing both loads in Perfetto and chrome://tracing.
+
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "sssp/bfs_engine.h"
+#include "testing/test_graphs.h"
+#include "util/parallel.h"
+
+namespace convpairs::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// The subset of the Trace Event Format that Perfetto requires; mirrors
+// scripts/validate_trace.py so the two gates cannot drift apart silently.
+void ExpectChromeSchema(const JsonValue& doc) {
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type(), JsonValue::Type::kArray);
+  for (size_t i = 0; i < events->size(); ++i) {
+    SCOPED_TRACE("traceEvents[" + std::to_string(i) + "]");
+    const JsonValue& event = events->At(i);
+    ASSERT_EQ(event.type(), JsonValue::Type::kObject);
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    const std::string phase = ph->GetString();
+    EXPECT_TRUE(phase == "X" || phase == "i" || phase == "M") << phase;
+    ASSERT_NE(event.Find("name"), nullptr);
+    EXPECT_FALSE(event.Find("name")->GetString().empty());
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    if (phase == "M") continue;
+    ASSERT_NE(event.Find("ts"), nullptr);
+    EXPECT_GE(event.Find("ts")->GetNumber(), 0.0);
+    if (phase == "X") {
+      ASSERT_NE(event.Find("dur"), nullptr);
+      EXPECT_GE(event.Find("dur")->GetNumber(), 0.0);
+    } else {
+      ASSERT_NE(event.Find("s"), nullptr);
+      EXPECT_EQ(event.Find("s")->GetString(), "t");
+    }
+  }
+}
+
+std::set<std::string> EventNames(const JsonValue& doc) {
+  std::set<std::string> names;
+  const JsonValue* events = doc.Find("traceEvents");
+  for (size_t i = 0; i < events->size(); ++i) {
+    names.insert(events->At(i).Find("name")->GetString());
+  }
+  return names;
+}
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    TraceBuffer::Global().Reset();
+    FlightRecorder::SetEnabled(false);
+    FlightRecorder::Global().Reset();
+  }
+  void TearDown() override {
+    FlightRecorder::SetEnabled(false);
+    FlightRecorder::Global().Reset();
+    MetricsRegistry::Global().Reset();
+    TraceBuffer::Global().Reset();
+  }
+};
+
+TEST_F(TraceExportTest, RealWorkloadTraceMatchesChromeSchema) {
+  FlightRecorder::SetEnabled(true);
+  {
+    ScopedSpan phase("test.trace.workload");
+    // Pool events (pooled or inline, depending on the machine's cores)...
+    std::atomic<int> sink{0};
+    ParallelFor(256, [&](size_t i) {
+      sink.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    }, /*num_threads=*/4);
+    // ...plus BFS level/switch events on the caller lane.
+    Graph g = testing::CompleteGraph(64);
+    DirOptBfsRunner runner(g);
+    runner.Run(0, nullptr);
+  }
+
+  const std::string path = TempPath("trace_export_test.trace.json");
+  ASSERT_TRUE(WriteChromeTrace(path, "unit_test").ok());
+  auto parsed = JsonValue::Parse(ReadFile(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectChromeSchema(*parsed);
+
+  EXPECT_EQ(parsed->Find("otherData")->Find("run")->GetString(), "unit_test");
+  std::set<std::string> names = EventNames(*parsed);
+  EXPECT_TRUE(names.count("process_name"));
+  EXPECT_TRUE(names.count("thread_name"));
+  EXPECT_TRUE(names.count("bfs.level"));
+  // The dense graph flips DirOpt to bottom-up immediately.
+  EXPECT_TRUE(names.count("bfs.diropt.switch"));
+  // Inline on one core, pooled otherwise — either way the loop is visible.
+  EXPECT_TRUE(names.count("pool.region") || names.count("pool.region_inline"));
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceExportTest, SpansMergeAsPhaseTrackAboveSeats) {
+  FlightRecorder::SetEnabled(true);
+  {
+    ScopedSpan outer("test.trace.outer");
+    ScopedSpan inner("test.trace.inner");
+    FlightRecorder::Record(FlightEventKind::kPoolIdle, TraceNowNanos(), 5);
+  }
+  JsonValue doc = BuildChromeTrace("unit_test", TraceBuffer::Global().Snapshot(),
+                                   FlightRecorder::Global().Snapshot());
+  ExpectChromeSchema(doc);
+
+  const JsonValue* events = doc.Find("traceEvents");
+  bool outer_on_phase_track = false;
+  bool inner_has_depth = false;
+  bool idle_on_seat_track = false;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->At(i);
+    const std::string name = event.Find("name")->GetString();
+    const double tid = event.Find("tid")->GetNumber();
+    if (name == "test.trace.outer" && tid >= 1000) {
+      outer_on_phase_track = true;
+    }
+    if (name == "test.trace.inner") {
+      inner_has_depth = event.Find("args")->Find("depth")->GetNumber() == 1.0;
+    }
+    if (name == "pool.idle" && tid < 1000) idle_on_seat_track = true;
+  }
+  EXPECT_TRUE(outer_on_phase_track);
+  EXPECT_TRUE(inner_has_depth);
+  EXPECT_TRUE(idle_on_seat_track);
+}
+
+TEST_F(TraceExportTest, RegionBeginEndPairsIntoDurationBlock) {
+  FlightRecorder::SetEnabled(true);
+  FlightRecorder::Record(FlightEventKind::kPoolRegionBegin, 1000, 0, 4, 100);
+  FlightRecorder::Record(FlightEventKind::kPoolChunk, 1100, 50, 0, 25);
+  FlightRecorder::Record(FlightEventKind::kPoolRegionEnd, 2000, 0, 4, 100);
+  // An end whose begin was lost to a ring wrap degrades to an instant.
+  FlightRecorder::Record(FlightEventKind::kPoolRegionEnd, 3000, 0, 2, 10);
+
+  JsonValue doc = BuildChromeTrace("unit_test", TraceBuffer::Global().Snapshot(),
+                                   FlightRecorder::Global().Snapshot());
+  ExpectChromeSchema(doc);
+  const JsonValue* events = doc.Find("traceEvents");
+  bool merged_region = false;
+  bool orphan_instant = false;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->At(i);
+    const std::string name = event.Find("name")->GetString();
+    if (name == "pool.region" && event.Find("ph")->GetString() == "X" &&
+        event.Find("dur")->GetNumber() == 1.0) {  // (2000-1000) ns = 1 us.
+      merged_region = true;
+    }
+    if (name == "pool.region_end" && event.Find("ph")->GetString() == "i") {
+      orphan_instant = true;
+    }
+  }
+  EXPECT_TRUE(merged_region);
+  EXPECT_TRUE(orphan_instant);
+}
+
+TEST_F(TraceExportTest, WeirdSpanNamesSurviveJsonEscaping) {
+  FlightRecorder::SetEnabled(true);
+  {
+    ScopedSpan span("span \"quoted\",\nnewline\\backslash");
+  }
+  JsonValue doc = BuildChromeTrace("run \"name\"",
+                                   TraceBuffer::Global().Snapshot(),
+                                   FlightRecorder::Global().Snapshot());
+  // Serialize -> reparse: escaping must round-trip byte-for-byte.
+  auto parsed = JsonValue::Parse(doc.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("otherData")->Find("run")->GetString(),
+            "run \"name\"");
+  EXPECT_TRUE(EventNames(*parsed).count("span \"quoted\",\nnewline\\backslash"));
+}
+
+TEST_F(TraceExportTest, SyncPublishesFlightCountersToRegistry) {
+  FlightRecorder::SetEnabled(true);
+  FlightRecorder::Record(FlightEventKind::kPoolChunk, 1, 1);
+  FlightRecorder::Record(FlightEventKind::kPoolChunk, 2, 1);
+
+  SyncFlightCountersToRegistry(FlightRecorder::Global().Snapshot());
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("obs.flight.events").value(), 2);
+  EXPECT_EQ(registry.GetCounter("obs.flight.dropped").value(), 0);
+  // The span-drop counter is touched so telemetry always reports it.
+  EXPECT_EQ(registry.GetCounter("obs.trace.dropped").value(), 0);
+
+  // Re-syncing after more events must not double-count (set semantics).
+  FlightRecorder::Record(FlightEventKind::kPoolChunk, 3, 1);
+  SyncFlightCountersToRegistry(FlightRecorder::Global().Snapshot());
+  EXPECT_EQ(registry.GetCounter("obs.flight.events").value(), 3);
+}
+
+TEST_F(TraceExportTest, TraceOutPathEnvSemantics) {
+  const char* saved = std::getenv(kTraceOutEnvVar);
+  const std::string saved_value = saved != nullptr ? saved : "";
+  const bool had = saved != nullptr;
+
+  ::unsetenv(kTraceOutEnvVar);
+  EXPECT_EQ(TraceOutPath("default.trace.json"), "default.trace.json");
+  ::setenv(kTraceOutEnvVar, "", 1);
+  EXPECT_EQ(TraceOutPath("default.trace.json"), "");
+  ::setenv(kTraceOutEnvVar, "1", 1);
+  EXPECT_EQ(TraceOutPath("default.trace.json"), "default.trace.json");
+  ::setenv(kTraceOutEnvVar, "auto", 1);
+  EXPECT_EQ(TraceOutPath("default.trace.json"), "default.trace.json");
+  ::setenv(kTraceOutEnvVar, "custom/path.json", 1);
+  EXPECT_EQ(TraceOutPath("default.trace.json"), "custom/path.json");
+
+  if (had) {
+    ::setenv(kTraceOutEnvVar, saved_value.c_str(), 1);
+  } else {
+    ::unsetenv(kTraceOutEnvVar);
+  }
+}
+
+}  // namespace
+}  // namespace convpairs::obs

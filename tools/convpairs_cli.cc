@@ -17,6 +17,10 @@
 //   --metrics-out F    write run telemetry (SSSP cost counters, phase spans)
 //                      to F as JSON (or CSV if F ends in .csv); the
 //                      CONVPAIRS_METRICS_OUT env var is the fallback
+//   --trace-out F      record a per-seat execution timeline (flight
+//                      recorder) and write it to F as Chrome trace-event
+//                      JSON, loadable in Perfetto / chrome://tracing; the
+//                      CONVPAIRS_TRACE_OUT env var is the fallback
 //
 // Examples:
 //   convpairs_cli --dataset facebook --scale 0.25 --selector MMSD --budget 100
@@ -181,6 +185,24 @@ int Run(const FlagParser& flags) {
                 100.0 * coverage);
   }
 
+  // Flight-recorder trace: written before the metrics export so the synced
+  // obs.flight.* truncation counters land in the telemetry file too.
+  // --trace-out wins; CONVPAIRS_TRACE_OUT is the fallback (main() armed the
+  // recorder from whichever was set before any work ran).
+  if (obs::FlightRecorder::enabled()) {
+    std::string trace_path = flags.GetString("trace-out");
+    if (trace_path.empty()) trace_path = obs::TraceOutPath("convpairs_cli.trace.json");
+    if (!trace_path.empty()) {
+      Status traced = obs::WriteChromeTrace(trace_path, "convpairs_cli");
+      if (!traced.ok()) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     traced.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace: wrote %s\n", trace_path.c_str());
+    }
+  }
+
   // Telemetry: interactive runs get the same machine-readable record as the
   // bench binaries. --metrics-out wins; CONVPAIRS_METRICS_OUT is the
   // fallback; neither set means no file.
@@ -232,6 +254,10 @@ int main(int argc, char** argv) {
   flags.Define("metrics-out", "",
                "write run telemetry (counters, histograms, spans) to this "
                "JSON/CSV file; CONVPAIRS_METRICS_OUT is the env fallback");
+  flags.Define("trace-out", "",
+               "record a per-seat execution timeline and write it to this "
+               "file as Chrome trace-event JSON (Perfetto-loadable); "
+               "CONVPAIRS_TRACE_OUT is the env fallback");
   flags.Define("help", "false", "print usage");
 
   Status status = flags.Parse(argc, argv);
@@ -243,6 +269,12 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help").ok() && *flags.GetBool("help")) {
     std::printf("%s", flags.Usage().c_str());
     return 0;
+  }
+  // Arm the flight recorder before any instrumented work runs; events
+  // recorded while disarmed are dropped at the record site.
+  obs::InitFlightRecorderFromEnv();
+  if (!flags.GetString("trace-out").empty()) {
+    obs::FlightRecorder::SetEnabled(true);
   }
   return Run(flags);
 }

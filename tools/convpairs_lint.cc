@@ -19,9 +19,20 @@
 //      must run on the persistent work-stealing pool (util/parallel.h /
 //      util/thread_pool.h) so nesting, shutdown and steal telemetry stay
 //      centralized and TSan covers one scheduler, not ad-hoc spawns.
+//   7. Observable names are machine-friendly: string literals registered
+//      via GetCounter/GetGauge/GetHistogram or opened as ScopedSpan must
+//      match [a-z0-9_.]+ — they feed JSON/CSV exports, the Chrome trace
+//      and the scripts/ summaries, where one stray space or uppercase
+//      letter breaks every downstream grep. Flight-recorder event kinds
+//      must be spelled as FlightEventKind enum constants; casting raw
+//      integers (outside src/obs/flight_recorder.* itself, which decodes
+//      ring slots) would bypass the exporter's kind dispatch and make
+//      events silently vanish from the timeline.
 //
 // The scanner strips string literals and comments line-by-line before
 // matching, so documentation may mention forbidden tokens freely.
+// (Invariant 7 is the exception: it inspects the literal at a registration
+// site, using the stripped line only to confirm the site is real code.)
 
 #include <cctype>
 #include <cstdio>
@@ -163,6 +174,70 @@ void CheckStatusNodiscard(const fs::path& repo_root) {
   }
 }
 
+// --- Invariant 7: observable names + flight-recorder kind hygiene. -----------
+
+bool IsValidObservableName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Checks the first string literal after each metric/span registration site
+// on `raw`. Concatenated names ("prefix.seat" + std::to_string(i)) validate
+// their literal prefix; sites passing a variable have no literal and are
+// skipped (the variable's construction site is checked instead).
+void CheckObservableNameLiterals(const fs::path& path, const std::string& raw,
+                                 const std::string& code, int line_no) {
+  static const char* kSites[] = {"GetCounter", "GetGauge", "GetHistogram",
+                                 "ScopedSpan"};
+  for (const char* site : kSites) {
+    // Plain find: registration sites are qualified calls
+    // (registry.GetCounter, obs::ScopedSpan), which ContainsToken's
+    // identifier rules would reject. The stripped `code` gate still keeps
+    // comment-only mentions from matching.
+    if (code.find(site) == std::string::npos) continue;
+    for (size_t at = raw.find(site); at != std::string::npos;
+         at = raw.find(site, at + 1)) {
+      const size_t quote = raw.find('"', at);
+      if (quote == std::string::npos) continue;
+      const size_t end = raw.find('"', quote + 1);
+      if (end == std::string::npos) continue;
+      const std::string name = raw.substr(quote + 1, end - quote - 1);
+      if (!IsValidObservableName(name)) {
+        Report(path, line_no,
+               std::string(site) + " name \"" + name +
+                   "\" must match [a-z0-9_.]+ (exports, traces and summary "
+                   "scripts key on these names)");
+      }
+    }
+  }
+}
+
+bool IsFlightRecorderHome(const fs::path& rel_to_src) {
+  const std::string p = rel_to_src.generic_string();
+  return p == "obs/flight_recorder.h" || p == "obs/flight_recorder.cc";
+}
+
+void CheckFlightKindCast(const fs::path& path, const std::string& code,
+                         int line_no) {
+  for (const char* pattern :
+       {"static_cast<FlightEventKind>", "static_cast<obs::FlightEventKind>",
+        "static_cast<convpairs::obs::FlightEventKind>",
+        "(FlightEventKind)", "(obs::FlightEventKind)"}) {
+    if (code.find(pattern) != std::string::npos) {
+      Report(path, line_no,
+             "record flight events with named FlightEventKind constants, "
+             "not casts from raw integers (only obs/flight_recorder.* may "
+             "decode the enum)");
+      return;
+    }
+  }
+}
+
 // --- Invariants 2-4: per-file scans over src/. -------------------------------
 
 bool IsLoggingSink(const fs::path& rel_to_src) {
@@ -193,11 +268,15 @@ void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
   const bool logging_ok = IsLoggingSink(rel_to_src);
   const bool rng_ok = IsRngHome(rel_to_src);
   const bool thread_ok = IsThreadHome(rel_to_src);
+  const bool flight_ok = IsFlightRecorderHome(rel_to_src);
   bool in_block_comment = false;
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string code =
         StripLiteralsAndComments(lines[i], &in_block_comment);
     const int line_no = static_cast<int>(i) + 1;
+
+    CheckObservableNameLiterals(path, lines[i], code, line_no);
+    if (!flight_ok) CheckFlightKindCast(path, code, line_no);
 
     if (!logging_ok) {
       if (code.find("std::cout") != std::string::npos ||
@@ -266,12 +345,22 @@ void CheckBenchFile(const fs::path& path) {
     Report(path, 0, "unreadable bench file");
     return;
   }
-  for (const std::string& line : lines) {
-    if (line.find("FinishAndExport") != std::string::npos) return;
+  bool exports = false;
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    exports = exports || lines[i].find("FinishAndExport") != std::string::npos;
+    // Benches register instruments too, so the naming invariant (7)
+    // covers them as well.
+    const std::string code =
+        StripLiteralsAndComments(lines[i], &in_block_comment);
+    CheckObservableNameLiterals(path, lines[i], code,
+                                static_cast<int>(i) + 1);
   }
-  Report(path, 0,
-         "bench must call FinishAndExport so BENCH_<name>.json telemetry is "
-         "written (see bench/common/bench_env.h)");
+  if (!exports) {
+    Report(path, 0,
+           "bench must call FinishAndExport so BENCH_<name>.json telemetry "
+           "is written (see bench/common/bench_env.h)");
+  }
 }
 
 }  // namespace

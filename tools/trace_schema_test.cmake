@@ -1,0 +1,32 @@
+# Runs convpairs_cli with --trace-out and validates the emitted Chrome
+# trace against the trace-event schema. Invoked by the convpairs_trace_schema
+# ctest (see CMakeLists.txt in this directory) with:
+#   -DCLI=<convpairs_cli binary> -DVALIDATOR=<scripts/validate_trace.py>
+#   -DPYTHON=<python3> -DWORK_DIR=<scratch dir>
+
+set(trace_file "${WORK_DIR}/trace_schema_test.trace.json")
+file(REMOVE "${trace_file}")
+
+execute_process(
+  COMMAND "${CLI}" --dataset facebook --scale 0.1 --budget 20 --k 5
+          --seed 7 --trace-out "${trace_file}"
+  RESULT_VARIABLE cli_result
+  OUTPUT_VARIABLE cli_output
+  ERROR_VARIABLE cli_output)
+if(NOT cli_result EQUAL 0)
+  message(FATAL_ERROR "convpairs_cli failed (${cli_result}):\n${cli_output}")
+endif()
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "--trace-out did not write ${trace_file}:\n${cli_output}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${VALIDATOR}" "${trace_file}" --require-events
+  RESULT_VARIABLE validate_result
+  OUTPUT_VARIABLE validate_output
+  ERROR_VARIABLE validate_output)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR "trace schema validation failed:\n${validate_output}")
+endif()
+message(STATUS "trace schema ok:\n${validate_output}")
+file(REMOVE "${trace_file}")
