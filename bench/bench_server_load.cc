@@ -1,0 +1,168 @@
+// Serving-mode load benchmark: is batching worth it?
+//
+// Spins up an in-process ConvpairsServer over a BA-50k snapshot pair and
+// drives it with 64 concurrent clients (each keeping a small pipeline of
+// DIST queries in flight) in two configurations:
+//   baseline  scan_per_query: every query runs its own BFS scan — the
+//             one-query-per-scan baseline;
+//   batched   default options: concurrent queries coalesce into MS-BFS
+//             lanes inside the 2 ms accumulation window.
+// Reports queries/s for both, the speedup, and the batched-mode p50/p99
+// from the server.request.latency_us histogram. The registry is reset
+// between runs so the exported histogram covers the batched run only; the
+// baseline's numbers survive as metadata.
+//
+// The subsystem's acceptance bar is speedup >= 5x at 64 clients; the bench
+// prints PASS/FAIL against that bar and records it in BENCH_server_load.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "gen/ba_generator.h"
+#include "obs/registry.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/socket.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace convpairs;
+
+namespace {
+
+constexpr int kClients = 64;
+constexpr int kQueriesPerClient = 20;
+constexpr int kPipelineDepth = 8;
+
+struct LoadResult {
+  double seconds = 0;
+  double qps = 0;
+};
+
+/// One client with a sliding window of kPipelineDepth requests in flight:
+/// send the initial window, then one fresh DIST per reply received.
+/// Endpoints come from the client's own seeded stream.
+void RunClient(uint16_t port, uint64_t seed, NodeId num_nodes) {
+  auto stream = server::ConnectLoopback(port);
+  if (!stream.ok()) return;
+  Rng rng(seed);
+  std::string buffer;
+  char chunk[1024];
+  int sent = 0;
+  int received = 0;
+  auto send_one = [&] {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    const int snapshot = 1 + static_cast<int>(rng.UniformInt(2));
+    std::string request = "DIST " + std::to_string(s) + ' ' +
+                          std::to_string(t) + ' ' +
+                          std::to_string(snapshot) + '\n';
+    ++sent;
+    return stream->SendAll(request).ok();
+  };
+  for (int i = 0; i < kPipelineDepth && sent < kQueriesPerClient; ++i) {
+    if (!send_one()) return;
+  }
+  while (received < kQueriesPerClient) {
+    size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      buffer.erase(0, nl + 1);
+      ++received;
+      if (sent < kQueriesPerClient && !send_one()) return;
+    }
+    if (received >= kQueriesPerClient) break;
+    auto got = stream->Receive(chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) return;
+    buffer.append(chunk, *got);
+  }
+}
+
+LoadResult DriveLoad(const Graph& g1, const Graph& g2,
+                     server::DistanceBatcher::Options batcher_options) {
+  server::ConvpairsServer::Options options;
+  options.batcher = batcher_options;
+  server::ConvpairsServer srv(g1, g2, options);
+  Status started = srv.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return {};
+  }
+  Timer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(RunClient, srv.port(),
+                         static_cast<uint64_t>(7000 + c), g1.num_nodes());
+  }
+  for (auto& t : clients) t.join();
+  LoadResult result;
+  result.seconds = timer.Seconds();
+  result.qps = kClients * kQueriesPerClient / result.seconds;
+  srv.Stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchEnv env = bench::BenchEnv::FromEnvironment();
+  bench::PrintHeader("server_load", env);
+
+  // BA-50k at scale 1: the fixture the acceptance bar is defined on.
+  const uint32_t num_nodes =
+      std::max(1000u, static_cast<uint32_t>(50000 * env.scale));
+  Rng rng(7 + env.seed);
+  BaParams params;
+  params.num_nodes = num_nodes;
+  params.edges_per_node = 3;
+  params.uniform_mix = 0.2;
+  TemporalGraph temporal = GenerateBarabasiAlbert(params, rng);
+  const Graph g1 = temporal.SnapshotAtFraction(0.85);
+  const Graph g2 = temporal.SnapshotAtFraction(1.0);
+  std::printf("BA graph: %u nodes | G1 %zu edges, G2 %zu edges\n", num_nodes,
+              g1.num_edges(), g2.num_edges());
+  std::printf("%d clients x %d DIST queries, pipeline depth %d\n\n", kClients,
+              kQueriesPerClient, kPipelineDepth);
+
+  // Baseline first; its telemetry is wiped before the batched run so the
+  // exported latency histogram describes batched serving only.
+  server::DistanceBatcher::Options unbatched;
+  unbatched.scan_per_query = true;
+  LoadResult base = DriveLoad(g1, g2, unbatched);
+  std::printf("one scan per query:  %8.0f queries/s  (%.2fs)\n", base.qps,
+              base.seconds);
+
+  obs::MetricsRegistry::Global().Reset();
+  LoadResult batched = DriveLoad(g1, g2, server::DistanceBatcher::Options());
+  std::printf("batched  (64 lanes): %8.0f queries/s  (%.2fs)\n", batched.qps,
+              batched.seconds);
+
+  const double speedup = base.qps > 0 ? batched.qps / base.qps : 0;
+  auto& registry = obs::MetricsRegistry::Global();
+  auto& latency = registry.GetHistogram("server.request.latency_us");
+  const double p50 = latency.Percentile(50);
+  const double p99 = latency.Percentile(99);
+  std::printf("\nspeedup: %.1fx | batched latency p50 %.0fus p99 %.0fus\n",
+              speedup, p50, p99);
+  const bool pass = speedup >= 5.0;
+  std::printf("acceptance (>= 5x at %d clients): %s\n", kClients,
+              pass ? "PASS" : "FAIL");
+
+  registry.SetMetadata("clients", std::to_string(kClients));
+  registry.SetMetadata("queries_per_client",
+                       std::to_string(kQueriesPerClient));
+  registry.SetMetadata("num_nodes", std::to_string(num_nodes));
+  registry.SetMetadata("unbatched_qps", std::to_string(base.qps));
+  registry.SetMetadata("batched_qps", std::to_string(batched.qps));
+  registry.SetMetadata("speedup", std::to_string(speedup));
+  registry.SetMetadata("latency_p50_us", std::to_string(p50));
+  registry.SetMetadata("latency_p99_us", std::to_string(p99));
+  registry.SetMetadata("acceptance_5x", pass ? "PASS" : "FAIL");
+  bench::FinishAndExport("server_load");
+  return 0;
+}

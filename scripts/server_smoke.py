@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for convpairs_server.
+
+Usage:
+    scripts/server_smoke.py --server BIN --client BIN --out LATENCY.json
+                            [--queries N] [--nodes N] [--seed S]
+
+Drives the full serving stack the way an operator would:
+
+  1. generates a deterministic snapshot pair (ring + random chords, G1's
+     edges a strict subset of G2's) and writes it as two edge-list files;
+  2. starts convpairs_server on an ephemeral port with --metrics-out,
+     scraping "listening on port N" from its stdout;
+  3. pipelines ~N mixed requests (DIST on both snapshots, DELTA, TOPK,
+     CAND, PING, plus deliberately malformed lines) through
+     convpairs_client in one burst;
+  4. validates every reply in request order: DIST and DELTA against a
+     pure-Python BFS oracle on the generated pair, TOPK/CAND/PING against
+     the protocol's reply grammar, malformed lines against their expected
+     "ERR <code>" prefixes;
+  5. sends SIGINT and checks the graceful-shutdown contract: exit code 0
+     and a metrics file that covers every request served;
+  6. writes the server.request.latency_us histogram (plus p50/p99 computed
+     from its buckets) to --out for CI to upload.
+
+Exit status: 0 when every check passes, 1 otherwise. Standard library
+only; runs on any Python 3.8+.
+"""
+
+import argparse
+import json
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from collections import deque
+from pathlib import Path
+
+INF = None  # Oracle's "unreachable"; the wire spells it INF.
+
+
+def build_snapshot_pair(num_nodes, seed):
+    """Ring 0-1-...-(n-1)-0 plus random chords; G1 gets half the chords."""
+    rng = random.Random(seed)
+    ring = [(v, (v + 1) % num_nodes) for v in range(num_nodes)]
+    chords = set()
+    while len(chords) < num_nodes // 2:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v:
+            continue
+        edge = (min(u, v), max(u, v))
+        if edge not in chords and abs(u - v) not in (1, num_nodes - 1):
+            chords.add(edge)
+    chords = sorted(chords)
+    g1 = ring + chords[: len(chords) // 2]
+    g2 = ring + chords
+    return g1, g2
+
+
+def write_edge_list(path, edges):
+    with open(path, "w", encoding="ascii") as f:
+        for u, v in edges:
+            f.write(f"{u} {v}\n")
+
+
+def adjacency(edges, num_nodes):
+    adj = [[] for _ in range(num_nodes)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    return adj
+
+
+def bfs(adj, src):
+    dist = [INF] * len(adj)
+    dist[src] = 0
+    queue = deque([src])
+    while queue:
+        u = queue.popleft()
+        for w in adj[u]:
+            if dist[w] is INF:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist
+
+
+class Oracle:
+    """Memoized BFS rows over both snapshots."""
+
+    def __init__(self, g1_edges, g2_edges, num_nodes):
+        self.adj = {1: adjacency(g1_edges, num_nodes),
+                    2: adjacency(g2_edges, num_nodes)}
+        self.rows = {1: {}, 2: {}}
+
+    def dist(self, snapshot, s, t):
+        rows = self.rows[snapshot]
+        if s not in rows:
+            rows[s] = bfs(self.adj[snapshot], s)
+        return rows[s][t]
+
+
+def fmt_dist(d):
+    return "INF" if d is INF else str(d)
+
+
+def check_dist(reply, oracle, s, t, snapshot):
+    want = f"OK {fmt_dist(oracle.dist(snapshot, s, t))}"
+    return reply == want, want
+
+
+def check_delta(reply, oracle, s, t):
+    d1 = oracle.dist(1, s, t)
+    d2 = oracle.dist(2, s, t)
+    delta = 0 if (d1 is INF or d2 is INF) else d1 - d2
+    want = f"OK {fmt_dist(d1)} {fmt_dist(d2)} {delta}"
+    return reply == want, want
+
+
+def check_listing(reply, ids_per_entry, max_entries, num_nodes):
+    """TOPK/CAND grammar: OK <n> then n entries of ids + integer delta."""
+    parts = reply.split()
+    if len(parts) < 2 or parts[0] != "OK":
+        return False
+    try:
+        n = int(parts[1])
+    except ValueError:
+        return False
+    if n < 0 or n > max_entries:
+        return False
+    fields = parts[2:]
+    per = ids_per_entry + 1  # ids then delta
+    if len(fields) != n * per:
+        return False
+    for i in range(n):
+        entry = fields[i * per:(i + 1) * per]
+        try:
+            ids = [int(x) for x in entry[:ids_per_entry]]
+            int(entry[-1])
+        except ValueError:
+            return False
+        if any(v < 0 or v >= num_nodes for v in ids):
+            return False
+    return True
+
+
+def percentile(hist, pct):
+    """Percentile from exported histogram buckets (count per bucket)."""
+    total = hist["count"]
+    if total == 0:
+        return 0.0
+    rank = pct / 100.0 * total
+    running = 0
+    lower = 0.0
+    for bucket in hist["buckets"]:
+        running += bucket["count"]
+        if running >= rank:
+            return (lower + bucket["le"]) / 2.0
+        lower = bucket["le"]
+    return hist["max"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server", required=True)
+    parser.add_argument("--client", required=True)
+    parser.add_argument("--out", required=True,
+                        help="latency histogram JSON to write")
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--nodes", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    workdir = Path(tempfile.mkdtemp(prefix="server_smoke_"))
+    g1_path = workdir / "g1.edges"
+    g2_path = workdir / "g2.edges"
+    metrics_path = workdir / "server_metrics.json"
+    g1_edges, g2_edges = build_snapshot_pair(args.nodes, args.seed)
+    write_edge_list(g1_path, g1_edges)
+    write_edge_list(g2_path, g2_edges)
+    oracle = Oracle(g1_edges, g2_edges, args.nodes)
+
+    server = subprocess.Popen(
+        [args.server, "--g1", str(g1_path), "--g2", str(g2_path),
+         "--port", "0", "--budget", "40", "--landmarks", "5",
+         "--metrics-out", str(metrics_path)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    port = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = server.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write("server: " + line)
+        if line.startswith("listening on port "):
+            port = int(line.split()[-1])
+            break
+    if port is None:
+        server.kill()
+        print("FAIL: server never printed its port", file=sys.stderr)
+        return 1
+
+    # Mixed request schedule: mostly DIST (the batched path), with DELTA,
+    # TOPK, CAND, PING sprinkled in, and a malformed line every 25th
+    # request so the structured-error path is exercised mid-burst.
+    rng = random.Random(args.seed + 1)
+    malformed = [
+        ("DIST 1 2", "ERR bad_arity"),
+        ("FROB 1 2 3", "ERR unknown_verb"),
+        ("DIST a b 1", "ERR bad_number"),
+        (f"DIST {args.nodes} 0 1", "ERR out_of_range"),
+        ("DIST 0 1 3", "ERR out_of_range"),
+        ("TOPK 100000", "ERR out_of_range"),
+        ("CAND 5 1", "ERR out_of_range"),
+    ]
+    requests = []  # (line, kind, payload)
+    for i in range(args.queries):
+        if i % 25 == 24:
+            line, prefix = malformed[(i // 25) % len(malformed)]
+            requests.append((line, "err", prefix))
+            continue
+        roll = rng.random()
+        s = rng.randrange(args.nodes)
+        t = rng.randrange(args.nodes)
+        if roll < 0.70:
+            snap = rng.choice((1, 2))
+            requests.append((f"DIST {s} {t} {snap}", "dist", (s, t, snap)))
+        elif roll < 0.85:
+            requests.append((f"DELTA {s} {t}", "delta", (s, t)))
+        elif roll < 0.90:
+            k = rng.randrange(1, 20)
+            requests.append((f"TOPK {k}", "topk", k))
+        elif roll < 0.95:
+            requests.append((f"CAND {s} 20", "cand", s))
+        else:
+            requests.append(("PING", "ping", None))
+
+    burst = "".join(line + "\n" for line, _, _ in requests)
+    client = subprocess.run(
+        [args.client, "--port", str(port)], input=burst,
+        capture_output=True, text=True, timeout=120)
+    if client.returncode != 0:
+        server.kill()
+        print(f"FAIL: client exited {client.returncode}\n{client.stderr}",
+              file=sys.stderr)
+        return 1
+    replies = client.stdout.splitlines()
+    if len(replies) != len(requests):
+        server.kill()
+        print(f"FAIL: {len(replies)} replies for {len(requests)} requests",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    for i, ((line, kind, payload), reply) in enumerate(zip(requests,
+                                                           replies)):
+        ok = True
+        want = None
+        if kind == "dist":
+            ok, want = check_dist(reply, oracle, *payload)
+        elif kind == "delta":
+            ok, want = check_delta(reply, oracle, *payload)
+        elif kind == "topk":
+            ok = check_listing(reply, 2, payload, args.nodes)
+        elif kind == "cand":
+            ok = check_listing(reply, 1, 64, args.nodes)
+        elif kind == "ping":
+            ok = reply == "OK pong"
+        elif kind == "err":
+            ok = reply.startswith(payload)
+        if not ok:
+            failures += 1
+            expected = f" (want {want!r})" if want else ""
+            print(f"FAIL: request {i} {line!r} -> {reply!r}{expected}",
+                  file=sys.stderr)
+    if failures:
+        server.kill()
+        print(f"FAIL: {failures} bad replies", file=sys.stderr)
+        return 1
+    print(f"all {len(requests)} replies validated "
+          f"({sum(1 for _, k, _ in requests if k == 'err')} expected ERRs)")
+
+    # Graceful shutdown: SIGINT must drain, export telemetry, and exit 0.
+    server.send_signal(signal.SIGINT)
+    try:
+        server.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        server.kill()
+        print("FAIL: server did not exit within 30s of SIGINT",
+              file=sys.stderr)
+        return 1
+    tail = server.stdout.read()
+    if tail:
+        sys.stdout.write("server: " + tail.replace("\n", "\nserver: ").rstrip(
+            "server: ") + "\n")
+    if server.returncode != 0:
+        print(f"FAIL: server exited {server.returncode} after SIGINT",
+              file=sys.stderr)
+        return 1
+    if not metrics_path.exists():
+        print("FAIL: graceful shutdown did not write --metrics-out",
+              file=sys.stderr)
+        return 1
+
+    metrics = json.loads(metrics_path.read_text())
+    latency = metrics.get("histograms", {}).get("server.request.latency_us")
+    if latency is None or latency["count"] < len(requests):
+        print("FAIL: latency histogram missing or undercounted "
+              f"({latency and latency['count']} < {len(requests)})",
+              file=sys.stderr)
+        return 1
+    summary = {
+        "requests": len(requests),
+        "latency_us": latency,
+        "p50_us": percentile(latency, 50),
+        "p99_us": percentile(latency, 99),
+    }
+    Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"latency: count={latency['count']} p50={summary['p50_us']:.0f}us "
+          f"p99={summary['p99_us']:.0f}us -> {args.out}")
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

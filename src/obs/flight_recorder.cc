@@ -47,6 +47,10 @@ std::string_view FlightEventKindName(FlightEventKind kind) {
       return "bfs.msbfs.level";
     case FlightEventKind::kMsBfsBatch:
       return "bfs.msbfs.batch";
+    case FlightEventKind::kServerRequest:
+      return "server.request";
+    case FlightEventKind::kServerBatch:
+      return "server.batch";
     case FlightEventKind::kNumKinds:
       break;
   }

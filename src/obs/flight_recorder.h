@@ -57,6 +57,11 @@ enum class FlightEventKind : uint8_t {
                          //      arg1 = active frontier nodes
   kMsBfsBatch,           // dur: whole batch; arg0 = lane occupancy,
                          //      arg1 = levels run
+  kServerRequest,        // dur: one server request, parse to reply ready;
+                         //      arg0 = verb (protocol.h RequestVerb),
+                         //      arg1 = 1 when the reply is an ERR
+  kServerBatch,          // dur: one batcher flush; arg0 = unique sources
+                         //      (lanes), arg1 = queries resolved
   kNumKinds,             // sentinel, not a recordable kind
 };
 

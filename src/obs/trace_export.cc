@@ -107,6 +107,14 @@ JsonValue FlightArgs(const FlightEvent& event) {
       args.Set("lanes", static_cast<int64_t>(event.arg0));
       args.Set("levels", static_cast<int64_t>(event.arg1));
       break;
+    case FlightEventKind::kServerRequest:
+      args.Set("verb", static_cast<int64_t>(event.arg0));
+      args.Set("error", static_cast<int64_t>(event.arg1));
+      break;
+    case FlightEventKind::kServerBatch:
+      args.Set("lanes", static_cast<int64_t>(event.arg0));
+      args.Set("queries", static_cast<int64_t>(event.arg1));
+      break;
     case FlightEventKind::kNumKinds:
       break;
   }
@@ -159,6 +167,11 @@ void AppendLaneEvents(const FlightLaneSnapshot& lane, int tid,
       case FlightEventKind::kDirOptSwitch:
         events->Append(
             InstantEvent(name, "bfs", tid, event.ts_ns, FlightArgs(event)));
+        break;
+      case FlightEventKind::kServerRequest:
+      case FlightEventKind::kServerBatch:
+        events->Append(DurationEvent(name, "server", tid, event.ts_ns,
+                                     event.dur_ns, FlightArgs(event)));
         break;
       case FlightEventKind::kNumKinds:
         break;

@@ -1,0 +1,187 @@
+#include "server/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+#include "sssp/batch_service.h"
+#include "util/check.h"
+
+namespace convpairs::server {
+namespace {
+
+struct BatcherMetrics {
+  obs::Counter& flushes;
+  obs::Counter& queries;
+  obs::Counter& flush_full;
+  obs::Counter& flush_timeout;
+  obs::Counter& flush_drain;
+  obs::Histogram& occupancy;
+
+  static BatcherMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static const std::vector<double> bounds = [] {
+      std::vector<double> b;
+      for (double v = 1; v <= 256; v *= 2) b.push_back(v);
+      return b;
+    }();
+    static BatcherMetrics metrics{
+        registry.GetCounter("server.batch.flushes"),
+        registry.GetCounter("server.batch.queries"),
+        registry.GetCounter("server.batch.flush.full"),
+        registry.GetCounter("server.batch.flush.timeout"),
+        registry.GetCounter("server.batch.flush.drain"),
+        registry.GetHistogram("server.batch.occupancy", bounds)};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+DistanceBatcher::DistanceBatcher(const Graph& g1, const Graph& g2)
+    : DistanceBatcher(g1, g2, Options()) {}
+
+DistanceBatcher::DistanceBatcher(const Graph& g1, const Graph& g2,
+                                 Options options)
+    : options_(options) {
+  CONVPAIRS_CHECK(options_.max_lanes >= 1);
+  CONVPAIRS_CHECK(options_.window_us >= 0);
+  lanes_[0].graph = &g1;
+  lanes_[1].graph = &g2;
+  for (Lane& lane : lanes_) {
+    lane.dispatcher = std::thread([this, &lane] { DispatcherLoop(lane); });
+  }
+}
+
+DistanceBatcher::~DistanceBatcher() { Stop(); }
+
+std::future<Dist> DistanceBatcher::Submit(int snapshot, NodeId s, NodeId t) {
+  CONVPAIRS_CHECK(snapshot == 1 || snapshot == 2);
+  Lane& lane = lanes_[snapshot - 1];
+  std::future<Dist> result;
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    CONVPAIRS_CHECK(!lane.stop);  // Server joins sessions before Stop().
+    if (lane.pending.empty()) {
+      lane.window_start = std::chrono::steady_clock::now();
+      notify = true;  // Wake the dispatcher so it arms the window timer.
+    }
+    lane.pending.emplace_back();
+    lane.pending.back().s = s;
+    lane.pending.back().t = t;
+    result = lane.pending.back().promise.get_future();
+    if (lane.pending_sources.insert(s).second &&
+        lane.pending_sources.size() >= options_.max_lanes) {
+      notify = true;  // Lanes full: flush without waiting out the window.
+    }
+  }
+  if (notify) lane.cv.notify_one();
+  return result;
+}
+
+void DistanceBatcher::DispatcherLoop(Lane& lane) {
+  // The MS-BFS workspace lives on the dispatcher thread: one per snapshot,
+  // reused across every flush.
+  BatchDistanceService service(*lane.graph);
+
+  std::unique_lock<std::mutex> lock(lane.mu);
+  while (true) {
+    lane.cv.wait(lock, [&] { return lane.stop || !lane.pending.empty(); });
+    if (lane.pending.empty()) {
+      if (lane.stop) return;
+      continue;
+    }
+    // Accumulate until the lane set fills, the window expires, or a drain
+    // is requested. Submissions notify on the fill transition.
+    const auto deadline =
+        lane.window_start + std::chrono::microseconds(options_.window_us);
+    while (!lane.stop && lane.pending_sources.size() < options_.max_lanes &&
+           lane.cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+    }
+    const char* cause = "timeout";
+    if (lane.stop) {
+      cause = "drain";
+    } else if (lane.pending_sources.size() >= options_.max_lanes) {
+      cause = "full";
+    }
+    std::vector<PendingQuery> batch = std::move(lane.pending);
+    lane.pending.clear();
+    lane.pending_sources.clear();
+    lock.unlock();
+    if (options_.scan_per_query) {
+      // Baseline mode: every query pays its own scan, whatever was queued.
+      for (PendingQuery& query : batch) {
+        std::vector<PendingQuery> single;
+        single.push_back(std::move(query));
+        ResolveBatch(service, std::move(single), cause);
+      }
+    } else {
+      ResolveBatch(service, std::move(batch), cause);
+    }
+    lock.lock();
+  }
+}
+
+void DistanceBatcher::ResolveBatch(BatchDistanceService& service,
+                                   std::vector<PendingQuery> batch,
+                                   const char* cause) {
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
+  sources.reserve(batch.size());
+  targets.reserve(batch.size());
+  for (const PendingQuery& query : batch) {
+    sources.push_back(query.s);
+    targets.push_back(query.t);
+  }
+  std::vector<NodeId> unique = sources;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  auto& metrics = BatcherMetrics::Get();
+  metrics.flushes.Increment();
+  metrics.queries.Add(static_cast<int64_t>(batch.size()));
+  metrics.occupancy.Observe(static_cast<double>(batch.size()));
+  if (cause[0] == 'f') {
+    metrics.flush_full.Increment();
+  } else if (cause[0] == 't') {
+    metrics.flush_timeout.Increment();
+  } else {
+    metrics.flush_drain.Increment();
+  }
+
+  std::vector<Dist> out(batch.size(), kInfDist);
+  {
+    obs::FlightScope span(obs::FlightEventKind::kServerBatch,
+                          static_cast<uint32_t>(unique.size()),
+                          static_cast<uint64_t>(batch.size()));
+    // Ids were validated at the protocol layer and no budget is attached,
+    // so resolution cannot fail.
+    Status resolved = service.Resolve(sources, targets, out);
+    CONVPAIRS_CHECK(resolved.ok());
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(out[i]);
+  }
+}
+
+void DistanceBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  for (Lane& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lock(lane.mu);
+      lane.stop = true;
+    }
+    lane.cv.notify_all();
+  }
+  for (Lane& lane : lanes_) {
+    if (lane.dispatcher.joinable()) lane.dispatcher.join();
+  }
+}
+
+}  // namespace convpairs::server

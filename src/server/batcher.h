@@ -1,0 +1,117 @@
+// Batching scheduler: concurrent DIST/DELTA queries -> MS-BFS lanes.
+//
+// This is the piece that changes the serving economics. Sessions submit
+// point-distance queries as they arrive; the batcher parks them for a short
+// accumulation window (kDefaultMaxLanes unique sources or window_us
+// microseconds, whichever first) and then resolves the whole batch with ONE
+// multi-source BFS scan per 64 unique sources (sssp/batch_service.h). At 64
+// concurrent clients a query costs ~1/64th of a graph scan; a lone query
+// still completes within the window via the direction-optimizing fallback.
+//
+// Structure: one dispatcher thread per snapshot (the two snapshots' queues
+// never block each other), each owning its BatchDistanceService workspace.
+// Submit() never blocks on graph work — it enqueues and returns a
+// std::future the session awaits, which is what lets one session pipeline
+// dozens of queries into a single scan.
+//
+// Shutdown contract: the server joins every session thread BEFORE calling
+// Stop(), so no Submit() can race it; Stop() then drains whatever is still
+// queued (promises are always fulfilled) and joins the dispatchers.
+//
+// Telemetry (src/obs): server.batch.{flushes,queries} counters,
+// server.batch.flush.{full,timeout,drain} flush-cause counters, and the
+// server.batch.occupancy histogram (queries resolved per flush — the
+// scan-sharing factor). Flight recorder: one kServerBatch span per flush.
+
+#ifndef CONVPAIRS_SERVER_BATCHER_H_
+#define CONVPAIRS_SERVER_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/bfs_engine.h"
+
+namespace convpairs {
+class BatchDistanceService;
+}
+
+namespace convpairs::server {
+
+class DistanceBatcher {
+ public:
+  struct Options {
+    /// Flush as soon as this many unique sources are pending.
+    uint32_t max_lanes = kMsBfsBatchWidth;
+    /// Flush pending queries at most this long after the first arrival.
+    int64_t window_us = 2000;
+    /// Resolve every query with its own full scan (each flushed query
+    /// becomes a one-element batch). This is the honest one-query-per-scan
+    /// baseline the load bench compares against — max_lanes=1 alone is not
+    /// it, because a flush still resolves everything queued while the
+    /// previous scan ran.
+    bool scan_per_query = false;
+  };
+
+  /// `g1`/`g2` must outlive the batcher and share one id space. (Two
+  /// overloads instead of a defaulted argument: GCC cannot evaluate a
+  /// nested class's default member initializers inside the enclosing
+  /// class's default arguments.)
+  DistanceBatcher(const Graph& g1, const Graph& g2);
+  DistanceBatcher(const Graph& g1, const Graph& g2, Options options);
+
+  /// Equivalent to Stop().
+  ~DistanceBatcher();
+
+  DistanceBatcher(const DistanceBatcher&) = delete;
+  DistanceBatcher& operator=(const DistanceBatcher&) = delete;
+
+  /// Enqueues one hop-distance query against snapshot 1 or 2. Thread-safe;
+  /// never blocks on graph work. `s`/`t` must be < num_nodes (the protocol
+  /// layer validates) and the batcher must not be stopped.
+  std::future<Dist> Submit(int snapshot, NodeId s, NodeId t);
+
+  /// Drains both queues and joins the dispatcher threads. Every submitted
+  /// future is fulfilled before this returns. Idempotent.
+  void Stop();
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct PendingQuery {
+    NodeId s = 0;
+    NodeId t = 0;
+    std::promise<Dist> promise;
+  };
+
+  /// One snapshot's accumulation queue + dispatcher state.
+  struct Lane {
+    const Graph* graph = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<PendingQuery> pending;
+    std::unordered_set<NodeId> pending_sources;
+    std::chrono::steady_clock::time_point window_start;
+    bool stop = false;
+    std::thread dispatcher;
+  };
+
+  void DispatcherLoop(Lane& lane);
+  void ResolveBatch(BatchDistanceService& service,
+                    std::vector<PendingQuery> batch, const char* cause);
+
+  Options options_;
+  Lane lanes_[2];
+  bool stopped_ = false;  // Guarded by stop_mu_.
+  std::mutex stop_mu_;
+};
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_BATCHER_H_

@@ -1,0 +1,137 @@
+#include "server/handlers.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/selector_registry.h"
+#include "obs/registry.h"
+#include "sssp/batch_service.h"
+#include "sssp/budget.h"
+#include "sssp/dijkstra.h"
+#include "util/logging.h"
+
+namespace convpairs::server {
+
+RequestHandlers::RequestHandlers(const Graph& g1, const Graph& g2,
+                                 DistanceBatcher& batcher, TopKConfig config)
+    : g1_(g1), g2_(g2), batcher_(batcher), config_(std::move(config)) {}
+
+bool RequestHandlers::EnsureTopK(std::string* error) {
+  // topk_mu_ stays held for the whole computation: concurrent first TOPK
+  // requests serialize instead of running Algorithm 1 twice.
+  if (topk_ready_) {
+    if (!topk_error_.empty()) {
+      *error = topk_error_;
+      return false;
+    }
+    return true;
+  }
+  topk_ready_ = true;
+  auto selector = MakeSelector(config_.selector);
+  if (!selector.ok()) {
+    topk_error_ =
+        ErrReply("internal", "selector '" + config_.selector +
+                                 "' is not registered");
+    *error = topk_error_;
+    return false;
+  }
+  TopKOptions options;
+  options.k = config_.k_cache;
+  options.budget_m = config_.budget_m;
+  options.num_landmarks = config_.num_landmarks;
+  options.seed = config_.seed;
+  const BfsEngine engine;
+  topk_ = FindTopKConvergingPairs(g1_, g2_, engine, **selector, options);
+  LOG_INFO << "topk cache ready: selector=" << config_.selector
+           << " budget_m=" << config_.budget_m
+           << " pairs=" << topk_.pairs.size()
+           << " sssp_used=" << topk_.sssp_used;
+  return true;
+}
+
+std::string RequestHandlers::HandleTopK(int64_t k) {
+  std::lock_guard<std::mutex> lock(topk_mu_);
+  std::string error;
+  if (!EnsureTopK(&error)) return error;
+  const size_t n =
+      std::min(topk_.pairs.size(), static_cast<size_t>(std::max<int64_t>(k, 0)));
+  std::string reply = "OK " + std::to_string(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ConvergingPair& pair = topk_.pairs[i];
+    reply += ' ';
+    reply += std::to_string(pair.u);
+    reply += ' ';
+    reply += std::to_string(pair.v);
+    reply += ' ';
+    reply += std::to_string(pair.delta);
+  }
+  return reply;
+}
+
+std::string RequestHandlers::HandleCand(NodeId v, int64_t budget) {
+  // Per-request budget: a CAND request pays for its own rows and cannot
+  // starve other clients beyond the work it was granted.
+  SsspBudget request_budget(budget);
+  BatchDistanceService service1(g1_);
+  BatchDistanceService service2(g2_);
+  std::vector<Dist> row1;
+  std::vector<Dist> row2;
+  Status s1 = service1.ResolveRow(v, &row1, &request_budget);
+  if (!s1.ok()) return ErrReply("budget", s1.message());
+  Status s2 = service2.ResolveRow(v, &row2, &request_budget);
+  if (!s2.ok()) return ErrReply("budget", s2.message());
+
+  // Partners u with delta = d1 - d2 > 0: pairs (v, u) whose distance shrank
+  // between the snapshots. The reply size is what the remaining budget could
+  // verify at 2 SSSPs per pair, capped so one line stays bounded.
+  struct Partner {
+    NodeId u;
+    Dist delta;
+  };
+  std::vector<Partner> partners;
+  const NodeId n = static_cast<NodeId>(row1.size());
+  for (NodeId u = 0; u < n; ++u) {
+    if (u == v) continue;
+    if (!IsReachable(row1[u]) || !IsReachable(row2[u])) continue;
+    const Dist delta = row1[u] - row2[u];
+    if (delta > 0) partners.push_back({u, delta});
+  }
+  const size_t affordable = static_cast<size_t>(budget / 2);
+  const size_t keep =
+      std::min({partners.size(), kMaxCandReply, affordable});
+  std::partial_sort(partners.begin(), partners.begin() + keep, partners.end(),
+                    [](const Partner& a, const Partner& b) {
+                      if (a.delta != b.delta) return a.delta > b.delta;
+                      return a.u < b.u;
+                    });
+  std::string reply = "OK " + std::to_string(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    reply += ' ';
+    reply += std::to_string(partners[i].u);
+    reply += ' ';
+    reply += std::to_string(partners[i].delta);
+  }
+  return reply;
+}
+
+std::string RequestHandlers::HandleStats() const {
+  auto& registry = obs::MetricsRegistry::Global();
+  std::string reply = "OK";
+  const auto append = [&reply, &registry](const char* key, const char* name) {
+    reply += ' ';
+    reply += key;
+    reply += '=';
+    reply += std::to_string(registry.GetCounter(name).value());
+  };
+  append("requests", "server.requests");
+  append("errors", "server.errors");
+  append("batch_flushes", "server.batch.flushes");
+  append("batch_queries", "server.batch.queries");
+  reply += " connections=";
+  reply +=
+      std::to_string(registry.GetGauge("server.connections").value());
+  return reply;
+}
+
+}  // namespace convpairs::server

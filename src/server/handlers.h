@@ -1,0 +1,87 @@
+// Request execution for convpairs_server.
+//
+// DIST and DELTA are resolved through the DistanceBatcher (the session
+// submits futures so pipelined queries share scans — see session.h); the
+// verbs handled here are the ones that do not batch:
+//
+//   TOPK  — served from a cached TopKResult, computed lazily on first use
+//           with the configured selector/budget (one Algorithm-1 run over
+//           the loaded snapshot pair, exactly what the batch CLI reports).
+//   CAND  — per-request budgeted work: charges the request's own
+//           SsspBudget for v's two distance rows and proposes up to
+//           min(budget/2, kMaxCandReply) converging partners of v — the
+//           size of a candidate set the caller could afford to extract at
+//           2 SSSPs per pair under the paper's Table-1 accounting.
+//   STATS — serving counters from the metrics registry, for smoke tests
+//           and load drivers that want occupancy without a metrics file.
+//
+// All handlers return complete reply lines (no trailing newline) and never
+// throw; failures inside a handler become structured ERR replies.
+
+#ifndef CONVPAIRS_SERVER_HANDLERS_H_
+#define CONVPAIRS_SERVER_HANDLERS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/top_k.h"
+#include "graph/graph.h"
+#include "server/batcher.h"
+#include "server/protocol.h"
+
+namespace convpairs::server {
+
+/// Configuration of the cached TOPK answer (the server-side analog of the
+/// batch CLI's --selector/--budget/--k flags).
+struct TopKConfig {
+  std::string selector = "MMSD";
+  int budget_m = 100;
+  int num_landmarks = 10;
+  uint64_t seed = 0;
+  /// Pairs cached; TOPK k serves prefixes of this (k is clamped).
+  int k_cache = static_cast<int>(kMaxTopK);
+};
+
+class RequestHandlers {
+ public:
+  /// `g1`/`g2` must outlive the handlers and share one id space.
+  RequestHandlers(const Graph& g1, const Graph& g2,
+                  DistanceBatcher& batcher, TopKConfig config);
+
+  RequestHandlers(const RequestHandlers&) = delete;
+  RequestHandlers& operator=(const RequestHandlers&) = delete;
+
+  /// Thread-safe; the first call computes and caches the top-k run.
+  std::string HandleTopK(int64_t k);
+
+  /// Thread-safe; spends at most `budget` SSSPs via a per-request
+  /// SsspBudget (2 in the current implementation: v's row per snapshot).
+  std::string HandleCand(NodeId v, int64_t budget);
+
+  /// Thread-safe; reads registry counters.
+  std::string HandleStats() const;
+
+  const Graph& g1() const { return g1_; }
+  const Graph& g2() const { return g2_; }
+  DistanceBatcher& batcher() { return batcher_; }
+
+ private:
+  /// Computes the cached top-k result if not done yet; returns false (with
+  /// `error` set to a reply line) when the configured selector is invalid.
+  bool EnsureTopK(std::string* error);
+
+  const Graph& g1_;
+  const Graph& g2_;
+  DistanceBatcher& batcher_;
+  TopKConfig config_;
+
+  std::mutex topk_mu_;
+  bool topk_ready_ = false;       // Guarded by topk_mu_.
+  std::string topk_error_;        // Guarded by topk_mu_; sticky failure.
+  TopKResult topk_;               // Guarded by topk_mu_ until ready.
+};
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_HANDLERS_H_

@@ -1,0 +1,207 @@
+#include "server/protocol.h"
+
+#include <charconv>
+#include <vector>
+
+namespace convpairs::server {
+namespace {
+
+/// Splits on single-or-repeated spaces/tabs; no allocation per token
+/// beyond the vector.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+bool ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty()) return false;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseNode(std::string_view token, NodeId num_nodes, NodeId* out,
+               std::string* err_reply) {
+  uint64_t value = 0;
+  if (!ParseU64(token, &value)) {
+    *err_reply = ErrReply("bad_number",
+                          "expected a non-negative integer, got '" +
+                              std::string(token) + "'");
+    return false;
+  }
+  if (value >= num_nodes) {
+    *err_reply = ErrReply("out_of_range",
+                          "vertex " + std::string(token) +
+                              " >= num_nodes " + std::to_string(num_nodes));
+    return false;
+  }
+  *out = static_cast<NodeId>(value);
+  return true;
+}
+
+bool CheckArity(const std::vector<std::string_view>& tokens, size_t want,
+                std::string* err_reply) {
+  if (tokens.size() == want) return true;
+  *err_reply = ErrReply(
+      "bad_arity", std::string(tokens[0]) + " takes " +
+                       std::to_string(want - 1) + " argument(s), got " +
+                       std::to_string(tokens.size() - 1));
+  return false;
+}
+
+}  // namespace
+
+std::string ErrReply(std::string_view code, std::string_view detail) {
+  std::string reply = "ERR ";
+  reply += code;
+  reply += ' ';
+  reply += detail;
+  return reply;
+}
+
+std::string DistToken(Dist d) {
+  return IsReachable(d) ? std::to_string(d) : std::string("INF");
+}
+
+std::string DistReply(Dist d) { return "OK " + DistToken(d); }
+
+std::string DeltaReply(Dist d1, Dist d2) {
+  const Dist delta =
+      (IsReachable(d1) && IsReachable(d2)) ? d1 - d2 : Dist{0};
+  return "OK " + DistToken(d1) + ' ' + DistToken(d2) + ' ' +
+         std::to_string(delta);
+}
+
+std::string_view VerbName(RequestVerb verb) {
+  switch (verb) {
+    case RequestVerb::kDist:
+      return "dist";
+    case RequestVerb::kDelta:
+      return "delta";
+    case RequestVerb::kTopK:
+      return "topk";
+    case RequestVerb::kCand:
+      return "cand";
+    case RequestVerb::kPing:
+      return "ping";
+    case RequestVerb::kStats:
+      return "stats";
+  }
+  return "invalid";
+}
+
+bool ParseRequest(std::string_view line, NodeId num_nodes, Request* out,
+                  std::string* err_reply) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.size() > kMaxLineBytes) {
+    *err_reply = ErrReply("too_long",
+                          "line exceeds " + std::to_string(kMaxLineBytes) +
+                              " bytes");
+    return false;
+  }
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    *err_reply = ErrReply("bad_arity", "empty request");
+    return false;
+  }
+  const std::string_view verb = tokens[0];
+
+  if (verb == "DIST") {
+    if (!CheckArity(tokens, 4, err_reply)) return false;
+    if (!ParseNode(tokens[1], num_nodes, &out->s, err_reply)) return false;
+    if (!ParseNode(tokens[2], num_nodes, &out->t, err_reply)) return false;
+    uint64_t snap = 0;
+    if (!ParseU64(tokens[3], &snap)) {
+      *err_reply = ErrReply("bad_number", "snapshot must be 1 or 2, got '" +
+                                              std::string(tokens[3]) + "'");
+      return false;
+    }
+    if (snap != 1 && snap != 2) {
+      *err_reply = ErrReply("out_of_range", "snapshot must be 1 or 2, got " +
+                                                std::string(tokens[3]));
+      return false;
+    }
+    out->verb = RequestVerb::kDist;
+    out->snapshot = static_cast<int>(snap);
+    return true;
+  }
+
+  if (verb == "DELTA") {
+    if (!CheckArity(tokens, 3, err_reply)) return false;
+    if (!ParseNode(tokens[1], num_nodes, &out->s, err_reply)) return false;
+    if (!ParseNode(tokens[2], num_nodes, &out->t, err_reply)) return false;
+    out->verb = RequestVerb::kDelta;
+    return true;
+  }
+
+  if (verb == "TOPK") {
+    if (!CheckArity(tokens, 2, err_reply)) return false;
+    uint64_t k = 0;
+    if (!ParseU64(tokens[1], &k)) {
+      *err_reply = ErrReply("bad_number", "k must be a positive integer, "
+                                          "got '" +
+                                              std::string(tokens[1]) + "'");
+      return false;
+    }
+    if (k < 1 || k > static_cast<uint64_t>(kMaxTopK)) {
+      *err_reply = ErrReply("out_of_range",
+                            "k must be in [1, " + std::to_string(kMaxTopK) +
+                                "], got " + std::string(tokens[1]));
+      return false;
+    }
+    out->verb = RequestVerb::kTopK;
+    out->k = static_cast<int64_t>(k);
+    return true;
+  }
+
+  if (verb == "CAND") {
+    if (!CheckArity(tokens, 3, err_reply)) return false;
+    if (!ParseNode(tokens[1], num_nodes, &out->s, err_reply)) return false;
+    uint64_t budget = 0;
+    if (!ParseU64(tokens[2], &budget)) {
+      *err_reply = ErrReply("bad_number",
+                            "budget must be a positive integer, got '" +
+                                std::string(tokens[2]) + "'");
+      return false;
+    }
+    if (budget < static_cast<uint64_t>(kMinCandBudget) ||
+        budget > static_cast<uint64_t>(kMaxCandBudget)) {
+      *err_reply = ErrReply(
+          "out_of_range",
+          "budget must be in [" + std::to_string(kMinCandBudget) + ", " +
+              std::to_string(kMaxCandBudget) + "], got " +
+              std::string(tokens[2]));
+      return false;
+    }
+    out->verb = RequestVerb::kCand;
+    out->budget = static_cast<int64_t>(budget);
+    return true;
+  }
+
+  if (verb == "PING") {
+    if (!CheckArity(tokens, 1, err_reply)) return false;
+    out->verb = RequestVerb::kPing;
+    return true;
+  }
+
+  if (verb == "STATS") {
+    if (!CheckArity(tokens, 1, err_reply)) return false;
+    out->verb = RequestVerb::kStats;
+    return true;
+  }
+
+  *err_reply = ErrReply("unknown_verb",
+                        "'" + std::string(verb) +
+                            "' (expected DIST|DELTA|TOPK|CAND|PING|STATS)");
+  return false;
+}
+
+}  // namespace convpairs::server

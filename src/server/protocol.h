@@ -1,0 +1,101 @@
+// Line-oriented request protocol for convpairs_server.
+//
+// Requests are single ASCII lines, space-separated, newline-terminated
+// (a trailing '\r' is tolerated so `nc -C` / telnet work). Replies are one
+// line each, in request order, so clients may pipeline freely:
+//
+//   DIST s t snap   -> OK <d>                  hop distance in snapshot 1|2
+//   DELTA s t       -> OK <d1> <d2> <delta>    delta = d1 - d2 (the paper's
+//                                              convergence score; 0 when
+//                                              either side is unreachable)
+//   TOPK k          -> OK <n> [u v delta]*n    current top-k converging pairs
+//   CAND v budget   -> OK <n> [u delta]*n      v's best converging partners,
+//                                              found under a per-request
+//                                              SsspBudget of `budget` SSSPs
+//   PING            -> OK pong
+//   STATS           -> OK key=value ...        serving counters
+//
+// Distances print as decimal hop counts, or "INF" for unreachable pairs.
+// Malformed input never disconnects: the reply is a structured error line
+//   ERR <code> <detail>
+// with machine-matchable codes (too_long, unknown_verb, bad_arity,
+// bad_number, out_of_range, budget). Oversized lines (> kMaxLineBytes) are
+// rejected with ERR too_long and the stream is resynchronized at the next
+// newline.
+//
+// The parser is pure (string -> Request) so the malformed-input test sweeps
+// it without sockets.
+
+#ifndef CONVPAIRS_SERVER_PROTOCOL_H_
+#define CONVPAIRS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/types.h"
+
+namespace convpairs::server {
+
+/// Longest accepted request line, newline excluded. Longer lines draw
+/// ERR too_long and are discarded up to the next newline.
+inline constexpr size_t kMaxLineBytes = 4096;
+
+/// Largest k a TOPK request may ask for.
+inline constexpr int64_t kMaxTopK = 1000;
+
+/// CAND budget bounds: at least 2 (one SSSP per snapshot is the minimum
+/// spend that can answer anything) and small enough that one request cannot
+/// monopolize the server.
+inline constexpr int64_t kMinCandBudget = 2;
+inline constexpr int64_t kMaxCandBudget = 1 << 20;
+
+/// Most partners a CAND reply lists (one line must stay bounded).
+inline constexpr size_t kMaxCandReply = 64;
+
+enum class RequestVerb : uint8_t {
+  kDist = 0,
+  kDelta,
+  kTopK,
+  kCand,
+  kPing,
+  kStats,
+};
+
+/// One parsed request. Only the fields of the active verb are meaningful.
+struct Request {
+  RequestVerb verb = RequestVerb::kPing;
+  NodeId s = 0;
+  NodeId t = 0;
+  int snapshot = 1;     // DIST: 1 or 2.
+  int64_t k = 0;        // TOPK.
+  int64_t budget = 0;   // CAND.
+};
+
+/// Parses one request line (no trailing newline). On success fills `out`
+/// and returns true. On failure returns false and fills `err_reply` with
+/// the complete "ERR <code> <detail>" reply line (no newline). Vertex ids
+/// are validated against `num_nodes` — the shared id space of the snapshot
+/// pair.
+bool ParseRequest(std::string_view line, NodeId num_nodes, Request* out,
+                  std::string* err_reply);
+
+/// Formats "ERR <code> <detail>" (no trailing newline).
+std::string ErrReply(std::string_view code, std::string_view detail);
+
+/// "INF" for unreachable, decimal hops otherwise.
+std::string DistToken(Dist d);
+
+/// Formats the OK reply for a resolved DIST request.
+std::string DistReply(Dist d);
+
+/// Formats the OK reply for a resolved DELTA request: d1, d2 and
+/// delta = d1 - d2 (0 unless both are reachable).
+std::string DeltaReply(Dist d1, Dist d2);
+
+/// Stable lower-case verb name ("dist", "topk", ...) for telemetry.
+std::string_view VerbName(RequestVerb verb);
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_PROTOCOL_H_

@@ -1,0 +1,113 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "obs/registry.h"
+#include "server/session.h"
+#include "util/logging.h"
+
+namespace convpairs::server {
+
+ConvpairsServer::ConvpairsServer(const Graph& g1, const Graph& g2)
+    : ConvpairsServer(g1, g2, Options()) {}
+
+ConvpairsServer::ConvpairsServer(const Graph& g1, const Graph& g2,
+                                 Options options)
+    : g1_(g1),
+      g2_(g2),
+      options_(std::move(options)),
+      batcher_(g1, g2, options_.batcher),
+      handlers_(g1, g2, batcher_, options_.topk) {}
+
+ConvpairsServer::~ConvpairsServer() { Stop(); }
+
+Status ConvpairsServer::Start() {
+  auto listener = TcpListener::Listen(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  LOG_INFO << "convpairs_server listening on 127.0.0.1:" << port_
+           << " (nodes=" << g1_.num_nodes() << ")";
+  return Status::OK();
+}
+
+void ConvpairsServer::AcceptLoop() {
+  auto& accepted = obs::MetricsRegistry::Global().GetCounter(
+      "server.connections.accepted");
+  while (true) {
+    auto stream = listener_.Accept();
+    if (!stream.ok()) break;  // Listener closed: drain and exit.
+    accepted.Increment();
+    auto slot = std::make_unique<SessionSlot>();
+    slot->stream = std::move(*stream);
+    SessionSlot* slot_ptr = slot.get();
+    slot->thread = std::thread([this, slot_ptr] {
+      RunSession(slot_ptr->stream, handlers_);
+      slot_ptr->done.store(true, std::memory_order_release);
+    });
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(std::move(slot));
+    }
+    // Opportunistic reap keeps the slot list from growing without bound on
+    // long-lived servers; the stop path does the authoritative join.
+    ReapSessions(/*all=*/false);
+  }
+}
+
+void ConvpairsServer::ReapSessions(bool all) {
+  std::vector<std::unique_ptr<SessionSlot>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (all) {
+      to_join.swap(sessions_);
+    } else {
+      // Joining a live session would block the accept loop, so the
+      // opportunistic pass only reclaims slots whose thread already
+      // announced completion (their join is instant).
+      auto keep_end = std::partition(
+          sessions_.begin(), sessions_.end(), [](const auto& slot) {
+            return !slot->done.load(std::memory_order_acquire);
+          });
+      to_join.assign(std::make_move_iterator(keep_end),
+                     std::make_move_iterator(sessions_.end()));
+      sessions_.erase(keep_end, sessions_.end());
+    }
+  }
+  if (all) {
+    // Wake idle sessions: half-close the read side so a blocked Receive()
+    // returns 0 and the session finishes its in-flight replies.
+    for (auto& slot : to_join) slot->stream.ShutdownRead();
+  }
+  for (auto& slot : to_join) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+}
+
+void ConvpairsServer::RequestStop() { listener_.Close(); }
+
+void ConvpairsServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Drain ordering: no new connections, then no new requests (sessions
+  // unblock and run out), then — only after every session thread that might
+  // still await a distance future is joined — stop the dispatchers.
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ReapSessions(/*all=*/true);
+  batcher_.Stop();
+  LOG_INFO << "convpairs_server drained and stopped";
+}
+
+void ConvpairsServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  Stop();
+}
+
+}  // namespace convpairs::server

@@ -1,0 +1,113 @@
+// ConvpairsServer: listener + session threads over shared immutable
+// snapshots.
+//
+// Threading model (three thread kinds, all owned here or by the batcher):
+//   - accept thread: blocks in TcpListener::Accept(), spawns one session
+//     thread per connection, reaps finished sessions opportunistically.
+//   - session threads: RunSession (server/session.h), one per connection.
+//   - dispatcher threads: two, inside DistanceBatcher, one per snapshot.
+// The graphs are immutable after construction, so sessions share them with
+// no synchronization; all mutable serving state lives in the batcher's
+// lanes and the handlers' top-k cache, each behind its own mutex.
+//
+// Shutdown (RequestStop, safe from a signal-watcher thread) drains rather
+// than aborts: close the listener (no new connections) -> shut down the
+// read side of every live session socket (sessions finish their buffered
+// requests and exit their loops) -> join session threads -> stop the
+// batcher last, because sessions awaiting distance futures need live
+// dispatchers until they are joined.
+//
+// Backpressure is structural: a session submits at most what it has read
+// into one 4 KiB chunk before it must flush replies in order, so a single
+// client cannot queue unbounded work, and the batcher caps every scan at
+// kMsBfsBatchWidth lanes.
+
+#ifndef CONVPAIRS_SERVER_SERVER_H_
+#define CONVPAIRS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "server/batcher.h"
+#include "server/handlers.h"
+#include "server/socket.h"
+#include "util/status.h"
+
+namespace convpairs::server {
+
+class ConvpairsServer {
+ public:
+  struct Options {
+    /// 0 = ephemeral; see port() after Start().
+    uint16_t port = 0;
+    DistanceBatcher::Options batcher;
+    TopKConfig topk;
+  };
+
+  /// `g1`/`g2` must outlive the server and share one id space. (Overloads
+  /// instead of a defaulted Options argument — see batcher.h.)
+  ConvpairsServer(const Graph& g1, const Graph& g2);
+  ConvpairsServer(const Graph& g1, const Graph& g2, Options options);
+
+  /// Equivalent to Stop().
+  ~ConvpairsServer();
+
+  ConvpairsServer(const ConvpairsServer&) = delete;
+  ConvpairsServer& operator=(const ConvpairsServer&) = delete;
+
+  /// Binds the loopback listener and starts the accept thread.
+  [[nodiscard]] Status Start();
+
+  /// Bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Initiates shutdown without blocking: closes the listener, which wakes
+  /// the accept thread into the drain path. Safe to call from any thread,
+  /// including the shutdown-signal watcher. Idempotent.
+  void RequestStop();
+
+  /// Blocks until the server has fully drained: accept thread joined,
+  /// every session joined, batcher stopped. Idempotent.
+  void Stop();
+
+  /// Blocks until the server stops (RequestStop from another thread).
+  void Wait();
+
+ private:
+  /// unique_ptr-held so the address stays stable for the session thread.
+  struct SessionSlot {
+    TcpStream stream;
+    std::thread thread;
+    std::atomic<bool> done{false};  // Set by the session thread on exit.
+  };
+
+  void AcceptLoop();
+  /// `all` shuts down live sockets and joins everything; otherwise joins
+  /// only sessions that already finished (cheap, never blocks on a client).
+  void ReapSessions(bool all);
+
+  const Graph& g1_;
+  const Graph& g2_;
+  Options options_;
+  DistanceBatcher batcher_;
+  RequestHandlers handlers_;
+
+  TcpListener listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<SessionSlot>> sessions_;  // Guarded above.
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;  // Guarded by stop_mu_.
+};
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_SERVER_H_

@@ -1,0 +1,165 @@
+#include "server/session.h"
+
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "server/protocol.h"
+
+namespace convpairs::server {
+namespace {
+
+struct SessionMetrics {
+  obs::Counter& requests;
+  obs::Counter& errors;
+  obs::Gauge& connections;
+  obs::Histogram& latency_us;
+
+  static SessionMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static SessionMetrics metrics{
+        registry.GetCounter("server.requests"),
+        registry.GetCounter("server.errors"),
+        registry.GetGauge("server.connections"),
+        registry.GetHistogram("server.request.latency_us",
+                              obs::ExponentialBuckets(10.0, 2.0, 16))};
+    return metrics;
+  }
+};
+
+/// One request's in-flight state. Replies must go out in request order, so
+/// parsed requests queue as PendingReply and flush after the whole read
+/// chunk has been submitted. `f1`/`f2` are valid only for DIST/DELTA — the
+/// verbs that resolve through the batcher.
+struct PendingReply {
+  uint64_t t0_ns = 0;
+  RequestVerb verb = RequestVerb::kPing;
+  std::string text;  // Ready reply, unless futures are pending below.
+  std::future<Dist> f1;
+  std::future<Dist> f2;
+};
+
+/// Completes one reply (awaiting futures if any), records telemetry, and
+/// sends the line. Returns false on socket error.
+bool FinishAndSend(TcpStream& stream, PendingReply& reply) {
+  if (reply.f1.valid()) {
+    const Dist d1 = reply.f1.get();
+    if (reply.f2.valid()) {
+      reply.text = DeltaReply(d1, reply.f2.get());
+    } else {
+      reply.text = DistReply(d1);
+    }
+  }
+  auto& metrics = SessionMetrics::Get();
+  const bool is_err = reply.text.rfind("ERR", 0) == 0;
+  const uint64_t now = obs::TraceNowNanos();
+  const uint64_t dur = now - reply.t0_ns;
+  metrics.requests.Increment();
+  if (is_err) metrics.errors.Increment();
+  metrics.latency_us.Observe(static_cast<double>(dur) / 1000.0);
+  obs::FlightRecorder::Record(obs::FlightEventKind::kServerRequest,
+                              reply.t0_ns, dur,
+                              static_cast<uint32_t>(reply.verb),
+                              is_err ? 1 : 0);
+  reply.text += '\n';
+  return stream.SendAll(reply.text).ok();
+}
+
+/// Parses one line into a PendingReply: DIST/DELTA submit batcher futures,
+/// everything else resolves synchronously.
+PendingReply DispatchLine(std::string_view line, RequestHandlers& handlers) {
+  PendingReply reply;
+  reply.t0_ns = obs::TraceNowNanos();
+  Request request;
+  std::string err;
+  if (!ParseRequest(line, handlers.g1().num_nodes(), &request, &err)) {
+    reply.text = std::move(err);
+    return reply;
+  }
+  reply.verb = request.verb;
+  switch (request.verb) {
+    case RequestVerb::kDist:
+      reply.f1 =
+          handlers.batcher().Submit(request.snapshot, request.s, request.t);
+      break;
+    case RequestVerb::kDelta:
+      reply.f1 = handlers.batcher().Submit(1, request.s, request.t);
+      reply.f2 = handlers.batcher().Submit(2, request.s, request.t);
+      break;
+    case RequestVerb::kTopK:
+      reply.text = handlers.HandleTopK(request.k);
+      break;
+    case RequestVerb::kCand:
+      reply.text = handlers.HandleCand(request.s, request.budget);
+      break;
+    case RequestVerb::kPing:
+      reply.text = "OK pong";
+      break;
+    case RequestVerb::kStats:
+      reply.text = handlers.HandleStats();
+      break;
+  }
+  return reply;
+}
+
+}  // namespace
+
+void RunSession(TcpStream& stream, RequestHandlers& handlers) {
+  auto& metrics = SessionMetrics::Get();
+  metrics.connections.Add(1);
+
+  std::string buffer;
+  bool discarding = false;  // Oversized line: drop bytes to the next '\n'.
+  char chunk[4096];
+  for (;;) {
+    auto received = stream.Receive(chunk, sizeof(chunk));
+    if (!received.ok() || *received == 0) break;  // Error or EOF.
+    buffer.append(chunk, *received);
+
+    // Submit every complete line before awaiting any reply: this is what
+    // lets one pipelining client fill MS-BFS lanes on its own.
+    std::vector<PendingReply> replies;
+    size_t consumed = 0;
+    for (;;) {
+      const size_t nl = buffer.find('\n', consumed);
+      if (nl == std::string::npos) break;
+      std::string_view line(buffer.data() + consumed, nl - consumed);
+      consumed = nl + 1;
+      if (discarding) {
+        discarding = false;  // The tail of the oversized line; skip it.
+        continue;
+      }
+      replies.push_back(DispatchLine(line, handlers));
+    }
+    buffer.erase(0, consumed);
+
+    // A partial line longer than the protocol limit can never become valid:
+    // reject now and resynchronize at the next newline.
+    if (!discarding && buffer.size() > kMaxLineBytes) {
+      PendingReply reply;
+      reply.t0_ns = obs::TraceNowNanos();
+      reply.text = ErrReply(
+          "too_long",
+          "line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+      replies.push_back(std::move(reply));
+      buffer.clear();
+      discarding = true;
+    }
+
+    bool send_ok = true;
+    for (PendingReply& reply : replies) {
+      // Drain every future even after a send failure — promises must not
+      // outlive their batch without a consumer.
+      send_ok = FinishAndSend(stream, reply) && send_ok;
+    }
+    if (!send_ok) break;
+  }
+
+  metrics.connections.Add(-1);
+}
+
+}  // namespace convpairs::server

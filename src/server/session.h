@@ -1,0 +1,39 @@
+// One client connection: line framing, request dispatch, in-order replies.
+//
+// RunSession owns a connected TcpStream for its whole lifetime and is the
+// body of the server's per-connection thread. It reads the socket in
+// chunks, splits complete request lines out of its buffer, and — this is
+// the part that feeds the batcher — parses EVERY complete line in the
+// buffer before awaiting any distance future. A client that pipelines 100
+// DIST queries in one write gets all 100 submitted to the DistanceBatcher
+// in one pass, so they resolve as one or two MS-BFS scans instead of 100;
+// replies are then flushed strictly in request order, which is what makes
+// pipelining safe for the client.
+//
+// Malformed input (oversized line, bad verb, bad ids) produces a structured
+// ERR reply and the session continues; only socket errors and EOF end it.
+//
+// Telemetry per request: server.requests / server.errors counters and the
+// server.request.latency_us histogram (parse to reply-ready), plus one
+// kServerRequest flight-recorder span. server.connections gauges the live
+// session count.
+
+#ifndef CONVPAIRS_SERVER_SESSION_H_
+#define CONVPAIRS_SERVER_SESSION_H_
+
+#include "server/handlers.h"
+#include "server/socket.h"
+
+namespace convpairs::server {
+
+/// Serves one connection until EOF, socket error, or server shutdown
+/// (Stop() shuts down the socket's read side, which lands here as EOF).
+/// Runs on the session thread; returns when the connection is done. The
+/// caller keeps ownership of `stream` so the server's drain path can
+/// ShutdownRead() it from another thread while this is blocked in
+/// Receive().
+void RunSession(TcpStream& stream, RequestHandlers& handlers);
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_SESSION_H_

@@ -1,0 +1,110 @@
+// Thin RAII wrappers over POSIX TCP sockets.
+//
+// Every raw socket syscall in the repo lives in this translation unit: lint
+// invariant 8 confines ::socket/::bind/::listen/::accept/::connect/::recv/
+// ::send to src/server/, the way invariant 6 confines std::thread to
+// src/util and src/server. Tools, benches and tests talk TCP exclusively
+// through these wrappers, so portability quirks (SIGPIPE suppression,
+// EINTR retries, loopback-only binding) are fixed in exactly one place.
+//
+// The server binds to 127.0.0.1 only: this subsystem is a trusted-network
+// query service, not an internet-facing endpoint, and the loopback bind
+// makes that explicit at the kernel level.
+
+#ifndef CONVPAIRS_SERVER_SOCKET_H_
+#define CONVPAIRS_SERVER_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace convpairs::server {
+
+/// Move-only owning file descriptor for a connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() { Close(); }
+
+  TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data`, retrying on partial sends and EINTR. SIGPIPE is
+  /// suppressed (a peer that hung up surfaces as an IoError status).
+  [[nodiscard]] Status SendAll(std::string_view data);
+
+  /// Reads up to `capacity` bytes into `buf`. Returns the byte count, 0 on
+  /// orderly peer shutdown, or an error. Retries EINTR.
+  [[nodiscard]] StatusOr<size_t> Receive(char* buf, size_t capacity);
+
+  /// Half-closes the read side, unblocking any Receive() in progress on
+  /// another thread — the server's drain path uses this to interrupt idle
+  /// sessions without yanking unsent replies.
+  void ShutdownRead();
+
+  /// Closes the descriptor now (also done by the destructor).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1. Move-only.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_.exchange(-1)), port_(other.port_) {
+    other.port_ = 0;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_.store(other.fd_.exchange(-1));
+      port_ = other.port_;
+      other.port_ = 0;
+    }
+    return *this;
+  }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral; the chosen port
+  /// is readable from port() afterwards).
+  [[nodiscard]] static StatusOr<TcpListener> Listen(uint16_t port);
+
+  /// Accepts one connection. Blocks; returns IoError after Close() from
+  /// another thread (the server's stop path).
+  [[nodiscard]] StatusOr<TcpStream> Accept();
+
+  /// Closes the listening socket, waking a blocked Accept().
+  void Close();
+
+  bool valid() const { return fd_.load() >= 0; }
+  uint16_t port() const { return port_; }
+
+ private:
+  // Atomic because the stop path Close()s from another thread while the
+  // accept loop reads it; the accept thread then observes EBADF/EINVAL and
+  // exits cleanly.
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port` (client side: tools, benches, tests).
+[[nodiscard]] StatusOr<TcpStream> ConnectLoopback(uint16_t port);
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_SOCKET_H_

@@ -1,0 +1,137 @@
+#include "sssp/batch_service.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "obs/registry.h"
+
+namespace convpairs {
+namespace {
+
+struct BatchServiceMetrics {
+  obs::Counter& batches;
+  obs::Counter& queries;
+  obs::Counter& sources;
+  obs::Histogram& lane_occupancy;
+
+  static BatchServiceMetrics& Get() {
+    static const std::vector<double> bounds = [] {
+      std::vector<double> b;
+      for (double v = 1; v <= kMsBfsBatchWidth; v *= 2) b.push_back(v);
+      return b;
+    }();
+    static BatchServiceMetrics metrics{
+        obs::MetricsRegistry::Global().GetCounter("sssp.batch_service.batches"),
+        obs::MetricsRegistry::Global().GetCounter("sssp.batch_service.queries"),
+        obs::MetricsRegistry::Global().GetCounter("sssp.batch_service.sources"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "sssp.batch_service.lane_occupancy", bounds)};
+    return metrics;
+  }
+};
+
+}  // namespace
+
+BatchDistanceService::BatchDistanceService(const Graph& g)
+    : graph_(g), ms_runner_(g), diropt_runner_(g) {}
+
+Status BatchDistanceService::Resolve(std::span<const NodeId> sources,
+                                     std::span<const NodeId> targets,
+                                     std::span<Dist> out,
+                                     SsspBudget* budget) {
+  if (sources.size() != targets.size() || sources.size() != out.size()) {
+    return Status::InvalidArgument(
+        "batch service: sources/targets/out sizes differ");
+  }
+  if (sources.empty()) return Status::OK();
+  const NodeId n = graph_.num_nodes();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i] >= n || targets[i] >= n) {
+      return Status::OutOfRange("batch service: node id out of range");
+    }
+  }
+
+  // Dedup sources, preserving first-appearance order so lane assignment is
+  // deterministic for the telemetry tests.
+  unique_sources_.clear();
+  query_lane_.resize(sources.size());
+  std::unordered_map<NodeId, uint32_t> lane_of;
+  lane_of.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    auto [it, inserted] = lane_of.try_emplace(
+        sources[i], static_cast<uint32_t>(unique_sources_.size()));
+    if (inserted) unique_sources_.push_back(sources[i]);
+    query_lane_[i] = it->second;
+  }
+
+  const int64_t cost = static_cast<int64_t>(unique_sources_.size());
+  if (budget != nullptr && budget->remaining() < cost) {
+    return Status::FailedPrecondition(
+        "batch service: budget exhausted (need " + std::to_string(cost) +
+        " SSSPs, have " + std::to_string(budget->remaining()) + ")");
+  }
+
+  auto& metrics = BatchServiceMetrics::Get();
+  metrics.queries.Add(static_cast<int64_t>(sources.size()));
+  metrics.sources.Add(cost);
+
+  if (unique_sources_.size() == 1) {
+    // Nothing to share: direction-optimizing BFS has cheaper constants than
+    // a one-lane MS-BFS scan.
+    const std::vector<Dist>& row =
+        diropt_runner_.Run(unique_sources_[0], budget);
+    for (size_t i = 0; i < targets.size(); ++i) out[i] = row[targets[i]];
+    metrics.batches.Increment();
+    metrics.lane_occupancy.Observe(1.0);
+    return Status::OK();
+  }
+
+  if (budget != nullptr) budget->Charge(cost);
+  for (size_t begin = 0; begin < unique_sources_.size();
+       begin += kMsBfsBatchWidth) {
+    const size_t width =
+        std::min<size_t>(kMsBfsBatchWidth, unique_sources_.size() - begin);
+    // Goal-directed scan: hand MS-BFS exactly the (lane, target) pairs this
+    // chunk owes instead of materializing width x num_nodes distance rows.
+    chunk_queries_.clear();
+    chunk_index_.clear();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const uint32_t lane = query_lane_[i];
+      if (lane < begin || lane >= begin + width) continue;
+      chunk_queries_.push_back(
+          {static_cast<uint32_t>(lane - begin), targets[i]});
+      chunk_index_.push_back(static_cast<uint32_t>(i));
+    }
+    chunk_out_.resize(chunk_queries_.size());
+    ms_runner_.RunForQueries(std::span<const NodeId>(unique_sources_)
+                                 .subspan(begin, width),
+                             chunk_queries_, chunk_out_);
+    for (size_t j = 0; j < chunk_index_.size(); ++j) {
+      out[chunk_index_[j]] = chunk_out_[j];
+    }
+    metrics.batches.Increment();
+    metrics.lane_occupancy.Observe(static_cast<double>(width));
+  }
+  return Status::OK();
+}
+
+Status BatchDistanceService::ResolveRow(NodeId src, std::vector<Dist>* row,
+                                        SsspBudget* budget) {
+  if (src >= graph_.num_nodes()) {
+    return Status::OutOfRange("batch service: node id out of range");
+  }
+  if (budget != nullptr && budget->remaining() < 1) {
+    return Status::FailedPrecondition("batch service: budget exhausted");
+  }
+  const std::vector<Dist>& dist = diropt_runner_.Run(src, budget);
+  row->assign(dist.begin(), dist.end());
+  auto& metrics = BatchServiceMetrics::Get();
+  metrics.batches.Increment();
+  metrics.queries.Increment();
+  metrics.sources.Increment();
+  metrics.lane_occupancy.Observe(1.0);
+  return Status::OK();
+}
+
+}  // namespace convpairs

@@ -1,0 +1,77 @@
+// Batched point-to-point distance resolution on top of the MS-BFS engine.
+//
+// The query-serving subsystem (src/server) receives many independent
+// "distance from s to t" questions against one immutable snapshot. Answering
+// each with its own BFS costs a full graph scan per query; MS-BFS already
+// knows how to advance 64 searches in one scan (sssp/bfs_engine.h).
+// BatchDistanceService is the seam between the two: callers submit a batch
+// of (source, target) queries, the service dedupes sources into MS-BFS lanes
+// (so 64 queries about one hub cost one lane, not 64), runs
+// ceil(unique/64) goal-directed scans (MsBfsRunner::RunForQueries — no
+// distance rows are materialized and each scan stops at its farthest queried
+// target), and hands back one hop distance per query. A batch that collapses
+// to a single unique source skips MS-BFS entirely and runs
+// direction-optimizing BFS — cheaper constants when there is nothing to
+// share.
+//
+// Cost accounting follows the paper's budget unit: one SSSP per *unique*
+// source, charged to the optional SsspBudget before any traversal runs, so
+// a budget overrun fails the whole batch without partial spend.
+//
+// Telemetry (src/obs): sssp.batch_service.{batches,queries,sources} counters
+// and the sssp.batch_service.lane_occupancy histogram (unique sources per
+// MS-BFS scan — the scan-sharing factor the server's economics rest on).
+
+#ifndef CONVPAIRS_SSSP_BATCH_SERVICE_H_
+#define CONVPAIRS_SSSP_BATCH_SERVICE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sssp/bfs_engine.h"
+#include "sssp/budget.h"
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Reusable-workspace batched distance resolver over one snapshot. Not
+/// thread-safe: the server owns one instance per dispatcher thread.
+class BatchDistanceService {
+ public:
+  explicit BatchDistanceService(const Graph& g);
+
+  /// Resolves out[i] = hop distance from sources[i] to targets[i]
+  /// (kInfDist when unreachable), bit-for-bit what BfsDistances produces.
+  /// `sources`, `targets` and `out` must have equal length; every id must
+  /// be < g.num_nodes(). Charges `budget` one unit per unique source before
+  /// traversing (InvalidArgument / FailedPrecondition on bad input or
+  /// insufficient budget; on error nothing is charged and `out` is
+  /// untouched).
+  [[nodiscard]] Status Resolve(std::span<const NodeId> sources,
+                               std::span<const NodeId> targets,
+                               std::span<Dist> out,
+                               SsspBudget* budget = nullptr);
+
+  /// Resolves the full distance row from `src` into `row` (resized to
+  /// g.num_nodes()), charging one unit. The CAND handler uses this: it
+  /// needs every distance from one vertex, not point lookups.
+  [[nodiscard]] Status ResolveRow(NodeId src, std::vector<Dist>* row,
+                                  SsspBudget* budget = nullptr);
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+  MsBfsRunner ms_runner_;
+  DirOptBfsRunner diropt_runner_;
+  std::vector<NodeId> unique_sources_;  // Scratch: dedup order per batch.
+  std::vector<uint32_t> query_lane_;    // Scratch: query -> unique index.
+  std::vector<MsBfsRunner::PointQuery> chunk_queries_;  // Scratch per scan.
+  std::vector<uint32_t> chunk_index_;   // Scratch: chunk query -> batch query.
+  std::vector<Dist> chunk_out_;         // Scratch: distances per scan.
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_SSSP_BATCH_SERVICE_H_

@@ -180,23 +180,48 @@ MsBfsRunner::MsBfsRunner(const Graph& g) : graph_(g) {
 
 void MsBfsRunner::Run(std::span<const NodeId> sources,
                       std::span<Dist> dist_rows) {
+  const size_t n = graph_.num_nodes();
+  const size_t lanes = sources.size();
+  CONVPAIRS_CHECK_EQ(dist_rows.size(), lanes * n);
+  node_major_.resize(lanes * n);
+  RunNodeMajor(sources, node_major_);
+
+  // Cache-blocked transpose back to the row-per-source contract: each node
+  // tile is re-read once per lane from L2 while every row segment is written
+  // sequentially, so the cost is bandwidth, not one miss per element.
+  constexpr size_t kTileNodes = 4096;
+  for (size_t v0 = 0; v0 < n; v0 += kTileNodes) {
+    const size_t v1 = std::min(n, v0 + kTileNodes);
+    for (size_t i = 0; i < lanes; ++i) {
+      Dist* row = dist_rows.data() + i * n;
+      const Dist* column = node_major_.data() + i;
+      for (size_t v = v0; v < v1; ++v) row[v] = column[v * lanes];
+    }
+  }
+}
+
+void MsBfsRunner::RunNodeMajor(std::span<const NodeId> sources,
+                               std::span<Dist> dist_nodes) {
   const NodeId n = graph_.num_nodes();
   const size_t lanes = sources.size();
   CONVPAIRS_CHECK_GE(lanes, 1u);
   CONVPAIRS_CHECK_LE(lanes, static_cast<size_t>(kMsBfsBatchWidth));
-  CONVPAIRS_CHECK_EQ(dist_rows.size(), lanes * static_cast<size_t>(n));
+  CONVPAIRS_CHECK_EQ(dist_nodes.size(), lanes * static_cast<size_t>(n));
 
-  std::fill(dist_rows.begin(), dist_rows.end(), kInfDist);
+  std::fill(dist_nodes.begin(), dist_nodes.end(), kInfDist);
   seen_.assign(n, 0);
   frontier_.assign(n, 0);
   next_.assign(n, 0);
   cur_nodes_.clear();
   next_nodes_.clear();
+  const uint64_t full = lanes == kMsBfsBatchWidth
+                            ? ~uint64_t{0}
+                            : (uint64_t{1} << lanes) - 1;
 
   for (size_t i = 0; i < lanes; ++i) {
     NodeId s = sources[i];
     CONVPAIRS_CHECK_LT(s, n);
-    dist_rows[i * n + s] = 0;
+    dist_nodes[static_cast<size_t>(s) * lanes + i] = 0;
     if (frontier_[s] == 0) cur_nodes_.push_back(s);
     uint64_t bit = uint64_t{1} << i;
     seen_[s] |= bit;
@@ -213,15 +238,36 @@ void MsBfsRunner::Run(std::span<const NodeId> sources,
     const uint64_t level_frontier = cur_nodes_.size();
     ++level;
     next_nodes_.clear();
-    // One adjacency scan advances every lane whose frontier contains v.
-    for (NodeId v : cur_nodes_) {
-      const uint64_t fv = frontier_[v];
-      for (NodeId w : graph_.neighbors(v)) {
-        const uint64_t fresh = fv & ~seen_[w];
+    if (cur_nodes_.size() * 8 > static_cast<size_t>(n)) {
+      // Dense level: bottom-up sweep (see RunForQueries). Each node still
+      // missing lanes pulls its neighbors' frontier masks and stops once
+      // they cover everything it is missing.
+      for (NodeId v = 0; v < n; ++v) {
+        const uint64_t want = full & ~seen_[v];
+        if (want == 0) continue;
+        uint64_t acc = 0;
+        for (NodeId u : graph_.neighbors(v)) {
+          acc |= frontier_[u];
+          if ((want & ~acc) == 0) break;
+        }
+        const uint64_t fresh = acc & want;
         if (fresh != 0) {
-          if (next_[w] == 0) next_nodes_.push_back(w);
-          next_[w] |= fresh;
-          seen_[w] |= fresh;
+          seen_[v] |= fresh;
+          next_[v] = fresh;
+          next_nodes_.push_back(v);
+        }
+      }
+    } else {
+      // One adjacency scan advances every lane whose frontier contains v.
+      for (NodeId v : cur_nodes_) {
+        const uint64_t fv = frontier_[v];
+        for (NodeId w : graph_.neighbors(v)) {
+          const uint64_t fresh = fv & ~seen_[w];
+          if (fresh != 0) {
+            if (next_[w] == 0) next_nodes_.push_back(w);
+            next_[w] |= fresh;
+            seen_[w] |= fresh;
+          }
         }
       }
     }
@@ -232,10 +278,11 @@ void MsBfsRunner::Run(std::span<const NodeId> sources,
       uint64_t mask = next_[w];
       frontier_[w] = mask;
       next_[w] = 0;
+      Dist* node_dists = dist_nodes.data() + static_cast<size_t>(w) * lanes;
       while (mask != 0) {
         int lane = std::countr_zero(mask);
         mask &= mask - 1;
-        dist_rows[static_cast<size_t>(lane) * n + w] = level;
+        node_dists[lane] = level;
       }
     }
     cur_nodes_.swap(next_nodes_);
@@ -246,6 +293,148 @@ void MsBfsRunner::Run(std::span<const NodeId> sources,
                                   static_cast<uint32_t>(level),
                                   level_frontier);
     }
+  }
+
+  if (batch_start_ns != 0 && obs::FlightRecorder::enabled()) {
+    const uint64_t now_ns = obs::TraceNowNanos();
+    obs::FlightRecorder::Record(obs::FlightEventKind::kMsBfsBatch,
+                                batch_start_ns, now_ns - batch_start_ns,
+                                static_cast<uint32_t>(lanes),
+                                static_cast<uint64_t>(level));
+  }
+
+  const EngineInstruments& instruments = EngineInstruments::Get();
+  instruments.msbfs_batches.Increment();
+  instruments.msbfs_sources.Add(static_cast<int64_t>(lanes));
+  instruments.batch_occupancy.Observe(static_cast<double>(lanes));
+}
+
+void MsBfsRunner::RunForQueries(std::span<const NodeId> sources,
+                                std::span<const PointQuery> queries,
+                                std::span<Dist> out) {
+  const NodeId n = graph_.num_nodes();
+  const size_t lanes = sources.size();
+  CONVPAIRS_CHECK_GE(lanes, 1u);
+  CONVPAIRS_CHECK_LE(lanes, static_cast<size_t>(kMsBfsBatchWidth));
+  CONVPAIRS_CHECK_EQ(out.size(), queries.size());
+
+  seen_.assign(n, 0);
+  frontier_.assign(n, 0);
+  next_.assign(n, 0);
+  target_mask_.assign(n, 0);
+  cur_nodes_.clear();
+  next_nodes_.clear();
+
+  for (size_t i = 0; i < lanes; ++i) {
+    NodeId s = sources[i];
+    CONVPAIRS_CHECK_LT(s, n);
+    if (frontier_[s] == 0) cur_nodes_.push_back(s);
+    uint64_t bit = uint64_t{1} << i;
+    seen_[s] |= bit;
+    frontier_[s] |= bit;
+  }
+
+  // Settle the trivial queries, index the rest by target. `active` keeps a
+  // lane propagating only while it still owes answers, so lanes retire as
+  // their queries settle and the traversal ends with the last answer — the
+  // graph's eccentricity never sets the cost.
+  lane_remaining_.assign(lanes, 0);
+  size_t outstanding = 0;
+  uint64_t active = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const uint32_t lane = queries[q].lane;
+    const NodeId target = queries[q].target;
+    CONVPAIRS_CHECK_LT(lane, lanes);
+    CONVPAIRS_CHECK_LT(target, n);
+    if (target == sources[lane]) {
+      out[q] = 0;
+      continue;
+    }
+    out[q] = kInfDist;
+    target_mask_[target] |= uint64_t{1} << lane;
+    ++lane_remaining_[lane];
+    ++outstanding;
+    active |= uint64_t{1} << lane;
+  }
+  query_by_target_.resize(queries.size());
+  for (uint32_t q = 0; q < queries.size(); ++q) query_by_target_[q] = q;
+  std::sort(query_by_target_.begin(), query_by_target_.end(),
+            [&](uint32_t a, uint32_t b) {
+              return queries[a].target < queries[b].target;
+            });
+
+  const uint64_t batch_start_ns =
+      obs::FlightRecorder::enabled() ? obs::TraceNowNanos() : 0;
+
+  Dist level = 0;
+  while (outstanding > 0 && !cur_nodes_.empty()) {
+    ++level;
+    next_nodes_.clear();
+    // Dense levels flip to a bottom-up sweep (Beamer's direction switch,
+    // mask form): instead of pushing every frontier edge, each still-wanting
+    // node pulls its neighbors' frontier masks and stops as soon as they
+    // cover the lanes it is missing. Low-diameter graphs spend most of their
+    // edges on one or two such levels.
+    if (cur_nodes_.size() * 8 > static_cast<size_t>(n)) {
+      for (NodeId v = 0; v < n; ++v) {
+        const uint64_t want = active & ~seen_[v];
+        if (want == 0) continue;
+        uint64_t acc = 0;
+        for (NodeId u : graph_.neighbors(v)) {
+          acc |= frontier_[u];
+          if ((want & ~acc) == 0) break;
+        }
+        const uint64_t fresh = acc & want;
+        if (fresh != 0) {
+          seen_[v] |= fresh;
+          next_[v] = fresh;
+          next_nodes_.push_back(v);
+        }
+      }
+    } else {
+      for (NodeId v : cur_nodes_) {
+        const uint64_t fv = frontier_[v] & active;
+        if (fv == 0) continue;
+        for (NodeId w : graph_.neighbors(v)) {
+          const uint64_t fresh = fv & ~seen_[w];
+          if (fresh != 0) {
+            if (next_[w] == 0) next_nodes_.push_back(w);
+            next_[w] |= fresh;
+            seen_[w] |= fresh;
+          }
+        }
+      }
+    }
+    for (NodeId v : cur_nodes_) frontier_[v] = 0;
+    for (NodeId w : next_nodes_) {
+      const uint64_t mask = next_[w];
+      next_[w] = 0;
+      const uint64_t hits = mask & target_mask_[w];
+      if (hits != 0) {
+        target_mask_[w] &= ~hits;
+        // Binary-search the queries aimed at w; settle the lanes that just
+        // arrived. A (lane, target) pair is discovered at most once, so no
+        // query settles twice.
+        auto lo = std::lower_bound(
+            query_by_target_.begin(), query_by_target_.end(), w,
+            [&](uint32_t q, NodeId node) { return queries[q].target < node; });
+        for (; lo != query_by_target_.end() && queries[*lo].target == w;
+             ++lo) {
+          const uint32_t q = *lo;
+          const uint32_t lane = queries[q].lane;
+          if ((hits & (uint64_t{1} << lane)) == 0 || out[q] != kInfDist) {
+            continue;
+          }
+          out[q] = level;
+          --outstanding;
+          if (--lane_remaining_[lane] == 0) {
+            active &= ~(uint64_t{1} << lane);
+          }
+        }
+      }
+      frontier_[w] = mask & active;
+    }
+    cur_nodes_.swap(next_nodes_);
   }
 
   if (batch_start_ns != 0 && obs::FlightRecorder::enabled()) {

@@ -15,9 +15,14 @@
 //
 //  - MsBfsRunner runs up to 64 sources in one traversal: each node carries a
 //    uint64_t seen/frontier mask (one bit per source), so a single adjacency
-//    scan advances all 64 searches at once (Then-et-al-style MS-BFS). For
-//    distance-only consumers — all-pairs sweeps, ground truth, closeness,
-//    landmark matrices — this shares every cache miss 64 ways.
+//    scan advances all 64 searches at once (Then-et-al-style MS-BFS). Dense
+//    levels flip to a bottom-up sweep — each node still missing lanes pulls
+//    its neighbors' frontier masks with an early coverage exit — the same
+//    direction switch DirOptBfsRunner does, in mask form. For distance-only
+//    consumers — all-pairs sweeps, ground truth, closeness, landmark
+//    matrices — this shares every cache miss 64 ways; the goal-directed
+//    RunForQueries variant additionally retires lanes as their point queries
+//    settle, which is what the serving batcher runs on.
 //
 //  - MultiSourceDistances drives MS-BFS batches across the work-stealing
 //    pool (util/parallel.h) with per-worker runner/row scratch reuse.
@@ -82,6 +87,13 @@ void DirOptBfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
                         DirOptParams params = {});
 
 /// Reusable-workspace 64-way multi-source BFS.
+///
+/// The traversal itself settles distances node-major — all lanes of a node
+/// share a cache line, so the frontier's scattered writes touch one line per
+/// node instead of one line per (node, lane). RunNodeMajor exposes that
+/// layout directly (point-lookup consumers like the serving batcher want it);
+/// Run layers a cache-blocked transpose on top to keep the historical
+/// row-per-source contract.
 class MsBfsRunner {
  public:
   explicit MsBfsRunner(const Graph& g);
@@ -93,6 +105,32 @@ class MsBfsRunner {
   /// `sources.size() * g.num_nodes()` entries.
   void Run(std::span<const NodeId> sources, std::span<Dist> dist_rows);
 
+  /// Same traversal, node-major result: `dist_nodes[v * sources.size() + i]`
+  /// = hop distance from `sources[i]` to `v`. Skips the transpose Run pays
+  /// for, so this is the cheapest way to consume MS-BFS output when the
+  /// caller does point lookups rather than per-source row sweeps.
+  /// `dist_nodes` must hold `sources.size() * g.num_nodes()` entries.
+  void RunNodeMajor(std::span<const NodeId> sources,
+                    std::span<Dist> dist_nodes);
+
+  /// One (source lane, target) pair to settle in RunForQueries.
+  struct PointQuery {
+    uint32_t lane = 0;  // Index into `sources`.
+    NodeId target = 0;
+  };
+
+  /// Goal-directed batch for point queries — the serving fast path. Runs the
+  /// shared traversal but materializes no distance rows: it answers exactly
+  /// `queries`, writing `out[q]` = hop distance from `sources[queries[q].lane]`
+  /// to `queries[q].target` (kInfDist when unreachable). A lane stops
+  /// propagating once all of its queries are settled and the whole traversal
+  /// stops once `out` is complete, so cost tracks the farthest *queried*
+  /// target instead of the graph's eccentricity. `out` must have
+  /// `queries.size()` entries.
+  void RunForQueries(std::span<const NodeId> sources,
+                     std::span<const PointQuery> queries,
+                     std::span<Dist> out);
+
  private:
   const Graph& graph_;
   std::vector<uint64_t> seen_;       // Bit b set: source b reached the node.
@@ -100,6 +138,11 @@ class MsBfsRunner {
   std::vector<uint64_t> next_;       // Masks of the next level.
   std::vector<NodeId> cur_nodes_;    // Nodes with a nonzero frontier mask.
   std::vector<NodeId> next_nodes_;
+  std::vector<Dist> node_major_;     // Run()'s pre-transpose scratch.
+  // RunForQueries scratch:
+  std::vector<uint64_t> target_mask_;   // Bit b set: lane b targets the node.
+  std::vector<uint32_t> query_by_target_;  // Query indices sorted by target.
+  std::vector<uint32_t> lane_remaining_;   // Unsettled queries per lane.
 };
 
 /// Runs BFS from every node in `sources` in kMsBfsBatchWidth-wide batches,

@@ -1,0 +1,45 @@
+#include "util/shutdown.h"
+
+#include <csignal>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace convpairs {
+
+void RunOnShutdownSignal(std::function<void(int signum)> callback) {
+  static std::atomic<bool> installed{false};
+  CONVPAIRS_CHECK(!installed.exchange(true));
+
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  CONVPAIRS_CHECK(pthread_sigmask(SIG_BLOCK, &set, nullptr) == 0);
+
+  std::thread watcher([set, cb = std::move(callback)]() mutable {
+    int sig = 0;
+    if (sigwait(&set, &sig) != 0) {
+      LOG_WARNING << "shutdown watcher: sigwait failed; signals revert to "
+                     "default disposition";
+      return;
+    }
+    cb(sig);
+    // First signal handled; make this the only thread with the set
+    // unblocked and park. A repeat signal is then delivered here with its
+    // default disposition, killing the process outright — a hung drain can
+    // always be interrupted. (The thread must stay alive: every other
+    // thread inherited the blocked mask.)
+    pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+    while (true) pause();
+  });
+  watcher.detach();
+}
+
+}  // namespace convpairs

@@ -1,0 +1,38 @@
+// Graceful-shutdown signal watching for long-lived tools.
+//
+// A SIGINT handler cannot safely export telemetry: exporters allocate, take
+// the registry mutex and do file I/O, none of which is async-signal-safe.
+// The portable pattern is to block the shutdown signals in every thread and
+// park one dedicated thread in sigwait(): the signal is then *received* by
+// that thread as a normal return value, and the callback runs in an ordinary
+// thread context where locks, allocation and file writes are all legal.
+//
+// RunOnShutdownSignal() implements that pattern. Call it from main() before
+// any worker threads exist (spawned threads inherit the signal mask, which
+// is what keeps the signal out of their default handlers). The callback is
+// invoked once, on the watcher thread, for the first SIGINT/SIGTERM; it may
+// flush metrics, drain a server, and/or terminate the process. A second
+// signal falls through to the default action (immediate kill), so a hung
+// drain can always be interrupted.
+//
+// This lives in src/util because it owns a thread: lint invariant 6 confines
+// raw std::thread construction to src/util and src/server.
+
+#ifndef CONVPAIRS_UTIL_SHUTDOWN_H_
+#define CONVPAIRS_UTIL_SHUTDOWN_H_
+
+#include <functional>
+
+namespace convpairs {
+
+/// Blocks SIGINT/SIGTERM in the calling thread (and every thread spawned
+/// after) and starts a detached watcher thread that invokes `callback(sig)`
+/// on the first such signal. After the callback returns (if it returns),
+/// the signals revert to their default disposition, so a repeat signal
+/// terminates the process. Must be called at most once per process; the
+/// second call aborts.
+void RunOnShutdownSignal(std::function<void(int signum)> callback);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_UTIL_SHUTDOWN_H_

@@ -1,0 +1,194 @@
+// DistanceBatcher contract: concurrent submissions resolve to exactly what
+// the serial BFS oracle computes, pipelined queries share MS-BFS lanes (the
+// occupancy telemetry proves it), a lone request completes via the
+// time-window fallback, and Stop() drains every outstanding future.
+
+#include "server/batcher.h"
+
+#include <array>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "obs/registry.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs::server {
+namespace {
+
+struct SnapshotPair {
+  Graph g1;
+  Graph g2;
+};
+
+SnapshotPair MakeBaPair(uint64_t seed) {
+  Rng rng(seed);
+  BaParams params;
+  params.num_nodes = 400;
+  params.edges_per_node = 2;
+  params.uniform_mix = 0.25;
+  TemporalGraph temporal = GenerateBarabasiAlbert(params, rng);
+  return {temporal.SnapshotAtFraction(0.8), temporal.SnapshotAtFraction(1.0)};
+}
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+TEST(BatcherTest, ConcurrentSubmissionsMatchOracle) {
+  SnapshotPair pair = MakeBaPair(3);
+  DistanceBatcher batcher(pair.g1, pair.g2);
+
+  // 8 client threads x 40 queries, both snapshots, random endpoints.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 40;
+  std::vector<std::vector<Dist>> results(kThreads);
+  std::vector<std::vector<std::array<NodeId, 3>>> queries(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<uint64_t>(c));
+      std::vector<std::future<Dist>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        const NodeId s =
+            static_cast<NodeId>(rng.UniformInt(pair.g1.num_nodes()));
+        const NodeId t =
+            static_cast<NodeId>(rng.UniformInt(pair.g1.num_nodes()));
+        const int snapshot = 1 + static_cast<int>(rng.UniformInt(2));
+        queries[c].push_back({s, t, static_cast<NodeId>(snapshot)});
+        futures.push_back(batcher.Submit(snapshot, s, t));
+      }
+      for (auto& f : futures) results[c].push_back(f.get());
+    });
+  }
+  for (auto& t : clients) t.join();
+  batcher.Stop();
+
+  for (int c = 0; c < kThreads; ++c) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const auto [s, t, snapshot] = queries[c][i];
+      const Graph& g = snapshot == 1 ? pair.g1 : pair.g2;
+      EXPECT_EQ(results[c][i], BfsDistances(g, s)[t])
+          << "client " << c << " query " << i;
+    }
+  }
+}
+
+TEST(BatcherTest, PipelinedQueriesShareScans) {
+  SnapshotPair pair = MakeBaPair(9);
+  DistanceBatcher::Options options;
+  options.window_us = 200'000;  // Wide window: nothing flushes early.
+  DistanceBatcher batcher(pair.g1, pair.g2, options);
+
+  const int64_t flushes_before = CounterValue("server.batch.flushes");
+  const int64_t queries_before = CounterValue("server.batch.queries");
+
+  // 48 distinct sources land inside one window; awaiting afterwards means
+  // the whole burst must have resolved in very few flushes.
+  std::vector<std::future<Dist>> futures;
+  for (NodeId s = 0; s < 48; ++s) {
+    futures.push_back(batcher.Submit(1, s, static_cast<NodeId>(s + 100)));
+  }
+  for (auto& f : futures) f.get();
+  batcher.Stop();
+
+  const int64_t flushes = CounterValue("server.batch.flushes") - flushes_before;
+  const int64_t queries = CounterValue("server.batch.queries") - queries_before;
+  EXPECT_EQ(queries, 48);
+  EXPECT_LE(flushes, 3) << "48 pipelined queries must share scans, not run "
+                           "one flush each";
+  // Occupancy histogram saw at least one multi-query flush.
+  auto sample = obs::MetricsRegistry::Global()
+                    .GetHistogram("server.batch.occupancy")
+                    .Sample("server.batch.occupancy");
+  EXPECT_GT(sample.max, 1.0);
+}
+
+TEST(BatcherTest, FullLaneSetFlushesWithoutWaitingOutTheWindow) {
+  SnapshotPair pair = MakeBaPair(5);
+  DistanceBatcher::Options options;
+  options.max_lanes = 8;
+  options.window_us = 60'000'000;  // A minute: timeout flush would hang.
+  DistanceBatcher batcher(pair.g1, pair.g2, options);
+
+  const int64_t full_before = CounterValue("server.batch.flush.full");
+  std::vector<std::future<Dist>> futures;
+  for (NodeId s = 0; s < 8; ++s) {
+    futures.push_back(batcher.Submit(2, s, 0));
+  }
+  // All 8 unique sources are pending: the fill transition must flush now.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    f.get();
+  }
+  EXPECT_GE(CounterValue("server.batch.flush.full") - full_before, 1);
+  batcher.Stop();
+}
+
+TEST(BatcherTest, LoneRequestCompletesViaTimeWindow) {
+  SnapshotPair pair = MakeBaPair(7);
+  DistanceBatcher::Options options;
+  options.window_us = 5'000;  // 5 ms: the only flush trigger for one query.
+  DistanceBatcher batcher(pair.g1, pair.g2, options);
+
+  const int64_t timeout_before = CounterValue("server.batch.flush.timeout");
+  std::future<Dist> f = batcher.Submit(1, 3, 250);
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(f.get(), BfsDistances(pair.g1, 3)[250]);
+  EXPECT_GE(CounterValue("server.batch.flush.timeout") - timeout_before, 1);
+  batcher.Stop();
+}
+
+TEST(BatcherTest, ScanPerQueryModeNeverSharesScans) {
+  SnapshotPair pair = MakeBaPair(17);
+  DistanceBatcher::Options options;
+  options.scan_per_query = true;
+  options.window_us = 200'000;  // One accumulation window catches them all.
+  DistanceBatcher batcher(pair.g1, pair.g2, options);
+
+  const int64_t flushes_before = CounterValue("server.batch.flushes");
+  std::vector<std::future<Dist>> futures;
+  for (NodeId s = 0; s < 12; ++s) {
+    futures.push_back(batcher.Submit(1, s, static_cast<NodeId>(s + 60)));
+  }
+  for (NodeId s = 0; s < 12; ++s) {
+    EXPECT_EQ(futures[s].get(), BfsDistances(pair.g1, s)[s + 60]);
+  }
+  batcher.Stop();
+  // The baseline must pay one resolution (one scan) per query even though
+  // all twelve were queued together.
+  EXPECT_EQ(CounterValue("server.batch.flushes") - flushes_before, 12);
+}
+
+TEST(BatcherTest, StopDrainsOutstandingFutures) {
+  SnapshotPair pair = MakeBaPair(13);
+  DistanceBatcher::Options options;
+  options.window_us = 60'000'000;  // Only Stop() can flush these.
+  DistanceBatcher batcher(pair.g1, pair.g2, options);
+
+  std::vector<std::future<Dist>> futures;
+  for (NodeId s = 0; s < 5; ++s) {
+    futures.push_back(batcher.Submit(1, s, static_cast<NodeId>(s + 50)));
+    futures.push_back(batcher.Submit(2, s, static_cast<NodeId>(s + 50)));
+  }
+  batcher.Stop();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "Stop() must fulfill every submitted future";
+    const NodeId s = static_cast<NodeId>(i / 2);
+    const Graph& g = (i % 2 == 0) ? pair.g1 : pair.g2;
+    EXPECT_EQ(futures[i].get(), BfsDistances(g, s)[s + 50]);
+  }
+}
+
+}  // namespace
+}  // namespace convpairs::server

@@ -1,0 +1,140 @@
+// Malformed-input sweep for the request parser: every rejection must be a
+// structured ERR reply with a machine-matchable code, never a crash or a
+// silent accept, because the server keeps the connection open after every
+// one of these.
+
+#include "server/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace convpairs::server {
+namespace {
+
+constexpr NodeId kNodes = 100;
+
+/// Parses and expects success.
+Request MustParse(const std::string& line) {
+  Request request;
+  std::string err;
+  EXPECT_TRUE(ParseRequest(line, kNodes, &request, &err)) << line << ": " << err;
+  return request;
+}
+
+/// Parses and expects the reply to start with "ERR <code>".
+void ExpectErr(const std::string& line, const std::string& code) {
+  Request request;
+  std::string err;
+  ASSERT_FALSE(ParseRequest(line, kNodes, &request, &err)) << line;
+  EXPECT_EQ(err.rfind("ERR " + code, 0), 0u)
+      << "input '" << line << "' drew: " << err;
+}
+
+TEST(ProtocolTest, ParsesEveryVerb) {
+  Request dist = MustParse("DIST 3 41 1");
+  EXPECT_EQ(dist.verb, RequestVerb::kDist);
+  EXPECT_EQ(dist.s, 3u);
+  EXPECT_EQ(dist.t, 41u);
+  EXPECT_EQ(dist.snapshot, 1);
+
+  Request dist2 = MustParse("DIST 0 99 2");
+  EXPECT_EQ(dist2.snapshot, 2);
+
+  Request delta = MustParse("DELTA 10 20");
+  EXPECT_EQ(delta.verb, RequestVerb::kDelta);
+  EXPECT_EQ(delta.s, 10u);
+  EXPECT_EQ(delta.t, 20u);
+
+  Request topk = MustParse("TOPK 25");
+  EXPECT_EQ(topk.verb, RequestVerb::kTopK);
+  EXPECT_EQ(topk.k, 25);
+
+  Request cand = MustParse("CAND 7 100");
+  EXPECT_EQ(cand.verb, RequestVerb::kCand);
+  EXPECT_EQ(cand.s, 7u);
+  EXPECT_EQ(cand.budget, 100);
+
+  EXPECT_EQ(MustParse("PING").verb, RequestVerb::kPing);
+  EXPECT_EQ(MustParse("STATS").verb, RequestVerb::kStats);
+}
+
+TEST(ProtocolTest, ToleratesWhitespaceVariants) {
+  MustParse("DIST  3\t41   1");
+  MustParse("PING\r");           // nc -C / telnet line endings.
+  MustParse("  DELTA 1 2");      // Leading spaces.
+}
+
+TEST(ProtocolTest, RejectsUnknownVerbs) {
+  ExpectErr("BOGUS 1 2", "unknown_verb");
+  ExpectErr("dist 1 2 1", "unknown_verb");  // Verbs are case-sensitive.
+  ExpectErr("GET / HTTP/1.1", "unknown_verb");
+}
+
+TEST(ProtocolTest, RejectsBadArity) {
+  ExpectErr("", "bad_arity");
+  ExpectErr("   ", "bad_arity");
+  ExpectErr("DIST 1 2", "bad_arity");
+  ExpectErr("DIST 1 2 1 9", "bad_arity");
+  ExpectErr("DELTA 1", "bad_arity");
+  ExpectErr("TOPK", "bad_arity");
+  ExpectErr("CAND 5", "bad_arity");
+  ExpectErr("PING pong", "bad_arity");
+  ExpectErr("STATS now", "bad_arity");
+}
+
+TEST(ProtocolTest, RejectsNonNumericIds) {
+  ExpectErr("DIST x 2 1", "bad_number");
+  ExpectErr("DIST 1 y 1", "bad_number");
+  ExpectErr("DIST 1 2 z", "bad_number");
+  ExpectErr("DELTA 1 2.5", "bad_number");
+  ExpectErr("DELTA -1 2", "bad_number");  // Ids are unsigned.
+  ExpectErr("TOPK ten", "bad_number");
+  ExpectErr("CAND 1 1e9", "bad_number");
+  // A number too large for uint64 is malformed, not out of range.
+  ExpectErr("DIST 99999999999999999999999999 2 1", "bad_number");
+}
+
+TEST(ProtocolTest, RejectsOutOfRangeValues) {
+  ExpectErr("DIST 100 2 1", "out_of_range");  // num_nodes == 100.
+  ExpectErr("DIST 1 100 1", "out_of_range");
+  ExpectErr("DIST 1 2 3", "out_of_range");    // Snapshot must be 1|2.
+  ExpectErr("DIST 1 2 0", "out_of_range");
+  ExpectErr("DELTA 1 4294967295", "out_of_range");
+  ExpectErr("TOPK 0", "out_of_range");
+  ExpectErr("TOPK " + std::to_string(kMaxTopK + 1), "out_of_range");
+  ExpectErr("CAND 5 1", "out_of_range");      // Below kMinCandBudget.
+  ExpectErr("CAND 5 " + std::to_string(kMaxCandBudget + 1), "out_of_range");
+}
+
+TEST(ProtocolTest, RejectsOversizedLines) {
+  std::string line = "DIST 1 2 1 ";
+  line.append(kMaxLineBytes, ' ');
+  ExpectErr(line, "too_long");
+}
+
+TEST(ProtocolTest, ReplyFormatters) {
+  EXPECT_EQ(DistReply(4), "OK 4");
+  EXPECT_EQ(DistReply(kInfDist), "OK INF");
+  EXPECT_EQ(DeltaReply(5, 2), "OK 5 2 3");
+  EXPECT_EQ(DeltaReply(2, 5), "OK 2 5 -3");
+  // Unreachable on either side: delta pinned to 0, sides still reported.
+  EXPECT_EQ(DeltaReply(kInfDist, 2), "OK INF 2 0");
+  EXPECT_EQ(DeltaReply(3, kInfDist), "OK 3 INF 0");
+  EXPECT_EQ(ErrReply("code", "detail words"), "ERR code detail words");
+}
+
+TEST(ProtocolTest, VerbNamesAreTelemetryFriendly) {
+  for (RequestVerb verb :
+       {RequestVerb::kDist, RequestVerb::kDelta, RequestVerb::kTopK,
+        RequestVerb::kCand, RequestVerb::kPing, RequestVerb::kStats}) {
+    for (char c : std::string(VerbName(verb))) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '.')
+          << "verb name must match the observable-name charset";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace convpairs::server

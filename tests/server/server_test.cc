@@ -1,0 +1,228 @@
+// End-to-end ConvpairsServer tests over real loopback sockets: concurrent
+// clients get oracle-exact answers, malformed input draws ERR replies on a
+// connection that stays open, pipelined replies come back in request order,
+// and Stop() drains cleanly with sessions still connected.
+
+#include "server/server.h"
+
+#include <array>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs::server {
+namespace {
+
+struct SnapshotPair {
+  Graph g1;
+  Graph g2;
+};
+
+SnapshotPair MakeBaPair(uint64_t seed) {
+  Rng rng(seed);
+  BaParams params;
+  params.num_nodes = 300;
+  params.edges_per_node = 2;
+  params.uniform_mix = 0.25;
+  TemporalGraph temporal = GenerateBarabasiAlbert(params, rng);
+  return {temporal.SnapshotAtFraction(0.8), temporal.SnapshotAtFraction(1.0)};
+}
+
+/// Sends `request` lines in one burst and reads exactly `expected` reply
+/// lines (replies are newline-terminated, in request order).
+std::vector<std::string> Exchange(TcpStream& stream,
+                                  const std::string& requests,
+                                  size_t expected) {
+  EXPECT_TRUE(stream.SendAll(requests).ok());
+  std::vector<std::string> replies;
+  std::string buffer;
+  char chunk[4096];
+  while (replies.size() < expected) {
+    auto got = stream.Receive(chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) break;
+    buffer.append(chunk, *got);
+    size_t nl;
+    while (replies.size() < expected &&
+           (nl = buffer.find('\n')) != std::string::npos) {
+      replies.push_back(buffer.substr(0, nl));
+      buffer.erase(0, nl + 1);
+    }
+  }
+  EXPECT_EQ(replies.size(), expected);
+  return replies;
+}
+
+TEST(ServerTest, ConcurrentClientsMatchOracle) {
+  SnapshotPair pair = MakeBaPair(21);
+  ConvpairsServer server(pair.g1, pair.g2);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 30;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto stream = ConnectLoopback(server.port());
+      ASSERT_TRUE(stream.ok());
+      Rng rng(500 + static_cast<uint64_t>(c));
+      std::string requests;
+      std::vector<std::array<NodeId, 3>> queries;
+      for (int i = 0; i < kPerClient; ++i) {
+        const NodeId s =
+            static_cast<NodeId>(rng.UniformInt(pair.g1.num_nodes()));
+        const NodeId t =
+            static_cast<NodeId>(rng.UniformInt(pair.g1.num_nodes()));
+        const int snapshot = 1 + static_cast<int>(rng.UniformInt(2));
+        queries.push_back({s, t, static_cast<NodeId>(snapshot)});
+        requests += "DIST " + std::to_string(s) + ' ' + std::to_string(t) +
+                    ' ' + std::to_string(snapshot) + '\n';
+      }
+      std::vector<std::string> replies =
+          Exchange(*stream, requests, kPerClient);
+      for (int i = 0; i < kPerClient && i < static_cast<int>(replies.size());
+           ++i) {
+        const auto [s, t, snapshot] = queries[i];
+        const Graph& g = snapshot == 1 ? pair.g1 : pair.g2;
+        EXPECT_EQ(replies[i], DistReply(BfsDistances(g, s)[t]))
+            << "client " << c << " query " << i;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+}
+
+TEST(ServerTest, DeltaMatchesBothSnapshots) {
+  auto fixture = testing::MakePathWithChord(12);
+  ConvpairsServer server(fixture.g1, fixture.g2);
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+
+  // Path endpoints: distance 11 in G1, 1 after the chord — delta 10.
+  std::vector<std::string> replies =
+      Exchange(*stream, "DELTA 0 11\nDELTA 0 5\n", 2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], "OK 11 1 10");
+  EXPECT_EQ(replies[1], "OK 5 5 0");
+  server.Stop();
+}
+
+TEST(ServerTest, MalformedInputKeepsConnectionOpen) {
+  SnapshotPair pair = MakeBaPair(31);
+  ConvpairsServer server(pair.g1, pair.g2);
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+
+  std::vector<std::string> replies = Exchange(
+      *stream,
+      "NOPE\nDIST 1 2\nDIST 999999 0 1\nDIST x 0 1\nPING\n", 5);
+  ASSERT_EQ(replies.size(), 5u);
+  EXPECT_EQ(replies[0].rfind("ERR unknown_verb", 0), 0u);
+  EXPECT_EQ(replies[1].rfind("ERR bad_arity", 0), 0u);
+  EXPECT_EQ(replies[2].rfind("ERR out_of_range", 0), 0u);
+  EXPECT_EQ(replies[3].rfind("ERR bad_number", 0), 0u);
+  // The connection survived four rejections.
+  EXPECT_EQ(replies[4], "OK pong");
+  server.Stop();
+}
+
+TEST(ServerTest, OversizedLineDrawsErrAndResynchronizes) {
+  SnapshotPair pair = MakeBaPair(37);
+  ConvpairsServer server(pair.g1, pair.g2);
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+
+  // One huge junk line (no newline until the end), then a valid request:
+  // the server must reject the first, resync at the newline, and answer
+  // the second normally.
+  std::string junk(2 * kMaxLineBytes, 'x');
+  junk += '\n';
+  std::vector<std::string> replies =
+      Exchange(*stream, junk + "PING\n", 2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].rfind("ERR too_long", 0), 0u);
+  EXPECT_EQ(replies[1], "OK pong");
+  server.Stop();
+}
+
+TEST(ServerTest, TopKServesCachedPairsAndPrefixes) {
+  auto fixture = testing::MakePathWithChord(16);
+  ConvpairsServer::Options options;
+  options.topk.selector = "Degree";
+  options.topk.budget_m = 8;
+  ConvpairsServer server(fixture.g1, fixture.g2, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+
+  std::vector<std::string> replies =
+      Exchange(*stream, "TOPK 3\nTOPK 1\n", 2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].rfind("OK ", 0), 0u);
+  EXPECT_EQ(replies[1].rfind("OK ", 0), 0u);
+  // TOPK 1 must be a strict prefix of TOPK 3's pair list.
+  if (replies[1].size() > 5u) {
+    EXPECT_NE(replies[0].find(replies[1].substr(5)), std::string::npos);
+  }
+  server.Stop();
+}
+
+TEST(ServerTest, CandProposesConvergingPartners) {
+  auto fixture = testing::MakePathWithChord(12);
+  ConvpairsServer server(fixture.g1, fixture.g2);
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+
+  // Node 0's best converging partner is the far path end (delta 10).
+  std::vector<std::string> replies = Exchange(*stream, "CAND 0 10\n", 1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].rfind("OK ", 0), 0u);
+  EXPECT_NE(replies[0].find(" 11 10"), std::string::npos)
+      << "expected partner 11 with delta 10 in: " << replies[0];
+  server.Stop();
+}
+
+TEST(ServerTest, StatsAndStopWithConnectedSessions) {
+  SnapshotPair pair = MakeBaPair(41);
+  ConvpairsServer server(pair.g1, pair.g2);
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+  std::vector<std::string> replies =
+      Exchange(*stream, "DIST 0 1 1\nSTATS\n", 2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[1].rfind("OK requests=", 0), 0u);
+  // Stop with the client still connected and idle: the drain path must
+  // shut the session down rather than hang on its blocked read.
+  server.Stop();
+}
+
+TEST(ServerTest, RequestStopFromAnotherThreadUnblocksWait) {
+  SnapshotPair pair = MakeBaPair(43);
+  ConvpairsServer server(pair.g1, pair.g2);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread stopper([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.RequestStop();
+  });
+  server.Wait();  // Must return once RequestStop fires.
+  stopper.join();
+}
+
+}  // namespace
+}  // namespace convpairs::server

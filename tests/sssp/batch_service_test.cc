@@ -1,0 +1,165 @@
+// BatchDistanceService must answer point queries bit-for-bit like the
+// serial BFS oracle, dedupe repeated sources into one lane, and treat the
+// SsspBudget as all-or-nothing: an unaffordable batch fails before any
+// traversal and charges nothing.
+
+#include "sssp/batch_service.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "gen/er_generator.h"
+#include "sssp/bfs.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+Graph BuildBa(uint64_t seed) {
+  Rng rng(seed);
+  BaParams params;
+  params.num_nodes = 300;
+  params.edges_per_node = 2;
+  params.uniform_mix = 0.25;
+  return GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+}
+
+Graph BuildSparseEr(uint64_t seed) {
+  Rng rng(seed);
+  // Sparse: isolated nodes and several components, so unreachable pairs
+  // (kInfDist) are exercised too.
+  return GenerateErdosRenyi({.num_nodes = 200, .num_edges = 160}, rng)
+      .SnapshotAtFraction(1.0);
+}
+
+TEST(BatchServiceTest, MatchesOracleAcrossManySources) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = BuildBa(seed);
+    BatchDistanceService service(g);
+    Rng rng(seed * 97 + 5);
+
+    std::vector<NodeId> sources;
+    std::vector<NodeId> targets;
+    // 150 queries over ~100 distinct sources: more than one MS-BFS chunk.
+    for (int i = 0; i < 150; ++i) {
+      sources.push_back(static_cast<NodeId>(rng.UniformInt(g.num_nodes())));
+      targets.push_back(static_cast<NodeId>(rng.UniformInt(g.num_nodes())));
+    }
+    std::vector<Dist> out(sources.size(), -1);
+    ASSERT_TRUE(service.Resolve(sources, targets, out).ok());
+
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const std::vector<Dist> row = BfsDistances(g, sources[i]);
+      EXPECT_EQ(out[i], row[targets[i]])
+          << "seed " << seed << " query " << i << ": " << sources[i] << " -> "
+          << targets[i];
+    }
+  }
+}
+
+TEST(BatchServiceTest, HandlesUnreachableAndIsolatedNodes) {
+  const Graph g = BuildSparseEr(11);
+  BatchDistanceService service(g);
+  Rng rng(42);
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 80; ++i) {
+    sources.push_back(static_cast<NodeId>(rng.UniformInt(g.num_nodes())));
+    targets.push_back(static_cast<NodeId>(rng.UniformInt(g.num_nodes())));
+  }
+  std::vector<Dist> out(sources.size(), -1);
+  ASSERT_TRUE(service.Resolve(sources, targets, out).ok());
+  bool saw_unreachable = false;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const std::vector<Dist> row = BfsDistances(g, sources[i]);
+    EXPECT_EQ(out[i], row[targets[i]]);
+    saw_unreachable = saw_unreachable || !IsReachable(out[i]);
+  }
+  EXPECT_TRUE(saw_unreachable) << "sparse fixture should have INF pairs";
+}
+
+TEST(BatchServiceTest, ChargesOncePerUniqueSource) {
+  const Graph g = testing::PathGraph(50);
+  BatchDistanceService service(g);
+  // 30 queries, all from 3 distinct sources: cost must be 3, not 30.
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 30; ++i) {
+    sources.push_back(static_cast<NodeId>(i % 3));
+    targets.push_back(static_cast<NodeId>((i * 7) % 50));
+  }
+  std::vector<Dist> out(sources.size(), -1);
+  SsspBudget budget(3);
+  ASSERT_TRUE(service.Resolve(sources, targets, out, &budget).ok());
+  EXPECT_EQ(budget.remaining(), 0);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(out[i], BfsDistances(g, sources[i])[targets[i]]);
+  }
+}
+
+TEST(BatchServiceTest, InsufficientBudgetFailsWithoutPartialSpend) {
+  const Graph g = testing::CycleGraph(40);
+  BatchDistanceService service(g);
+  std::vector<NodeId> sources = {0, 1, 2, 3, 4};
+  std::vector<NodeId> targets = {10, 11, 12, 13, 14};
+  std::vector<Dist> out(sources.size(), -77);
+  SsspBudget budget(4);  // 5 unique sources needed.
+  Status status = service.Resolve(sources, targets, out, &budget);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(budget.remaining(), 4) << "failed batch must charge nothing";
+  for (Dist d : out) EXPECT_EQ(d, -77) << "failed batch must not write out";
+}
+
+TEST(BatchServiceTest, SingleSourceFallbackMatchesOracle) {
+  const Graph g = BuildBa(7);
+  BatchDistanceService service(g);
+  // One unique source: the direction-optimizing fallback path.
+  std::vector<NodeId> sources(20, NodeId{5});
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 20; ++i) targets.push_back(static_cast<NodeId>(i * 11));
+  std::vector<Dist> out(sources.size(), -1);
+  SsspBudget budget(1);
+  ASSERT_TRUE(service.Resolve(sources, targets, out, &budget).ok());
+  EXPECT_EQ(budget.remaining(), 0);
+  const std::vector<Dist> row = BfsDistances(g, 5);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(out[i], row[targets[i]]);
+  }
+}
+
+TEST(BatchServiceTest, RejectsMalformedInput) {
+  const Graph g = testing::PathGraph(10);
+  BatchDistanceService service(g);
+  std::vector<NodeId> sources = {1, 2};
+  std::vector<NodeId> targets = {3};
+  std::vector<Dist> out(2);
+  EXPECT_FALSE(service.Resolve(sources, targets, out).ok());
+
+  std::vector<NodeId> bad_source = {99};
+  std::vector<NodeId> one_target = {0};
+  std::vector<Dist> one_out(1);
+  EXPECT_FALSE(service.Resolve(bad_source, one_target, one_out).ok());
+}
+
+TEST(BatchServiceTest, ResolveRowMatchesOracle) {
+  const Graph g = BuildSparseEr(23);
+  BatchDistanceService service(g);
+  std::vector<Dist> row;
+  SsspBudget budget(2);
+  ASSERT_TRUE(service.ResolveRow(17, &row, &budget).ok());
+  EXPECT_EQ(budget.remaining(), 1);
+  EXPECT_EQ(row, BfsDistances(g, 17));
+
+  ASSERT_TRUE(service.ResolveRow(3, &row, &budget).ok());
+  EXPECT_EQ(budget.remaining(), 0);
+  EXPECT_EQ(row, BfsDistances(g, 3));
+
+  EXPECT_FALSE(service.ResolveRow(4, &row, &budget).ok())
+      << "exhausted budget must refuse further rows";
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -218,6 +218,87 @@ TEST(MsBfsTest, DuplicateSourcesProduceIdenticalRows) {
   }
 }
 
+TEST_P(BfsEngineGeneratorTest, NodeMajorAgreesWithRowMajorAndSerial) {
+  Graph g = GetParam().build(/*seed=*/9);
+  const NodeId n = g.num_nodes();
+  MsBfsRunner runner(g);
+  BfsRunner serial(g);
+  Rng rng(7);
+  for (size_t lanes : {size_t{1}, size_t{5}, size_t{64}}) {
+    std::vector<NodeId> sources;
+    for (size_t i = 0; i < lanes; ++i) {
+      sources.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+    }
+    std::vector<Dist> node_major(lanes * n, 0);
+    runner.RunNodeMajor(sources, node_major);
+    std::vector<Dist> rows(lanes * n, 0);
+    runner.Run(sources, rows);
+    for (size_t i = 0; i < lanes; ++i) {
+      const std::vector<Dist>& want = serial.Run(sources[i]);
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(node_major[static_cast<size_t>(v) * lanes + i], want[v])
+            << GetParam().name << " lane " << i << " v " << v;
+        ASSERT_EQ(rows[i * n + v], want[v])
+            << GetParam().name << " lane " << i << " v " << v;
+      }
+    }
+  }
+}
+
+TEST_P(BfsEngineGeneratorTest, RunForQueriesMatchesSerialPointLookups) {
+  // Random (lane, target) queries — including unreachable pairs on the
+  // fragmented topologies — must settle to exactly the serial distances.
+  Graph g = GetParam().build(/*seed=*/13);
+  const NodeId n = g.num_nodes();
+  MsBfsRunner runner(g);
+  BfsRunner serial(g);
+  Rng rng(31);
+  for (size_t lanes : {size_t{1}, size_t{7}, size_t{64}}) {
+    std::vector<NodeId> sources;
+    for (size_t i = 0; i < lanes; ++i) {
+      sources.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+    }
+    std::vector<MsBfsRunner::PointQuery> queries;
+    for (size_t q = 0; q < 3 * lanes; ++q) {
+      queries.push_back({static_cast<uint32_t>(rng.UniformInt(lanes)),
+                         static_cast<NodeId>(rng.UniformInt(n))});
+    }
+    std::vector<Dist> out(queries.size(), 12345);
+    runner.RunForQueries(sources, queries, out);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(out[q], serial.Run(sources[queries[q].lane])
+                            [queries[q].target])
+          << GetParam().name << " lanes " << lanes << " query " << q;
+    }
+  }
+}
+
+TEST(MsBfsTest, RunForQueriesHandlesSelfDuplicateAndFarTargets) {
+  Graph g = testing::PathGraph(30);
+  MsBfsRunner runner(g);
+  std::vector<NodeId> sources = {0, 29, 15};
+  // Self target, duplicated pair, both path ends, and a lane-crossing mix.
+  std::vector<MsBfsRunner::PointQuery> queries = {
+      {0, 0}, {0, 29}, {0, 29}, {1, 0}, {2, 0}, {2, 29}, {1, 15},
+  };
+  std::vector<Dist> out(queries.size(), 777);
+  runner.RunForQueries(sources, queries, out);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 29);
+  EXPECT_EQ(out[2], 29);
+  EXPECT_EQ(out[3], 29);
+  EXPECT_EQ(out[4], 15);
+  EXPECT_EQ(out[5], 14);
+  EXPECT_EQ(out[6], 14);
+}
+
+TEST(MsBfsTest, RunForQueriesWithNoQueriesDoesNoWork) {
+  Graph g = testing::CycleGraph(12);
+  MsBfsRunner runner(g);
+  std::vector<NodeId> sources = {0, 3};
+  runner.RunForQueries(sources, {}, {});  // Must not crash or hang.
+}
+
 TEST(MsBfsMultiSourceTest, RaggedSourceCountVisitsEachSourceOnce) {
   // 130 sources = two full batches + a 2-lane tail.
   Graph g = BuildEr(/*seed=*/17);

@@ -27,6 +27,7 @@
 //   convpairs_cli --input edges.txt --g1-fraction 0.8 --budget 50 --exact
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/experiment.h"
 #include "core/selector_registry.h"
@@ -39,6 +40,7 @@
 #include "sssp/bfs.h"
 #include "sssp/dijkstra.h"
 #include "util/flags.h"
+#include "util/shutdown.h"
 #include "util/timer.h"
 
 using namespace convpairs;
@@ -276,5 +278,34 @@ int main(int argc, char** argv) {
   if (!flags.GetString("trace-out").empty()) {
     obs::FlightRecorder::SetEnabled(true);
   }
+  // An interrupted long run still flushes whatever telemetry accumulated:
+  // partial counters from a killed budget sweep are routinely the evidence
+  // needed to size the next one. The watcher thread may take locks and do
+  // file I/O (util/shutdown.h), unlike a signal handler.
+  RunOnShutdownSignal([&flags](int signum) {
+    std::string trace_path = flags.GetString("trace-out");
+    if (trace_path.empty()) {
+      trace_path = obs::TraceOutPath("convpairs_cli.trace.json");
+    }
+    if (obs::FlightRecorder::enabled() && !trace_path.empty()) {
+      Status traced = obs::WriteChromeTrace(trace_path, "convpairs_cli");
+      if (traced.ok()) {
+        std::fprintf(stderr, "interrupted: wrote %s\n", trace_path.c_str());
+      }
+    }
+    std::string metrics_path = flags.GetString("metrics-out");
+    if (metrics_path.empty()) metrics_path = obs::MetricsOutPath("");
+    if (!metrics_path.empty()) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.SetMetadata("tool", "convpairs_cli");
+      registry.SetMetadata("interrupted", "true");
+      Status exported = obs::ExportMetrics(metrics_path, "convpairs_cli");
+      if (exported.ok()) {
+        std::fprintf(stderr, "interrupted: wrote %s\n", metrics_path.c_str());
+      }
+    }
+    std::_Exit(128 + signum);  // Shell convention; skip atexit while
+                               // worker threads may still be running.
+  });
   return Run(flags);
 }

@@ -1,0 +1,114 @@
+// convpairs_client: pipelining line client for convpairs_server.
+//
+// Reads request lines from stdin until EOF, sends them all to the server in
+// one pipelined burst (which is what fills the server's MS-BFS lanes), then
+// prints one reply line per request to stdout, in request order. Exit code
+// 0 when every request drew a reply — including ERR replies, which are
+// protocol-level answers, not transport failures.
+//
+//   $ printf 'DIST 3 41 1\nDELTA 3 41\nPING\n' | convpairs_client --port 7315
+//
+//   --port P        server port on 127.0.0.1 (required)
+//   --errors-fatal  exit 3 if any reply is an ERR line (smoke-test mode)
+
+#include <cstdio>
+#include <string>
+
+#include "server/socket.h"
+#include "util/flags.h"
+
+using namespace convpairs;
+
+namespace {
+
+int Run(uint16_t port, bool errors_fatal) {
+  // Slurp stdin first: the whole request set goes out in one burst.
+  std::string requests;
+  size_t expected = 0;
+  {
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+      requests.append(buf, got);
+    }
+    if (!requests.empty() && requests.back() != '\n') requests += '\n';
+    for (char c : requests) expected += (c == '\n');
+  }
+
+  auto stream = server::ConnectLoopback(port);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 stream.status().ToString().c_str());
+    return 1;
+  }
+  if (expected == 0) return 0;
+  Status sent = stream->SendAll(requests);
+  if (!sent.ok()) {
+    std::fprintf(stderr, "send failed: %s\n", sent.ToString().c_str());
+    return 1;
+  }
+
+  size_t replies = 0;
+  size_t errors = 0;
+  std::string buffer;
+  char chunk[1 << 16];
+  while (replies < expected) {
+    auto got = stream->Receive(chunk, sizeof(chunk));
+    if (!got.ok()) {
+      std::fprintf(stderr, "receive failed: %s\n",
+                   got.status().ToString().c_str());
+      return 1;
+    }
+    if (*got == 0) {
+      std::fprintf(stderr, "server closed after %zu of %zu replies\n",
+                   replies, expected);
+      return 2;
+    }
+    buffer.append(chunk, *got);
+    size_t consumed = 0;
+    size_t nl;
+    while (replies < expected &&
+           (nl = buffer.find('\n', consumed)) != std::string::npos) {
+      errors += (buffer.compare(consumed, 3, "ERR") == 0);
+      std::fwrite(buffer.data() + consumed, 1, nl - consumed + 1, stdout);
+      consumed = nl + 1;
+      ++replies;
+    }
+    buffer.erase(0, consumed);
+  }
+  if (errors_fatal && errors > 0) {
+    std::fprintf(stderr, "%zu of %zu replies were errors\n", errors, expected);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "convpairs_client: send stdin request lines to a convpairs_server in "
+      "one pipelined burst and print the replies in order.");
+  flags.Define("port", "0", "server port on 127.0.0.1");
+  flags.Define("errors-fatal", "false",
+               "exit 3 when any reply is an ERR line");
+  flags.Define("help", "false", "print usage");
+
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").ok() && *flags.GetBool("help")) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+  auto port = flags.GetInt("port");
+  auto errors_fatal = flags.GetBool("errors-fatal");
+  if (!port.ok() || !errors_fatal.ok() || *port < 1 || *port > 65535) {
+    std::fprintf(stderr, "error: --port must be in [1, 65535]\n");
+    return 2;
+  }
+  return Run(static_cast<uint16_t>(*port), *errors_fatal);
+}

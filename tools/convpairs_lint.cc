@@ -28,6 +28,12 @@
 //      integers (outside src/obs/flight_recorder.* itself, which decodes
 //      ring slots) would bypass the exporter's kind dispatch and make
 //      events silently vanish from the timeline.
+//   8. Raw socket syscalls (::socket/::bind/::accept/::recv/... and the
+//      sockaddr/AF_INET machinery) live only in src/server/ — every other
+//      layer talks TCP through the RAII wrappers in server/socket.h, so
+//      portability quirks (SIGPIPE, EINTR, loopback-only binds) are fixed
+//      in one translation unit, mirroring how invariant 6 confines
+//      std::thread.
 //
 // The scanner strips string literals and comments line-by-line before
 // matching, so documentation may mention forbidden tokens freely.
@@ -252,10 +258,43 @@ bool IsRngHome(const fs::path& rel_to_src) {
 }
 
 // Threading is owned by src/util (the work-stealing pool behind
-// ParallelFor); everything else schedules through it so that nesting,
-// shutdown and steal telemetry stay centralized.
+// ParallelFor) and src/server (lifecycle-managed listener/session/
+// dispatcher threads — a serving loop is not a data-parallel region, and
+// its batch compute still flows through the pooled MS-BFS engine).
+// Everything else schedules through the pool so that nesting, shutdown and
+// steal telemetry stay centralized.
 bool IsThreadHome(const fs::path& rel_to_src) {
-  return rel_to_src.generic_string().rfind("util/", 0) == 0;
+  const std::string p = rel_to_src.generic_string();
+  return p.rfind("util/", 0) == 0 || p.rfind("server/", 0) == 0;
+}
+
+// --- Invariant 8: raw sockets are confined to src/server/. -------------------
+
+bool IsSocketHome(const fs::path& rel_to_src) {
+  return rel_to_src.generic_string().rfind("server/", 0) == 0;
+}
+
+void CheckSocketConfinement(const fs::path& path, const std::string& code,
+                            int line_no) {
+  for (const char* header :
+       {"<sys/socket.h>", "<netinet/in.h>", "<arpa/inet.h>"}) {
+    if (code.find(header) != std::string::npos) {
+      Report(path, line_no,
+             std::string("socket header ") + header +
+                 " may only be included under src/server/ (use the "
+                 "server/socket.h wrappers)");
+    }
+  }
+  for (const char* token :
+       {"sockaddr", "sockaddr_in", "AF_INET", "SOCK_STREAM", "accept",
+        "recv", "bind", "listen", "connect", "setsockopt", "getsockname"}) {
+    if (ContainsToken(code, token)) {
+      Report(path, line_no,
+             std::string("raw socket API '") + token +
+                 "' may only appear under src/server/ (use the "
+                 "server/socket.h wrappers)");
+    }
+  }
 }
 
 void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
@@ -269,6 +308,7 @@ void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
   const bool rng_ok = IsRngHome(rel_to_src);
   const bool thread_ok = IsThreadHome(rel_to_src);
   const bool flight_ok = IsFlightRecorderHome(rel_to_src);
+  const bool socket_ok = IsSocketHome(rel_to_src);
   bool in_block_comment = false;
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string code =
@@ -277,6 +317,7 @@ void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
 
     CheckObservableNameLiterals(path, lines[i], code, line_no);
     if (!flight_ok) CheckFlightKindCast(path, code, line_no);
+    if (!socket_ok) CheckSocketConfinement(path, code, line_no);
 
     if (!logging_ok) {
       if (code.find("std::cout") != std::string::npos ||

@@ -1,0 +1,289 @@
+// convpairs_server: batched, concurrent query serving over one snapshot
+// pair loaded into shared immutable CSR at startup.
+//
+// Snapshot sources (same flags as convpairs_cli):
+//   --g1 FILE --g2 FILE   two static edge lists (G1 must be contained in G2)
+//   --input FILE          temporal edge list, split at --g1-fraction/--g2-fraction
+//   --dataset NAME        generated paper dataset analog at --scale
+//
+// Serving flags:
+//   --port P              listen on 127.0.0.1:P (0 = ephemeral; the chosen
+//                         port is printed as "listening on port N")
+//   --batch-window-us U   batching window: a distance query waits at most U
+//                         microseconds for lane sharing (default 2000)
+//   --batch-lanes N       flush when N unique sources are pending
+//                         (default 64 = one full MS-BFS scan; 1 disables
+//                         batching — every query runs its own BFS)
+//   --scan-per-query      resolve every query with its own scan (the
+//                         unbatched baseline bench_server_load measures)
+//   --selector/--budget/--landmarks/--seed
+//                         configuration of the cached TOPK answer
+//   --metrics-out/--trace-out
+//                         exported on graceful shutdown (SIGINT/SIGTERM
+//                         drains in-flight batches first, then exit 0)
+//
+// Protocol: see src/server/protocol.h. Quick tour with nc:
+//   $ convpairs_server --dataset facebook --scale 0.1 --port 7315 &
+//   $ printf 'DIST 3 41 1\nDELTA 3 41\nTOPK 5\nPING\n' | nc 127.0.0.1 7315
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/datasets.h"
+#include "graph/graph_io.h"
+#include "graph/validation.h"
+#include "obs/obs.h"
+#include "server/server.h"
+#include "util/flags.h"
+#include "util/shutdown.h"
+
+using namespace convpairs;
+
+namespace {
+
+// The watcher thread must be installed BEFORE any server thread spawns
+// (threads inherit the blocked-signal mask from their creator), so the
+// server it will eventually stop is published through this pointer once
+// constructed. A signal that beats construction just exits.
+std::atomic<server::ConvpairsServer*> g_server{nullptr};
+
+/// Loads the snapshot pair exactly the way convpairs_cli does, so a pair
+/// that works for a batch run serves unchanged.
+int LoadSnapshots(const FlagParser& flags, Graph* g1, Graph* g2,
+                  std::string* source) {
+  if (flags.IsSet("g1") || flags.IsSet("g2")) {
+    if (!flags.IsSet("g1") || !flags.IsSet("g2")) {
+      std::fprintf(stderr, "error: --g1 and --g2 must be given together\n");
+      return 1;
+    }
+    auto first = ReadEdgeList(flags.GetString("g1"));
+    auto second = ReadEdgeList(flags.GetString("g2"));
+    if (!first.ok() || !second.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   (!first.ok() ? first.status() : second.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    NodeId space = std::max(first->num_nodes(), second->num_nodes());
+    *g1 = Graph::FromEdges(space, first->ToEdgeList());
+    *g2 = Graph::FromEdges(space, second->ToEdgeList());
+    Status valid = ValidateSnapshotPair(*g1, *g2);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "invalid snapshot pair: %s\n",
+                   valid.ToString().c_str());
+      return 1;
+    }
+    *source = flags.GetString("g1") + " -> " + flags.GetString("g2");
+    return 0;
+  }
+
+  TemporalGraph temporal;
+  if (flags.IsSet("input")) {
+    auto parsed = ReadTemporalEdgeList(flags.GetString("input"));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    temporal = std::move(*parsed);
+    Status valid = ValidateTemporalStream(temporal);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "invalid temporal stream: %s\n",
+                   valid.ToString().c_str());
+      return 1;
+    }
+    *source = flags.GetString("input");
+  } else {
+    auto scale = flags.GetDouble("scale");
+    if (!scale.ok()) {
+      std::fprintf(stderr, "error: %s\n", scale.status().ToString().c_str());
+      return 1;
+    }
+    auto dataset = MakeDataset(flags.GetString("dataset"), *scale);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+      return 1;
+    }
+    temporal = std::move(dataset->temporal);
+    *source = "generated dataset '" + flags.GetString("dataset") + "'";
+  }
+  auto g1_fraction = flags.GetDouble("g1-fraction");
+  auto g2_fraction = flags.GetDouble("g2-fraction");
+  if (!g1_fraction.ok() || !g2_fraction.ok() || *g1_fraction >= *g2_fraction ||
+      *g1_fraction <= 0.0 || *g2_fraction > 1.0) {
+    std::fprintf(stderr, "error: need 0 < g1-fraction < g2-fraction <= 1\n");
+    return 1;
+  }
+  *g1 = temporal.SnapshotAtFraction(*g1_fraction);
+  *g2 = temporal.SnapshotAtFraction(*g2_fraction);
+  return 0;
+}
+
+int Run(const FlagParser& flags) {
+  Graph g1;
+  Graph g2;
+  std::string source;
+  if (int rc = LoadSnapshots(flags, &g1, &g2, &source); rc != 0) return rc;
+  std::printf("source: %s\n", source.c_str());
+  std::printf("G1: %u nodes, %zu edges | G2: %u nodes, %zu edges\n",
+              g1.num_active_nodes(), g1.num_edges(), g2.num_active_nodes(),
+              g2.num_edges());
+
+  server::ConvpairsServer::Options options;
+  auto port = flags.GetInt("port");
+  auto window_us = flags.GetInt("batch-window-us");
+  auto lanes = flags.GetInt("batch-lanes");
+  auto budget = flags.GetInt("budget");
+  auto landmarks = flags.GetInt("landmarks");
+  auto seed = flags.GetInt("seed");
+  if (!port.ok() || !window_us.ok() || !lanes.ok() || !budget.ok() ||
+      !landmarks.ok() || !seed.ok()) {
+    std::fprintf(stderr, "error: numeric flag parse failure\n");
+    return 1;
+  }
+  if (*port < 0 || *port > 65535) {
+    std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+    return 1;
+  }
+  if (*lanes < 1 || *lanes > static_cast<int64_t>(kMsBfsBatchWidth)) {
+    std::fprintf(stderr, "error: --batch-lanes must be in [1, %u]\n",
+                 kMsBfsBatchWidth);
+    return 1;
+  }
+  if (*window_us < 0) {
+    std::fprintf(stderr, "error: --batch-window-us must be >= 0\n");
+    return 1;
+  }
+  auto scan_per_query = flags.GetBool("scan-per-query");
+  if (!scan_per_query.ok()) {
+    std::fprintf(stderr, "error: --scan-per-query must be a boolean\n");
+    return 1;
+  }
+  options.port = static_cast<uint16_t>(*port);
+  options.batcher.max_lanes = static_cast<uint32_t>(*lanes);
+  options.batcher.window_us = *window_us;
+  options.batcher.scan_per_query = *scan_per_query;
+  options.topk.selector = flags.GetString("selector");
+  options.topk.budget_m = static_cast<int>(*budget);
+  options.topk.num_landmarks = static_cast<int>(*landmarks);
+  options.topk.seed = static_cast<uint64_t>(*seed);
+
+  // Graceful shutdown: the watcher thread asks the server to stop; the main
+  // thread (blocked in Wait) performs the actual drain and the exports, so
+  // telemetry reflects every request that got a reply. Installed before the
+  // server exists so that every server thread inherits the blocked mask.
+  RunOnShutdownSignal([](int signum) {
+    std::printf("signal %d: draining\n", signum);
+    std::fflush(stdout);
+    if (server::ConvpairsServer* srv = g_server.load()) {
+      srv->RequestStop();
+    } else {
+      std::_Exit(128 + signum);
+    }
+  });
+
+  server::ConvpairsServer srv(g1, g2, options);
+  g_server.store(&srv);
+  Status started = srv.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The smoke driver and tests scrape this line for the ephemeral port.
+  std::printf("listening on port %u\n", static_cast<unsigned>(srv.port()));
+  std::fflush(stdout);
+  srv.Wait();
+  g_server.store(nullptr);
+
+  if (obs::FlightRecorder::enabled()) {
+    std::string trace_path = flags.GetString("trace-out");
+    if (trace_path.empty()) {
+      trace_path = obs::TraceOutPath("convpairs_server.trace.json");
+    }
+    if (!trace_path.empty()) {
+      Status traced = obs::WriteChromeTrace(trace_path, "convpairs_server");
+      if (!traced.ok()) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     traced.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace: wrote %s\n", trace_path.c_str());
+    }
+  }
+  std::string metrics_path = flags.GetString("metrics-out");
+  if (metrics_path.empty()) metrics_path = obs::MetricsOutPath("");
+  if (!metrics_path.empty()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.SetMetadata("tool", "convpairs_server");
+    registry.SetMetadata("source", source);
+    registry.SetMetadata("selector", options.topk.selector);
+    registry.SetMetadata("batch_lanes",
+                         std::to_string(options.batcher.max_lanes));
+    registry.SetMetadata("batch_window_us",
+                         std::to_string(options.batcher.window_us));
+    Status exported = obs::ExportMetrics(metrics_path, "convpairs_server");
+    if (!exported.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   exported.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry: wrote %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "convpairs_server: serve DIST/DELTA/TOPK/CAND queries over a snapshot "
+      "pair on a loopback TCP port, batching concurrent distance queries "
+      "into shared MS-BFS scans.");
+  flags.Define("input", "", "temporal edge list file (u v time [weight])");
+  flags.Define("g1", "", "first static snapshot file (u v [weight])");
+  flags.Define("g2", "", "second static snapshot file (u v [weight])");
+  flags.Define("dataset", "facebook",
+               "generated dataset when --input is absent "
+               "(actors|internet|facebook|dblp)");
+  flags.Define("scale", "0.25", "generated dataset scale");
+  flags.Define("g1-fraction", "0.8", "first snapshot edge fraction");
+  flags.Define("g2-fraction", "1.0", "second snapshot edge fraction");
+  flags.Define("port", "0",
+               "listen port on 127.0.0.1 (0 = ephemeral, printed on stdout)");
+  flags.Define("batch-window-us", "2000",
+               "max microseconds a distance query waits for lane sharing");
+  flags.Define("batch-lanes", "64",
+               "flush when this many unique sources are pending (1 = no "
+               "batching)");
+  flags.Define("scan-per-query", "false",
+               "run one full scan per query instead of sharing lanes (the "
+               "unbatched baseline)");
+  flags.Define("selector", "MMSD", "candidate policy for the TOPK cache");
+  flags.Define("budget", "100", "SSSP budget m for the TOPK cache");
+  flags.Define("landmarks", "10", "landmark count l for the TOPK cache");
+  flags.Define("seed", "0", "random seed for the TOPK cache");
+  flags.Define("metrics-out", "",
+               "write serving telemetry to this JSON/CSV file on shutdown; "
+               "CONVPAIRS_METRICS_OUT is the env fallback");
+  flags.Define("trace-out", "",
+               "record request/batch timelines and write Chrome trace-event "
+               "JSON on shutdown; CONVPAIRS_TRACE_OUT is the env fallback");
+  flags.Define("help", "false", "print usage");
+
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").ok() && *flags.GetBool("help")) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+  obs::InitFlightRecorderFromEnv();
+  if (!flags.GetString("trace-out").empty()) {
+    obs::FlightRecorder::SetEnabled(true);
+  }
+  return Run(flags);
+}
