@@ -82,14 +82,20 @@ ExperimentResult ExperimentRunner::RunSelector(CandidateSelector& selector,
   TopKResult top_k =
       FindTopKConvergingPairs(*g1_, *g2_, *engine_, selector, options);
 
+  // Refund-funded extra candidates ran real SSSPs, so they count toward
+  // coverage and endpoint hit rates alongside the selector's m picks.
+  std::vector<NodeId> probed = top_k.candidates;
+  probed.insert(probed.end(), top_k.extra_candidates.begin(),
+                top_k.extra_candidates.end());
+
   ExperimentResult result;
   result.selector_name = selector.name();
   result.threshold = ThresholdAt(offset);
   result.k = KAt(offset);
   result.num_candidates = top_k.candidates.size();
   result.sssp_used = top_k.sssp_used;
-  result.coverage = CoverageFraction(pair_graph, top_k.candidates);
-  result.endpoint_hit_rate = EndpointHitRate(pair_graph, top_k.candidates);
+  result.coverage = CoverageFraction(pair_graph, probed);
+  result.endpoint_hit_rate = EndpointHitRate(pair_graph, probed);
   result.cover_hit_rate = SetHitRate(cover.nodes, top_k.candidates);
 
   // End-to-end retrieval check: how many true pairs actually appear in the

@@ -1,13 +1,22 @@
 #include "core/top_k.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <queue>
+#include <span>
+#include <unordered_set>
 
+#include "obs/registry.h"
 #include "obs/trace.h"
+#include "sssp/bfs_engine.h"
 #include "util/check.h"
 
 namespace convpairs {
 namespace {
+
+constexpr uint32_t kNoRow = std::numeric_limits<uint32_t>::max();
 
 // Deterministic total order on pairs: larger delta first, then lexicographic.
 bool BetterPair(const ConvergingPair& a, const ConvergingPair& b) {
@@ -16,73 +25,451 @@ bool BetterPair(const ConvergingPair& a, const ConvergingPair& b) {
   return a.v < b.v;
 }
 
+struct TopKInstruments {
+  obs::Counter& skipped;
+  obs::Counter& bounded;
+  obs::Counter& batches;
+  obs::Counter& batched_rows;
+  obs::Counter& extras;
+
+  static const TopKInstruments& Get() {
+    static const TopKInstruments instruments = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return TopKInstruments{
+          registry.GetCounter("topk.prune.skipped_total"),
+          registry.GetCounter("topk.prune.bounded_total"),
+          registry.GetCounter("topk.extract.batches_total"),
+          registry.GetCounter("topk.extract.batched_rows_total"),
+          registry.GetCounter("topk.refund.extras_total")};
+    }();
+    return instruments;
+  }
+};
+
+// One extraction run. Bundles the flat lookup tables, the running k-th-best
+// threshold, and the traversal scratch so the chunked candidate loop stays
+// readable. Candidates are processed in order; within each 64-wide chunk the
+// uncached G_t1 rows run as one MS-BFS batch, then each candidate's G_t2
+// side either reuses a selector row, is skipped outright by the threshold
+// bound, runs as a threshold-bounded traversal (hop-count engines), or falls
+// back to a full engine SSSP (weighted engines, pruning off). The nominal
+// budget charge sequence is identical in every mode — pruning only converts
+// charges into refunds.
+class Extractor {
+ public:
+  Extractor(const Graph& g1, const Graph& g2, const ShortestPathEngine& engine,
+            const CandidateSet& candidate_set, int k, SsspBudget* budget,
+            const ExtractOptions& options)
+      : g1_(g1),
+        g2_(g2),
+        engine_(engine),
+        set_(candidate_set),
+        k_(k),
+        budget_(budget),
+        options_(options),
+        n_(g1.num_nodes()),
+        bounded_ok_(engine.UnweightedBatchable()) {}
+
+  TopKResult Run() {
+    CONVPAIRS_CHECK_EQ(g1_.num_nodes(), g2_.num_nodes());
+    CONVPAIRS_CHECK_GE(k_, 0);
+    result_.candidates = set_.nodes;
+    scanned_.assign(n_, 0);
+    g1_row_idx_.assign(n_, kNoRow);
+    for (uint32_t i = 0; i < set_.g1_rows.sources().size(); ++i) {
+      NodeId src = set_.g1_rows.sources()[i];
+      CONVPAIRS_CHECK_LT(src, n_);
+      g1_row_idx_[src] = i;
+    }
+    g2_row_idx_.assign(n_, kNoRow);
+    for (uint32_t i = 0; i < set_.g2_rows.sources().size(); ++i) {
+      NodeId src = set_.g2_rows.sources()[i];
+      CONVPAIRS_CHECK_LT(src, n_);
+      g2_row_idx_[src] = i;
+    }
+    if (k_ == 0) {
+      // Nothing can enter an empty top-k: every fresh traversal is skipped
+      // (still charged nominally, fully refunded).
+      theta_known_ = true;
+      theta_ = kInfDist;
+    }
+
+    ProcessMainCandidates();
+    ProcessExtras();
+
+    size_t keep = std::min<size_t>(static_cast<size_t>(k_), found_.size());
+    std::partial_sort(found_.begin(), found_.begin() + keep, found_.end(),
+                      BetterPair);
+    found_.resize(keep);
+    result_.pairs = std::move(found_);
+    if (budget_ != nullptr) {
+      result_.sssp_used = budget_->used();
+      result_.sssp_refunded = budget_->refunded();
+      result_.sssp_effective = budget_->effective_used();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void ProcessMainCandidates() {
+    const std::vector<NodeId>& nodes = set_.nodes;
+    const bool batch = options_.batch && engine_.UnweightedBatchable();
+    const bool batch_g2 = batch && !options_.prune;
+    std::vector<NodeId> g1_sources;
+    std::vector<NodeId> g2_sources;
+    std::vector<uint32_t> g1_lane;
+    std::vector<uint32_t> g2_lane;
+    for (size_t start = 0; start < nodes.size(); start += kMsBfsBatchWidth) {
+      const size_t count =
+          std::min<size_t>(kMsBfsBatchWidth, nodes.size() - start);
+      std::span<const NodeId> chunk(nodes.data() + start, count);
+      for (NodeId c : chunk) CONVPAIRS_CHECK_LT(c, n_);
+
+      // Batch the chunk's uncached G_t1 rows: one MS-BFS lane per
+      // occurrence, charged identically to the per-candidate serial path.
+      g1_lane.assign(count, kNoRow);
+      if (batch) {
+        g1_sources.clear();
+        for (size_t i = 0; i < count; ++i) {
+          if (g1_row_idx_[chunk[i]] == kNoRow) {
+            g1_lane[i] = static_cast<uint32_t>(g1_sources.size());
+            g1_sources.push_back(chunk[i]);
+          }
+        }
+        if (!g1_sources.empty()) {
+          if (budget_ != nullptr) {
+            budget_->Charge(static_cast<int64_t>(g1_sources.size()));
+          }
+          RunBatch(g1_, g1_sources, &g1_batch_rows_);
+        }
+      }
+
+      // Pruning off: the G_t2 rows have no threshold to respect, so they
+      // batch the same way. (With pruning on they run bounded, candidate by
+      // candidate, because theta tightens between scans.)
+      g2_lane.assign(count, kNoRow);
+      if (batch_g2) {
+        g2_sources.clear();
+        for (size_t i = 0; i < count; ++i) {
+          if (g2_row_idx_[chunk[i]] == kNoRow) {
+            g2_lane[i] = static_cast<uint32_t>(g2_sources.size());
+            g2_sources.push_back(chunk[i]);
+          }
+        }
+        if (!g2_sources.empty()) {
+          if (budget_ != nullptr) {
+            budget_->Charge(static_cast<int64_t>(g2_sources.size()));
+          }
+          RunBatch(g2_, g2_sources, &g2_batch_rows_);
+          for (const Dist d : g2_batch_rows_) {
+            if (IsReachable(d)) ++result_.g2_nodes_settled;
+          }
+        }
+      }
+
+      // Resolve every candidate's G_t1 row before any G_t2 work: the
+      // adjacency warm start and the scan ordering below want the whole
+      // chunk's rows up front. Serial rows (batch off) are copied into
+      // per-chunk storage so the spans stay stable.
+      chunk_d1_.assign(count, std::span<const Dist>());
+      if (!batch) d1_serial_rows_.resize(count * static_cast<size_t>(n_));
+      for (size_t i = 0; i < count; ++i) {
+        const NodeId c = chunk[i];
+        if (g1_row_idx_[c] != kNoRow) {
+          chunk_d1_[i] = set_.g1_rows.row(g1_row_idx_[c]);
+        } else if (g1_lane[i] != kNoRow) {
+          chunk_d1_[i] = std::span<const Dist>(g1_batch_rows_)
+                             .subspan(static_cast<size_t>(g1_lane[i]) * n_, n_);
+        } else {
+          engine_.Distances(g1_, c, &d1_owned_, budget_);
+          std::copy(d1_owned_.begin(), d1_owned_.end(),
+                    d1_serial_rows_.begin() + i * static_cast<size_t>(n_));
+          chunk_d1_[i] = std::span<const Dist>(d1_serial_rows_)
+                             .subspan(i * static_cast<size_t>(n_), n_);
+        }
+      }
+
+      // Adjacency warm start (hop-count engines only): an edge (c, v) in
+      // G_t2 fixes d2(c, v) = 1 exactly, so the pair's delta d1[v] - 1 is
+      // known before any G_t2 traversal runs. Seeding the k-th-best heap
+      // with the chunk's adjacency deltas pushes theta to near its final
+      // value up front, which is what makes the skip/cut bounds bite. Each
+      // seeded pair is remembered so its eventual emission does not count
+      // it a second time (theta must stay the k-th best over *distinct*
+      // true pairs).
+      if (options_.prune && bounded_ok_) {
+        for (size_t i = 0; i < count; ++i) {
+          const NodeId c = chunk[i];
+          std::span<const Dist> d1 = chunk_d1_[i];
+          for (NodeId v : g2_.neighbors(c)) {
+            if (v == c || !IsReachable(d1[v]) || scanned_[v] != 0) continue;
+            const Dist delta = d1[v] - 1;
+            if (delta <= 0) continue;
+            if (warm_pairs_.insert(PairKeyOf(c, v)).second) NoteDelta(delta);
+          }
+        }
+      }
+
+      // Scan order within the chunk: candidates with a free (cached) G_t2
+      // row first — their pairs tighten theta at zero traversal cost — then
+      // fresh candidates by descending distance potential, so the cheap-to-
+      // bound ones run against the tightest threshold. Order never changes
+      // the output (pair emission is symmetric) or the nominal charges.
+      order_.resize(count);
+      std::iota(order_.begin(), order_.end(), size_t{0});
+      if (options_.prune) {
+        potential_.assign(count, -1);
+        for (size_t i = 0; i < count; ++i) {
+          if (g2_row_idx_[chunk[i]] != kNoRow || g2_lane[i] != kNoRow) {
+            potential_[i] = kInfDist;
+            continue;
+          }
+          std::span<const Dist> d1 = chunk_d1_[i];
+          for (NodeId v = 0; v < n_; ++v) {
+            if (v != chunk[i] && IsReachable(d1[v]) && d1[v] > potential_[i]) {
+              potential_[i] = d1[v];
+            }
+          }
+        }
+        std::sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+          if (potential_[a] != potential_[b]) {
+            return potential_[a] > potential_[b];
+          }
+          return a < b;
+        });
+      }
+
+      for (size_t idx : order_) {
+        const NodeId c = chunk[idx];
+        std::span<const Dist> d2_pre;
+        if (g2_row_idx_[c] != kNoRow) {
+          d2_pre = set_.g2_rows.row(g2_row_idx_[c]);
+        } else if (g2_lane[idx] != kNoRow) {
+          d2_pre = std::span<const Dist>(g2_batch_rows_)
+                       .subspan(static_cast<size_t>(g2_lane[idx]) * n_, n_);
+        }
+        ScanCandidate(c, chunk_d1_[idx], d2_pre, /*nominal=*/true);
+      }
+    }
+  }
+
+  // Refund-funded fallback pool: while the pool holds 2 whole units, fund
+  // one more candidate without touching the nominal counter.
+  void ProcessExtras() {
+    if (budget_ == nullptr || options_.extra_candidates.empty()) return;
+    for (NodeId e : options_.extra_candidates) {
+      CONVPAIRS_CHECK_LT(e, n_);
+      if (scanned_[e] != 0) continue;  // Already covered as a candidate.
+      if (!budget_->TrySpendRefund(2)) break;
+      std::span<const Dist> d1;
+      if (g1_row_idx_[e] != kNoRow) {
+        d1 = set_.g1_rows.row(g1_row_idx_[e]);
+      } else {
+        engine_.Distances(g1_, e, &d1_owned_, nullptr);
+        d1 = d1_owned_;
+      }
+      std::span<const Dist> d2_pre;
+      if (g2_row_idx_[e] != kNoRow) d2_pre = set_.g2_rows.row(g2_row_idx_[e]);
+      ScanCandidate(e, d1, d2_pre, /*nominal=*/false);
+      result_.extra_candidates.push_back(e);
+      TopKInstruments::Get().extras.Increment();
+    }
+  }
+
+  // A node is still interesting for candidate c when it is connected in
+  // G_t1 and its pair with c was not already emitted by an earlier scan.
+  bool Eligible(NodeId c, NodeId v, std::span<const Dist> d1) const {
+    return v != c && IsReachable(d1[v]) && scanned_[v] == 0;
+  }
+
+  static uint64_t PairKeyOf(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  void RunBatch(const Graph& g, std::span<const NodeId> sources,
+                std::vector<Dist>* rows) {
+    std::unique_ptr<MsBfsRunner>& runner = (&g == &g1_) ? g1_runner_ : g2_runner_;
+    if (runner == nullptr) runner = std::make_unique<MsBfsRunner>(g);
+    rows->resize(sources.size() * static_cast<size_t>(n_));
+    runner->Run(sources, *rows);
+    const TopKInstruments& instruments = TopKInstruments::Get();
+    instruments.batches.Increment();
+    instruments.batched_rows.Add(static_cast<int64_t>(sources.size()));
+  }
+
+  // Computes (or adopts) the G_t2 row for `c` and folds its delta row into
+  // the running top-k. `d2_pre` non-empty means the row is already paid for
+  // (selector reuse or chunk batch). `nominal` is false for refund-funded
+  // extras, whose traversals must not touch the nominal counter.
+  void ScanCandidate(NodeId c, std::span<const Dist> d1,
+                     std::span<const Dist> d2_pre, bool nominal) {
+    std::span<const Dist> d2;
+    if (!d2_pre.empty()) {
+      d2 = d2_pre;
+    } else {
+      Dist best = -1;
+      if (options_.prune) {
+        // Upper bound on any pair c can still contribute: G_t2 only gains
+        // edges, so d2 >= 1 for v != c and Delta <= best_relevant_d1 - 1.
+        scores_.assign(n_, kNoScore);
+        for (NodeId v = 0; v < n_; ++v) {
+          if (!Eligible(c, v, d1)) continue;
+          scores_[v] = d1[v];
+          if (d1[v] > best) best = d1[v];
+        }
+        if (best < 0 || (theta_known_ && best - 1 < theta_)) {
+          if (nominal && budget_ != nullptr) budget_->ChargeSkipped();
+          ++result_.candidates_skipped;
+          TopKInstruments::Get().skipped.Increment();
+          scanned_[c] = 1;
+          return;
+        }
+      }
+      if (options_.prune && bounded_ok_) {
+        if (bounded_runner_ == nullptr) {
+          bounded_runner_ = std::make_unique<ThresholdBoundedBfsRunner>(g2_);
+        }
+        BoundedRunStats stats =
+            bounded_runner_->Run(c, scores_, theta_known_ ? theta_ : kNoThreshold,
+                                 nominal ? budget_ : nullptr);
+        d2 = bounded_runner_->dist();
+        ++result_.bounded_sssp;
+        result_.g2_nodes_settled += stats.nodes_settled;
+        TopKInstruments::Get().bounded.Increment();
+      } else {
+        // Weighted engine or pruning off: full SSSP.
+        engine_.Distances(g2_, c, &d2_owned_, nominal ? budget_ : nullptr);
+        d2 = d2_owned_;
+        for (const Dist d : d2) {
+          if (IsReachable(d)) ++result_.g2_nodes_settled;
+        }
+      }
+    }
+
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v == c || !IsReachable(d1[v]) || scanned_[v] != 0) continue;
+      const Dist delta = d1[v] - d2[v];
+      if (delta <= 0) continue;
+      // A pair strictly below the running k-th best can never be reported;
+      // dropping it here keeps `found_` near k entries. Ties (== theta)
+      // stay: they can still win on the lexicographic order.
+      if (theta_known_ && delta < theta_) continue;
+      found_.push_back({std::min(c, v), std::max(c, v), delta});
+      // Adjacency pairs (d2 == 1) may already be in the k-th-best heap from
+      // the warm start; counting them again would overstate theta and turn
+      // the prune bounds unsound.
+      if (d2[v] == 1 && warm_pairs_.count(PairKeyOf(c, v)) != 0) continue;
+      NoteDelta(delta);
+    }
+    scanned_[c] = 1;
+  }
+
+  // Maintains the k smallest-of-the-best heap whose top is the running
+  // k-th best delta (theta).
+  void NoteDelta(Dist delta) {
+    if (k_ == 0) return;  // theta pinned to kInfDist in Run().
+    if (kth_.size() < static_cast<size_t>(k_)) {
+      kth_.push(delta);
+      if (kth_.size() == static_cast<size_t>(k_)) {
+        theta_known_ = true;
+        theta_ = kth_.top();
+      }
+    } else if (delta > kth_.top()) {
+      kth_.pop();
+      kth_.push(delta);
+      theta_ = kth_.top();
+    }
+  }
+
+  const Graph& g1_;
+  const Graph& g2_;
+  const ShortestPathEngine& engine_;
+  const CandidateSet& set_;
+  const int k_;
+  SsspBudget* const budget_;
+  const ExtractOptions& options_;
+  const NodeId n_;
+  const bool bounded_ok_;
+
+  TopKResult result_;
+  std::vector<ConvergingPair> found_;
+  std::vector<uint8_t> scanned_;     // Candidate already emitted its pairs.
+  std::vector<uint32_t> g1_row_idx_;  // NodeId -> selector row, kNoRow if none.
+  std::vector<uint32_t> g2_row_idx_;
+  bool theta_known_ = false;
+  Dist theta_ = 0;
+  std::priority_queue<Dist, std::vector<Dist>, std::greater<>> kth_;
+
+  std::unique_ptr<MsBfsRunner> g1_runner_;
+  std::unique_ptr<MsBfsRunner> g2_runner_;
+  std::unique_ptr<ThresholdBoundedBfsRunner> bounded_runner_;
+  std::vector<Dist> g1_batch_rows_;
+  std::vector<Dist> g2_batch_rows_;
+  std::vector<Dist> d1_owned_;
+  std::vector<Dist> d2_owned_;
+  std::vector<Dist> scores_;
+  std::vector<std::span<const Dist>> chunk_d1_;  // Resolved rows, per chunk.
+  std::vector<Dist> d1_serial_rows_;  // Backing store when batching is off.
+  std::vector<size_t> order_;         // Chunk scan order (prune mode).
+  std::vector<Dist> potential_;       // Max finite d1 per chunk candidate.
+  std::unordered_set<uint64_t> warm_pairs_;  // Adjacency-seeded pair keys.
+};
+
 }  // namespace
 
 TopKResult ExtractTopKPairs(const Graph& g1, const Graph& g2,
                             const ShortestPathEngine& engine,
                             const CandidateSet& candidate_set, int k,
                             SsspBudget* budget) {
+  return ExtractTopKPairs(g1, g2, engine, candidate_set, k, budget,
+                          ExtractOptions{});
+}
+
+TopKResult ExtractTopKPairs(const Graph& g1, const Graph& g2,
+                            const ShortestPathEngine& engine,
+                            const CandidateSet& candidate_set, int k,
+                            SsspBudget* budget,
+                            const ExtractOptions& options) {
   obs::ScopedSpan span("topk.extract_pairs");
+  Extractor extractor(g1, g2, engine, candidate_set, k, budget, options);
+  return extractor.Run();
+}
+
+std::vector<NodeId> RankExtraCandidates(const Graph& g1, const Graph& g2,
+                                        const std::vector<NodeId>& candidates,
+                                        size_t count) {
   CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
-  CONVPAIRS_CHECK_GE(k, 0);
   const NodeId n = g1.num_nodes();
-
-  TopKResult result;
-  result.candidates = candidate_set.nodes;
-
-  // Membership bitmap for candidate-candidate dedup: a pair (c, v) with both
-  // endpoints candidates is emitted only by its smaller endpoint.
-  std::vector<bool> is_candidate(n, false);
-  for (NodeId c : candidate_set.nodes) {
+  std::vector<uint8_t> excluded(n, 0);
+  for (NodeId c : candidates) {
     CONVPAIRS_CHECK_LT(c, n);
-    is_candidate[c] = true;
+    excluded[c] = 1;
   }
-
-  // Rows already computed during selection (keyed by source node).
-  std::unordered_map<NodeId, size_t> reusable_g1_row;
-  for (size_t i = 0; i < candidate_set.g1_rows.sources().size(); ++i) {
-    reusable_g1_row.emplace(candidate_set.g1_rows.sources()[i], i);
+  struct Scored {
+    int64_t growth;
+    NodeId node;
+  };
+  std::vector<Scored> pool;
+  for (NodeId v = 0; v < n; ++v) {
+    if (excluded[v] != 0) continue;
+    // Inactive in G_t1: no finite d1 row, cannot be a pair endpoint.
+    if (g1.degree(v) == 0) continue;
+    const int64_t growth = static_cast<int64_t>(g2.degree(v)) -
+                           static_cast<int64_t>(g1.degree(v));
+    // Degree growth is the cheapest convergence signal we have (DegDiff
+    // family); unchanged nodes cannot have converged through a new edge.
+    if (growth <= 0) continue;
+    pool.push_back({growth, v});
   }
-  std::unordered_map<NodeId, size_t> reusable_g2_row;
-  for (size_t i = 0; i < candidate_set.g2_rows.sources().size(); ++i) {
-    reusable_g2_row.emplace(candidate_set.g2_rows.sources()[i], i);
-  }
-
-  std::vector<ConvergingPair> found;
-  std::vector<Dist> d1_owned;
-  std::vector<Dist> d2_owned;
-  for (NodeId c : candidate_set.nodes) {
-    std::span<const Dist> d1;
-    auto it = reusable_g1_row.find(c);
-    if (it != reusable_g1_row.end()) {
-      d1 = candidate_set.g1_rows.row(it->second);
-    } else {
-      engine.Distances(g1, c, &d1_owned, budget);
-      d1 = d1_owned;
-    }
-    std::span<const Dist> d2;
-    auto it2 = reusable_g2_row.find(c);
-    if (it2 != reusable_g2_row.end()) {
-      d2 = candidate_set.g2_rows.row(it2->second);
-    } else {
-      engine.Distances(g2, c, &d2_owned, budget);
-      d2 = d2_owned;
-    }
-    for (NodeId v = 0; v < n; ++v) {
-      if (v == c || !IsReachable(d1[v])) continue;
-      if (is_candidate[v] && v < c) continue;  // Emitted by the other side.
-      Dist delta = d1[v] - d2[v];
-      if (delta <= 0) continue;
-      found.push_back({std::min(c, v), std::max(c, v), delta});
-    }
-  }
-
-  size_t keep = std::min<size_t>(static_cast<size_t>(k), found.size());
-  std::partial_sort(found.begin(), found.begin() + keep, found.end(),
-                    BetterPair);
-  found.resize(keep);
-  result.pairs = std::move(found);
-  if (budget != nullptr) result.sssp_used = budget->used();
+  std::sort(pool.begin(), pool.end(), [](const Scored& a, const Scored& b) {
+    if (a.growth != b.growth) return a.growth > b.growth;
+    return a.node < b.node;
+  });
+  if (pool.size() > count) pool.resize(count);
+  std::vector<NodeId> result;
+  result.reserve(pool.size());
+  for (const Scored& s : pool) result.push_back(s.node);
   return result;
 }
 
@@ -106,9 +493,20 @@ TopKResult FindTopKConvergingPairs(const Graph& g1, const Graph& g2,
   context.budget = &budget;
 
   CandidateSet candidates = selector.SelectCandidates(context);
+  ExtractOptions extract_options;
+  extract_options.prune = options.prune;
+  // Refund spending only makes sense under a real cap: an unlimited budget
+  // has nothing to give back. The pool is capped at m extras — each costs 2
+  // units, so even a 100%-refunded extraction cannot drain more.
+  if (options.spend_refunds && options.prune && options.enforce_budget) {
+    extract_options.extra_candidates = RankExtraCandidates(
+        g1, g2, candidates.nodes, static_cast<size_t>(options.budget_m));
+  }
   TopKResult result = ExtractTopKPairs(g1, g2, engine, candidates, options.k,
-                                       &budget);
+                                       &budget, extract_options);
   result.sssp_used = budget.used();
+  result.sssp_refunded = budget.refunded();
+  result.sssp_effective = budget.effective_used();
   return result;
 }
 

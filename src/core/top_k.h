@@ -5,6 +5,19 @@
 // delta rows D1 - D2 over pairs connected in G_t1, and returns the k pairs
 // with the largest decrease among all pairs touching M. Total cost:
 // selection cost + 2|M| SSSPs = 2m, enforced through the SsspBudget.
+//
+// The extraction is bound-pruned (Bergamini-style): it maintains the running
+// k-th best Delta as a threshold theta; since G_t2 only gains edges,
+// d2(c, v) >= 1 for v != c, so a candidate whose best relevant G_t1
+// distance D satisfies D - 1 < theta provably cannot contribute a top-k
+// pair and its G_t2 SSSP is skipped outright, while the rest run as
+// threshold-bounded traversals that stop as soon as no remaining level can
+// beat theta. Pruned work is refunded into the SsspBudget pool
+// (sssp/budget.h) and — in FindTopKConvergingPairs — re-spent on extra
+// candidates beyond M, so the *nominal* Table 1 accounting (used() == 2m)
+// is bit-identical to the unpruned pipeline while the effective spend is
+// sublinear in practice. Pruning never changes the output: the differential
+// property suite asserts tie-aware equality against the unpruned oracle.
 
 #ifndef CONVPAIRS_CORE_TOP_K_H_
 #define CONVPAIRS_CORE_TOP_K_H_
@@ -22,8 +35,23 @@ struct TopKResult {
   std::vector<ConvergingPair> pairs;
   /// The candidate set M the selector produced.
   std::vector<NodeId> candidates;
-  /// Total SSSP computations spent (selection + extraction).
+  /// Extra candidates processed beyond M, funded entirely by refunded
+  /// (pruned) budget — never part of the selector's nominal set.
+  std::vector<NodeId> extra_candidates;
+  /// Total SSSP computations spent (selection + extraction), nominal: this
+  /// is the paper's Table 1 number and is identical with pruning on or off.
   int64_t sssp_used = 0;
+  /// Fraction of the nominal spend refunded by bounded/skipped traversals.
+  double sssp_refunded = 0.0;
+  /// What the machine actually paid: nominal minus the unspent refund pool.
+  double sssp_effective = 0.0;
+  /// Candidates whose G_t2 SSSP was skipped entirely by the upper bound.
+  uint64_t candidates_skipped = 0;
+  /// G_t2 traversals that ran in threshold-bounded mode.
+  uint64_t bounded_sssp = 0;
+  /// G_t2 nodes settled by fresh extraction traversals (pruning metric:
+  /// the differential suite asserts pruned << unpruned at equal output).
+  uint64_t g2_nodes_settled = 0;
 };
 
 /// Tuning knobs for the top-k run.
@@ -37,6 +65,29 @@ struct TopKOptions {
   /// When false, the budget only counts (selectors under test may
   /// legitimately overshoot); when true, exceeding 2m aborts.
   bool enforce_budget = true;
+  /// Bound-pruned extraction (identical output, less work). Off = oracle.
+  bool prune = true;
+  /// Spend refunded budget on degree-growth-ranked extra candidates beyond
+  /// M. Only takes effect under an enforced (finite) budget.
+  bool spend_refunds = true;
+};
+
+/// Extraction-phase knobs (ExtractTopKPairs).
+struct ExtractOptions {
+  /// Threshold-bound pruning: skip candidates the k-th best Delta already
+  /// rules out and run the rest as bounded traversals. Never changes the
+  /// output or the nominal budget charge sequence.
+  bool prune = true;
+  /// Route uncached rows through 64-lane MS-BFS batches when the engine is
+  /// UnweightedBatchable(). With `prune` set, G_t1 rows batch and G_t2 rows
+  /// run bounded serially (the threshold tightens between candidates);
+  /// without it both sides batch.
+  bool batch = true;
+  /// Refund-funded fallback pool, in priority order: once M is processed,
+  /// extra candidates are taken from here while TrySpendRefund(2) succeeds.
+  /// Requires a budget; processed extras land in
+  /// TopKResult::extra_candidates.
+  std::vector<NodeId> extra_candidates;
 };
 
 /// Runs selection + extraction end to end.
@@ -53,6 +104,20 @@ TopKResult ExtractTopKPairs(const Graph& g1, const Graph& g2,
                             const ShortestPathEngine& engine,
                             const CandidateSet& candidate_set, int k,
                             SsspBudget* budget);
+
+/// Extraction with explicit knobs (differential testing, refund spending).
+TopKResult ExtractTopKPairs(const Graph& g1, const Graph& g2,
+                            const ShortestPathEngine& engine,
+                            const CandidateSet& candidate_set, int k,
+                            SsspBudget* budget, const ExtractOptions& options);
+
+/// Ranks non-candidate nodes active in both snapshots by degree growth
+/// (G_t2 degree minus G_t1 degree, ties toward lower id) and returns the
+/// top `count` — the refund-spending fallback pool FindTopKConvergingPairs
+/// hands to extraction. Cheap (no SSSPs) and deterministic.
+std::vector<NodeId> RankExtraCandidates(const Graph& g1, const Graph& g2,
+                                        const std::vector<NodeId>& candidates,
+                                        size_t count);
 
 }  // namespace convpairs
 

@@ -6,85 +6,105 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace convpairs {
 namespace {
 
-// Rounds = nodes selected; gain evaluations = lazy-heap score refreshes.
+// Rounds = nodes selected; gain evaluations = marginal-gain recomputations.
 // The ratio of the two is the lazy-evaluation win, worth tracking as the
 // pair graphs grow.
 struct CoverInstruments {
-  obs::Counter& runs;
-  obs::Counter& rounds_total;
-  obs::Counter& gain_evals_total;
-  obs::Histogram& rounds_per_run;
+  obs::Counter& celf_runs;
+  obs::Counter& celf_rounds_total;
+  obs::Counter& celf_gain_evals_total;
+  obs::Histogram& celf_rounds_per_run;
+  obs::Counter& rescan_runs;
+  obs::Counter& rescan_rounds_total;
+  obs::Counter& rescan_gain_evals_total;
+  obs::Histogram& rescan_rounds_per_run;
+  obs::Counter& sketch_runs;
+  obs::Counter& sketch_sampled_pairs_total;
 
   static const CoverInstruments& Get() {
     static const CoverInstruments instruments = [] {
       auto& registry = obs::MetricsRegistry::Global();
       return CoverInstruments{
+          registry.GetCounter("cover.celf.runs"),
+          registry.GetCounter("cover.celf.rounds_total"),
+          registry.GetCounter("cover.celf.gain_evals_total"),
+          registry.GetHistogram("cover.celf.rounds"),
           registry.GetCounter("cover.greedy.runs"),
           registry.GetCounter("cover.greedy.rounds_total"),
           registry.GetCounter("cover.greedy.gain_evals_total"),
-          registry.GetHistogram("cover.greedy.rounds")};
+          registry.GetHistogram("cover.greedy.rounds"),
+          registry.GetCounter("cover.sketch.runs"),
+          registry.GetCounter("cover.sketch.sampled_pairs_total")};
     }();
     return instruments;
   }
 };
 
-// Lazy-greedy max-coverage: scores only decrease as pairs get covered, so a
-// stale heap entry can be refreshed and reinserted instead of rescanning all
-// nodes each round (standard submodular lazy evaluation).
-CoverResult GreedyCoverImpl(const PairGraph& pg, size_t budget) {
-  obs::ScopedSpan span("cover.greedy");
+// CELF lazy greedy: marginal gains only decrease as pairs get covered, so a
+// stale heap entry is refreshed and reinserted instead of rescanning all
+// endpoints each round. Exactly matches the re-scan greedy, ties included:
+// an accepted pop's fresh gain equals the heap's maximum cached gain, which
+// upper-bounds every fresh gain, and equal-gain entries order by position
+// (== node id, endpoints are sorted) — any rival with the same fresh gain
+// but a stale higher key gets popped, refreshed and reinserted first, after
+// which the comparator picks the lower id, just like the oracle's scan.
+CoverResult CelfCoverImpl(const PairGraph& pg, size_t budget) {
+  obs::ScopedSpan span("cover.celf");
+  const std::vector<NodeId>& endpoints = pg.endpoints();
   struct Entry {
     uint32_t gain;
-    NodeId node;
+    uint32_t pos;  // Index into endpoints(): dense, and ordered like ids.
     bool operator<(const Entry& other) const {
       if (gain != other.gain) return gain < other.gain;
-      return node > other.node;  // Prefer lower ids on ties.
+      return pos > other.pos;  // Prefer lower ids on ties.
     }
   };
   std::priority_queue<Entry> heap;
-  for (NodeId u : pg.endpoints()) {
-    heap.push({static_cast<uint32_t>(pg.IncidentPairs(u).size()), u});
+  for (uint32_t pos = 0; pos < endpoints.size(); ++pos) {
+    heap.push({static_cast<uint32_t>(pg.IncidentPairsAt(pos).size()), pos});
   }
-  std::vector<bool> pair_covered(pg.num_pairs(), false);
+  std::vector<uint8_t> pair_covered(pg.num_pairs(), 0);
 
   uint64_t gain_evals = 0;
-  auto current_gain = [&](NodeId u) {
+  auto current_gain = [&](uint32_t pos) {
     ++gain_evals;
     uint32_t gain = 0;
-    for (uint32_t pair_idx : pg.IncidentPairs(u)) {
-      if (!pair_covered[pair_idx]) ++gain;
+    for (uint32_t pair_idx : pg.IncidentPairsAt(pos)) {
+      gain += pair_covered[pair_idx] == 0 ? 1u : 0u;
     }
     return gain;
   };
 
   CoverResult result;
-  while (result.covered_pairs < pg.num_pairs() && result.nodes.size() < budget &&
-         !heap.empty()) {
+  while (result.covered_pairs < pg.num_pairs() &&
+         result.nodes.size() < budget && !heap.empty()) {
     Entry top = heap.top();
     heap.pop();
-    uint32_t gain = current_gain(top.node);
+    uint32_t gain = current_gain(top.pos);
     if (gain == 0) continue;
     if (gain < top.gain) {
-      heap.push({gain, top.node});  // Stale; refresh and retry.
+      heap.push({gain, top.pos});  // Stale; refresh and retry.
       continue;
     }
-    result.nodes.push_back(top.node);
-    for (uint32_t pair_idx : pg.IncidentPairs(top.node)) {
-      if (!pair_covered[pair_idx]) {
-        pair_covered[pair_idx] = true;
+    result.nodes.push_back(endpoints[top.pos]);
+    for (uint32_t pair_idx : pg.IncidentPairsAt(top.pos)) {
+      if (pair_covered[pair_idx] == 0) {
+        pair_covered[pair_idx] = 1;
         ++result.covered_pairs;
       }
     }
   }
   const CoverInstruments& instruments = CoverInstruments::Get();
-  instruments.runs.Increment();
-  instruments.rounds_total.Add(static_cast<int64_t>(result.nodes.size()));
-  instruments.gain_evals_total.Add(static_cast<int64_t>(gain_evals));
-  instruments.rounds_per_run.Observe(static_cast<double>(result.nodes.size()));
+  instruments.celf_runs.Increment();
+  instruments.celf_rounds_total.Add(static_cast<int64_t>(result.nodes.size()));
+  instruments.celf_gain_evals_total.Add(static_cast<int64_t>(gain_evals));
+  instruments.celf_rounds_per_run.Observe(
+      static_cast<double>(result.nodes.size()));
   return result;
 }
 
@@ -92,25 +112,108 @@ CoverResult GreedyCoverImpl(const PairGraph& pg, size_t budget) {
 
 CoverResult GreedyVertexCover(const PairGraph& pair_graph) {
   CoverResult result =
-      GreedyCoverImpl(pair_graph, pair_graph.endpoints().size());
+      CelfCoverImpl(pair_graph, pair_graph.endpoints().size());
   CONVPAIRS_CHECK_EQ(result.covered_pairs, pair_graph.num_pairs());
   return result;
 }
 
 CoverResult GreedyMaxCoverage(const PairGraph& pair_graph, size_t budget) {
-  return GreedyCoverImpl(pair_graph, budget);
+  return CelfCoverImpl(pair_graph, budget);
+}
+
+CoverResult RescanGreedyCover(const PairGraph& pair_graph, size_t budget) {
+  obs::ScopedSpan span("cover.greedy");
+  const PairGraph& pg = pair_graph;
+  const size_t num_endpoints = pg.endpoints().size();
+  std::vector<uint8_t> pair_covered(pg.num_pairs(), 0);
+  uint64_t gain_evals = 0;
+
+  CoverResult result;
+  while (result.covered_pairs < pg.num_pairs() &&
+         result.nodes.size() < budget) {
+    uint32_t best_gain = 0;
+    size_t best_pos = num_endpoints;
+    for (size_t pos = 0; pos < num_endpoints; ++pos) {
+      ++gain_evals;
+      uint32_t gain = 0;
+      for (uint32_t pair_idx : pg.IncidentPairsAt(pos)) {
+        gain += pair_covered[pair_idx] == 0 ? 1u : 0u;
+      }
+      // Strict >: the first (lowest-position == lowest-id) maximum wins,
+      // matching CELF's tie rule.
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_pos = pos;
+      }
+    }
+    if (best_pos == num_endpoints) break;  // Nothing left to gain.
+    result.nodes.push_back(pg.endpoints()[best_pos]);
+    for (uint32_t pair_idx : pg.IncidentPairsAt(best_pos)) {
+      if (pair_covered[pair_idx] == 0) {
+        pair_covered[pair_idx] = 1;
+        ++result.covered_pairs;
+      }
+    }
+  }
+  const CoverInstruments& instruments = CoverInstruments::Get();
+  instruments.rescan_runs.Increment();
+  instruments.rescan_rounds_total.Add(
+      static_cast<int64_t>(result.nodes.size()));
+  instruments.rescan_gain_evals_total.Add(static_cast<int64_t>(gain_evals));
+  instruments.rescan_rounds_per_run.Observe(
+      static_cast<double>(result.nodes.size()));
+  return result;
+}
+
+CoverResult SketchedMaxCoverage(const PairGraph& pair_graph, size_t budget,
+                                const SketchCoverOptions& options) {
+  CONVPAIRS_CHECK_GT(options.sample_rate, 0.0);
+  if (options.sample_rate >= 1.0) {
+    return GreedyMaxCoverage(pair_graph, budget);
+  }
+  obs::ScopedSpan span("cover.sketch");
+  Rng rng(options.seed);
+  std::vector<ConvergingPair> sample;
+  sample.reserve(static_cast<size_t>(
+      static_cast<double>(pair_graph.num_pairs()) * options.sample_rate));
+  for (const ConvergingPair& p : pair_graph.pairs()) {
+    if (rng.Bernoulli(options.sample_rate)) sample.push_back(p);
+  }
+  const CoverInstruments& instruments = CoverInstruments::Get();
+  instruments.sketch_runs.Increment();
+  instruments.sketch_sampled_pairs_total.Add(
+      static_cast<int64_t>(sample.size()));
+  if (sample.empty()) {
+    // Sample came up empty (tiny input or rate): fall back to the exact
+    // variant rather than returning a vacuous pick.
+    return GreedyMaxCoverage(pair_graph, budget);
+  }
+  PairGraph sampled(std::move(sample));
+  CoverResult picks = CelfCoverImpl(sampled, budget);
+  CoverResult result;
+  result.nodes = std::move(picks.nodes);
+  result.covered_pairs = CoveredPairCount(pair_graph, result.nodes);
+  return result;
 }
 
 bool IsVertexCover(const PairGraph& pair_graph,
                    const std::vector<NodeId>& nodes) {
-  std::vector<bool> covered(pair_graph.num_pairs(), false);
+  return CoveredPairCount(pair_graph, nodes) == pair_graph.num_pairs();
+}
+
+uint64_t CoveredPairCount(const PairGraph& pair_graph,
+                          const std::vector<NodeId>& nodes) {
+  std::vector<uint8_t> covered(pair_graph.num_pairs(), 0);
+  uint64_t count = 0;
   for (NodeId u : nodes) {
     for (uint32_t pair_idx : pair_graph.IncidentPairs(u)) {
-      covered[pair_idx] = true;
+      if (covered[pair_idx] == 0) {
+        covered[pair_idx] = 1;
+        ++count;
+      }
     }
   }
-  return std::all_of(covered.begin(), covered.end(),
-                     [](bool c) { return c; });
+  return count;
 }
 
 }  // namespace convpairs

@@ -5,6 +5,22 @@
 // approximation for cover, (1 - 1/e) for max-coverage) as the gold-standard
 // candidate set: the "maxcover" column of Table 3, the quality reference of
 // Figure 2(b), and the positive class of the classifiers.
+//
+// Three implementations, one contract:
+//  - GreedyVertexCover / GreedyMaxCoverage run CELF lazy greedy (Leskovec
+//    et al.): marginal gains only ever shrink as pairs get covered
+//    (submodularity), so a max-heap entry whose cached gain is stale is
+//    refreshed and reinserted instead of rescanning every endpoint each
+//    round. Output is *identical* to the re-scan greedy, ties included —
+//    the property suite asserts it.
+//  - RescanGreedyCover is that re-scan greedy: O(picks × total incidence),
+//    kept as the differential oracle and the benchmark baseline.
+//  - SketchedMaxCoverage runs CELF on a Bernoulli sample of the pairs — the
+//    hypergraph-sketch trick (Nguyen et al.) for million-pair instances —
+//    and reports the picked nodes' *exact* coverage on the full graph.
+//
+// Telemetry: cover.celf.{runs,rounds_total,gain_evals_total,rounds},
+// cover.greedy.* (re-scan oracle), cover.sketch.{runs,sampled_pairs_total}.
 
 #ifndef CONVPAIRS_COVER_GREEDY_COVER_H_
 #define CONVPAIRS_COVER_GREEDY_COVER_H_
@@ -26,14 +42,39 @@ struct CoverResult {
 
 /// Greedy vertex cover: picks the node covering the most uncovered pairs
 /// until every pair is covered. Ties break toward the lower node id.
+/// CELF-accelerated; output identical to RescanGreedyCover.
 CoverResult GreedyVertexCover(const PairGraph& pair_graph);
 
 /// Budgeted variant: stops after `budget` nodes (or full coverage).
 CoverResult GreedyMaxCoverage(const PairGraph& pair_graph, size_t budget);
 
+/// The classic re-scan greedy: every round recomputes every endpoint's
+/// marginal gain. O(picks × total incidence) — the differential oracle for
+/// CELF and the baseline BM_GreedyCover measures against. Same tie rule.
+CoverResult RescanGreedyCover(const PairGraph& pair_graph, size_t budget);
+
+/// Sketch parameters for SketchedMaxCoverage.
+struct SketchCoverOptions {
+  /// Bernoulli keep-probability per pair.
+  double sample_rate = 0.25;
+  /// Seed for the deterministic sampling stream.
+  uint64_t seed = 0;
+};
+
+/// Approximate max-coverage: greedy (CELF) on a Bernoulli sample of the
+/// pairs. `covered_pairs` in the result is the picked nodes' exact coverage
+/// of the FULL pair graph, so callers can compare against GreedyMaxCoverage
+/// directly. With sample_rate >= 1 this is exactly GreedyMaxCoverage.
+CoverResult SketchedMaxCoverage(const PairGraph& pair_graph, size_t budget,
+                                const SketchCoverOptions& options = {});
+
 /// True if every pair has at least one endpoint in `nodes`.
 bool IsVertexCover(const PairGraph& pair_graph,
                    const std::vector<NodeId>& nodes);
+
+/// Number of distinct pairs with at least one endpoint in `nodes`.
+uint64_t CoveredPairCount(const PairGraph& pair_graph,
+                          const std::vector<NodeId>& nodes);
 
 }  // namespace convpairs
 

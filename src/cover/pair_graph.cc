@@ -17,23 +17,46 @@ PairGraph::PairGraph(std::vector<ConvergingPair> pairs)
     uint64_t key = (static_cast<uint64_t>(p.u) << 32) | p.v;
     CONVPAIRS_CHECK(seen.insert(key).second);  // Top-k pairs form a set.
   }
-  for (uint32_t i = 0; i < pairs_.size(); ++i) {
-    incidence_[pairs_[i].u].push_back(i);
-    incidence_[pairs_[i].v].push_back(i);
+
+  // CSR build: collect endpoints, sort/unique, then counting-sort the
+  // incidences into one flat array (two passes, no per-node vectors).
+  endpoints_.reserve(pairs_.size() * 2);
+  for (const ConvergingPair& p : pairs_) {
+    endpoints_.push_back(p.u);
+    endpoints_.push_back(p.v);
   }
-  endpoints_.reserve(incidence_.size());
-  for (const auto& [node, incident] : incidence_) endpoints_.push_back(node);
   std::sort(endpoints_.begin(), endpoints_.end());
+  endpoints_.erase(std::unique(endpoints_.begin(), endpoints_.end()),
+                   endpoints_.end());
+
+  offsets_.assign(endpoints_.size() + 1, 0);
+  for (const ConvergingPair& p : pairs_) {
+    ++offsets_[EndpointIndex(p.u) + 1];
+    ++offsets_[EndpointIndex(p.v) + 1];
+  }
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  incidence_.resize(2 * pairs_.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t i = 0; i < pairs_.size(); ++i) {
+    incidence_[cursor[EndpointIndex(pairs_[i].u)]++] = i;
+    incidence_[cursor[EndpointIndex(pairs_[i].v)]++] = i;
+  }
+}
+
+size_t PairGraph::EndpointIndex(NodeId u) const {
+  auto it = std::lower_bound(endpoints_.begin(), endpoints_.end(), u);
+  if (it == endpoints_.end() || *it != u) return endpoints_.size();
+  return static_cast<size_t>(it - endpoints_.begin());
 }
 
 std::span<const uint32_t> PairGraph::IncidentPairs(NodeId u) const {
-  auto it = incidence_.find(u);
-  if (it == incidence_.end()) return {};
-  return it->second;
+  const size_t index = EndpointIndex(u);
+  if (index == endpoints_.size()) return {};
+  return IncidentPairsAt(index);
 }
 
 bool PairGraph::IsEndpoint(NodeId u) const {
-  return incidence_.find(u) != incidence_.end();
+  return EndpointIndex(u) != endpoints_.size();
 }
 
 }  // namespace convpairs

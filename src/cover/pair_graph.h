@@ -3,14 +3,16 @@
 // Given the set P of top-k converging pairs, G^p_k has an edge (u,v) for
 // every pair in P. A vertex cover of G^p_k is exactly a candidate set whose
 // SSSP rows recover all of P; the budgeted problem (Problem 2) is
-// max-coverage of its edges. This module stores P with per-node incidence
-// lists so cover and coverage queries are O(degree).
+// max-coverage of its edges. This module stores P in CSR form — a sorted
+// endpoint array plus a flat incidence array with prefix offsets — so
+// million-pair instances cost two contiguous arrays instead of a hash map
+// of vectors, incidence scans are cache-linear, and cover algorithms can
+// index endpoints by dense position.
 
 #ifndef CONVPAIRS_COVER_PAIR_GRAPH_H_
 #define CONVPAIRS_COVER_PAIR_GRAPH_H_
 
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/types.h"
@@ -34,16 +36,27 @@ class PairGraph {
   const std::vector<NodeId>& endpoints() const { return endpoints_; }
 
   /// Indices into pairs() of the pairs incident to `u` (empty if `u` is not
-  /// an endpoint).
+  /// an endpoint). O(log |endpoints|) lookup, contiguous result.
   std::span<const uint32_t> IncidentPairs(NodeId u) const;
+
+  /// Incidence of endpoints()[index] — the O(1) positional accessor cover
+  /// algorithms use once they carry dense endpoint positions.
+  std::span<const uint32_t> IncidentPairsAt(size_t index) const {
+    return std::span<const uint32_t>(incidence_)
+        .subspan(offsets_[index], offsets_[index + 1] - offsets_[index]);
+  }
 
   /// True if `u` is an endpoint of at least one pair.
   bool IsEndpoint(NodeId u) const;
 
  private:
+  /// Position of `u` in endpoints(), or endpoints().size() when absent.
+  size_t EndpointIndex(NodeId u) const;
+
   std::vector<ConvergingPair> pairs_;
-  std::vector<NodeId> endpoints_;
-  std::unordered_map<NodeId, std::vector<uint32_t>> incidence_;
+  std::vector<NodeId> endpoints_;     // Sorted, unique.
+  std::vector<uint32_t> offsets_;     // endpoints_.size() + 1 prefix sums.
+  std::vector<uint32_t> incidence_;   // Pair indices, grouped by endpoint.
 };
 
 }  // namespace convpairs

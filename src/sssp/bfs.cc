@@ -68,6 +68,58 @@ void BfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
   BfsInto(g, src, *out, queue);
 }
 
+BoundedBfsStats BfsDistancesUpToLevel(const Graph& g, NodeId src,
+                                      Dist level_cap, std::vector<Dist>* out,
+                                      SsspBudget* budget) {
+  CONVPAIRS_CHECK_LT(src, g.num_nodes());
+  if (budget != nullptr) budget->Charge();
+  std::vector<Dist>& dist = *out;
+  dist.assign(g.num_nodes(), kInfDist);
+  BoundedBfsStats stats;
+  if (level_cap < 0) {
+    // Degenerate cap: nothing may be settled, not even the source, but the
+    // charged unit is still (almost) fully refundable.
+    stats.truncated = g.num_nodes() > 0;
+    if (budget != nullptr && stats.truncated) budget->Refund(1.0);
+    return stats;
+  }
+  dist[src] = 0;
+  std::vector<NodeId> queue;
+  queue.push_back(src);
+  size_t head = 0;
+  bool frontier_cut = false;
+  while (head < queue.size()) {
+    NodeId u = queue[head++];
+    if (dist[u] >= level_cap) {
+      // Every remaining queue entry is at the cap; their neighbors would
+      // settle one level deeper. Note whether any such neighbor exists so
+      // truncation (and the refund) is reported honestly.
+      for (NodeId v : g.neighbors(u)) {
+        if (dist[v] == kInfDist) {
+          frontier_cut = true;
+          break;
+        }
+      }
+      if (frontier_cut) break;
+      continue;
+    }
+    Dist next = dist[u] + 1;
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kInfDist) {
+        dist[v] = next;
+        queue.push_back(v);
+      }
+    }
+  }
+  stats.nodes_settled = static_cast<uint32_t>(queue.size());
+  stats.truncated = frontier_cut;
+  if (budget != nullptr && stats.truncated && g.num_nodes() > 0) {
+    budget->Refund(1.0 - static_cast<double>(stats.nodes_settled) /
+                             static_cast<double>(g.num_nodes()));
+  }
+  return stats;
+}
+
 std::vector<Dist> BfsDistances(const Graph& g, NodeId src,
                                SsspBudget* budget) {
   std::vector<Dist> dist;

@@ -15,6 +15,27 @@ namespace convpairs {
 void BfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
                   SsspBudget* budget = nullptr);
 
+/// Outcome of a level-capped BFS (the simple bounded-traversal mode; the
+/// dynamic Bergamini-style variant lives in bfs_engine.h).
+struct BoundedBfsStats {
+  /// Nodes whose distance was settled, including `src`.
+  uint32_t nodes_settled = 0;
+  /// True when the cap cut the traversal off while the frontier was still
+  /// growing — i.e. some reachable node was left at kInfDist.
+  bool truncated = false;
+};
+
+/// Level-capped BFS: identical to BfsDistances for every node at hop
+/// distance <= `level_cap`; all deeper (or unreachable) nodes stay at
+/// kInfDist. Charges one *nominal* unit to `budget` — the paper's cost
+/// model counts issued SSSPs, not their depth — and then refunds the
+/// untraversed node fraction (1 - settled/n) when the cap actually
+/// truncated the traversal, so bounded work flows back into the refund
+/// pool. `level_cap` < 0 settles only `src`.
+BoundedBfsStats BfsDistancesUpToLevel(const Graph& g, NodeId src,
+                                      Dist level_cap, std::vector<Dist>* out,
+                                      SsspBudget* budget = nullptr);
+
 /// Allocating convenience overload. [[nodiscard]]: the traversal is pure
 /// apart from budget charging, so a discarded result is always a bug.
 [[nodiscard]] std::vector<Dist> BfsDistances(const Graph& g, NodeId src,

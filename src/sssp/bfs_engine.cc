@@ -20,6 +20,9 @@ struct EngineInstruments {
   obs::Counter& msbfs_batches;
   obs::Counter& msbfs_sources;
   obs::Histogram& batch_occupancy;
+  obs::Counter& bounded_runs;
+  obs::Counter& bounded_truncated;
+  obs::Counter& bounded_nodes_settled;
 
   static const EngineInstruments& Get() {
     static const EngineInstruments instruments = [] {
@@ -31,7 +34,10 @@ struct EngineInstruments {
           registry.GetCounter("sssp.bfs.msbfs.batches"),
           registry.GetCounter("sssp.bfs.msbfs.sources"),
           registry.GetHistogram("sssp.bfs.msbfs.batch_occupancy",
-                                obs::LinearBuckets(8.0, 8.0, 8))};
+                                obs::LinearBuckets(8.0, 8.0, 8)),
+          registry.GetCounter("sssp.bfs.bounded.runs"),
+          registry.GetCounter("sssp.bfs.bounded.truncated"),
+          registry.GetCounter("sssp.bfs.bounded.nodes_settled_total")};
     }();
     return instruments;
   }
@@ -170,6 +176,82 @@ void DirOptBfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
                         SsspBudget* budget, DirOptParams params) {
   DirOptBfsRunner runner(g, params);
   *out = runner.Run(src, budget);
+}
+
+ThresholdBoundedBfsRunner::ThresholdBoundedBfsRunner(const Graph& g)
+    : graph_(g) {
+  dist_.reserve(g.num_nodes());
+  frontier_.reserve(g.num_nodes());
+  next_.reserve(g.num_nodes());
+}
+
+BoundedRunStats ThresholdBoundedBfsRunner::Run(NodeId src,
+                                               std::span<const Dist> scores,
+                                               Dist theta,
+                                               SsspBudget* budget) {
+  const NodeId n = graph_.num_nodes();
+  CONVPAIRS_CHECK_LT(src, n);
+  CONVPAIRS_CHECK_EQ(scores.size(), static_cast<size_t>(n));
+  if (budget != nullptr) budget->Charge();
+
+  // Bucket the scored nodes: unsettled_by_score_[s] counts unsettled nodes
+  // with score s. The termination check only needs the maximum occupied
+  // bucket, which moves monotonically downward as nodes settle.
+  Dist max_score = kNoScore;
+  for (NodeId v = 0; v < n; ++v) {
+    if (scores[v] > max_score) max_score = scores[v];
+  }
+  unsettled_by_score_.assign(static_cast<size_t>(max_score + 1), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (scores[v] >= 0) ++unsettled_by_score_[scores[v]];
+  }
+  int64_t cur_max = max_score;
+
+  dist_.assign(n, kInfDist);
+  dist_[src] = 0;
+  if (scores[src] >= 0) --unsettled_by_score_[scores[src]];
+  frontier_.clear();
+  frontier_.push_back(src);
+
+  BoundedRunStats stats;
+  stats.nodes_settled = 1;
+  Dist level = 0;
+  while (!frontier_.empty()) {
+    while (cur_max >= 0 && unsettled_by_score_[cur_max] == 0) --cur_max;
+    // Cut 1: every scored node is settled — the rest of the graph cannot
+    // matter to the consumer. Cut 2 (theta given): any node settling at
+    // level + 1 or deeper has margin <= cur_max - (level + 1) < theta.
+    if (cur_max < 0 ||
+        (theta != kNoThreshold && cur_max - (level + 1) < theta)) {
+      stats.truncated = true;
+      break;
+    }
+    ++level;
+    next_.clear();
+    for (NodeId u : frontier_) {
+      for (NodeId v : graph_.neighbors(u)) {
+        if (dist_[v] == kInfDist) {
+          dist_[v] = level;
+          next_.push_back(v);
+          if (scores[v] >= 0) --unsettled_by_score_[scores[v]];
+        }
+      }
+    }
+    stats.nodes_settled += static_cast<uint32_t>(next_.size());
+    frontier_.swap(next_);
+  }
+  stats.levels = level;
+
+  if (budget != nullptr && stats.truncated && n > 0) {
+    budget->Refund(1.0 - static_cast<double>(stats.nodes_settled) /
+                             static_cast<double>(n));
+  }
+  const EngineInstruments& instruments = EngineInstruments::Get();
+  instruments.bounded_runs.Increment();
+  if (stats.truncated) instruments.bounded_truncated.Increment();
+  instruments.bounded_nodes_settled.Add(
+      static_cast<int64_t>(stats.nodes_settled));
+  return stats;
 }
 
 MsBfsRunner::MsBfsRunner(const Graph& g) : graph_(g) {

@@ -27,14 +27,23 @@
 //  - MultiSourceDistances drives MS-BFS batches across the work-stealing
 //    pool (util/parallel.h) with per-worker runner/row scratch reuse.
 //
-// Telemetry (src/obs): sssp.bfs.diropt.{runs,topdown_steps,bottomup_steps}
-// and sssp.bfs.msbfs.{batches,sources,batch_occupancy}.
+//  - ThresholdBoundedBfsRunner is the bounded-traversal mode behind the
+//    pruned top-k extraction (Bergamini-style cutting): given per-node
+//    scores s[v] (the candidate's G_t1 distances) and a threshold theta
+//    (the running k-th best Delta), it expands G_t2 only until no unsettled
+//    scored node can still satisfy s[v] - dist[v] >= theta, charging the
+//    nominal budget unit but refunding the untraversed fraction.
+//
+// Telemetry (src/obs): sssp.bfs.diropt.{runs,topdown_steps,bottomup_steps},
+// sssp.bfs.msbfs.{batches,sources,batch_occupancy} and
+// sssp.bfs.bounded.{runs,truncated,nodes_settled_total}.
 
 #ifndef CONVPAIRS_SSSP_BFS_ENGINE_H_
 #define CONVPAIRS_SSSP_BFS_ENGINE_H_
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -143,6 +152,57 @@ class MsBfsRunner {
   std::vector<uint64_t> target_mask_;   // Bit b set: lane b targets the node.
   std::vector<uint32_t> query_by_target_;  // Query indices sorted by target.
   std::vector<uint32_t> lane_remaining_;   // Unsettled queries per lane.
+};
+
+/// Score marking a node as ineligible in ThresholdBoundedBfsRunner::Run.
+inline constexpr Dist kNoScore = -1;
+
+/// Theta sentinel disabling the threshold cut: the traversal then stops only
+/// once every scored node is settled (or the frontier is exhausted).
+inline constexpr Dist kNoThreshold = std::numeric_limits<Dist>::min();
+
+/// Outcome of one threshold-bounded traversal.
+struct BoundedRunStats {
+  /// Nodes whose distance was settled, including the source.
+  uint32_t nodes_settled = 0;
+  /// Deepest level expanded.
+  Dist levels = 0;
+  /// True when the bound stopped the traversal early (frontier still live).
+  bool truncated = false;
+};
+
+/// Reusable-workspace threshold-bounded BFS (the pruned-extraction engine
+/// mode). Given scores s[v] >= 0 for the nodes a consumer still cares about
+/// (kNoScore for the rest) and a threshold theta, Run() settles — with exact
+/// BFS distances — at least every node v with dist(src, v) <= s[v] - theta,
+/// and terminates as soon as no unsettled scored node can still satisfy
+/// that. The argument is the insertions-only Bergamini cut: once levels
+/// 0..L are complete, any unsettled v has dist >= L + 1, so its best
+/// achievable margin is max_unsettled_score - (L + 1); when that drops below
+/// theta the remaining graph is provably irrelevant. Unsettled nodes stay at
+/// kInfDist. Tracked with per-score bucket counts, so the check is O(1) per
+/// level.
+class ThresholdBoundedBfsRunner {
+ public:
+  explicit ThresholdBoundedBfsRunner(const Graph& g);
+
+  /// Runs the bounded traversal; `scores` must have g.num_nodes() entries.
+  /// Charges one nominal unit to `budget` if given, then refunds the
+  /// untraversed node fraction (1 - settled/n) when the bound truncated the
+  /// traversal — this is the one place extraction pruning talks to the
+  /// refund pool. The distance row is valid until the next Run.
+  BoundedRunStats Run(NodeId src, std::span<const Dist> scores, Dist theta,
+                      SsspBudget* budget = nullptr);
+
+  /// Distances from the last Run (kInfDist where unsettled).
+  const std::vector<Dist>& dist() const { return dist_; }
+
+ private:
+  const Graph& graph_;
+  std::vector<Dist> dist_;
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_;
+  std::vector<uint32_t> unsettled_by_score_;  // Bucket counts over scores.
 };
 
 /// Runs BFS from every node in `sources` in kMsBfsBatchWidth-wide batches,

@@ -1,10 +1,35 @@
 #include "sssp/budget.h"
 
+#include <cmath>
 #include <limits>
 
 #include "obs/registry.h"
 
 namespace convpairs {
+namespace {
+
+struct BudgetInstruments {
+  obs::Counter& charged_total;
+  obs::Counter& refunded_micro_total;
+  obs::Counter& refund_spent_total;
+  obs::Gauge& used;
+  obs::Gauge& limit;
+
+  static const BudgetInstruments& Get() {
+    static const BudgetInstruments instruments = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return BudgetInstruments{
+          registry.GetCounter("sssp.budget.charged_total"),
+          registry.GetCounter("sssp.budget.refunded_micro_total"),
+          registry.GetCounter("sssp.budget.refund_spent_total"),
+          registry.GetGauge("sssp.budget.used"),
+          registry.GetGauge("sssp.budget.limit")};
+    }();
+    return instruments;
+  }
+};
+
+}  // namespace
 
 void SsspBudget::Charge(int64_t count) {
   CONVPAIRS_CHECK_GE(count, 0);
@@ -15,20 +40,33 @@ void SsspBudget::Charge(int64_t count) {
   if (limit_ >= 0) CONVPAIRS_CHECK_LE(next, limit_);
   used_ = next;
 
-  struct BudgetInstruments {
-    obs::Counter& charged_total;
-    obs::Gauge& used;
-    obs::Gauge& limit;
-  };
-  static const BudgetInstruments instruments = [] {
-    auto& registry = obs::MetricsRegistry::Global();
-    return BudgetInstruments{registry.GetCounter("sssp.budget.charged_total"),
-                             registry.GetGauge("sssp.budget.used"),
-                             registry.GetGauge("sssp.budget.limit")};
-  }();
+  const BudgetInstruments& instruments = BudgetInstruments::Get();
   instruments.charged_total.Add(count);
   instruments.used.Set(used_);
   instruments.limit.Set(limit_);
+}
+
+void SsspBudget::Refund(double fraction) {
+  CONVPAIRS_CHECK_GE(fraction, 0.0);
+  CONVPAIRS_CHECK_LE(fraction, 1.0);
+  const auto micro = static_cast<int64_t>(std::llround(fraction * kMicroUnits));
+  // A refund must correspond to work that was actually charged: the total
+  // refunded fraction can never exceed the total charged units. Validate
+  // before mutating (overflow guard first, then the accounting bound).
+  CONVPAIRS_CHECK_LE(used_, std::numeric_limits<int64_t>::max() / kMicroUnits);
+  CONVPAIRS_CHECK_LE(micro, used_ * kMicroUnits - refunded_micro_);
+  refunded_micro_ += micro;
+  BudgetInstruments::Get().refunded_micro_total.Add(micro);
+}
+
+bool SsspBudget::TrySpendRefund(int64_t count) {
+  CONVPAIRS_CHECK_GE(count, 0);
+  CONVPAIRS_CHECK_LE(count, std::numeric_limits<int64_t>::max() / kMicroUnits);
+  const int64_t needed_micro = count * kMicroUnits;
+  if (refund_available_micro() < needed_micro) return false;
+  refund_spent_micro_ += needed_micro;
+  BudgetInstruments::Get().refund_spent_total.Add(count);
+  return true;
 }
 
 }  // namespace convpairs

@@ -6,6 +6,24 @@
 // (Table 1). SsspBudget makes that accounting explicit and enforceable;
 // every BFS/Dijkstra run in the pipeline charges it, and tests assert the
 // paper's per-policy breakdown.
+//
+// Refund accounting (bound-pruned extraction): a traversal that terminates
+// early because an upper bound proved it cannot contribute a top-k pair
+// still *charges* a full unit — the nominal Table 1 split (generation +
+// extraction = 2m) is a property of the policy, not of how lucky the
+// pruning got — but it may then Refund() the untraversed fraction. Refund
+// credits accumulate in a fractional pool that consumers can spend, in
+// whole units, on extra candidates via TrySpendRefund(); spent pool units
+// never touch the nominal counter, so `used()` stays bit-identical to the
+// unpruned pipeline while `effective_used()` reports what the machine
+// actually paid. Invariants (checked): total refunds never exceed total
+// charges, pool spend never exceeds refunds, and
+// effective_used() <= used() <= limit.
+//
+// Only bounded traversals inside src/sssp may call Refund() directly (lint
+// invariant 9): consumers observe refunds through ChargeSkipped() /
+// TrySpendRefund() / the accessors, so there is exactly one place budget
+// math can go wrong.
 
 #ifndef CONVPAIRS_SSSP_BUDGET_H_
 #define CONVPAIRS_SSSP_BUDGET_H_
@@ -20,6 +38,10 @@ namespace convpairs {
 class SsspBudget {
  public:
   static constexpr int64_t kUnlimited = -1;
+  /// Fixed-point denominator for fractional refunds: refunds are tracked in
+  /// micro-SSSP units so the pool is exact, deterministic and comparable in
+  /// tests (no accumulated floating-point drift).
+  static constexpr int64_t kMicroUnits = 1'000'000;
 
   /// `limit` < 0 means unlimited (count only).
   explicit SsspBudget(int64_t limit = kUnlimited) : limit_(limit) {}
@@ -33,7 +55,31 @@ class SsspBudget {
   /// keep obs out of this widely-included header).
   void Charge(int64_t count = 1);
 
-  /// Total SSSP computations recorded so far.
+  /// Credits `fraction` (in [0, 1]) of one SSSP unit back to the refund
+  /// pool: a bounded traversal that settled 40% of the graph refunds 0.6.
+  /// The nominal counter is untouched. Aborts if the fraction is out of
+  /// range or total refunds would exceed total charges — refunding work
+  /// that was never charged is always an accounting bug. Only traversal
+  /// code inside src/sssp may call this (lint invariant 9).
+  void Refund(double fraction);
+
+  /// Accounting for a traversal skipped *entirely* by an upper bound (the
+  /// candidate's G_t2 SSSP was provably unable to contribute): charges the
+  /// nominal unit — keeping used() identical to the unpruned pipeline — and
+  /// immediately refunds all of it.
+  void ChargeSkipped() {
+    Charge(1);
+    Refund(1.0);
+  }
+
+  /// Tries to fund `count` whole SSSP units from the refund pool. On
+  /// success the pool shrinks and true is returned; the nominal counter is
+  /// NOT charged (the work is paid for by savings already banked). Returns
+  /// false — with no state change — when the pool holds less than `count`
+  /// whole units.
+  bool TrySpendRefund(int64_t count = 1);
+
+  /// Total SSSP computations recorded so far (nominal Table 1 spend).
   int64_t used() const { return used_; }
 
   /// The cap, or kUnlimited.
@@ -44,12 +90,40 @@ class SsspBudget {
     return limit_ < 0 ? INT64_MAX : limit_ - used_;
   }
 
-  /// Resets the counter (the cap is kept).
-  void Reset() { used_ = 0; }
+  /// Total refunded fraction, in micro-SSSP units (exact) and as a double.
+  int64_t refunded_micro() const { return refunded_micro_; }
+  double refunded() const {
+    return static_cast<double>(refunded_micro_) / kMicroUnits;
+  }
+
+  /// Whole units consumed from the refund pool so far.
+  int64_t refund_spent() const { return refund_spent_micro_ / kMicroUnits; }
+
+  /// Unspent pool balance in micro-SSSP units.
+  int64_t refund_available_micro() const {
+    return refunded_micro_ - refund_spent_micro_;
+  }
+
+  /// What the machine actually paid: nominal spend minus the unspent pool
+  /// (pool units that *were* spent bought real traversals, so they stay).
+  /// Always <= used().
+  double effective_used() const {
+    return static_cast<double>(used_) -
+           static_cast<double>(refund_available_micro()) / kMicroUnits;
+  }
+
+  /// Resets all counters and the refund pool (the cap is kept).
+  void Reset() {
+    used_ = 0;
+    refunded_micro_ = 0;
+    refund_spent_micro_ = 0;
+  }
 
  private:
   int64_t limit_;
   int64_t used_ = 0;
+  int64_t refunded_micro_ = 0;
+  int64_t refund_spent_micro_ = 0;
 };
 
 }  // namespace convpairs

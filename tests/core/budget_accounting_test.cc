@@ -54,6 +54,13 @@ TEST_P(BudgetAccountingTest, SpendsExactlyTwoM) {
     EXPECT_EQ(static_cast<int>(result.candidates.size()),
               test_case.expected_candidates(m, options.num_landmarks))
         << test_case.selector << " m=" << m;
+    // Pruning refunds never inflate the nominal Table 1 number; the
+    // effective spend is what pruning saved, bounded by the nominal.
+    EXPECT_GE(result.sssp_refunded, 0.0) << test_case.selector;
+    EXPECT_LE(result.sssp_effective,
+              static_cast<double>(result.sssp_used) + 1e-9)
+        << test_case.selector << " m=" << m;
+    EXPECT_GE(result.sssp_effective, 0.0) << test_case.selector;
   }
 }
 

@@ -1,0 +1,287 @@
+// Differential property suite for bound-pruned top-k extraction.
+//
+// The pruned extractor (threshold skips + Bergamini-bounded traversals +
+// refund-funded extras) must be *output-identical* to the unpruned oracle —
+// tie-aware, since pairs are totally ordered by (delta desc, u asc, v asc) —
+// while charging the exact same nominal budget sequence. These properties
+// are asserted over every generator topology, both engines (batched BFS and
+// the non-batchable Dijkstra fallback), and a sweep of k including the
+// degenerate k = 0.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "core/selector_registry.h"
+#include "core/top_k.h"
+#include "gen/ba_generator.h"
+#include "gen/datasets.h"
+#include "gen/er_generator.h"
+#include "gen/forest_fire.h"
+#include "gen/ws_generator.h"
+#include "sssp/bfs.h"
+#include "sssp/dijkstra.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+struct WorkloadCase {
+  const char* name;
+  std::pair<Graph, Graph> (*build)(uint64_t seed);
+  uint64_t seed;
+};
+
+std::pair<Graph, Graph> BuildEr(uint64_t seed) {
+  Rng rng(seed);
+  TemporalGraph tg =
+      GenerateErdosRenyi({.num_nodes = 220, .num_edges = 700}, rng);
+  return {tg.SnapshotAtFraction(0.8), tg.SnapshotAtFraction(1.0)};
+}
+
+std::pair<Graph, Graph> BuildBa(uint64_t seed) {
+  Rng rng(seed);
+  BaParams params;
+  params.num_nodes = 220;
+  params.edges_per_node = 3;
+  TemporalGraph tg = GenerateBarabasiAlbert(params, rng);
+  return {tg.SnapshotAtFraction(0.8), tg.SnapshotAtFraction(1.0)};
+}
+
+std::pair<Graph, Graph> BuildWs(uint64_t seed) {
+  Rng rng(seed);
+  WsParams params;
+  params.num_nodes = 220;
+  params.k = 4;
+  params.beta = 0.1;
+  TemporalGraph tg = GenerateWattsStrogatz(params, rng);
+  return {tg.SnapshotAtFraction(0.8), tg.SnapshotAtFraction(1.0)};
+}
+
+std::pair<Graph, Graph> BuildForestFire(uint64_t seed) {
+  Rng rng(seed);
+  ForestFireParams params;
+  params.num_nodes = 220;
+  params.burn_probability = 0.3;
+  TemporalGraph tg = GenerateForestFire(params, rng);
+  return {tg.SnapshotAtFraction(0.8), tg.SnapshotAtFraction(1.0)};
+}
+
+constexpr WorkloadCase kWorkloads[] = {
+    {"er_a", BuildEr, 11},      {"er_b", BuildEr, 12},
+    {"ba_a", BuildBa, 21},      {"ba_b", BuildBa, 22},
+    {"ws_a", BuildWs, 31},      {"ws_b", BuildWs, 32},
+    {"ff_a", BuildForestFire, 41}, {"ff_b", BuildForestFire, 42},
+};
+
+// A spread-out deterministic candidate sample (every stride-th node).
+std::vector<NodeId> SampleCandidates(const Graph& g, size_t count) {
+  std::vector<NodeId> nodes;
+  const NodeId n = g.num_nodes();
+  const NodeId stride = std::max<NodeId>(1, n / static_cast<NodeId>(count));
+  for (NodeId u = 0; u < n && nodes.size() < count; u += stride) {
+    nodes.push_back(u);
+  }
+  return nodes;
+}
+
+TopKResult Extract(const Graph& g1, const Graph& g2,
+                   const ShortestPathEngine& engine,
+                   const std::vector<NodeId>& nodes, int k,
+                   SsspBudget* budget, bool prune, bool batch) {
+  CandidateSet candidate_set;
+  candidate_set.nodes = nodes;
+  ExtractOptions options;
+  options.prune = prune;
+  options.batch = batch;
+  return ExtractTopKPairs(g1, g2, engine, candidate_set, k, budget, options);
+}
+
+class TopKPruneTest : public ::testing::TestWithParam<WorkloadCase> {};
+
+// Core differential property: all four extractor configurations — oracle,
+// batched oracle, pruned-serial, pruned-batched — return the identical pair
+// list and charge the identical nominal budget; refunds appear only under
+// pruning and never exceed the nominal spend.
+TEST_P(TopKPruneTest, PrunedExtractionMatchesOracleExactly) {
+  auto [g1, g2] = GetParam().build(GetParam().seed);
+  BfsEngine engine;
+  std::vector<NodeId> nodes = SampleCandidates(g1, 25);
+  for (int k : {0, 1, 5, 20, 500}) {
+    SsspBudget oracle_budget;
+    TopKResult oracle = Extract(g1, g2, engine, nodes, k, &oracle_budget,
+                                /*prune=*/false, /*batch=*/false);
+    for (bool batch : {false, true}) {
+      SsspBudget budget;
+      TopKResult pruned = Extract(g1, g2, engine, nodes, k, &budget,
+                                  /*prune=*/true, batch);
+      ASSERT_EQ(pruned.pairs, oracle.pairs)
+          << GetParam().name << " k=" << k << " batch=" << batch;
+      EXPECT_EQ(budget.used(), oracle_budget.used())
+          << GetParam().name << " k=" << k;
+      EXPECT_GE(budget.refunded_micro(), 0);
+      EXPECT_LE(budget.refunded(),
+                static_cast<double>(budget.used()) + 1e-9);
+      EXPECT_LE(pruned.sssp_effective,
+                static_cast<double>(pruned.sssp_used) + 1e-9);
+      EXPECT_LE(pruned.g2_nodes_settled, oracle.g2_nodes_settled)
+          << GetParam().name << " k=" << k;
+    }
+    // Batched unpruned path agrees too.
+    SsspBudget batch_budget;
+    TopKResult batched = Extract(g1, g2, engine, nodes, k, &batch_budget,
+                                 /*prune=*/false, /*batch=*/true);
+    ASSERT_EQ(batched.pairs, oracle.pairs) << GetParam().name << " k=" << k;
+    EXPECT_EQ(batch_budget.used(), oracle_budget.used());
+    EXPECT_EQ(batch_budget.refunded_micro(), 0);
+  }
+}
+
+// The non-batchable engine takes the skip-only pruning path (full Dijkstra
+// rows, no bounded traversal); the output contract is unchanged.
+TEST_P(TopKPruneTest, DijkstraEngineSkipOnlyPruningMatchesOracle) {
+  auto [g1, g2] = GetParam().build(GetParam().seed);
+  DijkstraEngine engine;
+  ASSERT_FALSE(engine.UnweightedBatchable());
+  std::vector<NodeId> nodes = SampleCandidates(g1, 15);
+  for (int k : {1, 10}) {
+    SsspBudget oracle_budget;
+    TopKResult oracle = Extract(g1, g2, engine, nodes, k, &oracle_budget,
+                                /*prune=*/false, /*batch=*/false);
+    SsspBudget budget;
+    TopKResult pruned = Extract(g1, g2, engine, nodes, k, &budget,
+                                /*prune=*/true, /*batch=*/true);
+    ASSERT_EQ(pruned.pairs, oracle.pairs) << GetParam().name << " k=" << k;
+    EXPECT_EQ(budget.used(), oracle_budget.used());
+  }
+}
+
+// End-to-end parity through the selector pipeline: pruning on vs off picks
+// the same candidates, the same pairs, and the same nominal 2m.
+TEST_P(TopKPruneTest, EndToEndPipelineParityAcrossPolicies) {
+  auto [g1, g2] = GetParam().build(GetParam().seed);
+  BfsEngine engine;
+  for (const char* policy : {"MMSD", "DegDiff", "MaxAvg"}) {
+    auto selector = MakeSelector(policy).value();
+    TopKOptions options;
+    options.k = 15;
+    options.budget_m = 25;
+    options.num_landmarks = 5;
+    options.seed = GetParam().seed;
+    options.prune = false;
+    options.spend_refunds = false;
+    TopKResult oracle =
+        FindTopKConvergingPairs(g1, g2, engine, *selector, options);
+
+    options.prune = true;
+    TopKResult pruned =
+        FindTopKConvergingPairs(g1, g2, engine, *selector, options);
+    ASSERT_EQ(pruned.pairs, oracle.pairs) << GetParam().name << " " << policy;
+    EXPECT_EQ(pruned.candidates, oracle.candidates);
+    EXPECT_EQ(pruned.sssp_used, oracle.sssp_used);
+    EXPECT_TRUE(pruned.extra_candidates.empty());  // spend_refunds off.
+  }
+}
+
+// Refund-funded extras: only appear with spend_refunds, are disjoint from
+// the selector's M, cost no nominal budget, and only ever add pairs at
+// least as good as the oracle's k-th (the result is still the true top-k
+// over a superset of probes).
+TEST_P(TopKPruneTest, RefundExtrasAreFreeAndDisjoint) {
+  auto [g1, g2] = GetParam().build(GetParam().seed);
+  BfsEngine engine;
+  auto selector = MakeSelector("MMSD").value();
+  TopKOptions options;
+  options.k = 15;
+  options.budget_m = 25;
+  options.num_landmarks = 5;
+  options.seed = GetParam().seed;
+  options.spend_refunds = false;
+  TopKResult base = FindTopKConvergingPairs(g1, g2, engine, *selector,
+                                            options);
+  options.spend_refunds = true;
+  TopKResult extras = FindTopKConvergingPairs(g1, g2, engine, *selector,
+                                              options);
+  EXPECT_EQ(extras.candidates, base.candidates);
+  EXPECT_EQ(extras.sssp_used, base.sssp_used);  // Nominal 2m either way.
+  for (NodeId e : extras.extra_candidates) {
+    EXPECT_EQ(std::count(extras.candidates.begin(), extras.candidates.end(),
+                         e),
+              0)
+        << "extra " << e << " duplicates a candidate";
+  }
+  // Extras can only improve the result: every pair in the base top-k is
+  // dominated-or-equal in the extras run (compare the k-th delta).
+  if (!base.pairs.empty() && extras.pairs.size() >= base.pairs.size()) {
+    EXPECT_GE(extras.pairs.back().delta >= base.pairs.back().delta, true);
+  }
+}
+
+TEST_P(TopKPruneTest, RankExtraCandidatesIsDeterministicAndDisjoint) {
+  auto [g1, g2] = GetParam().build(GetParam().seed);
+  std::vector<NodeId> candidates = SampleCandidates(g1, 20);
+  std::vector<NodeId> a = RankExtraCandidates(g1, g2, candidates, 10);
+  std::vector<NodeId> b = RankExtraCandidates(g1, g2, candidates, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_LE(a.size(), 10u);
+  for (NodeId e : a) {
+    EXPECT_EQ(std::count(candidates.begin(), candidates.end(), e), 0);
+    EXPECT_GT(g2.degree(e), g1.degree(e));  // Positive degree growth only.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, TopKPruneTest,
+                         ::testing::ValuesIn(kWorkloads),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// The acceptance gate behind BM_PrunedExtraction: on the Figure 1 workload
+// (paper dataset analogs, hybrid policy, budget sweep, k = the true pair
+// count at the ground-truth threshold — exactly what the bench runs),
+// pruning must cut the G_t2 extraction work by at least 30% in aggregate
+// while returning the identical top-k output. The actors analog is measured
+// for parity but excluded from the floor: its delta threshold is 1 and its
+// diameter ~2, so there is provably nothing for a threshold bound to prune.
+TEST(TopKPruneWorkloadTest, PruningCutsG2WorkAtLeastThirtyPercentOnFig1) {
+  BfsEngine engine;
+  for (const char* name : {"facebook", "internet", "dblp"}) {
+    Dataset dataset = MakeDataset(name, 0.12, 5).value();
+    GroundTruth gt = ComputeGroundTruth(dataset.g1, dataset.g2, engine, 2);
+    const int k = static_cast<int>(gt.CountAtLeast(gt.DeltaThreshold(1)));
+    ASSERT_GT(k, 0) << name;
+    auto selector = MakeSelector("MMSD").value();
+    uint64_t pruned_settled = 0;
+    uint64_t oracle_settled = 0;
+    for (int m : {15, 50, 100}) {
+      TopKOptions options;
+      options.k = k;
+      options.budget_m = m;
+      options.num_landmarks = 10;
+      options.seed = 7;
+      options.prune = false;
+      options.spend_refunds = false;
+      TopKResult oracle = FindTopKConvergingPairs(dataset.g1, dataset.g2,
+                                                  engine, *selector, options);
+      options.prune = true;
+      TopKResult pruned = FindTopKConvergingPairs(dataset.g1, dataset.g2,
+                                                  engine, *selector, options);
+      ASSERT_EQ(pruned.pairs, oracle.pairs) << name << " m=" << m;
+      ASSERT_EQ(pruned.sssp_used, oracle.sssp_used) << name << " m=" << m;
+      pruned_settled += pruned.g2_nodes_settled;
+      oracle_settled += oracle.g2_nodes_settled;
+    }
+    ASSERT_GT(oracle_settled, 0u) << name;
+    const double reduction =
+        1.0 - static_cast<double>(pruned_settled) /
+                  static_cast<double>(oracle_settled);
+    EXPECT_GE(reduction, 0.30)
+        << name << ": pruned " << pruned_settled << " vs oracle "
+        << oracle_settled;
+  }
+}
+
+}  // namespace
+}  // namespace convpairs

@@ -102,5 +102,114 @@ TEST_P(GreedyCoverPropertyTest, AlwaysProducesValidCover) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GreedyCoverPropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 
+// Random pair graph with tunable hubbiness; small v_range forces many
+// equal-gain ties so the CELF-vs-rescan differential exercises the tie
+// rule, not just the easy distinct-gain path.
+PairGraph RandomPairGraph(uint64_t seed, int num_pairs, NodeId u_range,
+                          NodeId v_range) {
+  Rng rng(seed);
+  std::vector<ConvergingPair> pairs;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (int i = 0; i < 4 * num_pairs && static_cast<int>(pairs.size()) < num_pairs;
+       ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(u_range));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(v_range));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    pairs.push_back({u, v, static_cast<Dist>(1 + rng.UniformInt(4))});
+  }
+  return PairGraph(std::move(pairs));
+}
+
+// CELF must equal the re-scan greedy EXACTLY — same picks in the same
+// order, ties included — on random instances of varying hubbiness,
+// at every budget from 1 to full cover.
+class CelfDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CelfDifferentialTest, CelfEqualsRescanGreedyAtEveryBudget) {
+  for (NodeId v_range : {NodeId{6}, NodeId{20}, NodeId{120}}) {
+    PairGraph pg = RandomPairGraph(GetParam(), 140, 120, v_range);
+    const size_t full = RescanGreedyCover(pg, pg.endpoints().size()).nodes.size();
+    for (size_t budget : {size_t{1}, size_t{2}, size_t{5}, full}) {
+      CoverResult celf = GreedyMaxCoverage(pg, budget);
+      CoverResult rescan = RescanGreedyCover(pg, budget);
+      EXPECT_EQ(celf.nodes, rescan.nodes)
+          << "seed=" << GetParam() << " v_range=" << v_range
+          << " budget=" << budget;
+      EXPECT_EQ(celf.covered_pairs, rescan.covered_pairs);
+    }
+    // The unbudgeted vertex cover is the same algorithm run to saturation.
+    EXPECT_EQ(GreedyVertexCover(pg).nodes,
+              RescanGreedyCover(pg, pg.endpoints().size()).nodes);
+  }
+}
+
+// All-ties instance: every endpoint of a perfect matching has gain 1, so
+// every pick is a tie and both sides must walk the endpoints in the same
+// (lowest-id-first) order.
+TEST(CelfDifferentialTest, PerfectMatchingIsAllTies) {
+  std::vector<ConvergingPair> pairs;
+  for (NodeId i = 0; i < 20; ++i) pairs.push_back({2 * i, 2 * i + 1, 1});
+  PairGraph pg(std::move(pairs));
+  CoverResult celf = GreedyVertexCover(pg);
+  CoverResult rescan = RescanGreedyCover(pg, pg.endpoints().size());
+  EXPECT_EQ(celf.nodes, rescan.nodes);
+  ASSERT_EQ(celf.nodes.size(), 20u);
+  // Lowest-id endpoint of each pair, in id order.
+  for (NodeId i = 0; i < 20; ++i) EXPECT_EQ(celf.nodes[i], 2 * i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CelfDifferentialTest,
+                         ::testing::Values(3, 7, 13, 29, 51, 97));
+
+TEST(SketchedMaxCoverageTest, FullRateIsExactlyGreedy) {
+  PairGraph pg = RandomPairGraph(5, 80, 60, 12);
+  SketchCoverOptions options;
+  options.sample_rate = 1.0;
+  CoverResult sketch = SketchedMaxCoverage(pg, 4, options);
+  CoverResult exact = GreedyMaxCoverage(pg, 4);
+  EXPECT_EQ(sketch.nodes, exact.nodes);
+  EXPECT_EQ(sketch.covered_pairs, exact.covered_pairs);
+}
+
+TEST(SketchedMaxCoverageTest, EmptySampleFallsBackToExactGreedy) {
+  PairGraph pg = RandomPairGraph(5, 40, 60, 12);
+  SketchCoverOptions options;
+  options.sample_rate = 1e-12;  // Keeps (almost surely) nothing.
+  options.seed = 9;
+  CoverResult sketch = SketchedMaxCoverage(pg, 3, options);
+  EXPECT_EQ(sketch.nodes, GreedyMaxCoverage(pg, 3).nodes);
+}
+
+TEST(SketchedMaxCoverageTest, ReportsExactCoverageOfFullGraph) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    PairGraph pg = RandomPairGraph(seed, 200, 150, 15);
+    SketchCoverOptions options;
+    options.sample_rate = 0.4;
+    options.seed = seed;
+    CoverResult sketch = SketchedMaxCoverage(pg, 5, options);
+    CoverResult exact = GreedyMaxCoverage(pg, 5);
+    EXPECT_LE(sketch.nodes.size(), 5u);
+    // covered_pairs is measured on the FULL graph: it must equal an
+    // independent recount of the picked nodes' coverage.
+    EXPECT_EQ(sketch.covered_pairs, CoveredPairCount(pg, sketch.nodes));
+    EXPECT_LE(sketch.covered_pairs, pg.num_pairs());
+    // Sampling at 40% on a hubby instance stays in the same ballpark.
+    EXPECT_GE(sketch.covered_pairs, exact.covered_pairs / 2);
+  }
+}
+
+TEST(CoveredPairCountTest, CountsDistinctCoveredPairs) {
+  PairGraph pg({{0, 1, 1}, {0, 2, 1}, {1, 2, 1}, {3, 4, 1}});
+  EXPECT_EQ(CoveredPairCount(pg, {}), 0u);
+  EXPECT_EQ(CoveredPairCount(pg, {0}), 2u);
+  // Pair (0,1) covered by both endpoints counts once.
+  EXPECT_EQ(CoveredPairCount(pg, {0, 1}), 3u);
+  EXPECT_EQ(CoveredPairCount(pg, {0, 1, 3}), 4u);
+  // Nodes absent from the pair graph contribute nothing.
+  EXPECT_EQ(CoveredPairCount(pg, {99}), 0u);
+}
+
 }  // namespace
 }  // namespace convpairs

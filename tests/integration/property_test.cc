@@ -81,8 +81,9 @@ TEST_P(PipelinePropertyTest, GroundTruthDeltasAreConsistent) {
 }
 
 // Property: for every policy, the top-k result contains exactly the true
-// pairs covered by its candidate set (no covered true pair is ever lost to
-// a filler).
+// pairs covered by its candidate set — including the refund-funded extra
+// candidates, whose SSSPs surface additional pairs (no covered true pair
+// is ever lost to a filler).
 TEST_P(PipelinePropertyTest, CoveredTruePairsAreAlwaysRetrieved) {
   auto [g1, g2] = GetParam().build(GetParam().seed);
   BfsEngine engine;
@@ -101,7 +102,10 @@ TEST_P(PipelinePropertyTest, CoveredTruePairsAreAlwaysRetrieved) {
     options.seed = GetParam().seed;
     TopKResult result =
         FindTopKConvergingPairs(g1, g2, engine, *selector, options);
-    uint64_t covered = CoveredPairCount(pair_graph, result.candidates);
+    std::vector<NodeId> probed = result.candidates;
+    probed.insert(probed.end(), result.extra_candidates.begin(),
+                  result.extra_candidates.end());
+    uint64_t covered = CoveredPairCount(pair_graph, probed);
     uint64_t retrieved = 0;
     for (const ConvergingPair& p : result.pairs) {
       if (p.delta >= threshold) ++retrieved;

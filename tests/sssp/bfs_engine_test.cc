@@ -345,6 +345,141 @@ TEST(MsBfsMultiSourceTest, ThreadedMatchesSerialOracle) {
   }
 }
 
+TEST_P(BfsEngineGeneratorTest, BoundedRunnerSettlesEveryNodeAboveThreshold) {
+  // Contract of the Bergamini-style cut: every scored node whose margin
+  // score - d(v) could reach theta must be settled with its exact BFS
+  // distance (ties at exactly theta included); every settled distance must
+  // equal the serial oracle's.
+  for (uint64_t seed : {2ULL, 19ULL}) {
+    Graph g = GetParam().build(seed);
+    const NodeId n = g.num_nodes();
+    ThresholdBoundedBfsRunner bounded(g);
+    BfsRunner serial(g);
+    Rng rng(seed * 31 + 5);
+    for (Dist theta : {kNoThreshold, Dist{0}, Dist{1}, Dist{3}, Dist{100}}) {
+      std::vector<Dist> scores(n);
+      for (NodeId v = 0; v < n; ++v) {
+        // ~1/10 nodes unscored; the rest get small scores like real d1 rows.
+        int64_t draw = rng.UniformInt(10);
+        scores[v] = draw == 0 ? kNoScore : static_cast<Dist>(draw - 1);
+      }
+      NodeId src = static_cast<NodeId>(rng.UniformInt(n));
+      BoundedRunStats stats = bounded.Run(src, scores, theta);
+      const std::vector<Dist>& want = serial.Run(src);
+      uint32_t full_settled = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (want[v] != kInfDist) ++full_settled;
+        if (scores[v] >= 0 && want[v] != kInfDist &&
+            (theta == kNoThreshold || scores[v] - want[v] >= theta)) {
+          ASSERT_EQ(bounded.dist()[v], want[v])
+              << GetParam().name << " theta " << theta << " v " << v;
+        }
+        if (bounded.dist()[v] != kInfDist) {
+          ASSERT_EQ(bounded.dist()[v], want[v])
+              << GetParam().name << " theta " << theta << " v " << v;
+        }
+      }
+      if (theta == kNoThreshold && scores[src] >= 0) {
+        // Without a threshold the only cut is "all scored nodes settled";
+        // nodes the oracle reaches stay reachable here unless that cut
+        // fired, in which case every scored reachable node is settled.
+        for (NodeId v = 0; v < n; ++v) {
+          if (scores[v] >= 0 && want[v] != kInfDist) {
+            ASSERT_EQ(bounded.dist()[v], want[v]);
+          }
+        }
+      }
+      ASSERT_LE(stats.nodes_settled, full_settled);
+    }
+  }
+}
+
+TEST(ThresholdBoundedBfsTest, UnreachableThresholdTruncatesAndRefunds) {
+  // On a long path with tiny scores and a huge theta, the cut fires on the
+  // first level check: one nominal unit is charged, nearly all refunded.
+  Graph g = testing::PathGraph(100);
+  ThresholdBoundedBfsRunner runner(g);
+  std::vector<Dist> scores(g.num_nodes(), 1);
+  SsspBudget budget;
+  BoundedRunStats stats = runner.Run(0, scores, /*theta=*/50, &budget);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.nodes_settled, 1u);  // Only the source.
+  EXPECT_EQ(budget.used(), 1);
+  EXPECT_DOUBLE_EQ(budget.refunded(), 1.0 - 1.0 / 100.0);
+}
+
+TEST(ThresholdBoundedBfsTest, NoThresholdStopsOnceScoredNodesSettle) {
+  // Scores only near the source: the runner must not walk the whole path.
+  Graph g = testing::PathGraph(1000);
+  ThresholdBoundedBfsRunner runner(g);
+  std::vector<Dist> scores(g.num_nodes(), kNoScore);
+  scores[3] = 5;
+  SsspBudget budget;
+  BoundedRunStats stats = runner.Run(0, scores, kNoThreshold, &budget);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(runner.dist()[3], 3);
+  EXPECT_LT(stats.nodes_settled, 10u);
+  EXPECT_EQ(budget.used(), 1);
+  EXPECT_GT(budget.refunded(), 0.98);
+}
+
+TEST(ThresholdBoundedBfsTest, FullRunChargesWithNoRefund) {
+  Graph g = testing::CycleGraph(16);
+  ThresholdBoundedBfsRunner runner(g);
+  std::vector<Dist> scores(g.num_nodes(), 100);
+  SsspBudget budget;
+  BoundedRunStats stats = runner.Run(0, scores, /*theta=*/0, &budget);
+  EXPECT_EQ(stats.nodes_settled, 16u);
+  EXPECT_EQ(budget.used(), 1);
+  EXPECT_EQ(budget.refunded_micro(), 0);
+  BfsRunner serial(g);
+  EXPECT_EQ(runner.dist(), serial.Run(0));
+}
+
+TEST_P(BfsEngineGeneratorTest, LevelCappedBfsIsAPrefixOfTheFullBfs) {
+  Graph g = GetParam().build(/*seed=*/21);
+  const NodeId n = g.num_nodes();
+  BfsRunner serial(g);
+  Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(n));
+    Dist cap = static_cast<Dist>(rng.UniformInt(6));
+    const std::vector<Dist>& want = serial.Run(src);
+    std::vector<Dist> got;
+    BoundedBfsStats stats = BfsDistancesUpToLevel(g, src, cap, &got);
+    uint32_t within_cap = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (want[v] != kInfDist && want[v] <= cap) {
+        ++within_cap;
+        ASSERT_EQ(got[v], want[v])
+            << GetParam().name << " cap " << cap << " v " << v;
+      } else {
+        ASSERT_EQ(got[v], kInfDist)
+            << GetParam().name << " cap " << cap << " v " << v;
+      }
+    }
+    EXPECT_EQ(stats.nodes_settled, within_cap);
+  }
+}
+
+TEST(LevelCappedBfsTest, TruncationRefundsUntraversedFraction) {
+  Graph g = testing::PathGraph(10);
+  std::vector<Dist> dist;
+  SsspBudget budget;
+  BoundedBfsStats stats = BfsDistancesUpToLevel(g, 0, /*level_cap=*/2, &dist,
+                                                &budget);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.nodes_settled, 3u);  // Nodes 0, 1, 2.
+  EXPECT_EQ(budget.used(), 1);
+  EXPECT_DOUBLE_EQ(budget.refunded(), 1.0 - 3.0 / 10.0);
+
+  SsspBudget full;
+  stats = BfsDistancesUpToLevel(g, 0, /*level_cap=*/9, &dist, &full);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(full.used(), 1);
+  EXPECT_EQ(full.refunded_micro(), 0);
+}
+
 TEST(BfsEngineSeamTest, BatchedAndFallbackEnginesAgreeOnUnitWeights) {
   // BfsEngine reports UnweightedBatchable() and rides MS-BFS;
   // DijkstraEngine takes the per-source fallback. With unit weights the

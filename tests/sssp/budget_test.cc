@@ -36,6 +36,62 @@ TEST(SsspBudgetTest, ResetKeepsCap) {
   EXPECT_EQ(budget.used(), 5);
 }
 
+TEST(SsspBudgetTest, RefundDoesNotChangeNominalUsage) {
+  SsspBudget budget(10);
+  budget.Charge(4);
+  budget.Refund(0.5);
+  EXPECT_EQ(budget.used(), 4);  // Nominal spend is refund-invariant.
+  EXPECT_EQ(budget.remaining(), 6);
+  EXPECT_DOUBLE_EQ(budget.refunded(), 0.5);
+  EXPECT_DOUBLE_EQ(budget.effective_used(), 3.5);
+}
+
+TEST(SsspBudgetTest, ChargeSkippedIsNominallyIdenticalToCharge) {
+  SsspBudget charged(10);
+  SsspBudget skipped(10);
+  charged.Charge();
+  skipped.ChargeSkipped();
+  EXPECT_EQ(charged.used(), skipped.used());
+  EXPECT_DOUBLE_EQ(skipped.effective_used(), 0.0);
+  EXPECT_EQ(skipped.refund_available_micro(), SsspBudget::kMicroUnits);
+}
+
+TEST(SsspBudgetTest, TrySpendRefundConsumesWholeUnitsOnly) {
+  SsspBudget budget(10);
+  budget.Charge(3);
+  budget.Refund(0.75);
+  EXPECT_FALSE(budget.TrySpendRefund());  // 0.75 < 1 whole unit.
+  budget.Charge(1);
+  budget.Refund(0.75);
+  EXPECT_TRUE(budget.TrySpendRefund());  // 1.5 units banked, spend 1.
+  EXPECT_EQ(budget.refund_spent(), 1);
+  EXPECT_FALSE(budget.TrySpendRefund());  // 0.5 left.
+  EXPECT_EQ(budget.used(), 4);            // Nominal untouched throughout.
+  EXPECT_DOUBLE_EQ(budget.effective_used(), 3.5);
+}
+
+TEST(SsspBudgetTest, EffectiveNeverExceedsNominal) {
+  SsspBudget budget;
+  budget.Charge(7);
+  budget.Refund(1.0);
+  budget.Refund(0.25);
+  EXPECT_LE(budget.effective_used(), static_cast<double>(budget.used()));
+  EXPECT_GE(budget.effective_used(), 0.0);
+}
+
+TEST(SsspBudgetTest, ResetClearsRefundState) {
+  SsspBudget budget(5);
+  budget.Charge(3);
+  budget.Refund(1.0);
+  EXPECT_TRUE(budget.TrySpendRefund());
+  budget.Reset();
+  EXPECT_EQ(budget.used(), 0);
+  EXPECT_EQ(budget.refunded_micro(), 0);
+  EXPECT_EQ(budget.refund_spent(), 0);
+  EXPECT_EQ(budget.refund_available_micro(), 0);
+  EXPECT_DOUBLE_EQ(budget.effective_used(), 0.0);
+}
+
 TEST(SsspBudgetDeathTest, ExceedingCapAborts) {
   SsspBudget budget(2);
   budget.Charge(2);
@@ -45,6 +101,27 @@ TEST(SsspBudgetDeathTest, ExceedingCapAborts) {
 TEST(SsspBudgetDeathTest, NegativeChargeAborts) {
   SsspBudget budget;
   EXPECT_DEATH(budget.Charge(-1), "CHECK failed");
+}
+
+TEST(SsspBudgetDeathTest, RefundingMoreThanChargedAborts) {
+  SsspBudget budget;
+  budget.Charge(1);
+  budget.Refund(1.0);
+  EXPECT_DEATH(budget.Refund(0.1), "CHECK failed");
+}
+
+TEST(SsspBudgetDeathTest, OutOfRangeFractionAborts) {
+  SsspBudget budget;
+  budget.Charge(1);
+  EXPECT_DEATH(budget.Refund(1.5), "CHECK failed");
+  EXPECT_DEATH(budget.Refund(-0.1), "CHECK failed");
+}
+
+TEST(SsspBudgetDeathTest, NegativeRefundSpendAborts) {
+  SsspBudget budget;
+  budget.Charge(1);
+  budget.Refund(1.0);
+  EXPECT_DEATH(budget.TrySpendRefund(-1), "CHECK failed");
 }
 
 }  // namespace

@@ -34,6 +34,12 @@
 //      portability quirks (SIGPIPE, EINTR, loopback-only binds) are fixed
 //      in one translation unit, mirroring how invariant 6 confines
 //      std::thread.
+//   9. SsspBudget::Refund() is called only under src/sssp/ — a refund is
+//      an engine-level statement ("this traversal terminated early and
+//      settled an X fraction"), so it must be issued by the traversal that
+//      knows X, not estimated by a caller. Outer layers spend refunds
+//      through the whole-unit TrySpendRefund()/ChargeSkipped() APIs, whose
+//      names the matcher deliberately does not flag.
 //
 // The scanner strips string literals and comments line-by-line before
 // matching, so documentation may mention forbidden tokens freely.
@@ -129,6 +135,22 @@ bool ContainsToken(const std::string& code, const std::string& token) {
          code[pos - 1] != '.' && code[pos - 1] != '>');
     size_t end = pos + token.size();
     bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// Like ContainsToken but member access counts: `budget->Refund(`,
+// `budget.Refund(` and `&SsspBudget::Refund` all match, while longer
+// identifiers (TrySpendRefund) still do not. Needed by invariant 9, whose
+// forbidden token is a method name and therefore always appears qualified.
+bool ContainsMemberToken(const std::string& code, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
     if (left_ok && right_ok) return true;
     pos = end;
   }
@@ -274,6 +296,12 @@ bool IsSocketHome(const fs::path& rel_to_src) {
   return rel_to_src.generic_string().rfind("server/", 0) == 0;
 }
 
+// --- Invariant 9: fractional refunds are confined to src/sssp/. --------------
+
+bool IsRefundHome(const fs::path& rel_to_src) {
+  return rel_to_src.generic_string().rfind("sssp/", 0) == 0;
+}
+
 void CheckSocketConfinement(const fs::path& path, const std::string& code,
                             int line_no) {
   for (const char* header :
@@ -309,6 +337,7 @@ void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
   const bool thread_ok = IsThreadHome(rel_to_src);
   const bool flight_ok = IsFlightRecorderHome(rel_to_src);
   const bool socket_ok = IsSocketHome(rel_to_src);
+  const bool refund_ok = IsRefundHome(rel_to_src);
   bool in_block_comment = false;
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string code =
@@ -348,6 +377,12 @@ void CheckSrcFile(const fs::path& path, const fs::path& rel_to_src) {
       Report(path, line_no,
              "spawn work via util/parallel.h (thread pool), not raw "
              "std::thread");
+    }
+    if (!refund_ok && ContainsMemberToken(code, "Refund")) {
+      Report(path, line_no,
+             "SsspBudget::Refund() may only be called by the bounded "
+             "traversals under src/sssp/ — outer layers spend refunds via "
+             "TrySpendRefund()/ChargeSkipped()");
     }
   }
 
