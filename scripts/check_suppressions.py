@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate the analyzer suppression baseline in CI.
+
+Usage:
+    scripts/check_suppressions.py analyzer_findings.json
+
+Reads the machine-readable artifact written by
+`convpairs_analyzer --json-out` and fails (exit 1) when:
+  - any finding is unsuppressed (the analyzer itself also exits non-zero on
+    these; checking here too keeps the gate meaningful even if the job
+    wiring ever stops propagating the analyzer's exit code), or
+  - any entry in tools/analyzer_suppressions.txt matched no finding. A stale
+    entry means the debt it recorded is gone, so the entry must be deleted —
+    the baseline can only shrink by deliberate review and only grow through
+    code review of a new entry. This is the direction a findings-count
+    threshold cannot gate.
+
+Exit status: 0 when the baseline exactly matches reality, 1 otherwise.
+Standard library only; runs on any Python 3.8+.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_suppressions: cannot read {sys.argv[1]}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if report.get("version") != 1:
+        print(f"check_suppressions: unknown artifact version "
+              f"{report.get('version')!r}", file=sys.stderr)
+        return 2
+
+    failed = False
+
+    unsuppressed = [f for f in report.get("findings", [])
+                    if not f.get("suppressed")]
+    for finding in unsuppressed:
+        print(f"unsuppressed: {finding['file']}:{finding['line']}: "
+              f"[{finding['pass']}] {finding['message']}", file=sys.stderr)
+    if unsuppressed:
+        failed = True
+
+    stale = report.get("stale_suppressions", [])
+    for entry in stale:
+        print(f"stale suppression: tools/analyzer_suppressions.txt:"
+              f"{entry['line']}: `{entry['pass']} | {entry['file']} | "
+              f"{entry['needle']}` matches no finding — delete the entry",
+              file=sys.stderr)
+    if stale:
+        failed = True
+
+    counts = report.get("counts", {})
+    print(f"check_suppressions: {counts.get('total', 0)} finding(s), "
+          f"{counts.get('suppressed', 0)} suppressed, "
+          f"{len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

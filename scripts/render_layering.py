@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Regenerate the committed layering diagram from the analyzer.
+
+Usage:
+    scripts/render_layering.py [--analyzer build/tools/convpairs_analyzer]
+                               [--out docs/layering.dot] [--check]
+
+Runs `convpairs_analyzer --dot-out` against the repo root (this script's
+parent directory) and writes the deterministic DOT export to docs/. If
+graphviz's `dot` binary is on PATH an SVG is rendered next to it as a
+convenience; its absence is not an error (the DOT file is the committed
+artifact, and CI diffs that).
+
+With --check the file is not rewritten; instead the script exits 1 when the
+committed copy differs from what the analyzer produces — the CI
+static-analysis job uses this so the diagram cannot drift from the code.
+
+Standard library only; runs on any Python 3.8+.
+"""
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--analyzer",
+                        default=str(REPO_ROOT / "build" / "tools" /
+                                    "convpairs_analyzer"))
+    parser.add_argument("--out",
+                        default=str(REPO_ROOT / "docs" / "layering.dot"))
+    parser.add_argument("--check", action="store_true",
+                        help="verify the committed DOT is current instead of "
+                             "rewriting it")
+    args = parser.parse_args()
+
+    out_path = pathlib.Path(args.out)
+    with tempfile.TemporaryDirectory() as tmp:
+        dot_tmp = pathlib.Path(tmp) / "layering.dot"
+        proc = subprocess.run(
+            [args.analyzer, "--repo", str(REPO_ROOT),
+             "--dot-out", str(dot_tmp)],
+            capture_output=True, text=True)
+        # Exit 1 means unsuppressed findings; the DOT is still written and
+        # still correct, so only configuration errors (2) stop the render.
+        if proc.returncode not in (0, 1):
+            sys.stderr.write(proc.stderr)
+            print(f"render_layering: analyzer failed ({proc.returncode})",
+                  file=sys.stderr)
+            return 2
+        dot = dot_tmp.read_text(encoding="utf-8")
+
+    if args.check:
+        try:
+            committed = out_path.read_text(encoding="utf-8")
+        except OSError:
+            committed = ""
+        if committed != dot:
+            print(f"render_layering: {out_path} is stale — run "
+                  f"scripts/render_layering.py and commit the result",
+                  file=sys.stderr)
+            return 1
+        print(f"render_layering: {out_path} is current")
+        return 0
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(dot, encoding="utf-8")
+    print(f"render_layering: wrote {out_path}")
+
+    dot_bin = shutil.which("dot")
+    if dot_bin:
+        svg_path = out_path.with_suffix(".svg")
+        render = subprocess.run(
+            [dot_bin, "-Tsvg", str(out_path), "-o", str(svg_path)],
+            capture_output=True, text=True)
+        if render.returncode == 0:
+            print(f"render_layering: rendered {svg_path}")
+        else:
+            print("render_layering: graphviz failed; DOT still written",
+                  file=sys.stderr)
+    else:
+        print("render_layering: graphviz not found; skipping SVG render")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "analysis/budget_flow.h"
+#include "analysis/concurrency.h"
+#include "analysis/invariants.h"
+#include "analysis/tokenizer.h"
+
+namespace convpairs::analysis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+StatusOr<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot read " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+StatusOr<std::vector<TokenizedFile>> LoadSourceTree(const std::string& root) {
+  const fs::path src_root = fs::path(root) / "src";
+  const fs::path bench_root = fs::path(root) / "bench";
+  if (!fs::is_directory(src_root) || !fs::is_directory(bench_root)) {
+    return Status::InvalidArgument(root + " is not the repo root (no src/ "
+                                          "or bench/ directory)");
+  }
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") paths.push_back(entry.path());
+  }
+  // Top-level bench/*.cc only: bench/common/ is the harness, which defines
+  // rather than calls FinishAndExport.
+  for (const auto& entry : fs::directory_iterator(bench_root)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".cc") paths.push_back(entry.path());
+  }
+
+  std::vector<TokenizedFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    StatusOr<std::string> text = ReadFile(path);
+    CONVPAIRS_RETURN_IF_ERROR(text.status());
+    TokenizedFile file;
+    file.path = fs::relative(path, root).generic_string();
+    file.tokens = Tokenize(*text);
+    files.push_back(std::move(file));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const TokenizedFile& a, const TokenizedFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+AnalysisReport AnalyzeFiles(const std::vector<TokenizedFile>& files,
+                            const LayerManifest& manifest,
+                            std::vector<Suppression> suppressions) {
+  AnalysisReport report;
+  report.files_scanned = static_cast<int>(files.size());
+
+  LayeringResult layering = CheckLayering(manifest, files);
+  report.layering_dot = std::move(layering.dot);
+  report.findings = std::move(layering.findings);
+
+  std::vector<Finding> concurrency = CheckConcurrency(files);
+  report.findings.insert(report.findings.end(),
+                         std::make_move_iterator(concurrency.begin()),
+                         std::make_move_iterator(concurrency.end()));
+  std::vector<Finding> budget = CheckBudgetFlow(files);
+  report.findings.insert(report.findings.end(),
+                         std::make_move_iterator(budget.begin()),
+                         std::make_move_iterator(budget.end()));
+  std::vector<Finding> invariants = CheckInvariants(files);
+  report.findings.insert(report.findings.end(),
+                         std::make_move_iterator(invariants.begin()),
+                         std::make_move_iterator(invariants.end()));
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.pass, a.message) <
+                     std::tie(b.file, b.line, b.pass, b.message);
+            });
+
+  report.suppressions = std::move(suppressions);
+  ApplySuppressions(report.suppressions, report.findings);
+  return report;
+}
+
+StatusOr<AnalysisReport> RunAnalyzer(const AnalyzerOptions& options) {
+  AnalyzerOptions opts = options;
+  if (opts.manifest_path.empty()) {
+    opts.manifest_path =
+        (fs::path(opts.repo_root) / "tools" / "layering.manifest").string();
+  }
+  if (opts.suppressions_path.empty()) {
+    opts.suppressions_path =
+        (fs::path(opts.repo_root) / "tools" / "analyzer_suppressions.txt")
+            .string();
+  }
+
+  StatusOr<std::vector<TokenizedFile>> files = LoadSourceTree(opts.repo_root);
+  CONVPAIRS_RETURN_IF_ERROR(files.status());
+
+  StatusOr<std::string> manifest_text = ReadFile(opts.manifest_path);
+  CONVPAIRS_RETURN_IF_ERROR(manifest_text.status());
+  StatusOr<LayerManifest> manifest = ParseLayerManifest(*manifest_text);
+  CONVPAIRS_RETURN_IF_ERROR(manifest.status());
+
+  // A missing suppression file is the healthy "no debt" state.
+  std::vector<Suppression> suppressions;
+  if (fs::exists(opts.suppressions_path)) {
+    StatusOr<std::string> supp_text = ReadFile(opts.suppressions_path);
+    CONVPAIRS_RETURN_IF_ERROR(supp_text.status());
+    StatusOr<std::vector<Suppression>> parsed = ParseSuppressions(*supp_text);
+    CONVPAIRS_RETURN_IF_ERROR(parsed.status());
+    suppressions = std::move(*parsed);
+  }
+
+  return AnalyzeFiles(*files, *manifest, std::move(suppressions));
+}
+
+}  // namespace convpairs::analysis

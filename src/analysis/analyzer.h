@@ -1,0 +1,48 @@
+// Top-level driver for the convpairs static analyzer: walks the source
+// tree, tokenizes every file once, runs all passes (layering, concurrency,
+// budget dataflow, legacy invariants), applies the suppression baseline and
+// assembles the AnalysisReport that tools/convpairs_analyzer serializes.
+//
+// The walking/tokenizing and the analysis proper are split so tests can run
+// the pure part on synthetic trees without touching the filesystem.
+
+#ifndef CONVPAIRS_ANALYSIS_ANALYZER_H_
+#define CONVPAIRS_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/findings.h"
+#include "analysis/layering.h"
+#include "analysis/token.h"
+#include "util/status.h"
+
+namespace convpairs::analysis {
+
+/// Loads and tokenizes the analyzed subset of a repo checkout: every .h/.cc
+/// under <root>/src plus the top-level .cc files of <root>/bench
+/// (bench/common/ is the harness, excluded by the same contract the old
+/// lint had). Paths in the result are repo-relative with '/' separators,
+/// sorted. Fails if src/ or bench/ is missing or a file is unreadable.
+StatusOr<std::vector<TokenizedFile>> LoadSourceTree(const std::string& root);
+
+/// Pure analysis: runs every pass over already-tokenized files, applies the
+/// suppressions and returns the report with findings sorted by
+/// (file, line, pass, message). Does not touch the filesystem.
+AnalysisReport AnalyzeFiles(const std::vector<TokenizedFile>& files,
+                            const LayerManifest& manifest,
+                            std::vector<Suppression> suppressions);
+
+struct AnalyzerOptions {
+  std::string repo_root;
+  std::string manifest_path;      // default: <root>/tools/layering.manifest
+  std::string suppressions_path;  // default: <root>/tools/analyzer_suppressions.txt
+};
+
+/// Convenience entry point for the CLI: loads the tree, the manifest and the
+/// suppression file, then delegates to AnalyzeFiles.
+StatusOr<AnalysisReport> RunAnalyzer(const AnalyzerOptions& options);
+
+}  // namespace convpairs::analysis
+
+#endif  // CONVPAIRS_ANALYSIS_ANALYZER_H_

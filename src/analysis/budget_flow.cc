@@ -1,0 +1,179 @@
+#include "analysis/budget_flow.h"
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace convpairs::analysis {
+
+namespace {
+
+constexpr std::array<std::string_view, 4> kBudgetCalls = {
+    "Charge",
+    "ChargeSkipped",
+    "Refund",
+    "TrySpendRefund",
+};
+
+bool IsBudgetCall(const std::string& text) {
+  for (const std::string_view name : kBudgetCalls) {
+    if (text == name) return true;
+  }
+  return false;
+}
+
+// Index of the `)` matching the `(` at code[open], or code.size() if the
+// stream ends first (unbalanced file — the tokenizer does not reject those).
+size_t MatchParen(const std::vector<const Token*>& code, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < code.size(); ++j) {
+    if (code[j]->kind != TokenKind::kPunct) continue;
+    const std::string& t = code[j]->text;
+    if (t == "(") ++depth;
+    if (t == ")" && --depth == 0) return j;
+  }
+  return code.size();
+}
+
+// Walks back from the callee identifier at code[i] over the member-access /
+// scope chain (`budget -> Charge`, `budget_ . Charge`, `SsspBudget ::
+// Charge`, `this -> budget_ -> Charge`) and returns the index of the first
+// token OF the chain. The token before that decides the classification.
+size_t ChainStart(const std::vector<const Token*>& code, size_t i) {
+  size_t s = i;
+  while (s > 0) {
+    const Token& prev = *code[s - 1];
+    const bool link = prev.kind == TokenKind::kPunct &&
+                      (prev.text == "." || prev.text == "->" ||
+                       prev.text == "::");
+    if (link && s >= 2) {
+      const Token& obj = *code[s - 2];
+      if (obj.kind == TokenKind::kIdentifier ||
+          (obj.kind == TokenKind::kPunct && obj.text == ")")) {
+        // `GetBudget() -> Charge` — treat the call's `(`..`)` as part of the
+        // chain by jumping over the balanced group.
+        if (obj.text == ")") {
+          int depth = 0;
+          size_t j = s - 2;
+          while (true) {
+            if (code[j]->kind == TokenKind::kPunct) {
+              if (code[j]->text == ")") ++depth;
+              if (code[j]->text == "(" && --depth == 0) break;
+            }
+            if (j == 0) break;
+            --j;
+          }
+          s = j;
+          continue;
+        }
+        s -= 2;
+        continue;
+      }
+    }
+    break;
+  }
+  return s;
+}
+
+// True when a comment token sits on `line` of the file (before or after the
+// call on the same source line).
+bool HasCommentOnLine(const TokenizedFile& file, int line) {
+  for (const Token& tok : file.tokens) {
+    if (tok.kind == TokenKind::kComment && tok.line == line) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckBudgetFlow(const std::vector<TokenizedFile>& files) {
+  std::vector<Finding> findings;
+  for (const TokenizedFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    std::vector<const Token*> code;
+    for (const int i : CodeTokenIndices(file.tokens)) {
+      code.push_back(&file.tokens[static_cast<size_t>(i)]);
+    }
+    for (size_t i = 0; i < code.size(); ++i) {
+      const Token& tok = *code[i];
+      if (tok.kind != TokenKind::kIdentifier || !IsBudgetCall(tok.text)) {
+        continue;
+      }
+      if (i + 1 >= code.size() || code[i + 1]->text != "(") continue;
+
+      // Skip declarations/definitions: `Status Charge(`, `Status
+      // SsspBudget::Charge(`, `bool TrySpendRefund(`. The chain-start token
+      // preceded by a plain identifier (the return type, possibly itself the
+      // tail of `[[nodiscard]] bool`) is not a call.
+      const size_t start = ChainStart(code, i);
+      if (start == 0) continue;  // Stream starts at the name: not a call.
+      const Token& before = *code[start - 1];
+
+      // `&SsspBudget::Refund` — taking the member's address forms a pointer
+      // that escapes the dataflow this pass can follow; confinement of such
+      // tokens is invariant 9's job, consumption tracking stops here.
+      if (before.kind == TokenKind::kPunct && before.text == "&") continue;
+
+      const size_t close = MatchParen(code, i + 1);
+      if (close >= code.size()) continue;  // Unbalanced; nothing to judge.
+
+      // Chained result (`Charge(n).ok()`, `Charge(n)->...`): consumed.
+      if (close + 1 < code.size() &&
+          (code[close + 1]->text == "." || code[close + 1]->text == "->")) {
+        continue;
+      }
+
+      // `(void) budget->Charge(...)` — explicit discard.
+      const bool void_cast =
+          start >= 3 && code[start - 1]->text == ")" &&
+          IsIdent(*code[start - 2], "void") && code[start - 3]->text == "(";
+      if (void_cast) {
+        if (!HasCommentOnLine(file, tok.line)) {
+          findings.push_back(
+              {"budget-status", file.path, tok.line,
+               "(void)-discarded " + tok.text +
+                   "() with no same-line comment — explain why dropping the "
+                   "Status is safe",
+               false,
+               ""});
+        } else {
+          findings.push_back(
+              {"budget-status", file.path, tok.line,
+               "(void)-discarded " + tok.text +
+                   "() — must be recorded in tools/analyzer_suppressions.txt",
+               false,
+               ""});
+        }
+        continue;
+      }
+
+      // A statement-position call drops the Status. Statement position means
+      // the chain is preceded by `;`, `{`, `}`, a label `:` is impossible to
+      // distinguish cheaply so it is treated as consumption, and a `)` here
+      // (not the void cast) is an if/for/while header closing — the call is
+      // the whole statement body, also a drop.
+      const bool statement_position =
+          before.kind == TokenKind::kPunct &&
+          (before.text == ";" || before.text == "{" || before.text == "}" ||
+           before.text == ")");
+      if (statement_position) {
+        findings.push_back(
+            {"budget-status", file.path, tok.line,
+             tok.text +
+                 "() result dropped — assign it, wrap it in "
+                 "CONVPAIRS_RETURN_IF_ERROR/CONVPAIRS_CHECK_OK, or discard "
+                 "it explicitly with (void) plus a comment and a suppression "
+                 "entry",
+             false,
+             ""});
+        continue;
+      }
+      // Everything else — `=`, `(`, `,`, `return`, `!`, `&&`, `||`, `?`,
+      // `:`, or an identifier (a declaration's return type or a macro name
+      // whose expansion consumes the argument) — counts as consumption.
+    }
+  }
+  return findings;
+}
+
+}  // namespace convpairs::analysis

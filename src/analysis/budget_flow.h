@@ -1,0 +1,39 @@
+// Budget-accounting dataflow pass.
+//
+// SsspBudget's mutating entry points — Charge(), ChargeSkipped(), Refund(),
+// TrySpendRefund() — return a Status (or a [[nodiscard]] bool) precisely so
+// that an over-budget or out-of-range spend cannot be dropped on the floor:
+// the paper's Table 1/2 numbers are only meaningful if every nominal unit is
+// accounted for. This pass walks the token stream of every src/ file and
+// classifies each *call site* of those four names:
+//
+//   consumed   — the result feeds an expression: assignment/initialization,
+//                `return`, CONVPAIRS_RETURN_IF_ERROR / CONVPAIRS_CHECK_OK
+//                (macro arguments count as consumption), a condition,
+//                a member chain (`...Charge(n).ok()`), or any operator.
+//   discarded  — `(void)budget->Charge(...)`: an explicit discard. Legal
+//                only when (a) a trailing or preceding comment on the same
+//                line explains it AND (b) a suppression-baseline entry
+//                records the site — silent (void) is still a finding.
+//   dropped    — the call is a bare expression statement. Always a finding.
+//
+// Declarations and definitions of the methods themselves (`Status Charge(`,
+// `Status SsspBudget::Charge(`) are recognized and skipped.
+
+#ifndef CONVPAIRS_ANALYSIS_BUDGET_FLOW_H_
+#define CONVPAIRS_ANALYSIS_BUDGET_FLOW_H_
+
+#include <vector>
+
+#include "analysis/findings.h"
+#include "analysis/token.h"
+
+namespace convpairs::analysis {
+
+/// Runs the pass over all tokenized files (paths repo-relative); only files
+/// under src/ are inspected.
+std::vector<Finding> CheckBudgetFlow(const std::vector<TokenizedFile>& files);
+
+}  // namespace convpairs::analysis
+
+#endif  // CONVPAIRS_ANALYSIS_BUDGET_FLOW_H_

@@ -1,0 +1,189 @@
+#include "analysis/concurrency.h"
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace convpairs::analysis {
+
+namespace {
+
+constexpr std::array<std::string_view, 15> kSyncTypes = {
+    "atomic",          "atomic_flag",
+    "atomic_ref",      "mutex",
+    "shared_mutex",    "recursive_mutex",
+    "timed_mutex",     "recursive_timed_mutex",
+    "shared_timed_mutex",
+    "condition_variable", "condition_variable_any",
+    "lock_guard",      "unique_lock",
+    "scoped_lock",     "shared_lock",
+};
+
+constexpr std::array<std::string_view, 8> kSyncHeaders = {
+    "atomic",    "mutex", "condition_variable", "shared_mutex",
+    "semaphore", "latch", "barrier",            "stop_token",
+};
+
+constexpr std::array<std::string_view, 6> kHotPathFiles = {
+    "src/server/batcher.h",
+    "src/server/batcher.cc",
+    "src/sssp/bfs_engine.h",
+    "src/sssp/bfs_engine.cc",
+    // batch_service delegates its waiting to the batcher; it still must not
+    // introduce blocking of its own.
+    "src/sssp/batch_service.h",
+    "src/sssp/batch_service.cc",
+};
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool InAllowedDir(const std::string& path) {
+  return StartsWith(path, "src/util/") || StartsWith(path, "src/obs/") ||
+         StartsWith(path, "src/server/");
+}
+
+bool InThreadDir(const std::string& path) {
+  return StartsWith(path, "src/util/") || StartsWith(path, "src/server/");
+}
+
+bool IsHotPath(const std::string& path) {
+  for (const std::string_view f : kHotPathFiles) {
+    if (path == f) return true;
+  }
+  return false;
+}
+
+template <size_t N>
+bool Contains(const std::array<std::string_view, N>& set,
+              const std::string& value) {
+  for (const std::string_view v : set) {
+    if (value == v) return true;
+  }
+  return false;
+}
+
+// True when code[i] is an identifier immediately preceded by `std ::`.
+bool IsStdQualified(const std::vector<const Token*>& code, size_t i) {
+  return i >= 2 && code[i - 1]->text == "::" &&
+         IsIdent(*code[i - 2], "std");
+}
+
+// For a `wait` member call at code[i] (`... . wait ( ...` or `-> wait (`),
+// counts the top-level commas between the parentheses. A predicated
+// condition_variable wait has exactly one; the unbounded form has zero.
+int TopLevelCommas(const std::vector<const Token*>& code, size_t open_paren) {
+  int depth = 0;
+  int commas = 0;
+  for (size_t j = open_paren; j < code.size(); ++j) {
+    const std::string& t = code[j]->text;
+    if (code[j]->kind == TokenKind::kPunct) {
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        --depth;
+        if (depth == 0) break;
+      } else if (t == "," && depth == 1) {
+        ++commas;
+      }
+    }
+  }
+  return commas;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckConcurrency(const std::vector<TokenizedFile>& files) {
+  std::vector<Finding> findings;
+  for (const TokenizedFile& file : files) {
+    if (!StartsWith(file.path, "src/")) continue;
+    const bool allowed_sync = InAllowedDir(file.path);
+    const bool allowed_thread = InThreadDir(file.path);
+    const bool hot = IsHotPath(file.path);
+    std::vector<const Token*> code;
+    for (const size_t i : CodeTokenIndices(file.tokens)) {
+      code.push_back(&file.tokens[i]);
+    }
+    for (size_t i = 0; i < code.size(); ++i) {
+      const Token& tok = *code[i];
+      if (tok.kind == TokenKind::kHeaderName && tok.angled) {
+        if (!allowed_sync && Contains(kSyncHeaders, tok.text)) {
+          findings.push_back(
+              {"concurrency", file.path, tok.line,
+               "synchronization header <" + tok.text +
+                   "> outside src/util/, src/obs/, src/server/ — route "
+                   "sharing through the thread pool or add a reviewed "
+                   "suppression",
+               false,
+               ""});
+        }
+        if (!allowed_thread && tok.text == "thread") {
+          findings.push_back({"concurrency", file.path, tok.line,
+                              "header <thread> outside src/util/ and "
+                              "src/server/",
+                              false,
+                              ""});
+        }
+        continue;
+      }
+      if (tok.kind != TokenKind::kIdentifier) continue;
+
+      if (!allowed_sync) {
+        if (Contains(kSyncTypes, tok.text) && IsStdQualified(code, i)) {
+          findings.push_back(
+              {"concurrency", file.path, tok.line,
+               "std::" + tok.text +
+                   " outside src/util/, src/obs/, src/server/ — "
+                   "synchronization belongs to the infrastructure layers",
+               false,
+               ""});
+        }
+        if (tok.text.rfind("memory_order", 0) == 0) {
+          findings.push_back(
+              {"concurrency", file.path, tok.line,
+               tok.text + " outside src/util/, src/obs/, src/server/ — "
+                          "explicit memory orders are an infrastructure "
+                          "concern",
+               false,
+               ""});
+        }
+      }
+      if (!allowed_thread && (tok.text == "thread" || tok.text == "jthread") &&
+          IsStdQualified(code, i)) {
+        findings.push_back({"concurrency", file.path, tok.line,
+                            "std::" + tok.text +
+                                " outside src/util/ and src/server/ — spawn "
+                                "work through util/thread_pool instead",
+                            false,
+                            ""});
+      }
+
+      if (hot) {
+        if (tok.text == "sleep_for" || tok.text == "sleep_until") {
+          findings.push_back({"concurrency", file.path, tok.line,
+                              tok.text +
+                                  " in a latency-critical file — hot paths "
+                                  "must not sleep",
+                              false,
+                              ""});
+        }
+        if (tok.text == "wait" && i >= 1 && i + 1 < code.size() &&
+            (code[i - 1]->text == "." || code[i - 1]->text == "->") &&
+            code[i + 1]->text == "(") {
+          if (TopLevelCommas(code, i + 1) == 0) {
+            findings.push_back(
+                {"concurrency", file.path, tok.line,
+                 "unpredicated .wait() in a latency-critical file — use the "
+                 "predicated overload or wait_for with a deadline",
+                 false,
+                 ""});
+          }
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace convpairs::analysis

@@ -1,0 +1,39 @@
+// Concurrency-discipline pass.
+//
+// Synchronization primitives are a liability in the algorithmic layers: the
+// paper's pipelines are deterministic batch computations, and all sharing is
+// supposed to be mediated by util/ (thread pool, parallel_for), obs/
+// (telemetry) and server/ (session plumbing). This pass enforces that at the
+// token level:
+//
+//   1. std-qualified atomics, mutexes, locks, condition variables and
+//      memory_order_* tokens — plus their angled headers (<atomic>, <mutex>,
+//      <condition_variable>, <shared_mutex>, <semaphore>, <latch>, <barrier>,
+//      <stop_token>) — are confined to src/util/, src/obs/ and src/server/.
+//      Violations elsewhere need a suppression-baseline entry (a visible,
+//      reviewed debt) rather than silent drift.
+//   2. Hot-path files (the DistanceBatcher in server/batcher.* and the BFS
+//      runners in sssp/bfs_engine.* and sssp/batch_service.*) must not block
+//      unboundedly: sleep_for/sleep_until are banned outright, and a bare
+//      `.wait(x)` with no predicate argument is flagged; the predicated
+//      two-argument form and wait_for/wait_until remain legal.
+//   3. std::thread / std::jthread stay confined to src/util/ and src/server/
+//      (invariant 6 of the retired line-based lint, now token-accurate).
+
+#ifndef CONVPAIRS_ANALYSIS_CONCURRENCY_H_
+#define CONVPAIRS_ANALYSIS_CONCURRENCY_H_
+
+#include <vector>
+
+#include "analysis/findings.h"
+#include "analysis/token.h"
+
+namespace convpairs::analysis {
+
+/// Runs the pass over all tokenized files (paths repo-relative); only files
+/// under src/ are inspected.
+std::vector<Finding> CheckConcurrency(const std::vector<TokenizedFile>& files);
+
+}  // namespace convpairs::analysis
+
+#endif  // CONVPAIRS_ANALYSIS_CONCURRENCY_H_

@@ -1,0 +1,167 @@
+#include "analysis/findings.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace convpairs::analysis {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  AppendJsonEscaped(s, &out);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Suppression>> ParseSuppressions(const std::string& text) {
+  std::vector<Suppression> out;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    // pass | file | needle | reason
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (parts.size() < 3) {
+      const size_t bar = trimmed.find('|', start);
+      if (bar == std::string::npos) break;
+      parts.push_back(Trim(trimmed.substr(start, bar - start)));
+      start = bar + 1;
+    }
+    parts.push_back(Trim(trimmed.substr(start)));
+    if (parts.size() != 4 || parts[0].empty() || parts[1].empty() ||
+        parts[3].empty()) {
+      return Status::InvalidArgument(
+          "suppression line " + std::to_string(line_no) +
+          ": expected 'pass | file | message-substring | reason', got: " +
+          trimmed);
+    }
+    Suppression s;
+    s.pass = parts[0];
+    s.file = parts[1];
+    s.needle = parts[2];
+    s.reason = parts[3];
+    s.source_line = line_no;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ApplySuppressions(std::vector<Suppression>& suppressions,
+                       std::vector<Finding>& findings) {
+  for (Finding& f : findings) {
+    for (Suppression& s : suppressions) {
+      if (s.pass != f.pass || s.file != f.file) continue;
+      if (s.needle != "*" && f.message.find(s.needle) == std::string::npos) {
+        continue;
+      }
+      f.suppressed = true;
+      f.suppression_reason = s.reason;
+      ++s.matched;
+      break;
+    }
+  }
+}
+
+int AnalysisReport::SuppressedFindings() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const Finding& f) { return f.suppressed; }));
+}
+
+int AnalysisReport::UnsuppressedFindings() const {
+  return TotalFindings() - SuppressedFindings();
+}
+
+std::vector<const Suppression*> AnalysisReport::StaleSuppressions() const {
+  std::vector<const Suppression*> out;
+  for (const Suppression& s : suppressions) {
+    if (s.matched == 0) out.push_back(&s);
+  }
+  return out;
+}
+
+std::string ReportToJson(const AnalysisReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"version\": 1,\n";
+  out += "  \"files_scanned\": " + std::to_string(report.files_scanned) +
+         ",\n";
+  out += "  \"counts\": {\"total\": " + std::to_string(report.TotalFindings()) +
+         ", \"suppressed\": " + std::to_string(report.SuppressedFindings()) +
+         ", \"unsuppressed\": " +
+         std::to_string(report.UnsuppressedFindings()) + "},\n";
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out += (i == 0) ? "\n" : ",\n";
+    out += "    {\"pass\": " + Quoted(f.pass) +
+           ", \"file\": " + Quoted(f.file) +
+           ", \"line\": " + std::to_string(f.line) +
+           ", \"message\": " + Quoted(f.message) +
+           ", \"suppressed\": " + (f.suppressed ? "true" : "false");
+    if (f.suppressed) {
+      out += ", \"suppression_reason\": " + Quoted(f.suppression_reason);
+    }
+    out += "}";
+  }
+  out += report.findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"stale_suppressions\": [";
+  const std::vector<const Suppression*> stale = report.StaleSuppressions();
+  for (size_t i = 0; i < stale.size(); ++i) {
+    out += (i == 0) ? "\n" : ",\n";
+    out += "    {\"line\": " + std::to_string(stale[i]->source_line) +
+           ", \"pass\": " + Quoted(stale[i]->pass) +
+           ", \"file\": " + Quoted(stale[i]->file) +
+           ", \"needle\": " + Quoted(stale[i]->needle) + "}";
+  }
+  out += stale.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace convpairs::analysis

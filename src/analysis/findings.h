@@ -1,0 +1,75 @@
+// Findings, suppressions, and the machine-readable report emitted by
+// convpairs_analyzer.
+//
+// A Finding names a pass, a repo-relative file, a line, and a message. The
+// suppression file (tools/analyzer_suppressions.txt) is the committed
+// baseline CI gates against: a finding matched by an entry is carried as
+// `suppressed` (recorded in the JSON artifact, never fatal); any finding
+// with no matching entry fails the run. scripts/check_suppressions.py
+// closes the loop in the other direction: an entry that matches no current
+// finding is stale and fails CI, so the baseline can only shrink by
+// deleting entries and only grow by deliberate review.
+
+#ifndef CONVPAIRS_ANALYSIS_FINDINGS_H_
+#define CONVPAIRS_ANALYSIS_FINDINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace convpairs::analysis {
+
+struct Finding {
+  std::string pass;     // "layering", "concurrency", "budget-status", ...
+  std::string file;     // repo-relative, '/'-separated
+  int line = 0;         // 0 = whole-file finding
+  std::string message;
+  bool suppressed = false;
+  std::string suppression_reason;
+};
+
+/// One line of the suppression file:
+///   pass | file | message-substring | reason
+/// A finding is suppressed when pass and file match exactly and the
+/// substring occurs in its message ("*" matches any message).
+struct Suppression {
+  std::string pass;
+  std::string file;
+  std::string needle;
+  std::string reason;
+  int source_line = 0;  // Line in the suppression file, for diagnostics.
+  int matched = 0;      // Findings this entry suppressed (0 = stale).
+};
+
+/// Parses the suppression-file format. Returns InvalidArgument (with the
+/// offending line) on malformed entries; an empty or comment-only file is
+/// the healthy state.
+StatusOr<std::vector<Suppression>> ParseSuppressions(const std::string& text);
+
+/// Marks findings matched by an entry as suppressed and counts per-entry
+/// matches (for staleness checks).
+void ApplySuppressions(std::vector<Suppression>& suppressions,
+                       std::vector<Finding>& findings);
+
+/// The analyzer's result: findings (sorted by file, line, pass), the
+/// suppression table with usage counts, and the layering DOT export.
+struct AnalysisReport {
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressions;
+  std::string layering_dot;
+  int files_scanned = 0;
+
+  int TotalFindings() const { return static_cast<int>(findings.size()); }
+  int SuppressedFindings() const;
+  int UnsuppressedFindings() const;
+  std::vector<const Suppression*> StaleSuppressions() const;
+};
+
+/// Serializes the report as the analyzer_findings.json artifact schema
+/// (version 1). Deterministic: consumers may diff two artifacts textually.
+std::string ReportToJson(const AnalysisReport& report);
+
+}  // namespace convpairs::analysis
+
+#endif  // CONVPAIRS_ANALYSIS_FINDINGS_H_

@@ -1,0 +1,391 @@
+#include "analysis/invariants.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace convpairs::analysis {
+
+namespace {
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// "src/util/rng.h" -> "util/rng.h"; empty when not under src/.
+std::string SrcRelative(const std::string& path) {
+  if (!StartsWith(path, "src/")) return "";
+  return path.substr(4);
+}
+
+bool IsLoggingSink(const std::string& src_rel) {
+  return src_rel == "util/logging.h" || src_rel == "util/logging.cc" ||
+         src_rel == "util/check.h" || src_rel == "util/status.cc";
+}
+
+bool IsRngHome(const std::string& src_rel) {
+  return src_rel == "util/rng.h" || src_rel == "util/rng.cc";
+}
+
+bool IsFlightRecorderHome(const std::string& src_rel) {
+  return src_rel == "obs/flight_recorder.h" ||
+         src_rel == "obs/flight_recorder.cc";
+}
+
+bool IsBenchFile(const std::string& path) {
+  return StartsWith(path, "bench/") &&
+         path.find('/', 6) == std::string::npos;
+}
+
+std::string ExpectedGuard(const std::string& src_rel) {
+  std::string guard = "CONVPAIRS_";
+  for (const char c : src_rel) {
+    if (c == '/' || c == '.') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+bool IsValidObservableName(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// True when code[i] is qualified by a member/scope operator: `x.rand`,
+// `p->recv`, `Rng::rand`. Bare and unqualified is the shape the bans target.
+bool IsQualified(const std::vector<const Token*>& code, size_t i) {
+  if (i == 0) return false;
+  const Token& prev = *code[i - 1];
+  return prev.kind == TokenKind::kPunct &&
+         (prev.text == "." || prev.text == "->" || prev.text == "::");
+}
+
+bool IsStdQualified(const std::vector<const Token*>& code, size_t i) {
+  return i >= 2 && code[i - 1]->text == "::" && IsIdent(*code[i - 2], "std");
+}
+
+// Matches `class [ [ nodiscard ] ] <name>` starting at code[i].
+bool MatchesNodiscardClass(const std::vector<const Token*>& code, size_t i,
+                           const std::string& name) {
+  static constexpr std::array<std::string_view, 6> kPrefix = {
+      "class", "[", "[", "nodiscard", "]", "]"};
+  if (i + kPrefix.size() >= code.size()) return false;
+  for (size_t k = 0; k < kPrefix.size(); ++k) {
+    if (code[i + k]->text != kPrefix[k]) return false;
+  }
+  return code[i + kPrefix.size()]->text == name;
+}
+
+void CheckStatusHeader(const TokenizedFile& file,
+                       std::vector<Finding>* findings) {
+  std::vector<const Token*> code;
+  for (const int i : CodeTokenIndices(file.tokens)) {
+    code.push_back(&file.tokens[static_cast<size_t>(i)]);
+  }
+  bool status_marked = false;
+  bool statusor_marked = false;
+  for (size_t i = 0; i < code.size(); ++i) {
+    status_marked = status_marked || MatchesNodiscardClass(code, i, "Status");
+    statusor_marked =
+        statusor_marked || MatchesNodiscardClass(code, i, "StatusOr");
+  }
+  if (!status_marked) {
+    findings->push_back({"nodiscard", file.path, 0,
+                         "Status must be declared `class [[nodiscard]] "
+                         "Status` so discarded errors fail the -Werror build",
+                         false,
+                         ""});
+  }
+  if (!statusor_marked) {
+    findings->push_back({"nodiscard", file.path, 0,
+                         "StatusOr must be declared `class [[nodiscard]] "
+                         "StatusOr` so discarded results fail the -Werror "
+                         "build",
+                         false,
+                         ""});
+  }
+}
+
+// Invariant 7a: the first string literal inside the parens of a
+// registration site must be a machine-friendly name. `code[i]` is the site
+// identifier; registration shapes are `registry.GetCounter("x")` and
+// `obs::ScopedSpan span("x")`, so the opening paren sits within the next
+// three code tokens. Sites passing a variable have no literal before the
+// closing paren and are skipped.
+void CheckObservableName(const TokenizedFile& file,
+                         const std::vector<const Token*>& code, size_t i,
+                         std::vector<Finding>* findings) {
+  size_t open = 0;
+  for (size_t k = i + 1; k < code.size() && k <= i + 3; ++k) {
+    if (code[k]->kind == TokenKind::kPunct && code[k]->text == "(") {
+      open = k;
+      break;
+    }
+    if (code[k]->kind != TokenKind::kIdentifier) return;
+  }
+  if (open == 0) return;
+  int depth = 0;
+  for (size_t j = open; j < code.size(); ++j) {
+    if (code[j]->kind == TokenKind::kPunct) {
+      if (code[j]->text == "(") ++depth;
+      if (code[j]->text == ")" && --depth == 0) return;
+      continue;
+    }
+    if (code[j]->kind == TokenKind::kString) {
+      if (!IsValidObservableName(code[j]->text)) {
+        findings->push_back(
+            {"obs-names", file.path, code[j]->line,
+             code[i]->text + " name \"" + code[j]->text +
+                 "\" must match [a-z0-9_.]+ (exports, traces and summary "
+                 "scripts key on these names)",
+             false,
+             ""});
+      }
+      return;
+    }
+  }
+}
+
+// Invariant 7b: FlightEventKind cast detection. Two shapes:
+//   static_cast < [convpairs ::] [obs ::] FlightEventKind > ( ... )
+//   ( [obs ::] FlightEventKind ) <operand>
+// `code[i]` is the FlightEventKind identifier.
+bool IsFlightKindCast(const std::vector<const Token*>& code, size_t i) {
+  // Walk the qualification backwards: obs :: FlightEventKind, etc.
+  size_t s = i;
+  while (s >= 2 && code[s - 1]->text == "::" &&
+         code[s - 2]->kind == TokenKind::kIdentifier) {
+    s -= 2;
+  }
+  if (s >= 2 && code[s - 1]->text == "<" &&
+      IsIdent(*code[s - 2], "static_cast") &&
+      i + 1 < code.size() && code[i + 1]->text == ">") {
+    return true;
+  }
+  // C-style: previous token `(`, next tokens `)` + an operand that starts an
+  // expression (identifier, number, `(` or unary minus) — this keeps
+  // `void f(FlightEventKind k)` parameter lists from matching.
+  if (s >= 1 && code[s - 1]->text == "(" && i + 2 < code.size() &&
+      code[i + 1]->text == ")") {
+    const Token& operand = *code[i + 2];
+    return operand.kind == TokenKind::kIdentifier ||
+           operand.kind == TokenKind::kNumber || operand.text == "(" ||
+           operand.text == "-";
+  }
+  return false;
+}
+
+void CheckIncludeGuard(const TokenizedFile& file, const std::string& src_rel,
+                       std::vector<Finding>* findings) {
+  const std::string expected = ExpectedGuard(src_rel);
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kDirective) continue;
+    if (toks[i].text != "ifndef") {
+      // #pragma once or a leading #include before any guard: keep scanning —
+      // comments aside, the guard must still be the first #ifndef.
+      continue;
+    }
+    if (i + 1 >= toks.size() ||
+        toks[i + 1].kind != TokenKind::kIdentifier ||
+        toks[i + 1].text != expected) {
+      findings->push_back({"guards", file.path, toks[i].line,
+                           "include guard must be " + expected,
+                           false,
+                           ""});
+      return;
+    }
+    // The matching #define must be the next directive.
+    for (size_t j = i + 2; j < toks.size(); ++j) {
+      if (toks[j].kind != TokenKind::kDirective) continue;
+      if (toks[j].text == "define" && j + 1 < toks.size() &&
+          toks[j + 1].kind == TokenKind::kIdentifier &&
+          toks[j + 1].text == expected) {
+        return;  // Guard well-formed.
+      }
+      findings->push_back({"guards", file.path, toks[j].line,
+                           "#define must immediately follow #ifndef " +
+                               expected,
+                           false,
+                           ""});
+      return;
+    }
+    findings->push_back({"guards", file.path, toks[i].line,
+                         "#define must immediately follow #ifndef " + expected,
+                         false,
+                         ""});
+    return;
+  }
+  findings->push_back(
+      {"guards", file.path, 0, "header missing include guard " + expected,
+       false, ""});
+}
+
+constexpr std::array<std::string_view, 3> kSocketHeaders = {
+    "sys/socket.h", "netinet/in.h", "arpa/inet.h"};
+
+constexpr std::array<std::string_view, 11> kSocketIdents = {
+    "sockaddr", "sockaddr_in", "AF_INET",    "SOCK_STREAM",
+    "accept",   "recv",        "bind",       "listen",
+    "connect",  "setsockopt",  "getsockname"};
+
+constexpr std::array<std::string_view, 4> kRngIdents = {
+    "rand", "srand", "rand_r", "random_device"};
+
+constexpr std::array<std::string_view, 4> kStdioIdents = {"printf", "fprintf",
+                                                          "puts", "fputs"};
+
+constexpr std::array<std::string_view, 4> kObsSites = {
+    "GetCounter", "GetGauge", "GetHistogram", "ScopedSpan"};
+
+template <size_t N>
+bool Contains(const std::array<std::string_view, N>& set,
+              const std::string& value) {
+  for (const std::string_view v : set) {
+    if (value == v) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckInvariants(const std::vector<TokenizedFile>& files) {
+  std::vector<Finding> findings;
+  bool saw_status_header = false;
+
+  for (const TokenizedFile& file : files) {
+    const std::string src_rel = SrcRelative(file.path);
+    const bool in_src = !src_rel.empty();
+    const bool in_bench = IsBenchFile(file.path);
+    if (!in_src && !in_bench) continue;
+
+    if (src_rel == "util/status.h") {
+      saw_status_header = true;
+      CheckStatusHeader(file, &findings);
+    }
+
+    const bool logging_ok = in_src && IsLoggingSink(src_rel);
+    const bool rng_ok = in_src && IsRngHome(src_rel);
+    const bool flight_ok = in_src && IsFlightRecorderHome(src_rel);
+    const bool socket_ok = in_src && StartsWith(src_rel, "server/");
+    const bool refund_ok = in_src && StartsWith(src_rel, "sssp/");
+
+    std::vector<const Token*> code;
+    for (const int i : CodeTokenIndices(file.tokens)) {
+      code.push_back(&file.tokens[static_cast<size_t>(i)]);
+    }
+
+    bool bench_exports = false;
+    for (size_t i = 0; i < code.size(); ++i) {
+      const Token& tok = *code[i];
+
+      if (tok.kind == TokenKind::kHeaderName && tok.angled && in_src &&
+          !socket_ok && Contains(kSocketHeaders, tok.text)) {
+        findings.push_back({"sockets", file.path, tok.line,
+                            "socket header <" + tok.text +
+                                "> may only be included under src/server/ "
+                                "(use the server/socket.h wrappers)",
+                            false,
+                            ""});
+        continue;
+      }
+      if (tok.kind != TokenKind::kIdentifier) continue;
+
+      if (Contains(kObsSites, tok.text)) {
+        CheckObservableName(file, code, i, &findings);
+      }
+      if (!in_src) {
+        bench_exports = bench_exports || tok.text == "FinishAndExport";
+        continue;  // The remaining confinement rules scope to src/.
+      }
+
+      if (!flight_ok && tok.text == "FlightEventKind" &&
+          IsFlightKindCast(code, i)) {
+        findings.push_back(
+            {"obs-names", file.path, tok.line,
+             "record flight events with named FlightEventKind constants, "
+             "not casts from raw integers (only obs/flight_recorder.* may "
+             "decode the enum)",
+             false,
+             ""});
+      }
+      if (!logging_ok) {
+        if ((tok.text == "cout" || tok.text == "cerr") &&
+            IsStdQualified(code, i)) {
+          findings.push_back({"logging", file.path, tok.line,
+                              "library code must log via util/logging, not "
+                              "iostream",
+                              false,
+                              ""});
+        }
+        if (Contains(kStdioIdents, tok.text) && !IsQualified(code, i)) {
+          findings.push_back({"logging", file.path, tok.line,
+                              "library code must log via util/logging, not " +
+                                  tok.text + "()",
+                              false,
+                              ""});
+        }
+      }
+      if (!rng_ok && Contains(kRngIdents, tok.text) &&
+          (!IsQualified(code, i) || IsStdQualified(code, i))) {
+        findings.push_back(
+            {"rng", file.path, tok.line,
+             "randomness must flow through util/rng (found " + tok.text + ")",
+             false,
+             ""});
+      }
+      if (!socket_ok && Contains(kSocketIdents, tok.text) &&
+          !IsQualified(code, i)) {
+        findings.push_back({"sockets", file.path, tok.line,
+                            "raw socket API '" + tok.text +
+                                "' may only appear under src/server/ (use "
+                                "the server/socket.h wrappers)",
+                            false,
+                            ""});
+      }
+      if (!refund_ok && tok.text == "Refund") {
+        findings.push_back(
+            {"refund", file.path, tok.line,
+             "SsspBudget::Refund() may only be called by the bounded "
+             "traversals under src/sssp/ — outer layers spend refunds via "
+             "TrySpendRefund()/ChargeSkipped()",
+             false,
+             ""});
+      }
+    }
+
+    if (in_src && src_rel.size() > 2 &&
+        src_rel.compare(src_rel.size() - 2, 2, ".h") == 0) {
+      CheckIncludeGuard(file, src_rel, &findings);
+    }
+    if (in_bench && !bench_exports) {
+      findings.push_back(
+          {"bench-export", file.path, 0,
+           "bench must call FinishAndExport so BENCH_<name>.json telemetry "
+           "is written (see bench/common/bench_env.h)",
+           false,
+           ""});
+    }
+  }
+
+  if (!saw_status_header) {
+    findings.push_back({"nodiscard", "src/util/status.h", 0,
+                        "missing: the Status/StatusOr header must exist",
+                        false,
+                        ""});
+  }
+  return findings;
+}
+
+}  // namespace convpairs::analysis

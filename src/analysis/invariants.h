@@ -1,0 +1,47 @@
+// Token-level port of the nine repo invariants that tools/convpairs_lint.cc
+// used to enforce line-by-line (the lint is retired; its ctest name lives on
+// as an alias of convpairs_analyzer). Each check now runs on the token
+// stream, so literals and comments can mention forbidden names freely and a
+// raw string can no longer desynchronize the scanner.
+//
+//   1. nodiscard      src/util/status.h keeps `class [[nodiscard]] Status`
+//                     and `class [[nodiscard]] StatusOr`.
+//   2. logging        std::cout/std::cerr and bare printf/fprintf/puts/fputs
+//                     only in util/logging.*, util/check.h and util/status.cc
+//                     (the CHECK_OK fatal path writes its last words with
+//                     fprintf, exactly like util/check.h).
+//   3. rng            rand/srand/rand_r/random_device confined to util/rng.*.
+//                     Strengthened over the lint: std::rand is now caught
+//                     (the old scanner skipped any ':'-qualified match).
+//   4. guards         include guards spell CONVPAIRS_<PATH>_H_.
+//   5. bench-export   every top-level bench/*.cc calls FinishAndExport.
+//   6. (std::thread — absorbed by the concurrency pass, which also covers
+//      std::jthread and the <thread> header.)
+//   7. obs-names      literal names at GetCounter/GetGauge/GetHistogram/
+//                     ScopedSpan sites match [a-z0-9_.]+; FlightEventKind is
+//                     never cast from raw integers outside
+//                     obs/flight_recorder.*.
+//   8. sockets        socket headers and raw socket identifiers confined to
+//                     src/server/.
+//   9. refund         the identifier Refund (member call or &SsspBudget::
+//                     Refund) appears only under src/sssp/.
+
+#ifndef CONVPAIRS_ANALYSIS_INVARIANTS_H_
+#define CONVPAIRS_ANALYSIS_INVARIANTS_H_
+
+#include <vector>
+
+#include "analysis/findings.h"
+#include "analysis/token.h"
+
+namespace convpairs::analysis {
+
+/// Runs all invariant checks. `files` holds every scanned file with its
+/// repo-relative path: src/**/*.{h,cc} plus top-level bench/*.cc (the bench
+/// walker contract — bench/common/ defines rather than calls FinishAndExport
+/// and must not be passed in).
+std::vector<Finding> CheckInvariants(const std::vector<TokenizedFile>& files);
+
+}  // namespace convpairs::analysis
+
+#endif  // CONVPAIRS_ANALYSIS_INVARIANTS_H_

@@ -1,0 +1,261 @@
+#include "analysis/layering.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+namespace convpairs::analysis {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+// "src/util/rng.h" -> "util/rng.h"; returns empty if not under src/.
+std::string SrcRelative(const std::string& repo_rel) {
+  constexpr std::string_view kPrefix = "src/";
+  if (repo_rel.rfind(kPrefix, 0) != 0) return "";
+  return repo_rel.substr(kPrefix.size());
+}
+
+// Layer of a src-relative path = its first path component ("core/selectors/
+// hybrid_selectors.h" belongs to layer "core").
+std::string LayerOf(const std::string& src_rel) {
+  const size_t slash = src_rel.find('/');
+  return slash == std::string::npos ? std::string() : src_rel.substr(0, slash);
+}
+
+struct Edge {
+  int from_index;        // Index into `files`.
+  std::string to;        // src-relative include target.
+  int line;
+};
+
+}  // namespace
+
+StatusOr<LayerManifest> ParseLayerManifest(const std::string& text) {
+  LayerManifest manifest;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string reason;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      reason = Trim(line.substr(hash + 1));
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) continue;
+    std::istringstream words(line);
+    std::string keyword;
+    words >> keyword;
+    if (keyword == "layer") {
+      std::vector<std::string> dirs;
+      std::string dir;
+      while (words >> dir) {
+        if (manifest.rank_of.count(dir) != 0) {
+          return Status::InvalidArgument(
+              "layering.manifest line " + std::to_string(line_no) +
+              ": directory '" + dir + "' declared twice");
+        }
+        manifest.rank_of[dir] = static_cast<int>(manifest.ranks.size());
+        dirs.push_back(dir);
+      }
+      if (dirs.empty()) {
+        return Status::InvalidArgument("layering.manifest line " +
+                                       std::to_string(line_no) +
+                                       ": empty 'layer' declaration");
+      }
+      manifest.ranks.push_back(std::move(dirs));
+      continue;
+    }
+    if (keyword == "allow") {
+      std::string from;
+      std::string arrow;
+      std::string to;
+      words >> from >> arrow >> to;
+      if (from.empty() || arrow != "->" || to.empty()) {
+        return Status::InvalidArgument(
+            "layering.manifest line " + std::to_string(line_no) +
+            ": expected 'allow <file> -> <dir>  # reason'");
+      }
+      if (reason.empty()) {
+        return Status::InvalidArgument(
+            "layering.manifest line " + std::to_string(line_no) +
+            ": 'allow' requires a trailing '# reason' comment");
+      }
+      manifest.exceptions.push_back({from, to, reason});
+      continue;
+    }
+    return Status::InvalidArgument("layering.manifest line " +
+                                   std::to_string(line_no) +
+                                   ": unknown keyword '" + keyword + "'");
+  }
+  if (manifest.ranks.empty()) {
+    return Status::InvalidArgument("layering.manifest declares no layers");
+  }
+  return manifest;
+}
+
+LayeringResult CheckLayering(const LayerManifest& manifest,
+                             const std::vector<TokenizedFile>& files) {
+  LayeringResult result;
+
+  // Collect the quoted-include edges of every src/ file and index files by
+  // src-relative path for the cycle check.
+  std::map<std::string, int> index_of;  // src-relative -> files index
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string rel = SrcRelative(files[i].path);
+    if (!rel.empty()) index_of[rel] = static_cast<int>(i);
+  }
+
+  std::vector<Edge> edges;
+  std::set<std::string> seen_layers;
+  for (const auto& [rel, i] : index_of) {
+    const std::string layer = LayerOf(rel);
+    if (!layer.empty()) seen_layers.insert(layer);
+    const std::vector<Token>& toks = files[static_cast<size_t>(i)].tokens;
+    for (size_t t = 0; t < toks.size(); ++t) {
+      if (toks[t].kind != TokenKind::kHeaderName || toks[t].angled) continue;
+      edges.push_back({i, toks[t].text, toks[t].line});
+    }
+  }
+
+  // Check 1: every directory under src/ is ranked.
+  for (const std::string& layer : seen_layers) {
+    if (manifest.rank_of.count(layer) == 0) {
+      result.findings.push_back(
+          {"layering", "src/" + layer, 0,
+           "directory src/" + layer +
+               "/ is not declared in tools/layering.manifest",
+           false,
+           ""});
+    }
+  }
+
+  // Check 2: no upward edges without a declared exception. Aggregate the
+  // directory-level graph for the DOT export while walking.
+  struct DirEdge {
+    int count = 0;
+    bool exception = false;
+  };
+  std::map<std::pair<std::string, std::string>, DirEdge> dir_edges;
+  for (const Edge& e : edges) {
+    const TokenizedFile& from = files[static_cast<size_t>(e.from_index)];
+    const std::string from_rel = SrcRelative(from.path);
+    const std::string from_layer = LayerOf(from_rel);
+    const std::string to_layer = LayerOf(e.to);
+    if (to_layer.empty() || from_layer.empty()) continue;
+    auto from_rank = manifest.rank_of.find(from_layer);
+    auto to_rank = manifest.rank_of.find(to_layer);
+    if (from_rank == manifest.rank_of.end() ||
+        to_rank == manifest.rank_of.end()) {
+      continue;  // Unranked directories already reported by check 1.
+    }
+    DirEdge& de = dir_edges[{from_layer, to_layer}];
+    ++de.count;
+    if (to_rank->second <= from_rank->second) continue;  // Downward or flat.
+    const auto exception = std::find_if(
+        manifest.exceptions.begin(), manifest.exceptions.end(),
+        [&](const LayerException& x) {
+          return x.from_file == from_rel && x.to_layer == to_layer;
+        });
+    if (exception != manifest.exceptions.end()) {
+      de.exception = true;
+      continue;
+    }
+    result.findings.push_back(
+        {"layering", from.path, e.line,
+         "upward include: layer '" + from_layer + "' (rank " +
+             std::to_string(from_rank->second) + ") includes \"" + e.to +
+             "\" from layer '" + to_layer + "' (rank " +
+             std::to_string(to_rank->second) +
+             ") — declare the dependency downward or add an 'allow' "
+             "exception to tools/layering.manifest",
+         false,
+         ""});
+  }
+
+  // Check 3: the file-level include graph is acyclic. Only edges whose
+  // target is a scanned file participate (system headers cannot cycle back).
+  std::map<int, std::vector<int>> adjacency;
+  for (const Edge& e : edges) {
+    const auto to_it = index_of.find(e.to);
+    if (to_it != index_of.end()) {
+      adjacency[e.from_index].push_back(to_it->second);
+    }
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<int, Color> color;
+  std::vector<int> stack;
+  // Iterative DFS with an explicit path stack so the cycle can be printed.
+  std::function<void(int)> visit = [&](int node) {
+    color[node] = Color::kGray;
+    stack.push_back(node);
+    for (const int next : adjacency[node]) {
+      const Color c =
+          color.count(next) != 0 ? color[next] : Color::kWhite;
+      if (c == Color::kBlack) continue;
+      if (c == Color::kGray) {
+        // Found a cycle: slice the path from `next` to the top.
+        std::string path;
+        bool in_cycle = false;
+        for (const int n : stack) {
+          if (n == next) in_cycle = true;
+          if (in_cycle) path += files[static_cast<size_t>(n)].path + " -> ";
+        }
+        path += files[static_cast<size_t>(next)].path;
+        result.findings.push_back({"layering",
+                                   files[static_cast<size_t>(next)].path, 0,
+                                   "include cycle: " + path, false, ""});
+        continue;
+      }
+      visit(next);
+    }
+    stack.pop_back();
+    color[node] = Color::kBlack;
+  };
+  for (const auto& [rel, i] : index_of) {
+    if (color.count(i) == 0 || color[i] == Color::kWhite) visit(i);
+  }
+
+  // DOT export: layers as ranked nodes, directory-level edges with include
+  // counts, exceptions dashed red. Self-edges are omitted (intra-layer
+  // includes are structure-free noise at this granularity).
+  std::string dot;
+  dot += "// Generated by convpairs_analyzer --dot-out; do not edit.\n";
+  dot += "// Regenerate with scripts/render_layering.py.\n";
+  dot += "digraph convpairs_layering {\n";
+  dot += "  rankdir=BT;\n";
+  dot += "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (size_t r = 0; r < manifest.ranks.size(); ++r) {
+    dot += "  { rank=same;";
+    std::vector<std::string> dirs = manifest.ranks[r];
+    std::sort(dirs.begin(), dirs.end());
+    for (const std::string& dir : dirs) dot += " \"" + dir + "\";";
+    dot += " }\n";
+  }
+  for (const auto& [key, de] : dir_edges) {
+    if (key.first == key.second) continue;
+    dot += "  \"" + key.first + "\" -> \"" + key.second + "\" [label=\"" +
+           std::to_string(de.count) + "\"";
+    if (de.exception) {
+      dot += ", style=dashed, color=red, fontcolor=red";
+    }
+    dot += "];\n";
+  }
+  dot += "}\n";
+  result.dot = std::move(dot);
+  return result;
+}
+
+}  // namespace convpairs::analysis

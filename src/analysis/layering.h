@@ -1,0 +1,61 @@
+// Layering-DAG pass: checks every project #include edge in src/ against the
+// declared layer manifest and exports the result as DOT.
+//
+// Manifest grammar (tools/layering.manifest), one declaration per line:
+//
+//   layer <dir> [<dir> ...]     # one rank, lowest first; same-rank
+//                               # cross-directory includes are allowed as
+//                               # long as the file-level graph stays acyclic
+//   allow <file> -> <dir>       # explicit exception: this one file may
+//                               # include upward into <dir>; the reason is
+//                               # the trailing comment, carried to the DOT
+//   # comment / blank lines ignored
+//
+// Checks:
+//   1. Every top-level directory under src/ appears in exactly one rank.
+//   2. No include edge points to a strictly higher rank unless an `allow`
+//      exception names the including file (reported in DOT as a dashed red
+//      edge so the debt stays visible).
+//   3. The file-level include graph is acyclic; any cycle is reported with
+//      its full path.
+
+#ifndef CONVPAIRS_ANALYSIS_LAYERING_H_
+#define CONVPAIRS_ANALYSIS_LAYERING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/findings.h"
+#include "analysis/token.h"
+#include "util/status.h"
+
+namespace convpairs::analysis {
+
+struct LayerException {
+  std::string from_file;  // src-relative, e.g. "util/thread_pool.cc"
+  std::string to_layer;   // e.g. "obs"
+  std::string reason;
+};
+
+struct LayerManifest {
+  std::vector<std::vector<std::string>> ranks;  // rank index -> directories
+  std::map<std::string, int> rank_of;           // directory -> rank index
+  std::vector<LayerException> exceptions;
+};
+
+StatusOr<LayerManifest> ParseLayerManifest(const std::string& text);
+
+struct LayeringResult {
+  std::vector<Finding> findings;
+  std::string dot;  // Deterministic DOT rendering of the layer graph.
+};
+
+/// Runs the pass over the tokenized files of src/ (paths are repo-relative,
+/// i.e. "src/util/rng.h").
+LayeringResult CheckLayering(const LayerManifest& manifest,
+                             const std::vector<TokenizedFile>& files);
+
+}  // namespace convpairs::analysis
+
+#endif  // CONVPAIRS_ANALYSIS_LAYERING_H_

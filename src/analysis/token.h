@@ -1,0 +1,59 @@
+// Token model for the convpairs static-analysis subsystem.
+//
+// The analyzer's passes (layering DAG, concurrency discipline, budget
+// dataflow, the legacy repo invariants) all consume this stream instead of
+// matching regexes on raw lines: a token either IS code or it is not, so a
+// forbidden identifier inside a string literal, a comment, or a raw string
+// spanning twelve lines can never fire a finding (the false-positive class
+// that motivated replacing tools/convpairs_lint.cc).
+
+#ifndef CONVPAIRS_ANALYSIS_TOKEN_H_
+#define CONVPAIRS_ANALYSIS_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace convpairs::analysis {
+
+enum class TokenKind {
+  kIdentifier,   // foo, std, nodiscard — keywords are identifiers here
+  kNumber,       // pp-number: 42, 0x1f, 1'000'000, 1.5e-3
+  kString,       // "..." / u8"..." / R"delim(...)delim"; text = content
+  kCharLiteral,  // '...'; text = content
+  kHeaderName,   // the target of an #include; text = path, no delimiters
+  kPunct,        // operators and punctuation, digraphs mapped to primaries
+  kDirective,    // a '#' introducer; text = directive name ("include", ...)
+  kComment,      // // or /* */; text = body. Kept so passes can require
+                 // explanatory comments (e.g. (void)-discard suppression).
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line in the ORIGINAL file: positions survive
+  int col = 0;   // backslash-newline splicing, so findings stay clickable.
+  // True for tokens inside a preprocessor logical line (after splicing).
+  // Macro bodies are therefore scanned by the identifier-ban passes: a
+  // `#define SPAWN std::thread` escape hatch is still a violation.
+  bool in_directive = false;
+  // kHeaderName only: <...> (true) vs "..." (false).
+  bool angled = false;
+};
+
+/// The tokens of one file plus its repo-relative path (set by the walker).
+struct TokenizedFile {
+  std::string path;  // repo-relative, '/'-separated (e.g. "src/util/rng.h")
+  std::vector<Token> tokens;
+};
+
+/// True when `tok` is an identifier spelling exactly `text`.
+bool IsIdent(const Token& tok, const std::string& text);
+
+/// Indices of non-comment tokens, in order — the view every pass that
+/// reasons about *code* iterates. Comments stay reachable through the
+/// original vector for the passes that need them.
+std::vector<int> CodeTokenIndices(const std::vector<Token>& tokens);
+
+}  // namespace convpairs::analysis
+
+#endif  // CONVPAIRS_ANALYSIS_TOKEN_H_

@@ -1,0 +1,399 @@
+#include "analysis/tokenizer.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace convpairs::analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Phase 2 of translation: delete every backslash-newline pair, keeping a
+// per-character map back to the original 1-based line and column so token
+// positions stay accurate in findings.
+struct Spliced {
+  std::string text;
+  std::vector<int> line;
+  std::vector<int> col;
+};
+
+Spliced SpliceLines(std::string_view source) {
+  Spliced out;
+  out.text.reserve(source.size());
+  out.line.reserve(source.size());
+  out.col.reserve(source.size());
+  int line = 1;
+  int col = 1;
+  for (size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (c == '\\') {
+      size_t j = i + 1;
+      if (j < source.size() && source[j] == '\r') ++j;
+      if (j < source.size() && source[j] == '\n') {
+        i = j;  // Swallow the splice; nothing is emitted.
+        ++line;
+        col = 1;
+        continue;
+      }
+    }
+    out.text.push_back(c);
+    out.line.push_back(line);
+    out.col.push_back(col);
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return out;
+}
+
+// Multi-character punctuation, longest first so maximal munch is a simple
+// prefix scan. Digraphs are listed with their primary-spelling mapping.
+struct PunctSpelling {
+  std::string_view spelled;
+  std::string_view mapped;  // what the token reports
+};
+constexpr std::array<PunctSpelling, 29> kPuncts = {{
+    {"%:%:", "##"},
+    {"<<=", "<<="},
+    {">>=", ">>="},
+    {"->*", "->*"},
+    {"...", "..."},
+    {"::", "::"},
+    {"->", "->"},
+    {"<<", "<<"},
+    {">>", ">>"},
+    {"<=", "<="},
+    {">=", ">="},
+    {"==", "=="},
+    {"!=", "!="},
+    {"&&", "&&"},
+    {"||", "||"},
+    {"++", "++"},
+    {"--", "--"},
+    {"+=", "+="},
+    {"-=", "-="},
+    {"*=", "*="},
+    {"/=", "/="},
+    {"%=", "%="},
+    {"^=", "^="},
+    {"&=", "&="},
+    {"|=", "|="},
+    {".*", ".*"},
+    {"##", "##"},
+    {"<%", "{"},
+    {"%>", "}"},
+}};
+// <: and :> are handled inline: ":>" maps to "]" unconditionally, "<:"
+// maps to "[" unless followed by ':' with no second ':' (the std::vector<
+// ::foo> disambiguation rule — rare, but cheap to honor). "%:" maps to "#".
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : s_(SpliceLines(source)) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < s_.text.size()) LexOne();
+    return std::move(tokens_);
+  }
+
+ private:
+  char At(size_t i) const { return i < s_.text.size() ? s_.text[i] : '\0'; }
+  char Cur() const { return At(pos_); }
+  char Peek(size_t n = 1) const { return At(pos_ + n); }
+
+  Token& Emit(TokenKind kind, size_t start, std::string text) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = std::move(text);
+    tok.line = s_.line.empty() ? 1 : s_.line[start];
+    tok.col = s_.col.empty() ? 1 : s_.col[start];
+    tok.in_directive = in_directive_;
+    tokens_.push_back(std::move(tok));
+    return tokens_.back();
+  }
+
+  void LexOne() {
+    const char c = Cur();
+
+    if (c == '\n') {
+      in_directive_ = false;
+      at_line_start_ = true;
+      ++pos_;
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++pos_;
+      return;
+    }
+
+    // Comments survive newlines without ending directives (the standard
+    // replaces a comment by one space before directives are parsed).
+    if (c == '/' && Peek() == '/') {
+      const size_t start = pos_;
+      pos_ += 2;
+      while (pos_ < s_.text.size() && Cur() != '\n') ++pos_;
+      Emit(TokenKind::kComment, start,
+           std::string(s_.text.substr(start + 2, pos_ - start - 2)));
+      return;
+    }
+    if (c == '/' && Peek() == '*') {
+      const size_t start = pos_;
+      pos_ += 2;
+      while (pos_ < s_.text.size() && !(Cur() == '*' && Peek() == '/')) ++pos_;
+      const size_t body_end = pos_;
+      if (pos_ < s_.text.size()) pos_ += 2;  // Consume the first */ only.
+      Emit(TokenKind::kComment, start,
+           std::string(s_.text.substr(start + 2, body_end - start - 2)));
+      return;
+    }
+
+    const bool line_start = at_line_start_;
+    at_line_start_ = false;
+
+    // Preprocessor directive introducer: # or the %: digraph at the start
+    // of a (spliced) line.
+    if (line_start && (c == '#' || (c == '%' && Peek() == ':'))) {
+      const size_t start = pos_;
+      pos_ += (c == '#') ? 1 : 2;
+      while (Cur() == ' ' || Cur() == '\t') ++pos_;
+      std::string name;
+      while (IsIdentChar(Cur())) name.push_back(s_.text[pos_++]);
+      in_directive_ = true;
+      Token& tok = Emit(TokenKind::kDirective, start, name);
+      tok.in_directive = true;
+      if (name == "include" || name == "include_next") LexHeaderName();
+      return;
+    }
+
+    if (IsIdentStart(c)) {
+      LexIdentifierOrLiteralPrefix();
+      return;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(Peek()))) {
+      LexNumber();
+      return;
+    }
+    if (c == '"') {
+      LexString(pos_, /*raw=*/false);
+      return;
+    }
+    if (c == '\'') {
+      LexCharLiteral(pos_);
+      return;
+    }
+    LexPunct();
+  }
+
+  // After `#include`, the target lexes under header-name rules: <...> is
+  // one token and "..." has no escapes.
+  void LexHeaderName() {
+    while (Cur() == ' ' || Cur() == '\t') ++pos_;
+    const size_t start = pos_;
+    if (Cur() == '<') {
+      ++pos_;
+      std::string path;
+      while (pos_ < s_.text.size() && Cur() != '>' && Cur() != '\n') {
+        path.push_back(s_.text[pos_++]);
+      }
+      if (Cur() == '>') ++pos_;
+      Emit(TokenKind::kHeaderName, start, std::move(path)).angled = true;
+      return;
+    }
+    if (Cur() == '"') {
+      ++pos_;
+      std::string path;
+      while (pos_ < s_.text.size() && Cur() != '"' && Cur() != '\n') {
+        path.push_back(s_.text[pos_++]);
+      }
+      if (Cur() == '"') ++pos_;
+      Emit(TokenKind::kHeaderName, start, std::move(path)).angled = false;
+      return;
+    }
+    // Computed include (#include MACRO): fall through, the macro name will
+    // lex as an ordinary identifier.
+  }
+
+  void LexIdentifierOrLiteralPrefix() {
+    const size_t start = pos_;
+    std::string ident;
+    while (IsIdentChar(Cur())) ident.push_back(s_.text[pos_++]);
+
+    // Encoding / raw-string prefixes glue to an immediately following
+    // literal: R"(..)", u8"s", L'c', uR"x(..)x" ...
+    if (Cur() == '"') {
+      const bool raw = !ident.empty() && ident.back() == 'R';
+      const std::string encoding = raw ? ident.substr(0, ident.size() - 1)
+                                       : ident;
+      const bool known_encoding = encoding.empty() || encoding == "u8" ||
+                                  encoding == "u" || encoding == "U" ||
+                                  encoding == "L";
+      if (known_encoding && (raw || !encoding.empty())) {
+        LexString(start, raw);
+        return;
+      }
+    }
+    if (Cur() == '\'' &&
+        (ident == "u8" || ident == "u" || ident == "U" || ident == "L")) {
+      LexCharLiteral(start);
+      return;
+    }
+    Emit(TokenKind::kIdentifier, start, std::move(ident));
+  }
+
+  // `start` is the first character of the whole literal (prefix included)
+  // for position reporting; lexing begins at the current opening quote.
+  void LexString(size_t start, bool raw) {
+    ++pos_;  // Opening quote.
+    std::string content;
+    if (raw) {
+      // R"delim( ... )delim" — the delimiter may be up to 16 characters and
+      // the content may span lines and contain quotes freely.
+      std::string delim;
+      while (pos_ < s_.text.size() && Cur() != '(' && delim.size() <= 16) {
+        delim.push_back(s_.text[pos_++]);
+      }
+      if (Cur() == '(') ++pos_;
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = s_.text.find(closer, pos_);
+      if (end == std::string::npos) {
+        content = s_.text.substr(pos_);
+        pos_ = s_.text.size();
+      } else {
+        content = s_.text.substr(pos_, end - pos_);
+        pos_ = end + closer.size();
+      }
+    } else {
+      while (pos_ < s_.text.size() && Cur() != '"' && Cur() != '\n') {
+        if (Cur() == '\\' && pos_ + 1 < s_.text.size()) {
+          content.push_back(s_.text[pos_++]);  // Keep escapes verbatim.
+        }
+        content.push_back(s_.text[pos_++]);
+      }
+      if (Cur() == '"') ++pos_;
+    }
+    Emit(TokenKind::kString, start, std::move(content));
+    SkipLiteralSuffix();
+  }
+
+  void LexCharLiteral(size_t start) {
+    ++pos_;  // Opening quote.
+    std::string content;
+    while (pos_ < s_.text.size() && Cur() != '\'' && Cur() != '\n') {
+      if (Cur() == '\\' && pos_ + 1 < s_.text.size()) {
+        content.push_back(s_.text[pos_++]);
+      }
+      content.push_back(s_.text[pos_++]);
+    }
+    if (Cur() == '\'') ++pos_;
+    Emit(TokenKind::kCharLiteral, start, std::move(content));
+    SkipLiteralSuffix();
+  }
+
+  // User-defined literal suffixes ("..."sv, 42_km) lex as part of the
+  // literal so they cannot masquerade as standalone identifiers.
+  void SkipLiteralSuffix() {
+    while (IsIdentChar(Cur())) ++pos_;
+  }
+
+  // pp-number: digits, identifier characters, '.', digit separators, and
+  // sign characters straight after an exponent [eEpP].
+  void LexNumber() {
+    const size_t start = pos_;
+    std::string text;
+    while (pos_ < s_.text.size()) {
+      const char c = Cur();
+      if (IsIdentChar(c) || c == '.') {
+        text.push_back(s_.text[pos_++]);
+        continue;
+      }
+      if (c == '\'' && IsIdentChar(Peek())) {
+        text.push_back(s_.text[pos_++]);  // Digit separator, not a char.
+        text.push_back(s_.text[pos_++]);
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty() &&
+          (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+           text.back() == 'P')) {
+        text.push_back(s_.text[pos_++]);
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, start, std::move(text));
+  }
+
+  void LexPunct() {
+    const size_t start = pos_;
+    // Alternative tokens with context: ":>" is "]"; "<:" is "[" unless
+    // followed by a lone ':' (then '<' stands alone); "%:" mid-line is "#".
+    if (Cur() == ':' && Peek() == '>') {
+      pos_ += 2;
+      Emit(TokenKind::kPunct, start, "]");
+      return;
+    }
+    if (Cur() == '<' && Peek() == ':') {
+      if (Peek(2) == ':' && Peek(3) != ':' && Peek(3) != '>') {
+        ++pos_;
+        Emit(TokenKind::kPunct, start, "<");
+        return;
+      }
+      pos_ += 2;
+      Emit(TokenKind::kPunct, start, "[");
+      return;
+    }
+    if (Cur() == '%' && Peek() == ':' && !(Peek(2) == '%' && Peek(3) == ':')) {
+      pos_ += 2;
+      Emit(TokenKind::kPunct, start, "#");
+      return;
+    }
+    for (const PunctSpelling& p : kPuncts) {
+      if (s_.text.compare(pos_, p.spelled.size(), p.spelled) == 0) {
+        pos_ += p.spelled.size();
+        Emit(TokenKind::kPunct, start, std::string(p.mapped));
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, start, std::string(1, s_.text[pos_]));
+    ++pos_;
+  }
+
+  Spliced s_;
+  size_t pos_ = 0;
+  bool at_line_start_ = true;
+  bool in_directive_ = false;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+bool IsIdent(const Token& tok, const std::string& text) {
+  return tok.kind == TokenKind::kIdentifier && tok.text == text;
+}
+
+std::vector<int> CodeTokenIndices(const std::vector<Token>& tokens) {
+  std::vector<int> out;
+  out.reserve(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kComment) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace convpairs::analysis

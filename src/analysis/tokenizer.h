@@ -1,0 +1,41 @@
+// Dependency-free C++ tokenizer for the static-analysis passes.
+//
+// This is a *lexer for analysis*, not a compiler front-end: it does not
+// expand macros or parse declarations, but it gets the lexical layer fully
+// right — the part the old regex linter could not:
+//
+//   - Backslash-newline splicing happens first (phase 2 of translation), so
+//     continuations are handled uniformly everywhere: inside preprocessor
+//     directives, identifiers, even // comments. Original line numbers are
+//     preserved through a position map.
+//   - Comments: // to end-of-line, /* */ (non-nesting, per the standard —
+//     the first */ closes, which the tests pin down), emitted as kComment
+//     tokens. A block comment inside a directive does not end the directive.
+//   - String/char literals with escapes, encoding prefixes (u8 u U L) and
+//     raw strings R"delim(...)delim" with custom delimiters; contents are
+//     carried as data, never re-scanned as code.
+//   - Preprocessor logical lines: a kDirective token introduces them, body
+//     tokens are flagged in_directive, and #include targets lex as
+//     kHeaderName (both <...> and "..." spellings).
+//   - pp-numbers with digit separators (1'000'000) — naively lexing the
+//     tick as a char literal would swallow the rest of the line.
+//   - Digraphs (<% %> <: :> %: %:%:) map to their primary spellings.
+
+#ifndef CONVPAIRS_ANALYSIS_TOKENIZER_H_
+#define CONVPAIRS_ANALYSIS_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace convpairs::analysis {
+
+/// Tokenizes one translation unit. Never fails: malformed input (an
+/// unterminated literal, say) degrades to best-effort tokens so the
+/// analyzer can still report on the rest of the file.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace convpairs::analysis
+
+#endif  // CONVPAIRS_ANALYSIS_TOKENIZER_H_

@@ -138,7 +138,8 @@ class Extractor {
         }
         if (!g1_sources.empty()) {
           if (budget_ != nullptr) {
-            budget_->Charge(static_cast<int64_t>(g1_sources.size()));
+            CONVPAIRS_CHECK_OK(
+                budget_->Charge(static_cast<int64_t>(g1_sources.size())));
           }
           RunBatch(g1_, g1_sources, &g1_batch_rows_);
         }
@@ -158,7 +159,8 @@ class Extractor {
         }
         if (!g2_sources.empty()) {
           if (budget_ != nullptr) {
-            budget_->Charge(static_cast<int64_t>(g2_sources.size()));
+            CONVPAIRS_CHECK_OK(
+                budget_->Charge(static_cast<int64_t>(g2_sources.size())));
           }
           RunBatch(g2_, g2_sources, &g2_batch_rows_);
           for (const Dist d : g2_batch_rows_) {
@@ -319,7 +321,9 @@ class Extractor {
           if (d1[v] > best) best = d1[v];
         }
         if (best < 0 || (theta_known_ && best - 1 < theta_)) {
-          if (nominal && budget_ != nullptr) budget_->ChargeSkipped();
+          if (nominal && budget_ != nullptr) {
+            CONVPAIRS_CHECK_OK(budget_->ChargeSkipped());
+          }
           ++result_.candidates_skipped;
           TopKInstruments::Get().skipped.Increment();
           scanned_[c] = 1;

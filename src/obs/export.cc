@@ -196,7 +196,9 @@ Status ExportMetrics(const std::string& path, const std::string& run_name) {
 }
 
 std::string MetricsOutPath(const std::string& default_path) {
-  if (const char* env = std::getenv(kMetricsOutEnvVar)) {
+  // Read once during process startup, before worker threads exist; nothing
+  // in this codebase calls setenv/putenv.
+  if (const char* env = std::getenv(kMetricsOutEnvVar)) {  // NOLINT(concurrency-mt-unsafe)
     return env;  // May be "", meaning export is disabled.
   }
   return default_path;

@@ -285,7 +285,9 @@ Status WriteChromeTrace(const std::string& path,
 }
 
 std::string TraceOutPath(const std::string& default_path) {
-  const char* env = std::getenv(kTraceOutEnvVar);
+  // Read once during process startup, before worker threads exist; nothing
+  // in this codebase calls setenv/putenv.
+  const char* env = std::getenv(kTraceOutEnvVar);  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return default_path;
   const std::string value = env;
   if (value.empty()) return "";  // Explicitly disabled.
@@ -294,7 +296,8 @@ std::string TraceOutPath(const std::string& default_path) {
 }
 
 bool InitFlightRecorderFromEnv() {
-  const char* env = std::getenv(kTraceOutEnvVar);
+  // Startup-time read; see TraceOutPath above.
+  const char* env = std::getenv(kTraceOutEnvVar);  // NOLINT(concurrency-mt-unsafe)
   if (env != nullptr && env[0] != '\0') {
     FlightRecorder::Global().SetEnabled(true);
   }

@@ -2,19 +2,22 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
-#include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <string>
+#include <system_error>
 #include <utility>
 
 namespace convpairs::server {
 namespace {
 
+// std::strerror shares a static buffer across threads; the error_code
+// formatter is the thread-safe standard equivalent.
 Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
+  return Status::IoError(
+      what + ": " + std::generic_category().message(errno));
 }
 
 sockaddr_in LoopbackAddr(uint16_t port) {

@@ -87,7 +87,7 @@ Status BatchDistanceService::Resolve(std::span<const NodeId> sources,
     return Status::OK();
   }
 
-  if (budget != nullptr) budget->Charge(cost);
+  if (budget != nullptr) CONVPAIRS_RETURN_IF_ERROR(budget->Charge(cost));
   for (size_t begin = 0; begin < unique_sources_.size();
        begin += kMsBfsBatchWidth) {
     const size_t width =

@@ -63,7 +63,7 @@ void BfsInto(const Graph& g, NodeId src, std::vector<Dist>& dist,
 
 void BfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
                   SsspBudget* budget) {
-  if (budget != nullptr) budget->Charge();
+  if (budget != nullptr) CONVPAIRS_CHECK_OK(budget->Charge());
   std::vector<NodeId> queue;
   BfsInto(g, src, *out, queue);
 }
@@ -72,7 +72,7 @@ BoundedBfsStats BfsDistancesUpToLevel(const Graph& g, NodeId src,
                                       Dist level_cap, std::vector<Dist>* out,
                                       SsspBudget* budget) {
   CONVPAIRS_CHECK_LT(src, g.num_nodes());
-  if (budget != nullptr) budget->Charge();
+  if (budget != nullptr) CONVPAIRS_CHECK_OK(budget->Charge());
   std::vector<Dist>& dist = *out;
   dist.assign(g.num_nodes(), kInfDist);
   BoundedBfsStats stats;
@@ -80,7 +80,7 @@ BoundedBfsStats BfsDistancesUpToLevel(const Graph& g, NodeId src,
     // Degenerate cap: nothing may be settled, not even the source, but the
     // charged unit is still (almost) fully refundable.
     stats.truncated = g.num_nodes() > 0;
-    if (budget != nullptr && stats.truncated) budget->Refund(1.0);
+    if (budget != nullptr && stats.truncated) CONVPAIRS_CHECK_OK(budget->Refund(1.0));
     return stats;
   }
   dist[src] = 0;
@@ -114,8 +114,9 @@ BoundedBfsStats BfsDistancesUpToLevel(const Graph& g, NodeId src,
   stats.nodes_settled = static_cast<uint32_t>(queue.size());
   stats.truncated = frontier_cut;
   if (budget != nullptr && stats.truncated && g.num_nodes() > 0) {
-    budget->Refund(1.0 - static_cast<double>(stats.nodes_settled) /
-                             static_cast<double>(g.num_nodes()));
+    CONVPAIRS_CHECK_OK(
+        budget->Refund(1.0 - static_cast<double>(stats.nodes_settled) /
+                                 static_cast<double>(g.num_nodes())));
   }
   return stats;
 }
@@ -133,7 +134,7 @@ BfsRunner::BfsRunner(const Graph& g) : graph_(g) {
 }
 
 const std::vector<Dist>& BfsRunner::Run(NodeId src, SsspBudget* budget) {
-  if (budget != nullptr) budget->Charge();
+  if (budget != nullptr) CONVPAIRS_CHECK_OK(budget->Charge());
   BfsInto(graph_, src, dist_, queue_);
   return dist_;
 }

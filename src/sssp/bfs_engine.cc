@@ -61,7 +61,7 @@ DirOptBfsRunner::DirOptBfsRunner(const Graph& g, DirOptParams params)
 }
 
 const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
-  if (budget != nullptr) budget->Charge();
+  if (budget != nullptr) CONVPAIRS_CHECK_OK(budget->Charge());
   const NodeId n = graph_.num_nodes();
   CONVPAIRS_CHECK_LT(src, n);
   const size_t words = (static_cast<size_t>(n) + 63) / 64;
@@ -192,7 +192,7 @@ BoundedRunStats ThresholdBoundedBfsRunner::Run(NodeId src,
   const NodeId n = graph_.num_nodes();
   CONVPAIRS_CHECK_LT(src, n);
   CONVPAIRS_CHECK_EQ(scores.size(), static_cast<size_t>(n));
-  if (budget != nullptr) budget->Charge();
+  if (budget != nullptr) CONVPAIRS_CHECK_OK(budget->Charge());
 
   // Bucket the scored nodes: unsettled_by_score_[s] counts unsettled nodes
   // with score s. The termination check only needs the maximum occupied
@@ -243,8 +243,9 @@ BoundedRunStats ThresholdBoundedBfsRunner::Run(NodeId src,
   stats.levels = level;
 
   if (budget != nullptr && stats.truncated && n > 0) {
-    budget->Refund(1.0 - static_cast<double>(stats.nodes_settled) /
-                             static_cast<double>(n));
+    CONVPAIRS_CHECK_OK(
+        budget->Refund(1.0 - static_cast<double>(stats.nodes_settled) /
+                                 static_cast<double>(n)));
   }
   const EngineInstruments& instruments = EngineInstruments::Get();
   instruments.bounded_runs.Increment();

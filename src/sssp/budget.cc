@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "obs/registry.h"
+#include "util/check.h"
 
 namespace convpairs {
 namespace {
@@ -31,32 +33,58 @@ struct BudgetInstruments {
 
 }  // namespace
 
-void SsspBudget::Charge(int64_t count) {
-  CONVPAIRS_CHECK_GE(count, 0);
-  // Validate everything before mutating: overflow first, then the cap, so a
-  // failed check cannot leave `used_` inconsistent.
-  CONVPAIRS_CHECK_LE(count, std::numeric_limits<int64_t>::max() - used_);
+Status SsspBudget::Charge(int64_t count) {
+  // Validate everything before mutating: argument, overflow, then the cap,
+  // so a failed Charge cannot leave `used_` inconsistent.
+  if (count < 0) {
+    return Status::InvalidArgument("SsspBudget::Charge: negative count " +
+                                   std::to_string(count));
+  }
+  if (count > std::numeric_limits<int64_t>::max() - used_) {
+    return Status::InvalidArgument(
+        "SsspBudget::Charge: count " + std::to_string(count) +
+        " would overflow used=" + std::to_string(used_));
+  }
   const int64_t next = used_ + count;
-  if (limit_ >= 0) CONVPAIRS_CHECK_LE(next, limit_);
+  if (limit_ >= 0 && next > limit_) {
+    return Status::FailedPrecondition(
+        "SsspBudget::Charge: charging " + std::to_string(count) +
+        " exceeds limit (used=" + std::to_string(used_) +
+        ", limit=" + std::to_string(limit_) + ")");
+  }
   used_ = next;
 
   const BudgetInstruments& instruments = BudgetInstruments::Get();
   instruments.charged_total.Add(count);
   instruments.used.Set(used_);
   instruments.limit.Set(limit_);
+  return Status::OK();
 }
 
-void SsspBudget::Refund(double fraction) {
-  CONVPAIRS_CHECK_GE(fraction, 0.0);
-  CONVPAIRS_CHECK_LE(fraction, 1.0);
+Status SsspBudget::Refund(double fraction) {
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
+    return Status::InvalidArgument("SsspBudget::Refund: fraction " +
+                                   std::to_string(fraction) +
+                                   " outside [0, 1]");
+  }
   const auto micro = static_cast<int64_t>(std::llround(fraction * kMicroUnits));
   // A refund must correspond to work that was actually charged: the total
   // refunded fraction can never exceed the total charged units. Validate
   // before mutating (overflow guard first, then the accounting bound).
-  CONVPAIRS_CHECK_LE(used_, std::numeric_limits<int64_t>::max() / kMicroUnits);
-  CONVPAIRS_CHECK_LE(micro, used_ * kMicroUnits - refunded_micro_);
+  if (used_ > std::numeric_limits<int64_t>::max() / kMicroUnits) {
+    return Status::FailedPrecondition(
+        "SsspBudget::Refund: used=" + std::to_string(used_) +
+        " too large for micro-unit accounting");
+  }
+  if (micro > used_ * kMicroUnits - refunded_micro_) {
+    return Status::FailedPrecondition(
+        "SsspBudget::Refund: refunding " + std::to_string(fraction) +
+        " would exceed total charges (used=" + std::to_string(used_) +
+        ", refunded_micro=" + std::to_string(refunded_micro_) + ")");
+  }
   refunded_micro_ += micro;
   BudgetInstruments::Get().refunded_micro_total.Add(micro);
+  return Status::OK();
 }
 
 bool SsspBudget::TrySpendRefund(int64_t count) {

@@ -24,13 +24,25 @@
 // invariant 9): consumers observe refunds through ChargeSkipped() /
 // TrySpendRefund() / the accessors, so there is exactly one place budget
 // math can go wrong.
+//
+// Error contract: accounting violations (over-cap charge, refund exceeding
+// charges, out-of-range fraction) are reported as [[nodiscard]] Status
+// values rather than aborting inside the budget. The *call site* decides
+// policy: traversals that treat a violation as a programmer error wrap the
+// call in CONVPAIRS_CHECK_OK (same abort-with-context behavior the old
+// CHECK-based API had), while layers with a caller to answer to — the
+// server, the future incremental engine — propagate via
+// CONVPAIRS_RETURN_IF_ERROR. Every call site must consume the Status; the
+// convpairs_analyzer budget-dataflow pass enforces this token-level on top
+// of the compiler's [[nodiscard]] warning. All checks run *before* any
+// counter mutates, so a failed call leaves the budget consistent.
 
 #ifndef CONVPAIRS_SSSP_BUDGET_H_
 #define CONVPAIRS_SSSP_BUDGET_H_
 
 #include <cstdint>
 
-#include "util/check.h"
+#include "util/status.h"
 
 namespace convpairs {
 
@@ -46,38 +58,41 @@ class SsspBudget {
   /// `limit` < 0 means unlimited (count only).
   explicit SsspBudget(int64_t limit = kUnlimited) : limit_(limit) {}
 
-  /// Records `count` SSSP computations. Aborts if the cap would be exceeded
-  /// or `used_ + count` would overflow int64: exceeding the budget is a
-  /// logic error in a selection policy, not a recoverable condition. All
-  /// checks run *before* `used_` mutates, so a failed Charge (in a test
-  /// death-check, say) leaves the budget consistent. Also publishes the
-  /// used/limit gauges to the metrics registry (defined in budget.cc to
-  /// keep obs out of this widely-included header).
-  void Charge(int64_t count = 1);
+  /// Records `count` SSSP computations. Returns FailedPrecondition if the
+  /// cap would be exceeded and InvalidArgument if `count` is negative or
+  /// `used_ + count` would overflow int64: exceeding the budget is a logic
+  /// error in a selection policy, which call sites surface with
+  /// CONVPAIRS_CHECK_OK or propagate. All checks run *before* `used_`
+  /// mutates, so a failed Charge leaves the budget consistent. Also
+  /// publishes the used/limit gauges to the metrics registry (defined in
+  /// budget.cc to keep obs out of this widely-included header).
+  Status Charge(int64_t count = 1);
 
   /// Credits `fraction` (in [0, 1]) of one SSSP unit back to the refund
   /// pool: a bounded traversal that settled 40% of the graph refunds 0.6.
-  /// The nominal counter is untouched. Aborts if the fraction is out of
-  /// range or total refunds would exceed total charges — refunding work
-  /// that was never charged is always an accounting bug. Only traversal
-  /// code inside src/sssp may call this (lint invariant 9).
-  void Refund(double fraction);
+  /// The nominal counter is untouched. Returns InvalidArgument if the
+  /// fraction is out of range and FailedPrecondition if total refunds would
+  /// exceed total charges — refunding work that was never charged is always
+  /// an accounting bug. Only traversal code inside src/sssp may call this
+  /// (lint invariant 9).
+  Status Refund(double fraction);
 
   /// Accounting for a traversal skipped *entirely* by an upper bound (the
   /// candidate's G_t2 SSSP was provably unable to contribute): charges the
   /// nominal unit — keeping used() identical to the unpruned pipeline — and
   /// immediately refunds all of it.
-  void ChargeSkipped() {
-    Charge(1);
-    Refund(1.0);
+  Status ChargeSkipped() {
+    CONVPAIRS_RETURN_IF_ERROR(Charge(1));
+    return Refund(1.0);
   }
 
   /// Tries to fund `count` whole SSSP units from the refund pool. On
   /// success the pool shrinks and true is returned; the nominal counter is
   /// NOT charged (the work is paid for by savings already banked). Returns
   /// false — with no state change — when the pool holds less than `count`
-  /// whole units.
-  bool TrySpendRefund(int64_t count = 1);
+  /// whole units. A negative `count` is a CHECK failure (it cannot be
+  /// expressed as a "pool too small" outcome).
+  [[nodiscard]] bool TrySpendRefund(int64_t count = 1);
 
   /// Total SSSP computations recorded so far (nominal Table 1 spend).
   int64_t used() const { return used_; }

@@ -46,7 +46,7 @@ Dist QuantizeWeight(float weight, double scale) {
 void DijkstraDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
                        const DijkstraOptions& options, SsspBudget* budget) {
   CONVPAIRS_CHECK_LT(src, g.num_nodes());
-  if (budget != nullptr) budget->Charge();
+  if (budget != nullptr) CONVPAIRS_CHECK_OK(budget->Charge());
   out->assign(g.num_nodes(), kInfDist);
 
   using Entry = std::pair<Dist, NodeId>;  // (distance, node), min-heap

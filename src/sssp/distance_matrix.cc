@@ -42,7 +42,7 @@ DistanceMatrix DistanceMatrix::Build(const Graph& g,
       const size_t lanes =
           std::min<size_t>(kMsBfsBatchWidth, sources.size() - first);
       if (budget != nullptr) {
-        for (size_t i = 0; i < lanes; ++i) budget->Charge();
+        CONVPAIRS_CHECK_OK(budget->Charge(static_cast<int64_t>(lanes)));
       }
       rows.resize(lanes * n);
       runner.Run(sources.subspan(first, lanes), rows);

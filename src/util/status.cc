@@ -1,6 +1,20 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace convpairs {
+
+namespace internal {
+
+void CheckOkFailed(const char* file, int line, const char* expr,
+                   const Status& status) {
+  std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s -> %s\n", file, line,
+               expr, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeName(StatusCode code) {
   switch (code) {

@@ -84,17 +84,20 @@ class [[nodiscard]] StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // The optional is engaged whenever ok(): the value constructor fills it and
+  // the Status constructor CHECKs !ok(). clang-tidy's flow analysis cannot
+  // connect CONVPAIRS_CHECK(ok()) to value_.has_value(), hence the NOLINTs.
   T& value() & {
     CONVPAIRS_CHECK(ok());
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   const T& value() const& {
     CONVPAIRS_CHECK(ok());
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   T&& value() && {
     CONVPAIRS_CHECK(ok());
-    return std::move(*value_);
+    return std::move(*value_);  // NOLINT(bugprone-unchecked-optional-access)
   }
 
   T& operator*() & { return value(); }
@@ -116,6 +119,26 @@ class [[nodiscard]] StatusOr {
     if (!convpairs_return_if_error_tmp.ok())                     \
       return convpairs_return_if_error_tmp;                      \
   } while (0)
+
+/// Aborts with the status message if `expr` is non-OK. This is the
+/// policy-at-the-call-site counterpart of CONVPAIRS_RETURN_IF_ERROR: the
+/// mechanism (e.g. SsspBudget) reports violations as Status values, and a
+/// call site that considers the failure a programmer error rather than a
+/// recoverable condition terminates with full context. Counted as status
+/// consumption by the convpairs_analyzer budget-dataflow pass.
+#define CONVPAIRS_CHECK_OK(expr)                                          \
+  do {                                                                    \
+    ::convpairs::Status convpairs_check_ok_tmp = (expr);                  \
+    if (!convpairs_check_ok_tmp.ok()) {                                   \
+      ::convpairs::internal::CheckOkFailed(__FILE__, __LINE__, #expr,     \
+                                           convpairs_check_ok_tmp);       \
+    }                                                                     \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void CheckOkFailed(const char* file, int line, const char* expr,
+                                const Status& status);
+}  // namespace internal
 
 }  // namespace convpairs
 

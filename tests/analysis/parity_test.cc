@@ -1,0 +1,220 @@
+// End-to-end fixture tests for convpairs_analyzer: a miniature repo is
+// written to a temp directory, loaded through LoadSourceTree (the same
+// walker the CLI uses) and analyzed with AnalyzeFiles.
+//
+// Two fixture families:
+//   * Parity corpus — one violation per legacy invariant of the retired
+//     line-based convpairs_lint; the token-level port must flag each.
+//   * Regression corpus — the false-positive class that motivated the
+//     rewrite: forbidden tokens inside raw strings, multi-line literals and
+//     comments, which desynchronized the old per-line stripper. The
+//     analyzer must stay silent on these.
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/findings.h"
+#include "analysis/layering.h"
+#include "gtest/gtest.h"
+
+namespace convpairs::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "convpairs_parity";
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src" / "util");
+    fs::create_directories(root_ / "bench");
+    // A conforming Status header so the nodiscard invariant is quiet unless
+    // a test breaks it on purpose.
+    Write("src/util/status.h",
+          "#ifndef CONVPAIRS_UTIL_STATUS_H_\n"
+          "#define CONVPAIRS_UTIL_STATUS_H_\n"
+          "class [[nodiscard]] Status {};\n"
+          "template <typename T> class [[nodiscard]] StatusOr {};\n"
+          "#endif  // CONVPAIRS_UTIL_STATUS_H_\n");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void Write(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    ASSERT_TRUE(out.good()) << rel;
+  }
+
+  AnalysisReport Analyze() {
+    auto manifest = ParseLayerManifest(
+        "layer util\nlayer obs\nlayer sssp\nlayer core\nlayer server\n");
+    EXPECT_TRUE(manifest.ok()) << manifest.status().ToString();
+    auto files = LoadSourceTree(root_.string());
+    EXPECT_TRUE(files.ok()) << files.status().ToString();
+    return AnalyzeFiles(*files, *manifest, {});
+  }
+
+  // The distinct passes that produced unsuppressed findings.
+  std::set<std::string> FiringPasses() {
+    std::set<std::string> out;
+    for (const Finding& f : Analyze().findings) {
+      if (!f.suppressed) out.insert(f.pass);
+    }
+    return out;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ParityTest, CleanFixtureHasNoFindings) {
+  Write("src/core/clean.h",
+        "#ifndef CONVPAIRS_CORE_CLEAN_H_\n"
+        "#define CONVPAIRS_CORE_CLEAN_H_\n"
+        "#include \"util/status.h\"\n"
+        "inline int Twice(int x) { return 2 * x; }\n"
+        "#endif  // CONVPAIRS_CORE_CLEAN_H_\n");
+  Write("bench/bench_clean.cc",
+        "int main() { BenchEnv env; env.FinishAndExport(); return 0; }\n");
+  const AnalysisReport report = Analyze();
+  EXPECT_TRUE(report.findings.empty())
+      << report.findings.size() << " unexpected finding(s), first: "
+      << report.findings[0].message;
+  EXPECT_EQ(report.files_scanned, 3);
+}
+
+// --- Parity corpus: every legacy invariant still fires. ----------------------
+
+TEST_F(ParityTest, LegacyInvariantCorpusAllFire) {
+  // 1: nodiscard stripped from Status.
+  Write("src/util/status.h",
+        "#ifndef CONVPAIRS_UTIL_STATUS_H_\n"
+        "#define CONVPAIRS_UTIL_STATUS_H_\n"
+        "class Status {};\n"
+        "template <typename T> class StatusOr {};\n"
+        "#endif  // CONVPAIRS_UTIL_STATUS_H_\n");
+  // 2: iostream logging in library code.
+  Write("src/core/log_bad.cc", "#include <iostream>\n"
+                               "void F() { std::cout << \"hi\\n\"; }\n");
+  // 3: unseeded randomness.
+  Write("src/core/rng_bad.cc", "#include <cstdlib>\n"
+                               "int Draw() { return rand(); }\n");
+  // 4: wrong include guard.
+  Write("src/core/guard_bad.h",
+        "#ifndef GUARD_BAD_H\n#define GUARD_BAD_H\n#endif\n");
+  // 5: bench without telemetry export.
+  Write("bench/bench_silent.cc", "int main() { return 0; }\n");
+  // 6: raw std::thread in an algorithmic layer (concurrency pass).
+  Write("src/core/thread_bad.cc", "#include <thread>\n"
+                                  "void F() { std::thread t([] {}); }\n");
+  // 7: non-machine-friendly observable name + raw flight-kind cast.
+  Write("src/core/obs_bad.cc",
+        "void F(Registry& r) { r.GetCounter(\"Bad Name\"); "
+        "auto k = static_cast<FlightEventKind>(7); }\n");
+  // 8: raw sockets outside server/.
+  Write("src/core/socket_bad.cc", "#include <sys/socket.h>\n"
+                                  "int F(int fd) { return listen(fd, 8); }\n");
+  // 9: fractional refund outside sssp/.
+  Write("src/core/refund_bad.cc",
+        "Status F(SsspBudget* b) { return b->Refund(0.25); }\n");
+
+  const std::set<std::string> passes = FiringPasses();
+  EXPECT_TRUE(passes.count("nodiscard"));
+  EXPECT_TRUE(passes.count("logging"));
+  EXPECT_TRUE(passes.count("rng"));
+  EXPECT_TRUE(passes.count("guards"));
+  EXPECT_TRUE(passes.count("bench-export"));
+  EXPECT_TRUE(passes.count("concurrency"));
+  EXPECT_TRUE(passes.count("obs-names"));
+  EXPECT_TRUE(passes.count("sockets"));
+  EXPECT_TRUE(passes.count("refund"));
+}
+
+// --- Regression corpus: the old lint's false-positive class. -----------------
+
+TEST_F(ParityTest, RawStringWithEmbeddedQuoteDoesNotDesyncTheScanner) {
+  // The old per-line stripper treated the embedded quote as the literal's
+  // end, so ` then std::cout )` was scanned as code and flagged. The token
+  // scanner must see one string literal and no identifiers.
+  Write("src/core/rawstring.cc",
+        "const char* kUsage = R\"(say \"hi\" then std::cout << rand() )\";\n"
+        "int Use() { return 1; }\n");
+  EXPECT_TRUE(Analyze().findings.empty());
+}
+
+TEST_F(ParityTest, MultiLineRawStringHidesWholeBanList) {
+  Write("src/core/banlist_doc.cc",
+        "const char* kDoc = R\"doc(\n"
+        "  printf(\"x\"); fprintf(stderr, \"y\");\n"
+        "  std::thread t; std::mutex m;\n"
+        "  sockaddr_in addr; accept(fd, p, n);\n"
+        "  budget->Refund(0.5); budget->Charge(1);\n"
+        "  rand(); std::random_device rd;\n"
+        ")doc\";\n");
+  const AnalysisReport report = Analyze();
+  EXPECT_TRUE(report.findings.empty())
+      << "first: " << report.findings[0].pass << ": "
+      << report.findings[0].message;
+}
+
+TEST_F(ParityTest, CommentsMayDiscussForbiddenTokens) {
+  Write("src/core/comments.cc",
+        "// Why not std::thread + std::mutex? See DESIGN.md; also avoid\n"
+        "/* rand(), printf(), accept(), listen() — and never\n"
+        "   budget->Refund(0.5) outside sssp. */\n"
+        "int Real() { return 3; }\n");
+  EXPECT_TRUE(Analyze().findings.empty());
+}
+
+TEST_F(ParityTest, SpliceCannotHideAForbiddenToken) {
+  // A backslash-newline splice inside an identifier must not split the
+  // token: `ra\<newline>nd()` IS rand() after phase 2.
+  Write("src/core/splice.cc", "int F() { return ra\\\nnd(); }\n");
+  const AnalysisReport report = Analyze();
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].pass, "rng");
+  EXPECT_EQ(report.findings[0].line, 1);
+}
+
+// --- Budget dataflow end-to-end. ---------------------------------------------
+
+TEST_F(ParityTest, BudgetDropIsCaughtThroughTheRealWalker) {
+  Write("src/sssp/drop.cc",
+        "#include \"util/status.h\"\n"
+        "void Step(SsspBudget* b) { b->Charge(1); }\n");
+  const AnalysisReport report = Analyze();
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].pass, "budget-status");
+  EXPECT_EQ(report.findings[0].line, 2);
+}
+
+TEST_F(ParityTest, SuppressedFindingStillLandsInTheReport) {
+  Write("src/core/rng_waived.cc", "int Draw() { return rand(); }\n");
+  auto manifest = ParseLayerManifest("layer util\nlayer core\n");
+  ASSERT_TRUE(manifest.ok());
+  auto files = LoadSourceTree(root_.string());
+  ASSERT_TRUE(files.ok());
+  auto suppressions = ParseSuppressions(
+      "rng | src/core/rng_waived.cc | found rand | legacy seed corpus\n");
+  ASSERT_TRUE(suppressions.ok());
+  const AnalysisReport report = AnalyzeFiles(*files, *manifest, *suppressions);
+  ASSERT_EQ(report.TotalFindings(), 1);
+  EXPECT_EQ(report.UnsuppressedFindings(), 0);
+  EXPECT_TRUE(report.findings[0].suppressed);
+  EXPECT_EQ(report.findings[0].suppression_reason, "legacy seed corpus");
+  EXPECT_TRUE(report.StaleSuppressions().empty());
+}
+
+TEST_F(ParityTest, WalkerRejectsNonRepoRoot) {
+  EXPECT_FALSE(LoadSourceTree((root_ / "src" / "util").string()).ok());
+}
+
+}  // namespace
+}  // namespace convpairs::analysis

@@ -1,0 +1,483 @@
+#include <string>
+#include <vector>
+
+#include "analysis/budget_flow.h"
+#include "analysis/concurrency.h"
+#include "analysis/findings.h"
+#include "analysis/invariants.h"
+#include "analysis/layering.h"
+#include "analysis/tokenizer.h"
+#include "gtest/gtest.h"
+
+namespace convpairs::analysis {
+namespace {
+
+TokenizedFile File(const std::string& path, const std::string& source) {
+  TokenizedFile f;
+  f.path = path;
+  f.tokens = Tokenize(source);
+  return f;
+}
+
+std::vector<std::string> Messages(const std::vector<Finding>& findings,
+                                  const std::string& pass) {
+  std::vector<std::string> out;
+  for (const Finding& f : findings) {
+    if (f.pass == pass) out.push_back(f.file + ": " + f.message);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- layering
+
+LayerManifest TestManifest() {
+  auto m = ParseLayerManifest(
+      "layer util\n"
+      "layer obs\n"
+      "layer sssp\n"
+      "layer core\n"
+      "allow util/pool.cc -> obs  # telemetry exception\n");
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return *m;
+}
+
+TEST(LayeringTest, ManifestParseRejectsDuplicatesAndBareAllow) {
+  EXPECT_FALSE(ParseLayerManifest("layer util\nlayer util\n").ok());
+  EXPECT_FALSE(ParseLayerManifest("layer util\nallow a.cc -> util\n").ok());
+  EXPECT_FALSE(ParseLayerManifest("layre util\n").ok());
+  EXPECT_FALSE(ParseLayerManifest("# only comments\n").ok());
+}
+
+TEST(LayeringTest, DownwardAndSameRankEdgesAreClean) {
+  const LayerManifest m = TestManifest();
+  const auto r = CheckLayering(
+      m, {File("src/sssp/a.h", "#include \"util/u.h\"\n"),
+          File("src/util/u.h", "#ifndef X\n#endif\n"),
+          File("src/core/b.cc", "#include \"core/c.h\"\n"),
+          File("src/core/c.h", "")});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LayeringTest, UpwardEdgeIsReportedWithRanks) {
+  const LayerManifest m = TestManifest();
+  const auto r =
+      CheckLayering(m, {File("src/obs/t.cc", "#include \"core/x.h\"\n")});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].pass, "layering");
+  EXPECT_EQ(r.findings[0].file, "src/obs/t.cc");
+  EXPECT_EQ(r.findings[0].line, 1);
+  EXPECT_NE(r.findings[0].message.find("upward include"), std::string::npos);
+}
+
+TEST(LayeringTest, AllowExceptionSuppressesAndRendersDashed) {
+  const LayerManifest m = TestManifest();
+  const auto r =
+      CheckLayering(m, {File("src/util/pool.cc", "#include \"obs/reg.h\"\n")});
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_NE(r.dot.find("\"util\" -> \"obs\""), std::string::npos);
+  EXPECT_NE(r.dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(LayeringTest, ExceptionIsPerFileNotPerDirectory) {
+  const LayerManifest m = TestManifest();
+  const auto r = CheckLayering(
+      m, {File("src/util/other.cc", "#include \"obs/reg.h\"\n")});
+  EXPECT_EQ(r.findings.size(), 1u);
+}
+
+TEST(LayeringTest, UnrankedDirectoryIsReported) {
+  const LayerManifest m = TestManifest();
+  const auto r = CheckLayering(m, {File("src/rogue/a.h", "")});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_NE(r.findings[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(LayeringTest, IncludeCycleIsReportedWithFullPath) {
+  const LayerManifest m = TestManifest();
+  const auto r = CheckLayering(
+      m, {File("src/core/a.h", "#include \"core/b.h\"\n"),
+          File("src/core/b.h", "#include \"core/c.h\"\n"),
+          File("src/core/c.h", "#include \"core/a.h\"\n")});
+  ASSERT_EQ(r.findings.size(), 1u);
+  const std::string& msg = r.findings[0].message;
+  EXPECT_NE(msg.find("include cycle"), std::string::npos);
+  EXPECT_NE(msg.find("src/core/a.h -> src/core/b.h -> src/core/c.h"),
+            std::string::npos);
+}
+
+TEST(LayeringTest, IncludeInsideRawStringIsNotAnEdge) {
+  const LayerManifest m = TestManifest();
+  const auto r = CheckLayering(
+      m, {File("src/obs/doc.cc",
+               "const char* kExample = R\"(\n#include \"core/x.h\"\n)\";\n")});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ------------------------------------------------------------- concurrency
+
+TEST(ConcurrencyTest, SyncPrimitivesConfinedToInfraDirs) {
+  const auto findings = CheckConcurrency(
+      {File("src/core/a.cc",
+            "#include <mutex>\nstd::mutex m;\nstd::lock_guard<std::mutex> "
+            "l(m);\n"),
+       File("src/util/b.cc", "#include <mutex>\nstd::mutex m;\n"),
+       File("src/obs/c.cc", "std::atomic<int> a;\n"),
+       File("src/server/d.cc", "std::condition_variable cv;\n")});
+  const auto msgs = Messages(findings, "concurrency");
+  ASSERT_EQ(msgs.size(), 4u);  // header + mutex + lock_guard + inner mutex
+  for (const std::string& m : msgs) {
+    EXPECT_NE(m.find("src/core/a.cc"), std::string::npos) << m;
+  }
+}
+
+TEST(ConcurrencyTest, MemoryOrderTokensAreFlagged) {
+  const auto findings = CheckConcurrency(
+      {File("src/sssp/a.cc", "x.load(std::memory_order_relaxed);\n")});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("memory_order_relaxed"),
+            std::string::npos);
+}
+
+TEST(ConcurrencyTest, MentionsInCommentsAndStringsAreIgnored) {
+  const auto findings = CheckConcurrency(
+      {File("src/core/a.cc",
+            "// std::mutex is banned here\nconst char* s = \"std::mutex "
+            "memory_order_relaxed\";\n")});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(ConcurrencyTest, ThreadConfinedToUtilAndServer) {
+  EXPECT_EQ(
+      CheckConcurrency({File("src/core/a.cc", "std::thread t(f);\n")}).size(),
+      1u);
+  EXPECT_EQ(
+      CheckConcurrency({File("src/obs/a.cc", "std::jthread t(f);\n")}).size(),
+      1u);
+  EXPECT_TRUE(
+      CheckConcurrency({File("src/server/a.cc", "std::thread t(f);\n")})
+          .empty());
+  EXPECT_TRUE(
+      CheckConcurrency({File("src/util/a.cc", "std::thread t(f);\n")})
+          .empty());
+}
+
+TEST(ConcurrencyTest, HotPathBansSleepAndUnpredicatedWait) {
+  const auto findings = CheckConcurrency(
+      {File("src/server/batcher.cc",
+            "std::this_thread::sleep_for(1ms);\ncv.wait(lock);\n"
+            "cv.wait(lock, [&] { return ready; });\ncv.wait_for(lock, t);\n")});
+  const auto msgs = Messages(findings, "concurrency");
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_NE(msgs[0].find("sleep_for"), std::string::npos);
+  EXPECT_NE(msgs[1].find("unpredicated"), std::string::npos);
+}
+
+TEST(ConcurrencyTest, NonHotPathServerFileMayWait) {
+  EXPECT_TRUE(
+      CheckConcurrency({File("src/server/session.cc", "cv.wait(lock);\n")})
+          .empty());
+}
+
+// ------------------------------------------------------------- budget flow
+
+std::vector<Finding> BudgetOn(const std::string& body) {
+  return CheckBudgetFlow({File("src/core/x.cc", body)});
+}
+
+TEST(BudgetFlowTest, ConsumedShapesProduceNoFindings) {
+  EXPECT_TRUE(BudgetOn("Status s = budget->Charge(1);\n").empty());
+  EXPECT_TRUE(BudgetOn("CONVPAIRS_CHECK_OK(budget->Charge(1));\n").empty());
+  EXPECT_TRUE(
+      BudgetOn("CONVPAIRS_RETURN_IF_ERROR(budget->Charge(n));\n").empty());
+  EXPECT_TRUE(BudgetOn("return budget->ChargeSkipped();\n").empty());
+  EXPECT_TRUE(BudgetOn("if (!budget->TrySpendRefund(2)) { stop(); }\n").empty());
+  EXPECT_TRUE(BudgetOn("if (budget->Charge(1).ok()) { go(); }\n").empty());
+  EXPECT_TRUE(BudgetOn("bool ok = a && budget->TrySpendRefund(1);\n").empty());
+}
+
+TEST(BudgetFlowTest, DeclarationsAndDefinitionsAreSkipped) {
+  EXPECT_TRUE(BudgetOn("Status Charge(int64_t count = 1);\n").empty());
+  EXPECT_TRUE(
+      BudgetOn("Status SsspBudget::Charge(int64_t count) { return OK(); }\n")
+          .empty());
+  EXPECT_TRUE(BudgetOn("auto p = &SsspBudget::Refund;\n").empty());
+}
+
+TEST(BudgetFlowTest, DroppedStatementCallIsFlagged) {
+  const auto findings = BudgetOn("void f() { budget->Charge(1); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].pass, "budget-status");
+  EXPECT_NE(findings[0].message.find("result dropped"), std::string::npos);
+}
+
+TEST(BudgetFlowTest, DroppedCallAsLoopBodyIsFlagged) {
+  const auto findings =
+      BudgetOn("while (Step()) budget->Charge(1);\n");
+  ASSERT_EQ(findings.size(), 1u);
+}
+
+TEST(BudgetFlowTest, MemberChainsResolveToTheCall) {
+  const auto findings =
+      BudgetOn("void f() { this->budget_->Charge(1); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(
+      BudgetOn("Status s = this->budget_->Charge(1);\n").empty());
+}
+
+TEST(BudgetFlowTest, VoidDiscardNeedsCommentAndIsAlwaysReported) {
+  const auto bare = BudgetOn("void f() { (void)budget->Refund(0.5); }\n");
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_NE(bare[0].message.find("no same-line comment"), std::string::npos);
+
+  const auto commented = BudgetOn(
+      "void f() { (void)budget->Refund(0.5);  // shutdown path\n}\n");
+  ASSERT_EQ(commented.size(), 1u);
+  EXPECT_NE(commented[0].message.find("analyzer_suppressions"),
+            std::string::npos);
+}
+
+TEST(BudgetFlowTest, CallsInStringsAndCommentsIgnored) {
+  EXPECT_TRUE(
+      BudgetOn("// budget->Charge(1);\nconst char* s = \"Charge(1)\";\n")
+          .empty());
+}
+
+TEST(BudgetFlowTest, OnlySrcFilesAreScanned) {
+  EXPECT_TRUE(
+      CheckBudgetFlow({File("bench/x.cc", "budget->Charge(1);\n")}).empty());
+}
+
+// -------------------------------------------------------------- invariants
+
+// A conforming status header so the nodiscard check stays quiet in
+// unrelated tests.
+TokenizedFile GoodStatusHeader() {
+  return File("src/util/status.h",
+              "#ifndef CONVPAIRS_UTIL_STATUS_H_\n"
+              "#define CONVPAIRS_UTIL_STATUS_H_\n"
+              "class [[nodiscard]] Status {};\n"
+              "template <typename T> class [[nodiscard]] StatusOr {};\n"
+              "#endif  // CONVPAIRS_UTIL_STATUS_H_\n");
+}
+
+std::vector<Finding> InvariantsOn(TokenizedFile file) {
+  return CheckInvariants({GoodStatusHeader(), std::move(file)});
+}
+
+TEST(InvariantsTest, CleanStatusHeaderPasses) {
+  EXPECT_TRUE(CheckInvariants({GoodStatusHeader()}).empty());
+}
+
+TEST(InvariantsTest, MissingNodiscardIsReported) {
+  const auto findings = CheckInvariants(
+      {File("src/util/status.h",
+            "#ifndef CONVPAIRS_UTIL_STATUS_H_\n"
+            "#define CONVPAIRS_UTIL_STATUS_H_\n"
+            "class Status {};\nclass [[nodiscard]] StatusOr {};\n"
+            "#endif  // CONVPAIRS_UTIL_STATUS_H_\n")});
+  ASSERT_EQ(Messages(findings, "nodiscard").size(), 1u);
+}
+
+TEST(InvariantsTest, MissingStatusHeaderIsReported) {
+  const auto findings = CheckInvariants({File("src/core/a.cc", "int x;\n")});
+  ASSERT_EQ(Messages(findings, "nodiscard").size(), 1u);
+}
+
+TEST(InvariantsTest, LoggingBanCatchesQualifiedAndBareForms) {
+  const auto findings = InvariantsOn(
+      File("src/core/a.cc",
+           "std::cout << 1;\nstd::cerr << 2;\nprintf(\"x\");\n"
+           "fprintf(stderr, \"x\");\n"));
+  EXPECT_EQ(Messages(findings, "logging").size(), 4u);
+}
+
+TEST(InvariantsTest, LoggingBanSkipsMembersAndSanctionedSinks) {
+  // snprintf, a .printf member and mentions in strings/comments are legal,
+  // and the sanctioned sinks may use stdio.
+  EXPECT_TRUE(InvariantsOn(
+                  File("src/core/a.cc",
+                       "std::snprintf(buf, n, \"x\");\nsink.printf(\"x\");\n"
+                       "// printf\nconst char* s = \"std::cout\";\n"))
+                  .empty());
+  EXPECT_TRUE(Messages(InvariantsOn(File("src/util/check.h",
+                                         "fprintf(stderr, \"x\");\n")),
+                       "logging")
+                  .empty());
+  EXPECT_TRUE(
+      InvariantsOn(File("src/util/status.cc", "fprintf(stderr, \"x\");\n"))
+          .empty());
+}
+
+TEST(InvariantsTest, RngBanCatchesStdQualifiedCalls) {
+  // The old line-based lint skipped every ':'-qualified match, so std::rand
+  // slipped through. The token pass catches bare AND std-qualified forms.
+  const auto findings = InvariantsOn(
+      File("src/core/a.cc", "int x = rand();\nint y = std::rand();\n"
+                            "std::random_device rd;\n"));
+  EXPECT_EQ(Messages(findings, "rng").size(), 3u);
+  // Other qualifications (a member named rand) still pass.
+  EXPECT_TRUE(
+      InvariantsOn(File("src/core/b.cc", "int z = rng.rand();\n")).empty());
+  EXPECT_TRUE(
+      InvariantsOn(File("src/util/rng.cc", "int x = rand();\n")).empty());
+}
+
+TEST(InvariantsTest, IncludeGuardMustMatchPath) {
+  EXPECT_TRUE(InvariantsOn(File("src/core/selectors/a.h",
+                                "#ifndef CONVPAIRS_CORE_SELECTORS_A_H_\n"
+                                "#define CONVPAIRS_CORE_SELECTORS_A_H_\n"
+                                "#endif\n"))
+                  .empty());
+  EXPECT_EQ(Messages(InvariantsOn(File("src/core/a.h",
+                                       "#ifndef WRONG_H_\n#define WRONG_H_\n"
+                                       "#endif\n")),
+                     "guards")
+                .size(),
+            1u);
+  EXPECT_EQ(Messages(InvariantsOn(File("src/core/a.h", "int x;\n")), "guards")
+                .size(),
+            1u);
+  // #define must follow the #ifndef before any other directive.
+  EXPECT_EQ(Messages(InvariantsOn(File("src/core/a.h",
+                                       "#ifndef CONVPAIRS_CORE_A_H_\n"
+                                       "#include <vector>\n"
+                                       "#define CONVPAIRS_CORE_A_H_\n"
+                                       "#endif\n")),
+                     "guards")
+                .size(),
+            1u);
+}
+
+TEST(InvariantsTest, BenchMustExport) {
+  EXPECT_EQ(Messages(InvariantsOn(File("bench/b.cc", "int main() {}\n")),
+                     "bench-export")
+                .size(),
+            1u);
+  EXPECT_TRUE(InvariantsOn(File("bench/b.cc",
+                                "int main() { env.FinishAndExport(); }\n"))
+                  .empty());
+}
+
+TEST(InvariantsTest, ObservableNamesMustBeMachineFriendly) {
+  const auto findings = InvariantsOn(
+      File("src/obs/a.cc", "auto c = reg.GetCounter(\"Bad Name\");\n"
+                           "obs::ScopedSpan span(\"good.name_1\");\n"));
+  const auto msgs = Messages(findings, "obs-names");
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_NE(msgs[0].find("Bad Name"), std::string::npos);
+  // Variable-name registrations have no literal to check.
+  EXPECT_TRUE(
+      InvariantsOn(File("src/obs/b.cc", "auto c = reg.GetCounter(name);\n"))
+          .empty());
+}
+
+TEST(InvariantsTest, FlightKindCastsAreConfined) {
+  EXPECT_EQ(Messages(InvariantsOn(File(
+                         "src/core/a.cc",
+                         "auto k = static_cast<obs::FlightEventKind>(3);\n")),
+                     "obs-names")
+                .size(),
+            1u);
+  EXPECT_EQ(Messages(InvariantsOn(
+                         File("src/core/b.cc", "k = (FlightEventKind)raw;\n")),
+                     "obs-names")
+                .size(),
+            1u);
+  // The decoder itself may cast; parameter declarations are not casts.
+  EXPECT_TRUE(InvariantsOn(File("src/obs/flight_recorder.cc",
+                                "k = static_cast<FlightEventKind>(raw);\n"))
+                  .empty());
+  EXPECT_TRUE(
+      InvariantsOn(File("src/core/c.cc", "void f(FlightEventKind k);\n"))
+          .empty());
+}
+
+TEST(InvariantsTest, SocketApiConfinedToServer) {
+  const auto findings = InvariantsOn(
+      File("src/core/a.cc", "#include <sys/socket.h>\n"
+                            "sockaddr_in addr;\nint r = accept(fd, p, n);\n"));
+  EXPECT_EQ(Messages(findings, "sockets").size(), 3u);
+  EXPECT_TRUE(InvariantsOn(File("src/server/s.cc",
+                                "#include <sys/socket.h>\nsockaddr_in a;\n"))
+                  .empty());
+  // std::bind is qualified — not the socket syscall.
+  EXPECT_TRUE(
+      InvariantsOn(File("src/core/b.cc", "auto f = std::bind(g, x);\n"))
+          .empty());
+}
+
+TEST(InvariantsTest, RefundIdentifierConfinedToSssp) {
+  EXPECT_EQ(Messages(InvariantsOn(
+                         File("src/core/a.cc", "budget->Refund(0.5);\n")),
+                     "refund")
+                .size(),
+            1u);
+  EXPECT_TRUE(
+      InvariantsOn(File("src/sssp/bfs.cc", "budget->Refund(0.5);\n")).empty());
+  // TrySpendRefund is a different identifier and stays legal everywhere.
+  EXPECT_TRUE(InvariantsOn(
+                  File("src/core/b.cc",
+                       "Status s = budget->TrySpendRefund(1) ? OK() : Err();\n"))
+                  .empty());
+}
+
+// ------------------------------------------------- suppressions and report
+
+TEST(FindingsTest, SuppressionRoundTrip) {
+  auto parsed = ParseSuppressions(
+      "# comment\n"
+      "rng | src/core/a.cc | found rand | legacy sampler\n"
+      "logging | src/core/b.cc | * | startup banner\n");
+  ASSERT_TRUE(parsed.ok());
+  auto suppressions = *parsed;
+  std::vector<Finding> findings = {
+      {"rng", "src/core/a.cc", 3, "randomness must flow (found rand)", false,
+       ""},
+      {"rng", "src/core/z.cc", 3, "randomness must flow (found rand)", false,
+       ""},
+      {"logging", "src/core/b.cc", 9, "anything at all", false, ""},
+  };
+  ApplySuppressions(suppressions, findings);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(findings[0].suppression_reason, "legacy sampler");
+  EXPECT_FALSE(findings[1].suppressed);  // Different file.
+  EXPECT_TRUE(findings[2].suppressed);   // Wildcard needle.
+  EXPECT_EQ(suppressions[0].matched, 1);
+  EXPECT_EQ(suppressions[1].matched, 1);
+}
+
+TEST(FindingsTest, MalformedSuppressionLineIsRejected) {
+  EXPECT_FALSE(ParseSuppressions("rng | only two fields\n").ok());
+  EXPECT_FALSE(ParseSuppressions("rng | f | needle |\n").ok());
+}
+
+TEST(FindingsTest, StaleSuppressionsAreExposedInReport) {
+  AnalysisReport report;
+  report.suppressions = {
+      {"rng", "src/core/gone.cc", "rand", "obsolete", 4, 0}};
+  const auto stale = report.StaleSuppressions();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0]->source_line, 4);
+  const std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"stale_suppressions\""), std::string::npos);
+  EXPECT_NE(json.find("src/core/gone.cc"), std::string::npos);
+}
+
+TEST(FindingsTest, JsonEscapesQuotesAndControls) {
+  AnalysisReport report;
+  report.findings = {
+      {"layering", "src/a.cc", 1, "message with \"quotes\" and\nnewline",
+       false, ""}};
+  const std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  // The embedded newline must be escaped, never emitted raw mid-string.
+  const size_t a = json.find("message with");
+  const size_t b = json.find("newline");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_EQ(json.substr(a, b - a).find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace convpairs::analysis

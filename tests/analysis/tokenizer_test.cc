@@ -1,0 +1,235 @@
+#include "analysis/tokenizer.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace convpairs::analysis {
+namespace {
+
+std::vector<Token> Lex(const std::string& src) { return Tokenize(src); }
+
+// The non-comment tokens, as "<kindletter>:<text>" strings, so a whole
+// stream can be asserted with one vector compare.
+std::vector<std::string> CodeSpellings(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const Token& t : toks) {
+    char k = '?';
+    switch (t.kind) {
+      case TokenKind::kIdentifier:  k = 'i'; break;
+      case TokenKind::kNumber:      k = 'n'; break;
+      case TokenKind::kString:      k = 's'; break;
+      case TokenKind::kCharLiteral: k = 'c'; break;
+      case TokenKind::kHeaderName:  k = 'h'; break;
+      case TokenKind::kPunct:       k = 'p'; break;
+      case TokenKind::kDirective:   k = 'd'; break;
+      case TokenKind::kComment:     continue;
+    }
+    out.push_back(std::string(1, k) + ":" + t.text);
+  }
+  return out;
+}
+
+TEST(TokenizerTest, RawStringWithCustomDelimiterSwallowsEverything) {
+  const auto toks =
+      Lex("auto s = R\"xy(say \"hi\" // not a comment )\" )xy\";\n");
+  EXPECT_EQ(CodeSpellings(toks),
+            (std::vector<std::string>{
+                "i:auto", "i:s", "p:=",
+                "s:say \"hi\" // not a comment )\" ", "p:;"}));
+}
+
+TEST(TokenizerTest, CodeAfterRawStringStaysCode) {
+  // The regression class that motivated the token-level rewrite: an embedded
+  // quote inside a raw string desynchronized the old line-based stripper, so
+  // everything after it was classified wrongly. Here real std::cout follows
+  // the literal and must still lex as identifiers.
+  const auto toks = Lex("const char* s = R\"(quote \" inside)\";\n"
+                        "std::cout << s;\n");
+  const auto spelled = CodeSpellings(toks);
+  EXPECT_EQ(spelled[5], "s:quote \" inside");
+  EXPECT_EQ(spelled[7], "i:std");
+  EXPECT_EQ(spelled[8], "p:::");
+  EXPECT_EQ(spelled[9], "i:cout");
+}
+
+TEST(TokenizerTest, BlockCommentsDoNotNest) {
+  const auto toks = Lex("/* outer /* inner */ int x;\n");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kComment);
+  EXPECT_EQ(toks[0].text, " outer /* inner ");
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[2].text, "x");
+}
+
+TEST(TokenizerTest, MultiLineBlockCommentKeepsLineNumbers) {
+  const auto toks = Lex("/* line1\nline2\nline3 */ int y;\n");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(TokenizerTest, UnterminatedBlockCommentConsumesRest) {
+  const auto toks = Lex("/* never closed\nint x;\n");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kComment);
+}
+
+TEST(TokenizerTest, PreprocessorContinuationExtendsTheDirective) {
+  const auto toks = Lex("#define FOO \\\n  bar\nbaz\n");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(toks[0].text, "define");
+  EXPECT_TRUE(toks[1].in_directive);   // FOO
+  EXPECT_TRUE(toks[2].in_directive);   // bar, spliced onto the logical line
+  EXPECT_EQ(toks[2].text, "bar");
+  EXPECT_EQ(toks[2].line, 2);          // ...but reported on its real line.
+  EXPECT_FALSE(toks[3].in_directive);  // baz
+  EXPECT_EQ(toks[3].line, 3);
+}
+
+TEST(TokenizerTest, SplicedIdentifierReportsOriginalPosition) {
+  const auto toks = Lex("ab\\\ncd efg\n");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "abcd");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].text, "efg");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(TokenizerTest, DigraphsMapToPrimarySpellings) {
+  EXPECT_EQ(CodeSpellings(Lex("v<:0:>")),
+            (std::vector<std::string>{"i:v", "p:[", "n:0", "p:]"}));
+  EXPECT_EQ(CodeSpellings(Lex("<% %>")),
+            (std::vector<std::string>{"p:{", "p:}"}));
+  // %:%: inside a macro body is token-paste.
+  const auto toks = Lex("#define CAT(a, b) a %:%: b\n");
+  EXPECT_EQ(CodeSpellings(toks).at(8), "p:##");
+  // Mid-line %: is stringize.
+  EXPECT_EQ(CodeSpellings(Lex("#define S(x) %: x\n")).at(5), "p:#");
+}
+
+TEST(TokenizerTest, DigraphLessColonColonDisambiguation) {
+  // `<::` where the third char is not ':' or '>' keeps '<' alone so
+  // `std::vector<::global>` parses as < :: global >.
+  EXPECT_EQ(CodeSpellings(Lex("vec<::g>")),
+            (std::vector<std::string>{"i:vec", "p:<", "p:::", "i:g", "p:>"}));
+  // But `<:` followed by anything else is '['.
+  EXPECT_EQ(CodeSpellings(Lex("a<:b:>")),
+            (std::vector<std::string>{"i:a", "p:[", "i:b", "p:]"}));
+}
+
+TEST(TokenizerTest, PpNumbersWithSeparatorsAndExponents) {
+  EXPECT_EQ(CodeSpellings(Lex("1'000'000")),
+            (std::vector<std::string>{"n:1'000'000"}));
+  EXPECT_EQ(CodeSpellings(Lex("1.5e-3")),
+            (std::vector<std::string>{"n:1.5e-3"}));
+  EXPECT_EQ(CodeSpellings(Lex("0x1fULL")),
+            (std::vector<std::string>{"n:0x1fULL"}));
+  EXPECT_EQ(CodeSpellings(Lex(".5f")), (std::vector<std::string>{"n:.5f"}));
+  // The separator quote must not open a char literal.
+  EXPECT_EQ(CodeSpellings(Lex("x = 10'000;")),
+            (std::vector<std::string>{"i:x", "p:=", "n:10'000", "p:;"}));
+}
+
+TEST(TokenizerTest, EncodingPrefixesGlueToLiterals) {
+  EXPECT_EQ(CodeSpellings(Lex("u8\"x\"")), (std::vector<std::string>{"s:x"}));
+  EXPECT_EQ(CodeSpellings(Lex("L'c'")), (std::vector<std::string>{"c:c"}));
+  EXPECT_EQ(CodeSpellings(Lex("uR\"d(q)d\"")),
+            (std::vector<std::string>{"s:q"}));
+  // An ordinary identifier before a string is NOT a prefix.
+  EXPECT_EQ(CodeSpellings(Lex("foo\"x\"")),
+            (std::vector<std::string>{"i:foo", "s:x"}));
+}
+
+TEST(TokenizerTest, EscapesStayInsideStringAndCharLiterals) {
+  EXPECT_EQ(CodeSpellings(Lex("\"a\\\"b\" x")),
+            (std::vector<std::string>{"s:a\\\"b", "i:x"}));
+  EXPECT_EQ(CodeSpellings(Lex("'\\'' y")),
+            (std::vector<std::string>{"c:\\'", "i:y"}));
+}
+
+TEST(TokenizerTest, UserDefinedLiteralSuffixIsNotAnIdentifier) {
+  EXPECT_EQ(CodeSpellings(Lex("\"abc\"sv;")),
+            (std::vector<std::string>{"s:abc", "p:;"}));
+  EXPECT_EQ(CodeSpellings(Lex("12_km;")),
+            (std::vector<std::string>{"n:12_km", "p:;"}));
+}
+
+TEST(TokenizerTest, HeaderNamesLexAsOneToken) {
+  const auto angled = Lex("#include <sys/socket.h>\n");
+  ASSERT_EQ(angled.size(), 2u);
+  EXPECT_EQ(angled[1].kind, TokenKind::kHeaderName);
+  EXPECT_EQ(angled[1].text, "sys/socket.h");
+  EXPECT_TRUE(angled[1].angled);
+
+  const auto quoted = Lex("#include \"util/rng.h\"\n");
+  ASSERT_EQ(quoted.size(), 2u);
+  EXPECT_EQ(quoted[1].text, "util/rng.h");
+  EXPECT_FALSE(quoted[1].angled);
+
+  // Outside #include, < > are ordinary punctuation.
+  EXPECT_EQ(CodeSpellings(Lex("a < b\n")),
+            (std::vector<std::string>{"i:a", "p:<", "i:b"}));
+}
+
+TEST(TokenizerTest, DirectiveStateResetsAtNewline) {
+  const auto toks = Lex("#pragma once\nint x;\n");
+  EXPECT_EQ(toks[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(toks[0].text, "pragma");
+  EXPECT_TRUE(toks[1].in_directive);   // once
+  EXPECT_FALSE(toks[2].in_directive);  // int
+}
+
+TEST(TokenizerTest, HashMidLineIsNotADirective) {
+  const auto toks = Lex("int a; # not directive\n");
+  // '#' after code on the line lexes as punctuation, not a directive.
+  bool has_directive = false;
+  for (const Token& t : toks) {
+    has_directive = has_directive || t.kind == TokenKind::kDirective;
+  }
+  EXPECT_FALSE(has_directive);
+}
+
+TEST(TokenizerTest, LineCommentBeforeDirectiveKeepsLineStart) {
+  // A line whose first token is a comment can still start a directive after
+  // it on the next line.
+  const auto toks = Lex("// header\n#include \"util/rng.h\"\n");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kComment);
+  EXPECT_EQ(toks[1].kind, TokenKind::kDirective);
+}
+
+TEST(TokenizerTest, CommentTokensCarryBodies) {
+  const auto toks = Lex("int x;  // trailing note\n");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[3].kind, TokenKind::kComment);
+  EXPECT_EQ(toks[3].text, " trailing note");
+  EXPECT_EQ(toks[3].line, 1);
+}
+
+TEST(TokenizerTest, CodeTokenIndicesSkipComments) {
+  const auto toks = Lex("a /* c */ b // d\n");
+  const std::vector<int> idx = CodeTokenIndices(toks);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(toks[static_cast<size_t>(idx[0])].text, "a");
+  EXPECT_EQ(toks[static_cast<size_t>(idx[1])].text, "b");
+}
+
+TEST(TokenizerTest, MaximalMunchPunctuation) {
+  EXPECT_EQ(CodeSpellings(Lex("a<<=b->*c...")),
+            (std::vector<std::string>{"i:a", "p:<<=", "i:b", "p:->*", "i:c",
+                                      "p:..."}));
+}
+
+TEST(TokenizerTest, ColumnsAreOneBased) {
+  const auto toks = Lex("ab cd\n");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].col, 4);
+}
+
+}  // namespace
+}  // namespace convpairs::analysis

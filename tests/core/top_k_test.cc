@@ -119,9 +119,11 @@ TEST(FindTopKConvergingPairsTest, BudgetEnforcementAborts) {
   TopKOptions options;
   options.k = 1;
   options.budget_m = 2;  // Only 4 SSSPs allowed; 5 candidates need 10.
+  // The extractor treats over-budget as a programmer error and terminates
+  // via CONVPAIRS_CHECK_OK, surfacing the budget's FailedPrecondition.
   EXPECT_DEATH(FindTopKConvergingPairs(scenario.g1, scenario.g2, engine,
                                        greedy_overshoot, options),
-               "CHECK failed");
+               "CHECK_OK failed");
 }
 
 TEST(FindTopKConvergingPairsTest, DeterministicAcrossRuns) {

@@ -2,44 +2,56 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "util/status.h"
+
 namespace convpairs {
 namespace {
+
+// Shorthand: charge/refund on the happy path, failing the test (with the
+// status message) on an accounting error.
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    const ::convpairs::Status assert_ok_tmp = (expr);   \
+    ASSERT_TRUE(assert_ok_tmp.ok()) << assert_ok_tmp.ToString(); \
+  } while (0)
 
 TEST(SsspBudgetTest, UnlimitedCountsOnly) {
   SsspBudget budget;
   EXPECT_EQ(budget.limit(), SsspBudget::kUnlimited);
-  budget.Charge(1000000);
+  ASSERT_OK(budget.Charge(1000000));
   EXPECT_EQ(budget.used(), 1000000);
   EXPECT_EQ(budget.remaining(), INT64_MAX);
 }
 
 TEST(SsspBudgetTest, TracksUsageAgainstLimit) {
   SsspBudget budget(10);
-  budget.Charge(3);
-  budget.Charge();
+  ASSERT_OK(budget.Charge(3));
+  ASSERT_OK(budget.Charge());
   EXPECT_EQ(budget.used(), 4);
   EXPECT_EQ(budget.remaining(), 6);
 }
 
 TEST(SsspBudgetTest, ExactlyAtLimitIsAllowed) {
   SsspBudget budget(5);
-  budget.Charge(5);
+  ASSERT_OK(budget.Charge(5));
   EXPECT_EQ(budget.remaining(), 0);
 }
 
 TEST(SsspBudgetTest, ResetKeepsCap) {
   SsspBudget budget(5);
-  budget.Charge(5);
+  ASSERT_OK(budget.Charge(5));
   budget.Reset();
   EXPECT_EQ(budget.used(), 0);
-  budget.Charge(5);  // Fits again after reset.
+  ASSERT_OK(budget.Charge(5));  // Fits again after reset.
   EXPECT_EQ(budget.used(), 5);
 }
 
 TEST(SsspBudgetTest, RefundDoesNotChangeNominalUsage) {
   SsspBudget budget(10);
-  budget.Charge(4);
-  budget.Refund(0.5);
+  ASSERT_OK(budget.Charge(4));
+  ASSERT_OK(budget.Refund(0.5));
   EXPECT_EQ(budget.used(), 4);  // Nominal spend is refund-invariant.
   EXPECT_EQ(budget.remaining(), 6);
   EXPECT_DOUBLE_EQ(budget.refunded(), 0.5);
@@ -49,8 +61,8 @@ TEST(SsspBudgetTest, RefundDoesNotChangeNominalUsage) {
 TEST(SsspBudgetTest, ChargeSkippedIsNominallyIdenticalToCharge) {
   SsspBudget charged(10);
   SsspBudget skipped(10);
-  charged.Charge();
-  skipped.ChargeSkipped();
+  ASSERT_OK(charged.Charge());
+  ASSERT_OK(skipped.ChargeSkipped());
   EXPECT_EQ(charged.used(), skipped.used());
   EXPECT_DOUBLE_EQ(skipped.effective_used(), 0.0);
   EXPECT_EQ(skipped.refund_available_micro(), SsspBudget::kMicroUnits);
@@ -58,11 +70,11 @@ TEST(SsspBudgetTest, ChargeSkippedIsNominallyIdenticalToCharge) {
 
 TEST(SsspBudgetTest, TrySpendRefundConsumesWholeUnitsOnly) {
   SsspBudget budget(10);
-  budget.Charge(3);
-  budget.Refund(0.75);
+  ASSERT_OK(budget.Charge(3));
+  ASSERT_OK(budget.Refund(0.75));
   EXPECT_FALSE(budget.TrySpendRefund());  // 0.75 < 1 whole unit.
-  budget.Charge(1);
-  budget.Refund(0.75);
+  ASSERT_OK(budget.Charge(1));
+  ASSERT_OK(budget.Refund(0.75));
   EXPECT_TRUE(budget.TrySpendRefund());  // 1.5 units banked, spend 1.
   EXPECT_EQ(budget.refund_spent(), 1);
   EXPECT_FALSE(budget.TrySpendRefund());  // 0.5 left.
@@ -72,17 +84,17 @@ TEST(SsspBudgetTest, TrySpendRefundConsumesWholeUnitsOnly) {
 
 TEST(SsspBudgetTest, EffectiveNeverExceedsNominal) {
   SsspBudget budget;
-  budget.Charge(7);
-  budget.Refund(1.0);
-  budget.Refund(0.25);
+  ASSERT_OK(budget.Charge(7));
+  ASSERT_OK(budget.Refund(1.0));
+  ASSERT_OK(budget.Refund(0.25));
   EXPECT_LE(budget.effective_used(), static_cast<double>(budget.used()));
   EXPECT_GE(budget.effective_used(), 0.0);
 }
 
 TEST(SsspBudgetTest, ResetClearsRefundState) {
   SsspBudget budget(5);
-  budget.Charge(3);
-  budget.Refund(1.0);
+  ASSERT_OK(budget.Charge(3));
+  ASSERT_OK(budget.Refund(1.0));
   EXPECT_TRUE(budget.TrySpendRefund());
   budget.Reset();
   EXPECT_EQ(budget.used(), 0);
@@ -92,36 +104,56 @@ TEST(SsspBudgetTest, ResetClearsRefundState) {
   EXPECT_DOUBLE_EQ(budget.effective_used(), 0.0);
 }
 
-TEST(SsspBudgetDeathTest, ExceedingCapAborts) {
+// Accounting violations surface as Status errors with no state change (the
+// old API aborted inside the budget; policy now lives at the call site, see
+// the header comment). Each case also checks the counters are untouched so
+// a failed call can never skew the Table 1 contract.
+TEST(SsspBudgetErrorTest, ExceedingCapIsFailedPrecondition) {
   SsspBudget budget(2);
-  budget.Charge(2);
-  EXPECT_DEATH(budget.Charge(), "CHECK failed");
+  ASSERT_OK(budget.Charge(2));
+  const Status status = budget.Charge();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(budget.used(), 2);  // Failed charge mutates nothing.
 }
 
-TEST(SsspBudgetDeathTest, NegativeChargeAborts) {
+TEST(SsspBudgetErrorTest, NegativeChargeIsInvalidArgument) {
   SsspBudget budget;
-  EXPECT_DEATH(budget.Charge(-1), "CHECK failed");
+  const Status status = budget.Charge(-1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.used(), 0);
 }
 
-TEST(SsspBudgetDeathTest, RefundingMoreThanChargedAborts) {
+TEST(SsspBudgetErrorTest, RefundingMoreThanChargedIsFailedPrecondition) {
   SsspBudget budget;
-  budget.Charge(1);
-  budget.Refund(1.0);
-  EXPECT_DEATH(budget.Refund(0.1), "CHECK failed");
+  ASSERT_OK(budget.Charge(1));
+  ASSERT_OK(budget.Refund(1.0));
+  const Status status = budget.Refund(0.1);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(budget.refunded_micro(), SsspBudget::kMicroUnits);
 }
 
-TEST(SsspBudgetDeathTest, OutOfRangeFractionAborts) {
+TEST(SsspBudgetErrorTest, OutOfRangeFractionIsInvalidArgument) {
   SsspBudget budget;
-  budget.Charge(1);
-  EXPECT_DEATH(budget.Refund(1.5), "CHECK failed");
-  EXPECT_DEATH(budget.Refund(-0.1), "CHECK failed");
+  ASSERT_OK(budget.Charge(1));
+  EXPECT_EQ(budget.Refund(1.5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.Refund(-0.1).code(), StatusCode::kInvalidArgument);
+  // NaN compares false against both bounds and must not sneak through.
+  EXPECT_EQ(budget.Refund(std::nan("")).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.refunded_micro(), 0);
+}
+
+TEST(SsspBudgetErrorTest, OverflowingChargeIsInvalidArgument) {
+  SsspBudget budget;
+  ASSERT_OK(budget.Charge(1));
+  EXPECT_EQ(budget.Charge(INT64_MAX).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(budget.used(), 1);
 }
 
 TEST(SsspBudgetDeathTest, NegativeRefundSpendAborts) {
   SsspBudget budget;
-  budget.Charge(1);
-  budget.Refund(1.0);
-  EXPECT_DEATH(budget.TrySpendRefund(-1), "CHECK failed");
+  CONVPAIRS_CHECK_OK(budget.Charge(1));
+  CONVPAIRS_CHECK_OK(budget.Refund(1.0));
+  EXPECT_DEATH((void)budget.TrySpendRefund(-1), "CHECK failed");
 }
 
 }  // namespace

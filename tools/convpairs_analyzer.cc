@@ -1,0 +1,109 @@
+// convpairs_analyzer: token-level static analysis for the convpairs repo —
+// layering DAG, concurrency discipline, budget-accounting dataflow, and the
+// nine invariants inherited from the retired line-based convpairs_lint.
+//
+// Usage:
+//   convpairs_analyzer --repo <root>
+//                      [--manifest tools/layering.manifest]
+//                      [--suppressions tools/analyzer_suppressions.txt]
+//                      [--json-out analyzer_findings.json]
+//                      [--dot-out docs/layering.dot]
+//
+// Unsuppressed findings go to stderr (file:line: [pass] message) and the
+// process exits 1; a clean run prints a one-line summary to stdout and exits
+// 0; usage or I/O problems exit 2. Suppressed findings and stale suppression
+// entries are carried in the JSON artifact for scripts/check_suppressions.py
+// to gate on — they never fail the analyzer itself, so a suppression cleanup
+// can land separately from the code change that made it stale.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "analysis/findings.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --repo <root> [--manifest <file>] "
+               "[--suppressions <file>] [--json-out <file>] "
+               "[--dot-out <file>]\n",
+               argv0);
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  convpairs::analysis::AnalyzerOptions options;
+  std::string json_out;
+  std::string dot_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--repo") == 0 && has_value) {
+      options.repo_root = argv[++i];
+    } else if (std::strcmp(arg, "--manifest") == 0 && has_value) {
+      options.manifest_path = argv[++i];
+    } else if (std::strcmp(arg, "--suppressions") == 0 && has_value) {
+      options.suppressions_path = argv[++i];
+    } else if (std::strcmp(arg, "--json-out") == 0 && has_value) {
+      json_out = argv[++i];
+    } else if (std::strcmp(arg, "--dot-out") == 0 && has_value) {
+      dot_out = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.repo_root.empty()) return Usage(argv[0]);
+
+  const convpairs::StatusOr<convpairs::analysis::AnalysisReport> report =
+      convpairs::analysis::RunAnalyzer(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "convpairs_analyzer: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+
+  if (!json_out.empty() &&
+      !WriteFile(json_out, convpairs::analysis::ReportToJson(*report))) {
+    std::fprintf(stderr, "convpairs_analyzer: cannot write %s\n",
+                 json_out.c_str());
+    return 2;
+  }
+  if (!dot_out.empty() && !WriteFile(dot_out, report->layering_dot)) {
+    std::fprintf(stderr, "convpairs_analyzer: cannot write %s\n",
+                 dot_out.c_str());
+    return 2;
+  }
+
+  for (const convpairs::analysis::Finding& f : report->findings) {
+    if (f.suppressed) continue;
+    if (f.line > 0) {
+      std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                   f.pass.c_str(), f.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s: [%s] %s\n", f.file.c_str(), f.pass.c_str(),
+                   f.message.c_str());
+    }
+  }
+
+  const int unsuppressed = report->UnsuppressedFindings();
+  std::printf(
+      "convpairs_analyzer: %d finding(s) (%d suppressed), %d stale "
+      "suppression entr%s, %d files scanned\n",
+      report->TotalFindings(), report->SuppressedFindings(),
+      static_cast<int>(report->StaleSuppressions().size()),
+      report->StaleSuppressions().size() == 1 ? "y" : "ies",
+      report->files_scanned);
+  return unsuppressed == 0 ? 0 : 1;
+}
