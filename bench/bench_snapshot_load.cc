@@ -1,0 +1,132 @@
+// Snapshot startup benchmark: text edge-list parsing vs mmap'd .cps open.
+//
+// The serving story rests on snapshot loading being effectively free: the
+// converter (tools/edgelist2cps.cc) pays the parse once offline, and every
+// subsequent convpairs_cli / convpairs_server start mmaps the validated
+// container. This bench measures both paths on the same BA graph (50k nodes
+// at scale 1.0), repeated kRounds times each:
+//   text  ReadEdgeList — the historical startup path: parse, sort, build CSR;
+//   cps   CpsSnapshot::Open — mmap + header/CRC/structure validation only.
+// It reports median load times, the speedup, and the residency facts from
+// the loader (payload vs RAM-CSR bytes), and writes them to
+// BENCH_snapshot_load.json. Acceptance: cps open >= 10x faster than text
+// parsing, resident adjacency >= 2.5x smaller than the RAM CSR equivalent.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "gen/ba_generator.h"
+#include "graph/graph_io.h"
+#include "graph/io/snapshot_io.h"
+#include "obs/registry.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace convpairs;
+
+namespace {
+
+constexpr int kRounds = 7;
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchEnv env = bench::BenchEnv::FromEnvironment();
+  bench::PrintHeader("snapshot_load", env);
+
+  const uint32_t num_nodes =
+      std::max<uint32_t>(1000, static_cast<uint32_t>(50000 * env.scale));
+  Rng rng(env.seed + 7);
+  BaParams params;
+  params.num_nodes = num_nodes;
+  params.edges_per_node = 3;
+  params.uniform_mix = 0.2;
+  const Graph g = GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+
+  const std::string text_path = "/tmp/bench_snapshot_load.txt";
+  const std::string cps_path = "/tmp/bench_snapshot_load.cps";
+  if (Status s = WriteEdgeList(g, text_path); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = WriteCpsSnapshot(g, cps_path, 1); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<double> text_ms;
+  for (int i = 0; i < kRounds; ++i) {
+    Timer timer;
+    auto parsed = ReadEdgeList(text_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    text_ms.push_back(timer.Millis());
+  }
+
+  std::vector<double> cps_ms;
+  uint64_t resident_bytes = 0;
+  uint64_t csr_resident_bytes = 0;
+  int64_t resident_ratio_x1000 = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    Timer timer;
+    auto snap = CpsSnapshot::Open(cps_path);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "error: %s\n", snap.status().ToString().c_str());
+      return 1;
+    }
+    cps_ms.push_back(timer.Millis());
+    resident_bytes = snap->info().resident_bytes;
+    csr_resident_bytes = snap->info().csr_resident_bytes;
+    resident_ratio_x1000 = snap->info().resident_ratio_x1000;
+  }
+
+  const double text_median = Median(text_ms);
+  const double cps_median = Median(cps_ms);
+  const double speedup = cps_median > 0 ? text_median / cps_median : 0;
+  const double residency = resident_ratio_x1000 / 1000.0;
+
+  std::printf("BA graph: %u nodes, %llu edges, %d rounds each\n\n", num_nodes,
+              static_cast<unsigned long long>(g.num_edges()), kRounds);
+  std::printf("text parse (ReadEdgeList):   %9.2f ms median\n", text_median);
+  std::printf("cps open   (mmap+validate):  %9.2f ms median\n", cps_median);
+  std::printf("startup speedup: %.1fx\n\n", speedup);
+  std::printf("resident adjacency: %llu bytes vs %llu RAM-CSR bytes "
+              "(%.2fx smaller)\n",
+              static_cast<unsigned long long>(resident_bytes),
+              static_cast<unsigned long long>(csr_resident_bytes), residency);
+  const bool load_pass = speedup >= 10.0;
+  const bool resident_pass = residency >= 2.5;
+  std::printf("acceptance (load >= 10x):     %s\n",
+              load_pass ? "PASS" : "FAIL");
+  std::printf("acceptance (resident >= 2.5x): %s\n",
+              resident_pass ? "PASS" : "FAIL");
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.SetMetadata("num_nodes", std::to_string(num_nodes));
+  registry.SetMetadata("num_edges", std::to_string(g.num_edges()));
+  registry.SetMetadata("text_load_ms", std::to_string(text_median));
+  registry.SetMetadata("cps_load_ms", std::to_string(cps_median));
+  registry.SetMetadata("load_speedup", std::to_string(speedup));
+  registry.SetMetadata("resident_bytes", std::to_string(resident_bytes));
+  registry.SetMetadata("csr_resident_bytes",
+                       std::to_string(csr_resident_bytes));
+  registry.SetMetadata("resident_ratio", std::to_string(residency));
+  registry.SetMetadata("acceptance_load_10x", load_pass ? "PASS" : "FAIL");
+  registry.SetMetadata("acceptance_resident_2_5x",
+                       resident_pass ? "PASS" : "FAIL");
+  bench::FinishAndExport("snapshot_load");
+  std::remove(text_path.c_str());
+  std::remove(cps_path.c_str());
+  return 0;
+}

@@ -4,6 +4,7 @@
 Usage:
     scripts/bench_compare.py CURRENT.json [--baseline bench/baselines/bench_micro_perf.json]
                              [--threshold 0.15] [--no-fail] [--report out.md]
+                             [--relative-gate NAME:REFERENCE:FRACTION ...]
     scripts/bench_compare.py --telemetry RUN.json \
                              [--telemetry-baseline bench/baselines/cli_cost_model.json] \
                              [--counter-prefixes sssp.budget.,sssp.bfs.] \
@@ -17,6 +18,16 @@ the baseline. Exit status is 1 when any regression is flagged, unless
 --no-fail is given (CI uses --no-fail on shared runners, where cross-machine
 noise would make a hard gate flaky, and surfaces the report as an artifact
 instead).
+
+--relative-gate compares two benchmarks WITHIN the current run:
+NAME:REFERENCE:FRACTION fails when NAME's rate drops more than FRACTION
+below REFERENCE's (e.g. BM_CompressedAllPairs/50000:BM_AllPairsBfs/50000:0.20
+holds compressed all-pairs within 20% of the uncompressed rate). Because
+google-benchmark decorates names with colon-bearing suffixes
+(.../iterations:1), NAME and REFERENCE may be given as any unique
+slash-boundary prefix of the full benchmark name. Both sides come from the
+same process on the same machine, so — unlike the baseline diff — this is
+immune to cross-runner noise and stays a hard gate even under --no-fail.
 
 With --telemetry the script additionally (or instead: the positional
 google-benchmark argument is optional) diffs telemetry counters exported by
@@ -120,6 +131,25 @@ def compare_telemetry(args, lines):
     return drifts
 
 
+def resolve_bench(current, name):
+    """Resolves a --relative-gate operand to a benchmark in `current`.
+
+    Accepts the exact name or a unique prefix ending at a '/' boundary, so
+    'BM_AllPairsBfs/50000' finds 'BM_AllPairsBfs/50000/iterations:1' without
+    the spec having to embed google-benchmark's colon-bearing suffixes
+    (which would collide with the NAME:REFERENCE:FRACTION separator).
+    Returns (resolved_name, error): exactly one of the two is None.
+    """
+    if name in current:
+        return name, None
+    matches = [n for n in current if n.startswith(name + "/")]
+    if len(matches) == 1:
+        return matches[0], None
+    if not matches:
+        return None, f"not in current run: {name}"
+    return None, f"ambiguous prefix {name}: {', '.join(sorted(matches))}"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -150,8 +180,15 @@ def main():
         help="allowed relative counter drift; 0 means exact match "
         "(default: %(default)s)")
     parser.add_argument(
+        "--relative-gate", action="append", default=[],
+        metavar="NAME:REFERENCE:FRACTION",
+        help="require benchmark NAME to stay within FRACTION of REFERENCE's "
+        "rate in the current run; same-run comparison, so it gates even "
+        "with --no-fail (repeatable)")
+    parser.add_argument(
         "--no-fail", action="store_true",
-        help="always exit 0; report regressions without gating")
+        help="always exit 0 for baseline/telemetry diffs; --relative-gate "
+        "failures still gate (they are machine-independent)")
     parser.add_argument(
         "--report", help="also write the comparison as markdown to this file")
     args = parser.parse_args()
@@ -200,6 +237,54 @@ def main():
         else:
             lines.append(f"No regressions beyond {args.threshold:.0%}.")
 
+    relative_failures = []
+    if args.relative_gate:
+        if args.current is None:
+            parser.error("--relative-gate needs a current-run JSON")
+        current = load_benchmarks(args.current)
+        lines.append("")
+        lines.append("# Same-run relative gates")
+        lines.append("")
+        lines.append("| benchmark | reference | ratio | allowed | status |")
+        lines.append("|---|---|---|---|---|")
+        for spec in args.relative_gate:
+            parts = spec.rsplit(":", 2)
+            if len(parts) != 3:
+                parser.error(f"bad --relative-gate '{spec}' "
+                             "(want NAME:REFERENCE:FRACTION)")
+            name, reference, fraction = parts[0], parts[1], float(parts[2])
+            name, name_err = resolve_bench(current, name)
+            reference, ref_err = resolve_bench(current, reference)
+            errors = [e for e in (name_err, ref_err) if e]
+            if errors:
+                lines.append(f"| {parts[0]} | {parts[1]} | - | "
+                             f">= {1 - fraction:.2f}x | MISSING |")
+                relative_failures.append((spec, "; ".join(errors)))
+                continue
+            kind_n, rate_n = current[name]
+            kind_r, rate_r = current[reference]
+            if kind_n != kind_r or rate_r <= 0:
+                lines.append(f"| {name} | {reference} | - | "
+                             f">= {1 - fraction:.2f}x | METRIC MISMATCH |")
+                relative_failures.append((spec, "metric mismatch"))
+                continue
+            ratio = rate_n / rate_r
+            ok = ratio >= 1.0 - fraction
+            lines.append(
+                f"| {name} | {reference} | {ratio:.2f}x | "
+                f">= {1 - fraction:.2f}x | {'ok' if ok else 'FAIL'} |")
+            if not ok:
+                relative_failures.append(
+                    (spec, f"{fmt_rate(kind_n, rate_n)} is {ratio:.2f}x of "
+                     f"{fmt_rate(kind_r, rate_r)} (floor {1 - fraction:.2f}x)"))
+        lines.append("")
+        if relative_failures:
+            lines.append("RELATIVE GATE FAILURES:")
+            for spec, why in relative_failures:
+                lines.append(f"  - {spec}: {why}")
+        else:
+            lines.append("All relative gates hold.")
+
     drifts = []
     if args.telemetry is not None:
         drifts = compare_telemetry(args, lines)
@@ -210,6 +295,8 @@ def main():
         with open(args.report, "w") as f:
             f.write(report + "\n")
 
+    if relative_failures:
+        return 1
     if (regressions or drifts) and not args.no_fail:
         return 1
     return 0

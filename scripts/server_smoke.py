@@ -18,9 +18,12 @@ Drives the full serving stack the way an operator would:
      pure-Python BFS oracle on the generated pair, TOPK/CAND/PING against
      the protocol's reply grammar, malformed lines against their expected
      "ERR <code>" prefixes;
-  5. sends SIGINT and checks the graceful-shutdown contract: exit code 0
+  5. sends STATS and validates the snapshot residency fields
+     (snapshot_source/codec/resident_bytes/ratio_x1000/load_ms) the
+     server reports for its backing store;
+  6. sends SIGINT and checks the graceful-shutdown contract: exit code 0
      and a metrics file that covers every request served;
-  6. writes the server.request.latency_us histogram (plus p50/p99 computed
+  7. writes the server.request.latency_us histogram (plus p50/p99 computed
      from its buckets) to --out for CI to upload.
 
 Exit status: 0 when every check passes, 1 otherwise. Standard library
@@ -281,6 +284,38 @@ def main():
         return 1
     print(f"all {len(requests)} replies validated "
           f"({sum(1 for _, k, _ in requests if k == 'err')} expected ERRs)")
+
+    # Snapshot residency facts: STATS must report what backs the serving
+    # graphs. This boot path loads edge lists into RAM, so the source is
+    # "ram", the codec the raw CSR, and the ratio exactly 1000 (x1000
+    # fixed-point for 1.0x — RAM mode is its own baseline).
+    stats = subprocess.run(
+        [args.client, "--port", str(port)], input="STATS\n",
+        capture_output=True, text=True, timeout=30)
+    reply = stats.stdout.strip()
+    fields = dict(part.split("=", 1) for part in reply.split() if "=" in part)
+    stats_failures = []
+    if not reply.startswith("OK"):
+        stats_failures.append(f"reply does not start with OK: {reply!r}")
+    for key, want in (("snapshot_source", "ram"), ("snapshot_codec", "csr"),
+                      ("snapshot_ratio_x1000", "1000")):
+        if fields.get(key) != want:
+            stats_failures.append(
+                f"{key}={fields.get(key)!r} (want {want!r})")
+    for key in ("snapshot_resident_bytes", "snapshot_load_ms"):
+        if not fields.get(key, "").isdigit():
+            stats_failures.append(f"{key}={fields.get(key)!r} (want integer)")
+    if fields.get("snapshot_resident_bytes", "").isdigit() and \
+            int(fields["snapshot_resident_bytes"]) <= 0:
+        stats_failures.append("snapshot_resident_bytes must be positive")
+    if stats_failures:
+        server.kill()
+        for why in stats_failures:
+            print(f"FAIL: STATS {why}", file=sys.stderr)
+        return 1
+    print(f"STATS snapshot fields validated: source={fields['snapshot_source']}"
+          f" codec={fields['snapshot_codec']}"
+          f" resident_bytes={fields['snapshot_resident_bytes']}")
 
     # Graceful shutdown: SIGINT must drain, export telemetry, and exit 0.
     server.send_signal(signal.SIGINT)

@@ -240,6 +240,19 @@ constexpr std::array<std::string_view, 11> kSocketIdents = {
     "accept",   "recv",        "bind",       "listen",
     "connect",  "setsockopt",  "getsockname"};
 
+// Invariant 10: raw file-descriptor + memory-mapping APIs are confined to
+// src/graph/io/ (mapped_file.* is the single home; everything else reads
+// snapshots through CpsSnapshot). <unistd.h> and close() stay unbanned:
+// util/shutdown.cc and the server/socket.h wrappers legitimately own fds of
+// their own. `open` needs call shape (next token `(`) because it is also an
+// ordinary local-variable name.
+constexpr std::array<std::string_view, 3> kMmapHeaders = {
+    "sys/mman.h", "fcntl.h", "sys/stat.h"};
+
+constexpr std::array<std::string_view, 10> kMmapIdents = {
+    "mmap",     "munmap",      "madvise",    "msync",      "fstat",
+    "O_RDONLY", "MAP_PRIVATE", "MAP_SHARED", "MAP_FAILED", "PROT_READ"};
+
 constexpr std::array<std::string_view, 4> kRngIdents = {
     "rand", "srand", "rand_r", "random_device"};
 
@@ -280,6 +293,7 @@ std::vector<Finding> CheckInvariants(const std::vector<TokenizedFile>& files) {
     const bool flight_ok = in_src && IsFlightRecorderHome(src_rel);
     const bool socket_ok = in_src && StartsWith(src_rel, "server/");
     const bool refund_ok = in_src && StartsWith(src_rel, "sssp/");
+    const bool mmap_ok = in_src && StartsWith(src_rel, "graph/io/");
 
     std::vector<const Token*> code;
     for (const int i : CodeTokenIndices(file.tokens)) {
@@ -296,6 +310,16 @@ std::vector<Finding> CheckInvariants(const std::vector<TokenizedFile>& files) {
                             "socket header <" + tok.text +
                                 "> may only be included under src/server/ "
                                 "(use the server/socket.h wrappers)",
+                            false,
+                            ""});
+        continue;
+      }
+      if (tok.kind == TokenKind::kHeaderName && tok.angled && in_src &&
+          !mmap_ok && Contains(kMmapHeaders, tok.text)) {
+        findings.push_back({"mmap", file.path, tok.line,
+                            "fd/mmap header <" + tok.text +
+                                "> may only be included under src/graph/io/ "
+                                "(map files through graph/io/mapped_file.h)",
                             false,
                             ""});
         continue;
@@ -351,6 +375,17 @@ std::vector<Finding> CheckInvariants(const std::vector<TokenizedFile>& files) {
                             "raw socket API '" + tok.text +
                                 "' may only appear under src/server/ (use "
                                 "the server/socket.h wrappers)",
+                            false,
+                            ""});
+      }
+      if (in_src && !mmap_ok &&
+          ((Contains(kMmapIdents, tok.text) && !IsQualified(code, i)) ||
+           (tok.text == "open" && !IsQualified(code, i) &&
+            i + 1 < code.size() && code[i + 1]->text == "("))) {
+        findings.push_back({"mmap", file.path, tok.line,
+                            "raw fd/mmap API '" + tok.text +
+                                "' may only appear under src/graph/io/ (map "
+                                "files through graph/io/mapped_file.h)",
                             false,
                             ""});
       }

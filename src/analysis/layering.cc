@@ -25,11 +25,20 @@ std::string SrcRelative(const std::string& repo_rel) {
   return repo_rel.substr(kPrefix.size());
 }
 
-// Layer of a src-relative path = its first path component ("core/selectors/
-// hybrid_selectors.h" belongs to layer "core").
-std::string LayerOf(const std::string& src_rel) {
-  const size_t slash = src_rel.find('/');
-  return slash == std::string::npos ? std::string() : src_rel.substr(0, slash);
+// Layer of a src-relative path = the longest directory prefix declared in
+// the manifest, falling back to the first path component. So with
+// `layer graph/codec` declared, "graph/codec/varint.h" belongs to layer
+// "graph/codec" while "graph/graph.h" stays in "graph"; an entirely
+// undeclared directory resolves to its top component so check 1 can report
+// it by name.
+std::string LayerOf(const LayerManifest& manifest, const std::string& src_rel) {
+  std::string layer;
+  for (size_t slash = src_rel.find('/'); slash != std::string::npos;
+       slash = src_rel.find('/', slash + 1)) {
+    const std::string prefix = src_rel.substr(0, slash);
+    if (layer.empty() || manifest.rank_of.count(prefix) != 0) layer = prefix;
+  }
+  return layer;
 }
 
 struct Edge {
@@ -121,7 +130,7 @@ LayeringResult CheckLayering(const LayerManifest& manifest,
   std::vector<Edge> edges;
   std::set<std::string> seen_layers;
   for (const auto& [rel, i] : index_of) {
-    const std::string layer = LayerOf(rel);
+    const std::string layer = LayerOf(manifest, rel);
     if (!layer.empty()) seen_layers.insert(layer);
     const std::vector<Token>& toks = files[static_cast<size_t>(i)].tokens;
     for (size_t t = 0; t < toks.size(); ++t) {
@@ -152,8 +161,8 @@ LayeringResult CheckLayering(const LayerManifest& manifest,
   for (const Edge& e : edges) {
     const TokenizedFile& from = files[static_cast<size_t>(e.from_index)];
     const std::string from_rel = SrcRelative(from.path);
-    const std::string from_layer = LayerOf(from_rel);
-    const std::string to_layer = LayerOf(e.to);
+    const std::string from_layer = LayerOf(manifest, from_rel);
+    const std::string to_layer = LayerOf(manifest, e.to);
     if (to_layer.empty() || from_layer.empty()) continue;
     auto from_rank = manifest.rank_of.find(from_layer);
     auto to_rank = manifest.rank_of.find(to_layer);

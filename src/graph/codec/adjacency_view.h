@@ -1,0 +1,245 @@
+// Adjacency views: the seam the traversal engines are templated over.
+//
+// A view is a cheap, copyable handle describing where one graph's neighbor
+// lists live and how to read them. Engines hold a view by value plus one
+// `Cursor` — per-engine mutable scratch — so the same BFS code runs over an
+// in-RAM CSR (CsrAdjacency, zero decode cost) or a compressed / mapped
+// payload (CompressedAdjacency<D>) with identical traversal order and
+// therefore bit-identical distances.
+//
+// The read paths mirror how the engines consume adjacency:
+//   Neighbors(u, cursor)              — whole sorted list, materialized;
+//   ForEachNeighbor(u, cursor, fn)    — fn(v) per neighbor, decoded straight
+//                                       into the callback (top-down push);
+//   VisitNeighborsUntil(u, cursor, fn)— fn(v) until it returns false; decode
+//                                       stops with it (bottom-up pulls stop
+//                                       at the first hit / full lane
+//                                       coverage, so decoding the rest of a
+//                                       hub's list would be wasted work);
+//   VisitBlocks(u, cursor, fn)        — <= 64-neighbor chunks with
+//                                       block-granular early exit (bulk
+//                                       scans that want span-at-a-time
+//                                       access, e.g. decode benches).
+
+#ifndef CONVPAIRS_GRAPH_CODEC_ADJACENCY_VIEW_H_
+#define CONVPAIRS_GRAPH_CODEC_ADJACENCY_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/codec/codec.h"
+#include "graph/codec/decompressor.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace convpairs {
+
+/// View over an uncompressed in-RAM CSR (a Graph's internal arrays or any
+/// equivalent pair of offset/neighbor buffers). Cursor is empty: reads are
+/// direct span construction, so engines instantiated with CsrAdjacency
+/// compile to exactly the pre-seam code.
+class CsrAdjacency {
+ public:
+  struct Cursor {};
+
+  /// Relative per-edge read cost for the direction-optimizing heuristics
+  /// (1.0 = raw CSR scan). See CompressedAdjacency::kDecodeCostFactor.
+  static constexpr double kDecodeCostFactor = 1.0;
+
+  explicit CsrAdjacency(const Graph& g)
+      : num_nodes_(g.num_nodes()),
+        num_directed_edges_(g.adjacency().size()),
+        offsets_(g.offsets().data()),
+        adjacency_(g.adjacency().data()) {}
+
+  CsrAdjacency(NodeId num_nodes, const size_t* offsets, const NodeId* adjacency)
+      : num_nodes_(num_nodes),
+        num_directed_edges_(offsets[num_nodes]),
+        offsets_(offsets),
+        adjacency_(adjacency) {}
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_directed_edges() const { return num_directed_edges_; }
+
+  uint32_t degree(NodeId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  std::span<const NodeId> Neighbors(NodeId u, Cursor& /*cursor*/) const {
+    return {adjacency_ + offsets_[u], adjacency_ + offsets_[u + 1]};
+  }
+
+  template <typename Fn>
+  void ForEachNeighbor(NodeId u, Cursor& cursor, Fn&& fn) const {
+    for (const NodeId v : Neighbors(u, cursor)) fn(v);
+  }
+
+  template <typename Fn>
+  void VisitBlocks(NodeId u, Cursor& cursor, Fn&& fn) const {
+    // One maximal block: the early-exit callback breaks out of its own scan.
+    const auto nbrs = Neighbors(u, cursor);
+    if (!nbrs.empty()) std::forward<Fn>(fn)(nbrs);
+  }
+
+  template <typename Fn>
+  void VisitNeighborsUntil(NodeId u, Cursor& cursor, Fn&& fn) const {
+    for (const NodeId v : Neighbors(u, cursor)) {
+      if (!fn(v)) return;
+    }
+  }
+
+ private:
+  NodeId num_nodes_;
+  uint64_t num_directed_edges_;
+  const size_t* offsets_;
+  const NodeId* adjacency_;
+};
+
+/// View over encoded adjacency (graph/codec/codec.h layout, which is also
+/// the byte-for-byte image of a .cps snapshot's offsets + payload sections).
+/// Decode goes through D; zero-copy codecs (NopDecompressor) hand back
+/// spans straight into the payload, so the "compressed" machinery serves
+/// uncompressed mmap snapshots at full speed.
+template <typename D>
+class CompressedAdjacency {
+ public:
+  /// Per-engine scratch: the reusable decode buffer plus decode-volume
+  /// telemetry, flushed to graph.codec.* once per cursor lifetime.
+  struct Cursor {
+    std::vector<NodeId> scratch;
+    uint64_t decoded_edges = 0;
+    uint64_t decoded_bytes = 0;
+
+    Cursor() = default;
+    Cursor(const Cursor&) = delete;
+    Cursor& operator=(const Cursor&) = delete;
+    ~Cursor() {
+      if (decoded_edges == 0) return;
+      const auto& instruments = CodecInstruments::Get();
+      instruments.decoded_edges.Add(static_cast<int64_t>(decoded_edges));
+      instruments.decoded_bytes.Add(static_cast<int64_t>(decoded_bytes));
+    }
+  };
+
+  /// Relative per-edge read cost fed to the traversal engines' direction
+  /// heuristics. Bottom-up sweeps re-read unfinished vertices' lists every
+  /// dense level, while top-down reads each list exactly once per
+  /// traversal — so when reading means decoding, the switch must demand a
+  /// correspondingly denser frontier before bottom-up pays. 2.0 measured
+  /// best for varint on BA-50k all-pairs with the per-edge early-exit pull
+  /// (VisitNeighborsUntil): beat 1.0 and 4.0 by ~1.5%, and disabling
+  /// bottom-up outright (1e9) by ~25%. Distances never depend on this; it
+  /// only moves work.
+  static constexpr double kDecodeCostFactor = D::kZeroCopy ? 1.0 : 2.0;
+
+  CompressedAdjacency(NodeId num_nodes, uint64_t num_directed_edges,
+                      const uint32_t* offsets, const uint8_t* bytes)
+      : num_nodes_(num_nodes),
+        num_directed_edges_(num_directed_edges),
+        offsets_(offsets),
+        bytes_(bytes) {}
+
+  explicit CompressedAdjacency(const EncodedAdjacency& enc)
+      : CompressedAdjacency(enc.num_nodes, enc.num_directed_edges,
+                            enc.offsets.data(), enc.bytes.data()) {}
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_directed_edges() const { return num_directed_edges_; }
+
+  uint32_t degree(NodeId u) const {
+    return D::Degree(bytes_ + offsets_[u], bytes_ + offsets_[u + 1]);
+  }
+
+  /// Vertex u's full sorted neighbor list. Zero-copy codecs return a span
+  /// into the payload; others decode into cursor.scratch (valid until the
+  /// next read through the same cursor). Decode runs the codec's trusted
+  /// fast path: every view wraps bytes that already passed Validate —
+  /// either a buffer EncodeAdjacency just produced or a .cps payload the
+  /// snapshot loader validated at Open().
+  std::span<const NodeId> Neighbors(NodeId u, Cursor& cursor) const {
+    const uint8_t* begin = bytes_ + offsets_[u];
+    const uint8_t* end = bytes_ + offsets_[u + 1];
+    if constexpr (D::kZeroCopy) {
+      return D::View(begin, end);
+    } else {
+      const auto list = D::DecodeListTrusted(begin, end, cursor.scratch);
+      cursor.decoded_edges += list.size();
+      cursor.decoded_bytes += static_cast<uint64_t>(end - begin);
+      return list;
+    }
+  }
+
+  /// Calls fn(v) for every neighbor of u in sorted order — the top-down
+  /// push path. Non-zero-copy codecs decode each id straight into the
+  /// callback, skipping the scratch store/reload Neighbors() pays.
+  template <typename Fn>
+  void ForEachNeighbor(NodeId u, Cursor& cursor, Fn&& fn) const {
+    const uint8_t* begin = bytes_ + offsets_[u];
+    const uint8_t* end = bytes_ + offsets_[u + 1];
+    if constexpr (D::kZeroCopy) {
+      for (const NodeId v : D::View(begin, end)) fn(v);
+    } else {
+      cursor.decoded_bytes += static_cast<uint64_t>(end - begin);
+      cursor.decoded_edges +=
+          D::VisitEdgesTrusted(begin, end, std::forward<Fn>(fn));
+    }
+  }
+
+  /// Decodes u's list block-at-a-time into cursor.scratch, invoking
+  /// fn(span) per block until fn returns false or the list ends.
+  template <typename Fn>
+  void VisitBlocks(NodeId u, Cursor& cursor, Fn&& fn) const {
+    const uint8_t* begin = bytes_ + offsets_[u];
+    const uint8_t* end = bytes_ + offsets_[u + 1];
+    if constexpr (D::kZeroCopy) {
+      CONVPAIRS_CHECK(
+          D::VisitBlocks(begin, end, cursor.scratch, std::forward<Fn>(fn)));
+    } else {
+      // decoded_bytes charges the whole record even when fn exits early —
+      // block boundaries inside the byte stream aren't worth tracking.
+      cursor.decoded_bytes += static_cast<uint64_t>(end - begin);
+      D::VisitBlocksTrusted(
+          begin, end, cursor.scratch, [&](std::span<const NodeId> block) {
+            cursor.decoded_edges += block.size();
+            return fn(block);
+          });
+    }
+  }
+
+  /// Per-edge pull with early exit: fn(v) until it returns false. The
+  /// bottom-up sweeps' read shape — non-zero-copy codecs stop decoding the
+  /// instant fn is satisfied, mid-block, so a settled hub costs one or two
+  /// gap decodes instead of a full 64-edge block.
+  template <typename Fn>
+  void VisitNeighborsUntil(NodeId u, Cursor& cursor, Fn&& fn) const {
+    const uint8_t* begin = bytes_ + offsets_[u];
+    const uint8_t* end = bytes_ + offsets_[u + 1];
+    if constexpr (D::kZeroCopy) {
+      for (const NodeId v : D::View(begin, end)) {
+        if (!fn(v)) return;
+      }
+    } else {
+      // decoded_bytes still charges the whole record: byte boundaries of an
+      // early exit inside the stream aren't worth tracking.
+      cursor.decoded_bytes += static_cast<uint64_t>(end - begin);
+      cursor.decoded_edges +=
+          D::VisitEdgesUntilTrusted(begin, end, std::forward<Fn>(fn));
+    }
+  }
+
+ private:
+  NodeId num_nodes_;
+  uint64_t num_directed_edges_;
+  const uint32_t* offsets_;
+  const uint8_t* bytes_;
+};
+
+using NopAdjacency = CompressedAdjacency<NopDecompressor>;
+using VarintAdjacency = CompressedAdjacency<VarintDecompressor>;
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_CODEC_ADJACENCY_VIEW_H_

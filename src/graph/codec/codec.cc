@@ -1,0 +1,45 @@
+#include "graph/codec/codec.h"
+
+#include "graph/codec/decompressor.h"
+#include "obs/registry.h"
+#include "util/check.h"
+
+namespace convpairs {
+
+const CodecInstruments& CodecInstruments::Get() {
+  static const CodecInstruments instruments = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return CodecInstruments{registry.GetCounter("graph.codec.encoded_bytes"),
+                            registry.GetCounter("graph.codec.raw_bytes"),
+                            registry.GetGauge("graph.codec.ratio_x1000"),
+                            registry.GetCounter("graph.codec.decoded_bytes"),
+                            registry.GetCounter("graph.codec.decoded_edges"),
+                            registry.GetCounter("graph.codec.decode_ns")};
+  }();
+  return instruments;
+}
+
+template <typename D>
+EncodedAdjacency EncodeAdjacency(const Graph& g) {
+  EncodedAdjacency enc;
+  enc.num_nodes = g.num_nodes();
+  enc.offsets.reserve(static_cast<size_t>(g.num_nodes()) + 1);
+  enc.offsets.push_back(0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    D::EncodeList(nbrs, &enc.bytes);
+    CONVPAIRS_CHECK_LE(enc.bytes.size(), 0xFFFFFFFFULL);
+    enc.offsets.push_back(static_cast<uint32_t>(enc.bytes.size()));
+    enc.num_directed_edges += nbrs.size();
+  }
+  const auto& instruments = CodecInstruments::Get();
+  instruments.encoded_bytes.Add(static_cast<int64_t>(enc.bytes.size()));
+  instruments.raw_bytes.Add(static_cast<int64_t>(enc.raw_adjacency_bytes()));
+  instruments.ratio_x1000.Set(enc.ratio_x1000());
+  return enc;
+}
+
+template EncodedAdjacency EncodeAdjacency<NopDecompressor>(const Graph& g);
+template EncodedAdjacency EncodeAdjacency<VarintDecompressor>(const Graph& g);
+
+}  // namespace convpairs

@@ -1,0 +1,66 @@
+// Compressed adjacency container: a whole graph's neighbor lists encoded by
+// one Decompressor (graph/codec/decompressor.h), plus the graph.codec.*
+// telemetry instruments shared by the encoder, the traversal cursors, and
+// the snapshot loader.
+
+#ifndef CONVPAIRS_GRAPH_CODEC_CODEC_H_
+#define CONVPAIRS_GRAPH_CODEC_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "obs/metrics.h"
+
+namespace convpairs {
+
+/// One graph's adjacency, encoded. `offsets` holds n+1 byte offsets into
+/// `bytes`; vertex u's record is bytes[offsets[u], offsets[u+1]). This is
+/// exactly the in-RAM image of a .cps snapshot's offsets + payload sections,
+/// so the encoder, the writer, and the mmap views all share one layout.
+struct EncodedAdjacency {
+  NodeId num_nodes = 0;
+  uint64_t num_directed_edges = 0;  // sum of degrees (2m for undirected)
+  /// u32 to match the .cps offsets section (half the index footprint of
+  /// u64); the encoder CHECKs the 4 GiB payload ceiling this implies.
+  std::vector<uint32_t> offsets;    // size num_nodes + 1
+  std::vector<uint8_t> bytes;
+
+  /// Bytes the same adjacency occupies as raw u32 CSR entries.
+  uint64_t raw_adjacency_bytes() const {
+    return num_directed_edges * sizeof(NodeId);
+  }
+  /// Compression ratio (raw / encoded), scaled by 1000 for integer gauges.
+  int64_t ratio_x1000() const {
+    return bytes.empty()
+               ? 1000
+               : static_cast<int64_t>(raw_adjacency_bytes() * 1000 /
+                                      bytes.size());
+  }
+};
+
+/// Encodes `g`'s neighbor lists with decompressor `D` and records
+/// graph.codec.{encoded_bytes,raw_bytes,ratio_x1000}. Instantiated for
+/// NopDecompressor and VarintDecompressor in codec.cc.
+template <typename D>
+EncodedAdjacency EncodeAdjacency(const Graph& g);
+
+/// graph.codec.* instruments. decoded_* accumulate from traversal cursors
+/// (flushed per cursor lifetime, never per edge); decode_ns covers the pure
+/// decode scans (snapshot validation, ToGraph) where decode time is
+/// separable from traversal work.
+struct CodecInstruments {
+  obs::Counter& encoded_bytes;
+  obs::Counter& raw_bytes;
+  obs::Gauge& ratio_x1000;
+  obs::Counter& decoded_bytes;
+  obs::Counter& decoded_edges;
+  obs::Counter& decode_ns;
+
+  static const CodecInstruments& Get();
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_CODEC_CODEC_H_

@@ -1,0 +1,110 @@
+// LEB128 varint primitives for the adjacency codec (DESIGN.md §15).
+//
+// Unsigned little-endian base-128: each byte carries 7 payload bits, the high
+// bit marks continuation. Small gaps (the common case for delta-coded sorted
+// neighbor lists) encode in one byte; a u32 never needs more than five.
+//
+// Decoders are bounds-checked against an explicit limit and return nullptr on
+// malformed input (truncation or overlong encoding) instead of reading past
+// the buffer — the snapshot loader leans on this to reject corrupt files.
+
+#ifndef CONVPAIRS_GRAPH_CODEC_VARINT_H_
+#define CONVPAIRS_GRAPH_CODEC_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace convpairs {
+
+/// Maximum encoded size of a u32 (ceil(32/7) bytes).
+inline constexpr int kMaxVarint32Bytes = 5;
+/// Maximum encoded size of a u64 (ceil(64/7) bytes).
+inline constexpr int kMaxVarint64Bytes = 10;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+inline void PutVarint32(std::vector<uint8_t>* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Appends the LEB128 encoding of `v` to `out`.
+inline void PutVarint64(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Decodes one u32 from [p, limit). Returns the position past the encoded
+/// value, or nullptr if the input is truncated or the value overflows 32
+/// bits. `*v` is unspecified on failure.
+inline const uint8_t* GetVarint32(const uint8_t* p, const uint8_t* limit,
+                                  uint32_t* v) {
+  uint32_t result = 0;
+  for (int shift = 0; shift < 35 && p < limit; shift += 7) {
+    uint32_t byte = *p++;
+    if (shift == 28 && (byte & 0xF0) != 0) return nullptr;  // overflows u32
+    result |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;  // ran off the buffer or >5 continuation bytes
+}
+
+/// Decodes one u64 from [p, limit); same contract as GetVarint32.
+inline const uint8_t* GetVarint64(const uint8_t* p, const uint8_t* limit,
+                                  uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 70 && p < limit; shift += 7) {
+    uint64_t byte = *p++;
+    if (shift == 63 && (byte & 0xFE) != 0) return nullptr;  // overflows u64
+    result |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+/// Decodes one u32 known to be well-formed — no limit or overflow checks.
+/// Only for bytes that already passed a validating decode (the snapshot
+/// loader's Validate pass); the single-byte case, which dominates delta-gap
+/// streams, is one load and one compare.
+inline const uint8_t* GetVarint32Trusted(const uint8_t* p, uint32_t* v) {
+  uint32_t result = *p++;
+  if (result < 0x80) {
+    *v = result;
+    return p;
+  }
+  result &= 0x7F;
+  uint32_t shift = 7;
+  uint32_t byte;
+  do {
+    byte = *p++;
+    result |= (byte & 0x7F) << shift;
+    shift += 7;
+  } while (byte & 0x80);
+  *v = result;
+  return p;
+}
+
+/// Number of bytes PutVarint32 would append for `v`.
+inline int Varint32Size(uint32_t v) {
+  int size = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_CODEC_VARINT_H_

@@ -57,6 +57,21 @@ Graph Graph::FromEdges(NodeId num_nodes, std::span<const Edge> edges) {
   return g;
 }
 
+Graph Graph::FromCsr(NodeId num_nodes, std::vector<size_t> offsets,
+                     std::vector<NodeId> adjacency) {
+  CONVPAIRS_CHECK_EQ(offsets.size(), static_cast<size_t>(num_nodes) + 1);
+  CONVPAIRS_CHECK_EQ(offsets.front(), 0u);
+  CONVPAIRS_CHECK_EQ(offsets.back(), adjacency.size());
+  Graph g(num_nodes);
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  g.weights_.assign(g.adjacency_.size(), 1.0f);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (g.degree(u) > 0) ++g.num_active_nodes_;
+  }
+  return g;
+}
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   auto nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);

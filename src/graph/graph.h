@@ -27,6 +27,15 @@ class Graph {
   /// smallest weight). Endpoints must be < num_nodes.
   static Graph FromEdges(NodeId num_nodes, std::span<const Edge> edges);
 
+  /// Adopts an already-built unweighted CSR: `offsets` has num_nodes + 1
+  /// nondecreasing entries, each row of `adjacency` is sorted and strictly
+  /// increasing with no self-loops, and every half-edge appears in both
+  /// directions. The caller (the .cps snapshot loader, which validates all
+  /// of this structurally) vouches for the invariants; they are CHECKed
+  /// only cheaply here.
+  static Graph FromCsr(NodeId num_nodes, std::vector<size_t> offsets,
+                       std::vector<NodeId> adjacency);
+
   /// Number of node ids (including isolated ones).
   NodeId num_nodes() const { return num_nodes_; }
 
@@ -60,6 +69,13 @@ class Graph {
 
   /// Materializes the undirected edge list (u < v), sorted lexicographically.
   std::vector<Edge> ToEdgeList() const;
+
+  /// Raw CSR row offsets (num_nodes + 1 entries). With adjacency(), the
+  /// zero-copy backing for CsrAdjacency views and the .cps writer.
+  std::span<const size_t> offsets() const { return offsets_; }
+
+  /// Raw concatenated neighbor array (2 * num_edges entries).
+  std::span<const NodeId> adjacency() const { return adjacency_; }
 
  private:
   NodeId num_nodes_ = 0;

@@ -1,0 +1,70 @@
+#include "graph/io/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace convpairs {
+
+namespace {
+
+std::string ErrnoText(const char* what, const std::string& path) {
+  return std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);  // NOLINT(cppcoreguidelines-pro-type-vararg,hicpp-vararg)
+  if (fd < 0) return Status::IoError(ErrnoText("cannot open", path));
+
+  struct stat st = {};
+  if (fstat(fd, &st) != 0) {
+    const Status status = Status::IoError(ErrnoText("cannot stat", path));
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError("not a regular file: '" + path + "'");
+  }
+
+  MappedFile mapped;
+  mapped.size_ = static_cast<size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* addr = mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = Status::IoError(ErrnoText("cannot mmap", path));
+      ::close(fd);
+      return status;
+    }
+    mapped.addr_ = addr;
+  }
+  // The mapping outlives the descriptor; POSIX keeps it valid after close.
+  ::close(fd);
+  return mapped;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) munmap(addr_, size_);
+}
+
+}  // namespace convpairs

@@ -1,0 +1,49 @@
+// Read-only memory-mapped file (RAII).
+//
+// This module is the repo's single home for raw file-descriptor and mmap
+// syscalls — analyzer invariant 10 confines them to src/graph/io/ the same
+// way invariant 8 confines sockets to src/server/socket.cc. Everything else
+// opens snapshots through CpsSnapshot (graph/io/snapshot_io.h) or streams
+// (<fstream>).
+
+#ifndef CONVPAIRS_GRAPH_IO_MAPPED_FILE_H_
+#define CONVPAIRS_GRAPH_IO_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace convpairs {
+
+/// A whole file mapped read-only. Move-only; unmaps on destruction. The
+/// mapping is private (copy-on-write semantics are irrelevant: we never
+/// write), so concurrent readers share page-cache pages and "loading" a
+/// multi-GB snapshot touches no data pages until traversal does.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with IoError (errno text included) on
+  /// open/stat/map failure; an empty file maps successfully with size 0.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const { return {data(), size_}; }
+
+ private:
+  void* addr_ = nullptr;  // nullptr when empty or default-constructed
+  size_t size_ = 0;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_IO_MAPPED_FILE_H_

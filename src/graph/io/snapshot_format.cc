@@ -1,0 +1,140 @@
+#include "graph/io/snapshot_format.h"
+
+#include <array>
+#include <cstring>
+#include <string>
+
+#include "graph/codec/decompressor.h"
+// (std::to_string for error text)
+
+namespace convpairs {
+
+namespace {
+
+/// CRC-32 lookup table for the reflected IEEE 802.3 polynomial 0xEDB88320,
+/// built once at first use.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0xEDB88320U : 0U);
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("cps: " + what);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  const auto& table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFU;
+  for (const uint8_t byte : data)
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF];
+  return crc ^ 0xFFFFFFFFU;
+}
+
+void SerializeCpsHeader(const CpsHeader& header, std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  out->insert(out->end(), std::begin(kCpsMagic), std::end(kCpsMagic));
+  PutU32(out, header.version);
+  PutU32(out, header.flags);
+  PutU32(out, header.codec_id);
+  PutU32(out, kCpsEndianCheck);
+  PutU32(out, header.num_nodes);
+  PutU64(out, header.num_directed_edges);
+  PutU64(out, header.offsets_off);
+  PutU64(out, header.offsets_bytes);
+  PutU64(out, header.payload_off);
+  PutU64(out, header.payload_bytes);
+  PutU32(out, header.offsets_crc);
+  PutU32(out, header.payload_crc);
+  out->insert(out->end(), 20, 0);  // reserved
+  const uint32_t header_crc =
+      Crc32({out->data() + start, kCpsHeaderBytes - 4});
+  PutU32(out, header_crc);
+}
+
+Status ParseCpsHeader(std::span<const uint8_t> file, CpsHeader* out) {
+  if (file.size() < kCpsHeaderBytes)
+    return Corrupt("file too small for header (" + std::to_string(file.size()) +
+                   " bytes)");
+  const uint8_t* p = file.data();
+  if (std::memcmp(p, kCpsMagic, sizeof(kCpsMagic)) != 0)
+    return Corrupt("bad magic (not a .cps snapshot)");
+  const uint32_t stored_crc = ReadU32(p + kCpsHeaderBytes - 4);
+  if (Crc32({p, kCpsHeaderBytes - 4}) != stored_crc)
+    return Corrupt("header checksum mismatch");
+
+  CpsHeader h;
+  h.version = ReadU32(p + 4);
+  if (h.version != kCpsVersion)
+    return Corrupt("unsupported version " + std::to_string(h.version) +
+                   " (reader implements " + std::to_string(kCpsVersion) + ")");
+  h.flags = ReadU32(p + 8);
+  if ((h.flags & kCpsFlagWeighted) != 0)
+    return Corrupt("weighted flag set, but version 1 is unweighted-only");
+  if ((h.flags & ~kCpsFlagWeighted) != 0)
+    return Corrupt("unknown flag bits set");
+  h.codec_id = ReadU32(p + 12);
+  if (h.codec_id != NopDecompressor::kCodecId &&
+      h.codec_id != VarintDecompressor::kCodecId)
+    return Corrupt("unknown codec id " + std::to_string(h.codec_id));
+  if (ReadU32(p + 16) != kCpsEndianCheck)
+    return Corrupt("endianness marker mismatch (foreign byte order)");
+  h.num_nodes = ReadU32(p + 20);
+  h.num_directed_edges = ReadU64(p + 24);
+  h.offsets_off = ReadU64(p + 32);
+  h.offsets_bytes = ReadU64(p + 40);
+  h.payload_off = ReadU64(p + 48);
+  h.payload_bytes = ReadU64(p + 56);
+  h.offsets_crc = ReadU32(p + 64);
+  h.payload_crc = ReadU32(p + 68);
+
+  // Section geometry: everything below is arithmetic on u64s already read,
+  // so guard against overflow before range-checking against the file size.
+  if (h.offsets_off != kCpsHeaderBytes)
+    return Corrupt("offsets section not adjacent to header");
+  if (h.offsets_bytes != 4 * (static_cast<uint64_t>(h.num_nodes) + 1))
+    return Corrupt("offsets section size inconsistent with num_nodes");
+  if (h.payload_off % 4 != 0) return Corrupt("payload section misaligned");
+  if (h.payload_off != h.offsets_off + h.offsets_bytes)
+    return Corrupt("payload section not adjacent to offsets");
+  if (h.payload_bytes > file.size() ||
+      h.payload_off > file.size() - h.payload_bytes)
+    return Corrupt("sections extend past end of file (truncated?)");
+  if (h.payload_off + h.payload_bytes != file.size())
+    return Corrupt("trailing bytes after payload section");
+
+  *out = h;
+  return Status::OK();
+}
+
+}  // namespace convpairs

@@ -1,0 +1,93 @@
+// .cps binary snapshot container format (DESIGN.md §15).
+//
+// Layout (all integers little-endian; the endian marker rejects foreign
+// byte orders at parse time):
+//
+//   [0, 96)                      header (fixed size, CRC-protected)
+//   [96, 96 + 4*(n+1))           offsets section: u32 byte offsets into the
+//                                payload, one per vertex plus end sentinel
+//   [payload_off, +payload_len)  payload section: per-vertex neighbor
+//                                records encoded by the codec named in the
+//                                header (graph/codec/decompressor.h)
+//
+// Offsets are u32 — half the index footprint of u64, which matters because
+// on low-degree graphs the per-vertex index rivals the compressed payload.
+// The trade is a 4 GiB payload ceiling per snapshot; version 1 writers
+// reject larger graphs, and lifting the ceiling is a version bump.
+//
+// Header fields (offset, type, meaning):
+//    0  u8[4]  magic "CPS1"
+//    4  u32    version          (kCpsVersion; readers reject mismatches)
+//    8  u32    flags            (bit0 = weighted; must be 0 in version 1)
+//   12  u32    codec_id         (0 = nop, 1 = varint)
+//   16  u32    endian_check     (kCpsEndianCheck as written)
+//   20  u32    num_nodes
+//   24  u64    num_directed_edges
+//   32  u64    offsets_off      (always 96 in version 1)
+//   40  u64    offsets_bytes    (must equal 4 * (num_nodes + 1))
+//   48  u64    payload_off      (4-aligned, so NopDecompressor views can
+//                                reinterpret payload bytes as u32 ids)
+//   56  u64    payload_bytes
+//   64  u32    offsets_crc      (CRC-32 of the offsets section)
+//   68  u32    payload_crc      (CRC-32 of the payload section)
+//   72  u8[20] reserved         (zero)
+//   92  u32    header_crc       (CRC-32 of header bytes [0, 92))
+//
+// Versioning policy: `version` is a hard compatibility fence — readers
+// reject any version they don't implement, with the found/expected pair in
+// the error. Additive evolution uses `flags` + `reserved` within a version;
+// anything that changes the meaning of existing bytes bumps the version.
+// Version 2 is reserved for weighted payloads (flag bit0 + a weights
+// section); version-1 readers already refuse the flag.
+
+#ifndef CONVPAIRS_GRAPH_IO_SNAPSHOT_FORMAT_H_
+#define CONVPAIRS_GRAPH_IO_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace convpairs {
+
+inline constexpr uint8_t kCpsMagic[4] = {'C', 'P', 'S', '1'};
+inline constexpr uint32_t kCpsVersion = 1;
+inline constexpr uint32_t kCpsEndianCheck = 0x0A0B0C0D;
+inline constexpr size_t kCpsHeaderBytes = 96;
+inline constexpr uint32_t kCpsFlagWeighted = 1U << 0;
+
+/// Parsed header. Field semantics documented in the layout table above.
+struct CpsHeader {
+  uint32_t version = kCpsVersion;
+  uint32_t flags = 0;
+  uint32_t codec_id = 0;
+  NodeId num_nodes = 0;
+  uint64_t num_directed_edges = 0;
+  uint64_t offsets_off = 0;
+  uint64_t offsets_bytes = 0;
+  uint64_t payload_off = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t offsets_crc = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+/// Appends the 96-byte serialized header (including its trailing
+/// header_crc) to `out`.
+void SerializeCpsHeader(const CpsHeader& header, std::vector<uint8_t>* out);
+
+/// Parses and structurally validates the header against the whole file
+/// image: magic, version, endianness, header CRC, flag constraints, and
+/// that both sections lie inside the file with sizes consistent with
+/// num_nodes. Section CRCs are reported back for the caller to verify (the
+/// loader checks them against the mapped bytes).
+Status ParseCpsHeader(std::span<const uint8_t> file, CpsHeader* out);
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_IO_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,210 @@
+#include "graph/io/snapshot_io.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "graph/codec/codec.h"
+#include "graph/codec/decompressor.h"
+#include "util/check.h"
+
+namespace convpairs {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Structural validation of every vertex record: offsets monotone and
+/// in-bounds, per-vertex decode succeeds with ids < n, degrees sum to the
+/// header's edge count. This is the pass that makes post-Open traversal
+/// safe on untrusted files.
+template <typename D>
+Status ValidateRecords(const CpsHeader& header, const uint32_t* offsets,
+                       const uint8_t* payload) {
+  const auto start = std::chrono::steady_clock::now();
+  if (offsets[0] != 0)
+    return Status::InvalidArgument("cps: offsets[0] != 0");
+  if (offsets[header.num_nodes] != header.payload_bytes)
+    return Status::InvalidArgument(
+        "cps: offsets end sentinel != payload size");
+  uint64_t total_degree = 0;
+  for (NodeId u = 0; u < header.num_nodes; ++u) {
+    if (offsets[u] > offsets[u + 1])
+      return Status::InvalidArgument(
+          "cps: non-monotone offset at vertex " + std::to_string(u));
+    uint32_t degree = 0;
+    if (!D::Validate(payload + offsets[u], payload + offsets[u + 1],
+                     header.num_nodes, &degree))
+      return Status::InvalidArgument(
+          "cps: malformed neighbor record for vertex " + std::to_string(u));
+    total_degree += degree;
+  }
+  if (total_degree != header.num_directed_edges)
+    return Status::InvalidArgument(
+        "cps: degree sum " + std::to_string(total_degree) +
+        " != header edge count " +
+        std::to_string(header.num_directed_edges));
+  const auto& instruments = CodecInstruments::Get();
+  instruments.decode_ns.Add(static_cast<int64_t>(
+      MsSince(start) * 1e6));
+  instruments.decoded_edges.Add(static_cast<int64_t>(total_degree));
+  instruments.decoded_bytes.Add(static_cast<int64_t>(header.payload_bytes));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCpsSnapshot(const Graph& g, const std::string& path,
+                        uint32_t codec_id) {
+  if (g.is_weighted())
+    return Status::InvalidArgument(
+        "cps version 1 is unweighted-only; cannot encode weighted graph");
+
+  EncodedAdjacency enc;
+  if (codec_id == NopDecompressor::kCodecId) {
+    enc = EncodeAdjacency<NopDecompressor>(g);
+  } else if (codec_id == VarintDecompressor::kCodecId) {
+    enc = EncodeAdjacency<VarintDecompressor>(g);
+  } else {
+    return Status::InvalidArgument("unknown codec id " +
+                                   std::to_string(codec_id));
+  }
+
+  CpsHeader header;
+  header.flags = 0;
+  header.codec_id = codec_id;
+  header.num_nodes = enc.num_nodes;
+  header.num_directed_edges = enc.num_directed_edges;
+  header.offsets_off = kCpsHeaderBytes;
+  header.offsets_bytes = 4 * (static_cast<uint64_t>(enc.num_nodes) + 1);
+  header.payload_off = header.offsets_off + header.offsets_bytes;
+  header.payload_bytes = enc.bytes.size();
+  header.offsets_crc = Crc32(
+      {reinterpret_cast<const uint8_t*>(enc.offsets.data()),
+       static_cast<size_t>(header.offsets_bytes)});
+  header.payload_crc = Crc32(enc.bytes);
+
+  std::vector<uint8_t> head;
+  head.reserve(kCpsHeaderBytes);
+  SerializeCpsHeader(header, &head);
+  CONVPAIRS_CHECK_EQ(head.size(), kCpsHeaderBytes);
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open '" + path + "' for write");
+  file.write(reinterpret_cast<const char*>(head.data()),
+             static_cast<std::streamsize>(head.size()));
+  file.write(reinterpret_cast<const char*>(enc.offsets.data()),
+             static_cast<std::streamsize>(header.offsets_bytes));
+  file.write(reinterpret_cast<const char*>(enc.bytes.data()),
+             static_cast<std::streamsize>(enc.bytes.size()));
+  file.flush();
+  if (!file) return Status::IoError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<CpsSnapshot> CpsSnapshot::Open(const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  auto mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+
+  CpsSnapshot snap;
+  snap.file_ = std::move(mapped).value();
+  CONVPAIRS_RETURN_IF_ERROR(
+      ParseCpsHeader(snap.file_.bytes(), &snap.header_));
+
+  const uint8_t* base = snap.file_.data();
+  const std::span<const uint8_t> offsets_bytes{
+      base + snap.header_.offsets_off,
+      static_cast<size_t>(snap.header_.offsets_bytes)};
+  const std::span<const uint8_t> payload_bytes{
+      base + snap.header_.payload_off,
+      static_cast<size_t>(snap.header_.payload_bytes)};
+  if (Crc32(offsets_bytes) != snap.header_.offsets_crc)
+    return Status::InvalidArgument("cps: offsets section checksum mismatch");
+  if (Crc32(payload_bytes) != snap.header_.payload_crc)
+    return Status::InvalidArgument("cps: payload section checksum mismatch");
+
+  // offsets_off is 4-aligned (96) and mmap bases are page-aligned, so the
+  // reinterpret below reads aligned u32s.
+  snap.offsets_ = reinterpret_cast<const uint32_t*>(offsets_bytes.data());
+  snap.payload_ = payload_bytes.data();
+  if (snap.header_.codec_id == NopDecompressor::kCodecId) {
+    CONVPAIRS_RETURN_IF_ERROR(ValidateRecords<NopDecompressor>(
+        snap.header_, snap.offsets_, snap.payload_));
+  } else {
+    CONVPAIRS_RETURN_IF_ERROR(ValidateRecords<VarintDecompressor>(
+        snap.header_, snap.offsets_, snap.payload_));
+  }
+
+  snap.info_.resident_bytes =
+      snap.header_.offsets_bytes + snap.header_.payload_bytes;
+  snap.info_.raw_adjacency_bytes =
+      snap.header_.num_directed_edges * sizeof(NodeId);
+  snap.info_.csr_resident_bytes =
+      sizeof(size_t) * (static_cast<uint64_t>(snap.header_.num_nodes) + 1) +
+      (sizeof(NodeId) + sizeof(float)) * snap.header_.num_directed_edges;
+  snap.info_.ratio_x1000 =
+      snap.header_.payload_bytes == 0
+          ? 1000
+          : static_cast<int64_t>(snap.info_.raw_adjacency_bytes * 1000 /
+                                 snap.header_.payload_bytes);
+  snap.info_.resident_ratio_x1000 =
+      snap.info_.resident_bytes == 0
+          ? 1000
+          : static_cast<int64_t>(snap.info_.csr_resident_bytes * 1000 /
+                                 snap.info_.resident_bytes);
+  snap.info_.load_ms = MsSince(start);
+  return snap;
+}
+
+const char* CpsSnapshot::codec_name() const {
+  return header_.codec_id == NopDecompressor::kCodecId
+             ? NopDecompressor::kName
+             : VarintDecompressor::kName;
+}
+
+NopAdjacency CpsSnapshot::NopView() const {
+  CONVPAIRS_CHECK_EQ(header_.codec_id, NopDecompressor::kCodecId);
+  return NopAdjacency(header_.num_nodes, header_.num_directed_edges,
+                      offsets_, payload_);
+}
+
+VarintAdjacency CpsSnapshot::VarintView() const {
+  CONVPAIRS_CHECK_EQ(header_.codec_id, VarintDecompressor::kCodecId);
+  return VarintAdjacency(header_.num_nodes, header_.num_directed_edges,
+                         offsets_, payload_);
+}
+
+Graph CpsSnapshot::ToGraph() const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<size_t> offsets;
+  offsets.reserve(static_cast<size_t>(header_.num_nodes) + 1);
+  std::vector<NodeId> adjacency;
+  adjacency.reserve(static_cast<size_t>(header_.num_directed_edges));
+  offsets.push_back(0);
+  for (NodeId u = 0; u < header_.num_nodes; ++u) {
+    const uint8_t* begin = payload_ + offsets_[u];
+    const uint8_t* end = payload_ + offsets_[u + 1];
+    if (header_.codec_id == NopDecompressor::kCodecId) {
+      CONVPAIRS_CHECK(NopDecompressor::DecodeAll(begin, end, &adjacency));
+    } else {
+      CONVPAIRS_CHECK(VarintDecompressor::DecodeAll(begin, end, &adjacency));
+    }
+    offsets.push_back(adjacency.size());
+  }
+  const auto& instruments = CodecInstruments::Get();
+  instruments.decode_ns.Add(static_cast<int64_t>(MsSince(start) * 1e6));
+  instruments.decoded_edges.Add(
+      static_cast<int64_t>(header_.num_directed_edges));
+  instruments.decoded_bytes.Add(
+      static_cast<int64_t>(header_.payload_bytes));
+  return Graph::FromCsr(header_.num_nodes, std::move(offsets),
+                        std::move(adjacency));
+}
+
+}  // namespace convpairs

@@ -1,0 +1,80 @@
+// .cps snapshot writer and mmap-backed zero-copy loader.
+//
+// WriteCpsSnapshot encodes a Graph with the chosen codec and writes the
+// container described in graph/io/snapshot_format.h. CpsSnapshot::Open maps
+// the file, verifies header + section checksums, and structurally validates
+// every vertex record (monotone ids below num_nodes, exact byte
+// consumption, skip-table consistency, degree sum == header edge count) —
+// so a snapshot that opens OK can be traversed without further bounds
+// paranoia, and a truncated / bit-flipped / mislabeled file is rejected
+// with a structured Status instead of crashing the server.
+
+#ifndef CONVPAIRS_GRAPH_IO_SNAPSHOT_IO_H_
+#define CONVPAIRS_GRAPH_IO_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/codec/adjacency_view.h"
+#include "graph/graph.h"
+#include "graph/io/mapped_file.h"
+#include "graph/io/snapshot_format.h"
+#include "util/status.h"
+
+namespace convpairs {
+
+/// Encodes `g` with `codec_id` (NopDecompressor::kCodecId or
+/// VarintDecompressor::kCodecId) and writes it to `path`. Version-1 .cps is
+/// unweighted-only: weighted graphs are rejected with InvalidArgument
+/// (version 2 reserves a weights section).
+Status WriteCpsSnapshot(const Graph& g, const std::string& path,
+                        uint32_t codec_id);
+
+/// An opened, validated, memory-mapped snapshot. Move-only; views returned
+/// by NopView()/VarintView() borrow the mapping and must not outlive it.
+class CpsSnapshot {
+ public:
+  /// Load-time facts for logs, STATS replies, and BENCH_snapshot_load.
+  struct LoadInfo {
+    double load_ms = 0.0;          // mmap + validate wall time
+    uint64_t resident_bytes = 0;   // mapped offsets + payload bytes
+    uint64_t raw_adjacency_bytes = 0;  // u32 neighbor ids alone (codec raw)
+    /// What a RAM Graph keeps resident for the same adjacency: size_t
+    /// offsets + u32 ids + the f32 unit weights Graph materializes even
+    /// for unweighted input. The honest before/after residency baseline.
+    uint64_t csr_resident_bytes = 0;
+    int64_t ratio_x1000 = 1000;    // raw_adjacency / payload, x1000
+    int64_t resident_ratio_x1000 = 1000;  // csr_resident / resident, x1000
+  };
+
+  static StatusOr<CpsSnapshot> Open(const std::string& path);
+
+  NodeId num_nodes() const { return header_.num_nodes; }
+  uint64_t num_directed_edges() const { return header_.num_directed_edges; }
+  uint32_t codec_id() const { return header_.codec_id; }
+  const char* codec_name() const;
+  const LoadInfo& info() const { return info_; }
+
+  /// Typed adjacency views over the mapping. CHECK-fails on codec
+  /// mismatch; call codec_id() first when the codec is data-dependent.
+  NopAdjacency NopView() const;
+  VarintAdjacency VarintView() const;
+
+  /// Decodes the snapshot into an in-RAM CSR Graph (needed by consumers of
+  /// Graph-only APIs: TOPK precompute, validation reports, the CLI
+  /// pipeline). Records graph.codec.decode_* telemetry.
+  Graph ToGraph() const;
+
+ private:
+  CpsSnapshot() = default;
+
+  MappedFile file_;
+  CpsHeader header_;
+  const uint32_t* offsets_ = nullptr;  // n + 1 entries, inside the mapping
+  const uint8_t* payload_ = nullptr;
+  LoadInfo info_;
+};
+
+}  // namespace convpairs
+
+#endif  // CONVPAIRS_GRAPH_IO_SNAPSHOT_IO_H_

@@ -5,6 +5,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/registry.h"
+#include "server/snapshots.h"
 #include "sssp/batch_service.h"
 #include "util/check.h"
 
@@ -39,16 +40,33 @@ struct BatcherMetrics {
 
 }  // namespace
 
+DistanceBatcher::DistanceBatcher(const ServingSnapshots& snapshots)
+    : DistanceBatcher(snapshots, Options()) {}
+
+DistanceBatcher::DistanceBatcher(const ServingSnapshots& snapshots,
+                                 Options options)
+    : options_(options), snapshots_(&snapshots) {
+  CONVPAIRS_CHECK(options_.max_lanes >= 1);
+  CONVPAIRS_CHECK(options_.window_us >= 0);
+  lanes_[0].snapshot = 1;
+  lanes_[1].snapshot = 2;
+  for (Lane& lane : lanes_) {
+    lane.dispatcher = std::thread([this, &lane] { DispatcherLoop(lane); });
+  }
+}
+
 DistanceBatcher::DistanceBatcher(const Graph& g1, const Graph& g2)
     : DistanceBatcher(g1, g2, Options()) {}
 
 DistanceBatcher::DistanceBatcher(const Graph& g1, const Graph& g2,
                                  Options options)
-    : options_(options) {
+    : options_(options),
+      owned_snapshots_(std::make_unique<ServingSnapshots>(g1, g2)),
+      snapshots_(owned_snapshots_.get()) {
   CONVPAIRS_CHECK(options_.max_lanes >= 1);
   CONVPAIRS_CHECK(options_.window_us >= 0);
-  lanes_[0].graph = &g1;
-  lanes_[1].graph = &g2;
+  lanes_[0].snapshot = 1;
+  lanes_[1].snapshot = 2;
   for (Lane& lane : lanes_) {
     lane.dispatcher = std::thread([this, &lane] { DispatcherLoop(lane); });
   }
@@ -83,8 +101,10 @@ std::future<Dist> DistanceBatcher::Submit(int snapshot, NodeId s, NodeId t) {
 
 void DistanceBatcher::DispatcherLoop(Lane& lane) {
   // The MS-BFS workspace lives on the dispatcher thread: one per snapshot,
-  // reused across every flush.
-  BatchDistanceService service(*lane.graph);
+  // reused across every flush. ServingSnapshots picks the concrete resolver
+  // (CSR or decode-aware compressed traversal) for this lane's snapshot.
+  std::unique_ptr<DistanceResolver> service =
+      snapshots_->MakeResolver(lane.snapshot);
 
   std::unique_lock<std::mutex> lock(lane.mu);
   while (true) {
@@ -115,16 +135,16 @@ void DistanceBatcher::DispatcherLoop(Lane& lane) {
       for (PendingQuery& query : batch) {
         std::vector<PendingQuery> single;
         single.push_back(std::move(query));
-        ResolveBatch(service, std::move(single), cause);
+        ResolveBatch(*service, std::move(single), cause);
       }
     } else {
-      ResolveBatch(service, std::move(batch), cause);
+      ResolveBatch(*service, std::move(batch), cause);
     }
     lock.lock();
   }
 }
 
-void DistanceBatcher::ResolveBatch(BatchDistanceService& service,
+void DistanceBatcher::ResolveBatch(DistanceResolver& service,
                                    std::vector<PendingQuery> batch,
                                    const char* cause) {
   std::vector<NodeId> sources;

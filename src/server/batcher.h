@@ -9,7 +9,9 @@
 // still completes within the window via the direction-optimizing fallback.
 //
 // Structure: one dispatcher thread per snapshot (the two snapshots' queues
-// never block each other), each owning its BatchDistanceService workspace.
+// never block each other), each owning its resolver workspace — built by
+// ServingSnapshots::MakeResolver, so the same scheduler serves RAM CSR
+// Graphs and mmap'd compressed .cps snapshots without caring which.
 // Submit() never blocks on graph work — it enqueues and returns a
 // std::future the session awaits, which is what lets one session pipeline
 // dozens of queries into a single scan.
@@ -30,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -39,10 +42,12 @@
 #include "sssp/bfs_engine.h"
 
 namespace convpairs {
-class BatchDistanceService;
+class DistanceResolver;
 }
 
 namespace convpairs::server {
+
+class ServingSnapshots;
 
 class DistanceBatcher {
  public:
@@ -59,10 +64,15 @@ class DistanceBatcher {
     bool scan_per_query = false;
   };
 
-  /// `g1`/`g2` must outlive the batcher and share one id space. (Two
-  /// overloads instead of a defaulted argument: GCC cannot evaluate a
-  /// nested class's default member initializers inside the enclosing
-  /// class's default arguments.)
+  /// `snapshots` must outlive the batcher. (Two overloads instead of a
+  /// defaulted argument: GCC cannot evaluate a nested class's default
+  /// member initializers inside the enclosing class's default arguments.)
+  explicit DistanceBatcher(const ServingSnapshots& snapshots);
+  DistanceBatcher(const ServingSnapshots& snapshots, Options options);
+
+  /// Historical interface: serve two in-RAM Graphs (the batcher owns the
+  /// borrow-mode ServingSnapshots wrapper). `g1`/`g2` must outlive the
+  /// batcher and share one id space.
   DistanceBatcher(const Graph& g1, const Graph& g2);
   DistanceBatcher(const Graph& g1, const Graph& g2, Options options);
 
@@ -92,7 +102,7 @@ class DistanceBatcher {
 
   /// One snapshot's accumulation queue + dispatcher state.
   struct Lane {
-    const Graph* graph = nullptr;
+    int snapshot = 0;  // Protocol numbering: 1 or 2.
     std::mutex mu;
     std::condition_variable cv;
     std::vector<PendingQuery> pending;
@@ -103,10 +113,14 @@ class DistanceBatcher {
   };
 
   void DispatcherLoop(Lane& lane);
-  void ResolveBatch(BatchDistanceService& service,
+  void ResolveBatch(DistanceResolver& service,
                     std::vector<PendingQuery> batch, const char* cause);
 
   Options options_;
+  /// Set only by the historical (Graph, Graph) constructors; snapshots_
+  /// points at it then. Declared before snapshots_ so it outlives the use.
+  std::unique_ptr<ServingSnapshots> owned_snapshots_;
+  const ServingSnapshots* snapshots_ = nullptr;
   Lane lanes_[2];
   bool stopped_ = false;  // Guarded by stop_mu_.
   std::mutex stop_mu_;

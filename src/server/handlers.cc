@@ -1,6 +1,7 @@
 #include "server/handlers.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -13,9 +14,9 @@
 
 namespace convpairs::server {
 
-RequestHandlers::RequestHandlers(const Graph& g1, const Graph& g2,
+RequestHandlers::RequestHandlers(const ServingSnapshots& snapshots,
                                  DistanceBatcher& batcher, TopKConfig config)
-    : g1_(g1), g2_(g2), batcher_(batcher), config_(std::move(config)) {}
+    : snapshots_(snapshots), batcher_(batcher), config_(std::move(config)) {}
 
 bool RequestHandlers::EnsureTopK(std::string* error) {
   // topk_mu_ stays held for the whole computation: concurrent first TOPK
@@ -41,8 +42,11 @@ bool RequestHandlers::EnsureTopK(std::string* error) {
   options.budget_m = config_.budget_m;
   options.num_landmarks = config_.num_landmarks;
   options.seed = config_.seed;
+  // TOPK runs Algorithm 1 through the Graph-only BfsEngine API; .cps-backed
+  // servers materialize RAM CSR lazily here, on the first TOPK request.
   const BfsEngine engine;
-  topk_ = FindTopKConvergingPairs(g1_, g2_, engine, **selector, options);
+  topk_ = FindTopKConvergingPairs(snapshots_.graph(1), snapshots_.graph(2),
+                                  engine, **selector, options);
   LOG_INFO << "topk cache ready: selector=" << config_.selector
            << " budget_m=" << config_.budget_m
            << " pairs=" << topk_.pairs.size()
@@ -73,13 +77,13 @@ std::string RequestHandlers::HandleCand(NodeId v, int64_t budget) {
   // Per-request budget: a CAND request pays for its own rows and cannot
   // starve other clients beyond the work it was granted.
   SsspBudget request_budget(budget);
-  BatchDistanceService service1(g1_);
-  BatchDistanceService service2(g2_);
+  std::unique_ptr<DistanceResolver> service1 = snapshots_.MakeResolver(1);
+  std::unique_ptr<DistanceResolver> service2 = snapshots_.MakeResolver(2);
   std::vector<Dist> row1;
   std::vector<Dist> row2;
-  Status s1 = service1.ResolveRow(v, &row1, &request_budget);
+  Status s1 = service1->ResolveRow(v, &row1, &request_budget);
   if (!s1.ok()) return ErrReply("budget", s1.message());
-  Status s2 = service2.ResolveRow(v, &row2, &request_budget);
+  Status s2 = service2->ResolveRow(v, &row2, &request_budget);
   if (!s2.ok()) return ErrReply("budget", s2.message());
 
   // Partners u with delta = d1 - d2 > 0: pairs (v, u) whose distance shrank
@@ -131,6 +135,14 @@ std::string RequestHandlers::HandleStats() const {
   reply += " connections=";
   reply +=
       std::to_string(registry.GetGauge("server.connections").value());
+  // Snapshot residency facts (satellite of the .cps loader): what backs the
+  // serving graphs, how many bytes stay resident, and what loading cost.
+  const ServingSnapshots::LoadStats& load = snapshots_.load_stats();
+  reply += " snapshot_source=" + load.source;
+  reply += " snapshot_codec=" + load.codec;
+  reply += " snapshot_resident_bytes=" + std::to_string(load.resident_bytes);
+  reply += " snapshot_ratio_x1000=" + std::to_string(load.ratio_x1000);
+  reply += " snapshot_load_ms=" + std::to_string(load.load_ms);
   return reply;
 }
 

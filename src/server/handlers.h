@@ -29,6 +29,7 @@
 #include "graph/graph.h"
 #include "server/batcher.h"
 #include "server/protocol.h"
+#include "server/snapshots.h"
 
 namespace convpairs::server {
 
@@ -45,9 +46,9 @@ struct TopKConfig {
 
 class RequestHandlers {
  public:
-  /// `g1`/`g2` must outlive the handlers and share one id space.
-  RequestHandlers(const Graph& g1, const Graph& g2,
-                  DistanceBatcher& batcher, TopKConfig config);
+  /// `snapshots` and `batcher` must outlive the handlers.
+  RequestHandlers(const ServingSnapshots& snapshots, DistanceBatcher& batcher,
+                  TopKConfig config);
 
   RequestHandlers(const RequestHandlers&) = delete;
   RequestHandlers& operator=(const RequestHandlers&) = delete;
@@ -59,11 +60,11 @@ class RequestHandlers {
   /// SsspBudget (2 in the current implementation: v's row per snapshot).
   std::string HandleCand(NodeId v, int64_t budget);
 
-  /// Thread-safe; reads registry counters.
+  /// Thread-safe; reads registry counters and the snapshot load stats.
   std::string HandleStats() const;
 
-  const Graph& g1() const { return g1_; }
-  const Graph& g2() const { return g2_; }
+  NodeId num_nodes() const { return snapshots_.num_nodes(); }
+  const ServingSnapshots& snapshots() const { return snapshots_; }
   DistanceBatcher& batcher() { return batcher_; }
 
  private:
@@ -71,8 +72,7 @@ class RequestHandlers {
   /// `error` set to a reply line) when the configured selector is invalid.
   bool EnsureTopK(std::string* error);
 
-  const Graph& g1_;
-  const Graph& g2_;
+  const ServingSnapshots& snapshots_;
   DistanceBatcher& batcher_;
   TopKConfig config_;
 

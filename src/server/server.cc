@@ -15,11 +15,15 @@ ConvpairsServer::ConvpairsServer(const Graph& g1, const Graph& g2)
 
 ConvpairsServer::ConvpairsServer(const Graph& g1, const Graph& g2,
                                  Options options)
-    : g1_(g1),
-      g2_(g2),
+    : ConvpairsServer(std::make_unique<ServingSnapshots>(g1, g2),
+                      std::move(options)) {}
+
+ConvpairsServer::ConvpairsServer(std::unique_ptr<ServingSnapshots> snapshots,
+                                 Options options)
+    : snapshots_(std::move(snapshots)),
       options_(std::move(options)),
-      batcher_(g1, g2, options_.batcher),
-      handlers_(g1, g2, batcher_, options_.topk) {}
+      batcher_(*snapshots_, options_.batcher),
+      handlers_(*snapshots_, batcher_, options_.topk) {}
 
 ConvpairsServer::~ConvpairsServer() { Stop(); }
 
@@ -29,8 +33,13 @@ Status ConvpairsServer::Start() {
   listener_ = std::move(*listener);
   port_ = listener_.port();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  const ServingSnapshots::LoadStats& load = snapshots_->load_stats();
   LOG_INFO << "convpairs_server listening on 127.0.0.1:" << port_
-           << " (nodes=" << g1_.num_nodes() << ")";
+           << " (nodes=" << snapshots_->num_nodes()
+           << " source=" << load.source << " codec=" << load.codec
+           << " resident_bytes=" << load.resident_bytes
+           << " ratio_x1000=" << load.ratio_x1000
+           << " load_ms=" << load.load_ms << ")";
   return Status::OK();
 }
 

@@ -35,6 +35,7 @@
 #include "graph/graph.h"
 #include "server/batcher.h"
 #include "server/handlers.h"
+#include "server/snapshots.h"
 #include "server/socket.h"
 #include "util/status.h"
 
@@ -53,6 +54,11 @@ class ConvpairsServer {
   /// instead of a defaulted Options argument — see batcher.h.)
   ConvpairsServer(const Graph& g1, const Graph& g2);
   ConvpairsServer(const Graph& g1, const Graph& g2, Options options);
+
+  /// Serve an owned snapshot pair — typically mmap'd .cps files from
+  /// ServingSnapshots::Open, so startup cost is validation, not parsing.
+  ConvpairsServer(std::unique_ptr<ServingSnapshots> snapshots,
+                  Options options);
 
   /// Equivalent to Stop().
   ~ConvpairsServer();
@@ -91,8 +97,10 @@ class ConvpairsServer {
   /// only sessions that already finished (cheap, never blocks on a client).
   void ReapSessions(bool all);
 
-  const Graph& g1_;
-  const Graph& g2_;
+  /// Always non-null: the Graph constructors wrap their arguments in a
+  /// borrow-mode ServingSnapshots. Declared before the batcher/handlers
+  /// that reference it.
+  std::unique_ptr<ServingSnapshots> snapshots_;
   Options options_;
   DistanceBatcher batcher_;
   RequestHandlers handlers_;

@@ -76,7 +76,7 @@ PendingReply DispatchLine(std::string_view line, RequestHandlers& handlers) {
   reply.t0_ns = obs::TraceNowNanos();
   Request request;
   std::string err;
-  if (!ParseRequest(line, handlers.g1().num_nodes(), &request, &err)) {
+  if (!ParseRequest(line, handlers.num_nodes(), &request, &err)) {
     reply.text = std::move(err);
     return reply;
   }

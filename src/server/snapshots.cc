@@ -1,0 +1,103 @@
+#include "server/snapshots.h"
+
+#include <utility>
+
+#include "graph/codec/adjacency_view.h"
+#include "graph/codec/decompressor.h"
+#include "util/check.h"
+
+namespace convpairs::server {
+namespace {
+
+int LaneIndex(int snapshot) {
+  CONVPAIRS_CHECK(snapshot == 1 || snapshot == 2);
+  return snapshot - 1;
+}
+
+/// Resident adjacency footprint of a RAM CSR Graph: size_t offsets, u32
+/// neighbor ids, and the f32 unit weights Graph materializes even for
+/// unweighted input. Used on both sides of the ratio so ram mode reports
+/// 1.0 by construction.
+uint64_t CsrResidentBytes(const Graph& g) {
+  return sizeof(size_t) * (static_cast<uint64_t>(g.num_nodes()) + 1) +
+         (sizeof(NodeId) + sizeof(float)) * g.adjacency().size();
+}
+
+}  // namespace
+
+ServingSnapshots::ServingSnapshots(const Graph& g1, const Graph& g2) {
+  CONVPAIRS_CHECK_EQ(g1.num_nodes(), g2.num_nodes());
+  borrowed_[0] = &g1;
+  borrowed_[1] = &g2;
+  num_nodes_ = g1.num_nodes();
+  stats_.source = "ram";
+  stats_.codec = "csr";
+  stats_.csr_resident_bytes = CsrResidentBytes(g1) + CsrResidentBytes(g2);
+  stats_.resident_bytes = stats_.csr_resident_bytes;
+  stats_.ratio_x1000 = 1000;
+}
+
+StatusOr<std::unique_ptr<ServingSnapshots>> ServingSnapshots::Open(
+    const std::string& path1, const std::string& path2) {
+  auto snapshots = std::unique_ptr<ServingSnapshots>(new ServingSnapshots());
+  const std::string* paths[2] = {&path1, &path2};
+  for (int i = 0; i < 2; ++i) {
+    auto snap = CpsSnapshot::Open(*paths[i]);
+    if (!snap.ok()) return snap.status();
+    snapshots->cps_[i].emplace(std::move(*snap));
+  }
+  const CpsSnapshot& s1 = *snapshots->cps_[0];
+  const CpsSnapshot& s2 = *snapshots->cps_[1];
+  if (s1.num_nodes() != s2.num_nodes()) {
+    return Status::InvalidArgument(
+        "snapshot pair disagrees on num_nodes: " + path1 + " has " +
+        std::to_string(s1.num_nodes()) + ", " + path2 + " has " +
+        std::to_string(s2.num_nodes()));
+  }
+  snapshots->num_nodes_ = s1.num_nodes();
+
+  LoadStats& stats = snapshots->stats_;
+  stats.source = "cps";
+  stats.codec = s1.codec_id() == s2.codec_id()
+                    ? std::string(s1.codec_name())
+                    : std::string("mixed");
+  double load_ms = 0.0;
+  for (const auto& snap : snapshots->cps_) {
+    load_ms += snap->info().load_ms;
+    stats.resident_bytes += snap->info().resident_bytes;
+    stats.csr_resident_bytes += snap->info().csr_resident_bytes;
+  }
+  stats.load_ms = static_cast<int64_t>(load_ms + 0.5);
+  stats.ratio_x1000 =
+      stats.resident_bytes == 0
+          ? 1000
+          : static_cast<int64_t>(stats.csr_resident_bytes * 1000 /
+                                 stats.resident_bytes);
+  return snapshots;
+}
+
+std::unique_ptr<DistanceResolver> ServingSnapshots::MakeResolver(
+    int snapshot) const {
+  const int i = LaneIndex(snapshot);
+  if (borrowed_[i] != nullptr) {
+    return std::make_unique<BatchDistanceService>(*borrowed_[i]);
+  }
+  const CpsSnapshot& snap = *cps_[i];
+  if (snap.codec_id() == VarintDecompressor::kCodecId) {
+    return std::make_unique<VarintBatchDistanceService>(snap.VarintView());
+  }
+  CONVPAIRS_CHECK_EQ(snap.codec_id(), NopDecompressor::kCodecId);
+  return std::make_unique<NopBatchDistanceService>(snap.NopView());
+}
+
+const Graph& ServingSnapshots::graph(int snapshot) const {
+  const int i = LaneIndex(snapshot);
+  if (borrowed_[i] != nullptr) return *borrowed_[i];
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  if (decoded_[i] == nullptr) {
+    decoded_[i] = std::make_unique<Graph>(cps_[i]->ToGraph());
+  }
+  return *decoded_[i];
+}
+
+}  // namespace convpairs::server

@@ -1,0 +1,99 @@
+// ServingSnapshots: the server's view of one snapshot pair, whatever its
+// storage form.
+//
+// The serving stack (batcher dispatchers, CAND handler, TOPK precompute)
+// historically took two `const Graph&` — which forced every deployment to
+// parse text edge lists into RAM-resident CSR before the first query.
+// ServingSnapshots erases the storage choice behind three operations:
+//
+//   MakeResolver(snapshot) — a fresh DistanceResolver whose traversal runs
+//       directly over the snapshot's native representation: plain CSR for
+//       borrowed Graphs, decode-aware MS-BFS over the mmap'd payload for
+//       .cps files. Resolvers own per-thread scratch; callers make one per
+//       dispatcher thread and never share them.
+//   graph(snapshot)       — a RAM CSR Graph for consumers of Graph-only
+//       APIs (TOPK runs Algorithm 1 through BfsEngine). Borrow mode
+//       returns the caller's Graph; .cps mode decodes lazily on first use
+//       and caches, so a server that never receives TOPK never pays the
+//       decode.
+//   load_stats()          — what loading cost and what stays resident, for
+//       the startup log and the STATS verb.
+//
+// Both snapshots must share one node-id space (equal num_nodes); Open()
+// rejects mismatched pairs. Immutable after construction except the lazy
+// graph cache (mutex-guarded), so sessions and dispatchers share one
+// instance freely.
+
+#ifndef CONVPAIRS_SERVER_SNAPSHOTS_H_
+#define CONVPAIRS_SERVER_SNAPSHOTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/io/snapshot_io.h"
+#include "sssp/batch_service.h"
+#include "util/status.h"
+
+namespace convpairs::server {
+
+class ServingSnapshots {
+ public:
+  /// Aggregate load-time facts across both snapshots. The ratio compares
+  /// against what serving from RAM CSR Graphs keeps resident (size_t
+  /// offsets + u32 ids + the unit weights Graph always materializes), so
+  /// ram mode reports 1.0 by construction and cps mode reports the real
+  /// residency reduction.
+  struct LoadStats {
+    std::string source = "ram";  // "ram" (borrowed Graphs) or "cps" (mmap)
+    std::string codec = "csr";   // codec name; "mixed" if the pair differs
+    int64_t load_ms = 0;         // mmap + validate wall time, both files
+    uint64_t resident_bytes = 0;      // adjacency bytes actually resident
+    uint64_t csr_resident_bytes = 0;  // RAM-CSR-Graph equivalent
+    int64_t ratio_x1000 = 1000;       // csr_resident / resident, x1000
+  };
+
+  /// Borrow mode: serve two in-RAM Graphs (the historical interface).
+  /// `g1`/`g2` must outlive this object and share one id space.
+  ServingSnapshots(const Graph& g1, const Graph& g2);
+
+  /// Owned mode: mmap-open a validated .cps pair. Fails with the loader's
+  /// structured Status on any malformed file, and with InvalidArgument
+  /// when the two snapshots disagree on num_nodes.
+  static StatusOr<std::unique_ptr<ServingSnapshots>> Open(
+      const std::string& path1, const std::string& path2);
+
+  ServingSnapshots(const ServingSnapshots&) = delete;
+  ServingSnapshots& operator=(const ServingSnapshots&) = delete;
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Fresh resolver over snapshot 1 or 2 (the Submit()/protocol numbering).
+  /// Not thread-safe to share; cheap to make (scratch allocates lazily).
+  std::unique_ptr<DistanceResolver> MakeResolver(int snapshot) const;
+
+  /// RAM CSR view of snapshot 1 or 2. Thread-safe; .cps mode decodes on
+  /// first call and caches for the object's lifetime.
+  const Graph& graph(int snapshot) const;
+
+  const LoadStats& load_stats() const { return stats_; }
+
+ private:
+  ServingSnapshots() = default;
+
+  const Graph* borrowed_[2] = {nullptr, nullptr};
+  std::optional<CpsSnapshot> cps_[2];
+
+  mutable std::mutex graph_mu_;
+  mutable std::unique_ptr<Graph> decoded_[2];  // Guarded by graph_mu_.
+
+  NodeId num_nodes_ = 0;
+  LoadStats stats_;
+};
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_SNAPSHOTS_H_

@@ -33,19 +33,21 @@ struct BatchServiceMetrics {
 
 }  // namespace
 
-BatchDistanceService::BatchDistanceService(const Graph& g)
-    : graph_(g), ms_runner_(g), diropt_runner_(g) {}
+template <typename Adj>
+BasicBatchDistanceService<Adj>::BasicBatchDistanceService(Adj adj)
+    : adj_(adj), ms_runner_(adj), diropt_runner_(adj) {}
 
-Status BatchDistanceService::Resolve(std::span<const NodeId> sources,
-                                     std::span<const NodeId> targets,
-                                     std::span<Dist> out,
-                                     SsspBudget* budget) {
+template <typename Adj>
+Status BasicBatchDistanceService<Adj>::Resolve(std::span<const NodeId> sources,
+                                               std::span<const NodeId> targets,
+                                               std::span<Dist> out,
+                                               SsspBudget* budget) {
   if (sources.size() != targets.size() || sources.size() != out.size()) {
     return Status::InvalidArgument(
         "batch service: sources/targets/out sizes differ");
   }
   if (sources.empty()) return Status::OK();
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = adj_.num_nodes();
   for (size_t i = 0; i < sources.size(); ++i) {
     if (sources[i] >= n || targets[i] >= n) {
       return Status::OutOfRange("batch service: node id out of range");
@@ -116,9 +118,11 @@ Status BatchDistanceService::Resolve(std::span<const NodeId> sources,
   return Status::OK();
 }
 
-Status BatchDistanceService::ResolveRow(NodeId src, std::vector<Dist>* row,
-                                        SsspBudget* budget) {
-  if (src >= graph_.num_nodes()) {
+template <typename Adj>
+Status BasicBatchDistanceService<Adj>::ResolveRow(NodeId src,
+                                                  std::vector<Dist>* row,
+                                                  SsspBudget* budget) {
+  if (src >= adj_.num_nodes()) {
     return Status::OutOfRange("batch service: node id out of range");
   }
   if (budget != nullptr && budget->remaining() < 1) {
@@ -133,5 +137,9 @@ Status BatchDistanceService::ResolveRow(NodeId src, std::vector<Dist>* row,
   metrics.lane_occupancy.Observe(1.0);
   return Status::OK();
 }
+
+template class BasicBatchDistanceService<CsrAdjacency>;
+template class BasicBatchDistanceService<NopAdjacency>;
+template class BasicBatchDistanceService<VarintAdjacency>;
 
 }  // namespace convpairs

@@ -4,15 +4,20 @@
 // "distance from s to t" questions against one immutable snapshot. Answering
 // each with its own BFS costs a full graph scan per query; MS-BFS already
 // knows how to advance 64 searches in one scan (sssp/bfs_engine.h).
-// BatchDistanceService is the seam between the two: callers submit a batch
-// of (source, target) queries, the service dedupes sources into MS-BFS lanes
-// (so 64 queries about one hub cost one lane, not 64), runs
-// ceil(unique/64) goal-directed scans (MsBfsRunner::RunForQueries — no
-// distance rows are materialized and each scan stops at its farthest queried
-// target), and hands back one hop distance per query. A batch that collapses
-// to a single unique source skips MS-BFS entirely and runs
-// direction-optimizing BFS — cheaper constants when there is nothing to
-// share.
+// BasicBatchDistanceService is the seam between the two: callers submit a
+// batch of (source, target) queries, the service dedupes sources into
+// MS-BFS lanes (so 64 queries about one hub cost one lane, not 64), runs
+// ceil(unique/64) goal-directed scans (RunForQueries — no distance rows are
+// materialized and each scan stops at its farthest queried target), and
+// hands back one hop distance per query. A batch that collapses to a single
+// unique source skips MS-BFS entirely and runs direction-optimizing BFS —
+// cheaper constants when there is nothing to share.
+//
+// Like the engines it wraps, the service is templated over the adjacency
+// view, so the same resolver runs against an in-RAM CSR Graph or a
+// compressed / mmap-loaded .cps snapshot. The DistanceResolver interface
+// erases that choice for the serving batcher, which only dispatches whole
+// batches — one virtual call per batch, never per query or per edge.
 //
 // Cost accounting follows the paper's budget unit: one SSSP per *unique*
 // source, charged to the optional SsspBudget before any traversal runs, so
@@ -28,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/codec/adjacency_view.h"
 #include "graph/graph.h"
 #include "sssp/bfs_engine.h"
 #include "sssp/budget.h"
@@ -35,42 +41,77 @@
 
 namespace convpairs {
 
-/// Reusable-workspace batched distance resolver over one snapshot. Not
-/// thread-safe: the server owns one instance per dispatcher thread.
-class BatchDistanceService {
+/// Snapshot-representation-erasing interface to a batched distance
+/// resolver. The serving batcher holds one per dispatcher thread through
+/// this interface; concrete instances come from
+/// server::ServingSnapshots::MakeResolver.
+class DistanceResolver {
  public:
-  explicit BatchDistanceService(const Graph& g);
+  virtual ~DistanceResolver() = default;
 
   /// Resolves out[i] = hop distance from sources[i] to targets[i]
   /// (kInfDist when unreachable), bit-for-bit what BfsDistances produces.
   /// `sources`, `targets` and `out` must have equal length; every id must
-  /// be < g.num_nodes(). Charges `budget` one unit per unique source before
-  /// traversing (InvalidArgument / FailedPrecondition on bad input or
-  /// insufficient budget; on error nothing is charged and `out` is
-  /// untouched).
+  /// be < num_nodes(). Charges `budget` one unit per unique source before
+  /// traversing (InvalidArgument / OutOfRange / FailedPrecondition on bad
+  /// input or insufficient budget; on error nothing is charged and `out`
+  /// is untouched).
+  [[nodiscard]] virtual Status Resolve(std::span<const NodeId> sources,
+                                       std::span<const NodeId> targets,
+                                       std::span<Dist> out,
+                                       SsspBudget* budget = nullptr) = 0;
+
+  /// Resolves the full distance row from `src` into `row` (resized to
+  /// num_nodes()), charging one unit. The CAND handler uses this: it needs
+  /// every distance from one vertex, not point lookups.
+  [[nodiscard]] virtual Status ResolveRow(NodeId src, std::vector<Dist>* row,
+                                          SsspBudget* budget = nullptr) = 0;
+
+  virtual NodeId num_nodes() const = 0;
+};
+
+/// Reusable-workspace batched distance resolver over one snapshot view. Not
+/// thread-safe: the server owns one instance per dispatcher thread.
+template <typename Adj>
+class BasicBatchDistanceService : public DistanceResolver {
+ public:
+  explicit BasicBatchDistanceService(Adj adj);
+
   [[nodiscard]] Status Resolve(std::span<const NodeId> sources,
                                std::span<const NodeId> targets,
                                std::span<Dist> out,
-                               SsspBudget* budget = nullptr);
+                               SsspBudget* budget = nullptr) override;
 
-  /// Resolves the full distance row from `src` into `row` (resized to
-  /// g.num_nodes()), charging one unit. The CAND handler uses this: it
-  /// needs every distance from one vertex, not point lookups.
   [[nodiscard]] Status ResolveRow(NodeId src, std::vector<Dist>* row,
-                                  SsspBudget* budget = nullptr);
+                                  SsspBudget* budget = nullptr) override;
 
-  const Graph& graph() const { return graph_; }
+  NodeId num_nodes() const override { return adj_.num_nodes(); }
 
  private:
-  const Graph& graph_;
-  MsBfsRunner ms_runner_;
-  DirOptBfsRunner diropt_runner_;
+  Adj adj_;
+  BasicMsBfsRunner<Adj> ms_runner_;
+  BasicDirOptBfsRunner<Adj> diropt_runner_;
   std::vector<NodeId> unique_sources_;  // Scratch: dedup order per batch.
   std::vector<uint32_t> query_lane_;    // Scratch: query -> unique index.
-  std::vector<MsBfsRunner::PointQuery> chunk_queries_;  // Scratch per scan.
+  std::vector<MsBfsPointQuery> chunk_queries_;  // Scratch per scan.
   std::vector<uint32_t> chunk_index_;   // Scratch: chunk query -> batch query.
   std::vector<Dist> chunk_out_;         // Scratch: distances per scan.
 };
+
+/// Batched distance resolution over a Graph's CSR (the historical
+/// interface; tests and benches construct this directly).
+class BatchDistanceService : public BasicBatchDistanceService<CsrAdjacency> {
+ public:
+  explicit BatchDistanceService(const Graph& g)
+      : BasicBatchDistanceService(CsrAdjacency(g)) {}
+};
+
+using NopBatchDistanceService = BasicBatchDistanceService<NopAdjacency>;
+using VarintBatchDistanceService = BasicBatchDistanceService<VarintAdjacency>;
+
+extern template class BasicBatchDistanceService<CsrAdjacency>;
+extern template class BasicBatchDistanceService<NopAdjacency>;
+extern template class BasicBatchDistanceService<VarintAdjacency>;
 
 }  // namespace convpairs
 

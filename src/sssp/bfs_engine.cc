@@ -53,16 +53,19 @@ inline void SetBit(std::vector<uint64_t>& bits, NodeId u) {
 
 }  // namespace
 
-DirOptBfsRunner::DirOptBfsRunner(const Graph& g, DirOptParams params)
-    : graph_(g), params_(params) {
-  dist_.reserve(g.num_nodes());
-  frontier_.reserve(g.num_nodes());
-  next_.reserve(g.num_nodes());
+template <typename Adj>
+BasicDirOptBfsRunner<Adj>::BasicDirOptBfsRunner(Adj adj, DirOptParams params)
+    : adj_(adj), params_(params) {
+  dist_.reserve(adj_.num_nodes());
+  frontier_.reserve(adj_.num_nodes());
+  next_.reserve(adj_.num_nodes());
 }
 
-const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
+template <typename Adj>
+const std::vector<Dist>& BasicDirOptBfsRunner<Adj>::Run(NodeId src,
+                                                        SsspBudget* budget) {
   if (budget != nullptr) CONVPAIRS_CHECK_OK(budget->Charge());
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = adj_.num_nodes();
   CONVPAIRS_CHECK_LT(src, n);
   const size_t words = (static_cast<size_t>(n) + 63) / 64;
 
@@ -73,8 +76,8 @@ const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
 
   // Directed-edge budget for the alpha heuristic; getting it slightly wrong
   // only shifts the switch point, never the distances.
-  uint64_t edges_unexplored = 2 * static_cast<uint64_t>(graph_.num_edges());
-  uint64_t frontier_edges = graph_.degree(src);
+  uint64_t edges_unexplored = adj_.num_directed_edges();
+  uint64_t frontier_edges = adj_.degree(src);
   size_t frontier_count = 1;
   Mode mode = Mode::kTopDown;
   Dist level = 0;
@@ -87,8 +90,10 @@ const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
     const uint64_t level_frontier = frontier_count;
     // Pick the cheaper sweep direction for this level.
     if (mode == Mode::kTopDown) {
+      // Decode-aware alpha: expensive-decode views scale the bottom-up
+      // side's apparent cost (see Adj::kDecodeCostFactor).
       if (static_cast<double>(frontier_edges) * params_.alpha >
-          static_cast<double>(edges_unexplored)) {
+          static_cast<double>(edges_unexplored) * Adj::kDecodeCostFactor) {
         frontier_bits_.assign(words, 0);
         for (NodeId u : frontier_) SetBit(frontier_bits_, u);
         mode = Mode::kBottomUp;
@@ -126,13 +131,13 @@ const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
       ++topdown_steps;
       next_.clear();
       for (NodeId u : frontier_) {
-        for (NodeId v : graph_.neighbors(u)) {
+        adj_.ForEachNeighbor(u, cursor_, [&](NodeId v) {
           if (dist_[v] == kInfDist) {
             dist_[v] = level;
             next_.push_back(v);
-            next_edges += graph_.degree(v);
+            next_edges += adj_.degree(v);
           }
-        }
+        });
       }
       next_count = next_.size();
       frontier_.swap(next_);
@@ -141,15 +146,16 @@ const std::vector<Dist>& DirOptBfsRunner::Run(NodeId src, SsspBudget* budget) {
       next_bits_.assign(words, 0);
       for (NodeId v = 0; v < n; ++v) {
         if (dist_[v] != kInfDist) continue;
-        for (NodeId u : graph_.neighbors(v)) {
+        adj_.VisitNeighborsUntil(v, cursor_, [&](NodeId u) {
           if (TestBit(frontier_bits_, u)) {
             dist_[v] = level;
             SetBit(next_bits_, v);
             ++next_count;
-            next_edges += graph_.degree(v);
-            break;
+            next_edges += adj_.degree(v);
+            return false;  // settled: stop decoding v's list
           }
-        }
+          return true;
+        });
       }
       frontier_bits_.swap(next_bits_);
     }
@@ -255,15 +261,17 @@ BoundedRunStats ThresholdBoundedBfsRunner::Run(NodeId src,
   return stats;
 }
 
-MsBfsRunner::MsBfsRunner(const Graph& g) : graph_(g) {
-  seen_.reserve(g.num_nodes());
-  frontier_.reserve(g.num_nodes());
-  next_.reserve(g.num_nodes());
+template <typename Adj>
+BasicMsBfsRunner<Adj>::BasicMsBfsRunner(Adj adj) : adj_(adj) {
+  seen_.reserve(adj_.num_nodes());
+  frontier_.reserve(adj_.num_nodes());
+  next_.reserve(adj_.num_nodes());
 }
 
-void MsBfsRunner::Run(std::span<const NodeId> sources,
-                      std::span<Dist> dist_rows) {
-  const size_t n = graph_.num_nodes();
+template <typename Adj>
+void BasicMsBfsRunner<Adj>::Run(std::span<const NodeId> sources,
+                                std::span<Dist> dist_rows) {
+  const size_t n = adj_.num_nodes();
   const size_t lanes = sources.size();
   CONVPAIRS_CHECK_EQ(dist_rows.size(), lanes * n);
   node_major_.resize(lanes * n);
@@ -283,9 +291,10 @@ void MsBfsRunner::Run(std::span<const NodeId> sources,
   }
 }
 
-void MsBfsRunner::RunNodeMajor(std::span<const NodeId> sources,
-                               std::span<Dist> dist_nodes) {
-  const NodeId n = graph_.num_nodes();
+template <typename Adj>
+void BasicMsBfsRunner<Adj>::RunNodeMajor(std::span<const NodeId> sources,
+                                         std::span<Dist> dist_nodes) {
+  const NodeId n = adj_.num_nodes();
   const size_t lanes = sources.size();
   CONVPAIRS_CHECK_GE(lanes, 1u);
   CONVPAIRS_CHECK_LE(lanes, static_cast<size_t>(kMsBfsBatchWidth));
@@ -321,7 +330,9 @@ void MsBfsRunner::RunNodeMajor(std::span<const NodeId> sources,
     const uint64_t level_frontier = cur_nodes_.size();
     ++level;
     next_nodes_.clear();
-    if (cur_nodes_.size() * 8 > static_cast<size_t>(n)) {
+    if (static_cast<double>(cur_nodes_.size()) * 8 *
+            Adj::kDecodeCostFactor >
+        static_cast<double>(n)) {
       // Dense level: bottom-up sweep (see RunForQueries). Each node still
       // missing lanes pulls its neighbors' frontier masks and stops once
       // they cover everything it is missing.
@@ -329,10 +340,10 @@ void MsBfsRunner::RunNodeMajor(std::span<const NodeId> sources,
         const uint64_t want = full & ~seen_[v];
         if (want == 0) continue;
         uint64_t acc = 0;
-        for (NodeId u : graph_.neighbors(v)) {
+        adj_.VisitNeighborsUntil(v, cursor_, [&](NodeId u) {
           acc |= frontier_[u];
-          if ((want & ~acc) == 0) break;
-        }
+          return (want & ~acc) != 0;  // stop once all wanted lanes found
+        });
         const uint64_t fresh = acc & want;
         if (fresh != 0) {
           seen_[v] |= fresh;
@@ -344,14 +355,14 @@ void MsBfsRunner::RunNodeMajor(std::span<const NodeId> sources,
       // One adjacency scan advances every lane whose frontier contains v.
       for (NodeId v : cur_nodes_) {
         const uint64_t fv = frontier_[v];
-        for (NodeId w : graph_.neighbors(v)) {
+        adj_.ForEachNeighbor(v, cursor_, [&](NodeId w) {
           const uint64_t fresh = fv & ~seen_[w];
           if (fresh != 0) {
             if (next_[w] == 0) next_nodes_.push_back(w);
             next_[w] |= fresh;
             seen_[w] |= fresh;
           }
-        }
+        });
       }
     }
     // Retire the old frontier before installing the new one: a node can be
@@ -392,10 +403,11 @@ void MsBfsRunner::RunNodeMajor(std::span<const NodeId> sources,
   instruments.batch_occupancy.Observe(static_cast<double>(lanes));
 }
 
-void MsBfsRunner::RunForQueries(std::span<const NodeId> sources,
-                                std::span<const PointQuery> queries,
-                                std::span<Dist> out) {
-  const NodeId n = graph_.num_nodes();
+template <typename Adj>
+void BasicMsBfsRunner<Adj>::RunForQueries(std::span<const NodeId> sources,
+                                          std::span<const PointQuery> queries,
+                                          std::span<Dist> out) {
+  const NodeId n = adj_.num_nodes();
   const size_t lanes = sources.size();
   CONVPAIRS_CHECK_GE(lanes, 1u);
   CONVPAIRS_CHECK_LE(lanes, static_cast<size_t>(kMsBfsBatchWidth));
@@ -458,15 +470,17 @@ void MsBfsRunner::RunForQueries(std::span<const NodeId> sources,
     // node pulls its neighbors' frontier masks and stops as soon as they
     // cover the lanes it is missing. Low-diameter graphs spend most of their
     // edges on one or two such levels.
-    if (cur_nodes_.size() * 8 > static_cast<size_t>(n)) {
+    if (static_cast<double>(cur_nodes_.size()) * 8 *
+            Adj::kDecodeCostFactor >
+        static_cast<double>(n)) {
       for (NodeId v = 0; v < n; ++v) {
         const uint64_t want = active & ~seen_[v];
         if (want == 0) continue;
         uint64_t acc = 0;
-        for (NodeId u : graph_.neighbors(v)) {
+        adj_.VisitNeighborsUntil(v, cursor_, [&](NodeId u) {
           acc |= frontier_[u];
-          if ((want & ~acc) == 0) break;
-        }
+          return (want & ~acc) != 0;  // stop once all wanted lanes found
+        });
         const uint64_t fresh = acc & want;
         if (fresh != 0) {
           seen_[v] |= fresh;
@@ -478,14 +492,14 @@ void MsBfsRunner::RunForQueries(std::span<const NodeId> sources,
       for (NodeId v : cur_nodes_) {
         const uint64_t fv = frontier_[v] & active;
         if (fv == 0) continue;
-        for (NodeId w : graph_.neighbors(v)) {
+        adj_.ForEachNeighbor(v, cursor_, [&](NodeId w) {
           const uint64_t fresh = fv & ~seen_[w];
           if (fresh != 0) {
             if (next_[w] == 0) next_nodes_.push_back(w);
             next_[w] |= fresh;
             seen_[w] |= fresh;
           }
-        }
+        });
       }
     }
     for (NodeId v : cur_nodes_) frontier_[v] = 0;
@@ -534,12 +548,13 @@ void MsBfsRunner::RunForQueries(std::span<const NodeId> sources,
   instruments.batch_occupancy.Observe(static_cast<double>(lanes));
 }
 
-void MultiSourceDistances(
-    const Graph& g, std::span<const NodeId> sources,
+template <typename Adj>
+void MultiSourceDistancesOver(
+    const Adj& adj, std::span<const NodeId> sources,
     const std::function<void(NodeId src, std::span<const Dist> row)>& visit,
     int num_threads) {
   if (sources.empty()) return;
-  const size_t n = g.num_nodes();
+  const size_t n = adj.num_nodes();
   const size_t num_batches =
       (sources.size() + kMsBfsBatchWidth - 1) / kMsBfsBatchWidth;
 
@@ -547,7 +562,7 @@ void MultiSourceDistances(
   // mask arrays and the 64-row distance block are allocated once per worker,
   // not once per batch.
   struct Scratch {
-    std::unique_ptr<MsBfsRunner> runner;
+    std::unique_ptr<BasicMsBfsRunner<Adj>> runner;
     std::vector<Dist> rows;
   };
   std::vector<Scratch> scratch(
@@ -557,7 +572,8 @@ void MultiSourceDistances(
       num_batches,
       [&](int thread_index, size_t begin, size_t end) {
         Scratch& s = scratch[static_cast<size_t>(thread_index)];
-        if (s.runner == nullptr) s.runner = std::make_unique<MsBfsRunner>(g);
+        if (s.runner == nullptr)
+          s.runner = std::make_unique<BasicMsBfsRunner<Adj>>(adj);
         for (size_t b = begin; b < end; ++b) {
           const size_t first = b * kMsBfsBatchWidth;
           const size_t lanes =
@@ -572,5 +588,28 @@ void MultiSourceDistances(
       },
       num_threads);
 }
+
+void MultiSourceDistances(
+    const Graph& g, std::span<const NodeId> sources,
+    const std::function<void(NodeId src, std::span<const Dist> row)>& visit,
+    int num_threads) {
+  MultiSourceDistancesOver(CsrAdjacency(g), sources, visit, num_threads);
+}
+
+template class BasicDirOptBfsRunner<CsrAdjacency>;
+template class BasicDirOptBfsRunner<NopAdjacency>;
+template class BasicDirOptBfsRunner<VarintAdjacency>;
+template class BasicMsBfsRunner<CsrAdjacency>;
+template class BasicMsBfsRunner<NopAdjacency>;
+template class BasicMsBfsRunner<VarintAdjacency>;
+template void MultiSourceDistancesOver<CsrAdjacency>(
+    const CsrAdjacency&, std::span<const NodeId>,
+    const std::function<void(NodeId, std::span<const Dist>)>&, int);
+template void MultiSourceDistancesOver<NopAdjacency>(
+    const NopAdjacency&, std::span<const NodeId>,
+    const std::function<void(NodeId, std::span<const Dist>)>&, int);
+template void MultiSourceDistancesOver<VarintAdjacency>(
+    const VarintAdjacency&, std::span<const NodeId>,
+    const std::function<void(NodeId, std::span<const Dist>)>&, int);
 
 }  // namespace convpairs

@@ -47,10 +47,19 @@
 #include <span>
 #include <vector>
 
+#include "graph/codec/adjacency_view.h"
 #include "graph/graph.h"
 #include "sssp/budget.h"
 
 namespace convpairs {
+
+// The traversal engines are templated over an adjacency view
+// (graph/codec/adjacency_view.h): CsrAdjacency reads a Graph's in-RAM CSR
+// directly, CompressedAdjacency<D> decodes mapped/encoded payloads
+// block-by-block into per-runner scratch. Traversal order is
+// view-independent, so distances are bit-identical across instantiations
+// (the compressed differential suites assert this). The historical
+// Graph-taking runner names remain as thin CsrAdjacency wrappers.
 
 /// Lanes per MS-BFS batch: one bit of the per-node mask per source.
 inline constexpr uint32_t kMsBfsBatchWidth = 64;
@@ -66,11 +75,13 @@ struct DirOptParams {
   double beta = 24.0;
 };
 
-/// Reusable-workspace direction-optimizing BFS. Keeps the queue, bitmap and
-/// distance buffers alive across runs, like BfsRunner.
-class DirOptBfsRunner {
+/// Reusable-workspace direction-optimizing BFS over any adjacency view.
+/// Keeps the queue, bitmap and distance buffers alive across runs, like
+/// BfsRunner.
+template <typename Adj>
+class BasicDirOptBfsRunner {
  public:
-  explicit DirOptBfsRunner(const Graph& g, DirOptParams params = {});
+  explicit BasicDirOptBfsRunner(Adj adj, DirOptParams params = {});
 
   /// Runs BFS from `src`; the returned span is valid until the next Run.
   /// Distances are identical to BfsDistances (kInfDist when unreachable).
@@ -79,13 +90,21 @@ class DirOptBfsRunner {
  private:
   enum class Mode { kTopDown, kBottomUp };
 
-  const Graph& graph_;
+  Adj adj_;
+  typename Adj::Cursor cursor_;
   DirOptParams params_;
   std::vector<Dist> dist_;
   std::vector<NodeId> frontier_;       // Current level (top-down form).
   std::vector<NodeId> next_;           // Next level (top-down form).
   std::vector<uint64_t> frontier_bits_;  // Current level (bottom-up form).
   std::vector<uint64_t> next_bits_;
+};
+
+/// Direction-optimizing BFS over a Graph's CSR (the historical interface).
+class DirOptBfsRunner : public BasicDirOptBfsRunner<CsrAdjacency> {
+ public:
+  explicit DirOptBfsRunner(const Graph& g, DirOptParams params = {})
+      : BasicDirOptBfsRunner(CsrAdjacency(g), params) {}
 };
 
 /// Fills `out` with direction-optimizing BFS distances from `src` (resized
@@ -95,7 +114,14 @@ void DirOptBfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
                         SsspBudget* budget = nullptr,
                         DirOptParams params = {});
 
-/// Reusable-workspace 64-way multi-source BFS.
+/// One (source lane, target) pair to settle in
+/// BasicMsBfsRunner::RunForQueries.
+struct MsBfsPointQuery {
+  uint32_t lane = 0;  // Index into `sources`.
+  NodeId target = 0;
+};
+
+/// Reusable-workspace 64-way multi-source BFS over any adjacency view.
 ///
 /// The traversal itself settles distances node-major — all lanes of a node
 /// share a cache line, so the frontier's scattered writes touch one line per
@@ -103,9 +129,10 @@ void DirOptBfsDistances(const Graph& g, NodeId src, std::vector<Dist>* out,
 /// layout directly (point-lookup consumers like the serving batcher want it);
 /// Run layers a cache-blocked transpose on top to keep the historical
 /// row-per-source contract.
-class MsBfsRunner {
+template <typename Adj>
+class BasicMsBfsRunner {
  public:
-  explicit MsBfsRunner(const Graph& g);
+  explicit BasicMsBfsRunner(Adj adj);
 
   /// Runs one batched BFS from `sources` (1..64 entries; duplicates allowed)
   /// and writes `dist_rows[i * g.num_nodes() + v]` = hop distance from
@@ -123,10 +150,7 @@ class MsBfsRunner {
                     std::span<Dist> dist_nodes);
 
   /// One (source lane, target) pair to settle in RunForQueries.
-  struct PointQuery {
-    uint32_t lane = 0;  // Index into `sources`.
-    NodeId target = 0;
-  };
+  using PointQuery = MsBfsPointQuery;
 
   /// Goal-directed batch for point queries — the serving fast path. Runs the
   /// shared traversal but materializes no distance rows: it answers exactly
@@ -141,7 +165,8 @@ class MsBfsRunner {
                      std::span<Dist> out);
 
  private:
-  const Graph& graph_;
+  Adj adj_;
+  typename Adj::Cursor cursor_;
   std::vector<uint64_t> seen_;       // Bit b set: source b reached the node.
   std::vector<uint64_t> frontier_;   // Masks of the current level.
   std::vector<uint64_t> next_;       // Masks of the next level.
@@ -152,6 +177,12 @@ class MsBfsRunner {
   std::vector<uint64_t> target_mask_;   // Bit b set: lane b targets the node.
   std::vector<uint32_t> query_by_target_;  // Query indices sorted by target.
   std::vector<uint32_t> lane_remaining_;   // Unsettled queries per lane.
+};
+
+/// 64-way MS-BFS over a Graph's CSR (the historical interface).
+class MsBfsRunner : public BasicMsBfsRunner<CsrAdjacency> {
+ public:
+  explicit MsBfsRunner(const Graph& g) : BasicMsBfsRunner(CsrAdjacency(g)) {}
 };
 
 /// Score marking a node as ineligible in ThresholdBoundedBfsRunner::Run.
@@ -215,6 +246,34 @@ void MultiSourceDistances(
     const Graph& g, std::span<const NodeId> sources,
     const std::function<void(NodeId src, std::span<const Dist> row)>& visit,
     int num_threads = 0);
+
+/// MultiSourceDistances over any adjacency view — the all-pairs sweep for
+/// compressed / mapped snapshots. Each pool worker gets its own runner (and
+/// therefore its own decode cursor), so compressed scans never contend on
+/// scratch.
+template <typename Adj>
+void MultiSourceDistancesOver(
+    const Adj& adj, std::span<const NodeId> sources,
+    const std::function<void(NodeId src, std::span<const Dist> row)>& visit,
+    int num_threads = 0);
+
+// The engine templates are instantiated once in bfs_engine.cc for the three
+// adjacency views; anything else needs a new explicit instantiation there.
+extern template class BasicDirOptBfsRunner<CsrAdjacency>;
+extern template class BasicDirOptBfsRunner<NopAdjacency>;
+extern template class BasicDirOptBfsRunner<VarintAdjacency>;
+extern template class BasicMsBfsRunner<CsrAdjacency>;
+extern template class BasicMsBfsRunner<NopAdjacency>;
+extern template class BasicMsBfsRunner<VarintAdjacency>;
+extern template void MultiSourceDistancesOver<CsrAdjacency>(
+    const CsrAdjacency&, std::span<const NodeId>,
+    const std::function<void(NodeId, std::span<const Dist>)>&, int);
+extern template void MultiSourceDistancesOver<NopAdjacency>(
+    const NopAdjacency&, std::span<const NodeId>,
+    const std::function<void(NodeId, std::span<const Dist>)>&, int);
+extern template void MultiSourceDistancesOver<VarintAdjacency>(
+    const VarintAdjacency&, std::span<const NodeId>,
+    const std::function<void(NodeId, std::span<const Dist>)>&, int);
 
 }  // namespace convpairs
 

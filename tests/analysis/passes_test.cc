@@ -92,6 +92,28 @@ TEST(LayeringTest, UnrankedDirectoryIsReported) {
   EXPECT_NE(r.findings[0].message.find("not declared"), std::string::npos);
 }
 
+TEST(LayeringTest, SubdirectoryLayersResolveByLongestDeclaredPrefix) {
+  auto m = ParseLayerManifest(
+      "layer util\n"
+      "layer graph\n"
+      "layer graph/codec\n"
+      "layer sssp graph/io\n");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // codec sits above graph and below io; parent-directory files keep the
+  // parent's rank, so these edges are all downward.
+  EXPECT_TRUE(CheckLayering(
+                  *m, {File("src/graph/codec/c.h", "#include \"graph/g.h\"\n"),
+                       File("src/graph/io/i.h",
+                            "#include \"graph/codec/c.h\"\n"),
+                       File("src/graph/g.h", "")})
+                  .findings.empty());
+  // ...while a parent-layer file reaching up into graph/io is upward.
+  const auto r = CheckLayering(
+      *m, {File("src/graph/g.cc", "#include \"graph/io/i.h\"\n")});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_NE(r.findings[0].message.find("'graph/io'"), std::string::npos);
+}
+
 TEST(LayeringTest, IncludeCycleIsReportedWithFullPath) {
   const LayerManifest m = TestManifest();
   const auto r = CheckLayering(
@@ -404,6 +426,26 @@ TEST(InvariantsTest, SocketApiConfinedToServer) {
   EXPECT_TRUE(
       InvariantsOn(File("src/core/b.cc", "auto f = std::bind(g, x);\n"))
           .empty());
+}
+
+TEST(InvariantsTest, MmapApiConfinedToGraphIo) {
+  const auto findings = InvariantsOn(File(
+      "src/core/a.cc",
+      "#include <sys/mman.h>\n"
+      "int fd = open(path, O_RDONLY);\n"
+      "void* p = mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);\n"));
+  // Header, open(), O_RDONLY, mmap, PROT_READ, MAP_PRIVATE.
+  EXPECT_EQ(Messages(findings, "mmap").size(), 6u);
+  EXPECT_TRUE(
+      InvariantsOn(File("src/graph/io/mapped_file.cc",
+                        "#include <sys/mman.h>\n"
+                        "int fd = open(p, O_RDONLY);\nfstat(fd, &st);\n"))
+          .empty());
+  // `open` as a local variable or a member call is not the syscall.
+  EXPECT_TRUE(InvariantsOn(
+                  File("src/core/b.cc",
+                       "size_t open = 0;\nif (open == 0) file.open(path);\n"))
+                  .empty());
 }
 
 TEST(InvariantsTest, RefundIdentifierConfinedToSssp) {

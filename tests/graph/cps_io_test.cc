@@ -1,0 +1,305 @@
+// .cps snapshot container contract: write -> mmap-open -> decode round
+// trips for both codecs, and a corpus of malformed files (truncations at
+// every boundary, bit flips in every section, inconsistent geometry) that
+// the loader must reject with a structured Status — never a crash, which
+// the asan/ubsan CI job enforces over this same corpus.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "graph/codec/decompressor.h"
+#include "graph/graph.h"
+#include "graph/io/mapped_file.h"
+#include "graph/io/snapshot_format.h"
+#include "graph/io/snapshot_io.h"
+#include "testing/test_graphs.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+using testing::PathGraph;
+using testing::StarGraph;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+Graph TestGraph() {
+  Rng rng(31);
+  BaParams params;
+  params.num_nodes = 300;
+  params.edges_per_node = 4;
+  return GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+}
+
+void ExpectGraphsEqual(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << u;
+    for (size_t i = 0; i < na.size(); ++i)
+      ASSERT_EQ(na[i], nb[i]) << "vertex " << u << " slot " << i;
+  }
+}
+
+TEST(CpsIoTest, RoundTripsBothCodecs) {
+  const Graph g = TestGraph();
+  for (const uint32_t codec :
+       {uint32_t{NopDecompressor::kCodecId},
+        uint32_t{VarintDecompressor::kCodecId}}) {
+    const std::string path = TempPath("roundtrip.cps");
+    ASSERT_TRUE(WriteCpsSnapshot(g, path, codec).ok());
+    auto snap = CpsSnapshot::Open(path);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    EXPECT_EQ(snap->codec_id(), codec);
+    EXPECT_EQ(snap->num_nodes(), g.num_nodes());
+    EXPECT_EQ(snap->num_directed_edges(), g.adjacency().size());
+    EXPECT_GT(snap->info().resident_bytes, 0u);
+    EXPECT_GT(snap->info().csr_resident_bytes, snap->info().resident_bytes);
+    ExpectGraphsEqual(snap->ToGraph(), g);
+  }
+}
+
+TEST(CpsIoTest, RoundTripsEmptyAndIsolatedGraphs) {
+  for (const Graph& g : {Graph(0), Graph(7), PathGraph(2), StarGraph(100)}) {
+    const std::string path = TempPath("small.cps");
+    ASSERT_TRUE(
+        WriteCpsSnapshot(g, path, VarintDecompressor::kCodecId).ok());
+    auto snap = CpsSnapshot::Open(path);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    ExpectGraphsEqual(snap->ToGraph(), g);
+  }
+}
+
+TEST(CpsIoTest, WriterRejectsWeightedGraphs) {
+  const std::vector<Edge> edges = {{0, 1, 2.5f}, {1, 2, 1.0f}};
+  const Graph weighted = Graph::FromEdges(3, edges);
+  const Status status = WriteCpsSnapshot(
+      weighted, TempPath("weighted.cps"), VarintDecompressor::kCodecId);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CpsIoTest, WriterRejectsUnknownCodec) {
+  EXPECT_EQ(WriteCpsSnapshot(PathGraph(4), TempPath("codec.cps"), 77).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CpsIoTest, OpenRejectsMissingFile) {
+  auto snap = CpsSnapshot::Open(TempPath("does_not_exist.cps"));
+  EXPECT_FALSE(snap.ok());
+}
+
+TEST(CpsIoTest, OpenRejectsDirectory) {
+  auto snap = CpsSnapshot::Open(::testing::TempDir());
+  EXPECT_FALSE(snap.ok());
+}
+
+// --- Malformed-file corpus. Every mutation must produce a structured
+// error from Open, with the original file loading cleanly as the control.
+
+class CpsCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corpus.cps");
+    ASSERT_TRUE(
+        WriteCpsSnapshot(TestGraph(), path_, VarintDecompressor::kCodecId)
+            .ok());
+    bytes_ = ReadAll(path_);
+    ASSERT_GT(bytes_.size(), kCpsHeaderBytes);
+    // Control: the unmutated image loads.
+    ASSERT_TRUE(CpsSnapshot::Open(path_).ok());
+  }
+
+  /// Writes `mutated` and expects Open to fail with InvalidArgument (the
+  /// loader's structured corruption error) or IoError (for mmap-level
+  /// failures), never success and never a crash.
+  void ExpectRejected(const std::vector<uint8_t>& mutated,
+                      const char* what) {
+    const std::string path = TempPath("mutant.cps");
+    WriteAll(path, mutated);
+    auto snap = CpsSnapshot::Open(path);
+    EXPECT_FALSE(snap.ok()) << what;
+  }
+
+  std::string path_;
+  std::vector<uint8_t> bytes_;
+};
+
+TEST_F(CpsCorpusTest, TruncationsAtEveryBoundary) {
+  // Mid-header, exactly at header end, mid-offsets, mid-payload, one byte
+  // short of full size.
+  const size_t offsets_end = kCpsHeaderBytes + 4 * (300 + 1);
+  for (const size_t keep :
+       {size_t{0}, size_t{3}, kCpsHeaderBytes / 2, kCpsHeaderBytes,
+        kCpsHeaderBytes + 17, offsets_end, offsets_end + 5,
+        bytes_.size() - 1}) {
+    ASSERT_LT(keep, bytes_.size());
+    ExpectRejected({bytes_.begin(), bytes_.begin() + keep}, "truncation");
+  }
+}
+
+TEST_F(CpsCorpusTest, BadMagic) {
+  auto mutated = bytes_;
+  mutated[0] = 'X';
+  ExpectRejected(mutated, "magic");
+}
+
+TEST_F(CpsCorpusTest, HeaderBitFlipFailsHeaderCrc) {
+  // Any header byte flip (other than in the CRC itself) must trip the
+  // header checksum; flipping the stored CRC must also fail.
+  for (const size_t at : {size_t{5}, size_t{9}, size_t{13}, size_t{21},
+                          size_t{33}, size_t{57}, size_t{80},
+                          kCpsHeaderBytes - 1}) {
+    auto mutated = bytes_;
+    mutated[at] ^= 0x40;
+    ExpectRejected(mutated, "header flip");
+  }
+}
+
+TEST_F(CpsCorpusTest, OffsetsBitFlipFailsSectionCrc) {
+  auto mutated = bytes_;
+  mutated[kCpsHeaderBytes + 10] ^= 0x01;
+  ExpectRejected(mutated, "offsets flip");
+}
+
+TEST_F(CpsCorpusTest, PayloadBitFlipFailsSectionCrc) {
+  auto mutated = bytes_;
+  mutated[mutated.size() - 20] ^= 0x01;
+  ExpectRejected(mutated, "payload flip");
+}
+
+TEST_F(CpsCorpusTest, TrailingBytesRejected) {
+  auto mutated = bytes_;
+  mutated.push_back(0);
+  ExpectRejected(mutated, "trailing");
+}
+
+/// Rebuilds a full image from a (possibly inconsistent) header plus
+/// sections, recomputing the header CRC so the mutation under test — not
+/// the checksum — is what the loader sees.
+std::vector<uint8_t> ReassembleWithHeader(const CpsHeader& header,
+                                          const std::vector<uint8_t>& tail) {
+  std::vector<uint8_t> out;
+  SerializeCpsHeader(header, &out);
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+class CpsHeaderMutationTest : public CpsCorpusTest {
+ protected:
+  CpsHeader ParsedHeader() {
+    CpsHeader header;
+    EXPECT_TRUE(ParseCpsHeader(bytes_, &header).ok());
+    return header;
+  }
+  std::vector<uint8_t> Tail() {
+    return {bytes_.begin() + kCpsHeaderBytes, bytes_.end()};
+  }
+};
+
+TEST_F(CpsHeaderMutationTest, VersionMismatchRejected) {
+  CpsHeader header = ParsedHeader();
+  header.version = kCpsVersion + 1;
+  ExpectRejected(ReassembleWithHeader(header, Tail()), "version");
+}
+
+TEST_F(CpsHeaderMutationTest, WeightedFlagRejected) {
+  CpsHeader header = ParsedHeader();
+  header.flags |= kCpsFlagWeighted;
+  ExpectRejected(ReassembleWithHeader(header, Tail()), "weighted flag");
+}
+
+TEST_F(CpsHeaderMutationTest, UnknownFlagRejected) {
+  CpsHeader header = ParsedHeader();
+  header.flags |= 1u << 7;
+  ExpectRejected(ReassembleWithHeader(header, Tail()), "unknown flag");
+}
+
+TEST_F(CpsHeaderMutationTest, UnknownCodecRejected) {
+  CpsHeader header = ParsedHeader();
+  header.codec_id = 9;
+  ExpectRejected(ReassembleWithHeader(header, Tail()), "codec id");
+}
+
+TEST_F(CpsHeaderMutationTest, NodeCountMismatchRejected) {
+  CpsHeader header = ParsedHeader();
+  header.num_nodes += 1;  // offsets section size no longer matches
+  ExpectRejected(ReassembleWithHeader(header, Tail()), "num_nodes");
+}
+
+TEST_F(CpsHeaderMutationTest, EdgeCountMismatchRejected) {
+  CpsHeader header = ParsedHeader();
+  header.num_directed_edges += 1;  // degree-sum validation must trip
+  ExpectRejected(ReassembleWithHeader(header, Tail()), "edge count");
+}
+
+TEST_F(CpsHeaderMutationTest, MislabeledCodecRejected) {
+  // Varint payload labeled as nop: record validation must reject (sizes
+  // and sortedness cannot line up).
+  CpsHeader header = ParsedHeader();
+  header.codec_id = NopDecompressor::kCodecId;
+  ExpectRejected(ReassembleWithHeader(header, Tail()), "mislabeled codec");
+}
+
+TEST_F(CpsHeaderMutationTest, NonMonotoneOffsetsRejected) {
+  // Swap two interior offsets (recomputing the section CRC) so the record
+  // table is non-monotone while every checksum is valid.
+  CpsHeader header = ParsedHeader();
+  std::vector<uint8_t> tail = Tail();
+  ASSERT_GE(header.offsets_bytes, 12u);
+  std::swap(tail[4], tail[8]);
+  std::swap(tail[5], tail[9]);
+  std::swap(tail[6], tail[10]);
+  std::swap(tail[7], tail[11]);
+  header.offsets_crc = Crc32(
+      {tail.data(), static_cast<size_t>(header.offsets_bytes)});
+  ExpectRejected(ReassembleWithHeader(header, tail), "non-monotone offsets");
+}
+
+TEST(MappedFileTest, OpensAndMapsRegularFile) {
+  const std::string path = TempPath("mapped.bin");
+  WriteAll(path, {1, 2, 3, 4, 5});
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_EQ(mapped->size(), 5u);
+  EXPECT_EQ(mapped->bytes()[0], 1);
+  EXPECT_EQ(mapped->bytes()[4], 5);
+}
+
+TEST(MappedFileTest, EmptyFileMapsEmpty) {
+  const std::string path = TempPath("empty.bin");
+  WriteAll(path, {});
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->size(), 0u);
+}
+
+TEST(MappedFileTest, MissingFileIsIoError) {
+  auto mapped = MappedFile::Open(TempPath("missing.bin"));
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace convpairs

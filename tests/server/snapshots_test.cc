@@ -1,0 +1,240 @@
+// ServingSnapshots: the storage-erasing seam between the serving stack and
+// its snapshot pair. Covers borrow mode vs mmap'd .cps mode (resolvers,
+// lazy graph decode, load stats), Open() rejection of mismatched pairs, and
+// an end-to-end server run over .cps files including the STATS fields the
+// smoke test scrapes.
+
+#include "server/snapshots.h"
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "graph/io/snapshot_io.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/socket.h"
+#include "sssp/bfs.h"
+#include "util/rng.h"
+
+namespace convpairs::server {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + info->test_suite_name() + "_" +
+         info->name() + "_" + name;
+}
+
+struct SnapshotPair {
+  Graph g1;
+  Graph g2;
+};
+
+SnapshotPair MakeBaPair(uint64_t seed) {
+  Rng rng(seed);
+  BaParams params;
+  params.num_nodes = 250;
+  params.edges_per_node = 3;
+  params.uniform_mix = 0.25;
+  TemporalGraph temporal = GenerateBarabasiAlbert(params, rng);
+  return {temporal.SnapshotAtFraction(0.7), temporal.SnapshotAtFraction(1.0)};
+}
+
+void ExpectGraphsEqual(const Graph& got, const Graph& want) {
+  ASSERT_EQ(got.num_nodes(), want.num_nodes());
+  for (NodeId u = 0; u < want.num_nodes(); ++u) {
+    const auto a = got.neighbors(u);
+    const auto b = want.neighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << u;
+    for (size_t i = 0; i < b.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(ServingSnapshotsTest, BorrowModeReportsRamStats) {
+  SnapshotPair pair = MakeBaPair(41);
+  ServingSnapshots snapshots(pair.g1, pair.g2);
+  EXPECT_EQ(snapshots.num_nodes(), pair.g1.num_nodes());
+  const ServingSnapshots::LoadStats& stats = snapshots.load_stats();
+  EXPECT_EQ(stats.source, "ram");
+  EXPECT_EQ(stats.codec, "csr");
+  EXPECT_EQ(stats.ratio_x1000, 1000);
+  EXPECT_EQ(stats.resident_bytes, stats.csr_resident_bytes);
+  EXPECT_GT(stats.resident_bytes, 0u);
+  // Borrow mode hands back the caller's Graphs, no copies.
+  EXPECT_EQ(&snapshots.graph(1), &pair.g1);
+  EXPECT_EQ(&snapshots.graph(2), &pair.g2);
+}
+
+TEST(ServingSnapshotsTest, OpenRoundTripsCpsPair) {
+  SnapshotPair pair = MakeBaPair(42);
+  const std::string p1 = TempPath("g1.cps");
+  const std::string p2 = TempPath("g2.cps");
+  ASSERT_TRUE(WriteCpsSnapshot(pair.g1, p1, 1).ok());
+  ASSERT_TRUE(WriteCpsSnapshot(pair.g2, p2, 1).ok());
+
+  auto snapshots = ServingSnapshots::Open(p1, p2);
+  ASSERT_TRUE(snapshots.ok()) << snapshots.status().ToString();
+  EXPECT_EQ((*snapshots)->num_nodes(), pair.g1.num_nodes());
+  const ServingSnapshots::LoadStats& stats = (*snapshots)->load_stats();
+  EXPECT_EQ(stats.source, "cps");
+  EXPECT_EQ(stats.codec, "varint");
+  EXPECT_GT(stats.csr_resident_bytes, stats.resident_bytes);
+  EXPECT_GT(stats.ratio_x1000, 1000);
+  EXPECT_GE(stats.load_ms, 0);
+  // Lazy decode hands back graphs identical to what was written.
+  ExpectGraphsEqual((*snapshots)->graph(1), pair.g1);
+  ExpectGraphsEqual((*snapshots)->graph(2), pair.g2);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(ServingSnapshotsTest, ResolversMatchAcrossStorageModes) {
+  SnapshotPair pair = MakeBaPair(43);
+  const std::string p1 = TempPath("g1.cps");
+  const std::string p2 = TempPath("g2.cps");
+  ASSERT_TRUE(WriteCpsSnapshot(pair.g1, p1, 1).ok());
+  // Mix codecs across the pair: snapshot 2 serves zero-copy nop records.
+  ASSERT_TRUE(WriteCpsSnapshot(pair.g2, p2, 0).ok());
+
+  auto opened = ServingSnapshots::Open(p1, p2);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->load_stats().codec, "mixed");
+  ServingSnapshots borrowed(pair.g1, pair.g2);
+
+  Rng rng(7);
+  const NodeId n = pair.g1.num_nodes();
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 200; ++i) {
+    sources.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+    targets.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+  }
+  for (int snapshot : {1, 2}) {
+    auto from_ram = borrowed.MakeResolver(snapshot);
+    auto from_cps = (*opened)->MakeResolver(snapshot);
+    ASSERT_EQ(from_ram->num_nodes(), n);
+    ASSERT_EQ(from_cps->num_nodes(), n);
+    std::vector<Dist> want(sources.size(), 0);
+    std::vector<Dist> got(sources.size(), 1);
+    ASSERT_TRUE(from_ram->Resolve(sources, targets, want).ok());
+    ASSERT_TRUE(from_cps->Resolve(sources, targets, got).ok());
+    EXPECT_EQ(got, want) << "snapshot " << snapshot;
+    std::vector<Dist> row_want;
+    std::vector<Dist> row_got;
+    ASSERT_TRUE(from_ram->ResolveRow(n / 3, &row_want).ok());
+    ASSERT_TRUE(from_cps->ResolveRow(n / 3, &row_got).ok());
+    EXPECT_EQ(row_got, row_want) << "snapshot " << snapshot;
+  }
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(ServingSnapshotsTest, OpenRejectsMismatchedNodeCounts) {
+  SnapshotPair pair = MakeBaPair(44);
+  Rng rng(45);
+  BaParams params;
+  params.num_nodes = 80;  // Different id space from MakeBaPair's 250.
+  params.edges_per_node = 2;
+  const Graph other =
+      GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+  const std::string p1 = TempPath("g1.cps");
+  const std::string p2 = TempPath("g2.cps");
+  ASSERT_TRUE(WriteCpsSnapshot(pair.g1, p1, 1).ok());
+  ASSERT_TRUE(WriteCpsSnapshot(other, p2, 1).ok());
+  auto snapshots = ServingSnapshots::Open(p1, p2);
+  EXPECT_FALSE(snapshots.ok());
+  EXPECT_EQ(snapshots.status().code(), StatusCode::kInvalidArgument);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(ServingSnapshotsTest, OpenPropagatesLoaderRejection) {
+  SnapshotPair pair = MakeBaPair(46);
+  const std::string p1 = TempPath("g1.cps");
+  ASSERT_TRUE(WriteCpsSnapshot(pair.g1, p1, 1).ok());
+  auto snapshots = ServingSnapshots::Open(p1, TempPath("missing.cps"));
+  EXPECT_FALSE(snapshots.ok());
+  std::remove(p1.c_str());
+}
+
+/// Reads newline-terminated replies until `expected` lines arrived.
+std::vector<std::string> Exchange(TcpStream& stream,
+                                  const std::string& requests,
+                                  size_t expected) {
+  EXPECT_TRUE(stream.SendAll(requests).ok());
+  std::vector<std::string> replies;
+  std::string buffer;
+  char chunk[4096];
+  while (replies.size() < expected) {
+    auto got = stream.Receive(chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) break;
+    buffer.append(chunk, *got);
+    size_t nl;
+    while (replies.size() < expected &&
+           (nl = buffer.find('\n')) != std::string::npos) {
+      replies.push_back(buffer.substr(0, nl));
+      buffer.erase(0, nl + 1);
+    }
+  }
+  EXPECT_EQ(replies.size(), expected);
+  return replies;
+}
+
+TEST(ServingSnapshotsTest, ServerServesCpsPairEndToEnd) {
+  SnapshotPair pair = MakeBaPair(47);
+  const std::string p1 = TempPath("g1.cps");
+  const std::string p2 = TempPath("g2.cps");
+  ASSERT_TRUE(WriteCpsSnapshot(pair.g1, p1, 1).ok());
+  ASSERT_TRUE(WriteCpsSnapshot(pair.g2, p2, 1).ok());
+  auto snapshots = ServingSnapshots::Open(p1, p2);
+  ASSERT_TRUE(snapshots.ok()) << snapshots.status().ToString();
+
+  ConvpairsServer server(std::move(*snapshots), ConvpairsServer::Options{});
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+
+  // Distances over the mmap'd snapshots must match the in-RAM oracle.
+  Rng rng(9);
+  const NodeId n = pair.g1.num_nodes();
+  std::string requests;
+  std::vector<std::array<NodeId, 3>> queries;
+  for (int i = 0; i < 40; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(n));
+    const int snapshot = 1 + static_cast<int>(rng.UniformInt(2));
+    queries.push_back({s, t, static_cast<NodeId>(snapshot)});
+    requests += "DIST " + std::to_string(s) + ' ' + std::to_string(t) + ' ' +
+                std::to_string(snapshot) + '\n';
+  }
+  std::vector<std::string> replies =
+      Exchange(*stream, requests, queries.size());
+  for (size_t i = 0; i < replies.size(); ++i) {
+    const auto [s, t, snapshot] = queries[i];
+    const Graph& g = snapshot == 1 ? pair.g1 : pair.g2;
+    EXPECT_EQ(replies[i], DistReply(BfsDistances(g, s)[t])) << "query " << i;
+  }
+
+  // STATS carries the snapshot residency fields the smoke test checks.
+  std::vector<std::string> stats = Exchange(*stream, "STATS\n", 1);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_NE(stats[0].find(" snapshot_source=cps"), std::string::npos)
+      << stats[0];
+  EXPECT_NE(stats[0].find(" snapshot_codec=varint"), std::string::npos)
+      << stats[0];
+  EXPECT_NE(stats[0].find(" snapshot_resident_bytes="), std::string::npos);
+  EXPECT_NE(stats[0].find(" snapshot_ratio_x1000="), std::string::npos);
+  EXPECT_NE(stats[0].find(" snapshot_load_ms="), std::string::npos);
+  server.Stop();
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+}  // namespace
+}  // namespace convpairs::server

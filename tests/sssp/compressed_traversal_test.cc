@@ -1,0 +1,225 @@
+// Decode-aware traversal differentials: every engine templated over the
+// adjacency view must produce BIT-IDENTICAL distances on the compressed
+// views (NopAdjacency, VarintAdjacency) and on the plain CSR Graph, across
+// the generator family. This is the contract that lets the server swap an
+// mmap'd .cps snapshot under MS-BFS without re-validating query results.
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/ba_generator.h"
+#include "gen/er_generator.h"
+#include "gen/forest_fire.h"
+#include "gen/ws_generator.h"
+#include "graph/codec/adjacency_view.h"
+#include "graph/codec/codec.h"
+#include "obs/registry.h"
+#include "sssp/batch_service.h"
+#include "sssp/bfs_engine.h"
+#include "util/rng.h"
+
+namespace convpairs {
+namespace {
+
+struct GeneratorCase {
+  const char* name;
+  Graph (*build)(uint64_t seed);
+};
+
+Graph BuildEr(uint64_t seed) {
+  Rng rng(seed);
+  return GenerateErdosRenyi({.num_nodes = 170, .num_edges = 300}, rng)
+      .SnapshotAtFraction(1.0);
+}
+
+Graph BuildBa(uint64_t seed) {
+  Rng rng(seed);
+  BaParams params;
+  params.num_nodes = 190;
+  params.edges_per_node = 3;
+  params.uniform_mix = 0.2;
+  return GenerateBarabasiAlbert(params, rng).SnapshotAtFraction(1.0);
+}
+
+Graph BuildWs(uint64_t seed) {
+  Rng rng(seed);
+  WsParams params;
+  params.num_nodes = 160;
+  params.k = 6;
+  params.beta = 0.1;
+  return GenerateWattsStrogatz(params, rng).SnapshotAtFraction(1.0);
+}
+
+Graph BuildForestFire(uint64_t seed) {
+  Rng rng(seed);
+  ForestFireParams params;
+  params.num_nodes = 150;
+  params.burn_probability = 0.3;
+  return GenerateForestFire(params, rng).SnapshotAtFraction(1.0);
+}
+
+constexpr GeneratorCase kGenerators[] = {
+    {"er", BuildEr},
+    {"ba", BuildBa},
+    {"ws", BuildWs},
+    {"forest_fire", BuildForestFire},
+};
+
+class CompressedTraversalTest
+    : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(CompressedTraversalTest, DirOptDistancesBitIdentical) {
+  const Graph g = GetParam().build(5);
+  const EncodedAdjacency nop_enc = EncodeAdjacency<NopDecompressor>(g);
+  const EncodedAdjacency var_enc = EncodeAdjacency<VarintDecompressor>(g);
+  DirOptBfsRunner csr(g);
+  BasicDirOptBfsRunner<NopAdjacency> nop{NopAdjacency(nop_enc)};
+  BasicDirOptBfsRunner<VarintAdjacency> var{VarintAdjacency(var_enc)};
+  for (NodeId src = 0; src < g.num_nodes(); ++src) {
+    const std::vector<Dist>& want = csr.Run(src);
+    ASSERT_EQ(nop.Run(src), want) << GetParam().name << " src " << src;
+    ASSERT_EQ(var.Run(src), want) << GetParam().name << " src " << src;
+  }
+}
+
+TEST_P(CompressedTraversalTest, MsBfsRowsBitIdentical) {
+  const Graph g = GetParam().build(6);
+  const NodeId n = g.num_nodes();
+  const EncodedAdjacency var_enc = EncodeAdjacency<VarintDecompressor>(g);
+  MsBfsRunner csr(g);
+  BasicMsBfsRunner<VarintAdjacency> var{VarintAdjacency(var_enc)};
+  std::vector<NodeId> sources(n);
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  std::vector<Dist> want_rows;
+  std::vector<Dist> got_rows;
+  for (size_t first = 0; first < sources.size(); first += kMsBfsBatchWidth) {
+    const size_t lanes =
+        std::min<size_t>(kMsBfsBatchWidth, sources.size() - first);
+    const std::span<const NodeId> batch(sources.data() + first, lanes);
+    want_rows.assign(lanes * n, 0);
+    got_rows.assign(lanes * n, 1);
+    csr.Run(batch, want_rows);
+    var.Run(batch, got_rows);
+    ASSERT_EQ(got_rows, want_rows)
+        << GetParam().name << " batch at " << first;
+  }
+}
+
+TEST_P(CompressedTraversalTest, RunForQueriesBitIdentical) {
+  const Graph g = GetParam().build(7);
+  const NodeId n = g.num_nodes();
+  const EncodedAdjacency var_enc = EncodeAdjacency<VarintDecompressor>(g);
+  MsBfsRunner csr(g);
+  BasicMsBfsRunner<VarintAdjacency> var{VarintAdjacency(var_enc)};
+
+  Rng rng(77);
+  std::vector<NodeId> sources;
+  for (uint32_t i = 0; i < 32; ++i)
+    sources.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+  std::vector<MsBfsPointQuery> queries;
+  for (uint32_t i = 0; i < 200; ++i) {
+    queries.push_back({static_cast<uint32_t>(rng.UniformInt(sources.size())),
+                       static_cast<NodeId>(rng.UniformInt(n))});
+  }
+  std::vector<Dist> want(queries.size());
+  std::vector<Dist> got(queries.size());
+  csr.RunForQueries(sources, queries, want);
+  var.RunForQueries(sources, queries, got);
+  ASSERT_EQ(got, want) << GetParam().name;
+}
+
+TEST_P(CompressedTraversalTest, MultiSourceDistancesOverBitIdentical) {
+  const Graph g = GetParam().build(8);
+  const NodeId n = g.num_nodes();
+  const EncodedAdjacency var_enc = EncodeAdjacency<VarintDecompressor>(g);
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < n; u += 3) sources.push_back(u);
+
+  std::vector<std::vector<Dist>> want(sources.size());
+  MultiSourceDistances(
+      g, sources,
+      [&](NodeId src, std::span<const Dist> row) {
+        for (size_t i = 0; i < sources.size(); ++i)
+          if (sources[i] == src && want[i].empty())
+            want[i].assign(row.begin(), row.end());
+      },
+      /*num_threads=*/1);
+  std::vector<std::vector<Dist>> got(sources.size());
+  MultiSourceDistancesOver(
+      VarintAdjacency(var_enc), sources,
+      [&](NodeId src, std::span<const Dist> row) {
+        for (size_t i = 0; i < sources.size(); ++i)
+          if (sources[i] == src && got[i].empty())
+            got[i].assign(row.begin(), row.end());
+      },
+      /*num_threads=*/1);
+  for (size_t i = 0; i < sources.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << GetParam().name << " src " << sources[i];
+}
+
+TEST_P(CompressedTraversalTest, BatchServiceBitIdentical) {
+  const Graph g = GetParam().build(9);
+  const NodeId n = g.num_nodes();
+  const EncodedAdjacency nop_enc = EncodeAdjacency<NopDecompressor>(g);
+  const EncodedAdjacency var_enc = EncodeAdjacency<VarintDecompressor>(g);
+  BatchDistanceService csr(g);
+  NopBatchDistanceService nop{NopAdjacency(nop_enc)};
+  VarintBatchDistanceService var{VarintAdjacency(var_enc)};
+
+  Rng rng(31);
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
+  for (uint32_t i = 0; i < 300; ++i) {
+    sources.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+    targets.push_back(static_cast<NodeId>(rng.UniformInt(n)));
+  }
+  std::vector<Dist> want(sources.size(), 0);
+  std::vector<Dist> got_nop(sources.size(), 1);
+  std::vector<Dist> got_var(sources.size(), 2);
+  ASSERT_TRUE(csr.Resolve(sources, targets, want).ok());
+  ASSERT_TRUE(nop.Resolve(sources, targets, got_nop).ok());
+  ASSERT_TRUE(var.Resolve(sources, targets, got_var).ok());
+  ASSERT_EQ(got_nop, want) << GetParam().name;
+  ASSERT_EQ(got_var, want) << GetParam().name;
+
+  std::vector<Dist> row_want;
+  std::vector<Dist> row_got;
+  ASSERT_TRUE(csr.ResolveRow(n / 2, &row_want).ok());
+  ASSERT_TRUE(var.ResolveRow(n / 2, &row_got).ok());
+  ASSERT_EQ(row_got, row_want) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, CompressedTraversalTest,
+                         ::testing::ValuesIn(kGenerators),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(CodecTelemetryTest, TraversalRecordsDecodedEdges) {
+  const Graph g = BuildBa(17);
+  const EncodedAdjacency enc = EncodeAdjacency<VarintDecompressor>(g);
+  auto& registry = obs::MetricsRegistry::Global();
+  const int64_t edges_before =
+      registry.GetCounter("graph.codec.decoded_edges").value();
+  const int64_t bytes_before =
+      registry.GetCounter("graph.codec.decoded_bytes").value();
+  {
+    BasicDirOptBfsRunner<VarintAdjacency> runner{VarintAdjacency(enc)};
+    runner.Run(0);
+  }  // cursor flushes decode counters on destruction
+  EXPECT_GT(registry.GetCounter("graph.codec.decoded_edges").value(),
+            edges_before);
+  EXPECT_GT(registry.GetCounter("graph.codec.decoded_bytes").value(),
+            bytes_before);
+  // Encode-side counters were recorded by EncodeAdjacency above.
+  EXPECT_GT(registry.GetCounter("graph.codec.encoded_bytes").value(), 0);
+  EXPECT_GT(registry.GetCounter("graph.codec.raw_bytes").value(), 0);
+}
+
+}  // namespace
+}  // namespace convpairs

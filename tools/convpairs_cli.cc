@@ -35,6 +35,7 @@
 #include "cover/coverage.h"
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
+#include "graph/io/snapshot_io.h"
 #include "graph/validation.h"
 #include "obs/obs.h"
 #include "sssp/bfs.h"
@@ -47,6 +48,20 @@ using namespace convpairs;
 
 namespace {
 
+/// True when --format selects .cps for this snapshot pair: explicitly, or
+/// by extension sniffing in the default auto mode.
+bool UseCpsFormat(const FlagParser& flags) {
+  const std::string format = flags.GetString("format");
+  if (format == "cps") return true;
+  if (format != "auto") return false;
+  const std::string g1 = flags.GetString("g1");
+  const std::string g2 = flags.GetString("g2");
+  const auto is_cps = [](const std::string& path) {
+    return path.size() >= 4 && path.compare(path.size() - 4, 4, ".cps") == 0;
+  };
+  return !g1.empty() && !g2.empty() && is_cps(g1) && is_cps(g2);
+}
+
 int Run(const FlagParser& flags) {
   // Assemble the snapshot pair.
   Graph g1;
@@ -58,19 +73,43 @@ int Run(const FlagParser& flags) {
       std::fprintf(stderr, "error: --g1 and --g2 must be given together\n");
       return 1;
     }
-    auto first = ReadEdgeList(flags.GetString("g1"));
-    auto second = ReadEdgeList(flags.GetString("g2"));
-    if (!first.ok() || !second.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   (!first.ok() ? first.status() : second.status())
-                       .ToString()
-                       .c_str());
-      return 1;
+    if (UseCpsFormat(flags)) {
+      // Binary snapshots: mmap, validate checksums, decode into RAM CSR.
+      // The id space was fixed at conversion time (edgelist2cps
+      // --num-nodes), so a pair that loads is already aligned.
+      auto first = CpsSnapshot::Open(flags.GetString("g1"));
+      auto second = CpsSnapshot::Open(flags.GetString("g2"));
+      if (!first.ok() || !second.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     (!first.ok() ? first.status() : second.status())
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+      if (first->num_nodes() != second->num_nodes()) {
+        std::fprintf(stderr,
+                     "error: snapshot pair disagrees on num_nodes (%u vs "
+                     "%u); reconvert with edgelist2cps --num-nodes\n",
+                     first->num_nodes(), second->num_nodes());
+        return 1;
+      }
+      g1 = first->ToGraph();
+      g2 = second->ToGraph();
+    } else {
+      auto first = ReadEdgeList(flags.GetString("g1"));
+      auto second = ReadEdgeList(flags.GetString("g2"));
+      if (!first.ok() || !second.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     (!first.ok() ? first.status() : second.status())
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+      // Snapshots must share one id space for comparable distance rows.
+      NodeId space = std::max(first->num_nodes(), second->num_nodes());
+      g1 = Graph::FromEdges(space, first->ToEdgeList());
+      g2 = Graph::FromEdges(space, second->ToEdgeList());
     }
-    // Snapshots must share one id space for comparable distance rows.
-    NodeId space = std::max(first->num_nodes(), second->num_nodes());
-    g1 = Graph::FromEdges(space, first->ToEdgeList());
-    g2 = Graph::FromEdges(space, second->ToEdgeList());
     Status valid = ValidateSnapshotPair(g1, g2);
     if (!valid.ok()) {
       std::fprintf(stderr, "invalid snapshot pair: %s\n",
@@ -239,6 +278,10 @@ int main(int argc, char** argv) {
   flags.Define("input", "", "temporal edge list file (u v time [weight])");
   flags.Define("g1", "", "first static snapshot file (u v [weight])");
   flags.Define("g2", "", "second static snapshot file (u v [weight])");
+  flags.Define("format", "auto",
+               "snapshot file format for --g1/--g2: 'text' (edge list), "
+               "'cps' (binary snapshot from edgelist2cps), or 'auto' "
+               "(sniff by .cps extension)");
   flags.Define("dataset", "facebook",
                "generated dataset when --input is absent "
                "(actors|internet|facebook|dblp)");

@@ -1,0 +1,130 @@
+// edgelist2cps: convert text edge lists into .cps binary snapshots.
+//
+// A .cps file (graph/io/snapshot_format.h) is a versioned, checksummed,
+// mmap-loadable container holding a compressed CSR adjacency. Converting
+// once moves all parsing cost offline: convpairs_cli --format=cps and
+// convpairs_server open the result in milliseconds via mmap, with the
+// varint codec typically keeping >2.5x less adjacency resident than the
+// u32 CSR the text loader builds.
+//
+//   edgelist2cps --input g1.txt --output g1.cps
+//   edgelist2cps --input g2.txt --output g2.cps --num-nodes 81307
+//
+// Snapshot pairs must share one node-id space; pass --num-nodes with the
+// pair's common id-space size (max over both files) when converting each
+// half, exactly what the text loaders do internally. The converter prints
+// the encoded size and ratio so the residency win is visible up front.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "graph/codec/decompressor.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "graph/io/snapshot_io.h"
+#include "util/flags.h"
+
+using namespace convpairs;
+
+namespace {
+
+int Run(const FlagParser& flags) {
+  const std::string input = flags.GetString("input");
+  const std::string output = flags.GetString("output");
+  if (input.empty() || output.empty()) {
+    std::fprintf(stderr, "error: --input and --output are required\n");
+    return 1;
+  }
+  const std::string codec = flags.GetString("codec");
+  uint32_t codec_id = 0;
+  if (codec == "varint") {
+    codec_id = VarintDecompressor::kCodecId;
+  } else if (codec == "nop") {
+    codec_id = NopDecompressor::kCodecId;
+  } else {
+    std::fprintf(stderr, "error: --codec must be 'varint' or 'nop'\n");
+    return 1;
+  }
+  auto num_nodes = flags.GetInt("num-nodes");
+  if (!num_nodes.ok() || *num_nodes < 0) {
+    std::fprintf(stderr, "error: --num-nodes must be a non-negative int\n");
+    return 1;
+  }
+
+  auto parsed = ReadEdgeList(input);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  Graph g = std::move(*parsed);
+  if (*num_nodes > 0) {
+    if (static_cast<NodeId>(*num_nodes) < g.num_nodes()) {
+      std::fprintf(stderr,
+                   "error: --num-nodes %lld is smaller than the file's id "
+                   "space (%u)\n",
+                   static_cast<long long>(*num_nodes), g.num_nodes());
+      return 1;
+    }
+    // Pad the id space so both halves of a snapshot pair line up.
+    g = Graph::FromEdges(static_cast<NodeId>(*num_nodes), g.ToEdgeList());
+  }
+
+  Status written = WriteCpsSnapshot(g, output, codec_id);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+
+  // Re-open what we wrote: proves the file round-trips through the
+  // validating loader and yields the honest resident-bytes numbers.
+  auto snapshot = CpsSnapshot::Open(output);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "error: wrote %s but it failed to load back: %s\n",
+                 output.c_str(), snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const CpsSnapshot::LoadInfo& info = snapshot->info();
+  std::printf("wrote %s: nodes=%u directed_edges=%llu codec=%s\n",
+              output.c_str(), snapshot->num_nodes(),
+              static_cast<unsigned long long>(snapshot->num_directed_edges()),
+              snapshot->codec_name());
+  std::printf(
+      "resident adjacency: %llu bytes (RAM CSR: %llu bytes, residency "
+      "ratio x1000: %lld; codec ratio x1000: %lld), load %.2f ms\n",
+      static_cast<unsigned long long>(info.resident_bytes),
+      static_cast<unsigned long long>(info.csr_resident_bytes),
+      static_cast<long long>(info.resident_ratio_x1000),
+      static_cast<long long>(info.ratio_x1000), info.load_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "edgelist2cps: convert a static edge list (\"u v\" per line) into a "
+      "checksummed, mmap-loadable .cps binary snapshot.");
+  flags.Define("input", "", "static edge list file to convert");
+  flags.Define("output", "", "output .cps path");
+  flags.Define("codec", "varint",
+               "adjacency codec: 'varint' (delta-gap compressed) or 'nop' "
+               "(raw u32, zero-copy)");
+  flags.Define("num-nodes", "0",
+               "pad the id space to this many nodes (0 = the file's own "
+               "max id + 1); use the pair-wide max when converting a "
+               "snapshot pair");
+  flags.Define("help", "false", "print usage");
+
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").ok() && *flags.GetBool("help")) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+  return Run(flags);
+}
