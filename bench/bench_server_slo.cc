@@ -1,0 +1,320 @@
+// Serving-plane SLO benchmark: open-loop arrival rates, per-stage tails.
+//
+// bench_server_load drives the server closed-loop (each client keeps a
+// fixed pipeline in flight), which under overload self-throttles: the
+// injected rate collapses to the service rate and the measured p99 hides
+// exactly the queueing the SLO cares about. This bench is open-loop: a
+// Poisson injector sends DIST queries on a precomputed arrival schedule
+// and NEVER waits for replies — separate reader threads drain them — so
+// queue growth shows up in the latency numbers instead of in the offered
+// rate, the way it does for real clients.
+//
+// For each arrival rate in the sweep the registry is reset, the injector
+// offers kRequestsPerRate queries at the target rate across kConnections
+// pipelined connections, and the report reads the server's own stage
+// decomposition (server.stage.*.latency_us, request_context.h) for
+// p50/p99/p999 per stage plus the end-to-end server.request.latency_us
+// view. A consistency check cross-validates the two: the sum of per-stage
+// mean latencies must land within [0.35, 1.10] of the end-to-end mean —
+// below, the stages are missing time; above, they double-count it. The
+// exposition text a live scraper would see (METRICS verb) is captured once
+// per rate into BENCH_server_slo_exposition.txt; the final telemetry lands
+// in BENCH_server_slo.json.
+//
+// Fixture: BA-50k (scaled by CONVPAIRS_SCALE), snapshots at 0.85/1.0,
+// default batched serving options — the same plane bench_server_load
+// accepts at >= 5x.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "gen/ba_generator.h"
+#include "obs/registry.h"
+#include "obs/windowed.h"
+#include "server/protocol.h"
+#include "server/request_context.h"
+#include "server/server.h"
+#include "server/socket.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace convpairs;
+
+namespace {
+
+constexpr int kConnections = 8;
+constexpr int kRequestsPerRate = 400;
+constexpr double kRates[] = {500.0, 2000.0, 8000.0};
+// Stage-sum / end-to-end mean ratio bounds: below 0.35 the stages fail to
+// explain the end-to-end time (lost spans); above 1.10 they double-count.
+constexpr double kConsistencyLo = 0.35;
+constexpr double kConsistencyHi = 1.10;
+
+/// One arrival: when to send (ns after the run starts) and on which
+/// connection. Schedules are precomputed so injector threads do no RNG or
+/// allocation on the timing path.
+struct Arrival {
+  uint64_t at_ns = 0;
+  std::string request;
+};
+
+/// Per-rate outcome, one row of the final table.
+struct RateResult {
+  double target_qps = 0;
+  double offered_qps = 0;   // What the injector actually achieved.
+  double run_seconds = 0;   // First send to last reply.
+  double e2e_p50_us = 0;
+  double e2e_p99_us = 0;
+  double e2e_p999_us = 0;
+  double stage_p99_us[server::kNumRequestStages] = {};
+  double mean_ratio = 0;    // Stage-sum mean / end-to-end mean.
+  bool consistent = false;
+};
+
+/// Poisson arrival schedule: exponential inter-arrival gaps at `rate`,
+/// round-robin across connections, endpoints uniform over the id space.
+std::vector<std::vector<Arrival>> MakeSchedule(double rate, Rng& rng,
+                                               NodeId num_nodes) {
+  std::vector<std::vector<Arrival>> per_conn(kConnections);
+  double now_s = 0;
+  for (int i = 0; i < kRequestsPerRate; ++i) {
+    double u = rng.UniformDouble();
+    now_s += -std::log(1.0 - u) / rate;
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    const int snapshot = 1 + static_cast<int>(rng.UniformInt(2));
+    Arrival arrival;
+    arrival.at_ns = static_cast<uint64_t>(now_s * 1e9);
+    arrival.request = "DIST " + std::to_string(s) + ' ' + std::to_string(t) +
+                      ' ' + std::to_string(snapshot) + '\n';
+    per_conn[i % kConnections].push_back(std::move(arrival));
+  }
+  return per_conn;
+}
+
+/// Counts newline-delimited replies until `expected` have arrived.
+void DrainReplies(server::TcpStream& stream, size_t expected) {
+  char chunk[4096];
+  size_t seen = 0;
+  while (seen < expected) {
+    auto got = stream.Receive(chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) return;
+    for (size_t i = 0; i < *got; ++i) {
+      if (chunk[i] == '\n') ++seen;
+    }
+  }
+}
+
+/// Scrapes METRICS on a fresh connection and returns the exposition text.
+std::string ScrapeMetrics(uint16_t port) {
+  auto stream = server::ConnectLoopback(port);
+  if (!stream.ok()) return "";
+  if (!stream->SendAll("METRICS\n").ok()) return "";
+  std::string buffer;
+  char chunk[4096];
+  size_t nl;
+  while ((nl = buffer.find('\n')) == std::string::npos) {
+    auto got = stream->Receive(chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) return "";
+    buffer.append(chunk, *got);
+  }
+  if (buffer.rfind("OK ", 0) != 0) return "";
+  size_t nbytes = static_cast<size_t>(std::stoull(buffer.substr(3, nl - 3)));
+  buffer.erase(0, nl + 1);
+  while (buffer.size() < nbytes) {
+    auto got = stream->Receive(chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) break;
+    buffer.append(chunk, *got);
+  }
+  return buffer;
+}
+
+RateResult DriveRate(server::ConvpairsServer& srv, double rate, Rng& rng,
+                     NodeId num_nodes) {
+  RateResult result;
+  result.target_qps = rate;
+  obs::MetricsRegistry::Global().Reset();
+
+  auto schedule = MakeSchedule(rate, rng, num_nodes);
+  std::vector<std::unique_ptr<server::TcpStream>> streams;
+  for (int c = 0; c < kConnections; ++c) {
+    auto stream = server::ConnectLoopback(srv.port());
+    if (!stream.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   stream.status().ToString().c_str());
+      return result;
+    }
+    streams.push_back(std::make_unique<server::TcpStream>(std::move(*stream)));
+  }
+
+  // Readers first (they block in Receive), then the injectors. Injectors
+  // sleep until each arrival's scheduled time and send — they never read,
+  // so a slow server backs up its queues, not the offered rate.
+  Timer run_timer;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConnections; ++c) {
+    threads.emplace_back(
+        [&, c] { DrainReplies(*streams[c], schedule[c].size()); });
+  }
+  std::atomic<uint64_t> last_send_ns{0};
+  for (int c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&, c] {
+      for (const Arrival& arrival : schedule[c]) {
+        std::this_thread::sleep_until(
+            start + std::chrono::nanoseconds(arrival.at_ns));
+        if (!streams[c]->SendAll(arrival.request).ok()) return;
+      }
+      uint64_t sent_at = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      uint64_t prev = last_send_ns.load();
+      while (sent_at > prev && !last_send_ns.compare_exchange_weak(prev, sent_at)) {
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.run_seconds = run_timer.Seconds();
+  const double send_span_s =
+      static_cast<double>(last_send_ns.load()) / 1e9;
+  result.offered_qps =
+      send_span_s > 0 ? kRequestsPerRate / send_span_s : 0;
+
+  auto& registry = obs::MetricsRegistry::Global();
+  auto& e2e = registry.GetHistogram("server.request.latency_us");
+  result.e2e_p50_us = e2e.Percentile(50);
+  result.e2e_p99_us = e2e.Percentile(99);
+  result.e2e_p999_us = e2e.Percentile(99.9);
+
+  // Per-stage tails from the windowed instruments' cumulative view: the
+  // registry was reset at run start, so "cumulative" means "this run".
+  double stage_mean_sum_us = 0;
+  for (size_t i = 0; i < server::kNumRequestStages; ++i) {
+    auto& h = registry.GetWindowedHistogram(
+        "server.stage." +
+        std::string(server::RequestStageName(
+            static_cast<server::RequestStage>(i))) +
+        ".latency_us");
+    result.stage_p99_us[i] = h.cumulative().Percentile(99);
+    if (h.cumulative().count() > 0) {
+      stage_mean_sum_us +=
+          h.cumulative().sum() / static_cast<double>(h.cumulative().count());
+    }
+  }
+  const double e2e_mean_us =
+      e2e.count() > 0 ? e2e.sum() / static_cast<double>(e2e.count()) : 0;
+  result.mean_ratio =
+      e2e_mean_us > 0 ? stage_mean_sum_us / e2e_mean_us : 0;
+  result.consistent = result.mean_ratio >= kConsistencyLo &&
+                      result.mean_ratio <= kConsistencyHi;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchEnv env = bench::BenchEnv::FromEnvironment();
+  bench::PrintHeader("server_slo", env);
+
+  const uint32_t num_nodes =
+      std::max(1000u, static_cast<uint32_t>(50000 * env.scale));
+  Rng rng(11 + env.seed);
+  BaParams params;
+  params.num_nodes = num_nodes;
+  params.edges_per_node = 3;
+  params.uniform_mix = 0.2;
+  TemporalGraph temporal = GenerateBarabasiAlbert(params, rng);
+  const Graph g1 = temporal.SnapshotAtFraction(0.85);
+  const Graph g2 = temporal.SnapshotAtFraction(1.0);
+  std::printf("BA graph: %u nodes | G1 %zu edges, G2 %zu edges\n", num_nodes,
+              g1.num_edges(), g2.num_edges());
+  std::printf(
+      "open loop: %d Poisson arrivals per rate over %d connections\n\n",
+      kRequestsPerRate, kConnections);
+
+  server::ConvpairsServer srv(g1, g2);
+  Status started = srv.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<RateResult> results;
+  std::string last_exposition;
+  for (double rate : kRates) {
+    results.push_back(DriveRate(srv, rate, rng, g1.num_nodes()));
+    // Scrape what a live Prometheus poller would see before the next run
+    // resets the registry. (The scrape itself perturbs only the sync-verb
+    // stages, and after the measured requests finished.)
+    std::string exposition = ScrapeMetrics(srv.port());
+    if (!exposition.empty()) last_exposition = std::move(exposition);
+  }
+  srv.Stop();
+
+  if (!last_exposition.empty()) {
+    if (std::FILE* f = std::fopen("BENCH_server_slo_exposition.txt", "w")) {
+      std::fwrite(last_exposition.data(), 1, last_exposition.size(), f);
+      std::fclose(f);
+      std::printf("exposition: wrote BENCH_server_slo_exposition.txt (%zu "
+                  "bytes, highest rate)\n\n",
+                  last_exposition.size());
+    }
+  }
+
+  std::printf(
+      "%9s %9s | %8s %8s %8s | %7s %7s %7s %7s %7s | %5s\n", "target/s",
+      "offered/s", "p50us", "p99us", "p999us", "parse99", "queue99",
+      "batch99", "scan99", "send99", "check");
+  bool all_consistent = true;
+  for (const RateResult& r : results) {
+    std::printf(
+        "%9.0f %9.0f | %8.0f %8.0f %8.0f | %7.0f %7.0f %7.0f %7.0f %7.0f | "
+        "%5s\n",
+        r.target_qps, r.offered_qps, r.e2e_p50_us, r.e2e_p99_us,
+        r.e2e_p999_us, r.stage_p99_us[0], r.stage_p99_us[1],
+        r.stage_p99_us[2], r.stage_p99_us[3], r.stage_p99_us[4],
+        r.consistent ? "ok" : "SKEW");
+    all_consistent = all_consistent && r.consistent;
+  }
+  std::printf(
+      "\nstage-sum vs end-to-end mean ratio in [%.2f, %.2f] at every rate: "
+      "%s\n",
+      kConsistencyLo, kConsistencyHi, all_consistent ? "PASS" : "FAIL");
+
+  // The registry was reset per rate (wiping PrintHeader's metadata too), so
+  // the JSON's live instruments cover the last (highest) rate and the
+  // header fields are restored here; the swept numbers ride in metadata.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.SetMetadata("bench", "server_slo");
+  registry.SetMetadata("scale", std::to_string(env.scale));
+  registry.SetMetadata("seed", std::to_string(env.seed));
+  registry.SetMetadata("num_nodes", std::to_string(num_nodes));
+  registry.SetMetadata("connections", std::to_string(kConnections));
+  registry.SetMetadata("requests_per_rate",
+                       std::to_string(kRequestsPerRate));
+  registry.SetMetadata("stage_consistency",
+                       all_consistent ? "PASS" : "FAIL");
+  for (const RateResult& r : results) {
+    const std::string key = "rate_" + std::to_string(
+                                          static_cast<int64_t>(r.target_qps));
+    registry.SetMetadata(key + "_offered_qps", std::to_string(r.offered_qps));
+    registry.SetMetadata(key + "_p50_us", std::to_string(r.e2e_p50_us));
+    registry.SetMetadata(key + "_p99_us", std::to_string(r.e2e_p99_us));
+    registry.SetMetadata(key + "_p999_us", std::to_string(r.e2e_p999_us));
+    registry.SetMetadata(key + "_scan_p99_us",
+                         std::to_string(r.stage_p99_us[3]));
+    registry.SetMetadata(key + "_mean_ratio", std::to_string(r.mean_ratio));
+  }
+  bench::FinishAndExport("server_slo");
+  return all_consistent ? 0 : 1;
+}

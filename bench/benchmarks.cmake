@@ -31,6 +31,7 @@ convpairs_add_bench(bench_ablation_incremental bench/bench_ablation_incremental.
 convpairs_add_bench(bench_ablation_sampled_bet bench/bench_ablation_sampled_bet.cc)
 convpairs_add_bench(bench_ext_diverging bench/bench_ext_diverging.cc)
 convpairs_add_bench(bench_server_load bench/bench_server_load.cc)
+convpairs_add_bench(bench_server_slo bench/bench_server_slo.cc)
 convpairs_add_bench(bench_snapshot_load bench/bench_snapshot_load.cc)
 
 add_executable(bench_micro_perf bench/bench_micro_perf.cc)

@@ -21,10 +21,16 @@ Drives the full serving stack the way an operator would:
   5. sends STATS and validates the snapshot residency fields
      (snapshot_source/codec/resident_bytes/ratio_x1000/load_ms) the
      server reports for its backing store;
-  6. sends SIGINT and checks the graceful-shutdown contract: exit code 0
+  6. scrapes METRICS over a raw socket (block reply: "OK <nbytes>" header
+     then exactly nbytes of payload) and validates the live Prometheus
+     exposition with slo_report.py — well-formed families, cumulative
+     buckets, and every per-stage windowed latency family present;
+  7. sends SIGINT and checks the graceful-shutdown contract: exit code 0
      and a metrics file that covers every request served;
-  7. writes the server.request.latency_us histogram (plus p50/p99 computed
-     from its buckets) to --out for CI to upload.
+  8. writes the server.request.latency_us histogram (plus p50/p99 computed
+     from its buckets) to --out for CI to upload. The summary uses the
+     cumulative histogram, which since the wide-ladder recalibration spans
+     10us..~40s, so tails are no longer clipped at ~327ms.
 
 Exit status: 0 when every check passes, 1 otherwise. Standard library
 only; runs on any Python 3.8+.
@@ -34,6 +40,7 @@ import argparse
 import json
 import random
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -41,7 +48,35 @@ import time
 from collections import deque
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import slo_report  # noqa: E402  (sibling module, stdlib-only)
+
 INF = None  # Oracle's "unreachable"; the wire spells it INF.
+
+
+def scrape_metrics(port, timeout=30):
+    """Returns the METRICS block-reply payload from a live server."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.sendall(b"METRICS\n")
+        buffer = b""
+        while b"\n" not in buffer:
+            chunk = s.recv(4096)
+            if not chunk:
+                raise ConnectionError("connection closed before block header")
+            buffer += chunk
+        header, _, buffer = buffer.partition(b"\n")
+        if not header.startswith(b"OK "):
+            raise ValueError(f"bad METRICS header: {header!r}")
+        nbytes = int(header[3:])
+        while len(buffer) < nbytes:
+            chunk = s.recv(4096)
+            if not chunk:
+                raise ConnectionError("connection closed mid-payload")
+            buffer += chunk
+        if len(buffer) != nbytes:
+            raise ValueError(
+                f"trailing bytes after block payload: {len(buffer) - nbytes}")
+        return buffer.decode("utf-8")
 
 
 def build_snapshot_pair(num_nodes, seed):
@@ -174,6 +209,9 @@ def main():
     parser.add_argument("--queries", type=int, default=200)
     parser.add_argument("--nodes", type=int, default=300)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--exposition-out",
+                        help="also write the scraped METRICS payload here "
+                        "(CI uploads it as an artifact)")
     args = parser.parse_args()
 
     workdir = Path(tempfile.mkdtemp(prefix="server_smoke_"))
@@ -316,6 +354,30 @@ def main():
     print(f"STATS snapshot fields validated: source={fields['snapshot_source']}"
           f" codec={fields['snapshot_codec']}"
           f" resident_bytes={fields['snapshot_resident_bytes']}")
+
+    # Live exposition: METRICS must frame a valid Prometheus text payload
+    # that includes the per-stage windowed latency families — the requests
+    # above populated them.
+    try:
+        exposition = scrape_metrics(port)
+    except (OSError, ValueError) as exc:
+        server.kill()
+        print(f"FAIL: METRICS scrape failed: {exc}", file=sys.stderr)
+        return 1
+    families, parse_errors = slo_report.parse_exposition(exposition)
+    expo_errors = slo_report.validate(families, parse_errors,
+                                      require_stages=True)
+    if expo_errors:
+        server.kill()
+        for why in expo_errors:
+            print(f"FAIL: METRICS exposition: {why}", file=sys.stderr)
+        return 1
+    n_samples = sum(len(info["samples"]) for info in families.values())
+    print(f"METRICS exposition validated: {len(families)} families, "
+          f"{n_samples} samples, all stage histograms present")
+    sys.stdout.write(slo_report.stage_table(families))
+    if args.exposition_out:
+        Path(args.exposition_out).write_text(exposition, encoding="utf-8")
 
     # Graceful shutdown: SIGINT must drain, export telemetry, and exit 0.
     server.send_signal(signal.SIGINT)

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Parse, validate, and summarize convpairs Prometheus text exposition.
+
+Usage:
+    scripts/slo_report.py --in EXPOSITION.txt [--table OUT.txt]
+                          [--require-stages]
+
+The input is what the server's METRICS verb returns (or what
+bench_server_slo captures into BENCH_server_slo_exposition.txt): the
+subset of the Prometheus text format v0.0.4 that src/obs/exposition.cc
+emits — # HELP/# TYPE comments, optional {labels}, floating point values,
+no timestamps.
+
+Validation (the contract every scraper relies on):
+  - every sample belongs to a family announced by a preceding # TYPE;
+  - metric names match the Prometheus charset;
+  - histogram `_bucket` series are cumulative and non-decreasing in
+    ascending `le` order, end with le="+Inf", and the +Inf value equals
+    the family's `_count`;
+  - every value parses as a finite float (counters/gauges) or +Inf label.
+
+With --require-stages, the per-stage serving families
+convpairs_server_stage_<stage>_latency_us (and their _window variants)
+must all be present — the shape CI's server smoke checks against a live
+server.
+
+The stage table renders p50/p99/p999 per request stage from the
+`_quantile` gauges, one block per window label.
+
+Importable: server_smoke.py reuses parse_exposition() / validate() /
+stage_table(). Standard library only; exit 0 iff validation passes.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+STAGES = ("parse", "queue_wait", "batch_wait", "scan", "reply_send")
+STAGE_FAMILY = "convpairs_server_stage_{stage}_latency_us"
+
+
+def parse_labels(text):
+    """'a="x",b="y"' -> dict; raises ValueError on malformed pairs."""
+    labels = {}
+    if not text:
+        return labels
+    for part in text.split(","):
+        m = LABEL_RE.match(part.strip())
+        if m is None:
+            raise ValueError(f"malformed label pair: {part!r}")
+        labels[m.group("key")] = m.group("val")
+    return labels
+
+
+def parse_exposition(text):
+    """Returns (families, errors).
+
+    families: {family_name: {"type": str, "help": str, "samples":
+    [(sample_name, labels_dict, value_float)]}}. Bucket samples file under
+    the family whose # TYPE announced them (name minus _bucket/_sum/_count
+    for histograms).
+    """
+    families = {}
+    errors = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(maxsplit=3)
+            if len(parts) < 3:
+                errors.append(f"line {lineno}: malformed HELP")
+                continue
+            name = parts[2]
+            families.setdefault(name, {"type": None, "help": None,
+                                       "samples": []})
+            families[name]["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE")
+                continue
+            name, kind = parts[2], parts[3]
+            if not METRIC_NAME_RE.match(name):
+                errors.append(f"line {lineno}: bad family name {name!r}")
+                continue
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                errors.append(f"line {lineno}: unknown type {kind!r}")
+                continue
+            families.setdefault(name, {"type": None, "help": None,
+                                       "samples": []})
+            families[name]["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # Other comments are legal and ignored.
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        try:
+            labels = parse_labels(m.group("labels") or "")
+        except ValueError as exc:
+            errors.append(f"line {lineno}: {exc}")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {m.group('value')!r}")
+            continue
+        if math.isnan(value):
+            errors.append(f"line {lineno}: NaN value for {name}")
+            continue
+        # Attribute the sample: exact family, or the histogram family whose
+        # _bucket/_sum/_count suffix it carries.
+        family = None
+        if name in families:
+            family = name
+        else:
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = name[: -len(suffix)] if name.endswith(suffix) else None
+                if base and base in families and \
+                        families[base]["type"] == "histogram":
+                    family = base
+                    break
+        if family is None:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no declared family "
+                f"(missing # TYPE)")
+            continue
+        families[family]["samples"].append((name, labels, value))
+    return families, errors
+
+
+def validate_histogram(family, info):
+    """Bucket monotonicity + +Inf == count, per label set."""
+    errors = []
+    # Group buckets by their non-le labels (e.g. window="10s").
+    series = {}
+    counts = {}
+    for name, labels, value in info["samples"]:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"{family}: bucket sample without le label")
+                continue
+            series.setdefault(key, []).append((labels["le"], value))
+        elif name.endswith("_count"):
+            counts[key] = value
+    if not series:
+        errors.append(f"{family}: histogram family has no _bucket samples")
+    for key, buckets in series.items():
+        def bound(le):
+            return math.inf if le == "+Inf" else float(le)
+        try:
+            ordered = sorted(buckets, key=lambda b: bound(b[0]))
+        except ValueError:
+            errors.append(f"{family}{dict(key)}: unparseable le bound")
+            continue
+        prev = -1.0
+        for le, value in ordered:
+            if value < prev:
+                errors.append(
+                    f"{family}{dict(key)}: bucket le={le} value {value} "
+                    f"below previous {prev} (must be cumulative)")
+            prev = value
+        if ordered[-1][0] != "+Inf":
+            errors.append(f"{family}{dict(key)}: missing le=\"+Inf\" bucket")
+        elif key in counts and ordered[-1][1] != counts[key]:
+            errors.append(
+                f"{family}{dict(key)}: le=\"+Inf\" bucket {ordered[-1][1]} "
+                f"!= _count {counts[key]}")
+        if key not in counts:
+            errors.append(f"{family}{dict(key)}: missing _count sample")
+    return errors
+
+
+def validate(families, parse_errors, require_stages=False):
+    """Full validation pass; returns the list of error strings."""
+    errors = list(parse_errors)
+    for family, info in sorted(families.items()):
+        if info["type"] is None:
+            errors.append(f"{family}: family has samples but no # TYPE")
+            continue
+        if info["type"] == "histogram":
+            errors.extend(validate_histogram(family, info))
+        elif not info["samples"]:
+            errors.append(f"{family}: family declared but has no samples")
+    if require_stages:
+        for stage in STAGES:
+            base = STAGE_FAMILY.format(stage=stage)
+            for needed in (base, base + "_window", base + "_quantile"):
+                if needed not in families:
+                    errors.append(f"missing required stage family {needed}")
+                elif not families[needed]["samples"]:
+                    errors.append(f"required stage family {needed} is empty")
+    return errors
+
+
+def stage_table(families):
+    """Renders per-stage p50/p99/p999 per window from _quantile gauges."""
+    rows = {}  # window -> stage -> {quantile: value}
+    for stage in STAGES:
+        family = STAGE_FAMILY.format(stage=stage) + "_quantile"
+        info = families.get(family)
+        if info is None:
+            continue
+        for _, labels, value in info["samples"]:
+            window = labels.get("window", "?")
+            q = labels.get("quantile", "?")
+            rows.setdefault(window, {}).setdefault(stage, {})[q] = value
+    if not rows:
+        return "no per-stage quantile gauges found\n"
+    out = []
+    for window in sorted(rows):
+        out.append(f"stage latency (us), window {window}:")
+        out.append(f"  {'stage':<12} {'p50':>10} {'p99':>10} {'p99.9':>10}")
+        for stage in STAGES:
+            qs = rows[window].get(stage, {})
+            out.append("  {:<12} {:>10.1f} {:>10.1f} {:>10.1f}".format(
+                stage, qs.get("0.5", 0.0), qs.get("0.99", 0.0),
+                qs.get("0.999", 0.0)))
+        out.append("")
+    return "\n".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--in", dest="infile", required=True,
+                        help="exposition text file (METRICS payload)")
+    parser.add_argument("--table", help="write the stage table here too")
+    parser.add_argument("--require-stages", action="store_true",
+                        help="fail unless every per-stage family is present")
+    args = parser.parse_args()
+
+    with open(args.infile, encoding="utf-8") as f:
+        text = f.read()
+    families, parse_errors = parse_exposition(text)
+    errors = validate(families, parse_errors,
+                      require_stages=args.require_stages)
+    table = stage_table(families)
+    sys.stdout.write(table)
+    if args.table:
+        with open(args.table, "w", encoding="utf-8") as f:
+            f.write(table)
+    n_samples = sum(len(info["samples"]) for info in families.values())
+    print(f"{len(families)} families, {n_samples} samples")
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    print("exposition valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,12 @@ For each trace the script reports, from the per-seat timeline events:
     pool.steal success on the same seat;
   - per-phase idle time: for every top-level ScopedSpan phase (the
     "phases" tracks), how much pool.idle time the seats accumulated while
-    that phase was running.
+    that phase was running;
+  - serving-plane stage latencies: duration percentiles per request stage
+    from server.stage spans (one span per non-empty stage per request —
+    see src/server/request_context.h), broken out by verb. The exporter
+    carries the raw stage/verb ids (obs sits below the server layer);
+    this script owns the id -> name mapping.
 
 Only the Python standard library is used so the script runs anywhere the
 repo builds. Event names mirror FlightEventKindName() in
@@ -29,6 +34,13 @@ import sys
 PHASE_TID_BASE = 1000
 
 BUSY_EVENTS = ("pool.chunk", "pool.region_inline")
+
+# Mirror server/request_context.h RequestStage and server/protocol.h
+# RequestVerb: the trace carries raw enum values in args.
+STAGE_NAMES = {0: "parse", 1: "queue_wait", 2: "batch_wait", 3: "scan",
+               4: "reply_send"}
+VERB_NAMES = {0: "dist", 1: "delta", 2: "topk", 3: "cand", 4: "ping",
+              5: "stats", 6: "metrics", 7: "slow"}
 
 
 def percentile(sorted_values, q):
@@ -135,6 +147,30 @@ def summarize_phase_idle(doc, seats, out):
                    f"idle={fmt_us(overlap)}")
 
 
+def summarize_server_stages(doc, out):
+    """Duration percentiles per request stage from server.stage spans."""
+    by_stage = {}
+    verbs = set()
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") != "X" or event.get("name") != "server.stage":
+            continue
+        args = event.get("args", {})
+        by_stage.setdefault(args.get("stage", -1), []).append(
+            event.get("dur", 0.0))
+        verbs.add(args.get("verb", -1))
+    if not by_stage:
+        return
+    verb_list = ", ".join(VERB_NAMES.get(v, f"verb {v}")
+                          for v in sorted(verbs))
+    out.append(f"server request stages (verbs seen: {verb_list}):")
+    out.append("  stage             n        p50        p99        max")
+    for stage in sorted(by_stage):
+        durs = sorted(by_stage[stage])
+        name = STAGE_NAMES.get(stage, f"stage {stage}")
+        out.append(f"  {name:<12} {len(durs):6d} {fmt_us(percentile(durs, 50)):>10} "
+                   f"{fmt_us(percentile(durs, 99)):>10} {fmt_us(durs[-1]):>10}")
+
+
 def summarize(path):
     with open(path) as f:
         doc = json.load(f)
@@ -151,6 +187,7 @@ def summarize(path):
     summarize_seats(seats, seat_names(doc), out)
     summarize_steals(seats, out)
     summarize_phase_idle(doc, seats, out)
+    summarize_server_stages(doc, out)
     return "\n".join(out)
 
 

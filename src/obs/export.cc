@@ -48,6 +48,26 @@ JsonValue HistogramToJson(const HistogramSample& sample) {
   return hist;
 }
 
+JsonValue WindowedToJson(const WindowedHistogramSample& sample) {
+  JsonValue windowed = JsonValue::Object();
+  windowed.Set("epoch_nanos", static_cast<int64_t>(sample.epoch_nanos));
+  windowed.Set("rotation_dropped",
+               static_cast<int64_t>(sample.rotation_dropped));
+  windowed.Set("cumulative", HistogramToJson(sample.cumulative));
+  JsonValue windows = JsonValue::Array();
+  for (const auto& window : sample.windows) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("epochs", window.epochs);
+    entry.Set("p50", SamplePercentile(window.merged, 50.0));
+    entry.Set("p99", SamplePercentile(window.merged, 99.0));
+    entry.Set("p999", SamplePercentile(window.merged, 99.9));
+    entry.Set("histogram", HistogramToJson(window.merged));
+    windows.Append(std::move(entry));
+  }
+  windowed.Set("windows", std::move(windows));
+  return windowed;
+}
+
 double MillisFromNanos(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 
 }  // namespace
@@ -111,6 +131,12 @@ JsonValue JsonExporter::BuildReport(const std::string& run_name,
     histograms.Set(sample.name, HistogramToJson(sample));
   }
   report.Set("histograms", std::move(histograms));
+
+  JsonValue windowed = JsonValue::Object();
+  for (const WindowedHistogramSample& sample : metrics.windowed) {
+    windowed.Set(sample.name, WindowedToJson(sample));
+  }
+  report.Set("windowed", std::move(windowed));
 
   JsonValue span_stats = JsonValue::Object();
   for (const SpanStats& stats : trace.stats) {

@@ -1,0 +1,164 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/windowed.h"
+
+namespace convpairs::obs {
+namespace {
+
+constexpr std::string_view kPrefix = "convpairs_";
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string FormatValue(int64_t v) { return std::to_string(v); }
+std::string FormatValue(uint64_t v) { return std::to_string(v); }
+
+void AppendHeader(std::string& out, const std::string& family,
+                  std::string_view type, std::string_view source_name) {
+  out += "# HELP ";
+  out += family;
+  out += " convpairs instrument ";
+  out += source_name;
+  out += "\n# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// One merged histogram family body: cumulative `_bucket` series (with an
+/// optional extra label like `window="10s"`), then `_sum` and `_count`.
+void AppendHistogramSeries(std::string& out, const std::string& family,
+                           const HistogramSample& sample,
+                           const std::string& extra_label) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < sample.buckets.size(); ++i) {
+    cumulative += sample.buckets[i];
+    out += family;
+    out += "_bucket{";
+    if (!extra_label.empty()) {
+      out += extra_label;
+      out += ',';
+    }
+    out += "le=\"";
+    out += i < sample.bounds.size() ? FormatValue(sample.bounds[i]) : "+Inf";
+    out += "\"} ";
+    out += FormatValue(cumulative);
+    out += '\n';
+  }
+  out += family;
+  out += "_sum";
+  if (!extra_label.empty()) {
+    out += '{';
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += FormatValue(sample.sum);
+  out += '\n';
+  out += family;
+  out += "_count";
+  if (!extra_label.empty()) {
+    out += '{';
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += FormatValue(sample.count);
+  out += '\n';
+}
+
+std::string WindowLabel(const WindowedHistogramSample& sample,
+                        int64_t epochs) {
+  double seconds = static_cast<double>(epochs) *
+                   static_cast<double>(sample.epoch_nanos) / 1e9;
+  return "window=\"" + FormatValue(seconds) + "s\"";
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(kPrefix.size() + name.size());
+  out += kPrefix;
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'
+               ? c
+               : '_';
+  }
+  return out;
+}
+
+std::string WriteExposition(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string family = SanitizeMetricName(name);
+    AppendHeader(out, family, "counter", name);
+    out += family;
+    out += ' ';
+    out += FormatValue(value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string family = SanitizeMetricName(name);
+    AppendHeader(out, family, "gauge", name);
+    out += family;
+    out += ' ';
+    out += FormatValue(value);
+    out += '\n';
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    std::string family = SanitizeMetricName(sample.name);
+    AppendHeader(out, family, "histogram", sample.name);
+    AppendHistogramSeries(out, family, sample, "");
+  }
+  for (const WindowedHistogramSample& sample : snapshot.windowed) {
+    std::string family = SanitizeMetricName(sample.name);
+    AppendHeader(out, family, "histogram", sample.name);
+    AppendHistogramSeries(out, family, sample.cumulative, "");
+
+    std::string window_family = family + "_window";
+    AppendHeader(out, window_family, "histogram", sample.name);
+    for (const auto& window : sample.windows) {
+      AppendHistogramSeries(out, window_family, window.merged,
+                            WindowLabel(sample, window.epochs));
+    }
+
+    std::string quantile_family = family + "_quantile";
+    AppendHeader(out, quantile_family, "gauge", sample.name);
+    for (const auto& window : sample.windows) {
+      for (double q : {50.0, 99.0, 99.9}) {
+        out += quantile_family;
+        out += '{';
+        out += WindowLabel(sample, window.epochs);
+        out += ",quantile=\"";
+        out += FormatValue(q / 100.0);
+        out += "\"} ";
+        out += FormatValue(SamplePercentile(window.merged, q));
+        out += '\n';
+      }
+    }
+
+    std::string dropped_family = family + "_rotation_dropped";
+    AppendHeader(out, dropped_family, "counter", sample.name);
+    out += dropped_family;
+    out += ' ';
+    out += FormatValue(sample.rotation_dropped);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WriteGlobalExposition() {
+  return WriteExposition(MetricsRegistry::Global().Snapshot());
+}
+
+}  // namespace convpairs::obs

@@ -1,0 +1,48 @@
+// Prometheus-compatible text exposition for a MetricsSnapshot.
+//
+// This is the wire format behind the server's METRICS verb: any scraper
+// (or scripts/slo_report.py) can poll a live convpairs_server and get the
+// whole registry — counters, gauges, cumulative histograms, and the
+// windowed SLO instruments — as `# TYPE`-annotated plain text.
+//
+// Mapping (all family names are sanitized and prefixed `convpairs_`):
+//   counter  "server.errors"        -> convpairs_server_errors <v>
+//   gauge    "server.sessions"      -> convpairs_server_sessions <v>
+//   histogram "x"                   -> convpairs_x_bucket{le="..."} (cumulative
+//                                      counts, ascending, then le="+Inf"),
+//                                      convpairs_x_sum, convpairs_x_count
+//   windowed "server.stage.scan.latency_us" ->
+//     convpairs_server_stage_scan_latency_us_*          (cumulative view)
+//     convpairs_..._window_bucket{window="10s",le="..."} (+ _sum/_count per
+//                                                        window label)
+//     convpairs_..._quantile{window="10s",quantile="0.99"} (p50/p99/p999
+//                                                        gauges per window)
+//     convpairs_..._rotation_dropped                     (counter)
+//
+// The format is the subset of the Prometheus text format v0.0.4 that
+// slo_report.py validates: HELP/TYPE comments, optional labels, floating
+// point values, no timestamps.
+
+#ifndef CONVPAIRS_OBS_EXPOSITION_H_
+#define CONVPAIRS_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/registry.h"
+
+namespace convpairs::obs {
+
+/// `name` with every character outside [a-zA-Z0-9_] replaced by '_', and a
+/// leading digit guarded — the Prometheus metric-name charset.
+std::string SanitizeMetricName(std::string_view name);
+
+/// Renders the whole snapshot in Prometheus text exposition format.
+std::string WriteExposition(const MetricsSnapshot& snapshot);
+
+/// Convenience: snapshot the global registry and render it.
+std::string WriteGlobalExposition();
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_EXPOSITION_H_

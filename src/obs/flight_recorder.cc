@@ -51,6 +51,8 @@ std::string_view FlightEventKindName(FlightEventKind kind) {
       return "server.request";
     case FlightEventKind::kServerBatch:
       return "server.batch";
+    case FlightEventKind::kServerStage:
+      return "server.stage";
     case FlightEventKind::kNumKinds:
       break;
   }

@@ -62,6 +62,9 @@ enum class FlightEventKind : uint8_t {
                          //      arg1 = 1 when the reply is an ERR
   kServerBatch,          // dur: one batcher flush; arg0 = unique sources
                          //      (lanes), arg1 = queries resolved
+  kServerStage,          // dur: one request stage; arg0 = stage
+                         //      (request_context.h RequestStage),
+                         //      arg1 = verb (protocol.h RequestVerb)
   kNumKinds,             // sentinel, not a recordable kind
 };
 

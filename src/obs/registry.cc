@@ -1,7 +1,12 @@
 #include "obs/registry.h"
 
+#include <algorithm>
+
 namespace convpairs::obs {
 namespace {
+
+// Derived counter surfaced in every snapshot (see MetricsSnapshot docs).
+constexpr std::string_view kOverflowCounterName = "obs.histogram.overflow";
 
 template <typename Map, typename Factory>
 auto& FindOrCreate(Map& map, std::string_view name, Factory make) {
@@ -45,6 +50,29 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   return GetHistogram(name, kDefaultBounds);
 }
 
+WindowedHistogram& MetricsRegistry::GetWindowedHistogram(
+    std::string_view name, std::span<const double> bounds,
+    WindowedHistogram::Options options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(windowed_, name, [&] {
+    return std::make_unique<WindowedHistogram>(
+        std::vector<double>(bounds.begin(), bounds.end()),
+        std::move(options));
+  });
+}
+
+WindowedHistogram& MetricsRegistry::GetWindowedHistogram(
+    std::string_view name, std::span<const double> bounds) {
+  return GetWindowedHistogram(name, bounds, WindowedHistogram::Options{});
+}
+
+WindowedHistogram& MetricsRegistry::GetWindowedHistogram(
+    std::string_view name) {
+  static const std::vector<double> kDefaultBounds =
+      ExponentialBuckets(10.0, 2.0, 22);
+  return GetWindowedHistogram(name, kDefaultBounds);
+}
+
 void MetricsRegistry::SetMetadata(std::string_view key,
                                   std::string_view value) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -54,17 +82,36 @@ void MetricsRegistry::SetMetadata(std::string_view key,
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
-  snapshot.counters.reserve(counters_.size());
-  for (const auto& [name, counter] : counters_) {
-    snapshot.counters.emplace_back(name, counter->value());
-  }
-  snapshot.gauges.reserve(gauges_.size());
-  for (const auto& [name, gauge] : gauges_) {
-    snapshot.gauges.emplace_back(name, gauge->value());
-  }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms.push_back(histogram->Sample(name));
+  }
+  snapshot.windowed.reserve(windowed_.size());
+  for (const auto& [name, windowed] : windowed_) {
+    snapshot.windowed.push_back(windowed->Sample(name));
+  }
+  // obs.histogram.overflow is set-to-snapshot: the +inf mass across every
+  // cumulative view, recomputed here (same pattern as the flight-recorder
+  // counter sync) so Observe never pays a registry lookup for it.
+  int64_t overflow = 0;
+  for (const HistogramSample& sample : snapshot.histograms) {
+    overflow += static_cast<int64_t>(sample.buckets.back());
+  }
+  for (const WindowedHistogramSample& sample : snapshot.windowed) {
+    overflow += static_cast<int64_t>(sample.cumulative.buckets.back());
+  }
+  snapshot.counters.reserve(counters_.size() + 1);
+  for (const auto& [name, counter] : counters_) {
+    if (name == kOverflowCounterName) continue;  // Derived; never stale.
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  auto pos = std::lower_bound(
+      snapshot.counters.begin(), snapshot.counters.end(), kOverflowCounterName,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  snapshot.counters.emplace(pos, std::string(kOverflowCounterName), overflow);
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
   }
   snapshot.metadata.assign(metadata_.begin(), metadata_.end());
   return snapshot;
@@ -75,6 +122,7 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, windowed] : windowed_) windowed->Reset();
   metadata_.clear();
 }
 

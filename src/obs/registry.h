@@ -19,14 +19,22 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/windowed.h"
 
 namespace convpairs::obs {
 
 /// Point-in-time copy of every registered instrument plus run metadata.
+///
+/// `counters` always includes the derived `obs.histogram.overflow` entry:
+/// the total count sitting in +inf buckets across every histogram
+/// (cumulative and windowed-cumulative), recomputed at snapshot time so
+/// +inf saturation — percentiles silently clamped to the last finite
+/// bound — is visible to scrapers without any hot-path bookkeeping.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<WindowedHistogramSample> windowed;
   std::vector<std::pair<std::string, std::string>> metadata;
 };
 
@@ -46,6 +54,18 @@ class MetricsRegistry {
   /// node/edge counts on multi-million-edge graphs.
   Histogram& GetHistogram(std::string_view name);
 
+  /// Windowed (SLO) histogram; bounds and options fixed by the first
+  /// caller, like GetHistogram. The two-argument overload uses default
+  /// options (1s epochs, 10s/60s windows, steady clock).
+  WindowedHistogram& GetWindowedHistogram(std::string_view name,
+                                          std::span<const double> bounds,
+                                          WindowedHistogram::Options options);
+  WindowedHistogram& GetWindowedHistogram(std::string_view name,
+                                          std::span<const double> bounds);
+  /// Default bounds: exponential 10us, 20us, ..., ~2^21*10us (~21s) —
+  /// sized for request-latency microsecond observations.
+  WindowedHistogram& GetWindowedHistogram(std::string_view name);
+
   /// Free-form run metadata (dataset, scale, seed, ...) carried into every
   /// export. Last write per key wins.
   void SetMetadata(std::string_view key, std::string_view value);
@@ -61,6 +81,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windowed_;
   std::map<std::string, std::string, std::less<>> metadata_;
 };
 

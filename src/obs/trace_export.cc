@@ -115,6 +115,13 @@ JsonValue FlightArgs(const FlightEvent& event) {
       args.Set("lanes", static_cast<int64_t>(event.arg0));
       args.Set("queries", static_cast<int64_t>(event.arg1));
       break;
+    case FlightEventKind::kServerStage:
+      // Stage ids are request_context.h's RequestStage; obs sits below the
+      // server layer, so the exporter carries the raw id and
+      // scripts/trace_summary.py owns the name mapping.
+      args.Set("stage", static_cast<int64_t>(event.arg0));
+      args.Set("verb", static_cast<int64_t>(event.arg1));
+      break;
     case FlightEventKind::kNumKinds:
       break;
   }
@@ -170,6 +177,7 @@ void AppendLaneEvents(const FlightLaneSnapshot& lane, int tid,
         break;
       case FlightEventKind::kServerRequest:
       case FlightEventKind::kServerBatch:
+      case FlightEventKind::kServerStage:
         events->Append(DurationEvent(name, "server", tid, event.ts_ns,
                                      event.dur_ns, FlightArgs(event)));
         break;

@@ -1,0 +1,182 @@
+#include "obs/windowed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace convpairs::obs {
+namespace {
+
+uint64_t SteadyClock() { return TraceNowNanos(); }
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram(std::vector<double> bounds,
+                                     Options options)
+    : bounds_(std::move(bounds)),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : &SteadyClock),
+      cumulative_(bounds_) {
+  CONVPAIRS_CHECK(!bounds_.empty());
+  CONVPAIRS_CHECK_GT(options_.epoch_nanos, 0u);
+  CONVPAIRS_CHECK(!options_.window_epochs.empty());
+  int64_t max_window = 0;
+  for (int64_t w : options_.window_epochs) {
+    CONVPAIRS_CHECK_GT(w, 0);
+    max_window = std::max(max_window, w);
+  }
+  // One slot per in-window epoch plus slack: the current partial epoch and
+  // one slot being recycled never evict a shard the longest window still
+  // needs.
+  size_t num_shards = static_cast<size_t>(max_window) + 2;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t b = 0; b <= bounds_.size(); ++b) shard->buckets[b].store(0);
+    // Seed with an epoch no live clock can produce again, so the first
+    // Observe on every slot rotates it instead of merging into epoch 0.
+    shard->epoch.store(kRotating - 1 - i, std::memory_order_relaxed);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+WindowedHistogram::WindowedHistogram(std::vector<double> bounds)
+    : WindowedHistogram(std::move(bounds), Options{}) {}
+
+uint64_t WindowedHistogram::NowEpoch() const {
+  return clock_() / options_.epoch_nanos;
+}
+
+WindowedHistogram::Shard* WindowedHistogram::ClaimShard(uint64_t epoch) {
+  Shard& shard = *shards_[epoch % shards_.size()];
+  // Two retries cover the common race (another observer finished rotating
+  // between our load and CAS); a rotator preempted mid-zero is rare enough
+  // to drop the windowed increment rather than spin on the hot path.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    uint64_t seen = shard.epoch.load(std::memory_order_acquire);
+    if (seen == epoch) return &shard;
+    if (seen == kRotating) continue;  // Another thread is zeroing this slot.
+    if (shard.epoch.compare_exchange_strong(seen, kRotating,
+                                            std::memory_order_acq_rel)) {
+      for (size_t b = 0; b <= bounds_.size(); ++b) {
+        shard.buckets[b].store(0, std::memory_order_relaxed);
+      }
+      shard.count.store(0, std::memory_order_relaxed);
+      shard.sum.store(0.0, std::memory_order_relaxed);
+      shard.epoch.store(epoch, std::memory_order_release);
+      return &shard;
+    }
+  }
+  rotation_dropped_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void WindowedHistogram::Observe(double value) {
+  cumulative_.Observe(value);
+  Shard* shard = ClaimShard(NowEpoch());
+  if (shard == nullptr) return;
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  shard->buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  shard->count.fetch_add(1, std::memory_order_relaxed);
+  shard->sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSample WindowedHistogram::Window(int64_t window_epochs,
+                                          std::string name) const {
+  CONVPAIRS_CHECK_GT(window_epochs, 0);
+  HistogramSample sample;
+  sample.name = std::move(name);
+  sample.bounds = bounds_;
+  sample.buckets.assign(bounds_.size() + 1, 0);
+  const uint64_t now_epoch = NowEpoch();
+  const uint64_t oldest =
+      now_epoch >= static_cast<uint64_t>(window_epochs) - 1
+          ? now_epoch - static_cast<uint64_t>(window_epochs) + 1
+          : 0;
+  for (const auto& shard : shards_) {
+    uint64_t epoch = shard->epoch.load(std::memory_order_acquire);
+    if (epoch == kRotating || epoch < oldest || epoch > now_epoch) continue;
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      sample.buckets[b] += shard->buckets[b].load(std::memory_order_relaxed);
+    }
+    sample.count += shard->count.load(std::memory_order_relaxed);
+    sample.sum += shard->sum.load(std::memory_order_relaxed);
+  }
+  if (sample.count > 0) {
+    // min/max aren't tracked per shard; report bucket-derived bounds so
+    // downstream interpolation stays sane.
+    size_t lo = 0;
+    while (lo < bounds_.size() && sample.buckets[lo] == 0) ++lo;
+    size_t hi = bounds_.size();
+    while (hi > 0 && sample.buckets[hi] == 0) --hi;
+    sample.min = lo == 0 ? 0.0 : bounds_[lo - 1];
+    sample.max = hi < bounds_.size() ? bounds_[hi] : bounds_.back();
+  }
+  return sample;
+}
+
+double WindowedHistogram::WindowPercentile(double p,
+                                           int64_t window_epochs) const {
+  return SamplePercentile(Window(window_epochs, ""), p);
+}
+
+WindowedHistogramSample WindowedHistogram::Sample(std::string name) const {
+  WindowedHistogramSample sample;
+  sample.epoch_nanos = options_.epoch_nanos;
+  sample.rotation_dropped = rotation_dropped();
+  sample.cumulative = cumulative_.Sample(name);
+  for (int64_t w : options_.window_epochs) {
+    sample.windows.push_back({w, Window(w, name)});
+  }
+  sample.name = std::move(name);
+  return sample;
+}
+
+void WindowedHistogram::Reset() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    shard.epoch.store(kRotating - 1 - i, std::memory_order_relaxed);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+  cumulative_.Reset();
+  rotation_dropped_.store(0, std::memory_order_relaxed);
+}
+
+double SamplePercentile(const HistogramSample& sample, double p) {
+  CONVPAIRS_CHECK_GE(p, 0.0);
+  CONVPAIRS_CHECK_LE(p, 100.0);
+  if (sample.count == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sample.count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < sample.buckets.size(); ++i) {
+    uint64_t in_bucket = sample.buckets[i];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      double lo = i == 0 ? std::min(sample.min, sample.bounds.front())
+                         : sample.bounds[i - 1];
+      double hi = i == sample.bounds.size()
+                      ? std::max(sample.max, sample.bounds.back())
+                      : sample.bounds[i];
+      double fraction = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(in_bucket);
+      return lo + (hi - lo) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return sample.max;
+}
+
+}  // namespace convpairs::obs

@@ -1,0 +1,142 @@
+// Windowed histogram: tail latency over the last N seconds, not since boot.
+//
+// Every instrument in metrics.h is cumulative-since-process-start, which is
+// the wrong shape for a serving SLO: after an hour of traffic a latency
+// regression is invisible under the accumulated mass. WindowedHistogram
+// keeps a ring of per-epoch histogram shards (one shard per wall-clock
+// second by default). Observe() is lock-free — it derives the current epoch
+// from a monotonic clock, claims the ring slot via a CAS-to-sentinel
+// rotation protocol if the slot still holds an expired epoch, and then does
+// the same relaxed atomic increments a plain Histogram does. Percentile
+// queries merge the shards whose epoch falls inside the requested window;
+// expired shards simply stop matching and drop out without any background
+// thread.
+//
+// Rotation protocol: a shard's `epoch` field is either a real epoch number
+// or the kRotating sentinel. The first observer to land on a slot whose
+// epoch is stale CASes it to kRotating, zeroes the shard, then publishes
+// the new epoch with a release store. Concurrent observers that lose the
+// race retry briefly; if the slot still isn't theirs (rotator preempted
+// mid-zero) they drop the windowed increment and bump rotation_dropped() —
+// the cumulative view (below) still records the observation, so nothing is
+// lost from totals.
+//
+// Each WindowedHistogram also owns a cumulative Histogram fed on every
+// Observe, so exposition can emit both the standard Prometheus cumulative
+// histogram series and the windowed percentiles from one instrument.
+//
+// The clock is injectable (seconds don't tick on demand in tests): pass a
+// ClockFn returning nanoseconds, or leave the default (trace.h's
+// TraceNowNanos, the steady clock used by every other instrument).
+
+#ifndef CONVPAIRS_OBS_WINDOWED_H_
+#define CONVPAIRS_OBS_WINDOWED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace convpairs::obs {
+
+/// Nanosecond monotonic clock used to derive epochs. Injectable for tests.
+using ClockFn = uint64_t (*)();
+
+/// One windowed instrument's state at snapshot time: the cumulative view
+/// plus one merged sample per configured window.
+struct WindowedHistogramSample {
+  std::string name;
+  uint64_t epoch_nanos = 0;
+  uint64_t rotation_dropped = 0;
+  HistogramSample cumulative;
+  struct Window {
+    /// Window length in epochs (== seconds at the default epoch length).
+    int64_t epochs = 0;
+    HistogramSample merged;
+  };
+  std::vector<Window> windows;
+};
+
+class WindowedHistogram {
+ public:
+  struct Options {
+    /// Epoch (shard granularity) length. Default: one second.
+    uint64_t epoch_nanos = 1'000'000'000ull;
+    /// Window lengths, in epochs, reported by Sample(). The largest must
+    /// fit in the ring (shards = max window + 2 slack slots).
+    std::vector<int64_t> window_epochs = {10, 60};
+    /// Nanosecond clock; nullptr means TraceNowNanos.
+    ClockFn clock = nullptr;
+  };
+
+  WindowedHistogram(std::vector<double> bounds, Options options);
+  /// Default options: 1s epochs, 10s and 60s windows, steady clock.
+  explicit WindowedHistogram(std::vector<double> bounds);
+
+  /// Lock-free: epoch derivation + (rarely) slot rotation + relaxed
+  /// increments into the owning shard and the cumulative histogram.
+  void Observe(double value);
+
+  /// Merged counts over the trailing `window_epochs` epochs, including the
+  /// current partial epoch. min/max are not tracked per shard; the sample's
+  /// min/max fields are bucket-derived bounds (0 when empty).
+  HistogramSample Window(int64_t window_epochs, std::string name) const;
+
+  /// Percentile over the trailing window via SamplePercentile().
+  double WindowPercentile(double p, int64_t window_epochs) const;
+
+  /// Cumulative-since-creation view (identical semantics to Histogram).
+  const Histogram& cumulative() const { return cumulative_; }
+
+  /// Windowed increments dropped because a rotation was in flight. The
+  /// cumulative view still saw those observations.
+  uint64_t rotation_dropped() const {
+    return rotation_dropped_.load(std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const Options& options() const { return options_; }
+
+  /// Full snapshot: cumulative + every configured window.
+  WindowedHistogramSample Sample(std::string name) const;
+
+  /// Zeroes every shard and the cumulative view; the instrument (and any
+  /// cached references) stays valid.
+  void Reset();
+
+ private:
+  struct Shard {
+    /// Epoch this shard's counts belong to, or kRotating mid-zero.
+    std::atomic<uint64_t> epoch{0};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // bounds.size() + 1
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  static constexpr uint64_t kRotating = ~0ull;
+
+  uint64_t NowEpoch() const;
+  /// Ensures shards_[epoch % shards_.size()] holds `epoch`; returns the
+  /// shard if this observer may increment it, nullptr if a rotation was in
+  /// flight and the windowed increment should be dropped.
+  Shard* ClaimShard(uint64_t epoch);
+
+  std::vector<double> bounds_;
+  Options options_;
+  ClockFn clock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Histogram cumulative_;
+  std::atomic<uint64_t> rotation_dropped_{0};
+};
+
+/// Percentile estimate from a merged sample, by the same bucket-linear
+/// interpolation Histogram::Percentile uses (bounds stand in for min/max
+/// when the sample doesn't carry them). Returns 0 when empty.
+double SamplePercentile(const HistogramSample& sample, double p);
+
+}  // namespace convpairs::obs
+
+#endif  // CONVPAIRS_OBS_WINDOWED_H_

@@ -5,6 +5,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "server/snapshots.h"
 #include "sssp/batch_service.h"
 #include "util/check.h"
@@ -74,11 +75,13 @@ DistanceBatcher::DistanceBatcher(const Graph& g1, const Graph& g2,
 
 DistanceBatcher::~DistanceBatcher() { Stop(); }
 
-std::future<Dist> DistanceBatcher::Submit(int snapshot, NodeId s, NodeId t) {
+std::future<TimedDist> DistanceBatcher::Submit(int snapshot, NodeId s,
+                                               NodeId t) {
   CONVPAIRS_CHECK(snapshot == 1 || snapshot == 2);
   Lane& lane = lanes_[snapshot - 1];
-  std::future<Dist> result;
+  std::future<TimedDist> result;
   bool notify = false;
+  const uint64_t submit_ns = obs::TraceNowNanos();
   {
     std::lock_guard<std::mutex> lock(lane.mu);
     CONVPAIRS_CHECK(!lane.stop);  // Server joins sessions before Stop().
@@ -89,6 +92,7 @@ std::future<Dist> DistanceBatcher::Submit(int snapshot, NodeId s, NodeId t) {
     lane.pending.emplace_back();
     lane.pending.back().s = s;
     lane.pending.back().t = t;
+    lane.pending.back().submit_ns = submit_ns;
     result = lane.pending.back().promise.get_future();
     if (lane.pending_sources.insert(s).second &&
         lane.pending_sources.size() >= options_.max_lanes) {
@@ -130,6 +134,10 @@ void DistanceBatcher::DispatcherLoop(Lane& lane) {
     lane.pending.clear();
     lane.pending_sources.clear();
     lock.unlock();
+    // One clock read covers the whole batch: queue_wait ends for every
+    // member the moment the dispatcher takes ownership.
+    const uint64_t collect_ns = obs::TraceNowNanos();
+    for (PendingQuery& query : batch) query.collect_ns = collect_ns;
     if (options_.scan_per_query) {
       // Baseline mode: every query pays its own scan, whatever was queued.
       for (PendingQuery& query : batch) {
@@ -172,6 +180,7 @@ void DistanceBatcher::ResolveBatch(DistanceResolver& service,
   }
 
   std::vector<Dist> out(batch.size(), kInfDist);
+  const uint64_t scan_start_ns = obs::TraceNowNanos();
   {
     obs::FlightScope span(obs::FlightEventKind::kServerBatch,
                           static_cast<uint32_t>(unique.size()),
@@ -181,8 +190,13 @@ void DistanceBatcher::ResolveBatch(DistanceResolver& service,
     Status resolved = service.Resolve(sources, targets, out);
     CONVPAIRS_CHECK(resolved.ok());
   }
+  const uint64_t scan_end_ns = obs::TraceNowNanos();
   for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i].promise.set_value(out[i]);
+    TimedDist timed;
+    timed.dist = out[i];
+    timed.timing = {batch[i].submit_ns, batch[i].collect_ns, scan_start_ns,
+                    scan_end_ns};
+    batch[i].promise.set_value(timed);
   }
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "server/request_context.h"
 #include "sssp/bfs_engine.h"
 
 namespace convpairs {
@@ -84,8 +85,11 @@ class DistanceBatcher {
 
   /// Enqueues one hop-distance query against snapshot 1 or 2. Thread-safe;
   /// never blocks on graph work. `s`/`t` must be < num_nodes (the protocol
-  /// layer validates) and the batcher must not be stopped.
-  std::future<Dist> Submit(int snapshot, NodeId s, NodeId t);
+  /// layer validates) and the batcher must not be stopped. The future
+  /// carries the resolved distance plus the query's batch-stage timestamps
+  /// (submit/collect/scan — see request_context.h), so the session can
+  /// decompose request latency without sharing state with the dispatcher.
+  std::future<TimedDist> Submit(int snapshot, NodeId s, NodeId t);
 
   /// Drains both queues and joins the dispatcher threads. Every submitted
   /// future is fulfilled before this returns. Idempotent.
@@ -97,7 +101,9 @@ class DistanceBatcher {
   struct PendingQuery {
     NodeId s = 0;
     NodeId t = 0;
-    std::promise<Dist> promise;
+    uint64_t submit_ns = 0;   // Stamped in Submit().
+    uint64_t collect_ns = 0;  // Stamped when the dispatcher takes the batch.
+    std::promise<TimedDist> promise;
   };
 
   /// One snapshot's accumulation queue + dispatcher state.

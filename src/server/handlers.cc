@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/selector_registry.h"
+#include "obs/exposition.h"
 #include "obs/registry.h"
 #include "sssp/batch_service.h"
 #include "sssp/budget.h"
@@ -16,7 +17,16 @@ namespace convpairs::server {
 
 RequestHandlers::RequestHandlers(const ServingSnapshots& snapshots,
                                  DistanceBatcher& batcher, TopKConfig config)
-    : snapshots_(snapshots), batcher_(batcher), config_(std::move(config)) {}
+    : RequestHandlers(snapshots, batcher, std::move(config),
+                      SlowQueryLog::Options{}) {}
+
+RequestHandlers::RequestHandlers(const ServingSnapshots& snapshots,
+                                 DistanceBatcher& batcher, TopKConfig config,
+                                 SlowQueryLog::Options slow_options)
+    : snapshots_(snapshots),
+      batcher_(batcher),
+      config_(std::move(config)),
+      slow_log_(slow_options) {}
 
 bool RequestHandlers::EnsureTopK(std::string* error) {
   // topk_mu_ stays held for the whole computation: concurrent first TOPK
@@ -54,10 +64,13 @@ bool RequestHandlers::EnsureTopK(std::string* error) {
   return true;
 }
 
-std::string RequestHandlers::HandleTopK(int64_t k) {
+std::string RequestHandlers::HandleTopK(int64_t k, bool* is_error) {
   std::lock_guard<std::mutex> lock(topk_mu_);
   std::string error;
-  if (!EnsureTopK(&error)) return error;
+  if (!EnsureTopK(&error)) {
+    *is_error = true;
+    return error;
+  }
   const size_t n =
       std::min(topk_.pairs.size(), static_cast<size_t>(std::max<int64_t>(k, 0)));
   std::string reply = "OK " + std::to_string(n);
@@ -73,7 +86,8 @@ std::string RequestHandlers::HandleTopK(int64_t k) {
   return reply;
 }
 
-std::string RequestHandlers::HandleCand(NodeId v, int64_t budget) {
+std::string RequestHandlers::HandleCand(NodeId v, int64_t budget,
+                                        bool* is_error) {
   // Per-request budget: a CAND request pays for its own rows and cannot
   // starve other clients beyond the work it was granted.
   SsspBudget request_budget(budget);
@@ -82,9 +96,15 @@ std::string RequestHandlers::HandleCand(NodeId v, int64_t budget) {
   std::vector<Dist> row1;
   std::vector<Dist> row2;
   Status s1 = service1->ResolveRow(v, &row1, &request_budget);
-  if (!s1.ok()) return ErrReply("budget", s1.message());
+  if (!s1.ok()) {
+    *is_error = true;
+    return ErrReply("budget", s1.message());
+  }
   Status s2 = service2->ResolveRow(v, &row2, &request_budget);
-  if (!s2.ok()) return ErrReply("budget", s2.message());
+  if (!s2.ok()) {
+    *is_error = true;
+    return ErrReply("budget", s2.message());
+  }
 
   // Partners u with delta = d1 - d2 > 0: pairs (v, u) whose distance shrank
   // between the snapshots. The reply size is what the remaining budget could
@@ -144,6 +164,14 @@ std::string RequestHandlers::HandleStats() const {
   reply += " snapshot_ratio_x1000=" + std::to_string(load.ratio_x1000);
   reply += " snapshot_load_ms=" + std::to_string(load.load_ms);
   return reply;
+}
+
+std::string RequestHandlers::HandleMetrics() const {
+  return BlockReply(obs::WriteGlobalExposition());
+}
+
+std::string RequestHandlers::HandleSlow() const {
+  return BlockReply(slow_log_.Dump());
 }
 
 }  // namespace convpairs::server

@@ -14,9 +14,15 @@
 //           2 SSSPs per pair under the paper's Table-1 accounting.
 //   STATS — serving counters from the metrics registry, for smoke tests
 //           and load drivers that want occupancy without a metrics file.
+//   METRICS — Prometheus text exposition of the whole registry (block
+//           reply), so any scraper can poll a live server.
+//   SLOW  — the slow-query log (block reply, newest first); the handlers
+//           own the log, sessions record into it at reply time.
 //
-// All handlers return complete reply lines (no trailing newline) and never
-// throw; failures inside a handler become structured ERR replies.
+// All handlers return complete reply lines (no trailing newline; METRICS
+// and SLOW return BlockReply framing) and never throw; failures inside a
+// handler become structured ERR replies with *is_error set — the session's
+// error accounting keys off that flag, never off the reply text.
 
 #ifndef CONVPAIRS_SERVER_HANDLERS_H_
 #define CONVPAIRS_SERVER_HANDLERS_H_
@@ -29,6 +35,7 @@
 #include "graph/graph.h"
 #include "server/batcher.h"
 #include "server/protocol.h"
+#include "server/slow_log.h"
 #include "server/snapshots.h"
 
 namespace convpairs::server {
@@ -49,23 +56,35 @@ class RequestHandlers {
   /// `snapshots` and `batcher` must outlive the handlers.
   RequestHandlers(const ServingSnapshots& snapshots, DistanceBatcher& batcher,
                   TopKConfig config);
+  RequestHandlers(const ServingSnapshots& snapshots, DistanceBatcher& batcher,
+                  TopKConfig config, SlowQueryLog::Options slow_options);
 
   RequestHandlers(const RequestHandlers&) = delete;
   RequestHandlers& operator=(const RequestHandlers&) = delete;
 
   /// Thread-safe; the first call computes and caches the top-k run.
-  std::string HandleTopK(int64_t k);
+  /// Handlers that can fail set `*is_error` (never cleared to false here;
+  /// callers pass a false-initialized flag).
+  std::string HandleTopK(int64_t k, bool* is_error);
 
   /// Thread-safe; spends at most `budget` SSSPs via a per-request
   /// SsspBudget (2 in the current implementation: v's row per snapshot).
-  std::string HandleCand(NodeId v, int64_t budget);
+  std::string HandleCand(NodeId v, int64_t budget, bool* is_error);
 
   /// Thread-safe; reads registry counters and the snapshot load stats.
   std::string HandleStats() const;
 
+  /// Thread-safe; snapshots the global registry and renders the Prometheus
+  /// text exposition, framed as a block reply.
+  std::string HandleMetrics() const;
+
+  /// Thread-safe; dumps the slow-query log, framed as a block reply.
+  std::string HandleSlow() const;
+
   NodeId num_nodes() const { return snapshots_.num_nodes(); }
   const ServingSnapshots& snapshots() const { return snapshots_; }
   DistanceBatcher& batcher() { return batcher_; }
+  SlowQueryLog& slow_log() { return slow_log_; }
 
  private:
   /// Computes the cached top-k result if not done yet; returns false (with
@@ -75,6 +94,7 @@ class RequestHandlers {
   const ServingSnapshots& snapshots_;
   DistanceBatcher& batcher_;
   TopKConfig config_;
+  SlowQueryLog slow_log_;
 
   std::mutex topk_mu_;
   bool topk_ready_ = false;       // Guarded by topk_mu_.

@@ -94,8 +94,20 @@ std::string_view VerbName(RequestVerb verb) {
       return "ping";
     case RequestVerb::kStats:
       return "stats";
+    case RequestVerb::kMetrics:
+      return "metrics";
+    case RequestVerb::kSlow:
+      return "slow";
+    case RequestVerb::kNumVerbs:
+      break;
   }
   return "invalid";
+}
+
+std::string BlockReply(std::string_view payload) {
+  std::string reply = "OK " + std::to_string(payload.size()) + "\n";
+  reply += payload;
+  return reply;
 }
 
 bool ParseRequest(std::string_view line, NodeId num_nodes, Request* out,
@@ -198,9 +210,22 @@ bool ParseRequest(std::string_view line, NodeId num_nodes, Request* out,
     return true;
   }
 
-  *err_reply = ErrReply("unknown_verb",
-                        "'" + std::string(verb) +
-                            "' (expected DIST|DELTA|TOPK|CAND|PING|STATS)");
+  if (verb == "METRICS") {
+    if (!CheckArity(tokens, 1, err_reply)) return false;
+    out->verb = RequestVerb::kMetrics;
+    return true;
+  }
+
+  if (verb == "SLOW") {
+    if (!CheckArity(tokens, 1, err_reply)) return false;
+    out->verb = RequestVerb::kSlow;
+    return true;
+  }
+
+  *err_reply = ErrReply(
+      "unknown_verb",
+      "'" + std::string(verb) +
+          "' (expected DIST|DELTA|TOPK|CAND|PING|STATS|METRICS|SLOW)");
   return false;
 }
 

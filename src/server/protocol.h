@@ -14,6 +14,16 @@
 //                                              SsspBudget of `budget` SSSPs
 //   PING            -> OK pong
 //   STATS           -> OK key=value ...        serving counters
+//   METRICS         -> OK <nbytes>\n<payload>  Prometheus text exposition of
+//                                              the whole metrics registry
+//   SLOW            -> OK <nbytes>\n<payload>  structured slow-query log,
+//                                              newest first
+//
+// METRICS and SLOW are the protocol's only block replies: the first line
+// carries the exact payload byte count, then the payload follows verbatim
+// (it is multi-line text). Line-at-a-time clients read the header, then
+// exactly <nbytes> bytes; pipelining stays safe because the framing is
+// self-delimiting and replies remain in request order.
 //
 // Distances print as decimal hop counts, or "INF" for unreachable pairs.
 // Malformed input never disconnects: the reply is a structured error line
@@ -60,7 +70,13 @@ enum class RequestVerb : uint8_t {
   kCand,
   kPing,
   kStats,
+  kMetrics,
+  kSlow,
+  kNumVerbs,  // sentinel, not a parseable verb
 };
+
+inline constexpr size_t kNumRequestVerbs =
+    static_cast<size_t>(RequestVerb::kNumVerbs);
 
 /// One parsed request. Only the fields of the active verb are meaningful.
 struct Request {
@@ -95,6 +111,11 @@ std::string DeltaReply(Dist d1, Dist d2);
 
 /// Stable lower-case verb name ("dist", "topk", ...) for telemetry.
 std::string_view VerbName(RequestVerb verb);
+
+/// Frames a multi-line payload as a block reply: "OK <nbytes>\n<payload>"
+/// where <nbytes> is the exact payload size. No trailing newline is added
+/// beyond what the payload carries.
+std::string BlockReply(std::string_view payload);
 
 }  // namespace convpairs::server
 

@@ -1,0 +1,117 @@
+#include "server/request_context.h"
+
+#include <array>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+
+namespace convpairs::server {
+namespace {
+
+uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a >= b ? a - b : 0; }
+
+struct StageMetrics {
+  std::array<obs::WindowedHistogram*, kNumRequestStages> stages;
+
+  static StageMetrics& Get() {
+    static StageMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      StageMetrics m{};
+      for (size_t i = 0; i < kNumRequestStages; ++i) {
+        m.stages[i] = &registry.GetWindowedHistogram(
+            "server.stage." +
+            std::string(RequestStageName(static_cast<RequestStage>(i))) +
+            ".latency_us");
+      }
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::string_view RequestStageName(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kParse:
+      return "parse";
+    case RequestStage::kQueueWait:
+      return "queue_wait";
+    case RequestStage::kBatchWait:
+      return "batch_wait";
+    case RequestStage::kScan:
+      return "scan";
+    case RequestStage::kReplySend:
+      return "reply_send";
+    case RequestStage::kNumStages:
+      break;
+  }
+  return "invalid";
+}
+
+void RequestContext::MergeBatch(const BatchTiming& other) {
+  if (other.SpanNs() > batch.SpanNs()) batch = other;
+}
+
+uint64_t RequestContext::TotalNs() const {
+  return SaturatingSub(send_end_ns, t0_ns);
+}
+
+uint64_t RequestContext::StageDurNs(RequestStage stage) const {
+  switch (stage) {
+    case RequestStage::kParse:
+      return SaturatingSub(parse_end_ns, t0_ns);
+    case RequestStage::kQueueWait:
+      return SaturatingSub(batch.collect_ns, batch.submit_ns);
+    case RequestStage::kBatchWait:
+      return SaturatingSub(batch.scan_start_ns, batch.collect_ns);
+    case RequestStage::kScan:
+      return batch.scan_end_ns != 0
+                 ? SaturatingSub(batch.scan_end_ns, batch.scan_start_ns)
+                 : handler_ns;
+    case RequestStage::kReplySend:
+      return SaturatingSub(send_end_ns, send_start_ns);
+    case RequestStage::kNumStages:
+      break;
+  }
+  return 0;
+}
+
+uint64_t RequestContext::StageStartNs(RequestStage stage) const {
+  switch (stage) {
+    case RequestStage::kParse:
+      return t0_ns;
+    case RequestStage::kQueueWait:
+      return batch.submit_ns;
+    case RequestStage::kBatchWait:
+      return batch.collect_ns;
+    case RequestStage::kScan:
+      return batch.scan_start_ns != 0 ? batch.scan_start_ns : parse_end_ns;
+    case RequestStage::kReplySend:
+      return send_start_ns;
+    case RequestStage::kNumStages:
+      break;
+  }
+  return 0;
+}
+
+void ObserveStages(const RequestContext& ctx, RequestVerb verb) {
+  auto& metrics = StageMetrics::Get();
+  const bool flight = obs::FlightRecorder::enabled();
+  for (size_t i = 0; i < kNumRequestStages; ++i) {
+    const auto stage = static_cast<RequestStage>(i);
+    const uint64_t dur_ns = ctx.StageDurNs(stage);
+    // Zero durations are observed too: PING's queue_wait really is 0, and
+    // leaving it out would skew the stage percentiles toward batched verbs.
+    metrics.stages[i]->Observe(static_cast<double>(dur_ns) / 1000.0);
+    if (flight && dur_ns > 0) {
+      obs::FlightRecorder::Record(obs::FlightEventKind::kServerStage,
+                                  ctx.StageStartNs(stage), dur_ns,
+                                  static_cast<uint32_t>(stage),
+                                  static_cast<uint64_t>(verb));
+    }
+  }
+}
+
+}  // namespace convpairs::server

@@ -1,0 +1,101 @@
+// Per-request stage timing: the serving plane's latency decomposition.
+//
+// Every request the server answers decomposes into five stages:
+//
+//   parse       — line tokenized and validated (session thread)
+//   queue_wait  — batcher queue residency: Submit() to the dispatcher
+//                 collecting the query out of the lane (0 for sync verbs)
+//   batch_wait  — collected but not yet scanning: dedupe/setup plus, in
+//                 scan-per-query mode, earlier singles of the same flush
+//   scan        — the graph work: MS-BFS / DirOpt resolution for batched
+//                 verbs, handler execution for sync verbs (TOPK, CAND, ...)
+//   reply_send  — formatting done, SendAll() on the session socket
+//
+// The session stamps parse and reply_send; the DistanceBatcher stamps the
+// middle three by carrying a BatchTiming alongside each resolved distance
+// (TimedDist — the future value type, so timestamps survive the promise
+// boundary without any shared mutable state). ObserveStages() records each
+// stage into its windowed histogram server.stage.<stage>.latency_us
+// (10s/60s SLO windows, see obs/windowed.h) and, when the flight recorder
+// is on, emits one kServerStage span per non-empty stage.
+//
+// All timestamps are obs::TraceNowNanos() — the same steady clock every
+// other instrument uses, so stage spans line up with batch/request spans in
+// the exported trace.
+
+#ifndef CONVPAIRS_SERVER_REQUEST_CONTEXT_H_
+#define CONVPAIRS_SERVER_REQUEST_CONTEXT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "graph/types.h"
+#include "server/protocol.h"
+
+namespace convpairs::server {
+
+enum class RequestStage : uint8_t {
+  kParse = 0,
+  kQueueWait,
+  kBatchWait,
+  kScan,
+  kReplySend,
+  kNumStages,  // sentinel
+};
+
+inline constexpr size_t kNumRequestStages =
+    static_cast<size_t>(RequestStage::kNumStages);
+
+/// Stable lower-case stage name ("parse", "queue_wait", ...); "invalid"
+/// for out-of-range values. Mirrored by scripts/trace_summary.py.
+std::string_view RequestStageName(RequestStage stage);
+
+/// Timestamps a query picks up inside the DistanceBatcher. All zero for
+/// requests that never enter the batcher.
+struct BatchTiming {
+  uint64_t submit_ns = 0;      // Submit() enqueued the query.
+  uint64_t collect_ns = 0;     // Dispatcher moved it out of the lane queue.
+  uint64_t scan_start_ns = 0;  // Resolver scan began for its batch.
+  uint64_t scan_end_ns = 0;    // Resolver scan finished.
+
+  uint64_t SpanNs() const {
+    return scan_end_ns >= submit_ns ? scan_end_ns - submit_ns : 0;
+  }
+};
+
+/// What a batcher future resolves to: the distance plus where the time
+/// went. Timing rides in the future's value so nothing dangles when the
+/// session's pending-reply vector reallocates.
+struct TimedDist {
+  Dist dist = kInfDist;
+  BatchTiming timing;
+};
+
+/// One request's accumulated stage stamps. The session owns one per
+/// pending reply and fills it as the request advances.
+struct RequestContext {
+  uint64_t t0_ns = 0;         // DispatchLine entry (parse begins).
+  uint64_t parse_end_ns = 0;  // ParseRequest returned (either way).
+  BatchTiming batch;          // DIST/DELTA: from the resolved TimedDist.
+  uint64_t handler_ns = 0;    // Sync verbs: handler execution (scan stage).
+  uint64_t send_start_ns = 0;
+  uint64_t send_end_ns = 0;
+
+  /// Fold a second leg's timing in (DELTA resolves two futures): keeps the
+  /// leg with the larger submit->scan_end span, so the stage decomposition
+  /// stays one coherent timeline instead of a mix of two.
+  void MergeBatch(const BatchTiming& other);
+
+  uint64_t StageDurNs(RequestStage stage) const;
+  uint64_t StageStartNs(RequestStage stage) const;
+  /// End-to-end: t0 to send_end (saturating).
+  uint64_t TotalNs() const;
+};
+
+/// Records every stage of `ctx` into the per-stage windowed histograms and
+/// the flight recorder (kServerStage, one span per stage with dur > 0).
+void ObserveStages(const RequestContext& ctx, RequestVerb verb);
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_REQUEST_CONTEXT_H_

@@ -23,7 +23,7 @@ ConvpairsServer::ConvpairsServer(std::unique_ptr<ServingSnapshots> snapshots,
     : snapshots_(std::move(snapshots)),
       options_(std::move(options)),
       batcher_(*snapshots_, options_.batcher),
-      handlers_(*snapshots_, batcher_, options_.topk) {}
+      handlers_(*snapshots_, batcher_, options_.topk, options_.slow_log) {}
 
 ConvpairsServer::~ConvpairsServer() { Stop(); }
 

@@ -48,6 +48,7 @@ class ConvpairsServer {
     uint16_t port = 0;
     DistanceBatcher::Options batcher;
     TopKConfig topk;
+    SlowQueryLog::Options slow_log;
   };
 
   /// `g1`/`g2` must outlive the server and share one id space. (Overloads

@@ -9,6 +9,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "server/protocol.h"
+#include "server/request_context.h"
 
 namespace convpairs::server {
 namespace {
@@ -21,12 +22,16 @@ struct SessionMetrics {
 
   static SessionMetrics& Get() {
     auto& registry = obs::MetricsRegistry::Global();
+    // 10us * 2^21 ~ 21s: wide enough that a cold TOPK or a fat CAND budget
+    // lands in a finite bucket instead of saturating +inf (which clamps
+    // Percentile() to the last finite bound; obs.histogram.overflow counts
+    // whatever still escapes).
     static SessionMetrics metrics{
         registry.GetCounter("server.requests"),
         registry.GetCounter("server.errors"),
         registry.GetGauge("server.connections"),
         registry.GetHistogram("server.request.latency_us",
-                              obs::ExponentialBuckets(10.0, 2.0, 16))};
+                              obs::ExponentialBuckets(10.0, 2.0, 22))};
     return metrics;
   }
 };
@@ -36,65 +41,86 @@ struct SessionMetrics {
 /// chunk has been submitted. `f1`/`f2` are valid only for DIST/DELTA — the
 /// verbs that resolve through the batcher.
 struct PendingReply {
-  uint64_t t0_ns = 0;
+  RequestContext ctx;
   RequestVerb verb = RequestVerb::kPing;
+  /// Set at parse/handle time, the only place that knows whether the reply
+  /// is an error — accounting never sniffs the reply text.
+  bool is_error = false;
+  /// Block replies (METRICS/SLOW) are sent verbatim: the text already
+  /// carries its own framing and trailing newline.
+  bool block = false;
   std::string text;  // Ready reply, unless futures are pending below.
-  std::future<Dist> f1;
-  std::future<Dist> f2;
+  std::string line;  // Truncated request line, kept for the slow log.
+  std::future<TimedDist> f1;
+  std::future<TimedDist> f2;
 };
 
-/// Completes one reply (awaiting futures if any), records telemetry, and
-/// sends the line. Returns false on socket error.
-bool FinishAndSend(TcpStream& stream, PendingReply& reply) {
+/// Completes one reply (awaiting futures if any), sends it, and records
+/// telemetry — stage histograms, flight spans, the slow log. Returns false
+/// on socket error.
+bool FinishAndSend(TcpStream& stream, PendingReply& reply,
+                   RequestHandlers& handlers) {
   if (reply.f1.valid()) {
-    const Dist d1 = reply.f1.get();
+    const TimedDist d1 = reply.f1.get();
+    reply.ctx.batch = d1.timing;
     if (reply.f2.valid()) {
-      reply.text = DeltaReply(d1, reply.f2.get());
+      const TimedDist d2 = reply.f2.get();
+      reply.ctx.MergeBatch(d2.timing);
+      reply.text = DeltaReply(d1.dist, d2.dist);
     } else {
-      reply.text = DistReply(d1);
+      reply.text = DistReply(d1.dist);
     }
   }
+  if (!reply.block) reply.text += '\n';
+  reply.ctx.send_start_ns = obs::TraceNowNanos();
+  const bool send_ok = stream.SendAll(reply.text).ok();
+  reply.ctx.send_end_ns = obs::TraceNowNanos();
+
   auto& metrics = SessionMetrics::Get();
-  const bool is_err = reply.text.rfind("ERR", 0) == 0;
-  const uint64_t now = obs::TraceNowNanos();
-  const uint64_t dur = now - reply.t0_ns;
+  const uint64_t total_ns = reply.ctx.TotalNs();
   metrics.requests.Increment();
-  if (is_err) metrics.errors.Increment();
-  metrics.latency_us.Observe(static_cast<double>(dur) / 1000.0);
+  if (reply.is_error) metrics.errors.Increment();
+  metrics.latency_us.Observe(static_cast<double>(total_ns) / 1000.0);
+  ObserveStages(reply.ctx, reply.verb);
+  handlers.slow_log().MaybeRecord(reply.verb, reply.line, reply.ctx);
   obs::FlightRecorder::Record(obs::FlightEventKind::kServerRequest,
-                              reply.t0_ns, dur,
+                              reply.ctx.t0_ns, total_ns,
                               static_cast<uint32_t>(reply.verb),
-                              is_err ? 1 : 0);
-  reply.text += '\n';
-  return stream.SendAll(reply.text).ok();
+                              reply.is_error ? 1 : 0);
+  return send_ok;
 }
 
 /// Parses one line into a PendingReply: DIST/DELTA submit batcher futures,
-/// everything else resolves synchronously.
+/// everything else resolves synchronously (handler time = scan stage).
 PendingReply DispatchLine(std::string_view line, RequestHandlers& handlers) {
   PendingReply reply;
-  reply.t0_ns = obs::TraceNowNanos();
+  reply.ctx.t0_ns = obs::TraceNowNanos();
+  reply.line = std::string(line.substr(0, 96));
   Request request;
   std::string err;
   if (!ParseRequest(line, handlers.num_nodes(), &request, &err)) {
+    reply.ctx.parse_end_ns = obs::TraceNowNanos();
     reply.text = std::move(err);
+    reply.is_error = true;
     return reply;
   }
   reply.verb = request.verb;
+  reply.ctx.parse_end_ns = obs::TraceNowNanos();
   switch (request.verb) {
     case RequestVerb::kDist:
       reply.f1 =
           handlers.batcher().Submit(request.snapshot, request.s, request.t);
-      break;
+      return reply;
     case RequestVerb::kDelta:
       reply.f1 = handlers.batcher().Submit(1, request.s, request.t);
       reply.f2 = handlers.batcher().Submit(2, request.s, request.t);
-      break;
+      return reply;
     case RequestVerb::kTopK:
-      reply.text = handlers.HandleTopK(request.k);
+      reply.text = handlers.HandleTopK(request.k, &reply.is_error);
       break;
     case RequestVerb::kCand:
-      reply.text = handlers.HandleCand(request.s, request.budget);
+      reply.text =
+          handlers.HandleCand(request.s, request.budget, &reply.is_error);
       break;
     case RequestVerb::kPing:
       reply.text = "OK pong";
@@ -102,7 +128,18 @@ PendingReply DispatchLine(std::string_view line, RequestHandlers& handlers) {
     case RequestVerb::kStats:
       reply.text = handlers.HandleStats();
       break;
+    case RequestVerb::kMetrics:
+      reply.text = handlers.HandleMetrics();
+      reply.block = true;
+      break;
+    case RequestVerb::kSlow:
+      reply.text = handlers.HandleSlow();
+      reply.block = true;
+      break;
+    case RequestVerb::kNumVerbs:
+      break;  // Unreachable: the parser never produces the sentinel.
   }
+  reply.ctx.handler_ns = obs::TraceNowNanos() - reply.ctx.parse_end_ns;
   return reply;
 }
 
@@ -141,10 +178,12 @@ void RunSession(TcpStream& stream, RequestHandlers& handlers) {
     // reject now and resynchronize at the next newline.
     if (!discarding && buffer.size() > kMaxLineBytes) {
       PendingReply reply;
-      reply.t0_ns = obs::TraceNowNanos();
+      reply.ctx.t0_ns = obs::TraceNowNanos();
+      reply.ctx.parse_end_ns = reply.ctx.t0_ns;
       reply.text = ErrReply(
           "too_long",
           "line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+      reply.is_error = true;
       replies.push_back(std::move(reply));
       buffer.clear();
       discarding = true;
@@ -154,7 +193,7 @@ void RunSession(TcpStream& stream, RequestHandlers& handlers) {
     for (PendingReply& reply : replies) {
       // Drain every future even after a send failure — promises must not
       // outlive their batch without a consumer.
-      send_ok = FinishAndSend(stream, reply) && send_ok;
+      send_ok = FinishAndSend(stream, reply, handlers) && send_ok;
     }
     if (!send_ok) break;
   }

@@ -13,10 +13,14 @@
 // Malformed input (oversized line, bad verb, bad ids) produces a structured
 // ERR reply and the session continues; only socket errors and EOF end it.
 //
-// Telemetry per request: server.requests / server.errors counters and the
-// server.request.latency_us histogram (parse to reply-ready), plus one
-// kServerRequest flight-recorder span. server.connections gauges the live
-// session count.
+// Telemetry per request: server.requests / server.errors counters (errors
+// keyed off the PendingReply::is_error flag set at parse/handle time — the
+// reply text is never sniffed), the server.request.latency_us histogram
+// (parse begin to send complete), the per-stage windowed histograms
+// server.stage.*.latency_us (request_context.h), one kServerRequest
+// flight-recorder span plus per-stage kServerStage spans, and slow-query
+// log entries for requests over their verb's threshold (slow_log.h).
+// server.connections gauges the live session count.
 
 #ifndef CONVPAIRS_SERVER_SESSION_H_
 #define CONVPAIRS_SERVER_SESSION_H_

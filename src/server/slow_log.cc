@@ -1,0 +1,108 @@
+#include "server/slow_log.h"
+
+#include "obs/registry.h"
+#include "util/check.h"
+
+namespace convpairs::server {
+namespace {
+
+/// Longest request-line prefix an entry stores. CAND/DIST lines are short;
+/// this only truncates pathological input, which is exactly what we want
+/// bounded.
+constexpr size_t kMaxStoredLine = 96;
+
+int64_t DefaultThresholdUs(RequestVerb verb) {
+  switch (verb) {
+    case RequestVerb::kDist:
+    case RequestVerb::kDelta:
+      return 50'000;  // Batched verbs: window + one scan should be << 50ms.
+    case RequestVerb::kCand:
+      return 250'000;  // Two budgeted full rows.
+    case RequestVerb::kTopK:
+      return 2'000'000;  // The cold cache fill runs Algorithm 1.
+    case RequestVerb::kPing:
+    case RequestVerb::kStats:
+    case RequestVerb::kMetrics:
+    case RequestVerb::kSlow:
+      return 20'000;  // Bookkeeping verbs never touch the graph.
+    case RequestVerb::kNumVerbs:
+      break;
+  }
+  return 50'000;
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(options) {
+  CONVPAIRS_CHECK(options_.capacity > 0);
+  for (size_t i = 0; i < kNumRequestVerbs; ++i) {
+    thresholds_us_[i] = options_.threshold_us_override > 0
+                            ? options_.threshold_us_override
+                            : DefaultThresholdUs(static_cast<RequestVerb>(i));
+  }
+}
+
+int64_t SlowQueryLog::threshold_us(RequestVerb verb) const {
+  const size_t i = static_cast<size_t>(verb);
+  CONVPAIRS_CHECK(i < kNumRequestVerbs);
+  return thresholds_us_[i];
+}
+
+bool SlowQueryLog::MaybeRecord(RequestVerb verb, std::string_view line,
+                               const RequestContext& ctx) {
+  const int64_t total_us = static_cast<int64_t>(ctx.TotalNs() / 1000);
+  if (total_us < threshold_us(verb)) return false;
+
+  Entry entry;
+  entry.verb = verb;
+  entry.total_us = total_us;
+  for (size_t i = 0; i < kNumRequestStages; ++i) {
+    entry.stage_us[i] = static_cast<int64_t>(
+        ctx.StageDurNs(static_cast<RequestStage>(i)) / 1000);
+  }
+  entry.line = std::string(line.substr(0, kMaxStoredLine));
+  // Newlines can't appear (lines are newline-split upstream) but keep the
+  // dump format safe against future callers anyway.
+  for (char& c : entry.line) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+
+  static obs::Counter& recorded =
+      obs::MetricsRegistry::Global().GetCounter("server.slow.recorded");
+  recorded.Increment();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.seq = next_seq_++;
+  entries_.push_back(std::move(entry));
+  if (entries_.size() > options_.capacity) entries_.pop_front();
+  return true;
+}
+
+std::string SlowQueryLog::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "slow_log entries=" + std::to_string(entries_.size()) +
+                    " capacity=" + std::to_string(options_.capacity) + "\n";
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const Entry& entry = *it;
+    out += "seq=" + std::to_string(entry.seq);
+    out += " verb=";
+    out += VerbName(entry.verb);
+    out += " total_us=" + std::to_string(entry.total_us);
+    for (size_t i = 0; i < kNumRequestStages; ++i) {
+      out += ' ';
+      out += RequestStageName(static_cast<RequestStage>(i));
+      out += "_us=" + std::to_string(entry.stage_us[i]);
+    }
+    out += " line=";
+    out += entry.line;
+    out += '\n';
+  }
+  return out;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace convpairs::server

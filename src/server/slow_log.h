@@ -1,0 +1,84 @@
+// Structured slow-query log: a bounded ring of the worst recent requests.
+//
+// Percentile histograms say HOW slow the tail is; the slow log says WHICH
+// requests were slow and WHERE their time went. Every finished request
+// whose end-to-end latency meets its verb's threshold is recorded with its
+// full stage decomposition (request_context.h) and a truncated copy of the
+// request line, into a fixed-capacity ring under a mutex — recording is off
+// the distance hot path (it happens at reply time, and only for requests
+// that were already thousands of times slower than a mutex acquisition).
+//
+// Thresholds are per verb because "slow" differs by an order of magnitude
+// between a PING and a cold TOPK; the defaults below encode that, and the
+// server exposes one knob (--slow-us) that overrides all of them for load
+// experiments. The ring is dumped (newest first) by the SLOW protocol verb
+// as one "key=value" line per entry.
+
+#ifndef CONVPAIRS_SERVER_SLOW_LOG_H_
+#define CONVPAIRS_SERVER_SLOW_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+#include "server/request_context.h"
+
+namespace convpairs::server {
+
+class SlowQueryLog {
+ public:
+  struct Options {
+    /// Entries kept; the oldest falls off when full.
+    size_t capacity = 128;
+    /// > 0: one threshold for every verb (load-bench mode). 0: per-verb
+    /// defaults — 50ms for DIST/DELTA, 250ms for CAND, 2s for TOPK, 20ms
+    /// for the sync bookkeeping verbs.
+    int64_t threshold_us_override = 0;
+  };
+
+  SlowQueryLog() : SlowQueryLog(Options{}) {}
+  explicit SlowQueryLog(Options options);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  int64_t threshold_us(RequestVerb verb) const;
+
+  /// Records the request if its total latency meets the verb threshold.
+  /// `line` is the raw request line (truncated for storage). Returns true
+  /// when an entry was recorded. Thread-safe.
+  bool MaybeRecord(RequestVerb verb, std::string_view line,
+                   const RequestContext& ctx);
+
+  /// Multi-line dump, newest entry first:
+  ///   seq=<n> verb=<verb> total_us=<t> parse_us=.. queue_wait_us=..
+  ///   batch_wait_us=.. scan_us=.. reply_send_us=.. line=<escaped prefix>
+  /// Thread-safe; used as the SLOW verb's block-reply payload.
+  std::string Dump() const;
+
+  /// Entries currently held (tests). Thread-safe.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t seq = 0;
+    RequestVerb verb = RequestVerb::kPing;
+    int64_t total_us = 0;
+    int64_t stage_us[kNumRequestStages] = {};
+    std::string line;  // Truncated request line, spaces kept.
+  };
+
+  Options options_;
+  int64_t thresholds_us_[kNumRequestVerbs] = {};
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;        // Guarded by mu_.
+  std::deque<Entry> entries_;    // Guarded by mu_; newest at the back.
+};
+
+}  // namespace convpairs::server
+
+#endif  // CONVPAIRS_SERVER_SLOW_LOG_H_

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace convpairs {
 namespace {
@@ -14,6 +15,10 @@ struct BatchServiceMetrics {
   obs::Counter& queries;
   obs::Counter& sources;
   obs::Histogram& lane_occupancy;
+  /// Windowed (10s/60s) per-scan latency: the SLO view of the graph work
+  /// itself, one observation per DirOpt run or MS-BFS chunk — the resolver
+  /// side of the server's server.stage.scan.latency_us decomposition.
+  obs::WindowedHistogram& scan_latency_us;
 
   static BatchServiceMetrics& Get() {
     static const std::vector<double> bounds = [] {
@@ -26,9 +31,28 @@ struct BatchServiceMetrics {
         obs::MetricsRegistry::Global().GetCounter("sssp.batch_service.queries"),
         obs::MetricsRegistry::Global().GetCounter("sssp.batch_service.sources"),
         obs::MetricsRegistry::Global().GetHistogram(
-            "sssp.batch_service.lane_occupancy", bounds)};
+            "sssp.batch_service.lane_occupancy", bounds),
+        obs::MetricsRegistry::Global().GetWindowedHistogram(
+            "sssp.batch_service.scan.latency_us")};
     return metrics;
   }
+};
+
+/// Measures one scan and reports it in microseconds on destruction.
+class ScanTimer {
+ public:
+  explicit ScanTimer(obs::WindowedHistogram& sink)
+      : sink_(sink), start_ns_(obs::TraceNowNanos()) {}
+  ~ScanTimer() {
+    sink_.Observe(
+        static_cast<double>(obs::TraceNowNanos() - start_ns_) / 1000.0);
+  }
+  ScanTimer(const ScanTimer&) = delete;
+  ScanTimer& operator=(const ScanTimer&) = delete;
+
+ private:
+  obs::WindowedHistogram& sink_;
+  uint64_t start_ns_;
 };
 
 }  // namespace
@@ -81,6 +105,7 @@ Status BasicBatchDistanceService<Adj>::Resolve(std::span<const NodeId> sources,
   if (unique_sources_.size() == 1) {
     // Nothing to share: direction-optimizing BFS has cheaper constants than
     // a one-lane MS-BFS scan.
+    ScanTimer timer(metrics.scan_latency_us);
     const std::vector<Dist>& row =
         diropt_runner_.Run(unique_sources_[0], budget);
     for (size_t i = 0; i < targets.size(); ++i) out[i] = row[targets[i]];
@@ -106,9 +131,12 @@ Status BasicBatchDistanceService<Adj>::Resolve(std::span<const NodeId> sources,
       chunk_index_.push_back(static_cast<uint32_t>(i));
     }
     chunk_out_.resize(chunk_queries_.size());
-    ms_runner_.RunForQueries(std::span<const NodeId>(unique_sources_)
-                                 .subspan(begin, width),
-                             chunk_queries_, chunk_out_);
+    {
+      ScanTimer timer(metrics.scan_latency_us);
+      ms_runner_.RunForQueries(std::span<const NodeId>(unique_sources_)
+                                   .subspan(begin, width),
+                               chunk_queries_, chunk_out_);
+    }
     for (size_t j = 0; j < chunk_index_.size(); ++j) {
       out[chunk_index_[j]] = chunk_out_[j];
     }
@@ -128,9 +156,10 @@ Status BasicBatchDistanceService<Adj>::ResolveRow(NodeId src,
   if (budget != nullptr && budget->remaining() < 1) {
     return Status::FailedPrecondition("batch service: budget exhausted");
   }
+  auto& metrics = BatchServiceMetrics::Get();
+  ScanTimer timer(metrics.scan_latency_us);
   const std::vector<Dist>& dist = diropt_runner_.Run(src, budget);
   row->assign(dist.begin(), dist.end());
-  auto& metrics = BatchServiceMetrics::Get();
   metrics.batches.Increment();
   metrics.queries.Increment();
   metrics.sources.Increment();

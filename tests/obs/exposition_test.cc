@@ -1,0 +1,135 @@
+// Exposition writer contract: the text the METRICS verb serves must be the
+// Prometheus subset scripts/slo_report.py validates — sanitized family
+// names, HELP/TYPE headers, cumulative ascending _bucket series ending in
+// le="+Inf" whose value equals _count, window/quantile labels on the
+// windowed families, and the derived obs.histogram.overflow counter.
+
+#include "obs/exposition.h"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+#include "obs/windowed.h"
+
+namespace convpairs::obs {
+namespace {
+
+/// Lines of `text` that begin with `prefix` (exposition is line-oriented).
+std::vector<std::string> LinesStartingWith(const std::string& text,
+                                           const std::string& prefix) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) out.push_back(line);
+  }
+  return out;
+}
+
+double TrailingValue(const std::string& line) {
+  return std::stod(line.substr(line.rfind(' ') + 1));
+}
+
+TEST(ExpositionTest, SanitizesNamesIntoThePrometheusCharset) {
+  EXPECT_EQ(SanitizeMetricName("server.request.latency_us"),
+            "convpairs_server_request_latency_us");
+  EXPECT_EQ(SanitizeMetricName("a-b c/d"), "convpairs_a_b_c_d");
+  EXPECT_EQ(SanitizeMetricName("already_clean"), "convpairs_already_clean");
+}
+
+TEST(ExpositionTest, CountersAndGaugesCarryHelpAndTypeHeaders) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("server.errors", 3);
+  snapshot.gauges.emplace_back("server.sessions", 2);
+  std::string text = WriteExposition(snapshot);
+  EXPECT_NE(text.find("# TYPE convpairs_server_errors counter\n"
+                      "convpairs_server_errors 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE convpairs_server_sessions gauge\n"
+                      "convpairs_server_sessions 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP convpairs_server_errors "), std::string::npos);
+}
+
+TEST(ExpositionTest, HistogramBucketsAreCumulativeAndEndAtInfEqualCount) {
+  MetricsSnapshot snapshot;
+  HistogramSample sample;
+  sample.name = "x.latency";
+  sample.bounds = {1.0, 2.0, 4.0};
+  sample.buckets = {3, 2, 0, 1};  // Per-bucket counts; exposition cumulates.
+  sample.count = 6;
+  sample.sum = 12.5;
+  snapshot.histograms.push_back(sample);
+  std::string text = WriteExposition(snapshot);
+
+  auto buckets = LinesStartingWith(text, "convpairs_x_latency_bucket");
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], "convpairs_x_latency_bucket{le=\"1\"} 3");
+  EXPECT_EQ(buckets[1], "convpairs_x_latency_bucket{le=\"2\"} 5");
+  EXPECT_EQ(buckets[2], "convpairs_x_latency_bucket{le=\"4\"} 5");
+  EXPECT_EQ(buckets[3], "convpairs_x_latency_bucket{le=\"+Inf\"} 6");
+  // +Inf bucket == _count: the invariant every scraper checks.
+  auto count = LinesStartingWith(text, "convpairs_x_latency_count");
+  ASSERT_EQ(count.size(), 1u);
+  EXPECT_EQ(TrailingValue(count[0]), 6.0);
+  auto sum = LinesStartingWith(text, "convpairs_x_latency_sum");
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_EQ(TrailingValue(sum[0]), 12.5);
+}
+
+TEST(ExpositionTest, WindowedFamiliesCarryWindowAndQuantileLabels) {
+  // Drive a real instrument through the registry so the snapshot has the
+  // same shape a live server produces.
+  auto& registry = MetricsRegistry::Global();
+  registry.Reset();
+  auto& h = registry.GetWindowedHistogram("exposition.test.latency_us");
+  for (int i = 0; i < 100; ++i) h.Observe(100.0);
+  std::string text = WriteExposition(registry.Snapshot());
+
+  const std::string family = "convpairs_exposition_test_latency_us";
+  // Cumulative view: plain histogram family.
+  EXPECT_FALSE(LinesStartingWith(text, family + "_bucket{le=").empty());
+  // Windowed view: one labeled series per configured window (10s/60s).
+  EXPECT_FALSE(
+      LinesStartingWith(text, family + "_window_bucket{window=\"10s\"")
+          .empty());
+  EXPECT_FALSE(
+      LinesStartingWith(text, family + "_window_bucket{window=\"60s\"")
+          .empty());
+  // Quantile gauges per window; the fresh observations are in-window, so
+  // the 10s p99 must be near the observed 100us value.
+  auto q99 = LinesStartingWith(
+      text, family + "_quantile{window=\"10s\",quantile=\"0.99\"}");
+  ASSERT_EQ(q99.size(), 1u);
+  EXPECT_GT(TrailingValue(q99[0]), 0.0);
+  EXPECT_LE(TrailingValue(q99[0]), 200.0);
+  EXPECT_FALSE(
+      LinesStartingWith(text, family + "_rotation_dropped").empty());
+  registry.Reset();
+}
+
+TEST(ExpositionTest, GlobalExpositionIncludesDerivedOverflowCounter) {
+  auto& registry = MetricsRegistry::Global();
+  registry.Reset();
+  // Saturate a small histogram: 2 of 3 observations land past the last
+  // bound, so the derived overflow counter must read 2.
+  auto& h = registry.GetHistogram("exposition.test.sat",
+                                  std::vector<double>{1.0});
+  h.Observe(0.5);
+  h.Observe(100.0);
+  h.Observe(200.0);
+  std::string text = WriteGlobalExposition();
+  auto overflow =
+      LinesStartingWith(text, "convpairs_obs_histogram_overflow ");
+  ASSERT_EQ(overflow.size(), 1u);
+  EXPECT_EQ(TrailingValue(overflow[0]), 2.0);
+  registry.Reset();
+}
+
+}  // namespace
+}  // namespace convpairs::obs

@@ -1,0 +1,184 @@
+// WindowedHistogram contract: observations land in the current epoch's
+// shard, expired shards drop out of merged windows without any background
+// thread, ring-slot reuse zeroes stale counts before publishing the new
+// epoch, and concurrent Observe / rotation / percentile queries never lose
+// an observation from the cumulative view. Test names contain "Windowed"
+// so the tsan-concurrency preset picks them up.
+
+#include "obs/windowed.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+
+namespace convpairs::obs {
+namespace {
+
+// ClockFn is a plain function pointer (no state), so the fake clock ticks
+// through a global atomic. Each test resets it to a fresh base epoch.
+std::atomic<uint64_t> g_fake_now_ns{0};
+uint64_t FakeClock() { return g_fake_now_ns.load(std::memory_order_relaxed); }
+
+constexpr uint64_t kEpochNs = 1000;  // 1us epochs: tests never sleep.
+
+WindowedHistogram::Options FakeClockOptions(std::vector<int64_t> windows) {
+  WindowedHistogram::Options options;
+  options.epoch_nanos = kEpochNs;
+  options.window_epochs = std::move(windows);
+  options.clock = &FakeClock;
+  return options;
+}
+
+void SetEpoch(uint64_t epoch) {
+  g_fake_now_ns.store(epoch * kEpochNs, std::memory_order_relaxed);
+}
+
+TEST(WindowedHistogramTest, ObservationsLandInCurrentWindow) {
+  SetEpoch(100);
+  WindowedHistogram h({1.0, 10.0, 100.0}, FakeClockOptions({4, 8}));
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // Overflow bucket.
+
+  HistogramSample w = h.Window(4, "w");
+  EXPECT_EQ(w.count, 4u);
+  EXPECT_DOUBLE_EQ(w.sum, 555.5);
+  ASSERT_EQ(w.buckets.size(), 4u);
+  EXPECT_EQ(w.buckets[0], 1u);
+  EXPECT_EQ(w.buckets[1], 1u);
+  EXPECT_EQ(w.buckets[2], 1u);
+  EXPECT_EQ(w.buckets[3], 1u);
+  // The cumulative view saw the same four observations.
+  EXPECT_EQ(h.cumulative().count(), 4u);
+  EXPECT_EQ(h.rotation_dropped(), 0u);
+}
+
+TEST(WindowedHistogramTest, ExpiredEpochsDropOutOfTheWindow) {
+  SetEpoch(200);
+  WindowedHistogram h({1.0, 10.0}, FakeClockOptions({4}));
+  h.Observe(2.0);
+  h.Observe(2.0);
+
+  // Still inside the 4-epoch window three epochs later...
+  SetEpoch(203);
+  h.Observe(2.0);
+  EXPECT_EQ(h.Window(4, "w").count, 3u);
+
+  // ...but the epoch-200 shard stops matching at epoch 204 (window covers
+  // 201..204) while the epoch-203 observation remains.
+  SetEpoch(204);
+  EXPECT_EQ(h.Window(4, "w").count, 1u);
+
+  // Far future: the window is empty; the cumulative view never forgets.
+  SetEpoch(300);
+  EXPECT_EQ(h.Window(4, "w").count, 0u);
+  EXPECT_EQ(h.cumulative().count(), 3u);
+}
+
+TEST(WindowedHistogramTest, RingSlotReuseZeroesTheStaleShard) {
+  SetEpoch(50);
+  // 4-epoch max window -> 6 ring slots; epoch 56 reuses epoch 50's slot.
+  WindowedHistogram h({1.0}, FakeClockOptions({4}));
+  h.Observe(0.5);
+  h.Observe(0.5);
+  EXPECT_EQ(h.Window(4, "w").count, 2u);
+
+  SetEpoch(56);
+  h.Observe(0.5);
+  // The reused slot must carry only the new observation — stale epoch-50
+  // counts merged in would double-bill the window.
+  EXPECT_EQ(h.Window(4, "w").count, 1u);
+  EXPECT_EQ(h.cumulative().count(), 3u);
+}
+
+TEST(WindowedHistogramTest, PercentilesTrackTheRecentTailNotHistory) {
+  SetEpoch(1000);
+  WindowedHistogram h({10.0, 100.0, 1000.0, 10000.0},
+                      FakeClockOptions({4, 64}));
+  // An old burst of fast observations...
+  for (int i = 0; i < 1000; ++i) h.Observe(5.0);
+  // ...then a recent regression to ~5ms.
+  SetEpoch(1030);
+  for (int i = 0; i < 100; ++i) h.Observe(5000.0);
+
+  // The short window sees only the regression; the long window and the
+  // cumulative view still drown it in the old fast mass.
+  EXPECT_GT(h.WindowPercentile(50.0, 4), 1000.0);
+  EXPECT_LT(h.WindowPercentile(50.0, 64), 100.0);
+  EXPECT_LT(SamplePercentile(h.cumulative().Sample("c"), 50.0), 100.0);
+}
+
+TEST(WindowedHistogramTest, SampleCarriesEveryConfiguredWindow) {
+  SetEpoch(77);
+  WindowedHistogram h({1.0, 2.0}, FakeClockOptions({4, 16}));
+  h.Observe(1.5);
+  WindowedHistogramSample sample = h.Sample("x");
+  EXPECT_EQ(sample.name, "x");
+  EXPECT_EQ(sample.epoch_nanos, kEpochNs);
+  ASSERT_EQ(sample.windows.size(), 2u);
+  EXPECT_EQ(sample.windows[0].epochs, 4);
+  EXPECT_EQ(sample.windows[1].epochs, 16);
+  EXPECT_EQ(sample.windows[0].merged.count, 1u);
+  EXPECT_EQ(sample.windows[1].merged.count, 1u);
+  EXPECT_EQ(sample.cumulative.count, 1u);
+}
+
+TEST(WindowedHistogramTest, ResetClearsWindowsCumulativeAndDropCount) {
+  SetEpoch(10);
+  WindowedHistogram h({1.0}, FakeClockOptions({4}));
+  for (int i = 0; i < 10; ++i) h.Observe(0.5);
+  h.Reset();
+  EXPECT_EQ(h.Window(4, "w").count, 0u);
+  EXPECT_EQ(h.cumulative().count(), 0u);
+  EXPECT_EQ(h.rotation_dropped(), 0u);
+  // The instrument stays usable after Reset (cached references survive).
+  h.Observe(0.5);
+  EXPECT_EQ(h.Window(4, "w").count, 1u);
+}
+
+TEST(WindowedHistogramTest, ConcurrentObserveRotateAndQuery) {
+  SetEpoch(5000);
+  WindowedHistogram h({1.0, 10.0, 100.0}, FakeClockOptions({8}));
+  constexpr int kIterations = 40000;
+  std::atomic<uint64_t> max_seen{0};
+  ParallelFor(
+      kIterations,
+      [&](size_t i) {
+        // Writers advance the clock as they go, forcing rotations to race
+        // with observations and with the merging reader below.
+        if (i % 64 == 0) {
+          g_fake_now_ns.fetch_add(kEpochNs / 4, std::memory_order_relaxed);
+        }
+        h.Observe(static_cast<double>(i % 200));
+        if (i % 128 == 0) {
+          // Percentile queries must be safe mid-rotation; the value itself
+          // is racy, but it must be finite and within the value range.
+          double p = h.WindowPercentile(99.0, 8);
+          EXPECT_GE(p, 0.0);
+          EXPECT_LE(p, 200.0);
+          uint64_t count = h.Window(8, "w").count;
+          uint64_t prev = max_seen.load(std::memory_order_relaxed);
+          while (count > prev &&
+                 !max_seen.compare_exchange_weak(prev, count)) {
+          }
+        }
+      },
+      /*num_threads=*/4);
+
+  // The cumulative view is authoritative: every observation lands there
+  // even when a windowed increment was dropped mid-rotation.
+  EXPECT_EQ(h.cumulative().count(), static_cast<uint64_t>(kIterations));
+  // Windowed accounting: whatever the window holds plus whatever rotation
+  // dropped can never exceed the total observed.
+  EXPECT_LE(h.Window(8, "w").count + h.rotation_dropped(),
+            static_cast<uint64_t>(kIterations));
+  EXPECT_GT(max_seen.load(), 0u);
+}
+
+}  // namespace
+}  // namespace convpairs::obs

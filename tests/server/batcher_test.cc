@@ -55,7 +55,7 @@ TEST(BatcherTest, ConcurrentSubmissionsMatchOracle) {
   for (int c = 0; c < kThreads; ++c) {
     clients.emplace_back([&, c] {
       Rng rng(1000 + static_cast<uint64_t>(c));
-      std::vector<std::future<Dist>> futures;
+      std::vector<std::future<TimedDist>> futures;
       for (int i = 0; i < kPerThread; ++i) {
         const NodeId s =
             static_cast<NodeId>(rng.UniformInt(pair.g1.num_nodes()));
@@ -65,7 +65,7 @@ TEST(BatcherTest, ConcurrentSubmissionsMatchOracle) {
         queries[c].push_back({s, t, static_cast<NodeId>(snapshot)});
         futures.push_back(batcher.Submit(snapshot, s, t));
       }
-      for (auto& f : futures) results[c].push_back(f.get());
+      for (auto& f : futures) results[c].push_back(f.get().dist);
     });
   }
   for (auto& t : clients) t.join();
@@ -92,7 +92,7 @@ TEST(BatcherTest, PipelinedQueriesShareScans) {
 
   // 48 distinct sources land inside one window; awaiting afterwards means
   // the whole burst must have resolved in very few flushes.
-  std::vector<std::future<Dist>> futures;
+  std::vector<std::future<TimedDist>> futures;
   for (NodeId s = 0; s < 48; ++s) {
     futures.push_back(batcher.Submit(1, s, static_cast<NodeId>(s + 100)));
   }
@@ -119,7 +119,7 @@ TEST(BatcherTest, FullLaneSetFlushesWithoutWaitingOutTheWindow) {
   DistanceBatcher batcher(pair.g1, pair.g2, options);
 
   const int64_t full_before = CounterValue("server.batch.flush.full");
-  std::vector<std::future<Dist>> futures;
+  std::vector<std::future<TimedDist>> futures;
   for (NodeId s = 0; s < 8; ++s) {
     futures.push_back(batcher.Submit(2, s, 0));
   }
@@ -140,10 +140,18 @@ TEST(BatcherTest, LoneRequestCompletesViaTimeWindow) {
   DistanceBatcher batcher(pair.g1, pair.g2, options);
 
   const int64_t timeout_before = CounterValue("server.batch.flush.timeout");
-  std::future<Dist> f = batcher.Submit(1, 3, 250);
+  std::future<TimedDist> f = batcher.Submit(1, 3, 250);
   ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
-  EXPECT_EQ(f.get(), BfsDistances(pair.g1, 3)[250]);
+  const TimedDist resolved = f.get();
+  EXPECT_EQ(resolved.dist, BfsDistances(pair.g1, 3)[250]);
   EXPECT_GE(CounterValue("server.batch.flush.timeout") - timeout_before, 1);
+  // The timing stamps that ride in the future must be monotone: submit ->
+  // dispatcher collect -> scan start -> scan end (the session's queue_wait /
+  // batch_wait / scan stage decomposition depends on this ordering).
+  EXPECT_GT(resolved.timing.submit_ns, 0u);
+  EXPECT_GE(resolved.timing.collect_ns, resolved.timing.submit_ns);
+  EXPECT_GE(resolved.timing.scan_start_ns, resolved.timing.collect_ns);
+  EXPECT_GE(resolved.timing.scan_end_ns, resolved.timing.scan_start_ns);
   batcher.Stop();
 }
 
@@ -155,12 +163,12 @@ TEST(BatcherTest, ScanPerQueryModeNeverSharesScans) {
   DistanceBatcher batcher(pair.g1, pair.g2, options);
 
   const int64_t flushes_before = CounterValue("server.batch.flushes");
-  std::vector<std::future<Dist>> futures;
+  std::vector<std::future<TimedDist>> futures;
   for (NodeId s = 0; s < 12; ++s) {
     futures.push_back(batcher.Submit(1, s, static_cast<NodeId>(s + 60)));
   }
   for (NodeId s = 0; s < 12; ++s) {
-    EXPECT_EQ(futures[s].get(), BfsDistances(pair.g1, s)[s + 60]);
+    EXPECT_EQ(futures[s].get().dist, BfsDistances(pair.g1, s)[s + 60]);
   }
   batcher.Stop();
   // The baseline must pay one resolution (one scan) per query even though
@@ -174,7 +182,7 @@ TEST(BatcherTest, StopDrainsOutstandingFutures) {
   options.window_us = 60'000'000;  // Only Stop() can flush these.
   DistanceBatcher batcher(pair.g1, pair.g2, options);
 
-  std::vector<std::future<Dist>> futures;
+  std::vector<std::future<TimedDist>> futures;
   for (NodeId s = 0; s < 5; ++s) {
     futures.push_back(batcher.Submit(1, s, static_cast<NodeId>(s + 50)));
     futures.push_back(batcher.Submit(2, s, static_cast<NodeId>(s + 50)));
@@ -186,7 +194,7 @@ TEST(BatcherTest, StopDrainsOutstandingFutures) {
         << "Stop() must fulfill every submitted future";
     const NodeId s = static_cast<NodeId>(i / 2);
     const Graph& g = (i % 2 == 0) ? pair.g1 : pair.g2;
-    EXPECT_EQ(futures[i].get(), BfsDistances(g, s)[s + 50]);
+    EXPECT_EQ(futures[i].get().dist, BfsDistances(g, s)[s + 50]);
   }
 }
 

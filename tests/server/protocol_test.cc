@@ -57,6 +57,8 @@ TEST(ProtocolTest, ParsesEveryVerb) {
 
   EXPECT_EQ(MustParse("PING").verb, RequestVerb::kPing);
   EXPECT_EQ(MustParse("STATS").verb, RequestVerb::kStats);
+  EXPECT_EQ(MustParse("METRICS").verb, RequestVerb::kMetrics);
+  EXPECT_EQ(MustParse("SLOW").verb, RequestVerb::kSlow);
 }
 
 TEST(ProtocolTest, ToleratesWhitespaceVariants) {
@@ -81,6 +83,8 @@ TEST(ProtocolTest, RejectsBadArity) {
   ExpectErr("CAND 5", "bad_arity");
   ExpectErr("PING pong", "bad_arity");
   ExpectErr("STATS now", "bad_arity");
+  ExpectErr("METRICS all", "bad_arity");
+  ExpectErr("SLOW 10", "bad_arity");
 }
 
 TEST(ProtocolTest, RejectsNonNumericIds) {
@@ -124,10 +128,21 @@ TEST(ProtocolTest, ReplyFormatters) {
   EXPECT_EQ(ErrReply("code", "detail words"), "ERR code detail words");
 }
 
+TEST(ProtocolTest, BlockReplyFramesPayloadWithExactByteCount) {
+  // The header carries the payload's exact size so a line-at-a-time client
+  // can switch to counted reads; the payload is passed through verbatim.
+  EXPECT_EQ(BlockReply("abc\ndef\n"), "OK 8\nabc\ndef\n");
+  EXPECT_EQ(BlockReply(""), "OK 0\n");
+  std::string payload = "# TYPE convpairs_x counter\nconvpairs_x 1\n";
+  EXPECT_EQ(BlockReply(payload),
+            "OK " + std::to_string(payload.size()) + '\n' + payload);
+}
+
 TEST(ProtocolTest, VerbNamesAreTelemetryFriendly) {
   for (RequestVerb verb :
        {RequestVerb::kDist, RequestVerb::kDelta, RequestVerb::kTopK,
-        RequestVerb::kCand, RequestVerb::kPing, RequestVerb::kStats}) {
+        RequestVerb::kCand, RequestVerb::kPing, RequestVerb::kStats,
+        RequestVerb::kMetrics, RequestVerb::kSlow}) {
     for (char c : std::string(VerbName(verb))) {
       EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
                   c == '_' || c == '.')

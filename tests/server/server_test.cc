@@ -212,6 +212,106 @@ TEST(ServerTest, StatsAndStopWithConnectedSessions) {
   server.Stop();
 }
 
+/// Reads one block reply ("OK <nbytes>\n" then exactly nbytes of payload)
+/// from the stream. Returns the payload; fails the test on framing errors.
+std::string ReadBlockReply(TcpStream& stream) {
+  std::string buffer;
+  char chunk[4096];
+  size_t nl;
+  while ((nl = buffer.find('\n')) == std::string::npos) {
+    auto got = stream.Receive(chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) {
+      ADD_FAILURE() << "connection ended before block header";
+      return "";
+    }
+    buffer.append(chunk, *got);
+  }
+  std::string header = buffer.substr(0, nl);
+  buffer.erase(0, nl + 1);
+  EXPECT_EQ(header.rfind("OK ", 0), 0u) << "bad block header: " << header;
+  size_t nbytes = static_cast<size_t>(std::stoull(header.substr(3)));
+  while (buffer.size() < nbytes) {
+    auto got = stream.Receive(chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) {
+      ADD_FAILURE() << "connection ended mid-payload";
+      return buffer;
+    }
+    buffer.append(chunk, *got);
+  }
+  EXPECT_EQ(buffer.size(), nbytes)
+      << "framing must be self-delimiting: no trailing bytes";
+  return buffer;
+}
+
+TEST(ServerTest, MetricsVerbServesPrometheusExposition) {
+  SnapshotPair pair = MakeBaPair(47);
+  ConvpairsServer server(pair.g1, pair.g2);
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+
+  // A DIST first, so the request and per-stage instruments have data.
+  std::vector<std::string> warm = Exchange(*stream, "DIST 0 1 1\n", 1);
+  ASSERT_EQ(warm.size(), 1u);
+
+  ASSERT_TRUE(stream->SendAll("METRICS\n").ok());
+  std::string payload = ReadBlockReply(*stream);
+  // Counters, the cumulative request histogram, and every per-stage
+  // windowed family must be present in Prometheus text format.
+  EXPECT_NE(payload.find("# TYPE convpairs_server_requests counter"),
+            std::string::npos);
+  EXPECT_NE(
+      payload.find("convpairs_server_request_latency_us_bucket{le=\"+Inf\""),
+      std::string::npos);
+  for (const char* stage :
+       {"parse", "queue_wait", "batch_wait", "scan", "reply_send"}) {
+    std::string family =
+        "convpairs_server_stage_" + std::string(stage) + "_latency_us";
+    EXPECT_NE(payload.find("# TYPE " + family + " histogram"),
+              std::string::npos)
+        << "missing stage family " << family;
+    EXPECT_NE(payload.find(family + "_window_bucket{window=\"10s\""),
+              std::string::npos)
+        << "missing 10s window for " << family;
+    EXPECT_NE(payload.find(family + "_quantile{window=\"10s\","
+                                    "quantile=\"0.99\"}"),
+              std::string::npos)
+        << "missing p99 gauge for " << family;
+  }
+  EXPECT_NE(payload.find("convpairs_obs_histogram_overflow"),
+            std::string::npos);
+
+  // The connection survives a block reply: the next line verb still works.
+  std::vector<std::string> after = Exchange(*stream, "PING\n", 1);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0], "OK pong");
+  server.Stop();
+}
+
+TEST(ServerTest, SlowVerbDumpsThresholdedRequests) {
+  SnapshotPair pair = MakeBaPair(53);
+  ConvpairsServer::Options options;
+  options.slow_log.threshold_us_override = 1;  // Everything is "slow".
+  ConvpairsServer server(pair.g1, pair.g2, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto stream = ConnectLoopback(server.port());
+  ASSERT_TRUE(stream.ok());
+
+  std::vector<std::string> warm =
+      Exchange(*stream, "DIST 0 1 1\nDELTA 0 2\n", 2);
+  ASSERT_EQ(warm.size(), 2u);
+
+  ASSERT_TRUE(stream->SendAll("SLOW\n").ok());
+  std::string payload = ReadBlockReply(*stream);
+  EXPECT_EQ(payload.rfind("slow_log entries=", 0), 0u) << payload;
+  EXPECT_NE(payload.find("verb=dist"), std::string::npos) << payload;
+  EXPECT_NE(payload.find("verb=delta"), std::string::npos) << payload;
+  // Entries carry the full stage decomposition and the request line.
+  EXPECT_NE(payload.find("scan_us="), std::string::npos);
+  EXPECT_NE(payload.find("line=DIST 0 1 1"), std::string::npos);
+  server.Stop();
+}
+
 TEST(ServerTest, RequestStopFromAnotherThreadUnblocksWait) {
   SnapshotPair pair = MakeBaPair(43);
   ConvpairsServer server(pair.g1, pair.g2);

@@ -1,0 +1,159 @@
+// RequestContext stage arithmetic and the slow-query ring: stage durations
+// decompose the end-to-end span, DELTA's two-leg merge keeps one coherent
+// timeline, thresholds gate recording per verb, and the dump is a bounded
+// newest-first key=value listing.
+
+#include "server/slow_log.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+#include "server/request_context.h"
+
+namespace convpairs::server {
+namespace {
+
+/// A batched request whose stamps are spaced in whole microseconds:
+/// parse 5us, queue_wait 10us, batch_wait 15us, scan 100us, reply_send 3us,
+/// with 7us of slack between scan end and send start.
+RequestContext BatchedCtx() {
+  RequestContext ctx;
+  ctx.t0_ns = 1'000'000;
+  ctx.parse_end_ns = ctx.t0_ns + 5'000;
+  ctx.batch.submit_ns = ctx.parse_end_ns;
+  ctx.batch.collect_ns = ctx.batch.submit_ns + 10'000;
+  ctx.batch.scan_start_ns = ctx.batch.collect_ns + 15'000;
+  ctx.batch.scan_end_ns = ctx.batch.scan_start_ns + 100'000;
+  ctx.send_start_ns = ctx.batch.scan_end_ns + 7'000;
+  ctx.send_end_ns = ctx.send_start_ns + 3'000;
+  return ctx;
+}
+
+TEST(RequestContextTest, StageDurationsDecomposeTheSpan) {
+  RequestContext ctx = BatchedCtx();
+  EXPECT_EQ(ctx.StageDurNs(RequestStage::kParse), 5'000u);
+  EXPECT_EQ(ctx.StageDurNs(RequestStage::kQueueWait), 10'000u);
+  EXPECT_EQ(ctx.StageDurNs(RequestStage::kBatchWait), 15'000u);
+  EXPECT_EQ(ctx.StageDurNs(RequestStage::kScan), 100'000u);
+  EXPECT_EQ(ctx.StageDurNs(RequestStage::kReplySend), 3'000u);
+  EXPECT_EQ(ctx.TotalNs(), 140'000u);
+  // Stage sum <= total: the decomposition never over-accounts (the 7us of
+  // scheduling slack between stages is deliberately unattributed).
+  uint64_t stage_sum = 0;
+  for (size_t i = 0; i < kNumRequestStages; ++i) {
+    stage_sum += ctx.StageDurNs(static_cast<RequestStage>(i));
+  }
+  EXPECT_LE(stage_sum, ctx.TotalNs());
+  EXPECT_EQ(stage_sum, 133'000u);
+}
+
+TEST(RequestContextTest, SyncVerbScanFallsBackToHandlerTime) {
+  RequestContext ctx;
+  ctx.t0_ns = 100;
+  ctx.parse_end_ns = 1'100;
+  ctx.handler_ns = 42'000;  // No batch stamps: scan == handler execution.
+  EXPECT_EQ(ctx.StageDurNs(RequestStage::kScan), 42'000u);
+  EXPECT_EQ(ctx.StageDurNs(RequestStage::kQueueWait), 0u);
+  EXPECT_EQ(ctx.StageDurNs(RequestStage::kBatchWait), 0u);
+}
+
+TEST(RequestContextTest, MergeBatchKeepsTheLongerLeg) {
+  RequestContext ctx = BatchedCtx();
+  BatchTiming shorter;
+  shorter.submit_ns = ctx.batch.submit_ns;
+  shorter.collect_ns = shorter.submit_ns + 1'000;
+  shorter.scan_start_ns = shorter.collect_ns + 1'000;
+  shorter.scan_end_ns = shorter.scan_start_ns + 1'000;
+  const BatchTiming longer = ctx.batch;
+  ctx.MergeBatch(shorter);  // Shorter leg must not displace the longer one.
+  EXPECT_EQ(ctx.batch.scan_end_ns, longer.scan_end_ns);
+
+  RequestContext other;
+  other.batch = shorter;
+  other.MergeBatch(longer);  // Longer leg wins from either direction.
+  EXPECT_EQ(other.batch.scan_end_ns, longer.scan_end_ns);
+}
+
+TEST(SlowLogTest, RecordsOnlyRequestsMeetingTheVerbThreshold) {
+  SlowQueryLog log;
+  RequestContext fast = BatchedCtx();  // 140us total.
+  EXPECT_FALSE(log.MaybeRecord(RequestVerb::kDist, "DIST 1 2 1", fast));
+  EXPECT_EQ(log.size(), 0u);
+
+  RequestContext slow = BatchedCtx();
+  slow.send_end_ns = slow.t0_ns + 60'000'000;  // 60ms > the 50ms default.
+  EXPECT_TRUE(log.MaybeRecord(RequestVerb::kDist, "DIST 1 2 1", slow));
+  EXPECT_EQ(log.size(), 1u);
+
+  // The same 60ms request is NOT slow for TOPK (2s default threshold)...
+  EXPECT_FALSE(log.MaybeRecord(RequestVerb::kTopK, "TOPK 5", slow));
+  // ...but is for the 20ms bookkeeping verbs.
+  EXPECT_TRUE(log.MaybeRecord(RequestVerb::kStats, "STATS", slow));
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(SlowLogTest, OverrideFlattensEveryVerbThreshold) {
+  SlowQueryLog::Options options;
+  options.threshold_us_override = 1;
+  SlowQueryLog log(options);
+  for (size_t i = 0; i < kNumRequestVerbs; ++i) {
+    EXPECT_EQ(log.threshold_us(static_cast<RequestVerb>(i)), 1);
+  }
+  RequestContext ctx = BatchedCtx();  // 140us >= 1us: everything records.
+  EXPECT_TRUE(log.MaybeRecord(RequestVerb::kPing, "PING", ctx));
+}
+
+TEST(SlowLogTest, DumpIsNewestFirstWithFullStageDecomposition) {
+  SlowQueryLog::Options options;
+  options.threshold_us_override = 1;
+  SlowQueryLog log(options);
+  RequestContext ctx = BatchedCtx();
+  ASSERT_TRUE(log.MaybeRecord(RequestVerb::kDist, "DIST 1 2 1", ctx));
+  ASSERT_TRUE(log.MaybeRecord(RequestVerb::kDelta, "DELTA 3 4", ctx));
+
+  std::string dump = log.Dump();
+  EXPECT_EQ(dump.rfind("slow_log entries=2 capacity=128\n", 0), 0u);
+  // Newest (DELTA, seq=1) before oldest (DIST, seq=0).
+  size_t delta_pos = dump.find("seq=1 verb=delta");
+  size_t dist_pos = dump.find("seq=0 verb=dist");
+  ASSERT_NE(delta_pos, std::string::npos) << dump;
+  ASSERT_NE(dist_pos, std::string::npos) << dump;
+  EXPECT_LT(delta_pos, dist_pos);
+  // Every stage appears with the microsecond values from BatchedCtx.
+  EXPECT_NE(dump.find("total_us=140 parse_us=5 queue_wait_us=10 "
+                      "batch_wait_us=15 scan_us=100 reply_send_us=3 "
+                      "line=DIST 1 2 1"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(SlowLogTest, RingEvictsOldestAndSanitizesStoredLines) {
+  SlowQueryLog::Options options;
+  options.capacity = 3;
+  options.threshold_us_override = 1;
+  SlowQueryLog log(options);
+  RequestContext ctx = BatchedCtx();
+  for (int i = 0; i < 5; ++i) {
+    log.MaybeRecord(RequestVerb::kPing, "PING " + std::to_string(i), ctx);
+  }
+  EXPECT_EQ(log.size(), 3u);
+  std::string dump = log.Dump();
+  EXPECT_EQ(dump.find("line=PING 0"), std::string::npos);
+  EXPECT_EQ(dump.find("line=PING 1"), std::string::npos);
+  EXPECT_NE(dump.find("line=PING 4"), std::string::npos);
+
+  // Oversized lines are truncated, embedded newlines neutralized: the dump
+  // must stay one line per entry.
+  std::string evil(300, 'x');
+  evil[10] = '\n';
+  log.MaybeRecord(RequestVerb::kPing, evil, ctx);
+  dump = log.Dump();
+  EXPECT_EQ(dump.find(evil), std::string::npos);
+  size_t entry = dump.find("line=xxxxxxxxxx x");  // '\n' became ' '.
+  EXPECT_NE(entry, std::string::npos) << dump;
+}
+
+}  // namespace
+}  // namespace convpairs::server

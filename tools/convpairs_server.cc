@@ -24,13 +24,20 @@
 //                         unbatched baseline bench_server_load measures)
 //   --selector/--budget/--landmarks/--seed
 //                         configuration of the cached TOPK answer
+//   --slow-us U           record any request slower than U microseconds in
+//                         the slow-query ring (0 = per-verb defaults); dump
+//                         the ring live with the SLOW verb
 //   --metrics-out/--trace-out
 //                         exported on graceful shutdown (SIGINT/SIGTERM
 //                         drains in-flight batches first, then exit 0)
 //
+// Live telemetry: the METRICS verb returns the whole registry as
+// Prometheus-style text exposition (block reply), so a scraper needs no
+// restart or file export — see src/obs/exposition.h.
+//
 // Protocol: see src/server/protocol.h. Quick tour with nc:
 //   $ convpairs_server --dataset facebook --scale 0.1 --port 7315 &
-//   $ printf 'DIST 3 41 1\nDELTA 3 41\nTOPK 5\nPING\n' | nc 127.0.0.1 7315
+//   $ printf 'DIST 3 41 1\nDELTA 3 41\nTOPK 5\nPING\nMETRICS\n' | nc 127.0.0.1 7315
 
 #include <atomic>
 #include <cstdio>
@@ -189,9 +196,14 @@ int Run(const FlagParser& flags) {
   auto budget = flags.GetInt("budget");
   auto landmarks = flags.GetInt("landmarks");
   auto seed = flags.GetInt("seed");
+  auto slow_us = flags.GetInt("slow-us");
   if (!port.ok() || !window_us.ok() || !lanes.ok() || !budget.ok() ||
-      !landmarks.ok() || !seed.ok()) {
+      !landmarks.ok() || !seed.ok() || !slow_us.ok()) {
     std::fprintf(stderr, "error: numeric flag parse failure\n");
+    return 1;
+  }
+  if (*slow_us < 0) {
+    std::fprintf(stderr, "error: --slow-us must be >= 0\n");
     return 1;
   }
   if (*port < 0 || *port > 65535) {
@@ -220,6 +232,7 @@ int Run(const FlagParser& flags) {
   options.topk.budget_m = static_cast<int>(*budget);
   options.topk.num_landmarks = static_cast<int>(*landmarks);
   options.topk.seed = static_cast<uint64_t>(*seed);
+  options.slow_log.threshold_us_override = *slow_us;
 
   // Graceful shutdown: the watcher thread asks the server to stop; the main
   // thread (blocked in Wait) performs the actual drain and the exports, so
@@ -291,7 +304,8 @@ int main(int argc, char** argv) {
   FlagParser flags(
       "convpairs_server: serve DIST/DELTA/TOPK/CAND queries over a snapshot "
       "pair on a loopback TCP port, batching concurrent distance queries "
-      "into shared MS-BFS scans.");
+      "into shared MS-BFS scans. METRICS returns live Prometheus-style "
+      "exposition; SLOW dumps the slow-query ring.");
   flags.Define("input", "", "temporal edge list file (u v time [weight])");
   flags.Define("g1", "", "first static snapshot file (u v [weight])");
   flags.Define("g2", "", "second static snapshot file (u v [weight])");
@@ -319,6 +333,9 @@ int main(int argc, char** argv) {
   flags.Define("budget", "100", "SSSP budget m for the TOPK cache");
   flags.Define("landmarks", "10", "landmark count l for the TOPK cache");
   flags.Define("seed", "0", "random seed for the TOPK cache");
+  flags.Define("slow-us", "0",
+               "slow-query threshold in microseconds for every verb "
+               "(0 = per-verb defaults); inspect live with the SLOW verb");
   flags.Define("metrics-out", "",
                "write serving telemetry to this JSON/CSV file on shutdown; "
                "CONVPAIRS_METRICS_OUT is the env fallback");
